@@ -1,0 +1,309 @@
+//! ITQ-LSH (Gong, Lazebnik, Gordo, Perronnin — TPAMI 2012): "Iterative
+//! Quantization", the hashing baseline of the paper (§IV "Baselines": "from
+//! hashing, we use a state-of-the-art variant that exploits quantization,
+//! namely, ITQ-LSH").
+//!
+//! ITQ projects data onto its top `b` principal components and then learns
+//! an orthogonal rotation that minimizes the quantization error of mapping
+//! the projected data to the binary hypercube `{−1, +1}^b`:
+//! alternate (a) `B = sgn(V R)` and (b) the Procrustes solve
+//! `R = Ū W̄ᵀ` from `SVD(Vᵀ B)`. Codes are packed bit vectors; queries are
+//! ranked by Hamming distance.
+
+use crate::util::{Neighbor, TopK};
+use crate::{AnnIndex, BaselineError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vaq_linalg::{hamming, svd, DMatrix, Matrix, Pca};
+
+/// Configuration for [`ItqLsh::train`].
+#[derive(Debug, Clone)]
+pub struct ItqConfig {
+    /// Code length in bits (capped at the data dimensionality).
+    pub bits: usize,
+    /// ITQ rotation refinement iterations (the ITQ paper uses 50).
+    pub iterations: usize,
+    /// Seed for the random initial rotation.
+    pub seed: u64,
+}
+
+impl ItqConfig {
+    /// Standard configuration for the given bit budget.
+    pub fn new(bits: usize) -> Self {
+        ItqConfig { bits, iterations: 50, seed: 0x5eed }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A trained ITQ-LSH index with packed binary codes.
+#[derive(Debug, Clone)]
+pub struct ItqLsh {
+    pca: Pca,
+    /// Learned `b×b` rotation.
+    rotation: Matrix,
+    /// Effective code length (≤ requested bits).
+    bits: usize,
+    /// Packed codes: `words_per_code` u64 words per vector.
+    codes: Vec<u64>,
+    words_per_code: usize,
+    n: usize,
+}
+
+impl ItqLsh {
+    /// Learns the projection + rotation and encodes `data`.
+    pub fn train(data: &Matrix, cfg: &ItqConfig) -> Result<ItqLsh, BaselineError> {
+        if data.rows() == 0 {
+            return Err(BaselineError::EmptyData);
+        }
+        if cfg.bits == 0 {
+            return Err(BaselineError::BadConfig("bits must be positive".into()));
+        }
+        let bits = cfg.bits.min(data.cols());
+        let pca = Pca::fit(data).map_err(|e| BaselineError::BadConfig(e.to_string()))?;
+        // Projected data restricted to the top `bits` components.
+        let z_full = pca.transform(data).map_err(|e| BaselineError::BadConfig(e.to_string()))?;
+        let keep: Vec<usize> = (0..bits).collect();
+        let v = z_full.select_columns(&keep);
+
+        // Random orthogonal init via Gram–Schmidt of a Gaussian matrix.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rotation = random_rotation(bits, &mut rng);
+
+        for _ in 0..cfg.iterations {
+            // B = sgn(V R)
+            let z = v.matmul(&rotation).expect("shape");
+            // C = Vᵀ B  (b×b), then SVD → R = U Wᵀ... we need the
+            // Procrustes solution of min ‖B − V R‖ which is R = Ū W̄ᵀ from
+            // SVD(Vᵀ B) = Ū Σ W̄ᵀ.
+            let mut vtb = DMatrix::zeros(bits, bits);
+            for i in 0..v.rows() {
+                let vrow = v.row(i);
+                let zrow = z.row(i);
+                for (a, &vv) in vrow.iter().enumerate() {
+                    let base = a * bits;
+                    for (bcol, &zz) in zrow.iter().enumerate() {
+                        let sign = if zz >= 0.0 { 1.0 } else { -1.0 };
+                        vtb.set(a, bcol, vtb.as_slice()[base + bcol] + vv as f64 * sign);
+                    }
+                }
+            }
+            match svd(&vtb) {
+                Ok(s) => {
+                    rotation = s.u.matmul(&s.vt).expect("shape").to_f32();
+                }
+                Err(_) => break,
+            }
+        }
+
+        // Encode the database.
+        let words_per_code = bits.div_ceil(64);
+        let n = data.rows();
+        let mut codes = vec![0u64; n * words_per_code];
+        let z = v.matmul(&rotation).expect("shape");
+        for i in 0..n {
+            pack_signs(z.row(i), &mut codes[i * words_per_code..(i + 1) * words_per_code]);
+        }
+        Ok(ItqLsh { pca, rotation, bits, codes, words_per_code, n })
+    }
+
+    /// Number of encoded vectors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Encodes an arbitrary vector into a packed binary code.
+    pub fn encode(&self, v: &[f32]) -> Vec<u64> {
+        let z = self.pca.transform_vec(v).expect("dim");
+        let keep = &z[..self.bits];
+        let rotated = self.rotation.project_row(keep).expect("shape");
+        let mut out = vec![0u64; self.words_per_code];
+        pack_signs(&rotated, &mut out);
+        out
+    }
+}
+
+impl AnnIndex for ItqLsh {
+    fn name(&self) -> &str {
+        "ITQ-LSH"
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let qcode = self.encode(query);
+        let mut top = TopK::new(k);
+        for i in 0..self.n {
+            let code = &self.codes[i * self.words_per_code..(i + 1) * self.words_per_code];
+            let d = hamming(code, &qcode);
+            top.push(i as u32, d as f32);
+        }
+        top.into_sorted()
+    }
+
+    fn code_bits(&self) -> usize {
+        self.bits
+    }
+}
+
+/// Packs the signs of `values` into `out` (bit set ⇔ value ≥ 0).
+fn pack_signs(values: &[f32], out: &mut [u64]) {
+    for w in out.iter_mut() {
+        *w = 0;
+    }
+    for (i, &v) in values.iter().enumerate() {
+        if v >= 0.0 {
+            out[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+}
+
+/// Random orthogonal matrix via Gram–Schmidt on a Gaussian matrix.
+fn random_rotation(n: usize, rng: &mut StdRng) -> Matrix {
+    let mut cols: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        loop {
+            let mut c: Vec<f64> = (0..n)
+                .map(|_| {
+                    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.gen();
+                    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                })
+                .collect();
+            for prev in &cols {
+                let dot: f64 = c.iter().zip(prev.iter()).map(|(a, b)| a * b).sum();
+                for (ci, pi) in c.iter_mut().zip(prev.iter()) {
+                    *ci -= dot * pi;
+                }
+            }
+            let norm: f64 = c.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-8 {
+                for ci in c.iter_mut() {
+                    *ci /= norm;
+                }
+                cols.push(c);
+                break;
+            }
+        }
+    }
+    let mut m = Matrix::zeros(n, n);
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            m.set(i, j, v as f32);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_dataset::{exact_knn, SyntheticSpec};
+    use vaq_metrics::recall_at_k;
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(ItqLsh::train(&Matrix::zeros(0, 8), &ItqConfig::new(16)).is_err());
+        let data = SyntheticSpec::deep_like().generate(50, 0, 1).data;
+        assert!(ItqLsh::train(&data, &ItqConfig::new(0)).is_err());
+    }
+
+    #[test]
+    fn bits_capped_at_dimensionality() {
+        let data = SyntheticSpec::deep_like().generate(100, 0, 1).data; // 96-d
+        let itq = ItqLsh::train(&data, &ItqConfig::new(512)).unwrap();
+        assert_eq!(itq.code_bits(), 96);
+    }
+
+    #[test]
+    fn identical_vectors_have_zero_hamming() {
+        let data = SyntheticSpec::sift_like().generate(200, 0, 3).data;
+        let itq = ItqLsh::train(&data, &ItqConfig::new(64)).unwrap();
+        for i in (0..200).step_by(41) {
+            let c1 = itq.encode(data.row(i));
+            let c2 = &itq.codes[i * itq.words_per_code..(i + 1) * itq.words_per_code];
+            assert_eq!(c1.as_slice(), c2, "stored code differs from re-encoding row {i}");
+        }
+    }
+
+    #[test]
+    fn search_ranks_self_first() {
+        let data = SyntheticSpec::sift_like().generate(300, 0, 5).data;
+        let itq = ItqLsh::train(&data, &ItqConfig::new(64)).unwrap();
+        let mut self_hits = 0;
+        for i in (0..300).step_by(17) {
+            let res = itq.search(data.row(i), 5);
+            if res.iter().any(|n| n.index == i as u32) {
+                self_hits += 1;
+            }
+        }
+        let total = (0..300).step_by(17).count();
+        assert!(self_hits * 10 >= total * 7, "self-hits {self_hits}/{total}");
+    }
+
+    #[test]
+    fn recall_above_chance_below_quantizers() {
+        // Paper: "ITQ-LSH is not competitive in terms of accuracy despite
+        // using quantization".
+        let ds = SyntheticSpec::sift_like().generate(800, 25, 6);
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        let itq = ItqLsh::train(&ds.data, &ItqConfig::new(64)).unwrap();
+        let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
+            .map(|q| itq.search(ds.queries.row(q), 10).iter().map(|n| n.index).collect())
+            .collect();
+        let r = recall_at_k(&retrieved, &truth, 10);
+        // Chance level is 10/800 = 0.0125.
+        assert!(r > 0.1, "ITQ recall barely above chance: {r}");
+    }
+
+    #[test]
+    fn rotation_is_orthonormal() {
+        let data = SyntheticSpec::deep_like().generate(150, 0, 7).data;
+        let itq = ItqLsh::train(&data, &ItqConfig { bits: 32, iterations: 10, seed: 3 }).unwrap();
+        let rtr = itq.rotation.transpose().matmul(&itq.rotation).unwrap().to_f64();
+        assert!(rtr.frobenius_distance(&DMatrix::identity(32)) < 1e-3);
+    }
+
+    #[test]
+    fn more_iterations_do_not_hurt_quantization_loss() {
+        // ITQ's objective ‖B − VR‖ should not increase with iterations.
+        let data = SyntheticSpec::sift_like().generate(300, 0, 9).data;
+        let loss = |iters: usize| -> f64 {
+            let itq =
+                ItqLsh::train(&data, &ItqConfig { bits: 32, iterations: iters, seed: 1 }).unwrap();
+            // Recompute the objective.
+            let z_full = itq.pca.transform(&data).unwrap();
+            let v = z_full.select_columns(&(0..32).collect::<Vec<_>>());
+            let z = v.matmul(&itq.rotation).unwrap();
+            let mut total = 0.0f64;
+            for i in 0..z.rows() {
+                for &zz in z.row(i) {
+                    let b = if zz >= 0.0 { 1.0 } else { -1.0 };
+                    total += ((zz as f64) - b) * ((zz as f64) - b);
+                }
+            }
+            total
+        };
+        let l1 = loss(1);
+        let l20 = loss(20);
+        assert!(l20 <= l1 * 1.02, "ITQ loss increased: {l1} → {l20}");
+    }
+
+    #[test]
+    fn pack_signs_layout() {
+        let mut out = vec![0u64; 2];
+        let mut values = vec![-1.0f32; 70];
+        values[0] = 1.0;
+        values[65] = 1.0;
+        pack_signs(&values, &mut out);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[1], 1 << 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! The rival methods the VAQ paper evaluates against (§II-C, §IV
+//! "Baselines"), implemented from scratch:
+//!
+//! * [`vq::Vq`] — plain Vector Quantization: one k-means dictionary over
+//!   the full space.
+//! * [`pq::Pq`] — Product Quantization (Jégou et al. 2011): uniform
+//!   subspaces, one `2^b`-item dictionary each, ADC lookup-table scans.
+//! * [`opq::Opq`] — Optimized Product Quantization (Ge et al. 2013) in both
+//!   flavors: *parametric* (PCA + eigenvalue-allocation permutation — the
+//!   balancing the VAQ paper describes) and *non-parametric* (alternating
+//!   Procrustes rotation / codebook refits).
+//! * [`bolt::Bolt`] — Bolt (Blalock & Guttag 2017): 4-bit codebooks and
+//!   8-bit quantized lookup tables with saturating integer accumulation.
+//!   The original exploits SIMD shuffles; this is the hardware-oblivious
+//!   algorithmic equivalent (same precision losses, same table sizes), so
+//!   its accuracy penalty is faithful and its speed advantage comes from
+//!   the same mechanism (tiny integer tables instead of float ones).
+//! * [`pqfs::PqFastScan`] — PQ Fast Scan (André et al. 2015): full 8-bit PQ
+//!   codebooks with 8-bit quantized tables and code grouping; keeps PQ's
+//!   accuracy while scanning faster than float ADC.
+//! * [`itq::ItqLsh`] — ITQ-LSH (Gong et al. 2012): PCA projection, iterative
+//!   quantization rotation, packed binary codes, Hamming ranking.
+//!
+//! All searchers implement [`AnnIndex`], the minimal interface the
+//! experiment harness drives.
+
+pub mod bolt;
+pub mod itq;
+pub mod opq;
+pub mod pq;
+pub mod pqfs;
+pub mod util;
+pub mod vq;
+
+pub use bolt::Bolt;
+pub use itq::ItqLsh;
+pub use opq::Opq;
+pub use pq::Pq;
+pub use pqfs::PqFastScan;
+pub use util::{split_uniform, Neighbor, TopK};
+pub use vq::Vq;
+
+use std::fmt;
+
+/// A trained approximate-nearest-neighbor searcher.
+pub trait AnnIndex {
+    /// Human-readable method name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// Returns the approximate `k` nearest neighbors of `query`, ranked by
+    /// increasing approximate distance.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+
+    /// Bits used to encode one database vector (for budget accounting).
+    fn code_bits(&self) -> usize;
+}
+
+/// Errors shared by the baseline trainers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The training set was empty.
+    EmptyData,
+    /// The requested configuration is inconsistent (detail in the message).
+    BadConfig(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::EmptyData => write!(f, "training data is empty"),
+            BaselineError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}

@@ -1,0 +1,190 @@
+//! Shared pieces of every scanner: subspace splitting, top-k collection,
+//! and ADC lookup-table construction.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use vaq_linalg::{squared_euclidean, Matrix};
+
+/// One retrieved neighbor: database row index and (approximate) distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index into the database.
+    pub index: u32,
+    /// Distance under the method's metric (squared Euclidean for ADC scans,
+    /// Hamming for binary codes), smaller is closer.
+    pub distance: f32,
+}
+
+impl Eq for Neighbor {}
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance
+            .partial_cmp(&other.distance)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+/// Bounded max-heap keeping the `k` smallest-distance candidates seen.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl TopK {
+    /// An empty collector for `k` results.
+    pub fn new(k: usize) -> Self {
+        TopK { k: k.max(1), heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Current worst (largest) retained distance; `INFINITY` until full.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap.peek().map(|n| n.distance).unwrap_or(f32::INFINITY)
+        }
+    }
+
+    /// Whether `k` candidates have been collected.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Offers a candidate; keeps it only if it beats the current threshold.
+    #[inline]
+    pub fn push(&mut self, index: u32, distance: f32) {
+        if self.heap.len() < self.k {
+            self.heap.push(Neighbor { index, distance });
+        } else if let Some(top) = self.heap.peek() {
+            if distance < top.distance {
+                self.heap.pop();
+                self.heap.push(Neighbor { index, distance });
+            }
+        }
+    }
+
+    /// Consumes the collector, returning neighbors sorted best-first.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort();
+        v
+    }
+}
+
+/// Splits `dim` dimensions into `m` contiguous subspaces as `(start, end)`
+/// half-open ranges. When `dim` is not divisible by `m`, the first
+/// `dim % m` subspaces get one extra dimension (same convention as FAISS).
+///
+/// # Panics
+/// Panics if `m == 0` or `m > dim`.
+pub fn split_uniform(dim: usize, m: usize) -> Vec<(usize, usize)> {
+    assert!(m > 0, "need at least one subspace");
+    assert!(m <= dim, "more subspaces ({m}) than dimensions ({dim})");
+    let base = dim / m;
+    let extra = dim % m;
+    let mut out = Vec::with_capacity(m);
+    let mut start = 0;
+    for i in 0..m {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Builds the ADC lookup table for one subspace: squared distances from the
+/// query's sub-vector to every centroid of that subspace's dictionary.
+pub fn adc_table(query_sub: &[f32], centroids: &Matrix) -> Vec<f32> {
+    centroids.iter_rows().map(|c| squared_euclidean(c, query_sub)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_keeps_smallest() {
+        let mut t = TopK::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0].iter().enumerate() {
+            t.push(i as u32, *d);
+        }
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].index, 1);
+        assert_eq!(out[1].index, 3);
+        assert_eq!(out[2].index, 4);
+    }
+
+    #[test]
+    fn topk_threshold_tracks_worst() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), f32::INFINITY);
+        t.push(0, 10.0);
+        assert_eq!(t.threshold(), f32::INFINITY); // not full yet
+        t.push(1, 5.0);
+        assert_eq!(t.threshold(), 10.0);
+        t.push(2, 1.0);
+        assert_eq!(t.threshold(), 5.0);
+    }
+
+    #[test]
+    fn topk_deterministic_on_ties() {
+        // Equal-distance candidates never evict already-kept ones; the
+        // final ordering is by (distance, index).
+        let mut t = TopK::new(2);
+        t.push(9, 1.0);
+        t.push(3, 1.0);
+        t.push(7, 1.0);
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|n| n.index).collect::<Vec<_>>(), vec![3, 9]);
+    }
+
+    #[test]
+    fn split_uniform_exact_division() {
+        assert_eq!(split_uniform(8, 4), vec![(0, 2), (2, 4), (4, 6), (6, 8)]);
+    }
+
+    #[test]
+    fn split_uniform_remainder_goes_first() {
+        assert_eq!(split_uniform(10, 4), vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+    }
+
+    #[test]
+    fn split_uniform_covers_everything_disjointly() {
+        for dim in [7usize, 13, 96, 128, 257] {
+            for m in [1usize, 2, 3, 5, 7] {
+                if m > dim {
+                    continue;
+                }
+                let s = split_uniform(dim, m);
+                assert_eq!(s[0].0, 0);
+                assert_eq!(s.last().unwrap().1, dim);
+                for w in s.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_uniform_rejects_zero_m() {
+        split_uniform(8, 0);
+    }
+
+    #[test]
+    fn adc_table_matches_direct_distances() {
+        let centroids = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        let t = adc_table(&[0.0, 0.0], &centroids);
+        assert_eq!(t, vec![0.0, 25.0]);
+    }
+}

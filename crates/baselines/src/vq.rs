@@ -1,0 +1,147 @@
+//! Plain Vector Quantization (Gray 1984; paper §II-C).
+//!
+//! One k-means dictionary over the full space: every vector is encoded as
+//! the index of its nearest centroid. The paper uses VQ to motivate PQ —
+//! a useful bit budget (say 64 bits) would need `2^64` centroids, which is
+//! why VQ here caps the dictionary at a practical size and serves as the
+//! accuracy floor in ablations.
+
+use crate::util::{Neighbor, TopK};
+use crate::{AnnIndex, BaselineError};
+use vaq_kmeans::{KMeans, KMeansConfig};
+use vaq_linalg::{squared_euclidean, Matrix};
+
+/// Configuration for [`Vq::train`].
+#[derive(Debug, Clone)]
+pub struct VqConfig {
+    /// Bits for the single dictionary (size `2^bits`, capped at 16 bits).
+    pub bits: usize,
+    /// k-means iterations.
+    pub train_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl VqConfig {
+    /// Standard configuration with the given bit budget.
+    pub fn new(bits: usize) -> Self {
+        VqConfig { bits, train_iters: 25, seed: 0x5eed }
+    }
+}
+
+/// A trained VQ index.
+#[derive(Debug, Clone)]
+pub struct Vq {
+    centroids: Matrix,
+    codes: Vec<u16>,
+    bits: usize,
+}
+
+impl Vq {
+    /// Learns the dictionary and encodes `data`.
+    pub fn train(data: &Matrix, cfg: &VqConfig) -> Result<Vq, BaselineError> {
+        if data.rows() == 0 {
+            return Err(BaselineError::EmptyData);
+        }
+        if cfg.bits == 0 || cfg.bits > 16 {
+            return Err(BaselineError::BadConfig(format!("bits {} out of 1..=16", cfg.bits)));
+        }
+        let k = 1usize << cfg.bits;
+        let km = KMeansConfig::new(k).with_seed(cfg.seed).with_max_iters(cfg.train_iters);
+        let model =
+            KMeans::fit(data, &km).map_err(|e| BaselineError::BadConfig(e.to_string()))?;
+        let codes = model.assignments.iter().map(|&a| a as u16).collect();
+        Ok(Vq { centroids: model.centroids, codes, bits: cfg.bits })
+    }
+
+    /// Number of encoded vectors.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The dictionary.
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+}
+
+impl AnnIndex for Vq {
+    fn name(&self) -> &str {
+        "VQ"
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        // ADC: distance to each centroid once, then a table-lookup scan.
+        let table: Vec<f32> =
+            self.centroids.iter_rows().map(|c| squared_euclidean(c, query)).collect();
+        let mut top = TopK::new(k);
+        for (i, &c) in self.codes.iter().enumerate() {
+            top.push(i as u32, table[c as usize]);
+        }
+        top.into_sorted()
+    }
+
+    fn code_bits(&self) -> usize {
+        self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_dataset::SyntheticSpec;
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Vq::train(&Matrix::zeros(0, 4), &VqConfig::new(4)).is_err());
+        let data = SyntheticSpec::deep_like().generate(50, 0, 1).data;
+        assert!(Vq::train(&data, &VqConfig::new(0)).is_err());
+        assert!(Vq::train(&data, &VqConfig::new(17)).is_err());
+    }
+
+    #[test]
+    fn all_codes_within_dictionary() {
+        let data = SyntheticSpec::sift_like().generate(300, 0, 2).data;
+        let vq = Vq::train(&data, &VqConfig::new(5)).unwrap();
+        let k = vq.centroids().rows();
+        assert!(vq.codes.iter().all(|&c| (c as usize) < k));
+        assert_eq!(vq.len(), 300);
+        assert_eq!(vq.code_bits(), 5);
+    }
+
+    #[test]
+    fn search_groups_by_cell() {
+        // All results at the same distance must come from the same centroid
+        // cell as the best one.
+        let data = SyntheticSpec::sift_like().generate(400, 0, 4).data;
+        let vq = Vq::train(&data, &VqConfig::new(4)).unwrap();
+        let res = vq.search(data.row(7), 5);
+        assert_eq!(res.len(), 5);
+        let best_cell = vq.codes[res[0].index as usize];
+        for n in &res {
+            if (n.distance - res[0].distance).abs() < 1e-9 {
+                assert_eq!(vq.codes[n.index as usize], best_cell);
+            }
+        }
+    }
+
+    #[test]
+    fn coarser_dictionary_has_higher_distortion() {
+        let data = SyntheticSpec::deep_like().generate(500, 0, 5).data;
+        let fine = Vq::train(&data, &VqConfig::new(6)).unwrap();
+        let coarse = Vq::train(&data, &VqConfig::new(2)).unwrap();
+        let distortion = |vq: &Vq| -> f64 {
+            (0..data.rows())
+                .map(|i| {
+                    squared_euclidean(data.row(i), vq.centroids.row(vq.codes[i] as usize)) as f64
+                })
+                .sum()
+        };
+        assert!(distortion(&fine) < distortion(&coarse));
+    }
+}

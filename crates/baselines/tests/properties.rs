@@ -1,0 +1,117 @@
+//! Property tests for the baseline quantizers.
+
+use proptest::prelude::*;
+use vaq_baselines::pq::{Pq, PqConfig};
+use vaq_baselines::pqfs::{PqFastScan, PqfsConfig};
+use vaq_baselines::util::{split_uniform, TopK};
+use vaq_baselines::AnnIndex;
+use vaq_linalg::{squared_euclidean, Matrix};
+
+fn random_matrix() -> impl Strategy<Value = Matrix> {
+    (4usize..=12, 30usize..=80).prop_flat_map(|(cols, rows)| {
+        proptest::collection::vec(-10.0f32..10.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pq_codes_always_within_dictionaries(data in random_matrix()) {
+        let m = 2usize;
+        let pq = Pq::train(&data, &PqConfig::new(m).with_bits(3)).unwrap();
+        for i in 0..data.rows() {
+            for (s, &c) in pq.code(i).iter().enumerate() {
+                prop_assert!((c as usize) < pq.codebooks()[s].rows());
+            }
+        }
+    }
+
+    #[test]
+    fn pq_decode_is_best_reconstruction_per_subspace(data in random_matrix()) {
+        // The assigned codeword must be the nearest dictionary item for its
+        // subspace — Lloyd optimality of the assignment step (paper Eq. 3).
+        let pq = Pq::train(&data, &PqConfig::new(2).with_bits(3)).unwrap();
+        for i in (0..data.rows()).step_by(7) {
+            let row = data.row(i);
+            for (s, &(lo, hi)) in pq.ranges().iter().enumerate() {
+                let assigned = pq.code(i)[s] as usize;
+                let d_assigned =
+                    squared_euclidean(&row[lo..hi], &pq.codebooks()[s].row(assigned)[..hi - lo]);
+                for cand in 0..pq.codebooks()[s].rows() {
+                    let d = squared_euclidean(
+                        &row[lo..hi],
+                        &pq.codebooks()[s].row(cand)[..hi - lo],
+                    );
+                    prop_assert!(d_assigned <= d + 1e-4,
+                        "row {i} subspace {s}: assigned {d_assigned} > candidate {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adc_distance_equals_decode_distance(data in random_matrix()) {
+        let pq = Pq::train(&data, &PqConfig::new(2).with_bits(3)).unwrap();
+        let q = data.row(0);
+        let tables = pq.lookup_tables(q);
+        for i in (0..data.rows()).step_by(11) {
+            let adc: f32 = tables
+                .iter()
+                .zip(pq.code(i).iter())
+                .map(|(t, &c)| t[c as usize])
+                .sum();
+            let direct = squared_euclidean(q, &pq.decode(pq.code(i)));
+            prop_assert!((adc - direct).abs() <= 1e-2 * direct.max(1.0));
+        }
+    }
+
+    #[test]
+    fn pqfs_always_equals_pq(data in random_matrix()) {
+        let pqfs = PqFastScan::train(&data, &PqfsConfig::new(2)).unwrap();
+        for qi in (0..data.rows()).step_by(13) {
+            let fast: Vec<u32> =
+                pqfs.search(data.row(qi), 5).iter().map(|n| n.index).collect();
+            let slow: Vec<u32> =
+                pqfs.inner().search_adc(data.row(qi), 5).iter().map(|n| n.index).collect();
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn topk_equals_full_sort(
+        distances in proptest::collection::vec(0.0f32..100.0, 1..60),
+        k in 1usize..10,
+    ) {
+        let mut top = TopK::new(k);
+        for (i, &d) in distances.iter().enumerate() {
+            top.push(i as u32, d);
+        }
+        let got: Vec<u32> = top.into_sorted().iter().map(|n| n.index).collect();
+        let mut expect: Vec<(f32, u32)> =
+            distances.iter().enumerate().map(|(i, &d)| (d, i as u32)).collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<u32> =
+            expect.into_iter().take(k).map(|(_, i)| i).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn split_uniform_tiles_dimensions(dim in 2usize..200, m_raw in 1usize..16) {
+        let m = m_raw.min(dim);
+        let s = split_uniform(dim, m);
+        prop_assert_eq!(s.len(), m);
+        prop_assert_eq!(s[0].0, 0);
+        prop_assert_eq!(s.last().unwrap().1, dim);
+        for w in s.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+            prop_assert!(w[0].1 > w[0].0);
+        }
+        // Widths differ by at most one.
+        let widths: Vec<usize> = s.iter().map(|&(lo, hi)| hi - lo).collect();
+        let max = widths.iter().max().unwrap();
+        let min = widths.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Ablation of VAQ design choices beyond the paper's Figure 9:
+//!
+//! 1. **Partial importance balancing** on/off (§III-C): the paper argues
+//!    the bounded PC swaps spread importance without breaking the global
+//!    ordering; this quantifies the recall effect per dataset family.
+//! 2. **TI prefix width** (`TIClusterNumSubs`, Algorithm 3): how many
+//!    leading subspaces the triangle-inequality metric spans. Wider
+//!    prefixes tighten the lower bound (more skipping) but cost more per
+//!    centroid distance.
+//!
+//! Run: `cargo run -p vaq-bench --release --bin ablation_design_choices`
+
+use vaq_bench::{evaluate_with_truth, fmt_secs, print_table, write_json, ExpArgs, MethodResult};
+use vaq_core::{SearchStrategy, Vaq, VaqConfig};
+use vaq_dataset::{exact_knn, SyntheticSpec};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n = args.size(15_000);
+    let nq = args.queries(50);
+    let k = 100;
+    println!("Design-choice ablations (n = {n}, queries = {nq})\n");
+    let mut results: Vec<MethodResult> = Vec::new();
+
+    // --- Ablation 1: partial balancing. ---
+    println!("1) Partial importance balancing (64-bit budget, 16 subspaces):");
+    let mut rows = Vec::new();
+    for spec in [SyntheticSpec::sift_like(), SyntheticSpec::sald_like(), SyntheticSpec::seismic_like()]
+    {
+        let ds = spec.generate(n, nq, args.seed);
+        let truth = exact_knn(&ds.data, &ds.queries, k);
+        let mut row = vec![ds.name.clone()];
+        for balance in [true, false] {
+            let mut cfg = VaqConfig::new(64, 16).with_seed(args.seed).with_ti_clusters(0);
+            cfg.partial_balance = balance;
+            let vaq = Vaq::train(&ds.data, &cfg).unwrap();
+            let r = evaluate_with_truth(
+                |q| {
+                    vaq.search_with(q, k, SearchStrategy::FullScan)
+                        .0
+                        .iter()
+                        .map(|x| x.index)
+                        .collect()
+                },
+                &ds.queries,
+                &truth,
+                k,
+            );
+            row.push(format!("{:.4}", r.0));
+            results.push(MethodResult {
+                method: format!("VAQ-balance={balance}"),
+                dataset: ds.name.clone(),
+                code_bits: 64,
+                recall: r.0,
+                map: r.1,
+                query_secs: r.2,
+                train_secs: 0.0,
+                params: "ablation=balance".into(),
+            });
+        }
+        rows.push(row);
+    }
+    print_table(&["dataset", "balanced (paper)", "unbalanced"], &rows);
+
+    // --- Ablation 2: TI prefix width. ---
+    println!("\n2) TI prefix width (SIFT-like, 128-bit budget, 16 subspaces, visit 0.25):");
+    let ds = SyntheticSpec::sift_like().generate(n, nq, args.seed);
+    let truth = exact_knn(&ds.data, &ds.queries, k);
+    let mut rows = Vec::new();
+    for prefix in [2usize, 4, 8, 16] {
+        let mut cfg = VaqConfig::new(128, 16)
+            .with_seed(args.seed)
+            .with_ti_clusters((n / 100).clamp(32, 1000));
+        cfg.ti_prefix_subspaces = prefix;
+        let vaq = Vaq::train(&ds.data, &cfg).unwrap();
+        let r = evaluate_with_truth(
+            |q| {
+                vaq.search_with(q, k, SearchStrategy::TiEa { visit_frac: 0.25 })
+                    .0
+                    .iter()
+                    .map(|x| x.index)
+                    .collect()
+            },
+            &ds.queries,
+            &truth,
+            k,
+        );
+        let (_, stats) =
+            vaq.search_with(ds.queries.row(0), k, SearchStrategy::TiEa { visit_frac: 0.25 });
+        rows.push(vec![
+            format!("{prefix}"),
+            format!("{:.4}", r.0),
+            fmt_secs(r.2),
+            format!("{}", stats.vectors_skipped),
+        ]);
+        results.push(MethodResult {
+            method: format!("VAQ-prefix={prefix}"),
+            dataset: ds.name.clone(),
+            code_bits: 128,
+            recall: r.0,
+            map: r.1,
+            query_secs: r.2,
+            train_secs: 0.0,
+            params: "ablation=ti_prefix".into(),
+        });
+    }
+    print_table(&["prefix subspaces", "recall@100", "query time", "vectors skipped (q0)"], &rows);
+
+    write_json(&args.out_dir, "ablation_design_choices.json", &results);
+}

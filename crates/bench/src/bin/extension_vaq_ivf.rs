@@ -1,0 +1,145 @@
+//! **Extension experiment** — the index the paper's conclusion calls for:
+//! IVF over VAQ primitives (`VaqIvf`) against flat VAQ (TI+EA) and HNSW
+//! over PQ codes, on the SIFT-like workload.
+//!
+//! Question to answer (paper §V-E closing remark: "an index that leverages
+//! the primitives of VAQ could potentially outperform HNSW"): does a
+//! learned coarse quantizer over the projected space beat both VAQ's own
+//! sampled TI partitioning and the graph index at equal accuracy, and at
+//! what preprocessing cost?
+//!
+//! Run: `cargo run -p vaq-bench --release --bin extension_vaq_ivf`
+
+use vaq_baselines::pq::{Pq, PqConfig};
+use vaq_bench::{evaluate_with_truth, fmt_secs, print_table, write_json, ExpArgs, MethodResult};
+use vaq_core::{SearchStrategy, Vaq, VaqConfig, VaqIvf, VaqIvfConfig};
+use vaq_dataset::{exact_knn, SyntheticSpec};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n = args.size(30_000);
+    let nq = args.queries(50);
+    let k = 100;
+    const BUDGET: usize = 128;
+    const SEGMENTS: usize = 16;
+    println!("Extension: IVF-over-VAQ vs flat VAQ vs HNSW+PQ (n = {n})\n");
+
+    let ds = SyntheticSpec::sift_like().generate(n, nq, args.seed);
+    let truth = exact_knn(&ds.data, &ds.queries, k);
+    let mut rows = Vec::new();
+    let mut results: Vec<MethodResult> = Vec::new();
+
+    // Flat VAQ with TI+EA.
+    let t = std::time::Instant::now();
+    let vaq = Vaq::train(
+        &ds.data,
+        &VaqConfig::new(BUDGET, SEGMENTS)
+            .with_seed(args.seed)
+            .with_ti_clusters((n / 100).clamp(64, 1000)),
+    )
+    .unwrap();
+    let vaq_train = t.elapsed().as_secs_f64();
+    for frac in [0.1f64, 0.25] {
+        let r = evaluate_with_truth(
+            |q| {
+                vaq.search_with(q, k, SearchStrategy::TiEa { visit_frac: frac })
+                    .0
+                    .iter()
+                    .map(|x| x.index)
+                    .collect()
+            },
+            &ds.queries,
+            &truth,
+            k,
+        );
+        rows.push(vec![
+            "VAQ (TI+EA)".into(),
+            format!("visit={frac}"),
+            format!("{:.4}", r.0),
+            fmt_secs(r.2),
+            fmt_secs(vaq_train),
+        ]);
+        results.push(MethodResult {
+            method: "VAQ-TIEA".into(),
+            dataset: ds.name.clone(),
+            code_bits: BUDGET,
+            recall: r.0,
+            map: r.1,
+            query_secs: r.2,
+            train_secs: vaq_train,
+            params: format!("visit={frac}"),
+        });
+    }
+
+    // IVF over VAQ.
+    let t = std::time::Instant::now();
+    let cells = ((n as f64).sqrt() as usize).clamp(32, 2048);
+    let mut ivf_cfg = VaqIvfConfig::new(BUDGET, SEGMENTS, cells);
+    ivf_cfg.vaq = ivf_cfg.vaq.with_seed(args.seed);
+    let ivf = VaqIvf::train(&ds.data, &ivf_cfg).unwrap();
+    let ivf_train = t.elapsed().as_secs_f64();
+    for nprobe in [cells / 40 + 1, cells / 10 + 1, cells / 4 + 1] {
+        let r = evaluate_with_truth(
+            |q| ivf.search_nprobe(q, k, nprobe).0.iter().map(|x| x.index).collect(),
+            &ds.queries,
+            &truth,
+            k,
+        );
+        rows.push(vec![
+            "VAQ-IVF".into(),
+            format!("nprobe={nprobe}/{cells}"),
+            format!("{:.4}", r.0),
+            fmt_secs(r.2),
+            fmt_secs(ivf_train),
+        ]);
+        results.push(MethodResult {
+            method: "VAQ-IVF".into(),
+            dataset: ds.name.clone(),
+            code_bits: BUDGET,
+            recall: r.0,
+            map: r.1,
+            query_secs: r.2,
+            train_secs: ivf_train,
+            params: format!("nprobe={nprobe}"),
+        });
+    }
+
+    // HNSW over PQ codes (the Figure 12 rival).
+    let t = std::time::Instant::now();
+    let pq = Pq::train(&ds.data, &PqConfig::new(SEGMENTS).with_bits(BUDGET / SEGMENTS)).unwrap();
+    let store = vaq_index::hnsw::PqStore::from_pq(&pq);
+    let hnsw = vaq_index::hnsw::Hnsw::build(
+        store,
+        &vaq_index::hnsw::HnswConfig { m: 16, ef_construction: 100, ef_search: 32, seed: args.seed },
+    )
+    .unwrap();
+    let hnsw_train = t.elapsed().as_secs_f64();
+    for efs in [32usize, 128] {
+        let r = evaluate_with_truth(
+            |q| hnsw.search_ef(q, k, efs).iter().map(|x| x.index).collect(),
+            &ds.queries,
+            &truth,
+            k,
+        );
+        rows.push(vec![
+            "HNSW+PQ".into(),
+            format!("efS={efs}"),
+            format!("{:.4}", r.0),
+            fmt_secs(r.2),
+            fmt_secs(hnsw_train),
+        ]);
+        results.push(MethodResult {
+            method: "HNSW+PQ".into(),
+            dataset: ds.name.clone(),
+            code_bits: BUDGET,
+            recall: r.0,
+            map: r.1,
+            query_secs: r.2,
+            train_secs: hnsw_train,
+            params: format!("efS={efs}"),
+        });
+    }
+
+    print_table(&["method", "config", "recall@100", "query time", "build time"], &rows);
+    write_json(&args.out_dir, "extension_vaq_ivf.json", &results);
+}

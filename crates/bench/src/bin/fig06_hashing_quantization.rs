@@ -1,0 +1,155 @@
+//! **Figure 6** — VAQ vs the strongest hashing and quantization methods
+//! (PQ, OPQ, ITQ-LSH) on all five large-scale datasets, the paper's
+//! headline comparison.
+//!
+//! Configurations follow §V-A exactly: 256 bits / 32 subspaces for SALD,
+//! SIFT, DEEP; 128 bits / 16 subspaces for ASTRO, SEISMIC (8 bits per
+//! subspace for PQ/OPQ — the configuration that *favours* them); VAQ uses
+//! the same budget and segments with min 1 / max 13 bits.
+//!
+//! Paper shape to reproduce: VAQ wins MAP on every dataset and answers
+//! queries ~5× faster than PQ/OPQ scans (TI+EA pruning) and ~2× faster
+//! than ITQ-LSH; ITQ-LSH is not accuracy-competitive.
+//!
+//! Run: `cargo run -p vaq-bench --release --bin fig06_hashing_quantization`
+
+use vaq_baselines::itq::{ItqConfig, ItqLsh};
+use vaq_baselines::opq::{Opq, OpqConfig};
+use vaq_baselines::pq::{Pq, PqConfig};
+use vaq_baselines::AnnIndex;
+use vaq_bench::{evaluate_with_truth, fmt_secs, print_table, write_json, ExpArgs, MethodResult};
+use vaq_core::{Vaq, VaqConfig};
+use vaq_dataset::{exact_knn, SyntheticSpec};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n = args.size(20_000);
+    let nq = args.queries(100);
+    let k = 100;
+    println!("Figure 6: VAQ vs PQ / OPQ / ITQ-LSH (n = {n}, queries = {nq}, k = {k})\n");
+
+    let mut results: Vec<MethodResult> = Vec::new();
+    for spec in SyntheticSpec::all() {
+        let (budget, m) = match spec.name {
+            "astro-like" | "seismic-like" => (128usize, 16usize),
+            _ => (256, 32),
+        };
+        let ds = spec.generate(n, nq, args.seed);
+        let truth = exact_knn(&ds.data, &ds.queries, k);
+        println!("== {} (budget {budget}, {m} subspaces) ==", ds.name);
+
+        let mut rows = Vec::new();
+        let record = |method: &str,
+                          params: String,
+                          code_bits: usize,
+                          train: f64,
+                          r: (f64, f64, f64),
+                          rows: &mut Vec<Vec<String>>,
+                          results: &mut Vec<MethodResult>| {
+            rows.push(vec![
+                method.into(),
+                format!("{:.4}", r.1),
+                format!("{:.4}", r.0),
+                fmt_secs(r.2),
+                fmt_secs(train),
+            ]);
+            results.push(MethodResult {
+                method: method.into(),
+                dataset: ds.name.clone(),
+                code_bits,
+                recall: r.0,
+                map: r.1,
+                query_secs: r.2,
+                train_secs: train,
+                params,
+            });
+        };
+
+        let t = std::time::Instant::now();
+        let pq = Pq::train(&ds.data, &PqConfig::new(m).with_bits(budget / m)).unwrap();
+        let train = t.elapsed().as_secs_f64();
+        let r = evaluate_with_truth(
+            |q| pq.search(q, k).iter().map(|x| x.index).collect(),
+            &ds.queries,
+            &truth,
+            k,
+        );
+        record("PQ", format!("b={}", budget / m), pq.code_bits(), train, r, &mut rows, &mut results);
+
+        let t = std::time::Instant::now();
+        let opq = Opq::train(&ds.data, &OpqConfig::new(m).with_bits(budget / m)).unwrap();
+        let train = t.elapsed().as_secs_f64();
+        let r = evaluate_with_truth(
+            |q| opq.search(q, k).iter().map(|x| x.index).collect(),
+            &ds.queries,
+            &truth,
+            k,
+        );
+        record("OPQ", format!("b={}", budget / m), opq.code_bits(), train, r, &mut rows, &mut results);
+
+        let t = std::time::Instant::now();
+        let itq = ItqLsh::train(&ds.data, &ItqConfig::new(budget)).unwrap();
+        let train = t.elapsed().as_secs_f64();
+        let r = evaluate_with_truth(
+            |q| itq.search(q, k).iter().map(|x| x.index).collect(),
+            &ds.queries,
+            &truth,
+            k,
+        );
+        record("ITQ-LSH", format!("bits={budget}"), itq.code_bits(), train, r, &mut rows, &mut results);
+
+        let t = std::time::Instant::now();
+        let vaq = Vaq::train(
+            &ds.data,
+            &VaqConfig::new(budget, m)
+                .with_seed(args.seed)
+                .with_ti_clusters((n / 100).clamp(16, 1000)),
+        )
+        .unwrap();
+        let train = t.elapsed().as_secs_f64();
+        let r = evaluate_with_truth(
+            |q| vaq.search(q, k).iter().map(|x| x.index).collect(),
+            &ds.queries,
+            &truth,
+            k,
+        );
+        record(
+            "VAQ",
+            format!("bits={:?}", vaq.bits()),
+            vaq.code_bits(),
+            train,
+            r,
+            &mut rows,
+            &mut results,
+        );
+
+        print_table(&["method", "MAP@100", "recall@100", "query time", "encode time"], &rows);
+        println!();
+    }
+
+    // Shape summary.
+    let datasets: Vec<String> = {
+        let mut d: Vec<String> = results.iter().map(|r| r.dataset.clone()).collect();
+        d.dedup();
+        d
+    };
+    let mut wins = 0;
+    let mut speedups = Vec::new();
+    for ds in &datasets {
+        let get = |m: &str| results.iter().find(|r| &r.dataset == ds && r.method == m).unwrap();
+        let vaq = get("VAQ");
+        let best_rival =
+            ["PQ", "OPQ", "ITQ-LSH"].iter().map(|m| get(m).map).fold(f64::MIN, f64::max);
+        if vaq.map >= best_rival {
+            wins += 1;
+        }
+        speedups.push(get("PQ").query_secs / vaq.query_secs);
+    }
+    let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!(
+        "Shape check: VAQ best MAP on {wins}/{} datasets; mean speedup vs PQ scan {:.1}×",
+        datasets.len(),
+        mean_speedup
+    );
+    write_json(&args.out_dir, "fig06_hashing_quantization.json", &results);
+}

@@ -1,0 +1,108 @@
+//! **Figure 9** — the design-choice ablation on SIFT: uniform vs
+//! clustered (non-uniform) subspaces × uniform vs adaptive bit
+//! allocation, over budgets {256, 128} and segment counts {64, 32, 16}
+//! (§V-C).
+//!
+//! Paper shape to reproduce: clustered subspaces alone do *not* help (and
+//! often hurt); adaptive allocation lifts recall substantially for both
+//! subspace modes — "adaptive bit allocation should always be used".
+//!
+//! Run: `cargo run -p vaq-bench --release --bin fig09_adaptive_ablation`
+
+use vaq_bench::{evaluate_with_truth, print_table, write_json, ExpArgs, MethodResult};
+use vaq_core::{SearchStrategy, Vaq, VaqConfig};
+use vaq_dataset::{exact_knn, SyntheticSpec};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n = args.size(20_000);
+    let nq = args.queries(100);
+    let k = 100;
+    println!("Figure 9: subspace-mode × allocation ablation on SIFT-like (n = {n})\n");
+
+    let ds = SyntheticSpec::sift_like().generate(n, nq, args.seed);
+    let truth = exact_knn(&ds.data, &ds.queries, k);
+
+    let mut rows = Vec::new();
+    let mut results: Vec<MethodResult> = Vec::new();
+    for budget in [256usize, 128] {
+        for m in [64usize, 32, 16] {
+            if m > ds.dim() / 2 || budget > m * 13 {
+                continue;
+            }
+            let mut row = vec![format!("{budget}"), format!("{m}")];
+            for (label, clustered, adaptive) in [
+                ("uni/uni", false, false),
+                ("clu/uni", true, false),
+                ("uni/ada", false, true),
+                ("clu/ada", true, true),
+            ] {
+                let mut cfg = VaqConfig::new(budget, m).with_seed(args.seed).with_ti_clusters(0);
+                if clustered {
+                    cfg = cfg.clustered();
+                }
+                if !adaptive {
+                    cfg = cfg.uniform_allocation();
+                }
+                let recall = match Vaq::train(&ds.data, &cfg) {
+                    Ok(vaq) => {
+                        let r = evaluate_with_truth(
+                            |q| {
+                                vaq.search_with(q, k, SearchStrategy::FullScan)
+                                    .0
+                                    .iter()
+                                    .map(|x| x.index)
+                                    .collect()
+                            },
+                            &ds.queries,
+                            &truth,
+                            k,
+                        );
+                        results.push(MethodResult {
+                            method: format!("VAQ-{label}"),
+                            dataset: ds.name.clone(),
+                            code_bits: budget,
+                            recall: r.0,
+                            map: r.1,
+                            query_secs: r.2,
+                            train_secs: 0.0,
+                            params: format!("budget={budget} m={m}"),
+                        });
+                        format!("{:.4}", r.0)
+                    }
+                    Err(e) => format!("err({e})"),
+                };
+                row.push(recall);
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        &["budget", "segments", "uniform/uniform", "clustered/uniform", "uniform/adaptive",
+          "clustered/adaptive"],
+        &rows,
+    );
+
+    // Shape check: adaptive ≥ uniform for each (budget, m, subspace-mode).
+    let find = |method: &str, params: &str| {
+        results.iter().find(|x| x.method == method && x.params == params).map(|x| x.recall)
+    };
+    let mut adaptive_wins = 0;
+    let mut total = 0;
+    let params_set: std::collections::BTreeSet<String> =
+        results.iter().map(|r| r.params.clone()).collect();
+    for p in &params_set {
+        for mode in ["uni", "clu"] {
+            if let (Some(uni), Some(ada)) =
+                (find(&format!("VAQ-{mode}/uni"), p), find(&format!("VAQ-{mode}/ada"), p))
+            {
+                total += 1;
+                if ada >= uni - 0.005 {
+                    adaptive_wins += 1;
+                }
+            }
+        }
+    }
+    println!("\nShape check: adaptive ≥ uniform in {adaptive_wins}/{total} configurations");
+    write_json(&args.out_dir, "fig09_adaptive_ablation.json", &results);
+}

@@ -1,0 +1,126 @@
+//! **Figure 10** — the critical-difference diagram over the 128
+//! medium-scale datasets: Friedman test followed by the post-hoc Nemenyi
+//! test at 95% confidence on Recall@5 (§V-D).
+//!
+//! Consumes the per-dataset scores written by `tab02_ucr_sweep`
+//! (`results/tab02_ucr_scores.json`); run that binary first.
+//!
+//! Paper shape to reproduce: VAQ-128 ranked first and significantly better
+//! than everything; VAQ-64 and OPQ-128 statistically tied (the "half
+//! budget" headline); VAQ-64 significantly better than PQ-128.
+//!
+//! Run: `cargo run -p vaq-bench --release --bin fig10_critical_difference`
+
+use serde::Deserialize;
+use vaq_bench::{print_table, write_json, ExpArgs};
+use vaq_metrics::ranking::{nemenyi_critical_difference, nemenyi_groups};
+use vaq_metrics::stats::friedman_test;
+
+#[derive(Deserialize)]
+struct ArchiveScores {
+    methods: Vec<String>,
+    recall5: Vec<Vec<f64>>,
+    datasets: Vec<String>,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let path = args.out_dir.join("tab02_ucr_scores.json");
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing {} — run `cargo run -p vaq-bench --release --bin tab02_ucr_sweep` first",
+            path.display()
+        )
+    });
+    let scores: ArchiveScores = serde_json::from_str(&raw).expect("parse scores");
+    let n = scores.datasets.len();
+    let k = scores.methods.len();
+    println!("Figure 10: Friedman + Nemenyi over {n} datasets, {k} method/budget pairs\n");
+
+    let fr = friedman_test(&scores.recall5);
+    println!(
+        "Friedman χ² = {:.2} (df = {}), p = {:.3e} → {}",
+        fr.chi_square,
+        fr.df,
+        fr.p_value,
+        if fr.p_value < 0.05 { "methods differ significantly" } else { "no significant differences" }
+    );
+
+    let cd = nemenyi_critical_difference(k, n);
+    println!("Nemenyi critical difference (α = 0.05): {cd:.3}\n");
+
+    // Rank table, best first.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        fr.average_ranks[a]
+            .partial_cmp(&fr.average_ranks[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let rows: Vec<Vec<String>> = order
+        .iter()
+        .map(|&i| {
+            vec![scores.methods[i].clone(), format!("{:.3}", fr.average_ranks[i])]
+        })
+        .collect();
+    print_table(&["method", "average rank (1 = best)"], &rows);
+
+    // ASCII critical-difference diagram.
+    println!("\nCritical-difference diagram (rank axis, ═ groups are not significantly different):");
+    let min_rank = fr.average_ranks[order[0]];
+    let max_rank = fr.average_ranks[*order.last().unwrap()];
+    let width = 60.0;
+    let pos = |r: f64| (((r - min_rank) / (max_rank - min_rank + 1e-9)) * width) as usize;
+    for &i in &order {
+        let p = pos(fr.average_ranks[i]);
+        println!("{}• {} ({:.2})", " ".repeat(p), scores.methods[i], fr.average_ranks[i]);
+    }
+    let groups = nemenyi_groups(&fr.average_ranks, cd);
+    for g in &groups {
+        let lo = g.iter().map(|&i| pos(fr.average_ranks[i])).min().unwrap();
+        let hi = g.iter().map(|&i| pos(fr.average_ranks[i])).max().unwrap();
+        let names: Vec<&str> = g.iter().map(|&i| scores.methods[i].as_str()).collect();
+        println!("{}{} {}", " ".repeat(lo), "═".repeat((hi - lo).max(1) + 1), names.join(" ≈ "));
+    }
+
+    // Shape checks against the paper's Figure 10.
+    let rank_of = |name: &str| {
+        scores.methods.iter().position(|m| m == name).map(|i| fr.average_ranks[i])
+    };
+    if let (Some(v128), Some(v64), Some(o128), Some(p128)) =
+        (rank_of("VAQ-128"), rank_of("VAQ-64"), rank_of("OPQ-128"), rank_of("PQ-128"))
+    {
+        println!("\nShape checks:");
+        println!(
+            "  VAQ-128 first overall: {}",
+            if (v128 - fr.average_ranks[order[0]]).abs() < 1e-9 { "yes" } else { "NO" }
+        );
+        println!(
+            "  VAQ-64 ≈ OPQ-128 (|Δrank| {:.2} vs CD {:.2}): {}",
+            (v64 - o128).abs(),
+            cd,
+            if (v64 - o128).abs() <= cd { "tied (paper shape)" } else { "separated" }
+        );
+        println!(
+            "  VAQ-64 better than PQ-128 by more than CD: {}",
+            if p128 - v64 > cd { "yes" } else { "NO" }
+        );
+    }
+
+    #[derive(serde::Serialize)]
+    struct Out {
+        average_ranks: Vec<(String, f64)>,
+        chi_square: f64,
+        p_value: f64,
+        critical_difference: f64,
+    }
+    let out = Out {
+        average_ranks: order
+            .iter()
+            .map(|&i| (scores.methods[i].clone(), fr.average_ranks[i]))
+            .collect(),
+        chi_square: fr.chi_square,
+        p_value: fr.p_value,
+        critical_difference: cd,
+    };
+    write_json(&args.out_dir, "fig10_critical_difference.json", &out);
+}

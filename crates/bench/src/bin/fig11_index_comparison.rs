@@ -1,0 +1,199 @@
+//! **Figure 11** — VAQ against the scalable series indexes — iSAX2+ and
+//! DSTree in their NG (no-guarantee) and Epsilon variants — and against
+//! IMI+OPQ, on the series-style workloads (§V-E).
+//!
+//! All methods contribute recall/time operating points by sweeping their
+//! quality knob (VAQ: visit fraction; iSAX2+/DSTree: leaves visited or ε;
+//! IMI: candidate quota), mirroring the paper's parameter sweeps.
+//!
+//! Paper shape to reproduce: VAQ's speedup@recall beats the tree indexes;
+//! IMI+OPQ accelerates OPQ but loses recall versus the exhaustive scan.
+//!
+//! Run: `cargo run -p vaq-bench --release --bin fig11_index_comparison`
+
+use vaq_bench::{evaluate_with_truth, fmt_secs, print_table, write_json, ExpArgs, MethodResult};
+use vaq_core::{SearchStrategy, Vaq, VaqConfig};
+use vaq_dataset::{exact_knn, SyntheticSpec};
+use vaq_index::dstree::{DsTree, DsTreeConfig};
+use vaq_index::imi::{Imi, ImiConfig};
+use vaq_index::isax::{IsaxConfig, IsaxIndex};
+use vaq_index::search_with_rerank;
+use vaq_index::TraversalParams;
+use vaq_metrics::ranking::{time_at_recall, OperatingPoint};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n = args.size(40_000);
+    let nq = args.queries(50);
+    let k = 100;
+    println!("Figure 11: VAQ vs iSAX2+ / DSTree / IMI+OPQ (n = {n}, queries = {nq})\n");
+
+    let specs = [SyntheticSpec::sald_like(), SyntheticSpec::seismic_like()];
+    let mut results: Vec<MethodResult> = Vec::new();
+
+    for spec in &specs {
+        let ds = spec.generate(n, nq, args.seed);
+        let truth = exact_knn(&ds.data, &ds.queries, k);
+        println!("== {} ==", ds.name);
+        let mut rows = Vec::new();
+        let mut curves: Vec<(String, Vec<OperatingPoint>)> = Vec::new();
+
+        let record = |method: &str,
+                          params: String,
+                          train: f64,
+                          r: (f64, f64, f64),
+                          rows: &mut Vec<Vec<String>>,
+                          results: &mut Vec<MethodResult>| {
+            rows.push(vec![
+                method.into(),
+                params.clone(),
+                format!("{:.4}", r.0),
+                fmt_secs(r.2),
+                fmt_secs(train),
+            ]);
+            results.push(MethodResult {
+                method: method.into(),
+                dataset: ds.name.clone(),
+                code_bits: 0,
+                recall: r.0,
+                map: r.1,
+                query_secs: r.2,
+                train_secs: train,
+                params,
+            });
+        };
+
+        // VAQ sweep.
+        let budget = 128usize.min((ds.dim() / 8) * 13).max(16 * 4);
+        let m = 16usize;
+        let t = std::time::Instant::now();
+        let vaq = Vaq::train(
+            &ds.data,
+            &VaqConfig::new(budget, m)
+                .with_seed(args.seed)
+                .with_ti_clusters((n / 100).clamp(64, 1000)),
+        )
+        .unwrap();
+        let vaq_train = t.elapsed().as_secs_f64();
+        let mut vaq_curve = Vec::new();
+        // Following the paper's protocol, quantization methods retrieve a
+        // larger pool and re-rank it with the original vectors.
+        for frac in [0.05f64, 0.1, 0.25, 0.5, 1.0] {
+            let r = evaluate_with_truth(
+                |q| {
+                    search_with_rerank(&ds.data, q, k, 5, |qq, kk| {
+                        vaq.search_with(qq, kk, SearchStrategy::TiEa { visit_frac: frac })
+                            .0
+                            .iter()
+                            .map(|x| x.index)
+                            .collect()
+                    })
+                    .iter()
+                    .map(|x| x.index)
+                    .collect()
+                },
+                &ds.queries,
+                &truth,
+                k,
+            );
+            vaq_curve.push((r.0, r.2));
+            record("VAQ", format!("visit={frac}+rerank"), vaq_train, r, &mut rows, &mut results);
+        }
+        curves.push(("VAQ".into(), vaq_curve));
+
+        // iSAX2+ sweep: NG leaves + epsilon.
+        let t = std::time::Instant::now();
+        let isax = IsaxIndex::build(ds.data.clone(), &IsaxConfig::new()).unwrap();
+        let isax_train = t.elapsed().as_secs_f64();
+        let mut isax_curve = Vec::new();
+        for (label, params) in [
+            ("NG-1", TraversalParams::ng(1)),
+            ("NG-10", TraversalParams::ng(10)),
+            ("NG-100", TraversalParams::ng(100)),
+            ("eps-2", TraversalParams::epsilon(2.0)),
+            ("eps-0.5", TraversalParams::epsilon(0.5)),
+        ] {
+            let r = evaluate_with_truth(
+                |q| isax.search(q, k, params).iter().map(|x| x.index).collect(),
+                &ds.queries,
+                &truth,
+                k,
+            );
+            isax_curve.push((r.0, r.2));
+            record("iSAX2+", label.into(), isax_train, r, &mut rows, &mut results);
+        }
+        curves.push(("iSAX2+".into(), isax_curve));
+
+        // DSTree sweep.
+        let t = std::time::Instant::now();
+        let dstree = DsTree::build(ds.data.clone(), &DsTreeConfig::new()).unwrap();
+        let dstree_train = t.elapsed().as_secs_f64();
+        let mut ds_curve = Vec::new();
+        for (label, params) in [
+            ("NG-1", TraversalParams::ng(1)),
+            ("NG-10", TraversalParams::ng(10)),
+            ("NG-100", TraversalParams::ng(100)),
+            ("eps-2", TraversalParams::epsilon(2.0)),
+            ("eps-0.5", TraversalParams::epsilon(0.5)),
+        ] {
+            let r = evaluate_with_truth(
+                |q| dstree.search(q, k, params).iter().map(|x| x.index).collect(),
+                &ds.queries,
+                &truth,
+                k,
+            );
+            ds_curve.push((r.0, r.2));
+            record("DSTree", label.into(), dstree_train, r, &mut rows, &mut results);
+        }
+        curves.push(("DSTree".into(), ds_curve));
+
+        // IMI+OPQ sweep.
+        let t = std::time::Instant::now();
+        let mut imi_cfg = ImiConfig::new(m);
+        imi_cfg.opq = vaq_baselines::opq::OpqConfig::new(m).with_bits((budget / m).clamp(1, 8));
+        let imi = Imi::build(&ds.data, &imi_cfg).unwrap();
+        let imi_train = t.elapsed().as_secs_f64();
+        let mut imi_curve = Vec::new();
+        for quota in [n / 100, n / 20, n / 4] {
+            let r = evaluate_with_truth(
+                |q| {
+                    search_with_rerank(&ds.data, q, k, 5, |qq, kk| {
+                        imi.search_with_candidates(qq, kk, quota)
+                            .iter()
+                            .map(|x| x.index)
+                            .collect()
+                    })
+                    .iter()
+                    .map(|x| x.index)
+                    .collect()
+                },
+                &ds.queries,
+                &truth,
+                k,
+            );
+            imi_curve.push((r.0, r.2));
+            record("IMI+OPQ", format!("T={quota}+rerank"), imi_train, r, &mut rows, &mut results);
+        }
+        let _ = imi.occupied_cells();
+        curves.push(("IMI+OPQ".into(), imi_curve));
+
+        print_table(&["method", "config", "recall@100", "query time", "build time"], &rows);
+
+        // Speedup@recall table at moderate targets.
+        println!("\ntime@recall (lower is better):");
+        let mut srows = Vec::new();
+        for target in [0.5f64, 0.7, 0.8] {
+            let mut row = vec![format!("{target}")];
+            for (name, curve) in &curves {
+                row.push(match time_at_recall(curve, target) {
+                    Some(t) => format!("{} ({name})", fmt_secs(t)),
+                    None => format!("unreachable ({name})"),
+                });
+            }
+            srows.push(row);
+        }
+        print_table(&["target recall", "VAQ", "iSAX2+", "DSTree", "IMI+OPQ"], &srows);
+        println!();
+    }
+    write_json(&args.out_dir, "fig11_index_comparison.json", &results);
+}

@@ -1,0 +1,196 @@
+//! **Table I** — the paper's qualitative analysis of quantization methods
+//! on four critical specifications *measured* rather than asserted:
+//! storage overhead, encoding overhead, query-runtime speedup, and
+//! recall/accuracy improvement, all relative to the state of the art
+//! (OPQ).
+//!
+//! Marks follow the paper's thresholds: a ✓ for storage/encoding means
+//! *minimal or no* overhead versus OPQ; a ✓ for speedup/accuracy means a
+//! measurable improvement. The paper's claim to check: **VAQ is the only
+//! row with four ✓** (PQ lacks speedup and accuracy; Bolt/PQFS lack
+//! accuracy; IMI+OPQ pays storage/encoding and loses accuracy; ITQ-LSH
+//! lacks accuracy).
+//!
+//! Run: `cargo run -p vaq-bench --release --bin tab01_specs`
+
+use vaq_baselines::bolt::{Bolt, BoltConfig};
+use vaq_baselines::itq::{ItqConfig, ItqLsh};
+use vaq_baselines::opq::{Opq, OpqConfig};
+use vaq_baselines::pq::{Pq, PqConfig};
+use vaq_baselines::pqfs::{PqFastScan, PqfsConfig};
+use vaq_baselines::AnnIndex;
+use vaq_bench::{evaluate_with_truth, print_table, write_json, ExpArgs, MethodResult};
+use vaq_core::{Vaq, VaqConfig};
+use vaq_dataset::{exact_knn, SyntheticSpec};
+use vaq_index::imi::{Imi, ImiConfig};
+
+struct Spec {
+    method: String,
+    storage_overhead: f64, // extra bytes / code bytes
+    encode_secs: f64,
+    query_secs: f64,
+    map: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n = args.size(20_000);
+    let nq = args.queries(60);
+    let k = 100;
+    const BUDGET: usize = 256;
+    const SEGMENTS: usize = 32;
+    println!("Table I (measured): specifications vs OPQ (n = {n}, {BUDGET}-bit budget)\n");
+
+    let ds = SyntheticSpec::sift_like().generate(n, nq, args.seed);
+    let truth = exact_knn(&ds.data, &ds.queries, k);
+    let code_bytes = (n * BUDGET) as f64 / 8.0;
+    let mut specs: Vec<Spec> = Vec::new();
+
+    let mut measure = |method: &str,
+                       storage_extra_bytes: f64,
+                       train: Box<dyn FnOnce() -> Box<dyn Fn(&[f32]) -> Vec<u32>>>| {
+        let t0 = std::time::Instant::now();
+        let search = train();
+        let encode_secs = t0.elapsed().as_secs_f64();
+        let (_, map, query_secs) = evaluate_with_truth(
+            |q| search(q),
+            &ds.queries,
+            &truth,
+            k,
+        );
+        specs.push(Spec {
+            method: method.into(),
+            storage_overhead: storage_extra_bytes / code_bytes,
+            encode_secs,
+            query_secs,
+            map,
+        });
+    };
+
+    let data = &ds.data;
+    let seed = args.seed;
+    measure(
+        "OPQ",
+        0.0,
+        Box::new(move || {
+            let opq = Opq::train(data, &OpqConfig::new(SEGMENTS).with_seed(seed)).unwrap();
+            Box::new(move |q| opq.search(q, k).iter().map(|x| x.index).collect())
+        }),
+    );
+    measure(
+        "PQ",
+        0.0,
+        Box::new(move || {
+            let pq = Pq::train(data, &PqConfig::new(SEGMENTS).with_seed(seed)).unwrap();
+            Box::new(move |q| pq.search(q, k).iter().map(|x| x.index).collect())
+        }),
+    );
+    measure(
+        "Bolt",
+        0.0,
+        Box::new(move || {
+            let bolt = Bolt::train(data, &BoltConfig::new(BUDGET / 4).with_seed(seed)).unwrap();
+            Box::new(move |q| bolt.search(q, k).iter().map(|x| x.index).collect())
+        }),
+    );
+    measure(
+        "PQFS",
+        (n * 4) as f64, // scan-order permutation (u32 per vector)
+        Box::new(move || {
+            let pqfs =
+                PqFastScan::train(data, &PqfsConfig::new(BUDGET / 8).with_seed(seed)).unwrap();
+            Box::new(move |q| pqfs.search(q, k).iter().map(|x| x.index).collect())
+        }),
+    );
+    measure(
+        "ITQ-LSH",
+        0.0,
+        Box::new(move || {
+            let itq = ItqLsh::train(data, &ItqConfig::new(BUDGET).with_seed(seed)).unwrap();
+            Box::new(move |q| itq.search(q, k).iter().map(|x| x.index).collect())
+        }),
+    );
+    // IMI: inverted lists store every id (u32) + 2 coarse codebooks.
+    let imi_extra = (n * 4) as f64 + (2 * (1 << 6) * (ds.dim() / 2) * 4) as f64;
+    measure(
+        "IMI+OPQ",
+        imi_extra,
+        Box::new(move || {
+            let mut cfg = ImiConfig::new(SEGMENTS);
+            cfg.candidates = n / 20;
+            cfg.seed = seed;
+            let imi = Imi::build(data, &cfg).unwrap();
+            Box::new(move |q| imi.search(q, k).iter().map(|x| x.index).collect())
+        }),
+    );
+    // VAQ: TI structure = sampled centroid rows (prefix dims) + the cached
+    // code→centroid distance (f32) per vector. Cluster membership is the
+    // storage *order* (the paper re-orders the encoded data within each
+    // cluster), so ids are not extra — the same accounting used for PQFS's
+    // scan permutation above.
+    let ti_clusters = (n / 100).clamp(16, 1000);
+    let vaq_extra = (n * 4) as f64 + (ti_clusters * 32 * 4) as f64;
+    measure(
+        "VAQ",
+        vaq_extra,
+        Box::new(move || {
+            let vaq = Vaq::train(
+                data,
+                &VaqConfig::new(BUDGET, SEGMENTS)
+                    .with_seed(seed)
+                    .with_ti_clusters(ti_clusters),
+            )
+            .unwrap();
+            Box::new(move |q| vaq.search(q, k).iter().map(|x| x.index).collect())
+        }),
+    );
+
+    let opq = &specs[0];
+    let (opq_encode, opq_query, opq_map) = (opq.encode_secs, opq.query_secs, opq.map);
+    let mark = |b: bool| if b { "✓" } else { "–" }.to_string();
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for s in specs.iter().skip(1) {
+        // Thresholds: ≤25% extra storage, ≤2× OPQ encode time, faster
+        // queries than the OPQ scan, better MAP than OPQ.
+        let storage_ok = s.storage_overhead <= 0.25;
+        let encode_ok = s.encode_secs <= opq_encode * 2.0;
+        let speedup = s.query_secs < opq_query * 0.9;
+        let accuracy = s.map > opq_map + 0.002;
+        rows.push(vec![
+            s.method.clone(),
+            format!("{} ({:.0}%)", mark(storage_ok), s.storage_overhead * 100.0),
+            format!("{} ({:.1}× OPQ)", mark(encode_ok), s.encode_secs / opq_encode),
+            format!("{} ({:.1}× OPQ)", mark(speedup), opq_query / s.query_secs),
+            format!("{} (ΔMAP {:+.3})", mark(accuracy), s.map - opq_map),
+        ]);
+        results.push(MethodResult {
+            method: s.method.clone(),
+            dataset: ds.name.clone(),
+            code_bits: BUDGET,
+            recall: 0.0,
+            map: s.map,
+            query_secs: s.query_secs,
+            train_secs: s.encode_secs,
+            params: format!("storage_overhead={:.3}", s.storage_overhead),
+        });
+    }
+    print_table(
+        &["Method", "Min storage overhead", "Min encoding overhead", "Query speedup",
+          "Recall/Accuracy gain"],
+        &rows,
+    );
+    println!(
+        "\n(reference OPQ: encode {:.2}s, query {:.1}ms, MAP {:.4})",
+        opq_encode,
+        opq_query * 1e3,
+        opq_map
+    );
+    let vaq_row = rows.last().unwrap();
+    let four_checks = vaq_row.iter().skip(1).all(|c| c.starts_with('✓'));
+    println!(
+        "Shape check: VAQ matches all four specifications: {}",
+        if four_checks { "yes (paper Table I)" } else { "NO" }
+    );
+    write_json(&args.out_dir, "tab01_specs.json", &results);
+}

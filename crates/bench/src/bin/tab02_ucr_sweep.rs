@@ -1,0 +1,155 @@
+//! **Table II** — average Recall@5/@10 and MAP@5/@10 over the 128
+//! medium-scale datasets for Bolt, PQ, OPQ, and VAQ at budgets
+//! (64 bits, 16 segments) and (128 bits, 32 segments) (§V-D).
+//!
+//! Also emits the per-dataset Recall@5 table consumed by
+//! `fig10_critical_difference` and runs the paper's pairwise Wilcoxon
+//! tests (99% confidence).
+//!
+//! Paper shape to reproduce: VAQ > OPQ > PQ > Bolt at every budget; the
+//! Wilcoxon test confirms VAQ's edge; VAQ-64 hangs with OPQ-128.
+//!
+//! Run: `cargo run -p vaq-bench --release --bin tab02_ucr_sweep`
+
+use serde::Serialize;
+use vaq_baselines::bolt::{Bolt, BoltConfig};
+use vaq_baselines::opq::{Opq, OpqConfig};
+use vaq_baselines::pq::{Pq, PqConfig};
+use vaq_baselines::AnnIndex;
+use vaq_bench::{print_table, write_json, ExpArgs};
+use vaq_core::{Vaq, VaqConfig};
+use vaq_dataset::{exact_knn, ucr_like_archive};
+use vaq_metrics::{map_at_k, recall_at_k, wilcoxon_signed_rank};
+
+/// Per-(method, budget) scores across the archive, used by Figure 10.
+#[derive(Serialize)]
+pub struct ArchiveScores {
+    pub methods: Vec<String>,
+    /// `recall5[method][dataset]`
+    pub recall5: Vec<Vec<f64>>,
+    pub datasets: Vec<String>,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n_train = args.size(150);
+    let n_test = args.queries(20);
+    let k = 10;
+    println!(
+        "Table II: 128 medium-scale datasets (train = {n_train}, queries = {n_test} each)\n"
+    );
+
+    let archive = ucr_like_archive(n_train, n_test, args.seed);
+    let configs = [(64usize, 16usize), (128, 32)];
+    // methods × configs scores per dataset.
+    let method_names: Vec<String> = configs
+        .iter()
+        .flat_map(|&(b, _)| {
+            ["Bolt", "PQ", "OPQ", "VAQ"].iter().map(move |m| format!("{m}-{b}"))
+        })
+        .collect();
+    let mut recall5: Vec<Vec<f64>> = vec![Vec::new(); method_names.len()];
+    let mut recall10: Vec<Vec<f64>> = vec![Vec::new(); method_names.len()];
+    let mut map5: Vec<Vec<f64>> = vec![Vec::new(); method_names.len()];
+    let mut map10: Vec<Vec<f64>> = vec![Vec::new(); method_names.len()];
+    let mut dataset_names = Vec::new();
+
+    for (di, ds) in archive.iter().enumerate() {
+        dataset_names.push(ds.name.clone());
+        let truth = exact_knn(&ds.data, &ds.queries, k);
+        let mut mi = 0;
+        for &(budget, m) in &configs {
+            let m = m.min(ds.dim() / 2).max(2);
+            let m_even = m - (m % 2);
+            let searches: Vec<Box<dyn Fn(&[f32]) -> Vec<u32>>> = {
+                let bolt = Bolt::train(&ds.data, &BoltConfig::new(m_even)).unwrap();
+                let pq =
+                    Pq::train(&ds.data, &PqConfig::new(m).with_bits((budget / m).clamp(1, 12)))
+                        .unwrap();
+                let opq = Opq::train(
+                    &ds.data,
+                    &OpqConfig::new(m).with_bits((budget / m).clamp(1, 12)),
+                )
+                .unwrap();
+                let vaq = Vaq::train(
+                    &ds.data,
+                    &VaqConfig::new(budget.min(m * 13), m)
+                        .with_seed(args.seed)
+                        .with_ti_clusters(0),
+                )
+                .unwrap();
+                vec![
+                    Box::new(move |q: &[f32]| {
+                        bolt.search(q, k).iter().map(|x| x.index).collect()
+                    }),
+                    Box::new(move |q: &[f32]| pq.search(q, k).iter().map(|x| x.index).collect()),
+                    Box::new(move |q: &[f32]| {
+                        opq.search(q, k).iter().map(|x| x.index).collect()
+                    }),
+                    Box::new(move |q: &[f32]| {
+                        vaq.search_with(q, k, vaq_core::SearchStrategy::FullScan)
+                            .0
+                            .iter()
+                            .map(|x| x.index)
+                            .collect()
+                    }),
+                ]
+            };
+            for search in &searches {
+                let retrieved: Vec<Vec<u32>> =
+                    (0..ds.queries.rows()).map(|q| search(ds.queries.row(q))).collect();
+                recall5[mi].push(recall_at_k(&retrieved, &truth, 5));
+                recall10[mi].push(recall_at_k(&retrieved, &truth, 10));
+                map5[mi].push(map_at_k(&retrieved, &truth, 5));
+                map10[mi].push(map_at_k(&retrieved, &truth, 10));
+                mi += 1;
+            }
+        }
+        if (di + 1) % 32 == 0 {
+            println!("  ... {} / {} datasets done", di + 1, archive.len());
+        }
+    }
+
+    // Averages table (the paper's Table II).
+    println!();
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let mut rows = Vec::new();
+    for (mi, name) in method_names.iter().enumerate() {
+        let (budget, _) = if mi < 4 { configs[0] } else { configs[1] };
+        let seg = if mi < 4 { configs[0].1 } else { configs[1].1 };
+        rows.push(vec![
+            format!("{budget}, {seg}"),
+            name.split('-').next().unwrap().to_string(),
+            format!("{:.5}", avg(&recall5[mi])),
+            format!("{:.5}", avg(&recall10[mi])),
+            format!("{:.5}", avg(&map5[mi])),
+            format!("{:.5}", avg(&map10[mi])),
+        ]);
+    }
+    print_table(&["Budget, Seg", "Method", "Rec@5", "Rec@10", "MAP@5", "MAP@10"], &rows);
+
+    // Pairwise Wilcoxon tests at 99% confidence (paper protocol).
+    println!("\nWilcoxon signed-rank (Recall@5, 99% confidence):");
+    let pairs = [("VAQ-64", "OPQ-64"), ("VAQ-128", "OPQ-128"), ("VAQ-64", "OPQ-128"),
+                 ("VAQ-64", "PQ-128"), ("OPQ-128", "PQ-128")];
+    for (a, b) in pairs {
+        let ia = method_names.iter().position(|m| m == a).unwrap();
+        let ib = method_names.iter().position(|m| m == b).unwrap();
+        let w = wilcoxon_signed_rank(&recall5[ia], &recall5[ib]);
+        println!(
+            "  {a} vs {b}: wins {}–{}, z = {:+.2}, p = {:.2e} → {}",
+            w.wins_a,
+            w.wins_b,
+            w.z,
+            w.p_value,
+            if w.p_value < 0.01 {
+                if w.z > 0.0 { "A significantly better" } else { "B significantly better" }
+            } else {
+                "no significant difference"
+            }
+        );
+    }
+
+    let scores = ArchiveScores { methods: method_names, recall5, datasets: dataset_names };
+    write_json(&args.out_dir, "tab02_ucr_scores.json", &scores);
+}

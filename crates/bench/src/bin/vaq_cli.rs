@@ -1,0 +1,233 @@
+//! `vaq_cli` — build, persist, and query VAQ indexes from the command
+//! line, over the standard vector-file formats (fvecs/bvecs/CSV). This is
+//! the path for running the reproduction on the paper's *real* datasets
+//! when you have them (SIFT1B/DEEP1B downloads, UCR archive exports).
+//!
+//! ```sh
+//! # Train a 128-bit index over 16 subspaces on SIFT learn vectors:
+//! vaq_cli train --data sift_learn.fvecs --budget 128 --segments 16 --out sift.vaq
+//!
+//! # Answer queries, 10 neighbors each:
+//! vaq_cli search --index sift.vaq --queries sift_query.fvecs --k 10
+//!
+//! # Score against ground truth (ivecs) and report Recall/MAP + timing:
+//! vaq_cli eval --index sift.vaq --queries sift_query.fvecs \
+//!              --truth sift_groundtruth.ivecs --k 100
+//! ```
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use vaq_core::{SearchStrategy, Vaq, VaqConfig};
+use vaq_dataset::io::{read_bvecs, read_csv, read_fvecs, read_ivecs};
+use vaq_linalg::Matrix;
+use vaq_metrics::{map_at_k, recall_at_k};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&opts),
+        "search" => cmd_search(&opts),
+        "eval" => cmd_eval(&opts),
+        "info" => cmd_info(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "vaq_cli — Variance-Aware Quantization indexes on vector files
+
+USAGE:
+  vaq_cli train  --data FILE --out INDEX [--budget 128] [--segments 16]
+                 [--limit N] [--ti-clusters 1000] [--seed 7] [--clustered]
+  vaq_cli search --index INDEX --queries FILE [--k 10] [--visit 0.25] [--limit N]
+  vaq_cli eval   --index INDEX --queries FILE --truth FILE.ivecs [--k 100]
+                 [--visit 0.25] [--limit N]
+  vaq_cli info   --index INDEX
+
+Vector FILEs may be .fvecs, .bvecs, or .csv (one vector per line).";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{a}`"));
+        };
+        // Boolean flags.
+        if key == "clustered" {
+            opts.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        opts.insert(key.to_string(), val.clone());
+    }
+    Ok(opts)
+}
+
+fn get<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing required --{key}"))
+}
+
+fn get_or<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+    }
+}
+
+/// Loads vectors from fvecs/bvecs/csv, dispatching on extension.
+fn load_vectors(path: &Path, limit: Option<usize>) -> Result<Matrix, String> {
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let loaded = match ext {
+        "fvecs" => read_fvecs(path, limit),
+        "bvecs" => read_bvecs(path, limit),
+        "csv" | "tsv" | "txt" => read_csv(path, false).map(|(m, _)| {
+            match limit {
+                Some(l) if l < m.rows() => m.select_rows(&(0..l).collect::<Vec<_>>()),
+                _ => m,
+            }
+        }),
+        other => return Err(format!("unsupported vector format `.{other}`")),
+    };
+    loaded.map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_train(opts: &Opts) -> Result<(), String> {
+    let data_path = PathBuf::from(get(opts, "data")?);
+    let out = PathBuf::from(get(opts, "out")?);
+    let budget: usize = get_or(opts, "budget", 128)?;
+    let segments: usize = get_or(opts, "segments", 16)?;
+    let limit: usize = get_or(opts, "limit", 0)?;
+    let ti_clusters: usize = get_or(opts, "ti-clusters", 1000)?;
+    let seed: u64 = get_or(opts, "seed", 7)?;
+
+    let data = load_vectors(&data_path, if limit > 0 { Some(limit) } else { None })?;
+    println!("loaded {} vectors × {} dims from {}", data.rows(), data.cols(), data_path.display());
+
+    let mut cfg = VaqConfig::new(budget, segments)
+        .with_seed(seed)
+        .with_ti_clusters(ti_clusters.min(data.rows()));
+    if opts.contains_key("clustered") {
+        cfg = cfg.clustered();
+    }
+    let t0 = std::time::Instant::now();
+    let vaq = Vaq::train(&data, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "trained in {:.1}s — bit allocation {:?}",
+        t0.elapsed().as_secs_f64(),
+        vaq.bits()
+    );
+    vaq.save(&out).map_err(|e| e.to_string())?;
+    let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!("index written to {} ({:.1} MiB)", out.display(), size as f64 / (1 << 20) as f64);
+    Ok(())
+}
+
+fn load_index(opts: &Opts) -> Result<Vaq, String> {
+    let path = PathBuf::from(get(opts, "index")?);
+    Vaq::load(&path).map_err(|e| e.to_string())
+}
+
+fn cmd_search(opts: &Opts) -> Result<(), String> {
+    let vaq = load_index(opts)?;
+    let queries_path = PathBuf::from(get(opts, "queries")?);
+    let k: usize = get_or(opts, "k", 10)?;
+    let visit: f64 = get_or(opts, "visit", 0.25)?;
+    let limit: usize = get_or(opts, "limit", 0)?;
+    let queries = load_vectors(&queries_path, if limit > 0 { Some(limit) } else { None })?;
+
+    let t0 = std::time::Instant::now();
+    for q in 0..queries.rows() {
+        let hits = vaq
+            .search_with(queries.row(q), k, SearchStrategy::TiEa { visit_frac: visit })
+            .0;
+        let ids: Vec<String> =
+            hits.iter().map(|h| format!("{}:{:.4}", h.index, h.distance)).collect();
+        println!("query {q}: {}", ids.join(" "));
+    }
+    eprintln!(
+        "{} queries in {:.1} ms",
+        queries.rows(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_eval(opts: &Opts) -> Result<(), String> {
+    let vaq = load_index(opts)?;
+    let queries_path = PathBuf::from(get(opts, "queries")?);
+    let truth_path = PathBuf::from(get(opts, "truth")?);
+    let k: usize = get_or(opts, "k", 100)?;
+    let visit: f64 = get_or(opts, "visit", 0.25)?;
+    let limit: usize = get_or(opts, "limit", 0)?;
+    let queries = load_vectors(&queries_path, if limit > 0 { Some(limit) } else { None })?;
+    let truth = read_ivecs(&truth_path, Some(queries.rows()))
+        .map_err(|e| format!("{}: {e}", truth_path.display()))?;
+    if truth.len() < queries.rows() {
+        return Err(format!(
+            "ground truth has {} rows for {} queries",
+            truth.len(),
+            queries.rows()
+        ));
+    }
+
+    let t0 = std::time::Instant::now();
+    let retrieved: Vec<Vec<u32>> = (0..queries.rows())
+        .map(|q| {
+            vaq.search_with(queries.row(q), k, SearchStrategy::TiEa { visit_frac: visit })
+                .0
+                .iter()
+                .map(|h| h.index)
+                .collect()
+        })
+        .collect();
+    let secs = t0.elapsed().as_secs_f64();
+    println!("recall@{k} = {:.4}", recall_at_k(&retrieved, &truth[..queries.rows()], k));
+    println!("MAP@{k}    = {:.4}", map_at_k(&retrieved, &truth[..queries.rows()], k));
+    println!(
+        "query time = {:.2} ms total, {:.3} ms/query",
+        secs * 1e3,
+        secs * 1e3 / queries.rows() as f64
+    );
+    Ok(())
+}
+
+fn cmd_info(opts: &Opts) -> Result<(), String> {
+    let vaq = load_index(opts)?;
+    println!("vectors:        {}", vaq.len());
+    println!("code bits:      {} ({} bytes/vector)", vaq.code_bits(), vaq.code_bits().div_ceil(8));
+    println!("subspaces:      {}", vaq.bits().len());
+    println!("bit allocation: {:?}", vaq.bits());
+    let shares: Vec<String> =
+        vaq.layout().variance_share.iter().map(|v| format!("{:.3}", v)).collect();
+    println!("variance share: [{}]", shares.join(", "));
+    match vaq.ti() {
+        Some(ti) => println!(
+            "TI partition:   {} clusters over the first {} subspaces",
+            ti.num_clusters(),
+            ti.prefix_subspaces()
+        ),
+        None => println!("TI partition:   none (EA-only queries)"),
+    }
+    Ok(())
+}

@@ -1,0 +1,211 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the VAQ
+//! paper (see DESIGN.md §5 for the index). They share:
+//!
+//! * [`ExpArgs`] — a tiny CLI parser (`--scale`, `--seed`, `--quick`,
+//!   `--out`); `--scale` multiplies dataset sizes toward the paper's
+//!   scales, `--quick` shrinks everything for smoke tests.
+//! * [`MethodResult`] — the serialized record each experiment emits, one
+//!   per (method, dataset) cell, written as JSON under `results/`.
+//! * [`evaluate`] / [`evaluate_with_truth`] — run a search closure over a
+//!   query workload, timing it and scoring Recall/MAP against exact ground
+//!   truth.
+//! * [`print_table`] — aligned terminal output matching the rows the paper
+//!   reports.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use vaq_dataset::Dataset;
+use vaq_linalg::Matrix;
+use vaq_metrics::{map_at_k, recall_at_k};
+
+/// Common experiment arguments parsed from `std::env::args`.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Multiplier on dataset sizes (1.0 = the defaults documented in
+    /// DESIGN.md §4; larger values approach the paper's scales).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Shrinks the experiment for CI smoke tests.
+    pub quick: bool,
+    /// Output directory for JSON results.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs { scale: 1.0, seed: 7, quick: false, out_dir: PathBuf::from("results") }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `--scale F`, `--seed N`, `--quick`, `--out DIR`.
+    pub fn parse() -> Self {
+        let mut args = ExpArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    args.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a float");
+                }
+                "--seed" => {
+                    args.seed =
+                        it.next().and_then(|v| v.parse().ok()).expect("--seed needs an int");
+                }
+                "--quick" => args.quick = true,
+                "--out" => {
+                    args.out_dir =
+                        PathBuf::from(it.next().expect("--out needs a directory"));
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        args
+    }
+
+    /// Applies scale/quick to a base size.
+    pub fn size(&self, base: usize) -> usize {
+        let s = if self.quick { 0.1 } else { self.scale };
+        ((base as f64 * s).round() as usize).max(32)
+    }
+
+    /// Applies scale/quick to a query-count base (floor of 10).
+    pub fn queries(&self, base: usize) -> usize {
+        let s = if self.quick { 0.2 } else { self.scale.min(4.0) };
+        ((base as f64 * s).round() as usize).max(10)
+    }
+}
+
+/// One (method, dataset) measurement — the cell unit of every table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Method label (e.g. `"VAQ"`, `"OPQ-128"`).
+    pub method: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Bit budget actually used per vector.
+    pub code_bits: usize,
+    /// Recall at the workload's `k`.
+    pub recall: f64,
+    /// MAP at the workload's `k`.
+    pub map: f64,
+    /// Total query-phase seconds over the workload.
+    pub query_secs: f64,
+    /// Training/encoding seconds (0 when not measured).
+    pub train_secs: f64,
+    /// Free-form parameter description (e.g. `"visit=0.25"`).
+    pub params: String,
+}
+
+/// Times a search closure over every query row and scores it.
+///
+/// `search` maps a query slice to ranked neighbor indices.
+pub fn evaluate_with_truth(
+    mut search: impl FnMut(&[f32]) -> Vec<u32>,
+    queries: &Matrix,
+    truth: &[Vec<u32>],
+    k: usize,
+) -> (f64, f64, f64) {
+    let t0 = Instant::now();
+    let retrieved: Vec<Vec<u32>> = (0..queries.rows()).map(|q| search(queries.row(q))).collect();
+    let secs = t0.elapsed().as_secs_f64();
+    let recall = recall_at_k(&retrieved, truth, k);
+    let map = map_at_k(&retrieved, truth, k);
+    (recall, map, secs)
+}
+
+/// Computes ground truth then evaluates (convenience for one-off runs).
+pub fn evaluate(
+    search: impl FnMut(&[f32]) -> Vec<u32>,
+    ds: &Dataset,
+    k: usize,
+) -> (f64, f64, f64) {
+    let truth = vaq_dataset::exact_knn(&ds.data, &ds.queries, k);
+    evaluate_with_truth(search, &ds.queries, &truth, k)
+}
+
+/// Prints an aligned table: `headers` then `rows` of equal arity.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (c, cell) in cells.iter().enumerate().take(cols) {
+            out.push_str(&format!("{:<w$}  ", cell, w = widths[c]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Writes results as pretty JSON under the output directory.
+pub fn write_json<T: Serialize>(out_dir: &Path, name: &str, value: &T) {
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    let path = out_dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    f.write_all(json.as_bytes()).expect("write results");
+    println!("\n[results written to {}]", path.display());
+}
+
+/// Formats seconds with sensible precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.2}s", s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_scaling() {
+        let a = ExpArgs { scale: 2.0, ..ExpArgs::default() };
+        assert_eq!(a.size(100), 200);
+        let q = ExpArgs { quick: true, ..ExpArgs::default() };
+        assert_eq!(q.size(1000), 100);
+        assert_eq!(q.size(10), 32, "floor respected");
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert!(fmt_secs(0.0000005).ends_with("µs"));
+        assert!(fmt_secs(0.05).ends_with("ms"));
+        assert!(fmt_secs(2.0).ends_with('s'));
+    }
+
+    #[test]
+    fn evaluate_scores_perfect_searcher() {
+        let ds = vaq_dataset::SyntheticSpec::deep_like().generate(100, 5, 1);
+        let data = ds.data.clone();
+        let (recall, map, secs) = evaluate(
+            move |q| vaq_dataset::ground_truth::exact_knn_single(&data, q, 10),
+            &ds,
+            10,
+        );
+        assert_eq!(recall, 1.0);
+        assert_eq!(map, 1.0);
+        assert!(secs >= 0.0);
+    }
+}

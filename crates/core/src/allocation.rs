@@ -1,0 +1,626 @@
+//! Adaptive bit allocation (paper §III-C, Algorithm 2).
+//!
+//! Given the variance share `w_i` of each (importance-ordered) subspace and
+//! a total budget `B`, find integer bits `y_i` maximizing `Σ w_i·y_i`
+//! subject to the four constraints the paper lists:
+//!
+//! * **C1 (coverage)** — every subspace participates: `y_i ≥ MinBits ≥ 1`,
+//!   so all target variance is explained rather than collapsing onto the
+//!   top subspace (extreme dimensionality reduction).
+//! * **C2 (bounds)** — `MinBits ≤ y_i ≤ MaxBits`.
+//! * **C3 (budget)** — `Σ y_i = B`, exactly.
+//! * **C4 (proportionality)** — the budget is "allocated proportionally to
+//!   the contribution of each subspace in explaining the overall
+//!   variance".
+//!
+//! The key modeling choice (the paper leaves the constraint matrix to its
+//! code release) is that the *variance a dictionary explains saturates*:
+//! doubling a dictionary shrinks the residual it leaves, so the marginal
+//! value of bit `j` decays geometrically. We express this concave utility
+//! in exact MILP form by decomposing `y_i` into unit bit variables with
+//! geometrically decreasing objective weights (`w_i · γ^{j−1}`, γ = ½) and
+//! chain constraints — the classical reverse-water-filling shape, where a
+//! subspace's allocation tracks the *log* of its variance share. A naive
+//! linear objective `Σ w_i y_i` would instead slam the top subspaces to
+//! `MaxBits` and starve the tail, which measurably destroys recall.
+//!
+//! The program is solved exactly with the workspace's branch-and-bound MILP
+//! solver ([`vaq_milp`]); the paper notes this takes "a fraction of a
+//! second", which holds here too (the LP relaxation is nearly integral).
+
+use crate::VaqError;
+use vaq_milp::{solve_milp, Cmp, Model, Objective};
+
+/// How to allocate bits to subspaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationStrategy {
+    /// The paper's MILP-based adaptive allocation.
+    Adaptive,
+    /// Uniform `B/m` bits per subspace (the PQ/OPQ baseline behaviour,
+    /// used in the Figure 9 ablation).
+    Uniform,
+}
+
+/// Allocates `budget` bits over subspaces with variance shares `w`
+/// (descending), each receiving between `min_bits` and `max_bits`.
+///
+/// Returns the per-subspace bit counts (aligned with `w`).
+pub fn allocate_bits(
+    w: &[f64],
+    budget: usize,
+    min_bits: usize,
+    max_bits: usize,
+    strategy: AllocationStrategy,
+) -> Result<Vec<usize>, VaqError> {
+    let m = w.len();
+    if m == 0 {
+        return Err(VaqError::BadConfig("no subspaces to allocate".into()));
+    }
+    if min_bits == 0 || min_bits > max_bits || max_bits > 16 {
+        return Err(VaqError::BadConfig(format!(
+            "bit bounds {min_bits}..={max_bits} invalid (need 1 ≤ min ≤ max ≤ 16)"
+        )));
+    }
+    if budget < m * min_bits || budget > m * max_bits {
+        return Err(VaqError::InfeasibleBudget { budget, subspaces: m, min_bits, max_bits });
+    }
+    match strategy {
+        AllocationStrategy::Uniform => Ok(uniform_allocation(m, budget, min_bits, max_bits)),
+        AllocationStrategy::Adaptive => adaptive_allocation(w, budget, min_bits, max_bits),
+    }
+}
+
+/// `B/m` per subspace, remainder to the most important (earliest) ones,
+/// clamped into bounds.
+fn uniform_allocation(m: usize, budget: usize, min_bits: usize, max_bits: usize) -> Vec<usize> {
+    let base = (budget / m).clamp(min_bits, max_bits);
+    let mut out = vec![base; m];
+    let mut assigned: usize = base * m;
+    // Distribute remainder forward, respecting max_bits.
+    let mut i = 0;
+    while assigned < budget {
+        if out[i] < max_bits {
+            out[i] += 1;
+            assigned += 1;
+        }
+        i = (i + 1) % m;
+    }
+    // Pull back overshoot from the tail, respecting min_bits.
+    let mut j = m;
+    while assigned > budget {
+        j = if j == 0 { m - 1 } else { j - 1 };
+        if out[j] > min_bits {
+            out[j] -= 1;
+            assigned -= 1;
+        }
+    }
+    out
+}
+
+/// Per-bit diminishing-returns factor: the `j`-th bit granted to a
+/// subspace captures `γ^{j-1}` as much new variance as the first. `γ =
+/// 1/2` is the classical high-resolution quantization shape (each extra
+/// index bit roughly halves the residual a dictionary leaves).
+const GAMMA: f64 = 0.5;
+
+/// The marginal utility of granting bit number `j` (1-based) to a
+/// subspace with variance share `w`.
+#[inline]
+fn marginal_gain(w: f64, j: usize) -> f64 {
+    w * GAMMA.powi(j as i32 - 1)
+}
+
+fn adaptive_allocation(
+    w: &[f64],
+    budget: usize,
+    min_bits: usize,
+    max_bits: usize,
+) -> Result<Vec<usize>, VaqError> {
+    let m = w.len();
+    let total_w: f64 = w.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
+    let shares: Vec<f64> = w.iter().map(|v| v.abs() / total_w).collect();
+
+    // The paper's objective — maximize the variance explained *across* all
+    // subspaces (P1) and *per* subspace (P2) — is concave in the bits: the
+    // variance a dictionary of 2^b items captures saturates as b grows.
+    // We express that exactly in MILP form by decomposing each y_i into
+    // unit "bit" variables z_{i,j} ∈ {0,1} with geometrically decreasing
+    // objective weights (piecewise-linear concave utility). C1 (coverage)
+    // and C2 (bounds) pin the first `min_bits` z's to 1 and provide only
+    // `max_bits − min_bits` optional ones; C3 is the single budget row;
+    // C4 (proportionality) is enforced by the chain z_{i,j} ≥ z_{i,j+1},
+    // which with the decreasing weights makes the optimum track the
+    // classical reverse-water-filling allocation — bits proportional to
+    // log variance share.
+    let mut model = Model::new(Objective::Maximize);
+    let extra = max_bits - min_bits;
+    // z[i][j] = whether subspace i receives its (min_bits + j + 1)-th bit.
+    let mut z = vec![Vec::with_capacity(extra); m];
+    for (i, &share) in shares.iter().enumerate() {
+        for j in 0..extra {
+            let gain = marginal_gain(share.max(1e-12), min_bits + j + 1);
+            z[i].push(model.add_int_var(0.0, 1.0, gain));
+        }
+    }
+    // C3: exact budget over the optional bits.
+    let remaining = budget - m * min_bits;
+    model.add_constraint(
+        z.iter().flatten().map(|&v| (v, 1.0)).collect(),
+        Cmp::Eq,
+        remaining as f64,
+    );
+    // C4 chain: a subspace's (j+1)-th optional bit requires its j-th.
+    for zi in &z {
+        for j in 1..zi.len() {
+            model.add_constraint(vec![(zi[j - 1], 1.0), (zi[j], -1.0)], Cmp::Ge, 0.0);
+        }
+    }
+
+    let sol = solve_milp(&model).map_err(|e| VaqError::Numeric(e.to_string()))?;
+    let bits: Vec<usize> = z
+        .iter()
+        .map(|zi| min_bits + zi.iter().map(|&v| sol.values[v].round() as usize).sum::<usize>())
+        .collect();
+    debug_assert_eq!(bits.iter().sum::<usize>(), budget);
+    Ok(bits)
+}
+
+/// An extra requirement imposed on the bit allocation.
+///
+/// The paper motivates the MILP formulation precisely by this kind of
+/// extensibility (§III-C): "new constraints can impose restrictions to
+/// used subspaces and bit allocations in order to meet specific runtime
+/// and storage service agreements", and external models may supply
+/// importance weights ("the integration of the new weights becomes
+/// trivial"). Each variant adds rows or reweights the objective of the
+/// same program — no new solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocationConstraint {
+    /// Force subspace `subspace` to exactly `bits` bits.
+    Pin {
+        /// Subspace index.
+        subspace: usize,
+        /// Exact bit count.
+        bits: usize,
+    },
+    /// Cap subspace `subspace` at `bits` bits (e.g. keep its dictionary in
+    /// a cache level).
+    CapSubspace {
+        /// Subspace index.
+        subspace: usize,
+        /// Maximum bit count.
+        bits: usize,
+    },
+    /// Cap the *total* number of dictionary items `Σ 2^{y_i}` — a storage
+    /// / encoding-time service agreement. Exactly linear under the unit-bit
+    /// decomposition: the `j`-th extra bit of a subspace adds
+    /// `2^{min+j-1}` items, telescoping to `2^{y_i}` with the chain
+    /// constraints.
+    MaxTotalDictionaryItems {
+        /// Upper bound on the summed dictionary sizes.
+        items: usize,
+    },
+    /// Multiply the variance shares by external weights (e.g. supervision
+    /// or query-workload statistics) before optimizing.
+    WeightOverride {
+        /// One multiplier per subspace.
+        weights: Vec<f64>,
+    },
+}
+
+/// [`allocate_bits`] with additional [`AllocationConstraint`]s — the
+/// "query optimizer" entry point. Only the adaptive (MILP) strategy
+/// supports extra constraints.
+pub fn allocate_bits_constrained(
+    w: &[f64],
+    budget: usize,
+    min_bits: usize,
+    max_bits: usize,
+    constraints: &[AllocationConstraint],
+) -> Result<Vec<usize>, VaqError> {
+    let m = w.len();
+    if m == 0 {
+        return Err(VaqError::BadConfig("no subspaces to allocate".into()));
+    }
+    if min_bits == 0 || min_bits > max_bits || max_bits > 16 {
+        return Err(VaqError::BadConfig(format!(
+            "bit bounds {min_bits}..={max_bits} invalid (need 1 ≤ min ≤ max ≤ 16)"
+        )));
+    }
+    if budget < m * min_bits || budget > m * max_bits {
+        return Err(VaqError::InfeasibleBudget { budget, subspaces: m, min_bits, max_bits });
+    }
+    // Apply weight overrides up front.
+    let mut shares: Vec<f64> = {
+        let total: f64 = w.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
+        w.iter().map(|v| v.abs() / total).collect()
+    };
+    for c in constraints {
+        if let AllocationConstraint::WeightOverride { weights } = c {
+            if weights.len() != m {
+                return Err(VaqError::BadConfig(format!(
+                    "weight override has {} entries for {m} subspaces",
+                    weights.len()
+                )));
+            }
+            for (s, &wt) in shares.iter_mut().zip(weights.iter()) {
+                *s *= wt.max(0.0);
+            }
+        }
+    }
+
+    let mut model = Model::new(Objective::Maximize);
+    let extra = max_bits - min_bits;
+    let mut z = vec![Vec::with_capacity(extra); m];
+    for (i, &share) in shares.iter().enumerate() {
+        for j in 0..extra {
+            let gain = marginal_gain(share.max(1e-12), min_bits + j + 1);
+            z[i].push(model.add_int_var(0.0, 1.0, gain));
+        }
+    }
+    let remaining = budget - m * min_bits;
+    model.add_constraint(
+        z.iter().flatten().map(|&v| (v, 1.0)).collect(),
+        Cmp::Eq,
+        remaining as f64,
+    );
+    for zi in &z {
+        for j in 1..zi.len() {
+            model.add_constraint(vec![(zi[j - 1], 1.0), (zi[j], -1.0)], Cmp::Ge, 0.0);
+        }
+    }
+
+    for c in constraints {
+        match c {
+            AllocationConstraint::Pin { subspace, bits } => {
+                let s = check_subspace(*subspace, m)?;
+                if *bits < min_bits || *bits > max_bits {
+                    return Err(VaqError::BadConfig(format!(
+                        "pin of {bits} bits outside {min_bits}..={max_bits}"
+                    )));
+                }
+                // Exactly bits − min_bits optional bits taken.
+                model.add_constraint(
+                    z[s].iter().map(|&v| (v, 1.0)).collect(),
+                    Cmp::Eq,
+                    (*bits - min_bits) as f64,
+                );
+            }
+            AllocationConstraint::CapSubspace { subspace, bits } => {
+                let s = check_subspace(*subspace, m)?;
+                model.add_constraint(
+                    z[s].iter().map(|&v| (v, 1.0)).collect(),
+                    Cmp::Le,
+                    bits.saturating_sub(min_bits) as f64,
+                );
+            }
+            AllocationConstraint::MaxTotalDictionaryItems { items } => {
+                // Under the chain constraints the (j+1)-th optional bit
+                // doubles a dictionary from 2^{min+j} to 2^{min+j+1},
+                // adding exactly 2^{min+j} items — so the total dictionary
+                // size Σ 2^{y_i} telescopes into one linear row:
+                // m·2^{min} + Σ_{i,j} 2^{min+j}·z_{i,j} ≤ items.
+                let base = m as f64 * (1u64 << min_bits) as f64;
+                let mut rows: Vec<(usize, f64)> = Vec::new();
+                for zi in &z {
+                    for (j, &v) in zi.iter().enumerate() {
+                        rows.push((v, (1u64 << (min_bits + j)) as f64));
+                    }
+                }
+                model.add_constraint(rows, Cmp::Le, (*items as f64 - base).max(0.0));
+            }
+            AllocationConstraint::WeightOverride { .. } => {} // handled above
+        }
+    }
+
+    let sol = solve_milp(&model).map_err(|e| match e {
+        vaq_milp::SolveError::Infeasible => VaqError::BadConfig(
+            "allocation constraints are jointly infeasible with the budget".into(),
+        ),
+        other => VaqError::Numeric(other.to_string()),
+    })?;
+    let bits: Vec<usize> = z
+        .iter()
+        .map(|zi| min_bits + zi.iter().map(|&v| sol.values[v].round() as usize).sum::<usize>())
+        .collect();
+    Ok(bits)
+}
+
+fn check_subspace(s: usize, m: usize) -> Result<usize, VaqError> {
+    if s >= m {
+        return Err(VaqError::BadConfig(format!("constraint references subspace {s} of {m}")));
+    }
+    Ok(s)
+}
+
+/// Greedy marginal-gain allocation — provably optimal for this concave
+/// utility under a single budget constraint, used as a test oracle for
+/// the MILP and as a fast path when no extra constraints are present.
+pub fn greedy_allocation(
+    w: &[f64],
+    budget: usize,
+    min_bits: usize,
+    max_bits: usize,
+) -> Vec<usize> {
+    let m = w.len();
+    let total_w: f64 = w.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
+    let shares: Vec<f64> = w.iter().map(|v| v.abs() / total_w).collect();
+    let mut bits = vec![min_bits; m];
+    let mut remaining = budget - m * min_bits;
+    while remaining > 0 {
+        // Best next bit by marginal gain; ties go to the earlier subspace.
+        let mut best = None;
+        let mut best_gain = f64::NEG_INFINITY;
+        for i in 0..m {
+            if bits[i] < max_bits {
+                let g = marginal_gain(shares[i].max(1e-12), bits[i] + 1);
+                if g > best_gain {
+                    best_gain = g;
+                    best = Some(i);
+                }
+            }
+        }
+        let i = best.expect("budget ≤ m·max_bits was validated");
+        bits[i] += 1;
+        remaining -= 1;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steep(m: usize) -> Vec<f64> {
+        let raw: Vec<f64> = (0..m).map(|i| (0.5f64).powi(i as i32)).collect();
+        let t: f64 = raw.iter().sum();
+        raw.into_iter().map(|v| v / t).collect()
+    }
+
+    fn flat(m: usize) -> Vec<f64> {
+        vec![1.0 / m as f64; m]
+    }
+
+    #[test]
+    fn respects_budget_and_bounds() {
+        for &(m, budget) in &[(8usize, 64usize), (16, 128), (32, 256), (4, 20)] {
+            let bits = allocate_bits(&steep(m), budget, 1, 13, AllocationStrategy::Adaptive)
+                .unwrap();
+            assert_eq!(bits.iter().sum::<usize>(), budget, "m={m} B={budget}");
+            assert!(bits.iter().all(|&b| (1..=13).contains(&b)), "{bits:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_shares_get_skewed_bits() {
+        let bits = allocate_bits(&steep(8), 40, 1, 13, AllocationStrategy::Adaptive).unwrap();
+        assert!(
+            bits[0] > bits[7],
+            "most important subspace must get more bits: {bits:?}"
+        );
+        // Monotone non-increasing (C4 ordering).
+        for w in bits.windows(2) {
+            assert!(w[0] >= w[1], "{bits:?}");
+        }
+    }
+
+    #[test]
+    fn flat_shares_get_near_uniform_bits() {
+        let bits = allocate_bits(&flat(8), 64, 1, 13, AllocationStrategy::Adaptive).unwrap();
+        let min = bits.iter().min().unwrap();
+        let max = bits.iter().max().unwrap();
+        assert!(max - min <= 2, "flat spectrum should allocate near-uniformly: {bits:?}");
+    }
+
+    #[test]
+    fn proportionality_caps_prevent_hoarding() {
+        // Without C4 the top subspace would take max_bits; with the prefix
+        // caps its allocation tracks its variance share.
+        let mut w = vec![0.30f64];
+        w.extend(vec![0.10; 7]);
+        let bits = allocate_bits(&w, 32, 1, 13, AllocationStrategy::Adaptive).unwrap();
+        // 30% of 32 ≈ 9.6 + slack 4 ⇒ the first subspace is capped well
+        // below max_bits.
+        assert!(bits[0] <= 13);
+        assert!(bits[0] >= 4, "top subspace too starved: {bits:?}");
+        assert!(bits.iter().skip(1).all(|&b| b >= 1));
+        assert_eq!(bits.iter().sum::<usize>(), 32);
+    }
+
+    #[test]
+    fn uniform_strategy_divides_evenly() {
+        let bits = allocate_bits(&steep(8), 64, 1, 13, AllocationStrategy::Uniform).unwrap();
+        assert_eq!(bits, vec![8; 8]);
+    }
+
+    #[test]
+    fn uniform_strategy_handles_remainder() {
+        let bits = allocate_bits(&steep(8), 67, 1, 13, AllocationStrategy::Uniform).unwrap();
+        assert_eq!(bits.iter().sum::<usize>(), 67);
+        assert_eq!(bits[..3], [9, 9, 9]);
+        assert_eq!(bits[3..], [8, 8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn infeasible_budgets_rejected() {
+        assert!(matches!(
+            allocate_bits(&flat(8), 7, 1, 13, AllocationStrategy::Adaptive),
+            Err(VaqError::InfeasibleBudget { .. })
+        ));
+        assert!(matches!(
+            allocate_bits(&flat(8), 200, 1, 13, AllocationStrategy::Adaptive),
+            Err(VaqError::InfeasibleBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_bounds_rejected() {
+        assert!(allocate_bits(&flat(4), 16, 0, 13, AllocationStrategy::Adaptive).is_err());
+        assert!(allocate_bits(&flat(4), 16, 5, 4, AllocationStrategy::Adaptive).is_err());
+        assert!(allocate_bits(&flat(4), 16, 1, 20, AllocationStrategy::Adaptive).is_err());
+        assert!(allocate_bits(&[], 16, 1, 13, AllocationStrategy::Adaptive).is_err());
+    }
+
+    #[test]
+    fn tight_budget_forces_min_bits_everywhere() {
+        let bits = allocate_bits(&steep(8), 8, 1, 13, AllocationStrategy::Adaptive).unwrap();
+        assert_eq!(bits, vec![1; 8]);
+    }
+
+    #[test]
+    fn full_budget_forces_max_bits_everywhere() {
+        let bits = allocate_bits(&steep(4), 52, 1, 13, AllocationStrategy::Adaptive).unwrap();
+        assert_eq!(bits, vec![13; 4]);
+    }
+
+    #[test]
+    fn constrained_pin_is_respected() {
+        let w = steep(8);
+        let bits = allocate_bits_constrained(
+            &w,
+            40,
+            1,
+            13,
+            &[AllocationConstraint::Pin { subspace: 3, bits: 2 }],
+        )
+        .unwrap();
+        assert_eq!(bits[3], 2);
+        assert_eq!(bits.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn constrained_cap_is_respected() {
+        let w = steep(8);
+        let bits = allocate_bits_constrained(
+            &w,
+            40,
+            1,
+            13,
+            &[AllocationConstraint::CapSubspace { subspace: 0, bits: 5 }],
+        )
+        .unwrap();
+        assert!(bits[0] <= 5, "{bits:?}");
+        assert_eq!(bits.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn dictionary_size_sla_binds() {
+        let w = steep(8);
+        // Unconstrained, the top subspace would take many bits (a huge
+        // dictionary). Capping total items must pull allocations down.
+        let unconstrained = allocate_bits_constrained(&w, 40, 1, 13, &[]).unwrap();
+        let items_unconstrained: usize = unconstrained.iter().map(|&b| 1usize << b).sum();
+        let cap = items_unconstrained / 2;
+        let capped = allocate_bits_constrained(
+            &w,
+            40,
+            1,
+            13,
+            &[AllocationConstraint::MaxTotalDictionaryItems { items: cap }],
+        );
+        match capped {
+            Ok(bits) => {
+                let items: usize = bits.iter().map(|&b| 1usize << b).sum();
+                assert!(items <= cap, "SLA violated: {items} > {cap} ({bits:?})");
+                assert_eq!(bits.iter().sum::<usize>(), 40);
+            }
+            // A cap can be jointly infeasible with the exact-budget row;
+            // that must surface as a clean error.
+            Err(VaqError::BadConfig(_)) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn weight_override_shifts_allocation() {
+        let w = flat(8);
+        // Supervision says subspace 7 matters most.
+        let mut weights = vec![1.0; 8];
+        weights[7] = 50.0;
+        let bits = allocate_bits_constrained(
+            &w,
+            32,
+            1,
+            13,
+            &[AllocationConstraint::WeightOverride { weights }],
+        )
+        .unwrap();
+        assert!(
+            bits[7] >= *bits[..7].iter().max().unwrap(),
+            "overridden subspace should lead: {bits:?}"
+        );
+    }
+
+    #[test]
+    fn constrained_rejects_bad_references() {
+        let w = flat(4);
+        assert!(allocate_bits_constrained(
+            &w,
+            16,
+            1,
+            13,
+            &[AllocationConstraint::Pin { subspace: 9, bits: 2 }]
+        )
+        .is_err());
+        assert!(allocate_bits_constrained(
+            &w,
+            16,
+            1,
+            13,
+            &[AllocationConstraint::WeightOverride { weights: vec![1.0; 3] }]
+        )
+        .is_err());
+        assert!(allocate_bits_constrained(
+            &w,
+            16,
+            1,
+            13,
+            &[AllocationConstraint::Pin { subspace: 0, bits: 16 }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unconstrained_constrained_matches_plain_adaptive() {
+        let w = steep(8);
+        let a = allocate_bits(&w, 40, 1, 13, AllocationStrategy::Adaptive).unwrap();
+        let b = allocate_bits_constrained(&w, 40, 1, 13, &[]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn milp_matches_greedy_oracle() {
+        // The greedy marginal-gain allocator is provably optimal for the
+        // concave utility under a single budget row; the MILP must find an
+        // allocation of equal utility (allocations themselves may differ
+        // only between subspaces with identical shares).
+        for (m, budget) in [(8usize, 40usize), (16, 64), (32, 256), (6, 30)] {
+            let w: Vec<f64> = (0..m).map(|i| (0.75f64).powi(i as i32)).collect();
+            let milp = allocate_bits(&w, budget, 1, 13, AllocationStrategy::Adaptive).unwrap();
+            let greedy = greedy_allocation(&w, budget, 1, 13);
+            assert_eq!(milp, greedy, "m={m} budget={budget}");
+        }
+    }
+
+    #[test]
+    fn greedy_respects_bounds_and_budget() {
+        let w = vec![0.9, 0.05, 0.03, 0.02];
+        let bits = greedy_allocation(&w, 20, 1, 13);
+        assert_eq!(bits.iter().sum::<usize>(), 20);
+        assert!(bits.iter().all(|&b| (1..=13).contains(&b)));
+        assert!(bits[0] > bits[3]);
+    }
+
+    #[test]
+    fn paper_configuration_256_bits_32_subspaces() {
+        // The paper's headline config: budget 256, 32 subspaces, 1..=13
+        // bits. Must produce a genuinely variable allocation on skewed
+        // spectra.
+        let bits = allocate_bits(&steep(32), 256, 1, 13, AllocationStrategy::Adaptive).unwrap();
+        assert_eq!(bits.iter().sum::<usize>(), 256);
+        let distinct: std::collections::BTreeSet<usize> = bits.iter().copied().collect();
+        assert!(distinct.len() >= 3, "expected variable sizes, got {bits:?}");
+        assert!(*bits.iter().max().unwrap() > 8, "top subspace should exceed uniform 8: {bits:?}");
+        assert!(*bits.iter().min().unwrap() < 8, "tail should drop below uniform 8: {bits:?}");
+    }
+}

@@ -1,0 +1,105 @@
+//! # Variance-Aware Quantization (VAQ)
+//!
+//! From-scratch Rust implementation of the primary contribution of
+//! *"Fast Adaptive Similarity Search through Variance-Aware Quantization"*
+//! (Paparrizos, Edian, Liu, Elmore, Franklin — ICDE 2022).
+//!
+//! VAQ is a product-quantization-family encoder that, instead of giving
+//! every subspace the same dictionary, **adapts dictionary sizes to the
+//! importance of each subspace** (its share of the data variance) and
+//! accelerates queries with two hardware-oblivious pruning strategies.
+//! The pipeline (paper Algorithms 1–5):
+//!
+//! 1. [`subspaces`] — `VarPCA`: eigendecompose the covariance, use
+//!    normalized eigenvalue energy as per-dimension importance (Eq. 6);
+//!    build subspaces either uniformly or by clustering the variance
+//!    vector (non-uniform), repair the importance ordering, and *partially
+//!    balance* importance by bounded PC swaps (§III-B, §III-C).
+//! 2. [`allocation`] — solve a mixed-integer linear program to allocate the
+//!    bit budget across subspaces proportionally to their importance,
+//!    under constraints C1–C4 (§III-C).
+//! 3. [`encoder`] — build *variable-sized* dictionaries with k-means
+//!    (hierarchical beyond 2^10 items) and encode the database (§III-D).
+//! 4. [`ti`] + [`search`] — partition the encoded data around sampled
+//!    centroids, cache code→centroid distances, sort each partition, and
+//!    at query time combine triangle-inequality data skipping with
+//!    early-abandoned table lookups (§III-E).
+//!
+//! The entry point is [`Vaq::train`] / [`Vaq::search`]:
+//!
+//! ```
+//! use vaq_core::{Vaq, VaqConfig};
+//! use vaq_linalg::Matrix;
+//!
+//! // 64 three-dimensional vectors on a noisy line.
+//! let rows: Vec<Vec<f32>> = (0..64)
+//!     .map(|i| {
+//!         let t = i as f32 / 8.0;
+//!         vec![t, 2.0 * t + 0.01 * (i as f32).sin(), 0.1 * (i % 3) as f32]
+//!     })
+//!     .collect();
+//! let data = Matrix::from_rows(&rows);
+//! let cfg = VaqConfig::new(12, 3); // 12-bit budget, 3 subspaces
+//! let vaq = Vaq::train(&data, &cfg).unwrap();
+//! let hits = vaq.search(data.row(10), 3);
+//! assert_eq!(hits[0].index, 10); // a database vector finds itself
+//! ```
+
+pub mod allocation;
+pub mod encoder;
+pub mod ivf;
+pub mod persist;
+pub mod search;
+pub mod subspaces;
+pub mod ti;
+pub mod vaq;
+
+pub use allocation::{
+    allocate_bits, allocate_bits_constrained, greedy_allocation, AllocationConstraint,
+    AllocationStrategy,
+};
+pub use search::{Neighbor, SearchStrategy};
+pub use subspaces::{SubspaceLayout, SubspaceMode};
+pub use ivf::{VaqIvf, VaqIvfConfig};
+pub use vaq::{Vaq, VaqConfig};
+
+use std::fmt;
+
+/// Errors produced while training or querying VAQ.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VaqError {
+    /// Training data was empty.
+    EmptyData,
+    /// Configuration is internally inconsistent (detail in message).
+    BadConfig(String),
+    /// The bit budget cannot satisfy the per-subspace bounds.
+    InfeasibleBudget {
+        /// Requested total bits.
+        budget: usize,
+        /// Number of subspaces.
+        subspaces: usize,
+        /// Minimum bits per subspace.
+        min_bits: usize,
+        /// Maximum bits per subspace.
+        max_bits: usize,
+    },
+    /// An internal numeric routine failed (propagated message).
+    Numeric(String),
+}
+
+impl fmt::Display for VaqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VaqError::EmptyData => write!(f, "training data is empty"),
+            VaqError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            VaqError::InfeasibleBudget { budget, subspaces, min_bits, max_bits } => write!(
+                f,
+                "budget of {budget} bits cannot be split over {subspaces} subspaces \
+                 with {min_bits}..={max_bits} bits each"
+            ),
+            VaqError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VaqError {}

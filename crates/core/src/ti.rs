@@ -1,0 +1,351 @@
+//! Triangle-inequality partitioning of the encoded data (paper §III-D
+//! "Enabling Data Skipping" and the second half of Algorithm 3).
+//!
+//! After encoding, VAQ clusters the encoded vectors around a set of
+//! randomly sampled encoded vectors (their *reconstructions* over the first
+//! few, most important subspaces serve as centroids), caches each code's
+//! distance to its cluster centroid, and keeps each cluster sorted by that
+//! distance. At query time the triangle inequality
+//! `d(q, x) ≥ |d(q, c) − d(x, c)|` lets whole runs of each sorted cluster
+//! be skipped with two binary searches (the paper's Figure 5 example).
+//!
+//! All distances here are *unsquared* Euclidean (the triangle inequality
+//! needs a true metric) in the prefix space of the first
+//! `prefix_subspaces` subspaces. A prefix of non-negative per-subspace
+//! contributions lower-bounds the full ADC distance, so pruning against the
+//! prefix is safe with respect to the approximate ranking.
+
+use crate::encoder::Encoder;
+use crate::VaqError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vaq_linalg::{euclidean, Matrix};
+
+/// One encoded vector inside a TI cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Member {
+    /// Database row index.
+    pub idx: u32,
+    /// Unsquared prefix-space distance to the cluster centroid.
+    pub dist: f32,
+}
+
+/// The TI partition structure built once at encoding time.
+#[derive(Debug, Clone)]
+pub struct TiPartition {
+    /// Cluster centroids in prefix space (one row per cluster).
+    pub(crate) centroids: Matrix,
+    /// Cluster members, each sorted ascending by `dist`.
+    pub(crate) clusters: Vec<Vec<Member>>,
+    /// Number of subspaces spanned by the prefix.
+    pub(crate) prefix_subspaces: usize,
+    /// Dimensionality of the prefix space.
+    pub(crate) prefix_dim: usize,
+}
+
+impl TiPartition {
+    /// Builds the partition from the encoded database.
+    ///
+    /// `codes` is the row-major `n × m` code array produced by
+    /// [`Encoder::encode_all`]; `num_clusters` centroids are sampled from
+    /// the encoded vectors themselves (paper: "VAQ randomly samples a few
+    /// of them that form the cluster centroids").
+    pub fn build(
+        encoder: &Encoder,
+        codes: &[u16],
+        n: usize,
+        num_clusters: usize,
+        prefix_subspaces: usize,
+        seed: u64,
+    ) -> Result<TiPartition, VaqError> {
+        if n == 0 {
+            return Err(VaqError::EmptyData);
+        }
+        let m = encoder.num_subspaces();
+        if codes.len() != n * m {
+            return Err(VaqError::BadConfig(format!(
+                "code array length {} does not match {n} × {m}",
+                codes.len()
+            )));
+        }
+        let prefix_subspaces = prefix_subspaces.clamp(1, m);
+        let prefix_dim = encoder.ranges()[prefix_subspaces - 1].1;
+        let c = num_clusters.clamp(1, n);
+
+        // Sample centroid codes and reconstruct their prefixes.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centroids = Matrix::zeros(c, prefix_dim);
+        for ci in 0..c {
+            let pick = rng.gen_range(0..n);
+            let code = &codes[pick * m..(pick + 1) * m];
+            let rec = encoder.decode_prefix(code, prefix_subspaces);
+            centroids.row_mut(ci).copy_from_slice(&rec);
+        }
+
+        // Assign every code to its nearest centroid (prefix space,
+        // unsquared), parallel over rows.
+        let mut assign: Vec<(u32, f32)> = vec![(0, 0.0); n];
+        let workers =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [(u32, f32)] = &mut assign;
+            let centroids = &centroids;
+            for w in 0..workers {
+                let start = w * chunk;
+                if start >= n {
+                    break;
+                }
+                let len = chunk.min(n - start);
+                let (mine, tail) = rest.split_at_mut(len);
+                rest = tail;
+                scope.spawn(move || {
+                    for (j, slot) in mine.iter_mut().enumerate() {
+                        let i = start + j;
+                        let code = &codes[i * m..(i + 1) * m];
+                        let rec = encoder.decode_prefix(code, prefix_subspaces);
+                        let mut best = 0u32;
+                        let mut best_d = f32::INFINITY;
+                        for (ci, crow) in centroids.iter_rows().enumerate() {
+                            let d = euclidean(crow, &rec);
+                            if d < best_d {
+                                best_d = d;
+                                best = ci as u32;
+                            }
+                        }
+                        *slot = (best, best_d);
+                    }
+                });
+            }
+        });
+
+        let mut clusters: Vec<Vec<Member>> = vec![Vec::new(); c];
+        for (i, &(ci, d)) in assign.iter().enumerate() {
+            clusters[ci as usize].push(Member { idx: i as u32, dist: d });
+        }
+        for cl in clusters.iter_mut() {
+            cl.sort_by(|a, b| {
+                a.dist
+                    .partial_cmp(&b.dist)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.idx.cmp(&b.idx))
+            });
+        }
+        Ok(TiPartition { centroids, clusters, prefix_subspaces, prefix_dim })
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Subspaces spanned by the prefix metric.
+    pub fn prefix_subspaces(&self) -> usize {
+        self.prefix_subspaces
+    }
+
+    /// Dimensions spanned by the prefix metric.
+    pub fn prefix_dim(&self) -> usize {
+        self.prefix_dim
+    }
+
+    /// Members of cluster `c`, sorted ascending by centroid distance.
+    pub fn cluster(&self, c: usize) -> &[Member] {
+        &self.clusters[c]
+    }
+
+    /// Inserts one newly encoded vector: assigns it to its nearest
+    /// centroid and places it at the sorted position, preserving the
+    /// ascending-distance invariant the binary-search pruning relies on.
+    pub fn insert(&mut self, encoder: &Encoder, code: &[u16], idx: u32) {
+        let rec = encoder.decode_prefix(code, self.prefix_subspaces);
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (ci, crow) in self.centroids.iter_rows().enumerate() {
+            let d = euclidean(crow, &rec);
+            if d < best_d {
+                best_d = d;
+                best = ci;
+            }
+        }
+        let cluster = &mut self.clusters[best];
+        let pos = cluster.partition_point(|m| {
+            m.dist < best_d || (m.dist == best_d && m.idx < idx)
+        });
+        cluster.insert(pos, Member { idx, dist: best_d });
+    }
+
+    /// Unsquared distances from a projected query's prefix to every
+    /// centroid.
+    pub fn query_distances(&self, projected_query: &[f32]) -> Vec<f32> {
+        let q = &projected_query[..self.prefix_dim];
+        self.centroids.iter_rows().map(|c| euclidean(c, q)).collect()
+    }
+
+    /// Cluster visit order for a query: ascending centroid distance.
+    pub fn visit_order(&self, query_dists: &[f32]) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.clusters.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            query_dists[a as usize]
+                .partial_cmp(&query_dists[b as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order
+    }
+
+    /// The sub-range of a sorted cluster that the triangle inequality
+    /// *cannot* prune for best-so-far `bsf`: members with
+    /// `|d_qc − d_xc| < bsf`, i.e. `d_xc ∈ (d_qc − bsf, d_qc + bsf)`.
+    pub fn survivor_window(&self, c: usize, d_qc: f32, bsf: f32) -> (usize, usize) {
+        let members = &self.clusters[c];
+        if !bsf.is_finite() {
+            return (0, members.len());
+        }
+        let lo_bound = d_qc - bsf;
+        let hi_bound = d_qc + bsf;
+        let lo = members.partition_point(|m| m.dist <= lo_bound);
+        let hi = members.partition_point(|m| m.dist < hi_bound);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subspaces::{SubspaceLayout, SubspaceMode};
+
+    fn setup(n: usize) -> (Matrix, Encoder, Vec<u16>) {
+        let d = 8;
+        let mut s = 11u64;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(d);
+            for j in 0..d {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = ((s >> 40) as f32 / (1u32 << 23) as f32) - 1.0;
+                row.push(v / (1.0 + j as f32));
+            }
+            rows.push(row);
+        }
+        let data = Matrix::from_rows(&rows);
+        let vars: Vec<f64> = (0..d).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let layout = SubspaceLayout::build(&vars, 4, SubspaceMode::Uniform, false, 0).unwrap();
+        let enc = Encoder::train(&data, &layout, &[4, 3, 2, 2], 10, 0).unwrap();
+        let codes = enc.encode_all(&data);
+        (data, enc, codes)
+    }
+
+    #[test]
+    fn clusters_partition_all_rows() {
+        let (_, enc, codes) = setup(500);
+        let ti = TiPartition::build(&enc, &codes, 500, 16, 2, 1).unwrap();
+        let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster(c).len()).sum();
+        assert_eq!(total, 500);
+        // Every index appears exactly once.
+        let mut seen = vec![false; 500];
+        for c in 0..ti.num_clusters() {
+            for m in ti.cluster(c) {
+                assert!(!seen[m.idx as usize], "row {} appears twice", m.idx);
+                seen[m.idx as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn members_sorted_ascending() {
+        let (_, enc, codes) = setup(400);
+        let ti = TiPartition::build(&enc, &codes, 400, 10, 2, 3).unwrap();
+        for c in 0..ti.num_clusters() {
+            for w in ti.cluster(c).windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_distance_matches_recomputation() {
+        let (_, enc, codes) = setup(300);
+        let ti = TiPartition::build(&enc, &codes, 300, 8, 2, 5).unwrap();
+        for c in 0..ti.num_clusters() {
+            for m in ti.cluster(c).iter().take(3) {
+                let i = m.idx as usize;
+                let code = &codes[i * 4..(i + 1) * 4];
+                let rec = enc.decode_prefix(code, 2);
+                // Distance to ITS centroid must be the minimum over all
+                // centroids (assignment invariant).
+                let dmin = ti
+                    .centroids
+                    .iter_rows()
+                    .map(|crow| euclidean(crow, &rec))
+                    .fold(f32::INFINITY, f32::min);
+                assert!((m.dist - dmin).abs() < 1e-5, "cached {} vs recomputed {dmin}", m.dist);
+            }
+        }
+    }
+
+    #[test]
+    fn survivor_window_is_sound() {
+        // Every member outside the window must satisfy |d_qc − d_xc| ≥ bsf.
+        let (data, enc, codes) = setup(400);
+        let ti = TiPartition::build(&enc, &codes, 400, 8, 2, 7).unwrap();
+        let q = data.row(0);
+        let qd = ti.query_distances(q);
+        let bsf = 0.4f32;
+        for c in 0..ti.num_clusters() {
+            let (lo, hi) = ti.survivor_window(c, qd[c], bsf);
+            let members = ti.cluster(c);
+            for (pos, m) in members.iter().enumerate() {
+                let bound = (qd[c] - m.dist).abs();
+                if pos < lo || pos >= hi {
+                    assert!(bound >= bsf - 1e-5, "pruned member violates TI: {bound} < {bsf}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_bsf_keeps_everything() {
+        let (data, enc, codes) = setup(200);
+        let ti = TiPartition::build(&enc, &codes, 200, 5, 2, 9).unwrap();
+        let qd = ti.query_distances(data.row(1));
+        for c in 0..ti.num_clusters() {
+            let (lo, hi) = ti.survivor_window(c, qd[c], f32::INFINITY);
+            assert_eq!((lo, hi), (0, ti.cluster(c).len()));
+        }
+    }
+
+    #[test]
+    fn visit_order_sorts_by_query_distance() {
+        let (data, enc, codes) = setup(300);
+        let ti = TiPartition::build(&enc, &codes, 300, 12, 2, 11).unwrap();
+        let qd = ti.query_distances(data.row(2));
+        let order = ti.visit_order(&qd);
+        for w in order.windows(2) {
+            assert!(qd[w[0] as usize] <= qd[w[1] as usize]);
+        }
+        assert_eq!(order.len(), 12);
+    }
+
+    #[test]
+    fn cluster_count_clamped_to_n() {
+        let (_, enc, codes) = setup(20);
+        let ti = TiPartition::build(&enc, &codes, 20, 1000, 2, 13).unwrap();
+        assert!(ti.num_clusters() <= 20);
+    }
+
+    #[test]
+    fn prefix_clamped_to_subspace_count() {
+        let (_, enc, codes) = setup(50);
+        let ti = TiPartition::build(&enc, &codes, 50, 4, 99, 15).unwrap();
+        assert_eq!(ti.prefix_subspaces(), 4);
+        assert_eq!(ti.prefix_dim(), 8);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let (_, enc, codes) = setup(50);
+        assert!(TiPartition::build(&enc, &codes, 0, 4, 2, 0).is_err());
+        assert!(TiPartition::build(&enc, &codes[..10], 50, 4, 2, 0).is_err());
+    }
+}

@@ -1,0 +1,601 @@
+//! The end-to-end VAQ method (paper Algorithm 5): `VarPCA` →
+//! subspace construction → partial balancing → adaptive bit allocation →
+//! variable-sized dictionaries → TI partitioning → pruned query execution.
+
+use crate::allocation::{
+    allocate_bits, allocate_bits_constrained, AllocationConstraint, AllocationStrategy,
+};
+use crate::encoder::Encoder;
+use crate::search::{execute, Neighbor, SearchStats, SearchStrategy};
+use crate::subspaces::{SubspaceLayout, SubspaceMode};
+use crate::ti::TiPartition;
+use crate::VaqError;
+use vaq_linalg::{Matrix, Pca};
+
+/// Configuration for [`Vaq::train`].
+#[derive(Debug, Clone)]
+pub struct VaqConfig {
+    /// Total bit budget per encoded vector (paper: 64–256).
+    pub budget_bits: usize,
+    /// Number of subspaces `m` (paper: 16–64).
+    pub num_subspaces: usize,
+    /// Minimum bits per subspace (paper default 1).
+    pub min_bits: usize,
+    /// Maximum bits per subspace (paper default 13).
+    pub max_bits: usize,
+    /// Uniform or clustered (non-uniform) subspace construction.
+    pub subspace_mode: SubspaceMode,
+    /// Whether to apply the partial importance-balancing swaps.
+    pub partial_balance: bool,
+    /// Adaptive (MILP) or uniform bit allocation.
+    pub allocation: AllocationStrategy,
+    /// Number of triangle-inequality clusters (paper: 1000). `0` disables
+    /// the TI structure (EA-only queries). Clamped to the database size.
+    pub ti_clusters: usize,
+    /// Subspaces spanned by the TI prefix metric (clamped to `m`).
+    pub ti_prefix_subspaces: usize,
+    /// Default fraction of TI clusters visited per query (paper: 0.25 and
+    /// 0.10).
+    pub ti_visit_frac: f64,
+    /// k-means iterations for dictionary learning.
+    pub train_iters: usize,
+    /// RNG seed (dictionaries, TI sampling).
+    pub seed: u64,
+    /// Extra constraints for the bit allocator (service agreements,
+    /// supervised weights — see [`AllocationConstraint`]). Only honoured
+    /// by the adaptive strategy.
+    pub allocation_constraints: Vec<AllocationConstraint>,
+}
+
+impl VaqConfig {
+    /// The paper's defaults for a given budget and subspace count:
+    /// 1..=13 bits per subspace, uniform subspaces with partial balancing,
+    /// adaptive allocation, 1000 TI clusters, 25% visits.
+    pub fn new(budget_bits: usize, num_subspaces: usize) -> Self {
+        VaqConfig {
+            budget_bits,
+            num_subspaces,
+            min_bits: 1,
+            max_bits: 13,
+            subspace_mode: SubspaceMode::Uniform,
+            partial_balance: true,
+            allocation: AllocationStrategy::Adaptive,
+            ti_clusters: 1000,
+            ti_prefix_subspaces: 8,
+            ti_visit_frac: 0.25,
+            train_iters: 25,
+            seed: 0x5eed,
+            allocation_constraints: Vec::new(),
+        }
+    }
+
+    /// Switches to clustered (non-uniform) subspaces.
+    pub fn clustered(mut self) -> Self {
+        self.subspace_mode = SubspaceMode::Clustered;
+        self
+    }
+
+    /// Switches to uniform bit allocation (ablation).
+    pub fn uniform_allocation(mut self) -> Self {
+        self.allocation = AllocationStrategy::Uniform;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the TI cluster count (0 disables data skipping).
+    pub fn with_ti_clusters(mut self, c: usize) -> Self {
+        self.ti_clusters = c;
+        self
+    }
+
+    /// Overrides the default visit fraction.
+    pub fn with_visit_frac(mut self, f: f64) -> Self {
+        self.ti_visit_frac = f;
+        self
+    }
+
+    /// Adds an allocation constraint (see [`AllocationConstraint`]).
+    pub fn with_constraint(mut self, c: AllocationConstraint) -> Self {
+        self.allocation_constraints.push(c);
+        self
+    }
+}
+
+/// A trained VAQ index.
+#[derive(Debug, Clone)]
+pub struct Vaq {
+    pub(crate) pca: Pca,
+    pub(crate) layout: SubspaceLayout,
+    pub(crate) bits: Vec<usize>,
+    pub(crate) encoder: Encoder,
+    pub(crate) codes: Vec<u16>,
+    pub(crate) n: usize,
+    pub(crate) ti: Option<TiPartition>,
+    pub(crate) default_strategy: SearchStrategy,
+}
+
+impl Vaq {
+    /// Trains VAQ on the rows of `data` (paper Algorithm 5).
+    pub fn train(data: &Matrix, cfg: &VaqConfig) -> Result<Vaq, VaqError> {
+        if data.rows() == 0 {
+            return Err(VaqError::EmptyData);
+        }
+        if cfg.num_subspaces == 0 || cfg.num_subspaces > data.cols() {
+            return Err(VaqError::BadConfig(format!(
+                "num_subspaces {} out of range for dim {}",
+                cfg.num_subspaces,
+                data.cols()
+            )));
+        }
+        // Step 1: VarPCA (Algorithm 1).
+        let mut pca = Pca::fit(data).map_err(|e| VaqError::Numeric(e.to_string()))?;
+
+        // Step 2: subspace construction + partial balancing (Algorithm 2,
+        // lines 2–9).
+        let layout = SubspaceLayout::build(
+            pca.eigenvalues(),
+            cfg.num_subspaces,
+            cfg.subspace_mode,
+            cfg.partial_balance,
+            cfg.seed,
+        )?;
+        // The projection must follow the same PC order as the layout.
+        pca.permute_components(&layout.perm);
+
+        // Step 3: adaptive bit allocation (Algorithm 2, MILP).
+        let bits = if cfg.allocation_constraints.is_empty() {
+            allocate_bits(
+                &layout.variance_share,
+                cfg.budget_bits,
+                cfg.min_bits,
+                cfg.max_bits,
+                cfg.allocation,
+            )?
+        } else {
+            if cfg.allocation != AllocationStrategy::Adaptive {
+                return Err(VaqError::BadConfig(
+                    "allocation constraints require the adaptive strategy".into(),
+                ));
+            }
+            allocate_bits_constrained(
+                &layout.variance_share,
+                cfg.budget_bits,
+                cfg.min_bits,
+                cfg.max_bits,
+                &cfg.allocation_constraints,
+            )?
+        };
+
+        // Step 4: project, build variable-sized dictionaries, encode
+        // (Algorithm 3).
+        let projected = pca.transform(data).map_err(|e| VaqError::Numeric(e.to_string()))?;
+        let encoder = Encoder::train(&projected, &layout, &bits, cfg.train_iters, cfg.seed)?;
+        let codes = encoder.encode_all(&projected);
+        let n = data.rows();
+
+        // Step 5: TI partitioning for data skipping (Algorithm 3, part 2).
+        let ti = if cfg.ti_clusters > 0 {
+            Some(TiPartition::build(
+                &encoder,
+                &codes,
+                n,
+                cfg.ti_clusters,
+                cfg.ti_prefix_subspaces,
+                cfg.seed ^ 0x71,
+            )?)
+        } else {
+            None
+        };
+
+        Ok(Vaq {
+            pca,
+            layout,
+            bits,
+            encoder,
+            codes,
+            n,
+            ti,
+            default_strategy: SearchStrategy::TiEa { visit_frac: cfg.ti_visit_frac },
+        })
+    }
+
+    /// Number of encoded vectors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Per-subspace bit allocation chosen by the optimizer.
+    pub fn bits(&self) -> &[usize] {
+        &self.bits
+    }
+
+    /// Total bits per encoded vector.
+    pub fn code_bits(&self) -> usize {
+        self.bits.iter().sum()
+    }
+
+    /// The derived subspace layout.
+    pub fn layout(&self) -> &SubspaceLayout {
+        &self.layout
+    }
+
+    /// The TI partition, if built.
+    pub fn ti(&self) -> Option<&TiPartition> {
+        self.ti.as_ref()
+    }
+
+    /// Projects a raw query into VAQ's permuted PC space.
+    pub fn project_query(&self, query: &[f32]) -> Vec<f32> {
+        self.pca.transform_vec(query).expect("query dimensionality")
+    }
+
+    /// Searches with the configured default strategy (TI + EA).
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_with(query, k, self.default_strategy).0
+    }
+
+    /// Batch search: answers every row of `queries`, sharding across
+    /// threads (each query is independent; the index is shared read-only).
+    pub fn search_batch(
+        &self,
+        queries: &Matrix,
+        k: usize,
+        strategy: SearchStrategy,
+    ) -> Vec<Vec<Neighbor>> {
+        let nq = queries.rows();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(nq.max(1));
+        if workers <= 1 || nq < 4 {
+            return (0..nq).map(|q| self.search_with(queries.row(q), k, strategy).0).collect();
+        }
+        let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+        let chunk = nq.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [Vec<Neighbor>] = &mut out;
+            for w in 0..workers {
+                let start = w * chunk;
+                if start >= nq {
+                    break;
+                }
+                let len = chunk.min(nq - start);
+                let (mine, tail) = rest.split_at_mut(len);
+                rest = tail;
+                scope.spawn(move || {
+                    for (j, slot) in mine.iter_mut().enumerate() {
+                        *slot = self.search_with(queries.row(start + j), k, strategy).0;
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Searches with an explicit strategy, returning work counters.
+    pub fn search_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        strategy: SearchStrategy,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let projected = self.project_query(query);
+        execute(&self.encoder, &self.codes, self.n, self.ti.as_ref(), &projected, k, strategy)
+    }
+
+    /// Appends new vectors to the encoded database without retraining.
+    ///
+    /// The dictionaries, subspace layout, and bit allocation stay fixed
+    /// (the standard PQ-family regime: dictionaries are trained once on a
+    /// sample and applied to the full collection). New codes are assigned
+    /// to their nearest existing TI cluster and inserted in sorted
+    /// position, so all pruning invariants keep holding.
+    ///
+    /// Returns the row index the first appended vector received.
+    pub fn add(&mut self, data: &Matrix) -> Result<usize, VaqError> {
+        if data.cols() != self.pca.dim() {
+            return Err(VaqError::BadConfig(format!(
+                "appended vectors have {} dims, index expects {}",
+                data.cols(),
+                self.pca.dim()
+            )));
+        }
+        let first = self.n;
+        let projected =
+            self.pca.transform(data).map_err(|e| VaqError::Numeric(e.to_string()))?;
+        let new_codes = self.encoder.encode_all(&projected);
+        if let Some(ti) = &mut self.ti {
+            let m = self.encoder.num_subspaces();
+            for (j, code) in new_codes.chunks_exact(m).enumerate() {
+                ti.insert(&self.encoder, code, (first + j) as u32);
+            }
+        }
+        self.codes.extend_from_slice(&new_codes);
+        self.n += data.rows();
+        Ok(first)
+    }
+
+    /// The encoded code word of database row `i`.
+    pub fn code(&self, i: usize) -> &[u16] {
+        let m = self.encoder.num_subspaces();
+        &self.codes[i * m..(i + 1) * m]
+    }
+
+    /// The encoder (dictionaries / ranges), for inspection.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Total squared quantization error over the training data (requires
+    /// re-projecting, so it takes the original data).
+    pub fn quantization_error(&self, data: &Matrix) -> f64 {
+        let projected = self.pca.transform(data).expect("dim");
+        let mut err = 0.0f64;
+        for i in 0..self.n.min(projected.rows()) {
+            let rec = self.encoder.decode(self.code(i));
+            err += vaq_linalg::squared_euclidean(projected.row(i), &rec) as f64;
+        }
+        err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_dataset::{exact_knn, SyntheticSpec};
+    use vaq_metrics::recall_at_k;
+
+    #[test]
+    fn trains_on_paper_configuration() {
+        let ds = SyntheticSpec::sald_like().generate(800, 0, 1);
+        let cfg = VaqConfig::new(256, 32).with_ti_clusters(64);
+        let vaq = Vaq::train(&ds.data, &cfg).unwrap();
+        assert_eq!(vaq.code_bits(), 256);
+        assert_eq!(vaq.bits().len(), 32);
+        assert_eq!(vaq.len(), 800);
+        // Variable sizes on a steep spectrum.
+        let distinct: std::collections::BTreeSet<usize> = vaq.bits().iter().copied().collect();
+        assert!(distinct.len() >= 2, "bits {:?}", vaq.bits());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let ds = SyntheticSpec::deep_like().generate(100, 0, 2);
+        assert!(Vaq::train(&Matrix::zeros(0, 8), &VaqConfig::new(16, 4)).is_err());
+        assert!(Vaq::train(&ds.data, &VaqConfig::new(16, 0)).is_err());
+        assert!(Vaq::train(&ds.data, &VaqConfig::new(16, 500)).is_err());
+        // Infeasible budget.
+        assert!(matches!(
+            Vaq::train(&ds.data, &VaqConfig::new(2, 8)),
+            Err(VaqError::InfeasibleBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn self_query_finds_itself() {
+        let ds = SyntheticSpec::sift_like().generate(500, 0, 3);
+        let cfg = VaqConfig::new(64, 8).with_ti_clusters(32);
+        let vaq = Vaq::train(&ds.data, &cfg).unwrap();
+        let mut hits = 0;
+        let probes: Vec<usize> = (0..500).step_by(31).collect();
+        for &i in &probes {
+            let res = vaq.search_with(ds.data.row(i), 10, SearchStrategy::FullScan).0;
+            if res.iter().any(|n| n.index == i as u32) {
+                hits += 1;
+            }
+        }
+        assert!(hits * 10 >= probes.len() * 8, "{hits}/{}", probes.len());
+    }
+
+    #[test]
+    fn beats_uniform_allocation_on_skewed_data() {
+        // The core claim (Figures 6, 9): adaptive allocation beats uniform
+        // on data with skewed spectra, same budget.
+        let ds = SyntheticSpec::sald_like().generate(1200, 40, 5);
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        let run = |cfg: VaqConfig| -> f64 {
+            let vaq = Vaq::train(&ds.data, &cfg).unwrap();
+            let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
+                .map(|q| {
+                    vaq.search_with(ds.queries.row(q), 10, SearchStrategy::FullScan)
+                        .0
+                        .iter()
+                        .map(|n| n.index)
+                        .collect()
+                })
+                .collect();
+            recall_at_k(&retrieved, &truth, 10)
+        };
+        let adaptive = run(VaqConfig::new(64, 16).with_ti_clusters(0));
+        let uniform = run(VaqConfig::new(64, 16).with_ti_clusters(0).uniform_allocation());
+        assert!(
+            adaptive > uniform - 0.02,
+            "adaptive {adaptive} should beat uniform {uniform} on SALD-like data"
+        );
+    }
+
+    #[test]
+    fn ti_ea_default_close_to_full_scan_accuracy() {
+        let ds = SyntheticSpec::sift_like().generate(1000, 25, 7);
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        let cfg = VaqConfig::new(64, 16).with_ti_clusters(100);
+        let vaq = Vaq::train(&ds.data, &cfg).unwrap();
+        let run = |strategy: SearchStrategy| -> f64 {
+            let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
+                .map(|q| {
+                    vaq.search_with(ds.queries.row(q), 10, strategy)
+                        .0
+                        .iter()
+                        .map(|n| n.index)
+                        .collect()
+                })
+                .collect();
+            recall_at_k(&retrieved, &truth, 10)
+        };
+        let full = run(SearchStrategy::FullScan);
+        let tiea = run(SearchStrategy::TiEa { visit_frac: 0.25 });
+        assert!(
+            tiea > full - 0.1,
+            "TI+EA-0.25 recall {tiea} dropped too far below full-scan {full}"
+        );
+    }
+
+    #[test]
+    fn pruning_reduces_work_dramatically() {
+        let ds = SyntheticSpec::sift_like().generate(2000, 0, 9);
+        let cfg = VaqConfig::new(64, 16).with_ti_clusters(100);
+        let vaq = Vaq::train(&ds.data, &cfg).unwrap();
+        let q = ds.data.row(42);
+        let (_, full) = vaq.search_with(q, 10, SearchStrategy::FullScan);
+        let (_, ea) = vaq.search_with(q, 10, SearchStrategy::EarlyAbandon);
+        let (_, tiea) = vaq.search_with(q, 10, SearchStrategy::TiEa { visit_frac: 0.1 });
+        assert!(ea.lookups < full.lookups / 2, "EA lookups {} vs full {}", ea.lookups, full.lookups);
+        assert!(
+            tiea.vectors_visited < full.vectors_visited / 2,
+            "TI visited {} of {}",
+            tiea.vectors_visited,
+            full.vectors_visited
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = SyntheticSpec::deep_like().generate(300, 0, 11);
+        let cfg = VaqConfig::new(32, 8).with_ti_clusters(16).with_seed(9);
+        let a = Vaq::train(&ds.data, &cfg).unwrap();
+        let b = Vaq::train(&ds.data, &cfg).unwrap();
+        assert_eq!(a.codes, b.codes);
+        assert_eq!(a.bits, b.bits);
+        let qa = a.search(ds.data.row(5), 7);
+        let qb = b.search(ds.data.row(5), 7);
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn quantization_error_decreases_with_budget() {
+        let ds = SyntheticSpec::sift_like().generate(600, 0, 13);
+        let small = Vaq::train(&ds.data, &VaqConfig::new(32, 8).with_ti_clusters(0)).unwrap();
+        let large = Vaq::train(&ds.data, &VaqConfig::new(96, 8).with_ti_clusters(0)).unwrap();
+        assert!(large.quantization_error(&ds.data) < small.quantization_error(&ds.data));
+    }
+
+    #[test]
+    fn clustered_subspaces_train_and_search() {
+        let ds = SyntheticSpec::sald_like().generate(500, 5, 15);
+        let cfg = VaqConfig::new(64, 16).clustered().with_ti_clusters(32);
+        let vaq = Vaq::train(&ds.data, &cfg).unwrap();
+        assert_eq!(vaq.code_bits(), 64);
+        let res = vaq.search(ds.queries.row(0), 10);
+        assert_eq!(res.len(), 10);
+        // Non-uniform widths on a steep spectrum.
+        let widths: std::collections::BTreeSet<usize> =
+            vaq.layout().ranges.iter().map(|&(lo, hi)| hi - lo).collect();
+        assert!(widths.len() > 1, "widths {:?}", vaq.layout().ranges);
+    }
+
+    #[test]
+    fn batch_search_matches_sequential() {
+        let ds = SyntheticSpec::sift_like().generate(600, 24, 27);
+        let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 8).with_ti_clusters(24)).unwrap();
+        for strategy in
+            [SearchStrategy::FullScan, SearchStrategy::TiEa { visit_frac: 0.5 }]
+        {
+            let batch = vaq.search_batch(&ds.queries, 7, strategy);
+            assert_eq!(batch.len(), 24);
+            for q in 0..ds.queries.rows() {
+                assert_eq!(batch[q], vaq.search_with(ds.queries.row(q), 7, strategy).0);
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_training_honours_service_agreements() {
+        use crate::allocation::AllocationConstraint;
+        let ds = SyntheticSpec::sald_like().generate(400, 0, 31);
+        let cfg = VaqConfig::new(64, 8)
+            .with_ti_clusters(0)
+            .with_constraint(AllocationConstraint::CapSubspace { subspace: 0, bits: 8 })
+            .with_constraint(AllocationConstraint::Pin { subspace: 7, bits: 2 });
+        let vaq = Vaq::train(&ds.data, &cfg).unwrap();
+        assert!(vaq.bits()[0] <= 8, "{:?}", vaq.bits());
+        assert_eq!(vaq.bits()[7], 2);
+        assert_eq!(vaq.code_bits(), 64);
+        // Constraints with the uniform strategy must be rejected.
+        let bad = VaqConfig::new(64, 8)
+            .uniform_allocation()
+            .with_constraint(AllocationConstraint::Pin { subspace: 0, bits: 4 });
+        assert!(Vaq::train(&ds.data, &bad).is_err());
+    }
+
+    #[test]
+    fn incremental_add_is_searchable_and_exact() {
+        let ds = SyntheticSpec::sift_like().generate(800, 0, 21);
+        let initial = ds.data.select_rows(&(0..600).collect::<Vec<_>>());
+        let extra = ds.data.select_rows(&(600..800).collect::<Vec<_>>());
+        let mut vaq =
+            Vaq::train(&initial, &VaqConfig::new(64, 8).with_ti_clusters(32)).unwrap();
+        let first = vaq.add(&extra).unwrap();
+        assert_eq!(first, 600);
+        assert_eq!(vaq.len(), 800);
+        // Newly added vectors are findable.
+        let mut hits = 0;
+        for i in (600..800).step_by(17) {
+            let res = vaq.search_with(ds.data.row(i), 10, SearchStrategy::FullScan).0;
+            if res.iter().any(|n| n.index == i as u32) {
+                hits += 1;
+            }
+        }
+        let total = (600..800).step_by(17).count();
+        assert!(hits * 10 >= total * 7, "{hits}/{total}");
+        // Pruning invariants survive the inserts: TI(1.0) == full scan.
+        for i in [0usize, 650, 799] {
+            let full: Vec<u32> = vaq
+                .search_with(ds.data.row(i), 10, SearchStrategy::FullScan)
+                .0
+                .iter()
+                .map(|n| n.index)
+                .collect();
+            let ti: Vec<u32> = vaq
+                .search_with(ds.data.row(i), 10, SearchStrategy::TiEa { visit_frac: 1.0 })
+                .0
+                .iter()
+                .map(|n| n.index)
+                .collect();
+            assert_eq!(full, ti, "row {i}");
+        }
+        // An add that equals train-then-add of everything at once matches
+        // encoding-wise (dictionaries shared).
+        let joint = {
+            let mut v =
+                Vaq::train(&initial, &VaqConfig::new(64, 8).with_ti_clusters(32)).unwrap();
+            v.add(&extra).unwrap();
+            v
+        };
+        assert_eq!(vaq.code(700), joint.code(700));
+    }
+
+    #[test]
+    fn add_rejects_wrong_dimensionality() {
+        let ds = SyntheticSpec::deep_like().generate(100, 0, 23);
+        let mut vaq = Vaq::train(&ds.data, &VaqConfig::new(32, 8).with_ti_clusters(8)).unwrap();
+        assert!(vaq.add(&Matrix::zeros(5, 7)).is_err());
+    }
+
+    #[test]
+    fn code_accessor_is_consistent_with_encoder() {
+        let ds = SyntheticSpec::deep_like().generate(200, 0, 17);
+        let vaq = Vaq::train(&ds.data, &VaqConfig::new(32, 8).with_ti_clusters(0)).unwrap();
+        let projected = vaq.project_query(ds.data.row(3));
+        assert_eq!(vaq.code(3), vaq.encoder().encode(&projected).as_slice());
+    }
+}

@@ -1,0 +1,158 @@
+//! Exact k-nearest-neighbor ground truth.
+//!
+//! Recall and MAP (paper §IV "Evaluation Measures") are defined against the
+//! *true* Euclidean neighbors, so every experiment needs an exact scan over
+//! the base set per query. The scan is embarrassingly parallel over queries
+//! and uses a bounded max-heap per query.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use vaq_linalg::{squared_euclidean, Matrix};
+
+/// `(squared distance, index)` pair ordered for a max-heap of the current
+/// k-best candidates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    dist: f32,
+    idx: u32,
+}
+
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by distance; tie-break on index for determinism.
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.idx.cmp(&other.idx))
+    }
+}
+
+/// Exact k-NN of one query against all rows of `data`.
+///
+/// Returns indices sorted by increasing distance.
+pub fn exact_knn_single(data: &Matrix, query: &[f32], k: usize) -> Vec<u32> {
+    let k = k.min(data.rows());
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+    for (i, row) in data.iter_rows().enumerate() {
+        let d = squared_euclidean(row, query);
+        if heap.len() < k {
+            heap.push(HeapItem { dist: d, idx: i as u32 });
+        } else if let Some(top) = heap.peek() {
+            if d < top.dist {
+                heap.pop();
+                heap.push(HeapItem { dist: d, idx: i as u32 });
+            }
+        }
+    }
+    let mut items: Vec<HeapItem> = heap.into_vec();
+    items.sort_by(|a, b| a.cmp(b));
+    items.into_iter().map(|it| it.idx).collect()
+}
+
+/// Exact k-NN for every query row, parallelized across queries.
+///
+/// Returns one index list per query, each sorted by increasing distance.
+pub fn exact_knn(data: &Matrix, queries: &Matrix, k: usize) -> Vec<Vec<u32>> {
+    assert_eq!(data.cols(), queries.cols(), "dimensionality mismatch");
+    let nq = queries.rows();
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(nq.max(1));
+    if workers <= 1 || nq < 4 {
+        return (0..nq).map(|q| exact_knn_single(data, queries.row(q), k)).collect();
+    }
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); nq];
+    let chunk = nq.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Vec<u32>] = &mut out;
+        for w in 0..workers {
+            let start = w * chunk;
+            if start >= nq {
+                break;
+            }
+            let len = chunk.min(nq - start);
+            let (mine, tail) = rest.split_at_mut(len);
+            rest = tail;
+            scope.spawn(move || {
+                for (j, slot) in mine.iter_mut().enumerate() {
+                    *slot = exact_knn_single(data, queries.row(start + j), k);
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Matrix {
+        // Points at x = 0, 1, 2, ..., 9 on a line.
+        Matrix::from_rows(&(0..10).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn finds_nearest_in_order() {
+        let data = grid();
+        let nn = exact_knn_single(&data, &[3.2, 0.0], 3);
+        assert_eq!(nn, vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let data = grid();
+        let nn = exact_knn_single(&data, &[0.0, 0.0], 100);
+        assert_eq!(nn.len(), 10);
+        assert_eq!(nn[0], 0);
+        assert_eq!(nn[9], 9);
+    }
+
+    #[test]
+    fn self_query_returns_self_first() {
+        let data = grid();
+        for i in 0..10 {
+            let nn = exact_knn_single(&data, data.row(i), 1);
+            assert_eq!(nn[0], i as u32);
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let data = grid();
+        let queries = Matrix::from_rows(&[vec![3.2, 0.0], vec![7.9, 0.0], vec![-1.0, 0.0]]);
+        let batch = exact_knn(&data, &queries, 2);
+        for (q, expect) in batch.iter().enumerate() {
+            let single = exact_knn_single(&data, queries.row(q), 2);
+            assert_eq!(*expect, single);
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two points equidistant from the query: lower index wins.
+        let data = Matrix::from_rows(&[vec![1.0], vec![-1.0], vec![1.0]]);
+        let nn = exact_knn_single(&data, &[0.0], 3);
+        assert_eq!(nn, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let mut rows = Vec::new();
+        let mut s = 5u64;
+        for _ in 0..2000 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rows.push(vec![((s >> 33) as f32) / 1e9, ((s >> 13) as f32) / 1e9]);
+        }
+        let data = Matrix::from_rows(&rows);
+        let queries = data.select_rows(&(0..16).collect::<Vec<_>>());
+        let batch = exact_knn(&data, &queries, 5);
+        for q in 0..16 {
+            assert_eq!(batch[q], exact_knn_single(&data, queries.row(q), 5));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Synthetic workloads standing in for the VAQ paper's datasets.
+//!
+//! The paper evaluates on five proprietary/large downloads (SIFT, DEEP,
+//! SALD, SEISMIC, ASTRO — §IV "Datasets") plus the 128 datasets of the UCR
+//! archive. None of those can ship with this reproduction, so this crate
+//! generates synthetic equivalents that preserve the property the paper's
+//! claims hinge on: the **skew of the covariance eigen-spectrum** (how much
+//! variance the top principal components absorb) and the noise floor, which
+//! together decide how much adaptive bit allocation can win over uniform
+//! allocation and how well early-abandoning prunes.
+//!
+//! * [`largescale`] — SIFT/DEEP/SALD/SEISMIC/ASTRO-like generators.
+//! * [`ucr`] — medium-scale series families (CBF, two-pattern,
+//!   StarLightCurves-like, ...) and a 128-dataset archive generator.
+//! * [`ground_truth`] — exact k-NN for recall/MAP evaluation.
+//!
+//! All generators are deterministic functions of their seed.
+
+pub mod ground_truth;
+pub mod io;
+pub mod largescale;
+pub mod rng;
+pub mod ucr;
+
+pub use ground_truth::exact_knn;
+pub use largescale::{SyntheticSpec, LARGE_SCALE_NAMES};
+pub use ucr::{ucr_like_archive, UcrFamily};
+
+use vaq_linalg::Matrix;
+
+/// A dataset bundle: base vectors to index plus query vectors.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short identifier (e.g. `"sift-like"`).
+    pub name: String,
+    /// Base/train vectors, one per row.
+    pub data: Matrix,
+    /// Query vectors, one per row (same dimensionality).
+    pub queries: Matrix,
+}
+
+impl Dataset {
+    /// Number of base vectors.
+    pub fn len(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// `true` when there are no base vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.rows() == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.data.cols()
+    }
+}
+
+/// Z-normalizes each row in place: zero mean, unit standard deviation.
+/// Constant rows are left at zero (matching UCR archive preprocessing).
+pub fn z_normalize(m: &mut Matrix) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    for i in 0..m.rows() {
+        let row = m.row_mut(i);
+        let mean: f32 = row.iter().sum::<f32>() / cols as f32;
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let std = var.sqrt();
+        if std > 1e-12 {
+            let inv = 1.0 / std;
+            for v in row.iter_mut() {
+                *v = (*v - mean) * inv;
+            }
+        } else {
+            for v in row.iter_mut() {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_normalize_gives_zero_mean_unit_std() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 10.0, 20.0, 20.0]]);
+        z_normalize(&mut m);
+        for i in 0..2 {
+            let row = m.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-6);
+            assert!((var - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn z_normalize_constant_row_becomes_zero() {
+        let mut m = Matrix::from_rows(&[vec![7.0, 7.0, 7.0]]);
+        z_normalize(&mut m);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dataset_accessors() {
+        let d = Dataset {
+            name: "t".into(),
+            data: Matrix::zeros(5, 3),
+            queries: Matrix::zeros(2, 3),
+        };
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.dim(), 3);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Seeded random sampling helpers shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+///
+/// `rand` (without `rand_distr`) only exposes uniform sampling; Box–Muller
+/// is exact and needs no rejection loop.
+#[inline]
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Fills `out` with i.i.d. `N(0, 1)` samples.
+pub fn fill_gaussian(rng: &mut StdRng, out: &mut [f32]) {
+    for v in out.iter_mut() {
+        *v = gaussian(rng) as f32;
+    }
+}
+
+/// Samples a uniform integer in `[0, n)`.
+#[inline]
+pub fn uniform_index(rng: &mut StdRng, n: usize) -> usize {
+    rng.gen_range(0..n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(gaussian(&mut a), gaussian(&mut b));
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Medium-scale series generators modeled on the UCR archive families.
+//!
+//! The paper's statistical study (§V-D, Table II, Fig. 10) runs over all 128
+//! UCR datasets — heterogeneous, z-normalized time series from many domains,
+//! lengths up to 2,844, up to 24,000 sequences. The archive cannot ship with
+//! this reproduction, so [`ucr_like_archive`] generates 128 datasets from
+//! eight parametric families that span the same axes the archive does:
+//! smooth vs noisy, short vs long, few vs many classes. Two of the families
+//! are faithful re-implementations of published generators the paper itself
+//! discusses (Fig. 3): CBF (cylinder–bell–funnel) and a
+//! StarLightCurves-like smooth periodic family.
+
+use crate::rng::gaussian;
+use crate::{z_normalize, Dataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vaq_linalg::Matrix;
+
+/// The eight generator families used to build the synthetic archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UcrFamily {
+    /// Cylinder–bell–funnel: the classic 3-class benchmark (high noise).
+    Cbf,
+    /// StarLightCurves-like: smooth periodic curves, 3 classes, low noise.
+    SlcLike,
+    /// Two-pattern: step patterns at random offsets, 4 classes.
+    TwoPatterns,
+    /// Sine waves with class-specific frequency and random phase.
+    SineFamily,
+    /// Random walks with class-specific drift.
+    RandomWalk,
+    /// Noise floor with class-positioned bursts.
+    Burst,
+    /// Gaussian bumps whose position encodes the class.
+    Bumps,
+    /// Piecewise-constant level shifts (Square-wave like).
+    Levels,
+}
+
+impl UcrFamily {
+    /// All families, used round-robin by the archive generator.
+    pub fn all() -> [UcrFamily; 8] {
+        [
+            UcrFamily::Cbf,
+            UcrFamily::SlcLike,
+            UcrFamily::TwoPatterns,
+            UcrFamily::SineFamily,
+            UcrFamily::RandomWalk,
+            UcrFamily::Burst,
+            UcrFamily::Bumps,
+            UcrFamily::Levels,
+        ]
+    }
+
+    /// Number of classes this family generates.
+    pub fn classes(&self) -> usize {
+        match self {
+            UcrFamily::Cbf | UcrFamily::SlcLike => 3,
+            UcrFamily::TwoPatterns => 4,
+            UcrFamily::SineFamily => 5,
+            UcrFamily::RandomWalk => 3,
+            UcrFamily::Burst => 4,
+            UcrFamily::Bumps => 6,
+            UcrFamily::Levels => 4,
+        }
+    }
+
+    /// Family name for dataset labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UcrFamily::Cbf => "cbf",
+            UcrFamily::SlcLike => "slc",
+            UcrFamily::TwoPatterns => "twopat",
+            UcrFamily::SineFamily => "sine",
+            UcrFamily::RandomWalk => "rwalk",
+            UcrFamily::Burst => "burst",
+            UcrFamily::Bumps => "bumps",
+            UcrFamily::Levels => "levels",
+        }
+    }
+
+    /// Generates one series of the given class and length.
+    pub fn generate_series(&self, class: usize, len: usize, rng: &mut StdRng) -> Vec<f32> {
+        let mut out = vec![0.0f32; len];
+        match self {
+            UcrFamily::Cbf => cbf_series(class, &mut out, rng),
+            UcrFamily::SlcLike => slc_series(class, &mut out, rng),
+            UcrFamily::TwoPatterns => two_patterns_series(class, &mut out, rng),
+            UcrFamily::SineFamily => {
+                let freq = (class + 1) as f32 * 2.0;
+                let phase = std::f32::consts::TAU * rng.gen::<f32>();
+                for (t, v) in out.iter_mut().enumerate() {
+                    let x = t as f32 / len as f32;
+                    *v = (std::f32::consts::TAU * freq * x + phase).sin()
+                        + 0.3 * gaussian(rng) as f32;
+                }
+            }
+            UcrFamily::RandomWalk => {
+                let drift = (class as f32 - 1.0) * 0.05;
+                let mut acc = 0.0f32;
+                for v in out.iter_mut() {
+                    acc += drift + gaussian(rng) as f32 * 0.5;
+                    *v = acc;
+                }
+            }
+            UcrFamily::Burst => {
+                for v in out.iter_mut() {
+                    *v = 0.2 * gaussian(rng) as f32;
+                }
+                let seg = len / 4;
+                let start = class * seg + rng.gen_range(0..seg.max(1) / 2 + 1);
+                let blen = (seg / 2).max(2).min(len - start.min(len - 1));
+                let amp = 3.0 + rng.gen::<f32>();
+                for t in 0..blen {
+                    let idx = (start + t).min(len - 1);
+                    let w = (std::f32::consts::PI * t as f32 / blen as f32).sin();
+                    out[idx] += amp * w;
+                }
+            }
+            UcrFamily::Bumps => {
+                for v in out.iter_mut() {
+                    *v = 0.15 * gaussian(rng) as f32;
+                }
+                let center = (class as f32 + 0.5) / self.classes() as f32 * len as f32;
+                let width = len as f32 / 12.0;
+                for (t, v) in out.iter_mut().enumerate() {
+                    let z = (t as f32 - center) / width;
+                    *v += 2.5 * (-0.5 * z * z).exp();
+                }
+            }
+            UcrFamily::Levels => {
+                let seg = (len / 4).max(1);
+                let pattern: [f32; 4] = match class {
+                    0 => [1.0, -1.0, 1.0, -1.0],
+                    1 => [-1.0, 1.0, -1.0, 1.0],
+                    2 => [1.0, 1.0, -1.0, -1.0],
+                    _ => [-1.0, -1.0, 1.0, 1.0],
+                };
+                for (t, v) in out.iter_mut().enumerate() {
+                    *v = pattern[(t / seg).min(3)] + 0.25 * gaussian(rng) as f32;
+                }
+            }
+        }
+        out
+    }
+
+    /// Generates a full dataset: `n_train` base series and `n_test` query
+    /// series, classes round-robin, everything z-normalized.
+    pub fn generate(
+        &self,
+        len: usize,
+        n_train: usize,
+        n_test: usize,
+        seed: u64,
+    ) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = self.classes();
+        let mut data = Matrix::zeros(n_train, len);
+        for i in 0..n_train {
+            let row = self.generate_series(i % k, len, &mut rng);
+            data.row_mut(i).copy_from_slice(&row);
+        }
+        let mut queries = Matrix::zeros(n_test, len);
+        for i in 0..n_test {
+            let row = self.generate_series(i % k, len, &mut rng);
+            queries.row_mut(i).copy_from_slice(&row);
+        }
+        z_normalize(&mut data);
+        z_normalize(&mut queries);
+        Dataset { name: format!("{}-{}", self.name(), len), data, queries }
+    }
+}
+
+/// Classic cylinder–bell–funnel generator (Saito 1994), the exact dataset
+/// the paper's Figure 3a illustrates. Class 0 = cylinder, 1 = bell,
+/// 2 = funnel.
+fn cbf_series(class: usize, out: &mut [f32], rng: &mut StdRng) {
+    let n = out.len();
+    // Plateau boundaries: a ~ U[n/8, n/4], b-a ~ U[n/4, 3n/4].
+    let a = rng.gen_range(n / 8..n / 4 + 1);
+    let b = (a + rng.gen_range(n / 4..3 * n / 4 + 1)).min(n - 1);
+    let amp = 6.0 + gaussian(rng) as f32;
+    for (t, v) in out.iter_mut().enumerate() {
+        let shape = if t < a || t > b {
+            0.0
+        } else {
+            match class {
+                0 => 1.0,                                            // cylinder
+                1 => (t - a) as f32 / (b - a).max(1) as f32,         // bell: ramp up
+                _ => (b - t) as f32 / (b - a).max(1) as f32,         // funnel: ramp down
+            }
+        };
+        *v = amp * shape + gaussian(rng) as f32;
+    }
+}
+
+/// StarLightCurves-like smooth periodic generator (the paper's Figure 3b):
+/// low noise, class-specific eclipse shapes, long smooth curves.
+fn slc_series(class: usize, out: &mut [f32], rng: &mut StdRng) {
+    let n = out.len();
+    let phase = std::f32::consts::TAU * rng.gen::<f32>();
+    for (t, v) in out.iter_mut().enumerate() {
+        let x = t as f32 / n as f32;
+        let base = match class {
+            // Eclipsing binary: two sharp dips per period.
+            0 => {
+                let c = (std::f32::consts::TAU * x + phase).cos();
+                -(c.abs().powf(8.0)) * 2.0
+            }
+            // Cepheid: asymmetric sawtooth-like pulse.
+            1 => {
+                let ph = (x + phase / std::f32::consts::TAU).fract();
+                if ph < 0.3 { ph / 0.3 } else { 1.0 - (ph - 0.3) / 0.7 }
+            }
+            // RR Lyrae: sharper rise.
+            _ => {
+                let ph = (x + phase / std::f32::consts::TAU).fract();
+                if ph < 0.15 { ph / 0.15 } else { (1.0 - (ph - 0.15) / 0.85).powf(2.0) }
+            }
+        };
+        *v = base + 0.02 * gaussian(rng) as f32;
+    }
+    // Smooth lightly for the characteristic low-noise look.
+    let src = out.to_vec();
+    for i in 1..n - 1 {
+        out[i] = (src[i - 1] + src[i] + src[i + 1]) / 3.0;
+    }
+}
+
+/// Two-pattern generator: an up-up / up-down / down-up / down-down pair of
+/// step patterns at random offsets.
+fn two_patterns_series(class: usize, out: &mut [f32], rng: &mut StdRng) {
+    let n = out.len();
+    for v in out.iter_mut() {
+        *v = 0.3 * gaussian(rng) as f32;
+    }
+    let (first_up, second_up) = match class {
+        0 => (true, true),
+        1 => (true, false),
+        2 => (false, true),
+        _ => (false, false),
+    };
+    let w = (n / 8).max(2);
+    let p1 = rng.gen_range(0..n / 2 - w);
+    let p2 = rng.gen_range(n / 2..n - w);
+    for (pos, up) in [(p1, first_up), (p2, second_up)] {
+        let sign = if up { 1.0 } else { -1.0 };
+        for t in 0..w {
+            out[pos + t] += sign * if t < w / 2 { -1.0 } else { 1.0 } * 2.0;
+        }
+    }
+}
+
+/// Generates the full 128-dataset synthetic archive.
+///
+/// Datasets cycle through the eight families with lengths from 64 to 1024
+/// and per-dataset seeds, mirroring the heterogeneity of the UCR archive.
+/// `n_train`/`n_test` control the per-dataset sizes (the real archive has up
+/// to 24k series; defaults in the bench harness use a few hundred to keep
+/// runtimes laptop-scale — scale up with `--scale`).
+pub fn ucr_like_archive(n_train: usize, n_test: usize, seed: u64) -> Vec<Dataset> {
+    // The real archive reaches length 2,844; the default archive caps at
+    // 256 so the 128-dataset × 8-method sweeps stay tractable on one core
+    // (the eigendecomposition behind OPQ/VAQ is O(d³) per dataset). The
+    // family generators themselves accept any length.
+    let lengths = [64usize, 96, 128, 192, 256];
+    let families = UcrFamily::all();
+    let mut out = Vec::with_capacity(128);
+    for i in 0..128 {
+        let family = families[i % families.len()];
+        let len = lengths[(i / families.len()) % lengths.len()];
+        let ds_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        let mut ds = family.generate(len, n_train, n_test, ds_seed);
+        ds.name = format!("{}-{:03}", ds.name, i);
+        out.push(ds);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_linalg::Pca;
+
+    #[test]
+    fn cbf_has_three_distinguishable_classes() {
+        let f = UcrFamily::Cbf;
+        let ds = f.generate(128, 90, 9, 1);
+        assert_eq!(ds.data.shape(), (90, 128));
+        // Class means should differ: compare mean series of class 0 vs 1.
+        let mean_of = |class: usize| -> Vec<f32> {
+            let mut m = vec![0.0f32; 128];
+            let mut count = 0;
+            for i in (class..90).step_by(3) {
+                for (a, &b) in m.iter_mut().zip(ds.data.row(i).iter()) {
+                    *a += b;
+                }
+                count += 1;
+            }
+            m.iter().map(|v| v / count as f32).collect()
+        };
+        let d01 = vaq_linalg::euclidean(&mean_of(0), &mean_of(1));
+        assert!(d01 > 1.0, "cylinder and bell class means too close: {d01}");
+    }
+
+    #[test]
+    fn slc_is_much_smoother_than_cbf() {
+        // The paper picks CBF/SLC for their high/low noise. Total variation
+        // of z-normalized series captures that.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tv = |fam: UcrFamily| {
+            let mut total = 0.0f32;
+            for c in 0..3 {
+                let mut s = fam.generate_series(c, 256, &mut rng);
+                let m = Matrix::from_rows(&[s.clone()]);
+                let mut m = m;
+                z_normalize(&mut m);
+                s.copy_from_slice(m.row(0));
+                total += s.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>();
+            }
+            total
+        };
+        let tv_cbf = tv(UcrFamily::Cbf);
+        let tv_slc = tv(UcrFamily::SlcLike);
+        assert!(tv_slc < tv_cbf * 0.5, "SLC tv {tv_slc} vs CBF tv {tv_cbf}");
+    }
+
+    #[test]
+    fn slc_spectrum_more_concentrated_than_cbf() {
+        // Fig. 3c/3d: SLC's first PCs explain more variance than CBF's.
+        let cbf = UcrFamily::Cbf.generate(128, 300, 1, 5);
+        let slc = UcrFamily::SlcLike.generate(128, 300, 1, 5);
+        let top3 = |m: &Matrix| {
+            Pca::fit(m).unwrap().explained_variance_ratio().iter().take(3).sum::<f64>()
+        };
+        let c = top3(&cbf.data);
+        let s = top3(&slc.data);
+        assert!(s > c, "SLC top-3 {s:.3} should exceed CBF {c:.3}");
+    }
+
+    #[test]
+    fn all_families_generate_finite_normalized_series() {
+        for fam in UcrFamily::all() {
+            let ds = fam.generate(64, 24, 6, 9);
+            assert!(ds.data.as_slice().iter().all(|v| v.is_finite()), "{:?}", fam);
+            for row in ds.data.iter_rows() {
+                let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+                assert!(mean.abs() < 1e-4, "{:?} not z-normalized", fam);
+            }
+        }
+    }
+
+    #[test]
+    fn archive_has_128_distinct_datasets() {
+        let arch = ucr_like_archive(20, 5, 42);
+        assert_eq!(arch.len(), 128);
+        let mut names: Vec<&str> = arch.iter().map(|d| d.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 128, "dataset names must be unique");
+        // Lengths vary.
+        let dims: std::collections::BTreeSet<usize> = arch.iter().map(|d| d.dim()).collect();
+        assert!(dims.len() >= 4, "expected length diversity, got {dims:?}");
+    }
+
+    #[test]
+    fn archive_deterministic() {
+        let a = ucr_like_archive(10, 3, 7);
+        let b = ucr_like_archive(10, 3, 7);
+        assert_eq!(a[17].data, b[17].data);
+    }
+
+    #[test]
+    fn class_count_accessor_consistent() {
+        for fam in UcrFamily::all() {
+            assert!(fam.classes() >= 3);
+            assert!(!fam.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the workload generators and ground truth.
+
+use proptest::prelude::*;
+use vaq_dataset::ground_truth::exact_knn_single;
+use vaq_dataset::{exact_knn, z_normalize, SyntheticSpec, UcrFamily};
+use vaq_linalg::{squared_euclidean, Matrix};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ground_truth_is_sorted_and_optimal(
+        data in proptest::collection::vec(-10.0f32..10.0, 60..200),
+        qseed in 0usize..10,
+    ) {
+        let cols = 4;
+        let rows = data.len() / cols;
+        prop_assume!(rows >= 5);
+        let m = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+        let q = m.row(qseed % rows).to_vec();
+        let nn = exact_knn_single(&m, &q, 5);
+        // Sorted by true distance.
+        let dists: Vec<f32> =
+            nn.iter().map(|&i| squared_euclidean(m.row(i as usize), &q)).collect();
+        for w in dists.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-6);
+        }
+        // Nothing outside the answer is closer than the worst answer.
+        let worst = dists.last().copied().unwrap_or(f32::INFINITY);
+        for i in 0..rows {
+            if !nn.contains(&(i as u32)) {
+                let d = squared_euclidean(m.row(i), &q);
+                prop_assert!(d >= worst - 1e-5, "row {i} closer than returned set");
+            }
+        }
+    }
+
+    #[test]
+    fn z_normalize_idempotent(
+        data in proptest::collection::vec(-100.0f32..100.0, 32..128),
+    ) {
+        let cols = 16;
+        let rows = data.len() / cols;
+        prop_assume!(rows >= 1);
+        let mut m = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+        z_normalize(&mut m);
+        let once = m.clone();
+        z_normalize(&mut m);
+        for i in 0..rows {
+            for j in 0..cols {
+                prop_assert!((m.get(i, j) - once.get(i, j)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic(seed in 0u64..1000, n in 10usize..40) {
+        let a = SyntheticSpec::deep_like().generate(n, 2, seed);
+        let b = SyntheticSpec::deep_like().generate(n, 2, seed);
+        prop_assert_eq!(a.data, b.data);
+        let fa = UcrFamily::Cbf.generate(64, n, 2, seed);
+        let fb = UcrFamily::Cbf.generate(64, n, 2, seed);
+        prop_assert_eq!(fa.data, fb.data);
+    }
+
+    #[test]
+    fn batch_ground_truth_matches_single(seed in 0u64..50) {
+        let ds = SyntheticSpec::deep_like().generate(80, 6, seed);
+        let batch = exact_knn(&ds.data, &ds.queries, 4);
+        for q in 0..ds.queries.rows() {
+            prop_assert_eq!(&batch[q], &exact_knn_single(&ds.data, ds.queries.row(q), 4));
+        }
+    }
+}

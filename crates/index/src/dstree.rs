@@ -1,0 +1,460 @@
+//! DSTree (Wang, Wang, Pei, Wang, Huang — VLDB 2013): the data-adaptive
+//! segmentation tree the paper includes in Figure 11.
+//!
+//! Each node summarizes its series with an **EAPCA synopsis**: per segment,
+//! the min/max of the member means and standard deviations. Splits are
+//! data-adaptive twice over: the split *segment* is chosen to maximize the
+//! synopsis range (the published QoS-style heuristic reduces to this for
+//! mean splits), and every third level performs a **vertical split** that
+//! refines the chosen segment into two before splitting — the feature that
+//! distinguishes DSTree from fixed-segmentation indexes. The node lower
+//! bound is the published EAPCA bound: per segment, the squared distance
+//! from the query's segment mean/std to the node's `[min,max]` envelopes,
+//! weighted by segment length.
+//!
+//! Simplifications vs the full system: in-memory only (no disk pages), and
+//! the split threshold is the midpoint of the synopsis range rather than
+//! the full QoS optimization — the traversal behaviour (lower-bound
+//! ordered, NG / epsilon / exact modes via [`TraversalParams`]) matches the
+//! published search algorithm.
+
+use crate::{IndexError, TraversalParams};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use vaq_baselines::{Neighbor, TopK};
+use vaq_linalg::{squared_euclidean, Matrix};
+
+/// Configuration for [`DsTree::build`].
+#[derive(Debug, Clone)]
+pub struct DsTreeConfig {
+    /// Initial number of segments at the root.
+    pub init_segments: usize,
+    /// Series per leaf before splitting.
+    pub leaf_capacity: usize,
+    /// Every `vertical_every`-th depth performs a vertical (segmentation-
+    /// refining) split; `0` disables vertical splits.
+    pub vertical_every: usize,
+}
+
+impl DsTreeConfig {
+    /// Standard configuration.
+    pub fn new() -> Self {
+        DsTreeConfig { init_segments: 4, leaf_capacity: 64, vertical_every: 3 }
+    }
+}
+
+impl Default for DsTreeConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-segment synopsis envelope.
+#[derive(Debug, Clone, Copy)]
+struct SegStats {
+    min_mean: f32,
+    max_mean: f32,
+    min_std: f32,
+    max_std: f32,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Segment end offsets (exclusive); start of segment `s` is
+    /// `bounds[s-1]` (or 0).
+    bounds: Vec<usize>,
+    syn: Vec<SegStats>,
+    members: Vec<u32>,
+    children: Option<(u32, u32)>,
+}
+
+/// The in-memory DSTree.
+pub struct DsTree {
+    data: Matrix,
+    nodes: Vec<Node>,
+    cfg: DsTreeConfig,
+}
+
+impl DsTree {
+    /// Builds the tree over the rows of `data`.
+    pub fn build(data: Matrix, cfg: &DsTreeConfig) -> Result<DsTree, IndexError> {
+        if data.rows() == 0 {
+            return Err(IndexError::EmptyData);
+        }
+        if cfg.init_segments == 0 || cfg.init_segments > data.cols() {
+            return Err(IndexError::BadConfig(format!(
+                "init_segments {} out of range for length {}",
+                cfg.init_segments,
+                data.cols()
+            )));
+        }
+        if cfg.leaf_capacity == 0 {
+            return Err(IndexError::BadConfig("leaf_capacity must be positive".into()));
+        }
+        let n = data.cols();
+        let bounds: Vec<usize> =
+            (1..=cfg.init_segments).map(|s| s * n / cfg.init_segments).collect();
+        let all: Vec<u32> = (0..data.rows() as u32).collect();
+        let mut tree = DsTree { data, nodes: Vec::new(), cfg: cfg.clone() };
+        let root = tree.make_node(bounds, all);
+        tree.nodes.push(root);
+        tree.split_recursive(0, 0);
+        Ok(tree)
+    }
+
+    /// Number of indexed series.
+    pub fn len(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.rows() == 0
+    }
+
+    /// Number of tree nodes (diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn make_node(&self, bounds: Vec<usize>, members: Vec<u32>) -> Node {
+        let syn = self.synopsis(&bounds, &members);
+        Node { bounds, syn, members, children: None }
+    }
+
+    fn synopsis(&self, bounds: &[usize], members: &[u32]) -> Vec<SegStats> {
+        let mut syn = vec![
+            SegStats {
+                min_mean: f32::INFINITY,
+                max_mean: f32::NEG_INFINITY,
+                min_std: f32::INFINITY,
+                max_std: f32::NEG_INFINITY,
+            };
+            bounds.len()
+        ];
+        for &id in members {
+            let row = self.data.row(id as usize);
+            let mut lo = 0;
+            for (s, &hi) in bounds.iter().enumerate() {
+                let (mean, std) = mean_std(&row[lo..hi]);
+                let st = &mut syn[s];
+                st.min_mean = st.min_mean.min(mean);
+                st.max_mean = st.max_mean.max(mean);
+                st.min_std = st.min_std.min(std);
+                st.max_std = st.max_std.max(std);
+                lo = hi;
+            }
+        }
+        syn
+    }
+
+    fn split_recursive(&mut self, node: usize, depth: usize) {
+        if self.nodes[node].members.len() <= self.cfg.leaf_capacity || depth > 40 {
+            return;
+        }
+        // Choose the segment with the widest mean envelope (fall back to
+        // std envelope when means are degenerate).
+        let (seg, use_std) = {
+            let syn = &self.nodes[node].syn;
+            let by_mean = syn
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    (a.1.max_mean - a.1.min_mean)
+                        .partial_cmp(&(b.1.max_mean - b.1.min_mean))
+                        .unwrap_or(Ordering::Equal)
+                })
+                .map(|(i, s)| (i, s.max_mean - s.min_mean))
+                .unwrap();
+            let by_std = syn
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    (a.1.max_std - a.1.min_std)
+                        .partial_cmp(&(b.1.max_std - b.1.min_std))
+                        .unwrap_or(Ordering::Equal)
+                })
+                .map(|(i, s)| (i, s.max_std - s.min_std))
+                .unwrap();
+            if by_mean.1 >= by_std.1 { (by_mean.0, false) } else { (by_std.0, true) }
+        };
+
+        // Optionally refine the chosen segment first (vertical split).
+        let mut bounds = self.nodes[node].bounds.clone();
+        if self.cfg.vertical_every > 0
+            && depth % self.cfg.vertical_every == self.cfg.vertical_every - 1
+        {
+            let lo = if seg == 0 { 0 } else { bounds[seg - 1] };
+            let hi = bounds[seg];
+            if hi - lo >= 2 {
+                bounds.insert(seg, lo + (hi - lo) / 2);
+            }
+        }
+
+        // Horizontal split: route members by their segment statistic
+        // against the midpoint threshold.
+        let lo = if seg == 0 { 0 } else { self.nodes[node].bounds[seg - 1] };
+        let hi = self.nodes[node].bounds[seg];
+        let st = self.nodes[node].syn[seg];
+        let threshold =
+            if use_std { (st.min_std + st.max_std) / 2.0 } else { (st.min_mean + st.max_mean) / 2.0 };
+        let members = self.nodes[node].members.clone();
+        let mut left_ids = Vec::new();
+        let mut right_ids = Vec::new();
+        for &id in &members {
+            let seg_vals = &self.data.row(id as usize)[lo..hi];
+            let (mean, std) = mean_std(seg_vals);
+            let v = if use_std { std } else { mean };
+            if v <= threshold {
+                left_ids.push(id);
+            } else {
+                right_ids.push(id);
+            }
+        }
+        if left_ids.is_empty() || right_ids.is_empty() {
+            return; // degenerate envelope; stay a leaf
+        }
+        let left = self.make_node(bounds.clone(), left_ids);
+        let right = self.make_node(bounds, right_ids);
+        let l = self.nodes.len() as u32;
+        self.nodes.push(left);
+        let r = self.nodes.len() as u32;
+        self.nodes.push(right);
+        self.nodes[node].children = Some((l, r));
+        self.nodes[node].members.clear();
+        self.split_recursive(l as usize, depth + 1);
+        self.split_recursive(r as usize, depth + 1);
+    }
+
+    /// Squared EAPCA lower bound from a query to a node's envelopes.
+    fn lower_bound_sq(&self, query: &[f32], node: &Node) -> f32 {
+        let mut acc = 0.0f32;
+        let mut lo = 0;
+        for (s, &hi) in node.bounds.iter().enumerate() {
+            let (qm, qs) = mean_std(&query[lo..hi]);
+            let st = node.syn[s];
+            let dm = if qm < st.min_mean {
+                st.min_mean - qm
+            } else if qm > st.max_mean {
+                qm - st.max_mean
+            } else {
+                0.0
+            };
+            let dsd = if qs < st.min_std {
+                st.min_std - qs
+            } else if qs > st.max_std {
+                qs - st.max_std
+            } else {
+                0.0
+            };
+            acc += (hi - lo) as f32 * (dm * dm + dsd * dsd);
+            lo = hi;
+        }
+        acc
+    }
+
+    /// k-NN search in exact / NG / epsilon mode.
+    pub fn search(&self, query: &[f32], k: usize, params: TraversalParams) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.data.cols(), "query length mismatch");
+        let mut top = TopK::new(k);
+        let eps_factor = match params.epsilon {
+            Some(e) => 1.0 / ((1.0 + e) * (1.0 + e)),
+            None => 1.0,
+        };
+
+        #[derive(PartialEq)]
+        struct Item(f32, u32);
+        impl Eq for Item {}
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Item(self.lower_bound_sq(query, &self.nodes[0]), 0));
+        let mut leaves_visited = 0usize;
+
+        while let Some(Item(lb, id)) = heap.pop() {
+            if top.is_full() && lb >= top.threshold() * eps_factor {
+                break;
+            }
+            let node = &self.nodes[id as usize];
+            match node.children {
+                Some((l, r)) => {
+                    for c in [l, r] {
+                        let clb = self.lower_bound_sq(query, &self.nodes[c as usize]);
+                        if !top.is_full() || clb < top.threshold() * eps_factor {
+                            heap.push(Item(clb, c));
+                        }
+                    }
+                }
+                None => {
+                    for &m in &node.members {
+                        let d = squared_euclidean(self.data.row(m as usize), query);
+                        top.push(m, d);
+                    }
+                    leaves_visited += 1;
+                    if let Some(max) = params.max_leaves {
+                        if leaves_visited >= max {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+/// Mean and (population) standard deviation of a slice.
+#[inline]
+fn mean_std(v: &[f32]) -> (f32, f32) {
+    if v.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = v.len() as f32;
+    let mean = v.iter().sum::<f32>() / n;
+    let var = v.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    (mean, var.max(0.0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_dataset::{exact_knn, ucr::UcrFamily};
+    use vaq_metrics::recall_at_k;
+
+    fn dataset() -> vaq_dataset::Dataset {
+        UcrFamily::TwoPatterns.generate(128, 600, 20, 7)
+    }
+
+    #[test]
+    fn mean_std_known_values() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-6);
+        assert!((s - 1.0).abs() < 1e-6);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn build_rejects_bad_configs() {
+        assert!(DsTree::build(Matrix::zeros(0, 16), &DsTreeConfig::new()).is_err());
+        let ds = dataset();
+        let mut cfg = DsTreeConfig::new();
+        cfg.init_segments = 0;
+        assert!(DsTree::build(ds.data.clone(), &cfg).is_err());
+        cfg.init_segments = 4;
+        cfg.leaf_capacity = 0;
+        assert!(DsTree::build(ds.data.clone(), &cfg).is_err());
+    }
+
+    #[test]
+    fn tree_splits_and_partitions() {
+        let ds = dataset();
+        let tree = DsTree::build(ds.data.clone(), &DsTreeConfig::new()).unwrap();
+        assert!(tree.num_nodes() > 1);
+        let mut seen = vec![false; ds.data.rows()];
+        for node in &tree.nodes {
+            if node.children.is_none() {
+                for &m in &node.members {
+                    assert!(!seen[m as usize]);
+                    seen[m as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vertical_splits_refine_segmentation() {
+        let ds = dataset();
+        let tree = DsTree::build(ds.data.clone(), &DsTreeConfig::new()).unwrap();
+        let root_segments = tree.nodes[0].bounds.len();
+        let max_leaf_segments = tree
+            .nodes
+            .iter()
+            .filter(|n| n.children.is_none())
+            .map(|n| n.bounds.len())
+            .max()
+            .unwrap();
+        assert!(
+            max_leaf_segments > root_segments,
+            "no vertical refinement happened: {max_leaf_segments} vs {root_segments}"
+        );
+    }
+
+    #[test]
+    fn exact_mode_matches_brute_force() {
+        let ds = dataset();
+        let tree = DsTree::build(ds.data.clone(), &DsTreeConfig::new()).unwrap();
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        for q in 0..5 {
+            let got: Vec<u32> = tree
+                .search(ds.queries.row(q), 10, TraversalParams::exact())
+                .iter()
+                .map(|n| n.index)
+                .collect();
+            assert_eq!(got, truth[q], "query {q}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_sound() {
+        let ds = dataset();
+        let tree = DsTree::build(ds.data.clone(), &DsTreeConfig::new()).unwrap();
+        let q = ds.queries.row(0);
+        for node in &tree.nodes {
+            if node.children.is_none() {
+                let lb = tree.lower_bound_sq(q, node);
+                for &m in &node.members {
+                    let d = squared_euclidean(ds.data.row(m as usize), q);
+                    assert!(lb <= d + 1e-2 * d.max(1.0), "LB {lb} > distance {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ng_mode_recall_grows_with_leaves() {
+        let ds = dataset();
+        let tree = DsTree::build(ds.data.clone(), &DsTreeConfig::new()).unwrap();
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        let run = |params: TraversalParams| -> f64 {
+            let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
+                .map(|q| {
+                    tree.search(ds.queries.row(q), 10, params)
+                        .iter()
+                        .map(|n| n.index)
+                        .collect()
+                })
+                .collect();
+            recall_at_k(&retrieved, &truth, 10)
+        };
+        let few = run(TraversalParams::ng(1));
+        let many = run(TraversalParams::ng(60));
+        assert!(many >= few);
+        assert!(many > 0.5, "NG-60 recall too low: {many}");
+    }
+
+    #[test]
+    fn epsilon_guarantee_holds() {
+        let ds = dataset();
+        let tree = DsTree::build(ds.data.clone(), &DsTreeConfig::new()).unwrap();
+        let truth = exact_knn(&ds.data, &ds.queries, 1);
+        for q in 0..8 {
+            let got = tree.search(ds.queries.row(q), 1, TraversalParams::epsilon(0.5));
+            let exact_d =
+                squared_euclidean(ds.data.row(truth[q][0] as usize), ds.queries.row(q));
+            assert!(
+                got[0].distance <= exact_d * 2.25 + 1e-3,
+                "epsilon guarantee violated: {} vs {exact_d}",
+                got[0].distance
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Exact nearest-neighbor scan with early abandoning.
+//!
+//! The reference every approximate method is scored against. Early
+//! abandoning (stop accumulating a squared distance once it exceeds the
+//! current k-th best) keeps it honest as a *fast* exact baseline — the same
+//! trick classic series-matching systems (UCR suite) use.
+
+use vaq_baselines::{AnnIndex, Neighbor, TopK};
+use vaq_linalg::Matrix;
+
+/// Brute-force exact scan over raw vectors.
+#[derive(Debug, Clone)]
+pub struct ExactScan {
+    data: Matrix,
+}
+
+impl ExactScan {
+    /// Wraps the dataset (kept by value: the scan needs the raw vectors).
+    pub fn new(data: Matrix) -> Self {
+        ExactScan { data }
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.rows() == 0
+    }
+
+    /// Early-abandoned squared distance: returns `None` when the distance
+    /// provably exceeds `threshold`.
+    #[inline]
+    fn bounded_distance(a: &[f32], b: &[f32], threshold: f32) -> Option<f32> {
+        let mut acc = 0.0f32;
+        // Chunked to keep the comparison out of the innermost operations.
+        for (ca, cb) in a.chunks(8).zip(b.chunks(8)) {
+            for (x, y) in ca.iter().zip(cb.iter()) {
+                let d = x - y;
+                acc += d * d;
+            }
+            if acc >= threshold {
+                return None;
+            }
+        }
+        Some(acc)
+    }
+}
+
+impl AnnIndex for ExactScan {
+    fn name(&self) -> &str {
+        "Exact"
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut top = TopK::new(k);
+        for (i, row) in self.data.iter_rows().enumerate() {
+            let threshold = top.threshold();
+            if let Some(d) = Self::bounded_distance(row, query, threshold) {
+                top.push(i as u32, d);
+            }
+        }
+        top.into_sorted()
+    }
+
+    fn code_bits(&self) -> usize {
+        self.data.cols() * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_dataset::{exact_knn, SyntheticSpec};
+
+    #[test]
+    fn matches_reference_ground_truth() {
+        let ds = SyntheticSpec::sift_like().generate(400, 10, 1);
+        let scan = ExactScan::new(ds.data.clone());
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        for q in 0..ds.queries.rows() {
+            let got: Vec<u32> =
+                scan.search(ds.queries.row(q), 10).iter().map(|n| n.index).collect();
+            assert_eq!(got, truth[q], "query {q}");
+        }
+    }
+
+    #[test]
+    fn early_abandoning_does_not_change_results() {
+        // bounded_distance with INFINITY threshold is the plain distance.
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let b = [0.0f32; 9];
+        let full = ExactScan::bounded_distance(&a, &b, f32::INFINITY).unwrap();
+        let expect: f32 = a.iter().map(|v| v * v).sum();
+        assert!((full - expect).abs() < 1e-4);
+        // A tight threshold abandons.
+        assert_eq!(ExactScan::bounded_distance(&a, &b, 1.0), None);
+    }
+
+    #[test]
+    fn self_query_is_first() {
+        let ds = SyntheticSpec::deep_like().generate(200, 0, 3);
+        let scan = ExactScan::new(ds.data.clone());
+        for i in (0..200).step_by(23) {
+            let res = scan.search(ds.data.row(i), 1);
+            assert_eq!(res[0].index, i as u32);
+            assert!(res[0].distance < 1e-6);
+        }
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let ds = SyntheticSpec::deep_like().generate(5, 0, 4);
+        let scan = ExactScan::new(ds.data.clone());
+        assert_eq!(scan.search(ds.data.row(0), 50).len(), 5);
+    }
+}

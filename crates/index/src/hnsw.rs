@@ -1,0 +1,471 @@
+//! Hierarchical Navigable Small World graphs (Malkov & Yashunin, TPAMI
+//! 2018) — the strongest graph index in the studies the VAQ paper cites,
+//! evaluated in Figure 12 *over PQ-encoded data*.
+//!
+//! Standard construction: each element draws a geometric level; greedy
+//! descent through the upper layers, beam search (`ef_construction`) on the
+//! insertion layers, neighbor selection by distance, bidirectional links
+//! trimmed back to `M` (`M0` on layer 0). Search descends greedily to
+//! layer 0, then beam-searches with `ef_search`.
+//!
+//! Distances are abstracted behind [`VectorStore`], so the same graph code
+//! runs over raw vectors ([`RawStore`]) or PQ codes ([`PqStore`], ADC for
+//! query→node and symmetric code distances for node→node) — the Figure 12
+//! configuration.
+
+use crate::IndexError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use vaq_baselines::pq::Pq;
+use vaq_baselines::{AnnIndex as _, Neighbor};
+use vaq_linalg::{squared_euclidean, Matrix};
+
+/// Distance oracle for graph construction and search.
+pub trait VectorStore {
+    /// Number of stored elements.
+    fn len(&self) -> usize;
+    /// `true` when no elements are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Squared distance from a raw query vector to element `i`.
+    fn query_distance(&self, query: &[f32], i: usize) -> f32;
+    /// Squared distance between elements `i` and `j`.
+    fn pair_distance(&self, i: usize, j: usize) -> f32;
+}
+
+/// Raw-vector store.
+#[derive(Debug, Clone)]
+pub struct RawStore {
+    data: Matrix,
+}
+
+impl RawStore {
+    /// Wraps a dataset.
+    pub fn new(data: Matrix) -> Self {
+        RawStore { data }
+    }
+}
+
+impl VectorStore for RawStore {
+    fn len(&self) -> usize {
+        self.data.rows()
+    }
+    fn query_distance(&self, query: &[f32], i: usize) -> f32 {
+        squared_euclidean(query, self.data.row(i))
+    }
+    fn pair_distance(&self, i: usize, j: usize) -> f32 {
+        squared_euclidean(self.data.row(i), self.data.row(j))
+    }
+}
+
+/// PQ-encoded store: query→node via ADC tables computed per query is not
+/// possible inside the trait (no per-query state), so the query side
+/// decodes lazily; node→node uses reconstructions too. This matches
+/// "HNSW over PQ-encoded data": the graph never touches raw vectors.
+#[derive(Debug, Clone)]
+pub struct PqStore {
+    /// Decoded (reconstructed) vectors — the quantized view of the data.
+    recon: Matrix,
+    /// Bits per code, for budget accounting.
+    code_bits: usize,
+}
+
+impl PqStore {
+    /// Builds the store from a trained PQ index by decoding every code
+    /// once (trading memory for speed, as HNSW itself does).
+    pub fn from_pq(pq: &Pq) -> Self {
+        let n = pq.len();
+        let dim = pq.ranges().last().map(|r| r.1).unwrap_or(0);
+        let mut recon = Matrix::zeros(n, dim);
+        for i in 0..n {
+            let dec = pq.decode(pq.code(i));
+            recon.row_mut(i).copy_from_slice(&dec);
+        }
+        PqStore { recon, code_bits: pq.code_bits() }
+    }
+
+    /// Bits per encoded vector.
+    pub fn code_bits(&self) -> usize {
+        self.code_bits
+    }
+}
+
+impl VectorStore for PqStore {
+    fn len(&self) -> usize {
+        self.recon.rows()
+    }
+    fn query_distance(&self, query: &[f32], i: usize) -> f32 {
+        squared_euclidean(query, self.recon.row(i))
+    }
+    fn pair_distance(&self, i: usize, j: usize) -> f32 {
+        squared_euclidean(self.recon.row(i), self.recon.row(j))
+    }
+}
+
+/// Configuration for [`Hnsw::build`].
+#[derive(Debug, Clone)]
+pub struct HnswConfig {
+    /// Max connections per node on layers ≥ 1 (`M`); layer 0 allows `2M`.
+    pub m: usize,
+    /// Beam width during construction (`efConstruction`).
+    pub ef_construction: usize,
+    /// Default beam width during search (`efSearch`).
+    pub ef_search: usize,
+    /// RNG seed for level draws.
+    pub seed: u64,
+}
+
+impl HnswConfig {
+    /// A mid-range configuration (paper sweeps M ∈ [8, 32]).
+    pub fn new(m: usize) -> Self {
+        HnswConfig { m, ef_construction: 100, ef_search: 32, seed: 0x5eed }
+    }
+}
+
+/// Max-heap entry for candidate frontiers (furthest on top).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Far(f32, u32);
+impl Eq for Far {}
+impl PartialOrd for Far {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Far {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Min-heap entry (closest on top) via reversed ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Near(f32, u32);
+impl Eq for Near {}
+impl PartialOrd for Near {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Near {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal).then(other.1.cmp(&self.1))
+    }
+}
+
+/// The HNSW graph over a [`VectorStore`].
+pub struct Hnsw<S: VectorStore> {
+    store: S,
+    /// `layers[l][node]` = adjacency list of `node` on layer `l`; nodes
+    /// absent from a layer have an empty list.
+    layers: Vec<Vec<Vec<u32>>>,
+    /// Top layer of each node.
+    node_level: Vec<usize>,
+    entry: u32,
+    max_level: usize,
+    cfg: HnswConfig,
+}
+
+impl<S: VectorStore> Hnsw<S> {
+    /// Builds the graph by inserting every element of the store.
+    pub fn build(store: S, cfg: &HnswConfig) -> Result<Self, IndexError> {
+        if store.is_empty() {
+            return Err(IndexError::EmptyData);
+        }
+        if cfg.m < 2 {
+            return Err(IndexError::BadConfig("M must be at least 2".into()));
+        }
+        let n = store.len();
+        let ml = 1.0 / (cfg.m as f64).ln();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut node_level = Vec::with_capacity(n);
+        for _ in 0..n {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            node_level.push(((-u.ln() * ml).floor() as usize).min(24));
+        }
+        let top = node_level.iter().copied().max().unwrap_or(0);
+        let layers: Vec<Vec<Vec<u32>>> = (0..=top).map(|_| vec![Vec::new(); n]).collect();
+
+        // The first node is the initial entry point; its level defines the
+        // current max, growing as higher-level nodes are inserted.
+        let mut hnsw = Hnsw {
+            store,
+            layers,
+            node_level: node_level.clone(),
+            entry: 0,
+            max_level: node_level[0],
+            cfg: cfg.clone(),
+        };
+        for i in 1..n {
+            hnsw.insert(i as u32);
+        }
+        Ok(hnsw)
+    }
+
+    fn insert(&mut self, id: u32) {
+        let level = self.node_level[id as usize];
+        let mut ep = self.entry;
+        // Greedy descent through layers above the node's level.
+        for l in ((level + 1)..=self.max_level).rev() {
+            ep = self.greedy_closest_at(id, ep, l);
+        }
+        // Beam insertion on layers min(level, max_level)..0.
+        for l in (0..=level.min(self.max_level)).rev() {
+            let candidates = self.search_layer_by_id(id, ep, self.cfg.ef_construction, l);
+            let m_max = if l == 0 { self.cfg.m * 2 } else { self.cfg.m };
+            let selected: Vec<u32> =
+                candidates.iter().take(self.cfg.m).map(|&Near(_, c)| c).collect();
+            for &nb in &selected {
+                self.layers[l][id as usize].push(nb);
+                self.layers[l][nb as usize].push(id);
+                if self.layers[l][nb as usize].len() > m_max {
+                    self.shrink(nb, l, m_max);
+                }
+            }
+            if let Some(&Near(_, best)) = candidates.first() {
+                ep = best;
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = id;
+        }
+    }
+
+    /// Keeps only the `m_max` closest neighbors of `node` on layer `l`.
+    fn shrink(&mut self, node: u32, l: usize, m_max: usize) {
+        let mut list = std::mem::take(&mut self.layers[l][node as usize]);
+        list.sort_by(|&a, &b| {
+            self.store
+                .pair_distance(node as usize, a as usize)
+                .partial_cmp(&self.store.pair_distance(node as usize, b as usize))
+                .unwrap_or(Ordering::Equal)
+        });
+        list.dedup();
+        list.truncate(m_max);
+        self.layers[l][node as usize] = list;
+    }
+
+    /// Greedy single-step descent for an *indexed* element.
+    fn greedy_closest_at(&self, id: u32, mut ep: u32, l: usize) -> u32 {
+        let mut best = self.store.pair_distance(id as usize, ep as usize);
+        loop {
+            let mut improved = false;
+            for &nb in &self.layers[l][ep as usize] {
+                let d = self.store.pair_distance(id as usize, nb as usize);
+                if d < best {
+                    best = d;
+                    ep = nb;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// Beam search on one layer for an indexed element (construction path).
+    fn search_layer_by_id(&self, id: u32, ep: u32, ef: usize, l: usize) -> Vec<Near> {
+        self.search_layer_impl(|x| self.store.pair_distance(id as usize, x as usize), ep, ef, l)
+    }
+
+    /// Beam search on one layer for an external query.
+    fn search_layer_query(&self, query: &[f32], ep: u32, ef: usize, l: usize) -> Vec<Near> {
+        self.search_layer_impl(|x| self.store.query_distance(query, x as usize), ep, ef, l)
+    }
+
+    fn search_layer_impl(
+        &self,
+        dist: impl Fn(u32) -> f32,
+        ep: u32,
+        ef: usize,
+        l: usize,
+    ) -> Vec<Near> {
+        let mut visited: HashSet<u32> = HashSet::new();
+        visited.insert(ep);
+        let d0 = dist(ep);
+        let mut frontier: BinaryHeap<Near> = BinaryHeap::new(); // closest first
+        frontier.push(Near(d0, ep));
+        let mut results: BinaryHeap<Far> = BinaryHeap::new(); // furthest on top
+        results.push(Far(d0, ep));
+
+        while let Some(Near(d, c)) = frontier.pop() {
+            let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
+            if d > worst && results.len() >= ef {
+                break;
+            }
+            for &nb in &self.layers[l][c as usize] {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let dn = dist(nb);
+                let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
+                if results.len() < ef || dn < worst {
+                    frontier.push(Near(dn, nb));
+                    results.push(Far(dn, nb));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Near> =
+            results.into_vec().into_iter().map(|Far(d, i)| Near(d, i)).collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        out
+    }
+
+    /// k-NN search with the given beam width (`ef_search`; the config's
+    /// default is used by [`Hnsw::search`]).
+    pub fn search_ef(&self, query: &[f32], k: usize, ef: usize) -> Vec<Neighbor> {
+        let mut ep = self.entry;
+        for l in (1..=self.max_level).rev() {
+            // Greedy descent for the query.
+            let mut best = self.store.query_distance(query, ep as usize);
+            loop {
+                let mut improved = false;
+                for &nb in &self.layers[l][ep as usize] {
+                    let d = self.store.query_distance(query, nb as usize);
+                    if d < best {
+                        best = d;
+                        ep = nb;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        let found = self.search_layer_query(query, ep, ef.max(k), 0);
+        found
+            .into_iter()
+            .take(k)
+            .map(|Near(d, i)| Neighbor { index: i, distance: d })
+            .collect()
+    }
+
+    /// k-NN search with the configured default `ef_search`.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_ef(query, k, self.cfg.ef_search)
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Total number of edges on layer 0 (diagnostics).
+    pub fn layer0_edges(&self) -> usize {
+        self.layers[0].iter().map(|adj| adj.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_baselines::pq::PqConfig;
+    use vaq_dataset::{exact_knn, SyntheticSpec};
+    use vaq_metrics::recall_at_k;
+
+    #[test]
+    fn rejects_bad_configs() {
+        let ds = SyntheticSpec::deep_like().generate(50, 0, 1);
+        assert!(Hnsw::build(RawStore::new(Matrix::zeros(0, 4)), &HnswConfig::new(8)).is_err());
+        assert!(Hnsw::build(RawStore::new(ds.data.clone()), &HnswConfig::new(1)).is_err());
+    }
+
+    #[test]
+    fn high_recall_on_raw_vectors() {
+        let ds = SyntheticSpec::sift_like().generate(1200, 30, 2);
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        let hnsw = Hnsw::build(RawStore::new(ds.data.clone()), &HnswConfig::new(16)).unwrap();
+        let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
+            .map(|q| hnsw.search_ef(ds.queries.row(q), 10, 64).iter().map(|n| n.index).collect())
+            .collect();
+        let r = recall_at_k(&retrieved, &truth, 10);
+        assert!(r > 0.8, "HNSW recall too low: {r}");
+    }
+
+    #[test]
+    fn larger_ef_never_reduces_recall_much() {
+        let ds = SyntheticSpec::deep_like().generate(800, 20, 3);
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        let hnsw = Hnsw::build(RawStore::new(ds.data.clone()), &HnswConfig::new(12)).unwrap();
+        let recall_with_ef = |ef: usize| -> f64 {
+            let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
+                .map(|q| {
+                    hnsw.search_ef(ds.queries.row(q), 10, ef).iter().map(|n| n.index).collect()
+                })
+                .collect();
+            recall_at_k(&retrieved, &truth, 10)
+        };
+        let low = recall_with_ef(10);
+        let high = recall_with_ef(100);
+        assert!(high >= low - 0.02, "ef=100 recall {high} < ef=10 recall {low}");
+    }
+
+    #[test]
+    fn self_query_finds_itself() {
+        let ds = SyntheticSpec::deep_like().generate(300, 0, 5);
+        let hnsw = Hnsw::build(RawStore::new(ds.data.clone()), &HnswConfig::new(8)).unwrap();
+        let mut hits = 0;
+        for i in (0..300).step_by(29) {
+            let res = hnsw.search_ef(ds.data.row(i), 1, 32);
+            if res.first().map(|n| n.index) == Some(i as u32) {
+                hits += 1;
+            }
+        }
+        let total = (0..300).step_by(29).count();
+        assert!(hits * 10 >= total * 8, "{hits}/{total}");
+    }
+
+    #[test]
+    fn works_over_pq_store() {
+        // The Figure 12 setup: graph over PQ reconstructions.
+        let ds = SyntheticSpec::sift_like().generate(800, 15, 7);
+        let pq = Pq::train(&ds.data, &PqConfig::new(16).with_bits(8)).unwrap();
+        let store = PqStore::from_pq(&pq);
+        assert_eq!(store.code_bits(), 128);
+        let hnsw = Hnsw::build(store, &HnswConfig::new(12)).unwrap();
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
+            .map(|q| hnsw.search_ef(ds.queries.row(q), 10, 64).iter().map(|n| n.index).collect())
+            .collect();
+        let r = recall_at_k(&retrieved, &truth, 10);
+        // Bounded by PQ quantization, but far above chance (10/800).
+        assert!(r > 0.4, "HNSW-over-PQ recall too low: {r}");
+    }
+
+    #[test]
+    fn edges_bounded_by_two_m() {
+        let ds = SyntheticSpec::deep_like().generate(500, 0, 9);
+        let cfg = HnswConfig::new(8);
+        let hnsw = Hnsw::build(RawStore::new(ds.data.clone()), &cfg).unwrap();
+        for adj in &hnsw.layers[0] {
+            assert!(adj.len() <= cfg.m * 2 + cfg.m, "layer-0 degree {} too big", adj.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = SyntheticSpec::deep_like().generate(200, 3, 11);
+        let a = Hnsw::build(RawStore::new(ds.data.clone()), &HnswConfig::new(8)).unwrap();
+        let b = Hnsw::build(RawStore::new(ds.data.clone()), &HnswConfig::new(8)).unwrap();
+        for q in 0..3 {
+            let ra: Vec<u32> =
+                a.search(ds.queries.row(q), 5).iter().map(|n| n.index).collect();
+            let rb: Vec<u32> =
+                b.search(ds.queries.row(q), 5).iter().map(|n| n.index).collect();
+            assert_eq!(ra, rb);
+        }
+    }
+}

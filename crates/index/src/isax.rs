@@ -1,0 +1,520 @@
+//! iSAX2+ (Camerra, Shieh, Palpanas, Rakthanmanon, Keogh — KAIS 2014), one
+//! of the two scalable series indexes the paper includes in Figure 11.
+//!
+//! Series are summarized by PAA (piecewise aggregate approximation) and
+//! quantized into SAX words whose per-segment cardinality can grow: a node
+//! splits by promoting one segment to one more bit, producing two children
+//! (the iSAX 2.0 binary split). Because the Gaussian breakpoints for
+//! cardinality `2^b` are a subset of those for `2^{b+1}` (quantiles at
+//! `i/2^b = 2i/2^{b+1}` nest), a coarse symbol is exactly the bit-prefix of
+//! the finer symbol, which is what makes the variable-cardinality tree
+//! coherent.
+//!
+//! Simplification vs the full iSAX2+ system: bulk-loading buffers and the
+//! disk layout are out of scope for an in-memory reproduction; the split
+//! rule (round-robin over the least-refined segment) and the PAA MINDIST
+//! lower bound are the published ones. Searches run in the paper's three
+//! modes via [`TraversalParams`]: exact, NG (visit-L-leaves), epsilon.
+
+use crate::{IndexError, TraversalParams};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use vaq_baselines::{Neighbor, TopK};
+use vaq_linalg::{squared_euclidean, Matrix};
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9) — used to derive SAX breakpoints.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p out of [0,1]: {p}");
+    if p <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p >= 1.0 {
+        return f64::INFINITY;
+    }
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inverse_normal_cdf(1.0 - p)
+    }
+}
+
+/// SAX breakpoints for cardinality `c`: the `c − 1` standard-normal
+/// quantiles at `i/c`.
+pub fn sax_breakpoints(c: usize) -> Vec<f64> {
+    (1..c).map(|i| inverse_normal_cdf(i as f64 / c as f64)).collect()
+}
+
+/// One SAX symbol at a variable cardinality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Sym {
+    /// Symbol value in `0..2^bits`.
+    value: u16,
+    /// Cardinality bits (0 = "matches everything").
+    bits: u8,
+}
+
+/// Configuration for [`IsaxIndex::build`].
+#[derive(Debug, Clone)]
+pub struct IsaxConfig {
+    /// PAA word length (segments per series; paper-standard 8–16).
+    pub word_len: usize,
+    /// Maximum cardinality bits per segment (8 → 256 symbols).
+    pub max_bits: u8,
+    /// Series per leaf before splitting.
+    pub leaf_capacity: usize,
+}
+
+impl IsaxConfig {
+    /// Standard configuration.
+    pub fn new() -> Self {
+        IsaxConfig { word_len: 8, max_bits: 8, leaf_capacity: 64 }
+    }
+}
+
+impl Default for IsaxConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct Node {
+    word: Vec<Sym>,
+    /// Leaf members (empty for internal nodes).
+    members: Vec<u32>,
+    /// `(left, right, split_segment)` for internal nodes.
+    children: Option<(u32, u32, usize)>,
+}
+
+/// The in-memory iSAX2+ tree.
+pub struct IsaxIndex {
+    cfg: IsaxConfig,
+    data: Matrix,
+    /// PAA of every series, `n × word_len`.
+    paa: Matrix,
+    nodes: Vec<Node>,
+    /// Precomputed breakpoints per bit level: `breaks[b]` has `2^b − 1`
+    /// entries.
+    breaks: Vec<Vec<f64>>,
+}
+
+impl IsaxIndex {
+    /// Builds the tree over the rows of `data` (series should be
+    /// z-normalized, as SAX breakpoints assume a standard normal value
+    /// distribution).
+    pub fn build(data: Matrix, cfg: &IsaxConfig) -> Result<IsaxIndex, IndexError> {
+        if data.rows() == 0 {
+            return Err(IndexError::EmptyData);
+        }
+        if cfg.word_len == 0 || cfg.word_len > data.cols() {
+            return Err(IndexError::BadConfig(format!(
+                "word_len {} out of range for series length {}",
+                cfg.word_len,
+                data.cols()
+            )));
+        }
+        if cfg.max_bits == 0 || cfg.max_bits > 10 {
+            return Err(IndexError::BadConfig("max_bits must be in 1..=10".into()));
+        }
+        let paa = compute_paa(&data, cfg.word_len);
+        let breaks: Vec<Vec<f64>> =
+            (0..=cfg.max_bits).map(|b| sax_breakpoints(1usize << b)).collect();
+        let root = Node {
+            word: vec![Sym { value: 0, bits: 0 }; cfg.word_len],
+            members: Vec::new(),
+            children: None,
+        };
+        let mut index =
+            IsaxIndex { cfg: cfg.clone(), data, paa, nodes: vec![root], breaks };
+        for i in 0..index.data.rows() {
+            index.insert(i as u32);
+        }
+        Ok(index)
+    }
+
+    /// Number of indexed series.
+    pub fn len(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.rows() == 0
+    }
+
+    /// Number of tree nodes (diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Symbol of a PAA value at the given bit level.
+    fn symbol(&self, value: f32, bits: u8) -> u16 {
+        let bps = &self.breaks[bits as usize];
+        bps.partition_point(|&b| (b as f32) <= value) as u16
+    }
+
+    fn insert(&mut self, id: u32) {
+        let mut cur = 0usize;
+        loop {
+            if let Some((l, r, seg)) = self.nodes[cur].children {
+                let bits = self.nodes[cur].word[seg].bits + 1;
+                let sym = self.symbol(self.paa.get(id as usize, seg), bits);
+                cur = if sym & 1 == 0 { l as usize } else { r as usize };
+                // Defensive: the child must carry the matching symbol; the
+                // construction guarantees left = even bit, right = odd bit.
+                continue;
+            }
+            self.nodes[cur].members.push(id);
+            if self.nodes[cur].members.len() > self.cfg.leaf_capacity
+                && self.try_split(cur)
+            {
+                // Members were redistributed; continue from this node to
+                // place nothing further (insert already completed).
+            }
+            return;
+        }
+    }
+
+    /// Splits leaf `cur` on its least-refined segment. Returns `false` when
+    /// every segment is already at `max_bits`.
+    fn try_split(&mut self, cur: usize) -> bool {
+        let seg = {
+            let word = &self.nodes[cur].word;
+            let min_bits = word.iter().map(|s| s.bits).min().unwrap();
+            if min_bits >= self.cfg.max_bits {
+                return false;
+            }
+            word.iter().position(|s| s.bits == min_bits).unwrap()
+        };
+        let parent_word = self.nodes[cur].word.clone();
+        let bits = parent_word[seg].bits + 1;
+        let make_child = |low_bit: u16| -> Node {
+            let mut word = parent_word.clone();
+            word[seg] = Sym { value: parent_word[seg].value * 2 + low_bit, bits };
+            Node { word, members: Vec::new(), children: None }
+        };
+        let left = self.nodes.len() as u32;
+        self.nodes.push(make_child(0));
+        let right = self.nodes.len() as u32;
+        self.nodes.push(make_child(1));
+
+        let members = std::mem::take(&mut self.nodes[cur].members);
+        for id in members {
+            let sym = self.symbol(self.paa.get(id as usize, seg), bits);
+            let child = if sym & 1 == 0 { left } else { right };
+            self.nodes[child as usize].members.push(id);
+        }
+        self.nodes[cur].children = Some((left, right, seg));
+        true
+    }
+
+    /// Squared MINDIST lower bound from a query's PAA to a node's SAX
+    /// region.
+    fn lower_bound_sq(&self, qpaa: &[f32], node: &Node) -> f32 {
+        let n = self.data.cols() as f32;
+        let w = self.cfg.word_len as f32;
+        let mut acc = 0.0f32;
+        for (s, sym) in node.word.iter().enumerate() {
+            if sym.bits == 0 {
+                continue;
+            }
+            let bps = &self.breaks[sym.bits as usize];
+            let lo = if sym.value == 0 {
+                f32::NEG_INFINITY
+            } else {
+                bps[sym.value as usize - 1] as f32
+            };
+            let hi = if (sym.value as usize) < bps.len() {
+                bps[sym.value as usize] as f32
+            } else {
+                f32::INFINITY
+            };
+            let q = qpaa[s];
+            let d = if q < lo {
+                lo - q
+            } else if q > hi {
+                q - hi
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        (n / w) * acc
+    }
+
+    /// k-NN search in any of the paper's three traversal modes.
+    pub fn search(&self, query: &[f32], k: usize, params: TraversalParams) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.data.cols(), "query length mismatch");
+        let qpaa = paa_of(query, self.cfg.word_len);
+        let mut top = TopK::new(k);
+        let eps_factor = match params.epsilon {
+            Some(e) => 1.0 / ((1.0 + e) * (1.0 + e)),
+            None => 1.0,
+        };
+
+        #[derive(PartialEq)]
+        struct Item(f32, u32);
+        impl Eq for Item {}
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Item(self.lower_bound_sq(&qpaa, &self.nodes[0]), 0));
+        let mut leaves_visited = 0usize;
+
+        while let Some(Item(lb, id)) = heap.pop() {
+            if top.is_full() && lb >= top.threshold() * eps_factor {
+                break; // heap is lb-ordered: nothing better remains
+            }
+            let node = &self.nodes[id as usize];
+            match node.children {
+                Some((l, r, _)) => {
+                    for c in [l, r] {
+                        let clb = self.lower_bound_sq(&qpaa, &self.nodes[c as usize]);
+                        if !top.is_full() || clb < top.threshold() * eps_factor {
+                            heap.push(Item(clb, c));
+                        }
+                    }
+                }
+                None => {
+                    for &m in &node.members {
+                        let d = squared_euclidean(self.data.row(m as usize), query);
+                        top.push(m, d);
+                    }
+                    leaves_visited += 1;
+                    if let Some(max) = params.max_leaves {
+                        if leaves_visited >= max {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+/// PAA of every row: per-segment means.
+fn compute_paa(data: &Matrix, w: usize) -> Matrix {
+    let mut out = Matrix::zeros(data.rows(), w);
+    for i in 0..data.rows() {
+        let p = paa_of(data.row(i), w);
+        out.row_mut(i).copy_from_slice(&p);
+    }
+    out
+}
+
+/// PAA of one series.
+fn paa_of(series: &[f32], w: usize) -> Vec<f32> {
+    let n = series.len();
+    let mut out = Vec::with_capacity(w);
+    for s in 0..w {
+        let lo = s * n / w;
+        let hi = ((s + 1) * n / w).max(lo + 1);
+        let sum: f32 = series[lo..hi].iter().sum();
+        out.push(sum / (hi - lo) as f32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_dataset::{exact_knn, ucr::UcrFamily};
+    use vaq_metrics::recall_at_k;
+
+    fn dataset() -> vaq_dataset::Dataset {
+        UcrFamily::Cbf.generate(128, 600, 20, 3)
+    }
+
+    #[test]
+    fn inverse_normal_cdf_known_quantiles() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.8413) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn breakpoints_nest_across_cardinalities() {
+        // Every breakpoint of card 2^b appears among card 2^{b+1}'s.
+        for b in 1..6usize {
+            let coarse = sax_breakpoints(1 << b);
+            let fine = sax_breakpoints(1 << (b + 1));
+            for (i, &c) in coarse.iter().enumerate() {
+                assert!((fine[2 * i + 1] - c).abs() < 1e-12, "b={b} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn paa_of_constant_series_is_constant() {
+        let p = paa_of(&[2.0; 32], 8);
+        assert!(p.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn build_rejects_bad_configs() {
+        let ds = dataset();
+        assert!(IsaxIndex::build(Matrix::zeros(0, 16), &IsaxConfig::new()).is_err());
+        let mut cfg = IsaxConfig::new();
+        cfg.word_len = 0;
+        assert!(IsaxIndex::build(ds.data.clone(), &cfg).is_err());
+        cfg.word_len = 1000;
+        assert!(IsaxIndex::build(ds.data.clone(), &cfg).is_err());
+    }
+
+    #[test]
+    fn tree_splits_beyond_leaf_capacity() {
+        let ds = dataset();
+        let idx = IsaxIndex::build(ds.data.clone(), &IsaxConfig::new()).unwrap();
+        assert!(idx.num_nodes() > 1, "no splits happened");
+        // All leaves within capacity unless max_bits saturated everywhere.
+        for node in &idx.nodes {
+            if node.children.is_none() {
+                let saturated =
+                    node.word.iter().all(|s| s.bits >= idx.cfg.max_bits);
+                assert!(
+                    node.members.len() <= idx.cfg.leaf_capacity || saturated,
+                    "oversized leaf: {}",
+                    node.members.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_partition_all_series() {
+        let ds = dataset();
+        let idx = IsaxIndex::build(ds.data.clone(), &IsaxConfig::new()).unwrap();
+        let mut seen = vec![false; ds.data.rows()];
+        for node in &idx.nodes {
+            if node.children.is_none() {
+                for &m in &node.members {
+                    assert!(!seen[m as usize], "series {m} in two leaves");
+                    seen[m as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exact_mode_matches_brute_force() {
+        let ds = dataset();
+        let idx = IsaxIndex::build(ds.data.clone(), &IsaxConfig::new()).unwrap();
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        for q in 0..5 {
+            let got: Vec<u32> = idx
+                .search(ds.queries.row(q), 10, TraversalParams::exact())
+                .iter()
+                .map(|n| n.index)
+                .collect();
+            assert_eq!(got, truth[q], "query {q}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_actually_a_lower_bound() {
+        let ds = dataset();
+        let idx = IsaxIndex::build(ds.data.clone(), &IsaxConfig::new()).unwrap();
+        let q = ds.queries.row(0);
+        let qpaa = paa_of(q, idx.cfg.word_len);
+        for node in &idx.nodes {
+            if node.children.is_none() {
+                let lb = idx.lower_bound_sq(&qpaa, node);
+                for &m in &node.members {
+                    let d = squared_euclidean(ds.data.row(m as usize), q);
+                    assert!(
+                        lb <= d + 1e-3 * d.max(1.0),
+                        "LB {lb} exceeds true distance {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ng_mode_fast_but_approximate() {
+        let ds = dataset();
+        let idx = IsaxIndex::build(ds.data.clone(), &IsaxConfig::new()).unwrap();
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        let run = |params: TraversalParams| -> f64 {
+            let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
+                .map(|q| {
+                    idx.search(ds.queries.row(q), 10, params)
+                        .iter()
+                        .map(|n| n.index)
+                        .collect()
+                })
+                .collect();
+            recall_at_k(&retrieved, &truth, 10)
+        };
+        let one_leaf = run(TraversalParams::ng(1));
+        let many = run(TraversalParams::ng(50));
+        assert!(many >= one_leaf, "more leaves reduced recall: {many} < {one_leaf}");
+        assert!(one_leaf > 0.0);
+    }
+
+    #[test]
+    fn epsilon_mode_respects_guarantee() {
+        let ds = dataset();
+        let idx = IsaxIndex::build(ds.data.clone(), &IsaxConfig::new()).unwrap();
+        let truth = exact_knn(&ds.data, &ds.queries, 1);
+        for q in 0..8 {
+            let got = idx.search(ds.queries.row(q), 1, TraversalParams::epsilon(1.0));
+            let exact_d =
+                squared_euclidean(ds.data.row(truth[q][0] as usize), ds.queries.row(q));
+            // Squared guarantee: d ≤ (1+ε)² · d*.
+            assert!(
+                got[0].distance <= exact_d * 4.0 + 1e-3,
+                "epsilon guarantee violated: {} vs exact {exact_d}",
+                got[0].distance
+            );
+        }
+    }
+}

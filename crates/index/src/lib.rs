@@ -1,0 +1,88 @@
+//! Indexing methods the VAQ paper compares against in §V-E
+//! (Figures 11 and 12), plus the exact scan used for ground truth:
+//!
+//! * [`exact::ExactScan`] — brute-force scan with early abandoning; the
+//!   accuracy ceiling and the reference for speedup factors.
+//! * [`hnsw::Hnsw`] — Hierarchical Navigable Small World graphs (Malkov &
+//!   Yashunin 2018), "one of the best indexing methods" per the studies the
+//!   paper cites, with the high indexing cost the paper measures. Works
+//!   over raw vectors or over PQ-encoded data (the Figure 12 setup) via the
+//!   [`hnsw::VectorStore`] abstraction.
+//! * [`imi::Imi`] — the Inverted Multi-Index (Babenko & Lempitsky 2014):
+//!   a product-decomposed coarse quantizer whose cell grid is traversed
+//!   with the multi-sequence algorithm; candidates are re-ranked with PQ
+//!   codes. The paper's IMI+OPQ baseline: faster than scanning, lower
+//!   recall.
+//! * [`isax::IsaxIndex`] — iSAX2+ (Camerra et al. 2014): SAX-word tree with
+//!   variable cardinality splits and PAA lower-bound guided search, in NG
+//!   (visit-a-few-leaves) and epsilon (bounded-error) modes.
+//! * [`dstree::DsTree`] — DSTree (Wang et al. 2013): an EAPCA-synopsis tree
+//!   with mean/stddev split policies and lower-bound pruned traversal, same
+//!   two approximate modes.
+
+pub mod dstree;
+pub mod exact;
+pub mod hnsw;
+pub mod imi;
+pub mod isax;
+pub mod rerank;
+
+pub use dstree::DsTree;
+pub use exact::ExactScan;
+pub use hnsw::Hnsw;
+pub use imi::Imi;
+pub use rerank::{rerank, search_with_rerank};
+pub use isax::IsaxIndex;
+
+use std::fmt;
+
+/// How a tree index (iSAX2+/DSTree) traverses lower-bound ordered nodes —
+/// the knobs the paper's Figure 11 sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraversalParams {
+    /// Stop after visiting this many leaves ("NG" — no-guarantee — mode in
+    /// the paper's terminology). `None` = unbounded.
+    pub max_leaves: Option<usize>,
+    /// Relative-error guarantee ε: prune a node only when its lower bound
+    /// exceeds `bsf / (1 + ε)`, so every returned distance is within
+    /// `(1 + ε)` of the exact answer ("Epsilon" mode). `None` = exact
+    /// pruning.
+    pub epsilon: Option<f32>,
+}
+
+impl TraversalParams {
+    /// Exact search: full lower-bound pruning, no early stop.
+    pub fn exact() -> Self {
+        TraversalParams { max_leaves: None, epsilon: None }
+    }
+
+    /// NG mode: visit the `l` most promising leaves and stop.
+    pub fn ng(l: usize) -> Self {
+        TraversalParams { max_leaves: Some(l), epsilon: None }
+    }
+
+    /// Epsilon mode with the given relative error bound.
+    pub fn epsilon(e: f32) -> Self {
+        TraversalParams { max_leaves: None, epsilon: Some(e) }
+    }
+}
+
+/// Errors produced by the index builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The dataset was empty.
+    EmptyData,
+    /// The requested configuration is inconsistent (detail in the message).
+    BadConfig(String),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::EmptyData => write!(f, "dataset is empty"),
+            IndexError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}

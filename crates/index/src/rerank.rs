@@ -1,0 +1,100 @@
+//! Candidate re-ranking with original vectors.
+//!
+//! The paper's index comparison (§V-E, Figure 11) retrieves 100–1000
+//! approximate neighbors and "re-rank\[s\] the neighbors using the original
+//! data to evaluate different recall levels" — the standard two-stage
+//! serving pattern where compressed codes produce a candidate pool and the
+//! raw vectors settle the final order.
+
+use vaq_baselines::{Neighbor, TopK};
+use vaq_linalg::{squared_euclidean, Matrix};
+
+/// Re-ranks `candidates` (database row ids) by exact distance to `query`
+/// over the raw `data`, returning the best `k` in exact order.
+pub fn rerank(data: &Matrix, query: &[f32], candidates: &[u32], k: usize) -> Vec<Neighbor> {
+    let mut top = TopK::new(k);
+    for &id in candidates {
+        let d = squared_euclidean(data.row(id as usize), query);
+        top.push(id, d);
+    }
+    top.into_sorted()
+}
+
+/// Convenience: runs an approximate search closure asking for
+/// `pool_factor × k` candidates, then re-ranks to the exact best `k`.
+pub fn search_with_rerank(
+    data: &Matrix,
+    query: &[f32],
+    k: usize,
+    pool_factor: usize,
+    search: impl Fn(&[f32], usize) -> Vec<u32>,
+) -> Vec<Neighbor> {
+    let pool = search(query, k * pool_factor.max(1));
+    rerank(data, query, &pool, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaq_dataset::{exact_knn, SyntheticSpec};
+    use vaq_metrics::recall_at_k;
+
+    #[test]
+    fn rerank_orders_by_exact_distance() {
+        let ds = SyntheticSpec::deep_like().generate(200, 1, 1);
+        let q = ds.queries.row(0);
+        // Shuffle candidate order deliberately.
+        let candidates: Vec<u32> = (0..200u32).rev().collect();
+        let out = rerank(&ds.data, q, &candidates, 10);
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        let got: Vec<u32> = out.iter().map(|n| n.index).collect();
+        assert_eq!(got, truth[0]);
+    }
+
+    #[test]
+    fn rerank_restricted_to_candidates() {
+        let ds = SyntheticSpec::deep_like().generate(100, 1, 2);
+        let q = ds.queries.row(0);
+        let candidates = vec![3u32, 7, 11];
+        let out = rerank(&ds.data, q, &candidates, 10);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|n| candidates.contains(&n.index)));
+    }
+
+    #[test]
+    fn reranked_pool_lifts_recall() {
+        // A deliberately weak approximate search (coarse PQ) improves when
+        // its larger candidate pool is re-ranked with the raw data.
+        use vaq_baselines::pq::{Pq, PqConfig};
+        use vaq_baselines::AnnIndex;
+        let ds = SyntheticSpec::sift_like().generate(1500, 25, 3);
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        let pq = Pq::train(&ds.data, &PqConfig::new(8).with_bits(4)).unwrap();
+        let plain: Vec<Vec<u32>> = (0..ds.queries.rows())
+            .map(|qi| pq.search(ds.queries.row(qi), 10).iter().map(|n| n.index).collect())
+            .collect();
+        let reranked: Vec<Vec<u32>> = (0..ds.queries.rows())
+            .map(|qi| {
+                search_with_rerank(&ds.data, ds.queries.row(qi), 10, 10, |q, kk| {
+                    pq.search(q, kk).iter().map(|n| n.index).collect()
+                })
+                .iter()
+                .map(|n| n.index)
+                .collect()
+            })
+            .collect();
+        let r_plain = recall_at_k(&plain, &truth, 10);
+        let r_rerank = recall_at_k(&reranked, &truth, 10);
+        assert!(
+            r_rerank >= r_plain,
+            "re-ranking reduced recall: {r_rerank} < {r_plain}"
+        );
+        assert!(r_rerank > 0.6, "re-ranked recall too low: {r_rerank}");
+    }
+
+    #[test]
+    fn empty_candidates_empty_result() {
+        let ds = SyntheticSpec::deep_like().generate(50, 1, 4);
+        assert!(rerank(&ds.data, ds.queries.row(0), &[], 5).is_empty());
+    }
+}

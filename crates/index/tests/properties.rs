@@ -1,0 +1,82 @@
+//! Property tests for the tree indexes: exact-mode correctness and
+//! lower-bound soundness on random series collections.
+
+use proptest::prelude::*;
+use vaq_baselines::AnnIndex;
+use vaq_dataset::exact_knn;
+use vaq_index::dstree::{DsTree, DsTreeConfig};
+use vaq_index::exact::ExactScan;
+use vaq_index::isax::{IsaxConfig, IsaxIndex};
+use vaq_index::TraversalParams;
+use vaq_linalg::Matrix;
+
+/// Random z-normalized series collection.
+fn series_collection() -> impl Strategy<Value = Matrix> {
+    (16usize..=48, 40usize..=120).prop_flat_map(|(len, n)| {
+        proptest::collection::vec(-5.0f32..5.0, n * len).prop_map(move |data| {
+            let mut m = Matrix::from_vec(n, len, data);
+            vaq_dataset::z_normalize(&mut m);
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn isax_exact_mode_is_exact(data in series_collection()) {
+        let mut cfg = IsaxConfig::new();
+        cfg.word_len = 4;
+        cfg.leaf_capacity = 8;
+        let idx = IsaxIndex::build(data.clone(), &cfg).unwrap();
+        // Query with perturbed database members.
+        let queries = data.select_rows(&[0, data.rows() / 2, data.rows() - 1]);
+        let truth = exact_knn(&data, &queries, 5);
+        for q in 0..queries.rows() {
+            let got: Vec<u32> = idx
+                .search(queries.row(q), 5, TraversalParams::exact())
+                .iter()
+                .map(|n| n.index)
+                .collect();
+            prop_assert_eq!(&got, &truth[q]);
+        }
+    }
+
+    #[test]
+    fn dstree_exact_mode_is_exact(data in series_collection()) {
+        let mut cfg = DsTreeConfig::new();
+        cfg.leaf_capacity = 8;
+        let idx = DsTree::build(data.clone(), &cfg).unwrap();
+        let queries = data.select_rows(&[1, data.rows() / 3]);
+        let truth = exact_knn(&data, &queries, 5);
+        for q in 0..queries.rows() {
+            let got: Vec<u32> = idx
+                .search(queries.row(q), 5, TraversalParams::exact())
+                .iter()
+                .map(|n| n.index)
+                .collect();
+            prop_assert_eq!(&got, &truth[q]);
+        }
+    }
+
+    #[test]
+    fn ng_mode_results_are_subset_quality(data in series_collection()) {
+        // NG answers must never contain a *wrong* distance: every returned
+        // (index, distance) pair matches the true distance of that series.
+        let idx = DsTree::build(data.clone(), &DsTreeConfig::new()).unwrap();
+        let q = data.row(0);
+        for res in idx.search(q, 5, TraversalParams::ng(2)) {
+            let true_d = vaq_linalg::squared_euclidean(data.row(res.index as usize), q);
+            prop_assert!((res.distance - true_d).abs() < 1e-3 * true_d.max(1.0));
+        }
+    }
+
+    #[test]
+    fn exact_scan_early_abandon_invariant(data in series_collection()) {
+        let scan = ExactScan::new(data.clone());
+        let truth = exact_knn(&data, &data.select_rows(&[0]), 7);
+        let got: Vec<u32> = scan.search(data.row(0), 7).iter().map(|n| n.index).collect();
+        prop_assert_eq!(&got, &truth[0]);
+    }
+}

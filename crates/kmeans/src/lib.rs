@@ -1,0 +1,533 @@
+//! Dictionary learning for the VAQ reproduction.
+//!
+//! Every quantizer in the paper — VQ, PQ, OPQ, Bolt, PQFS, and VAQ itself —
+//! learns its dictionaries with k-means (paper §II-C: "The cornerstone
+//! k-means method satisfies these conditions and is the prevalent choice for
+//! dictionary learning"). This crate provides:
+//!
+//! * [`KMeans`] — Lloyd's algorithm with k-means++ seeding, empty-cluster
+//!   repair, and a relative-improvement stopping rule. Assignment (the hot
+//!   phase) is sharded across threads with `std::thread::scope`.
+//! * [`KMeans::fit_hierarchical`] — the paper's trick for very large
+//!   dictionaries (§III-D): "for subspaces with assigned large dictionaries
+//!   (> 2^10) we employ k-means in a hierarchical fashion — run k-means with
+//!   a small k = 2^6 and split each cluster again to reach the desired
+//!   size".
+//! * [`kmeans_1d`] — the 1-D specialization VAQ uses to cluster the vector
+//!   of per-dimension variances into non-uniform subspaces (§III-B).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use vaq_linalg::{squared_euclidean, Matrix};
+
+/// Errors produced by dictionary learning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KMeansError {
+    /// `k` was zero.
+    ZeroK,
+    /// The dataset was empty.
+    EmptyData,
+}
+
+impl fmt::Display for KMeansError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KMeansError::ZeroK => write!(f, "k must be at least 1"),
+            KMeansError::EmptyData => write!(f, "cannot cluster an empty dataset"),
+        }
+    }
+}
+
+impl std::error::Error for KMeansError {}
+
+/// Configuration for [`KMeans::fit`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters / dictionary items.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when the relative inertia improvement falls below this.
+    pub tol: f64,
+    /// RNG seed (seeding and empty-cluster repair are the only random parts).
+    pub seed: u64,
+    /// Number of worker threads for the assignment phase. `0` = use all
+    /// available cores.
+    pub threads: usize,
+}
+
+impl KMeansConfig {
+    /// A sensible default for dictionary learning: 25 iterations matches
+    /// what FAISS uses for PQ training.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig { k, max_iters: 25, tol: 1e-5, seed: 0x5eed, threads: 0 }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the iteration cap.
+    pub fn with_max_iters(mut self, it: usize) -> Self {
+        self.max_iters = it;
+        self
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeansModel {
+    /// Cluster centroids, one per row. Rows ≤ `k` when the data has fewer
+    /// distinct points than requested clusters.
+    pub centroids: Matrix,
+    /// Cluster index of every input row.
+    pub assignments: Vec<u32>,
+    /// Final sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations actually performed.
+    pub iterations: usize,
+}
+
+impl KMeansModel {
+    /// Number of centroids.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Index and squared distance of the nearest centroid to `point`.
+    pub fn assign(&self, point: &[f32]) -> (usize, f32) {
+        nearest_centroid(&self.centroids, point)
+    }
+}
+
+/// Index and squared distance of the nearest row of `centroids` to `point`.
+#[inline]
+pub fn nearest_centroid(centroids: &Matrix, point: &[f32]) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (i, c) in centroids.iter_rows().enumerate() {
+        let d = squared_euclidean(c, point);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+/// Lloyd's k-means with k-means++ seeding.
+pub struct KMeans;
+
+impl KMeans {
+    /// Fits `cfg.k` clusters on the rows of `data`.
+    ///
+    /// If `data` has fewer rows than `cfg.k`, the model simply contains one
+    /// centroid per row (quantization is then lossless), mirroring how PQ
+    /// implementations behave on tiny training sets.
+    pub fn fit(data: &Matrix, cfg: &KMeansConfig) -> Result<KMeansModel, KMeansError> {
+        if cfg.k == 0 {
+            return Err(KMeansError::ZeroK);
+        }
+        if data.rows() == 0 {
+            return Err(KMeansError::EmptyData);
+        }
+        let k = cfg.k.min(data.rows());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut centroids = plus_plus_seed(data, k, &mut rng);
+        let mut assignments = vec![0u32; data.rows()];
+        let mut inertia = f64::INFINITY;
+        let mut iterations = 0;
+
+        for it in 0..cfg.max_iters.max(1) {
+            iterations = it + 1;
+            let new_inertia = assign_all(data, &centroids, &mut assignments, cfg.threads);
+            update_centroids(data, &assignments, &mut centroids, &mut rng);
+            let improved = inertia - new_inertia;
+            let done = improved.abs() <= cfg.tol * inertia.abs().max(1e-30) || new_inertia == 0.0;
+            inertia = new_inertia;
+            if done {
+                break;
+            }
+        }
+        // Final assignment against the last centroid update.
+        inertia = assign_all(data, &centroids, &mut assignments, cfg.threads);
+        Ok(KMeansModel { centroids, assignments, inertia, iterations })
+    }
+
+    /// Hierarchical k-means for very large dictionaries (paper §III-D).
+    ///
+    /// Runs a coarse clustering with `branch` centroids, then splits each
+    /// coarse cluster with another k-means so the total number of leaves
+    /// reaches `k_total`. Trades a little quantization accuracy for a large
+    /// training speedup, exactly as the paper describes for dictionaries
+    /// larger than 2^10.
+    pub fn fit_hierarchical(
+        data: &Matrix,
+        k_total: usize,
+        branch: usize,
+        cfg: &KMeansConfig,
+    ) -> Result<KMeansModel, KMeansError> {
+        if k_total == 0 {
+            return Err(KMeansError::ZeroK);
+        }
+        if data.rows() == 0 {
+            return Err(KMeansError::EmptyData);
+        }
+        let branch = branch.max(2).min(k_total);
+        let coarse_cfg = KMeansConfig { k: branch, ..cfg.clone() };
+        let coarse = Self::fit(data, &coarse_cfg)?;
+        let coarse_k = coarse.k();
+
+        // Distribute the leaf budget proportionally to coarse cluster sizes.
+        let mut sizes = vec![0usize; coarse_k];
+        for &a in &coarse.assignments {
+            sizes[a as usize] += 1;
+        }
+        let n = data.rows() as f64;
+        let mut leaf_budget: Vec<usize> = sizes
+            .iter()
+            .map(|&s| (((s as f64 / n) * k_total as f64).round() as usize).max(1))
+            .collect();
+        // Fix rounding drift so the sum is exactly k_total (when feasible).
+        loop {
+            let total: usize = leaf_budget.iter().sum();
+            if total == k_total {
+                break;
+            }
+            if total > k_total {
+                if let Some(i) = (0..coarse_k).max_by_key(|&i| leaf_budget[i]) {
+                    if leaf_budget[i] > 1 {
+                        leaf_budget[i] -= 1;
+                        continue;
+                    }
+                }
+                break;
+            } else if let Some(i) =
+                (0..coarse_k).max_by_key(|&i| sizes[i].saturating_sub(leaf_budget[i]))
+            {
+                leaf_budget[i] += 1;
+            }
+        }
+
+        let dim = data.cols();
+        let mut all = Matrix::zeros(0, dim);
+        for ci in 0..coarse_k {
+            let members: Vec<usize> = coarse
+                .assignments
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a as usize == ci)
+                .map(|(i, _)| i)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let sub = data.select_rows(&members);
+            let sub_cfg = KMeansConfig { k: leaf_budget[ci].min(sub.rows()), ..cfg.clone() };
+            let model = Self::fit(&sub, &sub_cfg)?;
+            all = all.vstack(&model.centroids).expect("same dim");
+        }
+
+        // Assign against the final flat dictionary.
+        let mut assignments = vec![0u32; data.rows()];
+        let inertia = assign_all(data, &all, &mut assignments, cfg.threads);
+        Ok(KMeansModel { centroids: all, assignments, inertia, iterations: 0 })
+    }
+}
+
+/// k-means++ seeding: first centroid uniform, the rest sampled with
+/// probability proportional to the squared distance to the nearest chosen
+/// centroid.
+fn plus_plus_seed(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = data.rows();
+    let dim = data.cols();
+    let mut centroids = Matrix::zeros(k, dim);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| squared_euclidean(data.row(i), centroids.row(0)) as f64)
+        .collect();
+    for c in 1..k {
+        let total: f64 = d2.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(pick));
+        for i in 0..n {
+            let d = squared_euclidean(data.row(i), centroids.row(c)) as f64;
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// Assigns every row to its nearest centroid; returns total inertia.
+fn assign_all(data: &Matrix, centroids: &Matrix, out: &mut [u32], threads: usize) -> f64 {
+    let n = data.rows();
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(n.max(1));
+
+    if workers <= 1 || n < 4096 {
+        let mut inertia = 0.0f64;
+        for i in 0..n {
+            let (a, d) = nearest_centroid(centroids, data.row(i));
+            out[i] = a as u32;
+            inertia += d as f64;
+        }
+        return inertia;
+    }
+
+    let chunk = n.div_ceil(workers);
+    let mut partials = vec![0.0f64; workers];
+    std::thread::scope(|scope| {
+        let mut rest: &mut [u32] = out;
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let start = w * chunk;
+            if start >= n {
+                break;
+            }
+            let len = chunk.min(n - start);
+            let (mine, tail) = rest.split_at_mut(len);
+            rest = tail;
+            handles.push(scope.spawn(move || {
+                let mut inertia = 0.0f64;
+                for (j, slot) in mine.iter_mut().enumerate() {
+                    let (a, d) = nearest_centroid(centroids, data.row(start + j));
+                    *slot = a as u32;
+                    inertia += d as f64;
+                }
+                inertia
+            }));
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            partials[w] = h.join().expect("assignment worker panicked");
+        }
+    });
+    partials.iter().sum()
+}
+
+/// Recomputes centroids as cluster means; empty clusters are re-seeded from
+/// a random data point (keeps determinism via the shared seeded RNG).
+fn update_centroids(data: &Matrix, assignments: &[u32], centroids: &mut Matrix, rng: &mut StdRng) {
+    let k = centroids.rows();
+    let dim = centroids.cols();
+    let mut sums = vec![0.0f64; k * dim];
+    let mut counts = vec![0usize; k];
+    for (i, &a) in assignments.iter().enumerate() {
+        let a = a as usize;
+        counts[a] += 1;
+        let row = data.row(i);
+        let dst = &mut sums[a * dim..(a + 1) * dim];
+        for (s, &v) in dst.iter_mut().zip(row.iter()) {
+            *s += v as f64;
+        }
+    }
+    for c in 0..k {
+        if counts[c] == 0 {
+            let pick = rng.gen_range(0..data.rows());
+            centroids.row_mut(c).copy_from_slice(data.row(pick));
+        } else {
+            let inv = 1.0 / counts[c] as f64;
+            let src = &sums[c * dim..(c + 1) * dim];
+            let dst = centroids.row_mut(c);
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d = (s * inv) as f32;
+            }
+        }
+    }
+}
+
+/// 1-D k-means over a plain slice of values.
+///
+/// VAQ clusters the *vector of per-dimension variances* to form non-uniform
+/// subspaces (paper §III-B: "we construct m subspaces by clustering the
+/// vector of the variances corresponding to each dimension using k-means").
+/// Returns the cluster index of each input value.
+pub fn kmeans_1d(values: &[f64], k: usize, seed: u64) -> Result<Vec<u32>, KMeansError> {
+    if k == 0 {
+        return Err(KMeansError::ZeroK);
+    }
+    if values.is_empty() {
+        return Err(KMeansError::EmptyData);
+    }
+    let data = Matrix::from_vec(values.len(), 1, values.iter().map(|&v| v as f32).collect());
+    let cfg = KMeansConfig { k, max_iters: 100, tol: 1e-9, seed, threads: 1 };
+    Ok(KMeans::fit(&data, &cfg)?.assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated 2-D blobs.
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let centers = [(0.0f32, 0.0f32), (10.0, 10.0), (-10.0, 8.0)];
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        let mut s = 7u64;
+        for rep in 0..60 {
+            let c = rep % 3;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dx = ((s >> 40) as f32 / (1u32 << 23) as f32) - 1.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let dy = ((s >> 40) as f32 / (1u32 << 23) as f32) - 1.0;
+            rows.push(vec![centers[c].0 + 0.3 * dx, centers[c].1 + 0.3 * dy]);
+            truth.push(c);
+        }
+        (Matrix::from_rows(&rows), truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, truth) = blobs();
+        let model = KMeans::fit(&data, &KMeansConfig::new(3)).unwrap();
+        assert_eq!(model.k(), 3);
+        // All points with the same true label must share a cluster.
+        for c in 0..3 {
+            let labels: Vec<u32> = truth
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t == c)
+                .map(|(i, _)| model.assignments[i])
+                .collect();
+            assert!(labels.windows(2).all(|w| w[0] == w[1]), "blob {c} split across clusters");
+        }
+        // Tight blobs → tiny inertia.
+        assert!(model.inertia < 60.0 * 0.5);
+    }
+
+    #[test]
+    fn zero_k_errors() {
+        let (data, _) = blobs();
+        assert_eq!(KMeans::fit(&data, &KMeansConfig::new(0)).unwrap_err(), KMeansError::ZeroK);
+    }
+
+    #[test]
+    fn empty_data_errors() {
+        let data = Matrix::zeros(0, 4);
+        assert_eq!(
+            KMeans::fit(&data, &KMeansConfig::new(2)).unwrap_err(),
+            KMeansError::EmptyData
+        );
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let model = KMeans::fit(&data, &KMeansConfig::new(16)).unwrap();
+        assert_eq!(model.k(), 2);
+        assert!(model.inertia < 1e-9, "k == n should quantize losslessly");
+    }
+
+    #[test]
+    fn k_equals_one_gives_mean() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![2.0], vec![4.0]]);
+        let model = KMeans::fit(&data, &KMeansConfig::new(1)).unwrap();
+        assert!((model.centroids.get(0, 0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = blobs();
+        let a = KMeans::fit(&data, &KMeansConfig::new(3).with_seed(42)).unwrap();
+        let b = KMeans::fit(&data, &KMeansConfig::new(3).with_seed(42)).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn more_iterations_never_increase_inertia() {
+        let (data, _) = blobs();
+        let short = KMeans::fit(&data, &KMeansConfig::new(3).with_max_iters(1)).unwrap();
+        let long = KMeans::fit(&data, &KMeansConfig::new(3).with_max_iters(30)).unwrap();
+        assert!(long.inertia <= short.inertia + 1e-6);
+    }
+
+    #[test]
+    fn assign_matches_training_assignment() {
+        let (data, _) = blobs();
+        let model = KMeans::fit(&data, &KMeansConfig::new(3)).unwrap();
+        for i in 0..data.rows() {
+            let (a, _) = model.assign(data.row(i));
+            assert_eq!(a as u32, model.assignments[i]);
+        }
+    }
+
+    #[test]
+    fn hierarchical_reaches_target_k() {
+        let (data, _) = blobs();
+        let model = KMeans::fit_hierarchical(&data, 12, 3, &KMeansConfig::new(12)).unwrap();
+        assert_eq!(model.k(), 12);
+        assert_eq!(model.assignments.len(), data.rows());
+    }
+
+    #[test]
+    fn hierarchical_inertia_close_to_flat() {
+        let (data, _) = blobs();
+        let flat = KMeans::fit(&data, &KMeansConfig::new(9)).unwrap();
+        let hier = KMeans::fit_hierarchical(&data, 9, 3, &KMeansConfig::new(9)).unwrap();
+        // Hierarchical is allowed to be worse, but not catastrophically.
+        assert!(hier.inertia <= (flat.inertia + 1e-9) * 10.0 + 1.0);
+    }
+
+    #[test]
+    fn kmeans_1d_groups_similar_values() {
+        let values = vec![0.9, 1.0, 1.1, 5.0, 5.1, 9.8, 10.0, 10.2];
+        let labels = kmeans_1d(&values, 3, 1).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[5], labels[6]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[3], labels[5]);
+    }
+
+    #[test]
+    fn kmeans_1d_rejects_bad_input() {
+        assert!(kmeans_1d(&[], 2, 0).is_err());
+        assert!(kmeans_1d(&[1.0], 0, 0).is_err());
+    }
+
+    #[test]
+    fn parallel_assignment_matches_serial() {
+        // Enough rows to trigger the threaded path.
+        let mut rows = Vec::new();
+        let mut s = 3u64;
+        for _ in 0..5000 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = ((s >> 40) as f32 / (1u32 << 23) as f32) - 1.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = ((s >> 40) as f32 / (1u32 << 23) as f32) - 1.0;
+            rows.push(vec![a * 10.0, b * 10.0]);
+        }
+        let data = Matrix::from_rows(&rows);
+        let serial =
+            KMeans::fit(&data, &KMeansConfig { threads: 1, ..KMeansConfig::new(4) }).unwrap();
+        let parallel =
+            KMeans::fit(&data, &KMeansConfig { threads: 4, ..KMeansConfig::new(4) }).unwrap();
+        assert_eq!(serial.assignments, parallel.assignments);
+        assert!((serial.inertia - parallel.inertia).abs() < 1e-6 * serial.inertia.max(1.0));
+    }
+}

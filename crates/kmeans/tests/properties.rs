@@ -1,0 +1,77 @@
+//! Property tests for dictionary learning.
+
+use proptest::prelude::*;
+use vaq_kmeans::{kmeans_1d, nearest_centroid, KMeans, KMeansConfig};
+use vaq_linalg::{squared_euclidean, Matrix};
+
+fn random_matrix() -> impl Strategy<Value = Matrix> {
+    (2usize..=6, 10usize..=60).prop_flat_map(|(cols, rows)| {
+        proptest::collection::vec(-50.0f32..50.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn assignments_are_nearest(data in random_matrix(), k in 1usize..8) {
+        let model = KMeans::fit(&data, &KMeansConfig::new(k)).unwrap();
+        for i in 0..data.rows() {
+            let assigned = model.assignments[i] as usize;
+            let d_assigned =
+                squared_euclidean(data.row(i), model.centroids.row(assigned));
+            let (best, d_best) = nearest_centroid(&model.centroids, data.row(i));
+            // Both must agree (final assignment pass runs after the last
+            // centroid update).
+            prop_assert_eq!(assigned, best);
+            prop_assert!((d_assigned - d_best).abs() < 1e-5 * d_best.max(1.0));
+        }
+    }
+
+    #[test]
+    fn inertia_equals_sum_of_assigned_distances(data in random_matrix(), k in 1usize..6) {
+        let model = KMeans::fit(&data, &KMeansConfig::new(k)).unwrap();
+        let recomputed: f64 = (0..data.rows())
+            .map(|i| {
+                squared_euclidean(
+                    data.row(i),
+                    model.centroids.row(model.assignments[i] as usize),
+                ) as f64
+            })
+            .sum();
+        prop_assert!((model.inertia - recomputed).abs() < 1e-3 * recomputed.max(1.0));
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia_much(data in random_matrix()) {
+        let small = KMeans::fit(&data, &KMeansConfig::new(2).with_max_iters(40)).unwrap();
+        let large = KMeans::fit(&data, &KMeansConfig::new(6).with_max_iters(40)).unwrap();
+        // k-means is a local optimizer, so allow slack — but k=6 collapsing
+        // to worse than k=2 would signal a broken update step.
+        prop_assert!(large.inertia <= small.inertia * 1.5 + 1e-6);
+    }
+
+    #[test]
+    fn kmeans_1d_labels_form_contiguous_intervals_on_sorted_input(
+        mut values in proptest::collection::vec(0.0f64..100.0, 4..40),
+        k in 2usize..5,
+    ) {
+        prop_assume!(k <= values.len());
+        values.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let labels = kmeans_1d(&values, k, 3).unwrap();
+        // On descending input, identical labels must be contiguous
+        // (nearest-centroid in 1-D induces interval cells).
+        let mut seen_after_change = std::collections::HashSet::new();
+        let mut prev = labels[0];
+        for &l in &labels[1..] {
+            if l != prev {
+                prop_assert!(
+                    seen_after_change.insert(prev),
+                    "label {prev} reappeared after a gap: {labels:?}"
+                );
+                prev = l;
+            }
+        }
+    }
+}

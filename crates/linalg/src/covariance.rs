@@ -1,0 +1,161 @@
+//! Covariance computation for `VarPCA` (paper Algorithm 1).
+//!
+//! The paper computes the eigen-spectrum of `Xᵀ X`; we additionally offer the
+//! mean-centered version, which is the textbook covariance and what the
+//! partial-balancing analysis assumes (the z-normalized UCR-style data is
+//! already centered, so the two coincide there). Accumulation is in `f64`:
+//! million-row sums in `f32` lose enough precision to reorder the small
+//! eigenvalues that decide the last few bits of the budget.
+
+use crate::matrix::{DMatrix, Matrix};
+use crate::{LinalgError, Result};
+
+/// Per-column means of a data matrix.
+pub fn column_means(x: &Matrix) -> Result<Vec<f64>> {
+    if x.rows() == 0 {
+        return Err(LinalgError::Empty { op: "column_means" });
+    }
+    let mut means = vec![0.0f64; x.cols()];
+    for row in x.iter_rows() {
+        for (m, &v) in means.iter_mut().zip(row.iter()) {
+            *m += v as f64;
+        }
+    }
+    let inv = 1.0 / x.rows() as f64;
+    for m in means.iter_mut() {
+        *m *= inv;
+    }
+    Ok(means)
+}
+
+/// Uncentered scatter matrix `Xᵀ X / n` as used by Algorithm 1 of the paper.
+pub fn covariance(x: &Matrix) -> Result<DMatrix> {
+    accumulate(x, None)
+}
+
+/// Mean-centered covariance `(X−μ)ᵀ(X−μ) / n`.
+pub fn covariance_centered(x: &Matrix) -> Result<DMatrix> {
+    let means = column_means(x)?;
+    accumulate(x, Some(&means))
+}
+
+fn accumulate(x: &Matrix, means: Option<&[f64]>) -> Result<DMatrix> {
+    if x.rows() == 0 {
+        return Err(LinalgError::Empty { op: "covariance" });
+    }
+    let d = x.cols();
+    let mut cov = vec![0.0f64; d * d];
+    let mut centered = vec![0.0f64; d];
+    for row in x.iter_rows() {
+        match means {
+            Some(mu) => {
+                for ((c, &v), &m) in centered.iter_mut().zip(row.iter()).zip(mu.iter()) {
+                    *c = v as f64 - m;
+                }
+            }
+            None => {
+                for (c, &v) in centered.iter_mut().zip(row.iter()) {
+                    *c = v as f64;
+                }
+            }
+        }
+        // Upper triangle only; mirrored below.
+        for i in 0..d {
+            let ci = centered[i];
+            if ci == 0.0 {
+                continue;
+            }
+            let dst = &mut cov[i * d + i..(i + 1) * d];
+            for (a, &cj) in dst.iter_mut().zip(centered[i..].iter()) {
+                *a += ci * cj;
+            }
+        }
+    }
+    let inv = 1.0 / x.rows() as f64;
+    for v in cov.iter_mut() {
+        *v *= inv;
+    }
+    // Mirror upper triangle to lower.
+    for i in 0..d {
+        for j in 0..i {
+            cov[i * d + j] = cov[j * d + i];
+        }
+    }
+    Ok(DMatrix::from_vec(d, d, cov))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 6.0],
+            vec![5.0, 10.0],
+        ])
+    }
+
+    #[test]
+    fn means_are_correct() {
+        let m = column_means(&toy()).unwrap();
+        assert!((m[0] - 3.0).abs() < 1e-12);
+        assert!((m[1] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let e = Matrix::zeros(0, 3);
+        assert!(matches!(column_means(&e), Err(LinalgError::Empty { .. })));
+        assert!(matches!(covariance(&e), Err(LinalgError::Empty { .. })));
+    }
+
+    #[test]
+    fn centered_covariance_matches_hand_computation() {
+        // Columns are perfectly correlated: col2 = 2*col1. Centered column 1
+        // is [-2, 0, 2] so var = 8/3.
+        let c = covariance_centered(&toy()).unwrap();
+        assert!((c.get(0, 0) - 8.0 / 3.0).abs() < 1e-9);
+        assert!((c.get(1, 1) - 32.0 / 3.0).abs() < 1e-9);
+        assert!((c.get(0, 1) - 16.0 / 3.0).abs() < 1e-9);
+        assert_eq!(c.get(0, 1), c.get(1, 0));
+    }
+
+    #[test]
+    fn uncentered_scatter_matches_xtx() {
+        let x = toy();
+        let c = covariance(&x).unwrap();
+        // X^T X / n computed directly.
+        let xt = x.transpose();
+        let xtx = xt.matmul(&x).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((c.get(i, j) - xtx.get(i, j) as f64 / 3.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, -1.0, 0.5, 2.0],
+            vec![0.0, 3.0, -2.0, 1.0],
+            vec![4.0, 1.0, 1.0, -1.0],
+            vec![-2.0, 0.0, 3.0, 0.5],
+        ]);
+        let c = covariance_centered(&x).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(c.get(i, j), c.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_column_has_zero_variance() {
+        let x = Matrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]]);
+        let c = covariance_centered(&x).unwrap();
+        assert!(c.get(0, 0).abs() < 1e-12);
+        assert!(c.get(0, 1).abs() < 1e-12);
+    }
+}

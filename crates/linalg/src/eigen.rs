@@ -1,0 +1,267 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Covariance matrices are symmetric positive semi-definite and small
+//! (`d ≤ ~3000` for the paper's datasets), which is exactly the regime where
+//! Jacobi shines: it is simple, unconditionally stable, and computes
+//! eigen*vectors* to high relative accuracy — important because VAQ uses the
+//! eigenvectors as the rotation applied to every query.
+//!
+//! The solver sweeps all off-diagonal `(p, q)` pairs, annihilating each with
+//! a Givens rotation, until the off-diagonal Frobenius norm falls below a
+//! tolerance relative to the diagonal magnitude. Convergence of cyclic
+//! Jacobi is quadratic once the matrix is nearly diagonal; 30 sweeps is far
+//! beyond what any PSD covariance needs.
+
+use crate::matrix::DMatrix;
+use crate::{LinalgError, Result};
+
+/// Result of [`sym_eigen`]: eigenvalues sorted in descending order and the
+/// matching eigenvectors stored as *columns* of `vectors`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, descending (`values[0]` is the largest).
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `j` pairs with `values[j]`.
+    pub vectors: DMatrix,
+}
+
+impl SymEigen {
+    /// Fraction of total absolute eigenvalue mass carried by each
+    /// eigenvalue — paper Equation 6, the "normalized energy" VAQ uses as
+    /// the per-dimension importance measure.
+    pub fn normalized_energy(&self) -> Vec<f64> {
+        let total: f64 = self.values.iter().map(|v| v.abs()).sum();
+        if total == 0.0 {
+            return vec![0.0; self.values.len()];
+        }
+        self.values.iter().map(|v| v.abs() / total).collect()
+    }
+}
+
+/// Maximum number of full Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 64;
+
+/// Relative off-diagonal tolerance at which the matrix counts as diagonal.
+const TOL: f64 = 1e-12;
+
+/// Computes the full eigendecomposition of a symmetric matrix.
+///
+/// Returns eigenvalues in descending order with matching eigenvector
+/// columns. The input must be square; symmetry is assumed (only the upper
+/// triangle drives the rotations, and the matrix is symmetrized up front to
+/// guard against tiny asymmetries from accumulation order).
+pub fn sym_eigen(m: &DMatrix) -> Result<SymEigen> {
+    let (r, c) = m.shape();
+    if r != c {
+        return Err(LinalgError::NotSquare { shape: (r, c) });
+    }
+    let n = r;
+    if n == 0 {
+        return Err(LinalgError::Empty { op: "sym_eigen" });
+    }
+
+    // Work on a symmetrized copy.
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = 0.5 * (m.get(i, j) + m.get(j, i));
+        }
+    }
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        let mut diag = 0.0f64;
+        for i in 0..n {
+            diag += a[i * n + i].abs();
+            for j in (i + 1)..n {
+                off += a[i * n + j] * a[i * n + j];
+            }
+        }
+        if off.sqrt() <= TOL * diag.max(1e-300) {
+            converged = true;
+            break;
+        }
+
+        // Threshold Jacobi: skip rotations that cannot meaningfully reduce
+        // the off-diagonal mass this sweep. The threshold shrinks with the
+        // remaining off-norm, so convergence is unaffected while late
+        // sweeps (nearly diagonal matrix) become almost free.
+        let pairs = (n * (n - 1) / 2).max(1) as f64;
+        let threshold = (off / pairs).sqrt() * 0.1;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq == 0.0 || apq.abs() < threshold {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                // Rotation angle that annihilates a[p][q].
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let cos = 1.0 / (1.0 + t * t).sqrt();
+                let sin = t * cos;
+
+                // Apply rotation to rows/columns p and q of A.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = cos * akp - sin * akq;
+                    a[k * n + q] = sin * akp + cos * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = cos * apk - sin * aqk;
+                    a[q * n + k] = sin * apk + cos * aqk;
+                }
+                // Accumulate rotation into eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = cos * vkp - sin * vkq;
+                    v[k * n + q] = sin * vkp + cos * vkq;
+                }
+            }
+        }
+    }
+    if !converged {
+        // One final tolerance check after the last sweep (the loop checks at
+        // sweep start, so a converging final sweep would otherwise error).
+        let mut off = 0.0f64;
+        let mut diag = 0.0f64;
+        for i in 0..n {
+            diag += a[i * n + i].abs();
+            for j in (i + 1)..n {
+                off += a[i * n + j] * a[i * n + j];
+            }
+        }
+        if off.sqrt() > 1e-8 * diag.max(1e-300) {
+            return Err(LinalgError::NoConvergence { routine: "jacobi", iterations: MAX_SWEEPS });
+        }
+    }
+
+    // Extract diagonal and sort descending, carrying eigenvector columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        a[j * n + j].partial_cmp(&a[i * n + i]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let values: Vec<f64> = order.iter().map(|&i| a[i * n + i]).collect();
+    let mut vectors = DMatrix::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        for k in 0..n {
+            vectors.set(k, dst, v[k * n + src]);
+        }
+    }
+    Ok(SymEigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymEigen) -> DMatrix {
+        // V Λ Vᵀ
+        let n = e.values.len();
+        let mut lam = DMatrix::zeros(n, n);
+        for i in 0..n {
+            lam.set(i, i, e.values[i]);
+        }
+        e.vectors.matmul(&lam).unwrap().matmul(&e.vectors.transpose()).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let mut m = DMatrix::zeros(3, 3);
+        m.set(0, 0, 1.0);
+        m.set(1, 1, 5.0);
+        m.set(2, 2, 3.0);
+        let e = sym_eigen(&m).unwrap();
+        assert_eq!(e.values, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = DMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = sym_eigen(&m).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_is_accurate() {
+        // Random-ish symmetric 5x5.
+        let mut m = DMatrix::zeros(5, 5);
+        let mut s = 1u64;
+        for i in 0..5 {
+            for j in i..5 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        let e = sym_eigen(&m).unwrap();
+        assert!(reconstruct(&e).frobenius_distance(&m) < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = DMatrix::from_vec(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0]);
+        let e = sym_eigen(&m).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.frobenius_distance(&DMatrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let m = DMatrix::from_vec(4, 4, vec![
+            1.0, 0.2, 0.0, 0.1,
+            0.2, 7.0, 0.3, 0.0,
+            0.0, 0.3, 4.0, 0.5,
+            0.1, 0.0, 0.5, 2.0,
+        ]);
+        let e = sym_eigen(&m).unwrap();
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn normalized_energy_sums_to_one() {
+        let m = DMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = sym_eigen(&m).unwrap();
+        let en = e.normalized_energy();
+        assert!((en.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(en[0] >= en[1]);
+    }
+
+    #[test]
+    fn non_square_errors() {
+        let m = DMatrix::zeros(2, 3);
+        assert!(matches!(sym_eigen(&m), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn empty_errors() {
+        let m = DMatrix::zeros(0, 0);
+        assert!(matches!(sym_eigen(&m), Err(LinalgError::Empty { .. })));
+    }
+
+    #[test]
+    fn zero_matrix_all_zero_eigenvalues() {
+        let e = sym_eigen(&DMatrix::zeros(3, 3)).unwrap();
+        assert_eq!(e.values, vec![0.0; 3]);
+        assert_eq!(e.normalized_energy(), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,512 @@
+//! Row-major dense matrices.
+//!
+//! [`Matrix`] stores `f32` data row-by-row: row `i` is the `i`-th data
+//! vector. This matches the access pattern of every quantizer in the
+//! workspace (scan rows, slice contiguous column ranges out of a row), so
+//! row extraction is a cheap slice borrow and subspace extraction is a
+//! `copy_from_slice`. [`DMatrix`] is the `f64` twin used for covariance and
+//! eigen work, where single-precision accumulation would visibly perturb
+//! small eigenvalues.
+
+use crate::{LinalgError, Result};
+
+/// Dense row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} expected {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows (data vectors).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (dimensions).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// The full row-major backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams over contiguous
+    /// rows of both the output and `other` (cache-friendly for the
+    /// `n×d · d×d` projections the quantizers perform).
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f32]) -> Result<Vec<f32>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok(self.iter_rows().map(|row| crate::norms::dot(row, v)).collect())
+    }
+
+    /// Projects a single vector through the matrix interpreted as a set of
+    /// column vectors: returns `v * self` (i.e. `selfᵀ v`).
+    ///
+    /// This is how queries are rotated into PC space: the eigenvector matrix
+    /// stores one eigenvector per *column*, and data rows are multiplied on
+    /// the right (`X * V`).
+    pub fn project_row(&self, v: &[f32]) -> Result<Vec<f32>> {
+        if self.rows != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "project_row",
+                lhs: (1, v.len()),
+                rhs: self.shape(),
+            });
+        }
+        let mut out = vec![0.0f32; self.cols];
+        for (k, &a) in v.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let row = self.row(k);
+            for (o, &b) in out.iter_mut().zip(row.iter()) {
+                *o += a * b;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns a new matrix keeping only the listed columns, in order.
+    ///
+    /// Used to permute principal components into subspaces (the partial
+    /// balancing step reorders columns of the eigenvector basis).
+    pub fn select_columns(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, idx.len());
+        for i in 0..self.rows {
+            let src = self.row(i);
+            let dst = &mut out.data[i * idx.len()..(i + 1) * idx.len()];
+            for (d, &j) in dst.iter_mut().zip(idx.iter()) {
+                *d = src[j];
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix keeping only the listed rows, in order.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (di, &si) in idx.iter().enumerate() {
+            out.row_mut(di).copy_from_slice(self.row(si));
+        }
+        out
+    }
+
+    /// Vertically stacks two matrices with the same column count.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols && !self.is_empty() && !other.is_empty() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let cols = if self.is_empty() { other.cols } else { self.cols };
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix { rows: self.rows + other.rows, cols, data })
+    }
+
+    /// Converts to the `f64` representation.
+    pub fn to_f64(&self) -> DMatrix {
+        DMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v as f64).collect(),
+        }
+    }
+}
+
+/// Dense row-major `f64` matrix used for numerically sensitive work
+/// (covariance accumulation, Jacobi rotations, Procrustes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMatrix {
+    /// Creates a zero-filled matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        DMatrix { rows, cols, data }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DMatrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrows row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The full row-major backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> DMatrix {
+        let mut out = DMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &DMatrix) -> Result<DMatrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = DMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Frobenius norm of the difference to `other`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn frobenius_distance(&self, other: &DMatrix) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Converts to the `f32` representation.
+    pub fn to_f32(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&v| v as f32).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_access() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.get(2, 3), 0.0);
+        assert!(!m.is_empty());
+        assert!(Matrix::zeros(0, 0).is_empty());
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_rows_ragged_panics() {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[58.0, 64.0]);
+        assert_eq!(c.row(1), &[139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let v = vec![5.0, 6.0];
+        assert_eq!(a.matvec(&v).unwrap(), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn project_row_is_right_multiplication() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        // v * A where v is a row vector.
+        let out = a.project_row(&[5.0, 6.0]).unwrap();
+        assert_eq!(out, vec![5.0 + 18.0, 10.0 + 24.0]);
+    }
+
+    #[test]
+    fn select_columns_permutes() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let p = a.select_columns(&[2, 0]);
+        assert_eq!(p.row(0), &[3.0, 1.0]);
+        assert_eq!(p.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    fn select_rows_subsets() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let p = a.select_rows(&[2, 2, 0]);
+        assert_eq!(p.rows(), 3);
+        assert_eq!(p.row(0), &[5.0, 6.0]);
+        assert_eq!(p.row(2), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let s = a.vstack(&b).unwrap();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn dmatrix_roundtrip_f32() {
+        let a = Matrix::from_rows(&[vec![1.5, -2.5], vec![0.0, 4.0]]);
+        assert_eq!(a.to_f64().to_f32(), a);
+    }
+
+    #[test]
+    fn dmatrix_matmul_identity() {
+        let a = DMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = DMatrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn frobenius_distance_zero_for_equal() {
+        let a = DMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.frobenius_distance(&a), 0.0);
+        let b = DMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 5.0]);
+        assert!((a.frobenius_distance(&b) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Vector distance kernels.
+//!
+//! These are the innermost loops of every scan in the workspace, so they are
+//! written to auto-vectorize: 4-way unrolled accumulation over exact chunks
+//! with a scalar tail. No `unsafe` — the chunking gives LLVM the alignment
+//! and trip-count information it needs.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics (debug builds) if the lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let o = i * 4;
+        acc[0] += a[o] * b[o];
+        acc[1] += a[o + 1] * b[o + 1];
+        acc[2] += a[o + 2] * b[o + 2];
+        acc[3] += a[o + 3] * b[o + 3];
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// This is the workhorse of k-means assignment and ADC table construction;
+/// callers that need the true metric (triangle-inequality pruning) take the
+/// square root once at the end via [`euclidean`].
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let o = i * 4;
+        let d0 = a[o] - b[o];
+        let d1 = a[o + 1] - b[o + 1];
+        let d2 = a[o + 2] - b[o + 2];
+        let d3 = a[o + 3] - b[o + 3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Euclidean (ℓ2) distance between two equal-length slices.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// ℓ2 norm of a vector.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Normalizes `a` to unit ℓ2 norm in place; leaves zero vectors untouched.
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        let inv = 1.0 / n;
+        for v in a.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Hamming distance between two equal-length packed bit codes.
+#[inline]
+pub fn hamming(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known_values() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_handles_non_multiple_of_four() {
+        // 7 elements: 1 chunk of 4 plus a tail of 3.
+        let a: Vec<f32> = (1..=7).map(|v| v as f32).collect();
+        let expect: f32 = a.iter().map(|v| v * v).sum();
+        assert_eq!(dot(&a, &a), expect);
+    }
+
+    #[test]
+    fn squared_euclidean_known_values() {
+        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn squared_euclidean_is_symmetric_and_zero_on_diagonal() {
+        let a = [1.0, -2.0, 3.5, 0.25, 9.0];
+        let b = [0.5, 2.0, -3.5, 1.25, -9.0];
+        assert_eq!(squared_euclidean(&a, &b), squared_euclidean(&b, &a));
+        assert_eq!(squared_euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn hamming_counts_differing_bits() {
+        assert_eq!(hamming(&[0b1010], &[0b0110]), 2);
+        assert_eq!(hamming(&[u64::MAX, 0], &[0, 0]), 64);
+        assert_eq!(hamming(&[7, 7], &[7, 7]), 0);
+    }
+}

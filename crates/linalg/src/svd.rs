@@ -1,0 +1,229 @@
+//! Singular value decomposition and the orthogonal Procrustes solve.
+//!
+//! The only SVD consumers in this workspace are small square problems:
+//! OPQ's non-parametric rotation update and ITQ's rotation step both need
+//! `argmax_R tr(RᵀM)` over orthogonal `R` for a `d×d` (or `b×b`) matrix `M`,
+//! whose solution is `R = U Vᵀ` from `M = U Σ Vᵀ`. For such sizes the
+//! one-sided eigen approach is accurate and simple: eigendecompose
+//! `MᵀM = V Σ² Vᵀ`, then recover `U = M V Σ⁻¹` (with Gram–Schmidt
+//! completion for null directions).
+
+use crate::eigen::sym_eigen;
+use crate::matrix::DMatrix;
+use crate::{LinalgError, Result};
+
+/// Result of [`svd`]: `a = u * diag(sigma) * vt`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns), `m×n` for an `m×n` input.
+    pub u: DMatrix,
+    /// Singular values in descending order (length `n`).
+    pub sigma: Vec<f64>,
+    /// Transposed right singular vectors, `n×n`.
+    pub vt: DMatrix,
+}
+
+/// Computes the thin SVD of `a` via the eigendecomposition of `aᵀa`.
+///
+/// Suitable for the small (`n ≲ few hundred`) square/tall matrices used by
+/// OPQ and ITQ. Singular values below `1e-12 · σ₀` are treated as zero and
+/// their left singular vectors are completed by modified Gram–Schmidt
+/// against the columns already produced.
+pub fn svd(a: &DMatrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty { op: "svd" });
+    }
+    let ata = a.transpose().matmul(a)?;
+    let eig = sym_eigen(&ata)?;
+    let sigma: Vec<f64> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+    let v = eig.vectors; // n×n, columns are right singular vectors.
+
+    // U columns: a * v_j / sigma_j where sigma_j is significant.
+    let mut u = DMatrix::zeros(m, n);
+    let tol = sigma.first().copied().unwrap_or(0.0) * 1e-12;
+    let mut null_cols: Vec<usize> = Vec::new();
+    for j in 0..n {
+        if sigma[j] > tol && sigma[j] > 0.0 {
+            let inv = 1.0 / sigma[j];
+            for i in 0..m {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a.get(i, k) * v.get(k, j);
+                }
+                u.set(i, j, s * inv);
+            }
+        } else {
+            null_cols.push(j);
+        }
+    }
+    // Complete null columns to an orthonormal set (only matters for
+    // rank-deficient inputs; Procrustes still needs a full rotation).
+    for &j in &null_cols {
+        let mut best: Option<Vec<f64>> = None;
+        for seed in 0..m {
+            let mut cand = vec![0.0f64; m];
+            cand[seed] = 1.0;
+            // Orthogonalize against existing columns.
+            for jj in 0..n {
+                if jj == j || null_cols.contains(&jj) && jj > j {
+                    continue;
+                }
+                let mut proj = 0.0;
+                for i in 0..m {
+                    proj += cand[i] * u.get(i, jj);
+                }
+                for i in 0..m {
+                    cand[i] -= proj * u.get(i, jj);
+                }
+            }
+            let nrm: f64 = cand.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if nrm > 1e-8 {
+                for c in cand.iter_mut() {
+                    *c /= nrm;
+                }
+                best = Some(cand);
+                break;
+            }
+        }
+        if let Some(col) = best {
+            for i in 0..m {
+                u.set(i, j, col[i]);
+            }
+        }
+    }
+
+    Ok(Svd { u, sigma, vt: v.transpose() })
+}
+
+/// Solves the orthogonal Procrustes problem: the orthogonal matrix `R`
+/// maximizing `tr(Rᵀ m)`, i.e. `R = U Vᵀ` for `m = U Σ Vᵀ`.
+///
+/// OPQ's non-parametric iteration and ITQ's rotation update both reduce to
+/// this call with `m = XᵀB` (data against its current quantization).
+pub fn procrustes(m: &DMatrix) -> Result<DMatrix> {
+    let (r, c) = m.shape();
+    if r != c {
+        return Err(LinalgError::NotSquare { shape: (r, c) });
+    }
+    let s = svd(m)?;
+    s.u.matmul(&s.vt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(s: &Svd) -> DMatrix {
+        let n = s.sigma.len();
+        let mut d = DMatrix::zeros(n, n);
+        for i in 0..n {
+            d.set(i, i, s.sigma[i]);
+        }
+        s.u.matmul(&d).unwrap().matmul(&s.vt).unwrap()
+    }
+
+    #[test]
+    fn svd_reconstructs_full_rank_square() {
+        let a = DMatrix::from_vec(3, 3, vec![
+            2.0, 0.5, -1.0,
+            0.0, 3.0, 0.7,
+            1.0, -0.2, 1.5,
+        ]);
+        let s = svd(&a).unwrap();
+        assert!(reconstruct(&s).frobenius_distance(&a) < 1e-8);
+    }
+
+    #[test]
+    fn svd_reconstructs_tall_matrix() {
+        let a = DMatrix::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let s = svd(&a).unwrap();
+        assert!(reconstruct(&s).frobenius_distance(&a) < 1e-8);
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let a = DMatrix::from_vec(3, 3, vec![
+            1.0, 4.0, 0.0,
+            -2.0, 0.5, 3.0,
+            0.0, 1.0, -1.0,
+        ]);
+        let s = svd(&a).unwrap();
+        for w in s.sigma.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(s.sigma.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn svd_of_identity() {
+        let s = svd(&DMatrix::identity(3)).unwrap();
+        for &v in &s.sigma {
+            assert!((v - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn procrustes_returns_orthogonal_matrix() {
+        let m = DMatrix::from_vec(3, 3, vec![
+            2.0, -1.0, 0.3,
+            0.5, 1.0, -0.7,
+            -0.2, 0.8, 1.5,
+        ]);
+        let r = procrustes(&m).unwrap();
+        let rtr = r.transpose().matmul(&r).unwrap();
+        assert!(rtr.frobenius_distance(&DMatrix::identity(3)) < 1e-8);
+    }
+
+    #[test]
+    fn procrustes_recovers_known_rotation() {
+        // If m is already orthogonal, procrustes(m) == m.
+        let theta = 0.7f64;
+        let m = DMatrix::from_vec(2, 2, vec![
+            theta.cos(), -theta.sin(),
+            theta.sin(), theta.cos(),
+        ]);
+        let r = procrustes(&m).unwrap();
+        assert!(r.frobenius_distance(&m) < 1e-8);
+    }
+
+    #[test]
+    fn procrustes_maximizes_trace() {
+        // tr(Rᵀ M) for the Procrustes solution must beat the identity and a
+        // few fixed rotations.
+        let m = DMatrix::from_vec(2, 2, vec![0.0, -2.0, 2.0, 0.0]);
+        let r = procrustes(&m).unwrap();
+        let tr = |r: &DMatrix| -> f64 {
+            let p = r.transpose().matmul(&m).unwrap();
+            p.get(0, 0) + p.get(1, 1)
+        };
+        let best = tr(&r);
+        assert!(best >= tr(&DMatrix::identity(2)) - 1e-9);
+        for k in 1..8 {
+            let th = k as f64 * std::f64::consts::PI / 4.0;
+            let rot = DMatrix::from_vec(2, 2, vec![th.cos(), -th.sin(), th.sin(), th.cos()]);
+            assert!(best >= tr(&rot) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn procrustes_rejects_non_square() {
+        assert!(matches!(
+            procrustes(&DMatrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn svd_rank_deficient_still_orthogonal_u() {
+        // Rank-1 matrix.
+        let a = DMatrix::from_vec(3, 3, vec![
+            1.0, 2.0, 3.0,
+            2.0, 4.0, 6.0,
+            3.0, 6.0, 9.0,
+        ]);
+        let s = svd(&a).unwrap();
+        assert!(reconstruct(&s).frobenius_distance(&a) < 1e-7);
+        assert!(s.sigma[1] < 1e-6 * s.sigma[0].max(1.0));
+    }
+}

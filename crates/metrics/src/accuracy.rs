@@ -1,0 +1,225 @@
+//! Recall and Mean Average Precision, per the paper's definitions (§IV).
+//!
+//! For a workload `S_Q` of `N_Q` queries with `k` requested neighbors:
+//!
+//! ```text
+//! Recall  = ( Σ_i  #true neighbors returned by Q_i / k ) / N_Q
+//! MAP     =   Σ_i  AP(S_Qi) / N_Q
+//! AP(S_Qi)= ( Σ_{r=1..k} P(S_Qi, r) × rel(r) ) / k
+//! ```
+//!
+//! where `P(S_Qi, r)` is the fraction of true neighbors among the first `r`
+//! returned elements and `rel(r)` is 1 iff the element at position `r` is
+//! one of the `k` exact neighbors.
+
+use std::collections::HashSet;
+
+/// Recall of one query: `|retrieved ∩ truth| / k` with `k = truth.len()`.
+pub fn recall_single(retrieved: &[u32], truth: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let truth_set: HashSet<u32> = truth.iter().copied().collect();
+    let hits = retrieved.iter().filter(|r| truth_set.contains(r)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Average precision of one query (the paper's `AP(S_Qi)`).
+///
+/// `retrieved` must be in ranked order (best first).
+pub fn average_precision(retrieved: &[u32], truth: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let truth_set: HashSet<u32> = truth.iter().copied().collect();
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (r, id) in retrieved.iter().enumerate() {
+        if truth_set.contains(id) {
+            hits += 1;
+            sum += hits as f64 / (r + 1) as f64;
+        }
+    }
+    sum / truth.len() as f64
+}
+
+/// Workload recall: mean single-query recall over all `(retrieved, truth)`
+/// pairs, truncating both lists to `k`.
+///
+/// # Panics
+/// Panics if the two workloads have different lengths.
+pub fn recall_at_k(retrieved: &[Vec<u32>], truth: &[Vec<u32>], k: usize) -> f64 {
+    assert_eq!(retrieved.len(), truth.len(), "workload size mismatch");
+    if retrieved.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = retrieved
+        .iter()
+        .zip(truth.iter())
+        .map(|(r, t)| {
+            let r = &r[..r.len().min(k)];
+            let t = &t[..t.len().min(k)];
+            recall_single(r, t)
+        })
+        .sum();
+    total / retrieved.len() as f64
+}
+
+/// Precision at cutoff `r` of one ranked list: fraction of the first `r`
+/// returned elements that are true neighbors.
+pub fn precision_at(retrieved: &[u32], truth: &[u32], r: usize) -> f64 {
+    if r == 0 {
+        return 0.0;
+    }
+    let truth_set: HashSet<u32> = truth.iter().copied().collect();
+    let prefix = &retrieved[..retrieved.len().min(r)];
+    prefix.iter().filter(|id| truth_set.contains(id)).count() as f64 / r as f64
+}
+
+/// Mean reciprocal rank over a workload: `1/rank` of the first true
+/// neighbor in each ranked list, averaged (0 when none is found).
+pub fn mean_reciprocal_rank(retrieved: &[Vec<u32>], truth: &[Vec<u32>]) -> f64 {
+    assert_eq!(retrieved.len(), truth.len(), "workload size mismatch");
+    if retrieved.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = retrieved
+        .iter()
+        .zip(truth.iter())
+        .map(|(r, t)| {
+            let t: HashSet<u32> = t.iter().copied().collect();
+            r.iter()
+                .position(|id| t.contains(id))
+                .map(|p| 1.0 / (p + 1) as f64)
+                .unwrap_or(0.0)
+        })
+        .sum();
+    total / retrieved.len() as f64
+}
+
+/// Workload MAP: mean average precision over all queries at cutoff `k`.
+///
+/// # Panics
+/// Panics if the two workloads have different lengths.
+pub fn map_at_k(retrieved: &[Vec<u32>], truth: &[Vec<u32>], k: usize) -> f64 {
+    assert_eq!(retrieved.len(), truth.len(), "workload size mismatch");
+    if retrieved.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = retrieved
+        .iter()
+        .zip(truth.iter())
+        .map(|(r, t)| {
+            let r = &r[..r.len().min(k)];
+            let t = &t[..t.len().min(k)];
+            average_precision(r, t)
+        })
+        .sum();
+    total / retrieved.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_retrieval_scores_one() {
+        let truth = vec![1u32, 2, 3, 4];
+        assert_eq!(recall_single(&truth, &truth), 1.0);
+        assert_eq!(average_precision(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn empty_retrieval_scores_zero() {
+        let truth = vec![1u32, 2, 3];
+        assert_eq!(recall_single(&[], &truth), 0.0);
+        assert_eq!(average_precision(&[], &truth), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_set_overlap_regardless_of_order() {
+        let truth = vec![1u32, 2, 3, 4];
+        assert_eq!(recall_single(&[4, 3, 9, 1], &truth), 0.75);
+        assert_eq!(recall_single(&[1, 3, 9, 4], &truth), 0.75);
+    }
+
+    #[test]
+    fn ap_rewards_early_hits() {
+        let truth = vec![1u32, 2];
+        // Hit at rank 1, miss, hit at rank 3: AP = (1/1 + 2/3)/2.
+        let early = average_precision(&[1, 9, 2], &truth);
+        assert!((early - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+        // Same set but hits late: AP = (1/2 + 2/3)/2 — lower.
+        let late = average_precision(&[9, 1, 2], &truth);
+        assert!(late < early);
+    }
+
+    #[test]
+    fn ap_position_sensitive_recall_not() {
+        let truth = vec![5u32, 6, 7, 8];
+        let a = vec![5u32, 6, 0, 0];
+        let b = vec![0u32, 0, 5, 6];
+        assert_eq!(recall_single(&a, &truth), recall_single(&b, &truth));
+        assert!(average_precision(&a, &truth) > average_precision(&b, &truth));
+    }
+
+    #[test]
+    fn workload_metrics_average_over_queries() {
+        let truth = vec![vec![0u32, 1], vec![2u32, 3]];
+        let retrieved = vec![vec![0u32, 1], vec![9u32, 9]];
+        assert_eq!(recall_at_k(&retrieved, &truth, 2), 0.5);
+        assert_eq!(map_at_k(&retrieved, &truth, 2), 0.5);
+    }
+
+    #[test]
+    fn k_truncation_applies_to_both_sides() {
+        let truth = vec![vec![0u32, 1, 2, 3]];
+        let retrieved = vec![vec![0u32, 9, 9, 1]];
+        // At k=2: truth {0,1}, retrieved [0,9] → recall 0.5.
+        assert_eq!(recall_at_k(&retrieved, &truth, 2), 0.5);
+        // At k=4: 2 of 4 → 0.5 as well here.
+        assert_eq!(recall_at_k(&retrieved, &truth, 4), 0.5);
+    }
+
+    #[test]
+    fn map_bounded_by_recall() {
+        // AP ≤ recall for any ranking (each hit contributes ≤ 1/k).
+        let truth = vec![vec![0u32, 1, 2, 3, 4]];
+        let retrieved = vec![vec![7u32, 0, 8, 2, 4]];
+        assert!(map_at_k(&retrieved, &truth, 5) <= recall_at_k(&retrieved, &truth, 5) + 1e-12);
+    }
+
+    #[test]
+    fn precision_at_counts_prefix_hits() {
+        let truth = vec![1u32, 2, 3];
+        assert_eq!(precision_at(&[1, 9, 2, 9], &truth, 2), 0.5);
+        assert_eq!(precision_at(&[1, 2], &truth, 4), 0.5); // short list, r=4
+        assert_eq!(precision_at(&[9, 9], &truth, 2), 0.0);
+        assert_eq!(precision_at(&[1], &truth, 0), 0.0);
+    }
+
+    #[test]
+    fn mrr_rewards_early_first_hit() {
+        let truth = vec![vec![5u32], vec![5u32], vec![5u32]];
+        let retrieved = vec![vec![5u32, 0], vec![0u32, 5], vec![0u32, 1]];
+        // 1/1, 1/2, 0 → mean = 0.5.
+        assert!((mean_reciprocal_rank(&retrieved, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_empty_workload_zero() {
+        assert_eq!(mean_reciprocal_rank(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn empty_workload_is_zero() {
+        assert_eq!(recall_at_k(&[], &[], 10), 0.0);
+        assert_eq!(map_at_k(&[], &[], 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_workloads_panic() {
+        recall_at_k(&[vec![1]], &[], 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! Evaluation measures and statistical machinery for the VAQ reproduction.
+//!
+//! Mirrors §IV of the paper:
+//!
+//! * [`accuracy`] — `Recall(workload)` and `MAP(workload)` exactly as the
+//!   paper defines them (Recall ignores ranking; MAP rewards placing true
+//!   neighbors early).
+//! * [`stats`] — the Wilcoxon signed-rank test (pairwise comparisons at 99%
+//!   confidence) and the Friedman test followed by the post-hoc Nemenyi
+//!   test (multiple methods over multiple datasets at 95%), the exact
+//!   protocol of §IV "Statistical Analysis" / Figure 10.
+//! * [`ranking`] — average ranks with midrank tie handling, and
+//!   speedup@recall interpolation used by Figures 8 and 11.
+//! * [`special`] — the special functions (erf, regularized incomplete
+//!   gamma) the tests need for p-values, implemented from scratch.
+//! * [`timing`] — a tiny stopwatch for CPU-time style measurements.
+
+pub mod accuracy;
+pub mod ranking;
+pub mod special;
+pub mod stats;
+pub mod timing;
+
+pub use accuracy::{average_precision, map_at_k, mean_reciprocal_rank, precision_at, recall_at_k};
+pub use ranking::{average_ranks, nemenyi_critical_difference, speedup_at_recall};
+pub use stats::{bootstrap_mean_ci, friedman_test, wilcoxon_signed_rank, FriedmanResult, WilcoxonResult};
+pub use timing::Stopwatch;

@@ -1,0 +1,227 @@
+//! Rank utilities, the Nemenyi critical difference, and speedup@recall.
+
+/// Ranks values ascending with midrank tie handling: the smallest value gets
+/// rank 1; equal values share the average of the ranks they span.
+pub fn rank_with_ties(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && (values[order[j]] - values[order[i]]).abs() < 1e-12 {
+            j += 1;
+        }
+        // Midrank of positions i..j (1-based ranks i+1 ..= j).
+        let mid = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = mid;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Average rank of each method over datasets: `scores[method][dataset]`,
+/// higher scores are better, rank 1 = best.
+pub fn average_ranks(scores: &[Vec<f64>]) -> Vec<f64> {
+    let k = scores.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let n = scores[0].len();
+    let mut sums = vec![0.0f64; k];
+    for d in 0..n {
+        let col: Vec<f64> = (0..k).map(|m| -scores[m][d]).collect();
+        for (m, r) in rank_with_ties(&col).into_iter().enumerate() {
+            sums[m] += r;
+        }
+    }
+    sums.into_iter().map(|s| s / n as f64).collect()
+}
+
+/// Studentized range quantiles `q_{0.05,∞,k} / √2` for the Nemenyi test,
+/// k = 2..=10 (Demšar 2006, Table 5a).
+const NEMENYI_Q05: [f64; 9] = [1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164];
+
+/// Nemenyi critical difference at α = 0.05 for `k` methods over `n`
+/// datasets: two methods differ significantly when their average ranks
+/// differ by more than `CD = q_α √(k(k+1)/6n)`.
+///
+/// # Panics
+/// Panics for `k < 2` or `k > 10` (extend the table if needed) or `n == 0`.
+pub fn nemenyi_critical_difference(k: usize, n: usize) -> f64 {
+    assert!((2..=10).contains(&k), "Nemenyi table covers 2..=10 methods, got {k}");
+    assert!(n > 0, "need at least one dataset");
+    let q = NEMENYI_Q05[k - 2];
+    q * ((k * (k + 1)) as f64 / (6.0 * n as f64)).sqrt()
+}
+
+/// Groups of mutually non-significant methods under the Nemenyi CD — the
+/// "wiggly lines" of the paper's Figure 10. Methods are given by their
+/// average ranks; returns maximal index groups (sorted by rank) whose rank
+/// spread is below the CD.
+pub fn nemenyi_groups(avg_ranks: &[f64], cd: f64) -> Vec<Vec<usize>> {
+    let k = avg_ranks.len();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&i, &j| {
+        avg_ranks[i].partial_cmp(&avg_ranks[j]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for start in 0..k {
+        let mut end = start;
+        while end + 1 < k && avg_ranks[order[end + 1]] - avg_ranks[order[start]] <= cd {
+            end += 1;
+        }
+        if end > start {
+            let group: Vec<usize> = order[start..=end].to_vec();
+            // Only keep maximal groups.
+            if !groups.iter().any(|g| group.iter().all(|m| g.contains(m))) {
+                groups.push(group);
+            }
+        }
+    }
+    groups
+}
+
+/// A `(recall, seconds)` operating point of one method.
+pub type OperatingPoint = (f64, f64);
+
+/// Speedup of method A over method B at a target recall, interpolating each
+/// method's recall→time curve (Figures 8, 11, 12 report speedup@recall).
+///
+/// Returns `None` when either method cannot reach `target_recall`.
+pub fn speedup_at_recall(
+    a: &[OperatingPoint],
+    b: &[OperatingPoint],
+    target_recall: f64,
+) -> Option<f64> {
+    let ta = time_at_recall(a, target_recall)?;
+    let tb = time_at_recall(b, target_recall)?;
+    if ta <= 0.0 {
+        return None;
+    }
+    Some(tb / ta)
+}
+
+/// Interpolated time for a method to reach `target` recall. Points need not
+/// be sorted. Uses the *fastest* configuration achieving at least the
+/// target, with linear interpolation between the straddling points of the
+/// recall-sorted curve.
+pub fn time_at_recall(points: &[OperatingPoint], target: f64) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut pts = points.to_vec();
+    pts.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Fastest point at or above the target.
+    let above: Vec<&OperatingPoint> = pts.iter().filter(|p| p.0 >= target).collect();
+    if above.is_empty() {
+        return None;
+    }
+    let best_above = above.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    // Interpolate from the closest point below, if any (may be faster).
+    let below = pts.iter().rev().find(|p| p.0 < target);
+    match below {
+        None => Some(best_above),
+        Some(&(r0, t0)) => {
+            let &&(r1, t1) = above
+                .iter()
+                .min_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("non-empty");
+            if r1 - r0 < 1e-12 {
+                Some(best_above)
+            } else {
+                let frac = (target - r0) / (r1 - r0);
+                Some((t0 + frac * (t1 - t0)).min(best_above))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_simple_ascending() {
+        assert_eq!(rank_with_ties(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn rank_midranks_for_ties() {
+        // [5, 1, 5]: 1 → rank 1, the two 5s share (2+3)/2 = 2.5.
+        assert_eq!(rank_with_ties(&[5.0, 1.0, 5.0]), vec![2.5, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn rank_all_equal() {
+        assert_eq!(rank_with_ties(&[2.0, 2.0, 2.0, 2.0]), vec![2.5; 4]);
+    }
+
+    #[test]
+    fn average_ranks_higher_is_better() {
+        let scores = vec![vec![0.9, 0.9], vec![0.5, 0.5]];
+        let ar = average_ranks(&scores);
+        assert_eq!(ar, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn nemenyi_cd_matches_demsar_example() {
+        // Demšar 2006: k=4, N=14 → CD ≈ 1.25 at α=0.05 (q=2.569).
+        let cd = nemenyi_critical_difference(4, 14);
+        assert!((cd - 2.569 * (20.0f64 / 84.0).sqrt()).abs() < 1e-9);
+        assert!((cd - 1.2536).abs() < 0.01, "cd = {cd}");
+    }
+
+    #[test]
+    fn nemenyi_cd_shrinks_with_more_datasets() {
+        assert!(nemenyi_critical_difference(5, 200) < nemenyi_critical_difference(5, 20));
+    }
+
+    #[test]
+    #[should_panic]
+    fn nemenyi_rejects_out_of_table_k() {
+        nemenyi_critical_difference(11, 10);
+    }
+
+    #[test]
+    fn nemenyi_groups_connect_close_methods() {
+        // Ranks: 1.0, 1.3, 3.0 with CD 0.5 → {0,1} grouped, 2 alone.
+        let groups = nemenyi_groups(&[1.0, 1.3, 3.0], 0.5);
+        assert_eq!(groups, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn nemenyi_groups_empty_when_all_distinct() {
+        let groups = nemenyi_groups(&[1.0, 2.0, 3.0], 0.5);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn time_at_recall_picks_fastest_sufficient_point() {
+        let pts = vec![(0.8, 1.0), (0.9, 2.0), (0.95, 10.0)];
+        // Target 0.9: the (0.9, 2.0) point qualifies.
+        assert_eq!(time_at_recall(&pts, 0.9), Some(2.0));
+        // Target 0.99: unreachable.
+        assert_eq!(time_at_recall(&pts, 0.99), None);
+        // Target 0.85: interpolate between (0.8,1) and (0.9,2) → 1.5.
+        assert!((time_at_recall(&pts, 0.85).unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_at_recall_ratio() {
+        let fast = vec![(0.9, 1.0)];
+        let slow = vec![(0.9, 5.0)];
+        assert!((speedup_at_recall(&fast, &slow, 0.9).unwrap() - 5.0).abs() < 1e-12);
+        assert!((speedup_at_recall(&slow, &fast, 0.9).unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_none_when_unreachable() {
+        let a = vec![(0.5, 1.0)];
+        let b = vec![(0.9, 1.0)];
+        assert_eq!(speedup_at_recall(&a, &b, 0.8), None);
+    }
+}

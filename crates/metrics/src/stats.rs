@@ -1,0 +1,288 @@
+//! Statistical tests from the paper's protocol (§IV "Statistical Analysis").
+//!
+//! "We use the Wilcoxon test with a 99% confidence level to evaluate pairs
+//! of algorithms over multiple datasets and the Friedman test followed by
+//! the post-hoc Nemenyi test with 95% confidence level for comparison of
+//! multiple algorithms over multiple datasets."
+
+use crate::ranking::rank_with_ties;
+use crate::special::{chi_square_sf, normal_sf};
+
+/// Result of the Wilcoxon signed-rank test.
+#[derive(Debug, Clone)]
+pub struct WilcoxonResult {
+    /// Signed-rank statistic (sum of ranks of positive differences).
+    pub w_plus: f64,
+    /// Normal-approximation z score.
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Number of non-zero differences used.
+    pub n_effective: usize,
+    /// How many datasets method A beat method B on (`a > b`).
+    pub wins_a: usize,
+    /// How many datasets method B beat method A on.
+    pub wins_b: usize,
+}
+
+/// Two-sided Wilcoxon signed-rank test for paired samples `a` vs `b`
+/// (e.g. per-dataset recall of two methods).
+///
+/// Uses the normal approximation with tie correction — the paper's studies
+/// have N = 128 datasets, far beyond where the exact distribution matters.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    let mut diffs: Vec<f64> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x - y)
+        .filter(|d| d.abs() > 1e-12)
+        .collect();
+    let wins_a = a.iter().zip(b.iter()).filter(|(x, y)| x > y).count();
+    let wins_b = a.iter().zip(b.iter()).filter(|(x, y)| y > x).count();
+    let n = diffs.len();
+    if n == 0 {
+        return WilcoxonResult { w_plus: 0.0, z: 0.0, p_value: 1.0, n_effective: 0, wins_a, wins_b };
+    }
+    // Rank |d| with midranks.
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = rank_with_ties(&abs);
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(ranks.iter())
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, &r)| r)
+        .sum();
+
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    // Tie correction on the variance.
+    let mut sorted = abs.clone();
+    sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && (sorted[j] - sorted[i]).abs() < 1e-12 {
+            j += 1;
+        }
+        let t = (j - i) as f64;
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        i = j;
+    }
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
+    let z = if var > 0.0 { (w_plus - mean) / var.sqrt() } else { 0.0 };
+    let p_value = (2.0 * normal_sf(z.abs())).min(1.0);
+    diffs.clear();
+    WilcoxonResult { w_plus, z, p_value, n_effective: n, wins_a, wins_b }
+}
+
+/// Result of the Friedman test over `k` methods × `n` datasets.
+#[derive(Debug, Clone)]
+pub struct FriedmanResult {
+    /// Average rank of each method (1 = best) across datasets.
+    pub average_ranks: Vec<f64>,
+    /// Friedman χ² statistic.
+    pub chi_square: f64,
+    /// Degrees of freedom (`k − 1`).
+    pub df: usize,
+    /// p-value from the χ² approximation.
+    pub p_value: f64,
+}
+
+/// Friedman test on a score table: `scores[method][dataset]`, where higher
+/// scores are better (recall/MAP). Methods are ranked per dataset (rank 1 =
+/// best) with midrank ties, then the rank sums are tested.
+///
+/// # Panics
+/// Panics if methods have differing dataset counts or fewer than 2 methods /
+/// 1 dataset are supplied.
+pub fn friedman_test(scores: &[Vec<f64>]) -> FriedmanResult {
+    let k = scores.len();
+    assert!(k >= 2, "need at least two methods");
+    let n = scores[0].len();
+    assert!(n >= 1, "need at least one dataset");
+    assert!(scores.iter().all(|s| s.len() == n), "ragged score table");
+
+    let mut rank_sums = vec![0.0f64; k];
+    for d in 0..n {
+        // Rank methods on dataset d: higher score → better → lower rank.
+        // rank_with_ties ranks ascending, so negate.
+        let col: Vec<f64> = (0..k).map(|m| -scores[m][d]).collect();
+        let ranks = rank_with_ties(&col);
+        for (m, &r) in ranks.iter().enumerate() {
+            rank_sums[m] += r;
+        }
+    }
+    let average_ranks: Vec<f64> = rank_sums.iter().map(|&s| s / n as f64).collect();
+
+    let nf = n as f64;
+    let kf = k as f64;
+    let sum_r2: f64 = rank_sums.iter().map(|&r| r * r).sum();
+    let chi_square =
+        12.0 / (nf * kf * (kf + 1.0)) * sum_r2 - 3.0 * nf * (kf + 1.0);
+    let df = k - 1;
+    let p_value = chi_square_sf(chi_square.max(0.0), df as f64);
+    FriedmanResult { average_ranks, chi_square, df, p_value }
+}
+
+/// Percentile bootstrap confidence interval for the mean of per-query
+/// scores (recall/MAP are means over queries; reporting an interval is the
+/// honest way to compare runs on modest query workloads).
+///
+/// Deterministic: the resampling RNG is an inline splitmix so repeated
+/// calls agree. Returns `(lower, upper)` at the given confidence
+/// (e.g. 0.95).
+pub fn bootstrap_mean_ci(samples: &[f64], confidence: f64, resamples: usize) -> (f64, f64) {
+    assert!(!samples.is_empty(), "need at least one sample");
+    assert!((0.0..1.0).contains(&(1.0 - confidence)), "confidence must be in (0,1)");
+    let n = samples.len();
+    let mut means = Vec::with_capacity(resamples.max(1));
+    let mut state = 0x9E3779B97F4A7C15u64 ^ (n as u64);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for _ in 0..resamples.max(1) {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += samples[(next() % n as u64) as usize];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((means.len() as f64 * alpha) as usize).min(means.len() - 1);
+    let hi_idx =
+        ((means.len() as f64 * (1.0 - alpha)) as usize).min(means.len() - 1);
+    (means[lo_idx], means[hi_idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_ci_contains_true_mean_and_shrinks() {
+        let samples: Vec<f64> = (0..200).map(|i| 0.5 + 0.3 * ((i as f64 * 0.7).sin())).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let (lo, hi) = bootstrap_mean_ci(&samples, 0.95, 500);
+        assert!(lo <= mean && mean <= hi, "CI [{lo}, {hi}] misses mean {mean}");
+        // A small sample gives a wider interval.
+        let (lo_s, hi_s) = bootstrap_mean_ci(&samples[..10], 0.95, 500);
+        assert!(hi_s - lo_s > hi - lo, "small-sample CI not wider");
+        // Deterministic.
+        assert_eq!(bootstrap_mean_ci(&samples, 0.95, 100), bootstrap_mean_ci(&samples, 0.95, 100));
+    }
+
+    #[test]
+    fn bootstrap_ci_degenerate_single_sample() {
+        let (lo, hi) = bootstrap_mean_ci(&[0.7], 0.95, 50);
+        assert_eq!((lo, hi), (0.7, 0.7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bootstrap_ci_rejects_empty() {
+        bootstrap_mean_ci(&[], 0.95, 10);
+    }
+
+    #[test]
+    fn wilcoxon_identical_samples_not_significant() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let r = wilcoxon_signed_rank(&a, &a);
+        assert_eq!(r.n_effective, 0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn wilcoxon_detects_consistent_improvement() {
+        // a beats b by a clear margin on 30 paired samples.
+        let b: Vec<f64> = (0..30).map(|i| 0.5 + 0.001 * i as f64).collect();
+        let a: Vec<f64> = b.iter().map(|v| v + 0.05).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert_eq!(r.wins_a, 30);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+        assert!(r.z > 0.0);
+    }
+
+    #[test]
+    fn wilcoxon_symmetric() {
+        let a: Vec<f64> = (0..20).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..20).map(|i| (i as f64 * 0.3).cos()).collect();
+        let ab = wilcoxon_signed_rank(&a, &b);
+        let ba = wilcoxon_signed_rank(&b, &a);
+        assert!((ab.p_value - ba.p_value).abs() < 1e-12);
+        assert!((ab.z + ba.z).abs() < 1e-12);
+        assert_eq!(ab.wins_a, ba.wins_b);
+    }
+
+    #[test]
+    fn wilcoxon_mixed_differences_not_significant() {
+        // Alternating winner with equal magnitudes → no significance.
+        let a: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn friedman_ranks_clear_ordering() {
+        // Method 0 always best, method 2 always worst over 20 datasets.
+        let n = 20;
+        let scores = vec![
+            (0..n).map(|i| 0.9 + 0.001 * i as f64).collect::<Vec<_>>(),
+            (0..n).map(|i| 0.8 + 0.001 * i as f64).collect::<Vec<_>>(),
+            (0..n).map(|i| 0.7 + 0.001 * i as f64).collect::<Vec<_>>(),
+        ];
+        let r = friedman_test(&scores);
+        assert!((r.average_ranks[0] - 1.0).abs() < 1e-12);
+        assert!((r.average_ranks[1] - 2.0).abs() < 1e-12);
+        assert!((r.average_ranks[2] - 3.0).abs() < 1e-12);
+        assert!(r.p_value < 0.001, "p = {}", r.p_value);
+        assert_eq!(r.df, 2);
+    }
+
+    #[test]
+    fn friedman_no_difference_high_p() {
+        // Rotating winner: every method wins equally often.
+        let scores = vec![
+            vec![3.0, 1.0, 2.0, 3.0, 1.0, 2.0],
+            vec![2.0, 3.0, 1.0, 2.0, 3.0, 1.0],
+            vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0],
+        ];
+        let r = friedman_test(&scores);
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+        for ar in &r.average_ranks {
+            assert!((ar - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn friedman_handles_ties_with_midranks() {
+        let scores = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let r = friedman_test(&scores);
+        assert!((r.average_ranks[0] - 1.5).abs() < 1e-12);
+        assert!((r.average_ranks[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn friedman_rejects_single_method() {
+        friedman_test(&[vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wilcoxon_rejects_mismatched_lengths() {
+        wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    }
+}

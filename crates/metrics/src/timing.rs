@@ -1,0 +1,100 @@
+//! Minimal timing helper for the experiment harness.
+//!
+//! The paper reports CPU time; `std::time::Instant` (wall clock) is the
+//! portable stand-in. Experiments run single-threaded query loops, so wall
+//! clock ≈ CPU time for the measured sections.
+
+use std::time::{Duration, Instant};
+
+/// A restartable stopwatch accumulating elapsed time across laps.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    started: Option<Instant>,
+    accumulated: Duration,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// A stopped stopwatch at zero.
+    pub fn new() -> Self {
+        Stopwatch { started: None, accumulated: Duration::ZERO }
+    }
+
+    /// A stopwatch already running.
+    pub fn started() -> Self {
+        Stopwatch { started: Some(Instant::now()), accumulated: Duration::ZERO }
+    }
+
+    /// Starts (or restarts) the current lap.
+    pub fn start(&mut self) {
+        self.started = Some(Instant::now());
+    }
+
+    /// Stops the current lap, folding it into the accumulated total.
+    pub fn stop(&mut self) {
+        if let Some(s) = self.started.take() {
+            self.accumulated += s.elapsed();
+        }
+    }
+
+    /// Total accumulated time (including a running lap).
+    pub fn elapsed(&self) -> Duration {
+        match self.started {
+            Some(s) => self.accumulated + s.elapsed(),
+            None => self.accumulated,
+        }
+    }
+
+    /// Total accumulated seconds as `f64`.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Times a closure, returning its output and the elapsed seconds.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+        let t0 = Instant::now();
+        let out = f();
+        (out, t0.elapsed().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_laps() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        std::thread::sleep(Duration::from_millis(5));
+        sw.stop();
+        let after_first = sw.elapsed();
+        assert!(after_first >= Duration::from_millis(4));
+        sw.start();
+        std::thread::sleep(Duration::from_millis(5));
+        sw.stop();
+        assert!(sw.elapsed() > after_first);
+    }
+
+    #[test]
+    fn stopped_watch_is_stable() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        sw.stop();
+        let a = sw.elapsed();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(sw.elapsed(), a);
+    }
+
+    #[test]
+    fn time_closure_returns_output() {
+        let (out, secs) = Stopwatch::time(|| 21 * 2);
+        assert_eq!(out, 42);
+        assert!(secs >= 0.0);
+    }
+}

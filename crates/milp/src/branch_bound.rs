@@ -1,0 +1,348 @@
+//! Branch-and-bound over the simplex relaxation.
+//!
+//! The paper (§III-C) cites Land & Doig's branch-and-bound as the standard
+//! way to solve the bit-allocation ILP. This is a best-bound implementation:
+//! nodes carry tightened variable bounds, the node with the most promising
+//! LP relaxation is expanded first, and branching splits on the most
+//! fractional integer variable (`x ≤ ⌊v⌋` / `x ≥ ⌈v⌉`). Incumbents prune
+//! nodes whose relaxation bound cannot beat them.
+
+use crate::simplex::solve_lp;
+use crate::{Model, Objective, Solution, SolveError};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Tolerance within which a value counts as integral.
+const INT_EPS: f64 = 1e-6;
+
+/// Cap on explored nodes. Bit-allocation problems close in tens of nodes;
+/// this guards against pathological user models.
+const MAX_NODES: usize = 200_000;
+
+struct Node {
+    /// Per-variable `(lb, ub)` overrides.
+    bounds: Vec<(f64, f64)>,
+    /// Relaxation objective (already normalized to "higher is better").
+    score: f64,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score.partial_cmp(&other.score).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Solves the mixed-integer program: all variables flagged with
+/// `add_int_var` are driven to integral values.
+///
+/// Returns [`SolveError::Infeasible`] when no integral assignment exists
+/// and [`SolveError::LimitReached`] when the node budget runs out before
+/// optimality is proven (the incumbent, if any, is discarded in that case —
+/// callers of the bit allocator treat it as a hard error because the budget
+/// is tiny).
+pub fn solve_milp(model: &Model) -> Result<Solution, SolveError> {
+    if model.vars.is_empty() {
+        return Err(SolveError::EmptyModel);
+    }
+    let dir = match model.objective {
+        Objective::Maximize => 1.0,
+        Objective::Minimize => -1.0,
+    };
+
+    let root_bounds: Vec<(f64, f64)> = model.vars.iter().map(|v| (v.lb, v.ub)).collect();
+    let root = relax(model, &root_bounds)?;
+    let mut heap = BinaryHeap::new();
+    heap.push(Node { bounds: root_bounds, score: dir * root.objective });
+
+    let mut incumbent: Option<Solution> = None;
+    let mut nodes = 0usize;
+
+    while let Some(node) = heap.pop() {
+        nodes += 1;
+        if nodes > MAX_NODES {
+            return Err(SolveError::LimitReached { what: "branch-and-bound node" });
+        }
+        // Bound: even the relaxation cannot beat the incumbent.
+        if let Some(inc) = &incumbent {
+            if node.score <= dir * inc.objective + INT_EPS {
+                continue;
+            }
+        }
+        // Re-solve (score was computed when pushed; bounds are the state).
+        let sol = match relax(model, &node.bounds) {
+            Ok(s) => s,
+            Err(SolveError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        if let Some(inc) = &incumbent {
+            if dir * sol.objective <= dir * inc.objective + INT_EPS {
+                continue;
+            }
+        }
+
+        // Most fractional integer variable.
+        let frac = model
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.integer)
+            .map(|(i, _)| (i, (sol.values[i] - sol.values[i].round()).abs()))
+            .filter(|&(_, f)| f > INT_EPS)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+
+        match frac {
+            None => {
+                // Integral: round off the dust and accept as incumbent.
+                let mut vals = sol.values.clone();
+                for (i, v) in model.vars.iter().enumerate() {
+                    if v.integer {
+                        vals[i] = vals[i].round();
+                    }
+                }
+                let objective: f64 =
+                    vals.iter().zip(model.vars.iter()).map(|(&x, v)| v.obj * x).sum();
+                let better = incumbent
+                    .as_ref()
+                    .map(|inc| dir * objective > dir * inc.objective + INT_EPS)
+                    .unwrap_or(true);
+                if better {
+                    incumbent = Some(Solution { values: vals, objective });
+                }
+            }
+            Some((i, _)) => {
+                let v = sol.values[i];
+                let floor = v.floor();
+                // Down branch: x_i ≤ ⌊v⌋.
+                let mut down = node.bounds.clone();
+                down[i].1 = down[i].1.min(floor);
+                if down[i].0 <= down[i].1 + INT_EPS {
+                    if let Ok(s) = relax(model, &down) {
+                        heap.push(Node { bounds: down, score: dir * s.objective });
+                    }
+                }
+                // Up branch: x_i ≥ ⌈v⌉.
+                let mut up = node.bounds.clone();
+                up[i].0 = up[i].0.max(floor + 1.0);
+                if up[i].0 <= up[i].1 + INT_EPS {
+                    if let Ok(s) = relax(model, &up) {
+                        heap.push(Node { bounds: up, score: dir * s.objective });
+                    }
+                }
+            }
+        }
+    }
+
+    incumbent.ok_or(SolveError::Infeasible)
+}
+
+/// Solves the LP relaxation of `model` under overridden variable bounds.
+fn relax(model: &Model, bounds: &[(f64, f64)]) -> Result<Solution, SolveError> {
+    let mut relaxed = model.clone();
+    for (v, &(lb, ub)) in relaxed.vars.iter_mut().zip(bounds.iter()) {
+        v.lb = lb;
+        v.ub = ub;
+    }
+    solve_lp(&relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cmp, Model, Objective};
+
+    #[test]
+    fn knapsack_small() {
+        // max 8a + 11b + 6c + 4d, weights 5,7,4,3 ≤ 14, binary.
+        // Optimum: b + c + d = 21 (weight 14).
+        let mut m = Model::new(Objective::Maximize);
+        let a = m.add_int_var(0.0, 1.0, 8.0);
+        let b = m.add_int_var(0.0, 1.0, 11.0);
+        let c = m.add_int_var(0.0, 1.0, 6.0);
+        let d = m.add_int_var(0.0, 1.0, 4.0);
+        m.add_constraint(vec![(a, 5.0), (b, 7.0), (c, 4.0), (d, 3.0)], Cmp::Le, 14.0);
+        let s = solve_milp(&m).unwrap();
+        assert!((s.objective - 21.0).abs() < 1e-6, "{s:?}");
+        assert_eq!(s.values[a].round() as i64, 0);
+        assert_eq!(s.values[b].round() as i64, 1);
+    }
+
+    #[test]
+    fn lp_relaxation_fractional_but_milp_integral() {
+        // max x s.t. 2x <= 5, x integer → LP gives 2.5, MILP gives 2.
+        let mut m = Model::new(Objective::Maximize);
+        let x = m.add_int_var(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, 2.0)], Cmp::Le, 5.0);
+        let lp = solve_lp(&m).unwrap();
+        assert!((lp.objective - 2.5).abs() < 1e-6);
+        let ip = solve_milp(&m).unwrap();
+        assert!((ip.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // max 3x + 2y, x integer, x + y <= 4.5, y <= 1.3.
+        // LP optimum is x=4.5; branching down gives x=4, y=0.5 → obj 13.
+        let mut m = Model::new(Objective::Maximize);
+        let x = m.add_int_var(0.0, 100.0, 3.0);
+        let y = m.add_var(0.0, 1.3, 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.5);
+        let s = solve_milp(&m).unwrap();
+        assert!((s.values[x] - 4.0).abs() < 1e-6, "{s:?}");
+        assert!((s.values[y] - 0.5).abs() < 1e-6, "{s:?}");
+        assert!((s.objective - 13.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_budget_milp() {
+        // The exact structure of VAQ's C3: Σ y = budget with bounds.
+        let mut m = Model::new(Objective::Maximize);
+        let w = [0.5, 0.3, 0.15, 0.05];
+        let vars: Vec<usize> = w.iter().map(|&wi| m.add_int_var(1.0, 13.0, wi)).collect();
+        let coeffs: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(coeffs, Cmp::Eq, 32.0);
+        let s = solve_milp(&m).unwrap();
+        let total: f64 = s.values.iter().sum();
+        assert!((total - 32.0).abs() < 1e-6);
+        // Greedy: most important subspace maxes out first.
+        assert!((s.values[vars[0]] - 13.0).abs() < 1e-6);
+        assert!(s.values[vars[3]] >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 2x = 3 with x integer has no solution.
+        let mut m = Model::new(Objective::Maximize);
+        let x = m.add_int_var(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, 2.0)], Cmp::Eq, 3.0);
+        assert_eq!(solve_milp(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn minimization_milp() {
+        // min x + y s.t. 3x + 2y >= 7, integers → (1,2) = 3.
+        let mut m = Model::new(Objective::Minimize);
+        let x = m.add_int_var(0.0, 10.0, 1.0);
+        let y = m.add_int_var(0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Ge, 7.0);
+        let s = solve_milp(&m).unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-6, "{s:?}");
+    }
+
+    #[test]
+    fn milp_on_pure_continuous_model_matches_lp() {
+        let mut m = Model::new(Objective::Maximize);
+        let x = m.add_var(0.0, 4.0, 2.0);
+        let y = m.add_var(0.0, 4.0, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 5.0);
+        let lp = solve_lp(&m).unwrap();
+        let ip = solve_milp(&m).unwrap();
+        assert!((lp.objective - ip.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_bounds_force_value() {
+        let mut m = Model::new(Objective::Maximize);
+        let x = m.add_int_var(3.0, 3.0, 1.0);
+        let s = solve_milp(&m).unwrap();
+        assert_eq!(s.values[x], 3.0);
+    }
+
+    #[test]
+    fn chain_constrained_binary_model_regression() {
+        // Regression for a phase-2 bug where artificial columns could
+        // re-enter the basis after reduced-cost drift, surfacing as a bogus
+        // "unbounded" on this bounded unit-bit model (many Ge-0 chain rows
+        // plus one equality).
+        let m = 8usize;
+        let extra = 12usize;
+        let mut shares = vec![1.0f64 / 8.0; m];
+        shares[7] *= 50.0;
+        let mut model = Model::new(Objective::Maximize);
+        let mut z = vec![Vec::new(); m];
+        for (i, zi) in z.iter_mut().enumerate() {
+            for j in 0..extra {
+                let gain = shares[i] * 0.5f64.powi(j as i32 + 1);
+                zi.push(model.add_int_var(0.0, 1.0, gain));
+            }
+        }
+        model.add_constraint(
+            z.iter().flatten().map(|&v| (v, 1.0)).collect(),
+            Cmp::Eq,
+            24.0,
+        );
+        for zi in &z {
+            for j in 1..zi.len() {
+                model.add_constraint(vec![(zi[j - 1], 1.0), (zi[j], -1.0)], Cmp::Ge, 0.0);
+            }
+        }
+        let lp = solve_lp(&model).expect("bounded model must solve");
+        let ip = solve_milp(&model).expect("bounded model must solve");
+        assert!(ip.objective <= lp.objective + 1e-9);
+        let total: f64 = ip.values.iter().sum();
+        assert!((total - 24.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exhaustive_check_against_enumeration() {
+        // Randomized small ILPs cross-checked against brute force.
+        let mut seed = 0xC0FFEEu64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) * 2.0 - 1.0
+        };
+        for _case in 0..25 {
+            let mut m = Model::new(Objective::Maximize);
+            let n = 3;
+            let ub = 4.0;
+            let obj: Vec<f64> = (0..n).map(|_| next()).collect();
+            let vars: Vec<usize> = obj.iter().map(|&o| m.add_int_var(0.0, ub, o)).collect();
+            // Two random ≤ rows with positive coefficients (always feasible
+            // at the origin).
+            let mut rows = Vec::new();
+            for _ in 0..2 {
+                let coefs: Vec<f64> = (0..n).map(|_| next().abs() + 0.1).collect();
+                let rhs = 5.0 * (next().abs() + 0.2);
+                m.add_constraint(
+                    vars.iter().zip(coefs.iter()).map(|(&v, &c)| (v, c)).collect(),
+                    Cmp::Le,
+                    rhs,
+                );
+                rows.push((coefs, rhs));
+            }
+            let s = solve_milp(&m).unwrap();
+            // Brute force over the 5^3 grid.
+            let mut best = f64::NEG_INFINITY;
+            for a in 0..=4 {
+                for b in 0..=4 {
+                    for c in 0..=4 {
+                        let x = [a as f64, b as f64, c as f64];
+                        if rows.iter().all(|(co, rhs)| {
+                            co.iter().zip(x.iter()).map(|(c, v)| c * v).sum::<f64>()
+                                <= rhs + 1e-9
+                        }) {
+                            let o: f64 =
+                                obj.iter().zip(x.iter()).map(|(o, v)| o * v).sum();
+                            best = best.max(o);
+                        }
+                    }
+                }
+            }
+            assert!(
+                (s.objective - best).abs() < 1e-6,
+                "case {_case}: milp {} vs brute {best}",
+                s.objective
+            );
+        }
+    }
+}

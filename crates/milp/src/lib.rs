@@ -1,0 +1,193 @@
+//! Mixed-integer linear programming for VAQ's adaptive bit allocation.
+//!
+//! Paper §III-C poses the budget allocation as
+//!
+//! ```text
+//! maximize  Wᵀ·y    subject to  A·y ≤ b,  y ≥ 0,  y ∈ ℤᵈ
+//! ```
+//!
+//! and notes that "standard solvers with branch and bound optimization can
+//! solve it efficiently" — a fraction of a second even for the million-scale
+//! datasets, because the problem only has one variable per *subspace*
+//! (16–64 of them). This crate is that standard solver, built from scratch:
+//!
+//! * [`Model`] — a small model-builder API: variables with bounds and
+//!   integrality flags, linear rows with `≤ / ≥ / =` senses, maximize or
+//!   minimize.
+//! * [`simplex`] — a dense two-phase primal simplex over the standard-form
+//!   tableau (artificial variables + Bland's rule, so it cannot cycle).
+//! * [`branch_bound`] — best-bound branch-and-bound on the LP relaxation,
+//!   branching on the most fractional integer variable.
+//!
+//! The API is deliberately general (any LP/MILP of this size solves fine) so
+//! new constraints — the paper's motivating example is a query optimizer
+//! imposing service-level limits on subspaces — can be added by pushing one
+//! more row, not by writing a new solver.
+
+pub mod branch_bound;
+pub mod simplex;
+
+pub use branch_bound::solve_milp;
+pub use simplex::solve_lp;
+
+use std::fmt;
+
+/// Comparison sense of a linear constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `Σ aᵢxᵢ ≤ rhs`
+    Le,
+    /// `Σ aᵢxᵢ ≥ rhs`
+    Ge,
+    /// `Σ aᵢxᵢ = rhs`
+    Eq,
+}
+
+/// One decision variable.
+#[derive(Debug, Clone)]
+pub struct Var {
+    /// Lower bound (≥ 0 after standardization; negative bounds are shifted).
+    pub lb: f64,
+    /// Upper bound; `f64::INFINITY` for unbounded.
+    pub ub: f64,
+    /// Objective coefficient.
+    pub obj: f64,
+    /// Whether branch-and-bound must drive this variable to an integer.
+    pub integer: bool,
+}
+
+/// One linear constraint row, stored sparsely as `(var, coefficient)`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Non-zero coefficients.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Sense.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// A linear / mixed-integer program under construction.
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) vars: Vec<Var>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: Objective,
+}
+
+impl Model {
+    /// Creates an empty model with the given direction.
+    pub fn new(objective: Objective) -> Self {
+        Model { vars: Vec::new(), constraints: Vec::new(), objective }
+    }
+
+    /// Adds a continuous variable; returns its index.
+    pub fn add_var(&mut self, lb: f64, ub: f64, obj: f64) -> usize {
+        self.vars.push(Var { lb, ub, obj, integer: false });
+        self.vars.len() - 1
+    }
+
+    /// Adds an integer variable; returns its index.
+    pub fn add_int_var(&mut self, lb: f64, ub: f64, obj: f64) -> usize {
+        self.vars.push(Var { lb, ub, obj, integer: true });
+        self.vars.len() - 1
+    }
+
+    /// Adds a constraint row. Coefficients reference variable indices
+    /// returned by `add_var`/`add_int_var`.
+    ///
+    /// # Panics
+    /// Panics if any referenced variable does not exist.
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, cmp: Cmp, rhs: f64) {
+        for &(v, _) in &coeffs {
+            assert!(v < self.vars.len(), "constraint references unknown variable {v}");
+        }
+        self.constraints.push(Constraint { coeffs, cmp, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The optimization direction.
+    pub fn direction(&self) -> Objective {
+        self.objective
+    }
+}
+
+/// A solver result: the optimum found.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Optimal variable values, indexed like the model's variables.
+    pub values: Vec<f64>,
+    /// Objective value at `values` (in the model's direction).
+    pub objective: f64,
+}
+
+/// Solver failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// No assignment satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The model has no variables.
+    EmptyModel,
+    /// Iteration/node limit exhausted before proving optimality.
+    LimitReached {
+        /// Which limit was hit.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "model is infeasible"),
+            SolveError::Unbounded => write!(f, "objective is unbounded"),
+            SolveError::EmptyModel => write!(f, "model has no variables"),
+            SolveError::LimitReached { what } => write!(f, "{what} limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_builder_tracks_counts() {
+        let mut m = Model::new(Objective::Maximize);
+        let x = m.add_var(0.0, 10.0, 1.0);
+        let y = m.add_int_var(0.0, 5.0, 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 7.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert!(m.vars[y].integer);
+        assert!(!m.vars[x].integer);
+    }
+
+    #[test]
+    #[should_panic]
+    fn constraint_with_unknown_var_panics() {
+        let mut m = Model::new(Objective::Maximize);
+        m.add_constraint(vec![(3, 1.0)], Cmp::Le, 1.0);
+    }
+}

@@ -1,0 +1,421 @@
+//! Dense two-phase primal simplex.
+//!
+//! The models this workspace solves are tiny (≤ ~100 variables, ≤ ~300
+//! rows), so a dense tableau with Bland's anti-cycling rule is both simple
+//! and fast. Standardization:
+//!
+//! 1. Every variable `x ∈ [lb, ub]` is shifted to `x' = x − lb ≥ 0`; finite
+//!    upper bounds become explicit `x' ≤ ub − lb` rows.
+//! 2. Rows are normalized to non-negative right-hand sides.
+//! 3. `≤` rows get a slack, `≥` rows a surplus plus an artificial, `=` rows
+//!    an artificial.
+//! 4. Phase 1 minimizes the artificial sum; a positive optimum proves
+//!    infeasibility. Phase 2 optimizes the real objective with artificials
+//!    pinned out of the basis.
+
+use crate::{Cmp, Model, Objective, Solution, SolveError};
+
+/// Numerical tolerance for pivot selection and feasibility checks.
+const EPS: f64 = 1e-9;
+
+/// Hard cap on simplex pivots (problems here need a few dozen).
+const MAX_PIVOTS: usize = 100_000;
+
+/// Solves the LP relaxation of `model` (integrality flags are ignored).
+pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
+    if model.vars.is_empty() {
+        return Err(SolveError::EmptyModel);
+    }
+    // Validate bounds early: lb > ub is trivially infeasible.
+    for v in &model.vars {
+        if v.lb > v.ub + EPS {
+            return Err(SolveError::Infeasible);
+        }
+    }
+
+    let n = model.vars.len();
+    // Shifted objective: maximize Σ c_i x'_i (+ constant Σ c_i lb_i).
+    let sign = match model.objective {
+        Objective::Maximize => 1.0,
+        Objective::Minimize => -1.0,
+    };
+    let c: Vec<f64> = model.vars.iter().map(|v| sign * v.obj).collect();
+    let constant: f64 = model.vars.iter().map(|v| v.obj * v.lb).sum();
+
+    // Build rows: user constraints (rhs adjusted by lb shift) + upper bounds.
+    struct Row {
+        a: Vec<f64>,
+        cmp: Cmp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(model.constraints.len());
+    for con in &model.constraints {
+        let mut a = vec![0.0; n];
+        let mut rhs = con.rhs;
+        for &(v, coef) in &con.coeffs {
+            a[v] += coef;
+            rhs -= coef * model.vars[v].lb;
+        }
+        rows.push(Row { a, cmp: con.cmp, rhs });
+    }
+    for (i, v) in model.vars.iter().enumerate() {
+        if v.ub.is_finite() {
+            let mut a = vec![0.0; n];
+            a[i] = 1.0;
+            rows.push(Row { a, cmp: Cmp::Le, rhs: v.ub - v.lb });
+        }
+    }
+
+    // Normalize to rhs >= 0.
+    for r in rows.iter_mut() {
+        if r.rhs < 0.0 {
+            r.rhs = -r.rhs;
+            for a in r.a.iter_mut() {
+                *a = -*a;
+            }
+            r.cmp = match r.cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [structural n][slack/surplus s][artificial t].
+    let num_slack = rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
+    let num_art = rows.iter().filter(|r| r.cmp != Cmp::Le).count();
+    let total = n + num_slack + num_art;
+
+    // Tableau: m rows × (total + 1) columns (last column = rhs).
+    let width = total + 1;
+    let mut t = vec![0.0f64; m * width];
+    let mut basis = vec![0usize; m];
+    let mut art_cols: Vec<usize> = Vec::with_capacity(num_art);
+
+    let mut slack_at = n;
+    let mut art_at = n + num_slack;
+    for (i, r) in rows.iter().enumerate() {
+        let row = &mut t[i * width..(i + 1) * width];
+        row[..n].copy_from_slice(&r.a);
+        row[total] = r.rhs;
+        match r.cmp {
+            Cmp::Le => {
+                row[slack_at] = 1.0;
+                basis[i] = slack_at;
+                slack_at += 1;
+            }
+            Cmp::Ge => {
+                row[slack_at] = -1.0;
+                slack_at += 1;
+                row[art_at] = 1.0;
+                basis[i] = art_at;
+                art_cols.push(art_at);
+                art_at += 1;
+            }
+            Cmp::Eq => {
+                row[art_at] = 1.0;
+                basis[i] = art_at;
+                art_cols.push(art_at);
+                art_at += 1;
+            }
+        }
+    }
+
+    // ---- Phase 1: minimize sum of artificials (maximize −Σ art). ----
+    if num_art > 0 {
+        let mut obj1 = vec![0.0f64; width];
+        for &a in &art_cols {
+            obj1[a] = -1.0;
+        }
+        // Price out basic artificials.
+        let mut z1 = vec![0.0f64; width];
+        for (i, &b) in basis.iter().enumerate() {
+            let cb = obj1[b];
+            if cb != 0.0 {
+                for j in 0..width {
+                    z1[j] += cb * t[i * width + j];
+                }
+            }
+        }
+        let mut reduced: Vec<f64> = (0..width).map(|j| obj1[j] - z1[j]).collect();
+        let no_ban = vec![false; total];
+        run_simplex(&mut t, &mut basis, &mut reduced, m, total, width, &no_ban)?;
+        // Feasibility check: artificial sum must be ~0.
+        let art_sum: f64 = basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| art_cols.contains(&b))
+            .map(|(i, _)| t[i * width + total])
+            .sum();
+        if art_sum > 1e-7 {
+            return Err(SolveError::Infeasible);
+        }
+        // Drive any remaining basic artificials out of the basis (degenerate
+        // at zero) by pivoting on any non-artificial column with a non-zero
+        // entry; if none exists, the row is redundant and can stay (its rhs
+        // is zero).
+        for i in 0..m {
+            if art_cols.contains(&basis[i]) {
+                let mut pivoted = false;
+                for j in 0..n + num_slack {
+                    if t[i * width + j].abs() > EPS {
+                        pivot(&mut t, &mut basis, i, j, m, width, &mut []);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                let _ = pivoted;
+            }
+        }
+    }
+
+    // ---- Phase 2: optimize the real objective. ----
+    // Artificials keep a zero objective: any still basic after phase 1 sit
+    // at value zero on redundant rows (every pivotable row was cleared
+    // above), so they contribute nothing — and a big-M penalty here would
+    // poison the reduced costs with catastrophic cancellation. They are
+    // barred from *entering* below instead.
+    let mut obj2 = vec![0.0f64; width];
+    obj2[..n].copy_from_slice(&c);
+    let mut z2 = vec![0.0f64; width];
+    for (i, &b) in basis.iter().enumerate() {
+        let cb = obj2[b];
+        if cb != 0.0 {
+            for j in 0..width {
+                z2[j] += cb * t[i * width + j];
+            }
+        }
+    }
+    let mut reduced: Vec<f64> = (0..width).map(|j| obj2[j] - z2[j]).collect();
+    // Artificial columns must never re-enter the basis: their incremental
+    // reduced costs can drift positive after pivots, and re-admitting one
+    // lets it rise from zero, silently leaving the true feasible region.
+    let mut banned = vec![false; total];
+    for &a in &art_cols {
+        banned[a] = true;
+    }
+    run_simplex(&mut t, &mut basis, &mut reduced, m, total, width, &banned)?;
+
+    // Extract solution (shift back by lb).
+    let mut values: Vec<f64> = model.vars.iter().map(|v| v.lb).collect();
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            values[b] = model.vars[b].lb + t[i * width + total];
+        }
+    }
+    // Clamp tiny negatives / bound overshoots from roundoff.
+    for (v, var) in values.iter_mut().zip(model.vars.iter()) {
+        if *v < var.lb {
+            *v = var.lb;
+        }
+        if *v > var.ub {
+            *v = var.ub;
+        }
+    }
+    let objective: f64 = values
+        .iter()
+        .zip(model.vars.iter())
+        .map(|(&x, v)| v.obj * (x - v.lb))
+        .sum::<f64>()
+        + constant;
+    Ok(Solution { values, objective })
+}
+
+/// Primal simplex iterations with Bland's rule. `reduced` is maintained as
+/// the reduced-cost row for a *maximization*; positive entries are entering
+/// candidates.
+fn run_simplex(
+    t: &mut [f64],
+    basis: &mut [usize],
+    reduced: &mut [f64],
+    m: usize,
+    total: usize,
+    width: usize,
+    banned: &[bool],
+) -> Result<(), SolveError> {
+    for _ in 0..MAX_PIVOTS {
+        // Bland: smallest-index non-banned column with positive reduced cost.
+        let enter = (0..total).find(|&j| !banned[j] && reduced[j] > EPS);
+        let Some(enter) = enter else {
+            return Ok(());
+        };
+        // Ratio test: smallest rhs/a over rows with a > 0; Bland ties on the
+        // smallest basis index.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            let a = t[i * width + enter];
+            if a > EPS {
+                let ratio = t[i * width + total] / a;
+                if ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return Err(SolveError::Unbounded);
+        };
+        pivot(t, basis, leave, enter, m, width, reduced);
+    }
+    Err(SolveError::LimitReached { what: "simplex pivot" })
+}
+
+/// Pivots the tableau on `(row, col)`, updating basis and (optionally) the
+/// reduced-cost row.
+fn pivot(
+    t: &mut [f64],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    m: usize,
+    width: usize,
+    reduced: &mut [f64],
+) {
+    let p = t[row * width + col];
+    debug_assert!(p.abs() > 0.0, "zero pivot");
+    let inv = 1.0 / p;
+    for j in 0..width {
+        t[row * width + j] *= inv;
+    }
+    for i in 0..m {
+        if i == row {
+            continue;
+        }
+        let factor = t[i * width + col];
+        if factor != 0.0 {
+            for j in 0..width {
+                t[i * width + j] -= factor * t[row * width + j];
+            }
+        }
+    }
+    if !reduced.is_empty() {
+        let factor = reduced[col];
+        if factor != 0.0 {
+            for j in 0..width {
+                reduced[j] -= factor * t[row * width + j];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cmp, Model, Objective};
+
+    #[test]
+    fn textbook_max_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), obj 36.
+        let mut m = Model::new(Objective::Maximize);
+        let x = m.add_var(0.0, f64::INFINITY, 3.0);
+        let y = m.add_var(0.0, f64::INFINITY, 5.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        m.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = solve_lp(&m).unwrap();
+        assert!((s.objective - 36.0).abs() < 1e-6, "{s:?}");
+        assert!((s.values[x] - 2.0).abs() < 1e-6);
+        assert!((s.values[y] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_with_ge_rows() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 → x=8, y=2? No: cost of x is
+        // lower, so push x up: y=0, x=10 (x>=2 satisfied) → obj 20.
+        let mut m = Model::new(Objective::Minimize);
+        let x = m.add_var(0.0, f64::INFINITY, 2.0);
+        let y = m.add_var(0.0, f64::INFINITY, 3.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 10.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        let s = solve_lp(&m).unwrap();
+        assert!((s.objective - 20.0).abs() < 1e-6, "{s:?}");
+        assert!((s.values[x] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraint_respected() {
+        // max x + y s.t. x + y = 5, x <= 3 → obj 5.
+        let mut m = Model::new(Objective::Maximize);
+        let x = m.add_var(0.0, 3.0, 1.0);
+        let y = m.add_var(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 5.0);
+        let s = solve_lp(&m).unwrap();
+        assert!((s.objective - 5.0).abs() < 1e-6);
+        assert!((s.values[x] + s.values[y] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variable_bounds_enforced() {
+        // max x with 1 <= x <= 7 → 7; min → 1.
+        let mut m = Model::new(Objective::Maximize);
+        m.add_var(1.0, 7.0, 1.0);
+        assert!((solve_lp(&m).unwrap().objective - 7.0).abs() < 1e-9);
+        let mut m2 = Model::new(Objective::Minimize);
+        m2.add_var(1.0, 7.0, 1.0);
+        assert!((solve_lp(&m2).unwrap().objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Objective::Maximize);
+        let x = m.add_var(0.0, 1.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Cmp::Ge, 5.0);
+        assert_eq!(solve_lp(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn contradictory_bounds_infeasible() {
+        let mut m = Model::new(Objective::Maximize);
+        m.add_var(5.0, 1.0, 1.0);
+        assert_eq!(solve_lp(&m).unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Objective::Maximize);
+        m.add_var(0.0, f64::INFINITY, 1.0);
+        assert_eq!(solve_lp(&m).unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn empty_model_errors() {
+        let m = Model::new(Objective::Maximize);
+        assert_eq!(solve_lp(&m).unwrap_err(), SolveError::EmptyModel);
+    }
+
+    #[test]
+    fn negative_lower_bounds_shifted_correctly() {
+        // max x + y with x ∈ [−5, −1], y ∈ [−2, 3], x + y <= 0 → x=−1, y=1? Wait
+        // x+y ≤ 0 and maximize: best is x=−1 (max of x) then y ≤ 1 → y=1;
+        // but y could go to 3 if x=−3. Objective x+y is capped at 0 by the
+        // row, achievable → obj 0.
+        let mut m = Model::new(Objective::Maximize);
+        let x = m.add_var(-5.0, -1.0, 1.0);
+        let y = m.add_var(-2.0, 3.0, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 0.0);
+        let s = solve_lp(&m).unwrap();
+        assert!((s.objective - 0.0).abs() < 1e-6, "{s:?}");
+        assert!(s.values[x] >= -5.0 - 1e-9 && s.values[x] <= -1.0 + 1e-9);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate construction; Bland's rule must still finish.
+        let mut m = Model::new(Objective::Maximize);
+        let x = m.add_var(0.0, f64::INFINITY, 0.75);
+        let y = m.add_var(0.0, f64::INFINITY, -150.0);
+        let z = m.add_var(0.0, f64::INFINITY, 0.02);
+        let w = m.add_var(0.0, f64::INFINITY, -6.0);
+        m.add_constraint(vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Cmp::Le, 0.0);
+        m.add_constraint(vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Cmp::Le, 0.0);
+        m.add_constraint(vec![(z, 1.0)], Cmp::Le, 1.0);
+        let s = solve_lp(&m).unwrap();
+        assert!((s.objective - 0.05).abs() < 1e-6, "{s:?}");
+    }
+}

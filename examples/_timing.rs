@@ -1,0 +1,11 @@
+use vaq::linalg::{covariance_centered, sym_eigen};
+use vaq::dataset::ucr::UcrFamily;
+fn main() {
+    let ds = UcrFamily::SlcLike.generate(1024, 1500, 1, 3);
+    let t0 = std::time::Instant::now();
+    let cov = covariance_centered(&ds.data).unwrap();
+    println!("cov: {:.1}s", t0.elapsed().as_secs_f64());
+    let t0 = std::time::Instant::now();
+    let e = sym_eigen(&cov).unwrap();
+    println!("eigen 1024x1024: {:.1}s, top ev {:.3}", t0.elapsed().as_secs_f64(), e.values[0]);
+}

@@ -1,0 +1,49 @@
+//! How the MILP bit allocator follows the data's variance profile.
+//!
+//! Trains VAQ on two contrasting workloads — a smooth series dataset with
+//! a steep eigen-spectrum (SALD-like) and a noisy one with a flat spectrum
+//! (SEISMIC-like) — and prints how the same 64-bit budget is distributed
+//! over 16 subspaces in each case. The skewed dataset concentrates bits in
+//! the leading subspaces; the flat one is allocated almost uniformly,
+//! exactly the behaviour the paper's §III-C motivates.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_allocation
+//! ```
+
+use vaq::core::{allocate_bits, AllocationStrategy, Vaq, VaqConfig};
+use vaq::dataset::SyntheticSpec;
+
+fn main() {
+    for spec in [SyntheticSpec::sald_like(), SyntheticSpec::seismic_like()] {
+        let ds = spec.generate(4000, 0, 7);
+        let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 16).with_ti_clusters(0))
+            .expect("training");
+        println!("== {} ==", ds.name);
+        println!("subspace  variance%  bits");
+        for (s, (&share, &bits)) in vaq
+            .layout()
+            .variance_share
+            .iter()
+            .zip(vaq.bits().iter())
+            .enumerate()
+        {
+            println!(
+                "{:>8}  {:>8.2}%  {:>4} {}",
+                s,
+                share * 100.0,
+                bits,
+                "▇".repeat(bits)
+            );
+        }
+        println!();
+    }
+
+    // The allocator is a plain function too — feed it any importance
+    // profile. Here: a hand-made 70/30 split over 8 subspaces.
+    let mut shares = vec![0.7 / 2.0; 2];
+    shares.extend(vec![0.3 / 6.0; 6]);
+    let bits = allocate_bits(&shares, 40, 1, 13, AllocationStrategy::Adaptive).unwrap();
+    println!("custom profile {shares:?}\n→ 40-bit budget allocated as {bits:?}");
+    assert_eq!(bits.iter().sum::<usize>(), 40);
+}

@@ -1,0 +1,105 @@
+//! A miniature of the paper's Figure 6: every implemented method on one
+//! image-descriptor-style workload at the same effective bit budget.
+//!
+//! ```sh
+//! cargo run --release --example method_comparison
+//! ```
+
+use std::time::Instant;
+use vaq::baselines::bolt::{Bolt, BoltConfig};
+use vaq::baselines::itq::{ItqConfig, ItqLsh};
+use vaq::baselines::opq::{Opq, OpqConfig};
+use vaq::baselines::pq::{Pq, PqConfig};
+use vaq::baselines::pqfs::{PqFastScan, PqfsConfig};
+use vaq::baselines::vq::{Vq, VqConfig};
+use vaq::baselines::AnnIndex;
+use vaq::core::{Vaq, VaqConfig};
+use vaq::dataset::{exact_knn, SyntheticSpec};
+use vaq::metrics::{map_at_k, recall_at_k};
+
+fn main() {
+    let k = 10;
+    let budget = 64usize;
+    let ds = SyntheticSpec::sift_like().generate(15_000, 50, 3);
+    let truth = exact_knn(&ds.data, &ds.queries, k);
+    println!(
+        "{} — n = {}, d = {}, budget = {budget} bits/vector, k = {k}\n",
+        ds.name,
+        ds.len(),
+        ds.dim()
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>12} {:>12}",
+        "method", "recall", "MAP", "train (s)", "query (ms)"
+    );
+
+    let bench = |name: &str, train: Box<dyn Fn() -> Box<dyn Fn(&[f32]) -> Vec<u32>>>| {
+        let t0 = Instant::now();
+        let search = train();
+        let train_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let retrieved: Vec<Vec<u32>> =
+            (0..ds.queries.rows()).map(|q| search(ds.queries.row(q))).collect();
+        let query_s = t0.elapsed().as_secs_f64();
+        println!(
+            "{:<10} {:>9.3} {:>9.3} {:>12.2} {:>12.1}",
+            name,
+            recall_at_k(&retrieved, &truth, k),
+            map_at_k(&retrieved, &truth, k),
+            train_s,
+            query_s * 1e3
+        );
+    };
+
+    let data = &ds.data;
+    bench(
+        "VQ",
+        Box::new(move || {
+            let vq = Vq::train(data, &VqConfig::new(12)).unwrap();
+            Box::new(move |q| vq.search(q, k).iter().map(|n| n.index).collect())
+        }),
+    );
+    bench(
+        "PQ",
+        Box::new(move || {
+            let pq = Pq::train(data, &PqConfig::new(8).with_bits(budget / 8)).unwrap();
+            Box::new(move |q| pq.search(q, k).iter().map(|n| n.index).collect())
+        }),
+    );
+    bench(
+        "OPQ",
+        Box::new(move || {
+            let opq = Opq::train(data, &OpqConfig::new(8).with_bits(budget / 8)).unwrap();
+            Box::new(move |q| opq.search(q, k).iter().map(|n| n.index).collect())
+        }),
+    );
+    bench(
+        "Bolt",
+        Box::new(move || {
+            let bolt = Bolt::train(data, &BoltConfig::new(budget / 4)).unwrap();
+            Box::new(move |q| bolt.search(q, k).iter().map(|n| n.index).collect())
+        }),
+    );
+    bench(
+        "PQFS",
+        Box::new(move || {
+            let pqfs = PqFastScan::train(data, &PqfsConfig::new(budget / 8)).unwrap();
+            Box::new(move |q| pqfs.search(q, k).iter().map(|n| n.index).collect())
+        }),
+    );
+    bench(
+        "ITQ-LSH",
+        Box::new(move || {
+            let itq = ItqLsh::train(data, &ItqConfig::new(budget)).unwrap();
+            Box::new(move |q| itq.search(q, k).iter().map(|n| n.index).collect())
+        }),
+    );
+    bench(
+        "VAQ",
+        Box::new(move || {
+            let vaq =
+                Vaq::train(data, &VaqConfig::new(budget, 16).with_ti_clusters(150)).unwrap();
+            Box::new(move |q| vaq.search(q, k).iter().map(|n| n.index).collect())
+        }),
+    );
+}

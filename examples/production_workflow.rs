@@ -1,0 +1,76 @@
+//! A production-shaped workflow: train once, persist, reload, append new
+//! data without retraining, and steer the bit allocator with service-level
+//! constraints — the extensibility the paper motivates in §III-C
+//! ("new constraints can impose restrictions ... to meet specific runtime
+//! and storage service agreements").
+//!
+//! ```sh
+//! cargo run --release --example production_workflow
+//! ```
+
+use vaq::core::{
+    allocate_bits_constrained, AllocationConstraint, SearchStrategy, Vaq, VaqConfig,
+};
+use vaq::dataset::SyntheticSpec;
+
+fn main() {
+    // --- Day 0: train on the first batch and persist. ---
+    let ds = SyntheticSpec::sift_like().generate(12_000, 10, 99);
+    let initial = ds.data.select_rows(&(0..10_000).collect::<Vec<_>>());
+    let late_batch = ds.data.select_rows(&(10_000..12_000).collect::<Vec<_>>());
+
+    let vaq =
+        Vaq::train(&initial, &VaqConfig::new(128, 16).with_ti_clusters(128)).expect("train");
+    let path = std::env::temp_dir().join("vaq-example-index.bin");
+    vaq.save(&path).expect("save");
+    println!(
+        "trained on {} vectors, saved {} KiB to {}",
+        vaq.len(),
+        std::fs::metadata(&path).map(|m| m.len() / 1024).unwrap_or(0),
+        path.display()
+    );
+
+    // --- Day 1: reload and serve. ---
+    let mut served = Vaq::load(&path).expect("load");
+    let before = served.search(ds.queries.row(0), 5);
+    assert_eq!(before, vaq.search(ds.queries.row(0), 5));
+    println!("reloaded index answers identically: top hit = {}", before[0].index);
+
+    // --- Day 2: new data arrives; append without retraining. ---
+    let first_new = served.add(&late_batch).expect("append");
+    println!(
+        "appended {} vectors (ids {first_new}..{}); dictionaries untouched",
+        late_batch.rows(),
+        served.len()
+    );
+    let hit = served
+        .search_with(late_batch.row(0), 3, SearchStrategy::FullScan)
+        .0;
+    assert!(hit.iter().any(|n| n.index == first_new as u32));
+    println!("a just-appended vector finds itself: {:?}", hit[0].index);
+
+    // --- Day 3: capacity planning with allocation constraints. ---
+    // Same variance profile, but ops wants the total dictionary footprint
+    // capped (a storage SLA) and subspace 0 pinned small so its table
+    // stays L1-resident.
+    let shares = served.layout().variance_share.clone();
+    let unconstrained = allocate_bits_constrained(&shares, 128, 1, 13, &[]).expect("alloc");
+    let constrained = allocate_bits_constrained(
+        &shares,
+        128,
+        1,
+        13,
+        &[
+            AllocationConstraint::CapSubspace { subspace: 0, bits: 8 },
+            AllocationConstraint::MaxTotalDictionaryItems { items: 4096 },
+        ],
+    );
+    println!("\nunconstrained allocation: {unconstrained:?}");
+    match constrained {
+        Ok(bits) => {
+            let items: usize = bits.iter().map(|&b| 1usize << b).sum();
+            println!("with SLA constraints:     {bits:?} (Σ dictionary items = {items})");
+        }
+        Err(e) => println!("SLA constraints infeasible at this budget: {e}"),
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: train a VAQ index and answer k-NN queries.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vaq::core::{Vaq, VaqConfig};
+use vaq::dataset::SyntheticSpec;
+
+fn main() {
+    // 1. A workload: 10k SIFT-like 128-d vectors plus 20 queries.
+    let ds = SyntheticSpec::sift_like().generate(10_000, 20, 42);
+    println!("dataset: {} ({} vectors × {} dims)", ds.name, ds.len(), ds.dim());
+
+    // 2. Train VAQ: 128-bit budget over 16 subspaces. Everything else is
+    //    the paper's defaults — adaptive MILP bit allocation between 1 and
+    //    13 bits per subspace, partial importance balancing, 1000 TI
+    //    clusters (clamped to the data size), 25% cluster visits.
+    let cfg = VaqConfig::new(128, 16).with_seed(42).with_ti_clusters(100);
+    let vaq = Vaq::train(&ds.data, &cfg).expect("training");
+    println!("bit allocation per subspace: {:?}", vaq.bits());
+    println!(
+        "subspace variance shares:    {:?}",
+        vaq.layout()
+            .variance_share
+            .iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+
+    // 3. Search. Results carry the approximate (ADC) distance.
+    for (qi, query) in (0..3).map(|q| (q, ds.queries.row(q))) {
+        let hits = vaq.search(query, 5);
+        let ids: Vec<u32> = hits.iter().map(|h| h.index).collect();
+        println!("query {qi}: top-5 = {ids:?} (d₀ = {:.3})", hits[0].distance);
+    }
+
+    // 4. How much work did pruning save? Compare strategies on one query.
+    use vaq::core::SearchStrategy;
+    let q = ds.queries.row(0);
+    let (_, full) = vaq.search_with(q, 5, SearchStrategy::FullScan);
+    let (_, tiea) = vaq.search_with(q, 5, SearchStrategy::TiEa { visit_frac: 0.25 });
+    println!(
+        "\nfull scan visited {} vectors / {} lookups; TI+EA visited {} / {} lookups",
+        full.vectors_visited, full.lookups, tiea.vectors_visited, tiea.lookups
+    );
+}

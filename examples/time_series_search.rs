@@ -1,0 +1,80 @@
+//! Whole-series similarity search on UCR-style time series — the workload
+//! family behind the paper's Table II / Figure 10 study.
+//!
+//! Generates a CBF (cylinder–bell–funnel) dataset, indexes it with VAQ and
+//! with the two tree indexes (iSAX2+ and DSTree), and compares recall and
+//! wall time against the exact scan.
+//!
+//! ```sh
+//! cargo run --release --example time_series_search
+//! ```
+
+use std::time::Instant;
+use vaq::baselines::AnnIndex;
+use vaq::core::{Vaq, VaqConfig};
+use vaq::dataset::ucr::UcrFamily;
+use vaq::dataset::exact_knn;
+use vaq::index::dstree::{DsTree, DsTreeConfig};
+use vaq::index::isax::{IsaxConfig, IsaxIndex};
+use vaq::index::{ExactScan, TraversalParams};
+use vaq::metrics::recall_at_k;
+
+fn main() {
+    let k = 10;
+    let ds = UcrFamily::Cbf.generate(128, 4000, 50, 11);
+    println!("dataset: {} ({} series of length {})", ds.name, ds.len(), ds.dim());
+    let truth = exact_knn(&ds.data, &ds.queries, k);
+
+    let report = |name: &str, retrieved: Vec<Vec<u32>>, secs: f64| {
+        let recall = recall_at_k(&retrieved, &truth, k);
+        println!("{name:<22} recall@{k} = {recall:.3}   query time = {:.1} ms", secs * 1e3);
+    };
+
+    // Exact scan (the reference).
+    let exact = ExactScan::new(ds.data.clone());
+    let t = Instant::now();
+    let r: Vec<Vec<u32>> = (0..ds.queries.rows())
+        .map(|q| exact.search(ds.queries.row(q), k).iter().map(|n| n.index).collect())
+        .collect();
+    report("exact scan", r, t.elapsed().as_secs_f64());
+
+    // VAQ at a 64-bit budget.
+    let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 16).with_ti_clusters(64)).unwrap();
+    let t = Instant::now();
+    let r: Vec<Vec<u32>> = (0..ds.queries.rows())
+        .map(|q| vaq.search(ds.queries.row(q), k).iter().map(|n| n.index).collect())
+        .collect();
+    report("VAQ (64-bit codes)", r, t.elapsed().as_secs_f64());
+
+    // iSAX2+ visiting 20 leaves.
+    let isax = IsaxIndex::build(ds.data.clone(), &IsaxConfig::new()).unwrap();
+    let t = Instant::now();
+    let r: Vec<Vec<u32>> = (0..ds.queries.rows())
+        .map(|q| {
+            isax.search(ds.queries.row(q), k, TraversalParams::ng(20))
+                .iter()
+                .map(|n| n.index)
+                .collect()
+        })
+        .collect();
+    report("iSAX2+ (NG-20)", r, t.elapsed().as_secs_f64());
+
+    // DSTree visiting 20 leaves.
+    let dstree = DsTree::build(ds.data.clone(), &DsTreeConfig::new()).unwrap();
+    let t = Instant::now();
+    let r: Vec<Vec<u32>> = (0..ds.queries.rows())
+        .map(|q| {
+            dstree
+                .search(ds.queries.row(q), k, TraversalParams::ng(20))
+                .iter()
+                .map(|n| n.index)
+                .collect()
+        })
+        .collect();
+    report("DSTree (NG-20)", r, t.elapsed().as_secs_f64());
+
+    println!(
+        "\nVAQ's 64-bit codes use {}× less memory than the raw series.",
+        (ds.dim() * 32) / 64
+    );
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every table and figure at default scale. Single-threaded
+# machine: expect ~1h total. Output tees to results/full_run.log.
+set -x
+for b in fig03_variance_profiles fig04_subspace_importance tab01_specs \
+         fig01_quantizer_tradeoff fig06_hashing_quantization fig07_pruning_ablation \
+         fig08_hw_accelerated fig09_adaptive_ablation tab02_ucr_sweep \
+         fig10_critical_difference fig11_index_comparison fig12_hnsw_comparison \
+         ablation_design_choices extension_vaq_ivf; do
+  echo "===== $b ====="
+  ./target/release/$b "$@" || echo "FAILED: $b"
+done

@@ -1,0 +1,29 @@
+//! # vaq — Variance-Aware Quantization
+//!
+//! Facade crate for the full VAQ workspace, a from-scratch Rust
+//! reproduction of *"Fast Adaptive Similarity Search through Variance-Aware
+//! Quantization"* (Paparrizos et al., ICDE 2022).
+//!
+//! The typical entry point is [`core::Vaq`]; see `examples/quickstart.rs`
+//! for a full train → encode → search round trip. Each subsystem is also
+//! published as its own crate and re-exported here:
+//!
+//! * [`core`] — the VAQ quantizer itself (the paper's contribution).
+//! * [`linalg`] — dense matrices, Jacobi eigen, SVD, PCA.
+//! * [`kmeans`] — dictionary learning (k-means++, Lloyd, hierarchical).
+//! * [`milp`] — the simplex + branch-and-bound solver behind the adaptive
+//!   bit allocation.
+//! * [`baselines`] — VQ, PQ, OPQ, Bolt, PQ Fast Scan, ITQ-LSH.
+//! * [`index`] — exact scan, HNSW, IMI, iSAX2+, DSTree.
+//! * [`dataset`] — synthetic workload generators standing in for the
+//!   paper's datasets.
+//! * [`metrics`] — recall/MAP, Wilcoxon, Friedman + Nemenyi.
+
+pub use vaq_baselines as baselines;
+pub use vaq_core as core;
+pub use vaq_dataset as dataset;
+pub use vaq_index as index;
+pub use vaq_kmeans as kmeans;
+pub use vaq_linalg as linalg;
+pub use vaq_metrics as metrics;
+pub use vaq_milp as milp;

@@ -1,0 +1,143 @@
+//! Cross-method parity and budget-accounting tests: every method, same
+//! workload, checked against the relationships the paper's Table I and
+//! evaluation establish.
+
+use vaq::baselines::bolt::{Bolt, BoltConfig};
+use vaq::baselines::itq::{ItqConfig, ItqLsh};
+use vaq::baselines::opq::{Opq, OpqConfig};
+use vaq::baselines::pq::{Pq, PqConfig};
+use vaq::baselines::pqfs::{PqFastScan, PqfsConfig};
+use vaq::baselines::vq::{Vq, VqConfig};
+use vaq::baselines::AnnIndex;
+use vaq::core::{SearchStrategy, Vaq, VaqConfig};
+use vaq::dataset::{exact_knn, SyntheticSpec};
+use vaq::metrics::recall_at_k;
+
+fn recall_of(search: impl Fn(&[f32]) -> Vec<u32>, ds: &vaq::dataset::Dataset, truth: &[Vec<u32>]) -> f64 {
+    let retrieved: Vec<Vec<u32>> =
+        (0..ds.queries.rows()).map(|q| search(ds.queries.row(q))).collect();
+    recall_at_k(&retrieved, truth, 10)
+}
+
+#[test]
+fn all_methods_respect_their_declared_bit_budgets() {
+    let ds = SyntheticSpec::sift_like().generate(600, 0, 1);
+    assert_eq!(Pq::train(&ds.data, &PqConfig::new(16).with_bits(4)).unwrap().code_bits(), 64);
+    assert_eq!(
+        Opq::train(&ds.data, &OpqConfig::new(16).with_bits(4)).unwrap().code_bits(),
+        64
+    );
+    assert_eq!(Bolt::train(&ds.data, &BoltConfig::new(16)).unwrap().code_bits(), 64);
+    assert_eq!(PqFastScan::train(&ds.data, &PqfsConfig::new(8)).unwrap().code_bits(), 64);
+    assert_eq!(ItqLsh::train(&ds.data, &ItqConfig::new(64)).unwrap().code_bits(), 64);
+    assert_eq!(Vq::train(&ds.data, &VqConfig::new(8)).unwrap().code_bits(), 8);
+    assert_eq!(
+        Vaq::train(&ds.data, &VaqConfig::new(64, 16).with_ti_clusters(0))
+            .unwrap()
+            .code_bits(),
+        64
+    );
+}
+
+#[test]
+fn pqfs_equals_pq_accuracy_by_construction() {
+    // Table I row "PQFS": no accuracy change vs PQ.
+    let ds = SyntheticSpec::sift_like().generate(1000, 20, 2);
+    let truth = exact_knn(&ds.data, &ds.queries, 10);
+    let pqfs = PqFastScan::train(&ds.data, &PqfsConfig::new(8)).unwrap();
+    let r_fast = recall_of(|q| pqfs.search(q, 10).iter().map(|n| n.index).collect(), &ds, &truth);
+    let r_inner = recall_of(
+        |q| pqfs.inner().search_adc(q, 10).iter().map(|n| n.index).collect(),
+        &ds,
+        &truth,
+    );
+    assert!((r_fast - r_inner).abs() < 1e-9, "PQFS recall {r_fast} != PQ recall {r_inner}");
+}
+
+#[test]
+fn quantizers_beat_binary_hashing_at_equal_budget() {
+    // §V-A: "ITQ-LSH is not competitive in terms of accuracy".
+    let ds = SyntheticSpec::sift_like().generate(1500, 25, 3);
+    let truth = exact_knn(&ds.data, &ds.queries, 10);
+    let budget = 64usize;
+    let pq = Pq::train(&ds.data, &PqConfig::new(8).with_bits(budget / 8)).unwrap();
+    let itq = ItqLsh::train(&ds.data, &ItqConfig::new(budget)).unwrap();
+    let r_pq = recall_of(|q| pq.search(q, 10).iter().map(|n| n.index).collect(), &ds, &truth);
+    let r_itq = recall_of(|q| itq.search(q, 10).iter().map(|n| n.index).collect(), &ds, &truth);
+    assert!(r_pq > r_itq - 0.05, "PQ {r_pq} should outperform ITQ-LSH {r_itq}");
+}
+
+#[test]
+fn bolt_trades_accuracy_for_table_size_at_equal_budget() {
+    // Figure 1's core trade-off: same 64 bits, Bolt uses 16×4-bit
+    // subspaces vs PQ's 8×8-bit ones.
+    let ds = SyntheticSpec::sald_like().generate(1500, 25, 4);
+    let truth = exact_knn(&ds.data, &ds.queries, 10);
+    let pq = Pq::train(&ds.data, &PqConfig::new(8).with_bits(8)).unwrap();
+    let bolt = Bolt::train(&ds.data, &BoltConfig::new(16)).unwrap();
+    let r_pq = recall_of(|q| pq.search(q, 10).iter().map(|n| n.index).collect(), &ds, &truth);
+    let r_bolt = recall_of(|q| bolt.search(q, 10).iter().map(|n| n.index).collect(), &ds, &truth);
+    assert!(r_pq >= r_bolt - 0.03, "PQ {r_pq} vs Bolt {r_bolt}");
+}
+
+#[test]
+fn vaq_matches_or_beats_the_best_baseline_on_every_spectrum() {
+    for (spec, seed) in [
+        (SyntheticSpec::sift_like(), 5u64),
+        (SyntheticSpec::sald_like(), 6),
+        (SyntheticSpec::deep_like(), 7),
+    ] {
+        let ds = spec.generate(1200, 20, seed);
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        let budget = 64usize;
+        let pq = Pq::train(&ds.data, &PqConfig::new(8).with_bits(8)).unwrap();
+        let opq = Opq::train(&ds.data, &OpqConfig::new(8).with_bits(8)).unwrap();
+        let vaq = Vaq::train(&ds.data, &VaqConfig::new(budget, 8).with_ti_clusters(0)).unwrap();
+        let r_pq = recall_of(|q| pq.search(q, 10).iter().map(|n| n.index).collect(), &ds, &truth);
+        let r_opq =
+            recall_of(|q| opq.search(q, 10).iter().map(|n| n.index).collect(), &ds, &truth);
+        let r_vaq = recall_of(
+            |q| {
+                vaq.search_with(q, 10, SearchStrategy::FullScan)
+                    .0
+                    .iter()
+                    .map(|n| n.index)
+                    .collect()
+            },
+            &ds,
+            &truth,
+        );
+        let best = r_pq.max(r_opq);
+        assert!(
+            r_vaq > best - 0.08,
+            "{}: VAQ {r_vaq} fell too far below best baseline {best}",
+            ds.name
+        );
+    }
+}
+
+#[test]
+fn every_method_returns_sorted_unique_results() {
+    let ds = SyntheticSpec::deep_like().generate(400, 3, 9);
+    let methods: Vec<Box<dyn AnnIndex>> = vec![
+        Box::new(Pq::train(&ds.data, &PqConfig::new(8).with_bits(4)).unwrap()),
+        Box::new(Opq::train(&ds.data, &OpqConfig::new(8).with_bits(4)).unwrap()),
+        Box::new(Bolt::train(&ds.data, &BoltConfig::new(8)).unwrap()),
+        Box::new(PqFastScan::train(&ds.data, &PqfsConfig::new(4)).unwrap()),
+        Box::new(ItqLsh::train(&ds.data, &ItqConfig::new(32)).unwrap()),
+        Box::new(Vq::train(&ds.data, &VqConfig::new(6)).unwrap()),
+    ];
+    for m in &methods {
+        for q in 0..ds.queries.rows() {
+            let res = m.search(ds.queries.row(q), 15);
+            assert_eq!(res.len(), 15, "{} returned wrong k", m.name());
+            for w in res.windows(2) {
+                assert!(w[0].distance <= w[1].distance, "{} unsorted", m.name());
+            }
+            let mut ids: Vec<u32> = res.iter().map(|n| n.index).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 15, "{} returned duplicates", m.name());
+        }
+    }
+}

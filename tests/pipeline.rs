@@ -1,0 +1,168 @@
+//! End-to-end integration tests: the full train → encode → search pipeline
+//! across crates, asserting the invariants the paper's design relies on.
+
+use vaq::baselines::opq::{Opq, OpqConfig};
+use vaq::baselines::pq::{Pq, PqConfig};
+use vaq::baselines::AnnIndex;
+use vaq::core::{SearchStrategy, Vaq, VaqConfig};
+use vaq::dataset::{exact_knn, SyntheticSpec};
+use vaq::index::ExactScan;
+use vaq::metrics::{map_at_k, recall_at_k};
+
+fn retrieve(search: impl Fn(&[f32]) -> Vec<u32>, queries: &vaq::linalg::Matrix) -> Vec<Vec<u32>> {
+    (0..queries.rows()).map(|q| search(queries.row(q))).collect()
+}
+
+#[test]
+fn vaq_full_pipeline_beats_chance_and_respects_budget() {
+    let ds = SyntheticSpec::sift_like().generate(2000, 30, 1);
+    let truth = exact_knn(&ds.data, &ds.queries, 10);
+    let vaq = Vaq::train(&ds.data, &VaqConfig::new(128, 16).with_ti_clusters(64)).unwrap();
+    assert_eq!(vaq.code_bits(), 128);
+    let retrieved = retrieve(|q| vaq.search(q, 10).iter().map(|n| n.index).collect(), &ds.queries);
+    let recall = recall_at_k(&retrieved, &truth, 10);
+    assert!(recall > 0.4, "pipeline recall too low: {recall}");
+}
+
+#[test]
+fn vaq_beats_pq_on_skewed_spectrum_at_equal_budget() {
+    // The paper's central accuracy claim, end to end.
+    let ds = SyntheticSpec::sald_like().generate(2500, 40, 2);
+    let truth = exact_knn(&ds.data, &ds.queries, 10);
+    let budget = 64usize;
+    let m = 16usize;
+
+    let pq = Pq::train(&ds.data, &PqConfig::new(m).with_bits(budget / m)).unwrap();
+    let vaq = Vaq::train(&ds.data, &VaqConfig::new(budget, m).with_ti_clusters(0)).unwrap();
+
+    let r_pq = recall_at_k(
+        &retrieve(|q| pq.search(q, 10).iter().map(|n| n.index).collect(), &ds.queries),
+        &truth,
+        10,
+    );
+    let r_vaq = recall_at_k(
+        &retrieve(
+            |q| {
+                vaq.search_with(q, 10, SearchStrategy::FullScan)
+                    .0
+                    .iter()
+                    .map(|n| n.index)
+                    .collect()
+            },
+            &ds.queries,
+        ),
+        &truth,
+        10,
+    );
+    assert!(
+        r_vaq > r_pq - 0.02,
+        "VAQ ({r_vaq}) should not lose to PQ ({r_pq}) on a steep-spectrum dataset"
+    );
+}
+
+#[test]
+fn pruning_strategies_preserve_the_adc_ranking() {
+    // EA is exact; TI with 100% visits is exact. This is the load-bearing
+    // correctness property of §III-E.
+    let ds = SyntheticSpec::deep_like().generate(1200, 12, 3);
+    let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 8).with_ti_clusters(48)).unwrap();
+    for q in 0..ds.queries.rows() {
+        let query = ds.queries.row(q);
+        let full: Vec<u32> = vaq
+            .search_with(query, 10, SearchStrategy::FullScan)
+            .0
+            .iter()
+            .map(|n| n.index)
+            .collect();
+        let ea: Vec<u32> = vaq
+            .search_with(query, 10, SearchStrategy::EarlyAbandon)
+            .0
+            .iter()
+            .map(|n| n.index)
+            .collect();
+        let ti_all: Vec<u32> = vaq
+            .search_with(query, 10, SearchStrategy::TiEa { visit_frac: 1.0 })
+            .0
+            .iter()
+            .map(|n| n.index)
+            .collect();
+        assert_eq!(full, ea, "EA diverged on query {q}");
+        assert_eq!(full, ti_all, "TI(1.0) diverged on query {q}");
+    }
+}
+
+#[test]
+fn map_never_exceeds_recall() {
+    let ds = SyntheticSpec::sift_like().generate(800, 20, 4);
+    let truth = exact_knn(&ds.data, &ds.queries, 10);
+    for (budget, m) in [(32usize, 8usize), (64, 16)] {
+        let vaq = Vaq::train(&ds.data, &VaqConfig::new(budget, m).with_ti_clusters(32)).unwrap();
+        let retrieved =
+            retrieve(|q| vaq.search(q, 10).iter().map(|n| n.index).collect(), &ds.queries);
+        let r = recall_at_k(&retrieved, &truth, 10);
+        let m = map_at_k(&retrieved, &truth, 10);
+        assert!(m <= r + 1e-9, "MAP {m} > recall {r}");
+    }
+}
+
+#[test]
+fn bigger_budget_never_much_worse() {
+    let ds = SyntheticSpec::sift_like().generate(1500, 25, 5);
+    let truth = exact_knn(&ds.data, &ds.queries, 10);
+    let mut last = 0.0f64;
+    // 8 subspaces × max 13 bits caps the feasible budget at 104.
+    for budget in [32usize, 64, 104] {
+        let vaq = Vaq::train(&ds.data, &VaqConfig::new(budget, 8).with_ti_clusters(0)).unwrap();
+        let retrieved = retrieve(
+            |q| {
+                vaq.search_with(q, 10, SearchStrategy::FullScan)
+                    .0
+                    .iter()
+                    .map(|n| n.index)
+                    .collect()
+            },
+            &ds.queries,
+        );
+        let r = recall_at_k(&retrieved, &truth, 10);
+        assert!(r >= last - 0.08, "budget {budget}: recall {r} regressed from {last}");
+        last = r;
+    }
+}
+
+#[test]
+fn exact_scan_is_the_accuracy_ceiling() {
+    let ds = SyntheticSpec::deep_like().generate(600, 15, 6);
+    let truth = exact_knn(&ds.data, &ds.queries, 10);
+    let exact = ExactScan::new(ds.data.clone());
+    let retrieved =
+        retrieve(|q| exact.search(q, 10).iter().map(|n| n.index).collect(), &ds.queries);
+    assert_eq!(recall_at_k(&retrieved, &truth, 10), 1.0);
+    assert_eq!(map_at_k(&retrieved, &truth, 10), 1.0);
+}
+
+#[test]
+fn opq_and_vaq_share_projection_quality() {
+    // Both rotate with the same eigenbasis; their quantization errors at
+    // equal budget must be within a small factor (VAQ can only improve by
+    // reallocating bits).
+    let ds = SyntheticSpec::sald_like().generate(1000, 0, 7);
+    let opq = Opq::train(&ds.data, &OpqConfig::new(8).with_bits(8)).unwrap();
+    let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 8).with_ti_clusters(0)).unwrap();
+    let e_opq = opq.quantization_error(&ds.data);
+    let e_vaq = vaq.quantization_error(&ds.data);
+    assert!(
+        e_vaq < e_opq * 2.0,
+        "VAQ error {e_vaq} should be comparable or better than OPQ {e_opq}"
+    );
+}
+
+#[test]
+fn searches_are_deterministic_across_runs() {
+    let ds = SyntheticSpec::sift_like().generate(500, 5, 8);
+    let cfg = VaqConfig::new(64, 8).with_seed(123).with_ti_clusters(16);
+    let a = Vaq::train(&ds.data, &cfg).unwrap();
+    let b = Vaq::train(&ds.data, &cfg).unwrap();
+    for q in 0..ds.queries.rows() {
+        assert_eq!(a.search(ds.queries.row(q), 10), b.search(ds.queries.row(q), 10));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+use vaq::core::{allocate_bits, AllocationStrategy, SubspaceLayout, SubspaceMode};
+use vaq::linalg::{covariance_centered, sym_eigen, DMatrix, Matrix, Pca};
+use vaq::metrics::{average_precision, recall_at_k};
+use vaq::milp::{solve_lp, solve_milp, Cmp, Model, Objective};
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    // 6..=24 rows × 3..=8 cols of bounded floats.
+    (3usize..=8, 6usize..=24).prop_flat_map(|(cols, rows)| {
+        proptest::collection::vec(-100.0f32..100.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eigen_reconstructs_covariance(m in small_matrix()) {
+        let cov = covariance_centered(&m).unwrap();
+        let eig = sym_eigen(&cov).unwrap();
+        // V Λ Vᵀ == C
+        let n = eig.values.len();
+        let mut lam = DMatrix::zeros(n, n);
+        for i in 0..n {
+            lam.set(i, i, eig.values[i]);
+        }
+        let rec = eig.vectors.matmul(&lam).unwrap()
+            .matmul(&eig.vectors.transpose()).unwrap();
+        let scale = cov.as_slice().iter().map(|v| v.abs()).fold(1.0, f64::max);
+        prop_assert!(rec.frobenius_distance(&cov) < 1e-6 * scale.max(1.0));
+        // Eigenvalues of a PSD matrix are non-negative (tolerance for
+        // roundoff) and sorted.
+        for w in eig.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        prop_assert!(eig.values.last().copied().unwrap_or(0.0) > -1e-6 * scale);
+    }
+
+    #[test]
+    fn pca_projection_is_an_isometry(m in small_matrix()) {
+        let pca = Pca::fit(&m).unwrap();
+        let z = pca.transform(&m).unwrap();
+        // Pairwise distances preserved under the orthonormal projection.
+        let i = 0;
+        let j = m.rows() - 1;
+        let before = vaq::linalg::euclidean(m.row(i), m.row(j));
+        let after = vaq::linalg::euclidean(z.row(i), z.row(j));
+        prop_assert!((before - after).abs() < 1e-2 * before.max(1.0));
+    }
+
+    #[test]
+    fn milp_solution_is_feasible_and_at_least_lp_rounding(
+        weights in proptest::collection::vec(0.01f64..1.0, 3..6),
+        budget_per_var in 2usize..6,
+    ) {
+        let m = weights.len();
+        let budget = (budget_per_var * m) as f64;
+        let mut model = Model::new(Objective::Maximize);
+        let vars: Vec<usize> = weights.iter().map(|&w| model.add_int_var(1.0, 13.0, w)).collect();
+        model.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Cmp::Eq, budget);
+        let sol = solve_milp(&model).unwrap();
+        // Feasible: integral, in bounds, budget met.
+        let total: f64 = sol.values.iter().sum();
+        prop_assert!((total - budget).abs() < 1e-6);
+        for &v in &sol.values {
+            prop_assert!((v - v.round()).abs() < 1e-6);
+            prop_assert!((1.0..=13.0).contains(&v));
+        }
+        // MILP optimum cannot exceed the LP relaxation.
+        let lp = solve_lp(&model).unwrap();
+        prop_assert!(sol.objective <= lp.objective + 1e-6);
+    }
+
+    #[test]
+    fn bit_allocation_invariants(
+        raw in proptest::collection::vec(0.001f64..1.0, 4..12),
+        budget_factor in 2usize..10,
+    ) {
+        let m = raw.len();
+        // Sort descending (the layout guarantees this in production).
+        let mut w = raw.clone();
+        w.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let budget = (budget_factor * m).min(13 * m).max(m);
+        let bits = allocate_bits(&w, budget, 1, 13, AllocationStrategy::Adaptive).unwrap();
+        prop_assert_eq!(bits.iter().sum::<usize>(), budget);
+        prop_assert!(bits.iter().all(|&b| (1..=13).contains(&b)));
+        // Importance ordering respected.
+        for win in bits.windows(2) {
+            prop_assert!(win[0] >= win[1]);
+        }
+    }
+
+    #[test]
+    fn subspace_layout_partitions_dimensions(
+        raw in proptest::collection::vec(0.001f64..1.0, 6..32),
+        m in 2usize..6,
+        balance in any::<bool>(),
+    ) {
+        prop_assume!(m <= raw.len());
+        let mut vars = raw.clone();
+        vars.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for mode in [SubspaceMode::Uniform, SubspaceMode::Clustered] {
+            let l = SubspaceLayout::build(&vars, m, mode, balance, 1).unwrap();
+            // Permutation property.
+            let mut p = l.perm.clone();
+            p.sort_unstable();
+            prop_assert_eq!(p, (0..vars.len()).collect::<Vec<_>>());
+            // Ranges tile [0, d).
+            prop_assert_eq!(l.ranges[0].0, 0);
+            prop_assert_eq!(l.ranges.last().unwrap().1, vars.len());
+            for w in l.ranges.windows(2) {
+                prop_assert_eq!(w[0].1, w[1].0);
+                prop_assert!(w[0].1 > w[0].0);
+            }
+            // Descending subspace importance.
+            for w in l.variance_share.windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn recall_and_ap_are_bounded(
+        retrieved in proptest::collection::vec(0u32..50, 0..10),
+        truth in proptest::collection::vec(0u32..50, 1..10),
+    ) {
+        let ap = average_precision(&retrieved, &truth);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+        let r = recall_at_k(&[retrieved.clone()], &[truth.clone()], 10);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
+        prop_assert!(ap <= r + 1e-12, "AP {ap} exceeded recall {r}");
+    }
+
+    #[test]
+    fn wilcoxon_p_value_valid(
+        a in proptest::collection::vec(0.0f64..1.0, 5..40),
+    ) {
+        let b: Vec<f64> = a.iter().map(|v| 1.0 - v).collect();
+        let w = vaq::metrics::wilcoxon_signed_rank(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&w.p_value));
+        prop_assert!(w.n_effective <= a.len());
+    }
+}
