@@ -17,10 +17,10 @@
 //! codes per byte) without the ISA dependence — the accuracy penalty,
 //! which is what the paper's comparisons measure, is identical in kind.
 
-use crate::util::{adc_table, split_uniform, Neighbor, TopK};
+use crate::util::{split_uniform, Neighbor, TopK};
 use crate::{AnnIndex, BaselineError};
 use vaq_kmeans::{nearest_centroid, KMeans, KMeansConfig};
-use vaq_linalg::Matrix;
+use vaq_linalg::{squared_distances_into, Matrix, TableArena};
 
 /// Bolt's fixed per-subspace bit width.
 pub const BOLT_BITS: usize = 4;
@@ -75,7 +75,7 @@ impl Bolt {
                 data.cols()
             )));
         }
-        if m % 2 != 0 {
+        if !m.is_multiple_of(2) {
             return Err(BaselineError::BadConfig(format!(
                 "Bolt packs two 4-bit codes per byte; num_subspaces must be even, got {m}"
             )));
@@ -120,14 +120,20 @@ impl Bolt {
         self.n == 0
     }
 
-    /// Builds the quantized (u8) lookup tables for a query along with the
-    /// affine parameters: returns `(tables, offset_sum, inv_scale)` such
-    /// that `true_dist ≈ acc * inv_scale + offset_sum`.
-    pub fn quantized_tables(&self, query: &[f32]) -> (Vec<[u8; BOLT_K]>, f32, f32) {
+    /// Builds the quantized (u8) lookup tables for a query, staging the
+    /// float tables in a caller-owned [`TableArena`] (refilled in place —
+    /// zero steady-state allocations). Returns `(offset_sum, inv_scale)`
+    /// such that `true_dist ≈ acc * inv_scale + offset_sum`.
+    pub fn fill_quantized_tables(
+        &self,
+        query: &[f32],
+        arena: &mut TableArena,
+        tables: &mut Vec<[u8; BOLT_K]>,
+    ) -> (f32, f32) {
         let m = self.ranges.len();
-        let mut float_tables: Vec<Vec<f32>> = Vec::with_capacity(m);
-        for (&(lo, hi), cb) in self.ranges.iter().zip(self.codebooks.iter()) {
-            float_tables.push(adc_table(&query[lo..hi], cb));
+        arena.ensure_layout(self.codebooks.iter().map(|cb| cb.rows()));
+        for (s, (&(lo, hi), cb)) in self.ranges.iter().zip(self.codebooks.iter()).enumerate() {
+            squared_distances_into(&query[lo..hi], cb, arena.table_mut(s));
         }
         // Affine quantization: per-subspace offset (its min), global scale
         // chosen so the *maximum* per-subspace range maps to 255 — this is
@@ -135,21 +141,34 @@ impl Bolt {
         // with small ranges.
         let mut offset_sum = 0.0f32;
         let mut max_range = 0.0f32;
-        for t in &float_tables {
+        for t in arena.tables() {
             let mn = t.iter().cloned().fold(f32::INFINITY, f32::min);
             let mx = t.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             offset_sum += mn;
             max_range = max_range.max(mx - mn);
         }
         let scale = if max_range > 0.0 { 255.0 / max_range } else { 0.0 };
-        let mut tables = vec![[0u8; BOLT_K]; m];
-        for (qt, t) in tables.iter_mut().zip(float_tables.iter()) {
+        tables.clear();
+        tables.resize(m, [0u8; BOLT_K]);
+        for (s, qt) in tables.iter_mut().enumerate() {
+            let t = arena.table(s);
             let mn = t.iter().cloned().fold(f32::INFINITY, f32::min);
             for (dst, &v) in qt.iter_mut().zip(t.iter()) {
                 *dst = (((v - mn) * scale).round()).clamp(0.0, 255.0) as u8;
             }
         }
         let inv_scale = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+        (offset_sum, inv_scale)
+    }
+
+    /// Builds the quantized (u8) lookup tables for a query along with the
+    /// affine parameters: returns `(tables, offset_sum, inv_scale)` such
+    /// that `true_dist ≈ acc * inv_scale + offset_sum`. Convenience form
+    /// of [`Bolt::fill_quantized_tables`] with throwaway buffers.
+    pub fn quantized_tables(&self, query: &[f32]) -> (Vec<[u8; BOLT_K]>, f32, f32) {
+        let mut arena = TableArena::new();
+        let mut tables = Vec::new();
+        let (offset_sum, inv_scale) = self.fill_quantized_tables(query, &mut arena, &mut tables);
         (tables, offset_sum, inv_scale)
     }
 
@@ -191,6 +210,7 @@ impl AnnIndex for Bolt {
 mod tests {
     use super::*;
     use crate::pq::{Pq, PqConfig};
+    use crate::util::adc_table;
     use vaq_dataset::{exact_knn, SyntheticSpec};
     use vaq_metrics::recall_at_k;
 
@@ -221,8 +241,7 @@ mod tests {
             for pair in 0..bytes_per_vec {
                 let byte = bolt.packed[i * bytes_per_vec + pair];
                 let (lo0, hi0) = bolt.ranges[2 * pair];
-                let expect0 =
-                    nearest_centroid(&bolt.codebooks[2 * pair], &row[lo0..hi0]).0 as u8;
+                let expect0 = nearest_centroid(&bolt.codebooks[2 * pair], &row[lo0..hi0]).0 as u8;
                 assert_eq!(byte & 0x0F, expect0);
             }
         }
@@ -263,8 +282,8 @@ mod tests {
         }
         let bytes_per_vec = bolt.ranges.len() / 2;
         for nb in &res {
-            let code =
-                &bolt.packed[nb.index as usize * bytes_per_vec..(nb.index as usize + 1) * bytes_per_vec];
+            let code = &bolt.packed
+                [nb.index as usize * bytes_per_vec..(nb.index as usize + 1) * bytes_per_vec];
             let mut fd = 0.0f32;
             for (pair, &byte) in code.iter().enumerate() {
                 fd += float_tables[2 * pair][(byte & 0x0F) as usize];

@@ -135,11 +135,7 @@ impl Opq {
                         *v -= mu;
                     }
                 }
-                let xty: DMatrix = centered
-                    .transpose()
-                    .matmul(&recon)
-                    .expect("shape")
-                    .to_f64();
+                let xty: DMatrix = centered.transpose().matmul(&recon).expect("shape").to_f64();
                 match procrustes(&xty) {
                     Ok(r) => rotation = r.to_f32(),
                     Err(_) => break, // degenerate; keep the last rotation
@@ -158,8 +154,7 @@ impl Opq {
 
     /// Rotates a query into the learned space.
     pub fn rotate_query(&self, query: &[f32]) -> Vec<f32> {
-        let centered: Vec<f32> =
-            query.iter().zip(self.mean.iter()).map(|(v, m)| v - m).collect();
+        let centered: Vec<f32> = query.iter().zip(self.mean.iter()).map(|(v, m)| v - m).collect();
         self.rotation.project_row(&centered).expect("rotation shape")
     }
 
@@ -245,7 +240,7 @@ mod tests {
     #[test]
     fn eigenvalue_allocation_balances_products() {
         // Strongly skewed spectrum: first bucket must not hoard the top PCs.
-        let evs: Vec<f64> = (0..8).map(|i| (2.0f64).powi(-(i as i32))).collect();
+        let evs: Vec<f64> = (0..8).map(|i| (2.0f64).powi(-i)).collect();
         let perm = eigenvalue_allocation(&evs, 4, 8);
         let spread = |p: &[usize]| {
             let products: Vec<f64> =
@@ -260,10 +255,7 @@ mod tests {
         let contiguous: Vec<usize> = (0..8).collect();
         let s_greedy = spread(&perm);
         let s_naive = spread(&contiguous);
-        assert!(
-            s_greedy * 4.0 <= s_naive,
-            "greedy spread {s_greedy} vs contiguous {s_naive}"
-        );
+        assert!(s_greedy * 4.0 <= s_naive, "greedy spread {s_greedy} vs contiguous {s_naive}");
     }
 
     #[test]
@@ -300,12 +292,7 @@ mod tests {
     fn rotation_is_orthonormal() {
         let data = SyntheticSpec::deep_like().generate(300, 0, 2).data;
         let opq = Opq::train(&data, &OpqConfig::new(8).with_bits(4)).unwrap();
-        let rtr = opq
-            .rotation
-            .transpose()
-            .matmul(&opq.rotation)
-            .unwrap()
-            .to_f64();
+        let rtr = opq.rotation.transpose().matmul(&opq.rotation).unwrap().to_f64();
         let eye = DMatrix::identity(data.cols());
         assert!(rtr.frobenius_distance(&eye) < 1e-3);
     }
@@ -331,10 +318,7 @@ mod tests {
             Opq::train(&ds.data, &OpqConfig::new(8).with_bits(4).non_parametric(4)).unwrap();
         let e_par = par.quantization_error(&ds.data);
         let e_np = nonpar.quantization_error(&ds.data);
-        assert!(
-            e_np <= e_par * 1.05,
-            "non-parametric should not be much worse: {e_np} vs {e_par}"
-        );
+        assert!(e_np <= e_par * 1.05, "non-parametric should not be much worse: {e_np} vs {e_par}");
     }
 
     #[test]

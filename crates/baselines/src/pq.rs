@@ -9,10 +9,16 @@
 //! lookups + adds per encoded vector. The **Symmetric Distance Computation**
 //! (SDC) — both sides encoded — is also provided for completeness.
 
-use crate::util::{adc_table, split_uniform, Neighbor, TopK};
+use crate::util::{adc_table, split_uniform, Neighbor};
 use crate::{AnnIndex, BaselineError};
+use vaq_core::engine::{IndexView, QueryEngine};
 use vaq_kmeans::{nearest_centroid, KMeans, KMeansConfig};
-use vaq_linalg::{squared_euclidean, Matrix};
+use vaq_linalg::{squared_euclidean, Matrix, TableArena};
+
+/// Converts engine results (core's `Neighbor`) into this crate's type.
+pub(crate) fn from_core(neighbors: Vec<vaq_core::Neighbor>) -> Vec<Neighbor> {
+    neighbors.into_iter().map(|n| Neighbor { index: n.index, distance: n.distance }).collect()
+}
 
 /// Configuration for [`Pq::train`].
 #[derive(Debug, Clone)]
@@ -88,8 +94,8 @@ impl Pq {
             let km_cfg = KMeansConfig::new(k)
                 .with_seed(cfg.seed.wrapping_add(s as u64))
                 .with_max_iters(cfg.train_iters);
-            let model = KMeans::fit(&sub, &km_cfg)
-                .map_err(|e| BaselineError::BadConfig(e.to_string()))?;
+            let model =
+                KMeans::fit(&sub, &km_cfg).map_err(|e| BaselineError::BadConfig(e.to_string()))?;
             codebooks.push(model.centroids);
         }
         let codes = encode_all(data, &ranges, &codebooks);
@@ -152,7 +158,28 @@ impl Pq {
         out
     }
 
+    /// A borrowed [`IndexView`] of the encoded database, ready for a
+    /// [`QueryEngine`]. PQ operates in the raw input space (no
+    /// projection), so queries pass through unprojected.
+    pub fn view(&self) -> IndexView<'_> {
+        IndexView::new(&self.codebooks, &self.ranges, &self.codes, self.n)
+    }
+
+    /// Fills `arena` with the per-subspace ADC tables for a query.
+    pub fn fill_tables(&self, query: &[f32], arena: &mut TableArena) {
+        arena.ensure_layout(self.codebooks.iter().map(|cb| cb.rows()));
+        for (s, (&(lo, hi), cb)) in self.ranges.iter().zip(self.codebooks.iter()).enumerate() {
+            vaq_linalg::squared_distances_into(&query[lo..hi], cb, arena.table_mut(s));
+        }
+    }
+
     /// Builds the per-subspace ADC lookup tables for a query.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates one Vec per subspace per query; use `fill_tables` \
+                with a reusable `TableArena` (or a `QueryEngine` over \
+                `Pq::view`) instead"
+    )]
     pub fn lookup_tables(&self, query: &[f32]) -> Vec<Vec<f32>> {
         self.ranges
             .iter()
@@ -163,6 +190,12 @@ impl Pq {
 
     /// ADC distance of database row `i` under precomputed tables (used by
     /// candidate-list re-rankers such as the inverted multi-index).
+    #[deprecated(
+        since = "0.2.0",
+        note = "pair with the deprecated `lookup_tables`; scan candidates \
+                through `QueryEngine::search_ids_squared` over `Pq::view` \
+                instead"
+    )]
     #[inline]
     pub fn distance_with_tables(&self, tables: &[Vec<f32>], i: usize) -> f32 {
         let m = self.ranges.len();
@@ -170,20 +203,12 @@ impl Pq {
         tables.iter().zip(code.iter()).map(|(t, &c)| t[c as usize]).sum()
     }
 
-    /// ADC search: scan all codes accumulating table lookups.
+    /// ADC search: scan all codes accumulating table lookups. Distances
+    /// are squared Euclidean (the PQ-literature convention).
     pub fn search_adc(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        let tables = self.lookup_tables(query);
-        let m = self.ranges.len();
-        let mut top = TopK::new(k);
-        for i in 0..self.n {
-            let code = &self.codes[i * m..(i + 1) * m];
-            let mut dist = 0.0f32;
-            for (t, &c) in tables.iter().zip(code.iter()) {
-                dist += t[c as usize];
-            }
-            top.push(i as u32, dist);
-        }
-        top.into_sorted()
+        let view = self.view();
+        let mut engine = QueryEngine::for_view(&view);
+        from_core(engine.search_squared(&view, query, k, vaq_core::SearchStrategy::FullScan).0)
     }
 
     /// SDC search: the query is itself encoded and distances are taken
@@ -191,28 +216,17 @@ impl Pq {
     /// paper describes both (§II-C).
     pub fn search_sdc(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         let qcode = self.encode(query);
+        let view = self.view();
+        let mut engine = QueryEngine::for_view(&view);
         // Per-subspace centroid-to-centroid tables for the query's code.
-        let tables: Vec<Vec<f32>> = self
-            .ranges
-            .iter()
-            .zip(self.codebooks.iter())
-            .zip(qcode.iter())
-            .map(|((_, cb), &qc)| {
-                let qrow = cb.row(qc as usize);
-                cb.iter_rows().map(|c| squared_euclidean(c, qrow)).collect()
-            })
-            .collect();
-        let m = self.ranges.len();
-        let mut top = TopK::new(k);
-        for i in 0..self.n {
-            let code = &self.codes[i * m..(i + 1) * m];
-            let mut dist = 0.0f32;
-            for (t, &c) in tables.iter().zip(code.iter()) {
-                dist += t[c as usize];
+        engine.prepare_with(self.codebooks.iter().map(|cb| cb.rows()), |s, table| {
+            let cb = &self.codebooks[s];
+            let qrow = cb.row(qcode[s] as usize);
+            for (c, slot) in table.iter_mut().enumerate() {
+                *slot = squared_euclidean(cb.row(c), qrow);
             }
-            top.push(i as u32, dist);
-        }
-        top.into_sorted()
+        });
+        from_core(engine.scan_ids_prepared(&view, 0..self.n as u32, k).0)
     }
 
     /// Total quantization error of the encoded database (paper Equation 2,
@@ -259,8 +273,7 @@ pub(crate) fn encode_all(
     let m = ranges.len();
     let n = data.rows();
     let mut codes = vec![0u16; n * m];
-    let workers =
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
     let chunk = n.div_ceil(workers);
     std::thread::scope(|scope| {
         let mut rest: &mut [u16] = &mut codes;
@@ -275,9 +288,7 @@ pub(crate) fn encode_all(
             scope.spawn(move || {
                 for j in 0..len {
                     let row = data.row(start + j);
-                    for (s, (&(lo, hi), cb)) in
-                        ranges.iter().zip(codebooks.iter()).enumerate()
-                    {
+                    for (s, (&(lo, hi), cb)) in ranges.iter().zip(codebooks.iter()).enumerate() {
                         mine[j * m + s] = nearest_centroid(cb, &row[lo..hi]).0 as u16;
                     }
                 }
@@ -314,10 +325,7 @@ mod tests {
         let fine = Pq::train(&data, &PqConfig::new(8).with_bits(6)).unwrap();
         let e_coarse = coarse.quantization_error(&data);
         let e_fine = fine.quantization_error(&data);
-        assert!(
-            e_fine < e_coarse,
-            "more bits must quantize better: {e_fine} vs {e_coarse}"
-        );
+        assert!(e_fine < e_coarse, "more bits must quantize better: {e_fine} vs {e_coarse}");
     }
 
     #[test]
@@ -386,10 +394,11 @@ mod tests {
         let data = small_data();
         let pq = Pq::train(&data, &PqConfig::new(8).with_bits(4)).unwrap();
         let q = data.row(5);
-        let tables = pq.lookup_tables(q);
+        let mut arena = TableArena::new();
+        pq.fill_tables(q, &mut arena);
         let code = pq.code(17);
         let table_dist: f32 =
-            tables.iter().zip(code.iter()).map(|(t, &c)| t[c as usize]).sum();
+            code.iter().enumerate().map(|(s, &c)| arena.lookup(s, c as usize)).sum();
         let rec = pq.decode(code);
         let direct = squared_euclidean(q, &rec);
         assert!((table_dist - direct).abs() < 1e-2 * direct.max(1.0));
@@ -401,6 +410,49 @@ mod tests {
         let a = Pq::train(&data, &PqConfig::new(8).with_seed(1)).unwrap();
         let b = Pq::train(&data, &PqConfig::new(8).with_seed(1)).unwrap();
         assert_eq!(a.codes, b.codes);
+    }
+
+    #[test]
+    fn arena_matches_deprecated_nested_tables() {
+        // The flat arena must reproduce the nested-Vec tables bit for bit
+        // (same accumulation order in both kernels).
+        let data = small_data();
+        let pq = Pq::train(&data, &PqConfig::new(8).with_bits(4)).unwrap();
+        let q = data.row(33);
+        let mut arena = TableArena::new();
+        pq.fill_tables(q, &mut arena);
+        #[allow(deprecated)]
+        let nested = pq.lookup_tables(q);
+        assert_eq!(arena.num_tables(), nested.len());
+        for (s, table) in nested.iter().enumerate() {
+            assert_eq!(arena.table(s), table.as_slice(), "subspace {s}");
+        }
+    }
+
+    #[test]
+    fn engine_scan_matches_manual_table_scan() {
+        let data = small_data();
+        let pq = Pq::train(&data, &PqConfig::new(8).with_bits(4)).unwrap();
+        let q = data.row(2);
+        let got = pq.search_adc(q, 12);
+        // Reference: exhaustive accumulation + sort over all rows.
+        let mut arena = TableArena::new();
+        pq.fill_tables(q, &mut arena);
+        let mut all: Vec<Neighbor> = (0..pq.len())
+            .map(|i| {
+                let dist: f32 =
+                    pq.code(i).iter().enumerate().map(|(s, &c)| arena.lookup(s, c as usize)).sum();
+                Neighbor { index: i as u32, distance: dist }
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            a.distance.partial_cmp(&b.distance).unwrap().then_with(|| a.index.cmp(&b.index))
+        });
+        all.truncate(12);
+        assert_eq!(
+            got.iter().map(|n| n.index).collect::<Vec<_>>(),
+            all.iter().map(|n| n.index).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::pq::{Pq, PqConfig};
 use crate::util::{Neighbor, TopK};
 use crate::{AnnIndex, BaselineError};
-use vaq_linalg::Matrix;
+use vaq_linalg::{Matrix, TableArena};
 
 /// Configuration for [`PqFastScan::train`].
 #[derive(Debug, Clone)]
@@ -85,16 +85,17 @@ impl PqFastScan {
         &self.pq
     }
 
-    /// Integer-pruned scan with exact re-ranking.
-    pub fn search_fast(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        let float_tables = self.pq.lookup_tables(query);
-        let m = float_tables.len();
+    /// Integer-pruned scan with exact re-ranking, staging the float tables
+    /// in a caller-owned [`TableArena`] (refilled in place across queries).
+    pub fn search_fast_in(&self, arena: &mut TableArena, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.pq.fill_tables(query, arena);
+        let m = arena.num_tables();
 
         // Quantize with FLOOR so integer sums lower-bound the float sums.
         let mut offset_sum = 0.0f32;
         let mut max_range = 0.0f32;
         let mut mins = Vec::with_capacity(m);
-        for t in &float_tables {
+        for t in arena.tables() {
             let mn = t.iter().cloned().fold(f32::INFINITY, f32::min);
             let mx = t.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             mins.push(mn);
@@ -103,19 +104,23 @@ impl PqFastScan {
         }
         let scale = if max_range > 0.0 { 255.0 / max_range } else { 0.0 };
         let inv_scale = if scale > 0.0 { 1.0 / scale } else { 0.0 };
-        let mut qtables: Vec<Vec<u8>> = Vec::with_capacity(m);
-        for (t, &mn) in float_tables.iter().zip(mins.iter()) {
-            qtables.push(
-                t.iter().map(|&v| (((v - mn) * scale).floor()).clamp(0.0, 255.0) as u8).collect(),
-            );
+        // Flat u8 tables sharing the arena's offsets.
+        let offsets = arena.offsets();
+        let flat = arena.as_slice();
+        let mut qflat = vec![0u8; flat.len()];
+        for s in 0..m {
+            let (lo, hi) = (offsets[s], offsets[s + 1]);
+            for (dst, &v) in qflat[lo..hi].iter_mut().zip(flat[lo..hi].iter()) {
+                *dst = (((v - mins[s]) * scale).floor()).clamp(0.0, 255.0) as u8;
+            }
         }
 
         let mut top = TopK::new(k);
         for pos in 0..self.order.len() {
             let code = &self.scan_codes[pos * m..(pos + 1) * m];
             let mut acc = 0u32;
-            for (t, &c) in qtables.iter().zip(code.iter()) {
-                acc += t[c as usize] as u32;
+            for (s, &c) in code.iter().enumerate() {
+                acc += qflat[offsets[s] + c as usize] as u32;
             }
             // Lower bound on the float ADC distance.
             let lower = acc as f32 * inv_scale + offset_sum;
@@ -124,12 +129,18 @@ impl PqFastScan {
             }
             // Exact re-rank for survivors.
             let mut exact = 0.0f32;
-            for (t, &c) in float_tables.iter().zip(code.iter()) {
-                exact += t[c as usize];
+            for (s, &c) in code.iter().enumerate() {
+                exact += flat[offsets[s] + c as usize];
             }
             top.push(self.order[pos], exact);
         }
         top.into_sorted()
+    }
+
+    /// Integer-pruned scan with exact re-ranking (throwaway table arena).
+    pub fn search_fast(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut arena = TableArena::new();
+        self.search_fast_in(&mut arena, query, k)
     }
 }
 
@@ -179,8 +190,7 @@ mod tests {
         for q in 0..ds.queries.rows() {
             let a: Vec<u32> =
                 grouped.search(ds.queries.row(q), 10).iter().map(|n| n.index).collect();
-            let b: Vec<u32> =
-                flat.search(ds.queries.row(q), 10).iter().map(|n| n.index).collect();
+            let b: Vec<u32> = flat.search(ds.queries.row(q), 10).iter().map(|n| n.index).collect();
             assert_eq!(a, b);
         }
     }

@@ -48,8 +48,7 @@ impl Vq {
         }
         let k = 1usize << cfg.bits;
         let km = KMeansConfig::new(k).with_seed(cfg.seed).with_max_iters(cfg.train_iters);
-        let model =
-            KMeans::fit(data, &km).map_err(|e| BaselineError::BadConfig(e.to_string()))?;
+        let model = KMeans::fit(data, &km).map_err(|e| BaselineError::BadConfig(e.to_string()))?;
         let codes = model.assignments.iter().map(|&a| a as u16).collect();
         Ok(Vq { centroids: model.centroids, codes, bits: cfg.bits })
     }

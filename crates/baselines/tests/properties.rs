@@ -5,7 +5,7 @@ use vaq_baselines::pq::{Pq, PqConfig};
 use vaq_baselines::pqfs::{PqFastScan, PqfsConfig};
 use vaq_baselines::util::{split_uniform, TopK};
 use vaq_baselines::AnnIndex;
-use vaq_linalg::{squared_euclidean, Matrix};
+use vaq_linalg::{squared_euclidean, Matrix, TableArena};
 
 fn random_matrix() -> impl Strategy<Value = Matrix> {
     (4usize..=12, 30usize..=80).prop_flat_map(|(cols, rows)| {
@@ -55,12 +55,14 @@ proptest! {
     fn adc_distance_equals_decode_distance(data in random_matrix()) {
         let pq = Pq::train(&data, &PqConfig::new(2).with_bits(3)).unwrap();
         let q = data.row(0);
-        let tables = pq.lookup_tables(q);
+        let mut arena = TableArena::new();
+        pq.fill_tables(q, &mut arena);
         for i in (0..data.rows()).step_by(11) {
-            let adc: f32 = tables
+            let adc: f32 = pq
+                .code(i)
                 .iter()
-                .zip(pq.code(i).iter())
-                .map(|(t, &c)| t[c as usize])
+                .enumerate()
+                .map(|(s, &c)| arena.lookup(s, c as usize))
                 .sum();
             let direct = squared_euclidean(q, &pq.decode(pq.code(i)));
             prop_assert!((adc - direct).abs() <= 1e-2 * direct.max(1.0));

@@ -6,14 +6,15 @@
 //!
 //! Run: `cargo bench -p vaq-bench`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{BatchSize, Criterion};
 use std::time::Duration;
 use vaq_baselines::bolt::{Bolt, BoltConfig};
 use vaq_baselines::pq::{Pq, PqConfig};
 use vaq_baselines::AnnIndex;
+use vaq_bench::{write_json, Json};
 use vaq_core::{SearchStrategy, Vaq, VaqConfig};
 use vaq_dataset::SyntheticSpec;
-use vaq_linalg::{covariance_centered, sym_eigen};
+use vaq_linalg::{covariance_centered, sym_eigen, TableArena};
 use vaq_milp::{solve_lp, Cmp, Model, Objective};
 
 fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
@@ -96,19 +97,12 @@ fn bench_scan_kernels(c: &mut Criterion) {
 
     let pq = Pq::train(&ds.data, &PqConfig::new(16).with_bits(8)).unwrap();
     let bolt = Bolt::train(&ds.data, &BoltConfig::new(16)).unwrap();
-    let vaq = Vaq::train(
-        &ds.data,
-        &VaqConfig::new(128, 16).with_seed(3).with_ti_clusters(200),
-    )
-    .unwrap();
+    let vaq =
+        Vaq::train(&ds.data, &VaqConfig::new(128, 16).with_seed(3).with_ti_clusters(200)).unwrap();
 
     let mut g = quick(c);
-    g.bench_function("scan_pq_adc_20k", |b| {
-        b.iter(|| pq.search_adc(std::hint::black_box(q), k))
-    });
-    g.bench_function("scan_bolt_u8_20k", |b| {
-        b.iter(|| bolt.search(std::hint::black_box(q), k))
-    });
+    g.bench_function("scan_pq_adc_20k", |b| b.iter(|| pq.search_adc(std::hint::black_box(q), k)));
+    g.bench_function("scan_bolt_u8_20k", |b| b.iter(|| bolt.search(std::hint::black_box(q), k)));
     g.bench_function("scan_vaq_full_20k", |b| {
         b.iter(|| vaq.search_with(std::hint::black_box(q), k, SearchStrategy::FullScan))
     });
@@ -145,12 +139,68 @@ fn bench_encode(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_eigen,
-    bench_kmeans,
-    bench_milp,
-    bench_scan_kernels,
-    bench_encode
-);
-criterion_main!(benches);
+#[allow(deprecated)] // benchmarks the deprecated nested-table path on purpose
+fn bench_lookup_tables(c: &mut Criterion) {
+    // The tentpole comparison: per-query nested `Vec<Vec<f32>>` table
+    // allocation vs refilling one flat `TableArena` in place, single-query
+    // and batched (64 queries through the same staging buffer).
+    let ds = SyntheticSpec::sift_like().generate(2000, 64, 5);
+    let vaq = Vaq::train(&ds.data, &VaqConfig::new(128, 16).with_ti_clusters(0)).unwrap();
+    let enc = vaq.encoder();
+    let projected: Vec<Vec<f32>> =
+        (0..ds.queries.rows()).map(|qi| vaq.project_query(ds.queries.row(qi))).collect();
+    let q0 = projected[0].as_slice();
+
+    let mut g = quick(c);
+    g.bench_function("tables_nested_alloc_single", |b| {
+        b.iter(|| enc.lookup_tables(std::hint::black_box(q0)))
+    });
+    let mut arena = TableArena::new();
+    enc.fill_tables(q0, &mut arena); // pre-size: measure the steady state
+    g.bench_function("tables_arena_refill_single", |b| {
+        b.iter(|| enc.fill_tables(std::hint::black_box(q0), &mut arena))
+    });
+    g.bench_function("tables_nested_alloc_batch64", |b| {
+        b.iter(|| {
+            projected
+                .iter()
+                .map(|q| enc.lookup_tables(std::hint::black_box(q)).len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("tables_arena_refill_batch64", |b| {
+        b.iter(|| {
+            for q in &projected {
+                enc.fill_tables(std::hint::black_box(q), &mut arena);
+            }
+            arena.num_tables()
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_eigen(&mut criterion);
+    bench_kmeans(&mut criterion);
+    bench_milp(&mut criterion);
+    bench_scan_kernels(&mut criterion);
+    bench_encode(&mut criterion);
+    bench_lookup_tables(&mut criterion);
+
+    // Persist every summary so regressions (e.g. the arena staging path
+    // getting slower than the nested allocation it replaced) are diffable.
+    let rows: Vec<Json> = criterion
+        .summaries()
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("id", Json::Str(s.id.clone())),
+                ("mean_ns", Json::Num(s.mean_ns)),
+                ("best_ns", Json::Num(s.best_ns)),
+                ("samples", Json::Num(s.samples as f64)),
+            ])
+        })
+        .collect();
+    write_json(std::path::Path::new("results"), "microbench.json", &rows);
+}

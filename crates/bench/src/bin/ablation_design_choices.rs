@@ -25,7 +25,8 @@ fn main() {
     // --- Ablation 1: partial balancing. ---
     println!("1) Partial importance balancing (64-bit budget, 16 subspaces):");
     let mut rows = Vec::new();
-    for spec in [SyntheticSpec::sift_like(), SyntheticSpec::sald_like(), SyntheticSpec::seismic_like()]
+    for spec in
+        [SyntheticSpec::sift_like(), SyntheticSpec::sald_like(), SyntheticSpec::seismic_like()]
     {
         let ds = spec.generate(n, nq, args.seed);
         let truth = exact_knn(&ds.data, &ds.queries, k);

@@ -110,7 +110,12 @@ fn main() {
     let store = vaq_index::hnsw::PqStore::from_pq(&pq);
     let hnsw = vaq_index::hnsw::Hnsw::build(
         store,
-        &vaq_index::hnsw::HnswConfig { m: 16, ef_construction: 100, ef_search: 32, seed: args.seed },
+        &vaq_index::hnsw::HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 32,
+            seed: args.seed,
+        },
     )
     .unwrap();
     let hnsw_train = t.elapsed().as_secs_f64();

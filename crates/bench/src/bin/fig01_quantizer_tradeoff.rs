@@ -46,12 +46,12 @@ fn main() {
 
         let mut rows = Vec::new();
         let push = |method: &str,
-                        params: String,
-                        code_bits: usize,
-                        train_secs: f64,
-                        r: (f64, f64, f64),
-                        rows: &mut Vec<Vec<String>>,
-                        results: &mut Vec<MethodResult>| {
+                    params: String,
+                    code_bits: usize,
+                    train_secs: f64,
+                    r: (f64, f64, f64),
+                    rows: &mut Vec<Vec<String>>,
+                    results: &mut Vec<MethodResult>| {
             rows.push(vec![
                 method.to_string(),
                 format!("{:.4}", r.0),
@@ -91,7 +91,15 @@ fn main() {
             &truth,
             k,
         );
-        push("OPQ", format!("m={m} b={bits}"), opq.code_bits(), opq_train, r, &mut rows, &mut results);
+        push(
+            "OPQ",
+            format!("m={m} b={bits}"),
+            opq.code_bits(),
+            opq_train,
+            r,
+            &mut rows,
+            &mut results,
+        );
 
         let t0 = std::time::Instant::now();
         let bolt = Bolt::train(&ds.data, &BoltConfig::new(m)).unwrap();
@@ -102,7 +110,15 @@ fn main() {
             &truth,
             k,
         );
-        push("Bolt", format!("m={m} b=4"), bolt.code_bits(), bolt_train, r, &mut rows, &mut results);
+        push(
+            "Bolt",
+            format!("m={m} b=4"),
+            bolt.code_bits(),
+            bolt_train,
+            r,
+            &mut rows,
+            &mut results,
+        );
 
         // PQFS keeps 8-bit dictionaries: same 256-bit budget → m/2 subspaces.
         let t0 = std::time::Instant::now();

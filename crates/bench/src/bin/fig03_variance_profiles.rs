@@ -9,17 +9,26 @@
 //!
 //! Run: `cargo run -p vaq-bench --release --bin fig03_variance_profiles`
 
-use serde::Serialize;
-use vaq_bench::{print_table, write_json, ExpArgs};
+use vaq_bench::{print_table, write_json, ExpArgs, Json, ToJson};
 use vaq_dataset::ucr::UcrFamily;
 use vaq_linalg::Pca;
 
-#[derive(Serialize)]
 struct Profile {
     dataset: String,
     explained_pct_first_20: Vec<f64>,
     cumulative_pct_first_3: f64,
     example_series: Vec<Vec<f32>>,
+}
+
+impl ToJson for Profile {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", self.dataset.to_json()),
+            ("explained_pct_first_20", self.explained_pct_first_20.to_json()),
+            ("cumulative_pct_first_3", self.cumulative_pct_first_3.to_json()),
+            ("example_series", self.example_series.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -37,8 +46,7 @@ fn main() {
         let cum3: f64 = ratio.iter().take(3).sum::<f64>() * 100.0;
 
         // One example per class (paper Figures 3a/3b).
-        let examples: Vec<Vec<f32>> =
-            (0..3).map(|c| ds.data.row(c).to_vec()).collect();
+        let examples: Vec<Vec<f32>> = (0..3).map(|c| ds.data.row(c).to_vec()).collect();
 
         rows.push(vec![
             ds.name.clone(),

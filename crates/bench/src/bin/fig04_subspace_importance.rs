@@ -21,21 +21,24 @@ use rand::SeedableRng;
 use vaq_baselines::pq::{Pq, PqConfig};
 use vaq_bench::{print_table, write_json, ExpArgs, MethodResult};
 use vaq_core::{SearchStrategy, Vaq, VaqConfig};
-use vaq_dataset::ucr::UcrFamily;
 use vaq_dataset::exact_knn;
-use vaq_linalg::{Matrix, Pca};
+use vaq_dataset::ucr::UcrFamily;
+use vaq_linalg::{Matrix, Pca, TableArena};
 use vaq_metrics::recall_at_k;
 
 const SEGMENTS: usize = 32;
 const BUDGET: usize = 128; // 4 bits/subspace uniform for PQ/OPQ
 
 /// Scans PQ codes using only the first `j` lookup tables.
-fn prefix_search(pq: &Pq, query: &[f32], k: usize, j: usize) -> Vec<u32> {
-    let tables = pq.lookup_tables(query);
+fn prefix_search(pq: &Pq, arena: &mut TableArena, query: &[f32], k: usize, j: usize) -> Vec<u32> {
+    pq.fill_tables(query, arena);
+    let offsets = arena.offsets();
+    let flat = arena.as_slice();
     let mut best: Vec<(f32, u32)> = Vec::with_capacity(pq.len());
     for i in 0..pq.len() {
         let code = pq.code(i);
-        let d: f32 = tables[..j].iter().zip(code.iter()).map(|(t, &c)| t[c as usize]).sum();
+        let d: f32 =
+            code[..j].iter().enumerate().map(|(s, &c)| flat[offsets[s] + c as usize]).sum();
         best.push((d, i as u32));
     }
     best.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -43,7 +46,13 @@ fn prefix_search(pq: &Pq, query: &[f32], k: usize, j: usize) -> Vec<u32> {
 }
 
 /// Scans VAQ codes using only the first `j` subspaces.
-fn vaq_prefix_search(vaq: &Vaq, query: &[f32], k: usize, j: usize) -> Vec<u32> {
+fn vaq_prefix_search(
+    vaq: &Vaq,
+    arena: &mut TableArena,
+    query: &[f32],
+    k: usize,
+    j: usize,
+) -> Vec<u32> {
     if j >= vaq.bits().len() {
         return vaq
             .search_with(query, k, SearchStrategy::FullScan)
@@ -53,11 +62,14 @@ fn vaq_prefix_search(vaq: &Vaq, query: &[f32], k: usize, j: usize) -> Vec<u32> {
             .collect();
     }
     let projected = vaq.project_query(query);
-    let tables = vaq.encoder().lookup_tables(&projected);
+    vaq.encoder().fill_tables(&projected, arena);
+    let offsets = arena.offsets();
+    let flat = arena.as_slice();
     let mut best: Vec<(f32, u32)> = Vec::with_capacity(vaq.len());
     for i in 0..vaq.len() {
         let code = vaq.code(i);
-        let d: f32 = tables[..j].iter().zip(code.iter()).map(|(t, &c)| t[c as usize]).sum();
+        let d: f32 =
+            code[..j].iter().enumerate().map(|(s, &c)| flat[offsets[s] + c as usize]).sum();
         best.push((d, i as u32));
     }
     best.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -87,19 +99,14 @@ fn main() {
         perm.shuffle(&mut StdRng::seed_from_u64(args.seed ^ 0xABC));
         let z_rand = z.select_columns(&perm);
         let zq_rand = zq.select_columns(&perm);
-        let pq = Pq::train(&z_rand, &PqConfig::new(SEGMENTS).with_bits(BUDGET / SEGMENTS))
-            .unwrap();
+        let pq = Pq::train(&z_rand, &PqConfig::new(SEGMENTS).with_bits(BUDGET / SEGMENTS)).unwrap();
 
         // OPQ: eigenvalue-allocation permutation (balanced importance).
-        let opq_perm = vaq_baselines::opq::eigenvalue_allocation(
-            pca.eigenvalues(),
-            SEGMENTS,
-            z.cols(),
-        );
+        let opq_perm =
+            vaq_baselines::opq::eigenvalue_allocation(pca.eigenvalues(), SEGMENTS, z.cols());
         let z_opq = z.select_columns(&opq_perm);
         let zq_opq = zq.select_columns(&opq_perm);
-        let opq = Pq::train(&z_opq, &PqConfig::new(SEGMENTS).with_bits(BUDGET / SEGMENTS))
-            .unwrap();
+        let opq = Pq::train(&z_opq, &PqConfig::new(SEGMENTS).with_bits(BUDGET / SEGMENTS)).unwrap();
 
         // VAQ: variance ordering + partial balance + adaptive bits.
         let vaq = Vaq::train(
@@ -108,18 +115,23 @@ fn main() {
         )
         .unwrap();
 
+        // One arena per method, refilled in place across every query and
+        // prefix length (the layouts are identical, so no reallocation).
+        let mut pq_arena = TableArena::new();
+        let mut opq_arena = TableArena::new();
+        let mut vaq_arena = TableArena::new();
         let mut rows = Vec::new();
         for j in [4usize, 8, 16, 32] {
-            let run_pq = |codes: &Pq, queries: &Matrix| -> f64 {
+            let run_pq = |codes: &Pq, arena: &mut TableArena, queries: &Matrix| -> f64 {
                 let retrieved: Vec<Vec<u32>> = (0..queries.rows())
-                    .map(|q| prefix_search(codes, queries.row(q), k, j))
+                    .map(|q| prefix_search(codes, arena, queries.row(q), k, j))
                     .collect();
                 recall_at_k(&retrieved, &truth, k)
             };
-            let r_pq = run_pq(&pq, &zq_rand);
-            let r_opq = run_pq(&opq, &zq_opq);
+            let r_pq = run_pq(&pq, &mut pq_arena, &zq_rand);
+            let r_opq = run_pq(&opq, &mut opq_arena, &zq_opq);
             let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
-                .map(|q| vaq_prefix_search(&vaq, ds.queries.row(q), k, j))
+                .map(|q| vaq_prefix_search(&vaq, &mut vaq_arena, ds.queries.row(q), k, j))
                 .collect();
             let r_vaq = recall_at_k(&retrieved, &truth, k);
 

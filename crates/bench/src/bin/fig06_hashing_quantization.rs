@@ -40,12 +40,12 @@ fn main() {
 
         let mut rows = Vec::new();
         let record = |method: &str,
-                          params: String,
-                          code_bits: usize,
-                          train: f64,
-                          r: (f64, f64, f64),
-                          rows: &mut Vec<Vec<String>>,
-                          results: &mut Vec<MethodResult>| {
+                      params: String,
+                      code_bits: usize,
+                      train: f64,
+                      r: (f64, f64, f64),
+                      rows: &mut Vec<Vec<String>>,
+                      results: &mut Vec<MethodResult>| {
             rows.push(vec![
                 method.into(),
                 format!("{:.4}", r.1),
@@ -74,7 +74,15 @@ fn main() {
             &truth,
             k,
         );
-        record("PQ", format!("b={}", budget / m), pq.code_bits(), train, r, &mut rows, &mut results);
+        record(
+            "PQ",
+            format!("b={}", budget / m),
+            pq.code_bits(),
+            train,
+            r,
+            &mut rows,
+            &mut results,
+        );
 
         let t = std::time::Instant::now();
         let opq = Opq::train(&ds.data, &OpqConfig::new(m).with_bits(budget / m)).unwrap();
@@ -85,7 +93,15 @@ fn main() {
             &truth,
             k,
         );
-        record("OPQ", format!("b={}", budget / m), opq.code_bits(), train, r, &mut rows, &mut results);
+        record(
+            "OPQ",
+            format!("b={}", budget / m),
+            opq.code_bits(),
+            train,
+            r,
+            &mut rows,
+            &mut results,
+        );
 
         let t = std::time::Instant::now();
         let itq = ItqLsh::train(&ds.data, &ItqConfig::new(budget)).unwrap();
@@ -96,7 +112,15 @@ fn main() {
             &truth,
             k,
         );
-        record("ITQ-LSH", format!("bits={budget}"), itq.code_bits(), train, r, &mut rows, &mut results);
+        record(
+            "ITQ-LSH",
+            format!("bits={budget}"),
+            itq.code_bits(),
+            train,
+            r,
+            &mut rows,
+            &mut results,
+        );
 
         let t = std::time::Instant::now();
         let vaq = Vaq::train(

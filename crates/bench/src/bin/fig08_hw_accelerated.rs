@@ -48,7 +48,12 @@ fn main() {
             &truth,
             k,
         );
-        rows.push(vec!["Bolt".into(), "4-bit".into(), format!("{:.4}", r_bolt.0), fmt_secs(r_bolt.2)]);
+        rows.push(vec![
+            "Bolt".into(),
+            "4-bit".into(),
+            format!("{:.4}", r_bolt.0),
+            fmt_secs(r_bolt.2),
+        ]);
         let bolt_curve: Vec<OperatingPoint> = vec![(r_bolt.0, r_bolt.2)];
 
         // PQFS: one operating point (8-bit dictionaries).
@@ -107,10 +112,9 @@ fn main() {
                 params: format!("visit={frac}"),
             });
         }
-        for (method, r, bits) in [
-            ("Bolt", r_bolt, bolt.code_bits()),
-            ("PQFS", r_pqfs, pqfs.code_bits()),
-        ] {
+        for (method, r, bits) in
+            [("Bolt", r_bolt, bolt.code_bits()), ("PQFS", r_pqfs, pqfs.code_bits())]
+        {
             results.push(MethodResult {
                 method: method.into(),
                 dataset: ds.name.clone(),

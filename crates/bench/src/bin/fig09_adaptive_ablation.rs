@@ -78,8 +78,14 @@ fn main() {
         }
     }
     print_table(
-        &["budget", "segments", "uniform/uniform", "clustered/uniform", "uniform/adaptive",
-          "clustered/adaptive"],
+        &[
+            "budget",
+            "segments",
+            "uniform/uniform",
+            "clustered/uniform",
+            "uniform/adaptive",
+            "clustered/adaptive",
+        ],
         &rows,
     );
 

@@ -11,16 +11,44 @@
 //!
 //! Run: `cargo run -p vaq-bench --release --bin fig10_critical_difference`
 
-use serde::Deserialize;
-use vaq_bench::{print_table, write_json, ExpArgs};
+use vaq_bench::{print_table, write_json, ExpArgs, Json, ToJson};
 use vaq_metrics::ranking::{nemenyi_critical_difference, nemenyi_groups};
 use vaq_metrics::stats::friedman_test;
 
-#[derive(Deserialize)]
 struct ArchiveScores {
     methods: Vec<String>,
     recall5: Vec<Vec<f64>>,
     datasets: Vec<String>,
+}
+
+impl ArchiveScores {
+    fn from_json(value: &Json) -> Result<ArchiveScores, String> {
+        let strings = |key: &str| -> Result<Vec<String>, String> {
+            value
+                .get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("missing array field '{key}'"))?
+                .iter()
+                .map(|v| {
+                    v.as_str().map(str::to_string).ok_or_else(|| format!("non-string in '{key}'"))
+                })
+                .collect()
+        };
+        let recall5 = value
+            .get("recall5")
+            .and_then(Json::as_array)
+            .ok_or("missing array field 'recall5'")?
+            .iter()
+            .map(|row| {
+                row.as_array()
+                    .ok_or_else(|| "non-array row in 'recall5'".to_string())?
+                    .iter()
+                    .map(|v| v.as_f64().ok_or_else(|| "non-number in 'recall5'".to_string()))
+                    .collect()
+            })
+            .collect::<Result<Vec<Vec<f64>>, String>>()?;
+        Ok(ArchiveScores { methods: strings("methods")?, recall5, datasets: strings("datasets")? })
+    }
 }
 
 fn main() {
@@ -32,7 +60,8 @@ fn main() {
             path.display()
         )
     });
-    let scores: ArchiveScores = serde_json::from_str(&raw).expect("parse scores");
+    let parsed = Json::parse(&raw).expect("parse scores");
+    let scores = ArchiveScores::from_json(&parsed).expect("decode scores");
     let n = scores.datasets.len();
     let k = scores.methods.len();
     println!("Figure 10: Friedman + Nemenyi over {n} datasets, {k} method/budget pairs\n");
@@ -43,7 +72,11 @@ fn main() {
         fr.chi_square,
         fr.df,
         fr.p_value,
-        if fr.p_value < 0.05 { "methods differ significantly" } else { "no significant differences" }
+        if fr.p_value < 0.05 {
+            "methods differ significantly"
+        } else {
+            "no significant differences"
+        }
     );
 
     let cd = nemenyi_critical_difference(k, n);
@@ -52,20 +85,18 @@ fn main() {
     // Rank table, best first.
     let mut order: Vec<usize> = (0..k).collect();
     order.sort_by(|&a, &b| {
-        fr.average_ranks[a]
-            .partial_cmp(&fr.average_ranks[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
+        fr.average_ranks[a].partial_cmp(&fr.average_ranks[b]).unwrap_or(std::cmp::Ordering::Equal)
     });
     let rows: Vec<Vec<String>> = order
         .iter()
-        .map(|&i| {
-            vec![scores.methods[i].clone(), format!("{:.3}", fr.average_ranks[i])]
-        })
+        .map(|&i| vec![scores.methods[i].clone(), format!("{:.3}", fr.average_ranks[i])])
         .collect();
     print_table(&["method", "average rank (1 = best)"], &rows);
 
     // ASCII critical-difference diagram.
-    println!("\nCritical-difference diagram (rank axis, ═ groups are not significantly different):");
+    println!(
+        "\nCritical-difference diagram (rank axis, ═ groups are not significantly different):"
+    );
     let min_rank = fr.average_ranks[order[0]];
     let max_rank = fr.average_ranks[*order.last().unwrap()];
     let width = 60.0;
@@ -83,9 +114,8 @@ fn main() {
     }
 
     // Shape checks against the paper's Figure 10.
-    let rank_of = |name: &str| {
-        scores.methods.iter().position(|m| m == name).map(|i| fr.average_ranks[i])
-    };
+    let rank_of =
+        |name: &str| scores.methods.iter().position(|m| m == name).map(|i| fr.average_ranks[i]);
     if let (Some(v128), Some(v64), Some(o128), Some(p128)) =
         (rank_of("VAQ-128"), rank_of("VAQ-64"), rank_of("OPQ-128"), rank_of("PQ-128"))
     {
@@ -106,21 +136,13 @@ fn main() {
         );
     }
 
-    #[derive(serde::Serialize)]
-    struct Out {
-        average_ranks: Vec<(String, f64)>,
-        chi_square: f64,
-        p_value: f64,
-        critical_difference: f64,
-    }
-    let out = Out {
-        average_ranks: order
-            .iter()
-            .map(|&i| (scores.methods[i].clone(), fr.average_ranks[i]))
-            .collect(),
-        chi_square: fr.chi_square,
-        p_value: fr.p_value,
-        critical_difference: cd,
-    };
+    let average_ranks: Vec<(String, f64)> =
+        order.iter().map(|&i| (scores.methods[i].clone(), fr.average_ranks[i])).collect();
+    let out = Json::obj([
+        ("average_ranks", average_ranks.to_json()),
+        ("chi_square", fr.chi_square.to_json()),
+        ("p_value", fr.p_value.to_json()),
+        ("critical_difference", cd.to_json()),
+    ]);
     write_json(&args.out_dir, "fig10_critical_difference.json", &out);
 }

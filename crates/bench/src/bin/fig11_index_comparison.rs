@@ -39,11 +39,11 @@ fn main() {
         let mut curves: Vec<(String, Vec<OperatingPoint>)> = Vec::new();
 
         let record = |method: &str,
-                          params: String,
-                          train: f64,
-                          r: (f64, f64, f64),
-                          rows: &mut Vec<Vec<String>>,
-                          results: &mut Vec<MethodResult>| {
+                      params: String,
+                      train: f64,
+                      r: (f64, f64, f64),
+                      rows: &mut Vec<Vec<String>>,
+                      results: &mut Vec<MethodResult>| {
             rows.push(vec![
                 method.into(),
                 params.clone(),
@@ -158,10 +158,7 @@ fn main() {
             let r = evaluate_with_truth(
                 |q| {
                     search_with_rerank(&ds.data, q, k, 5, |qq, kk| {
-                        imi.search_with_candidates(qq, kk, quota)
-                            .iter()
-                            .map(|x| x.index)
-                            .collect()
+                        imi.search_with_candidates(qq, kk, quota).iter().map(|x| x.index).collect()
                     })
                     .iter()
                     .map(|x| x.index)

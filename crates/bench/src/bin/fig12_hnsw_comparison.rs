@@ -129,13 +129,10 @@ fn main() {
         .max_by(|a, b| a.map.partial_cmp(&b.map).unwrap())
         .unwrap()
         .clone();
-    let hnsw_matching: Vec<&MethodResult> = results
-        .iter()
-        .filter(|r| r.method == "HNSW+PQ" && r.map >= vaq_best.map - 0.05)
-        .collect();
-    if let Some(h) = hnsw_matching
-        .iter()
-        .min_by(|a, b| a.query_secs.partial_cmp(&b.query_secs).unwrap())
+    let hnsw_matching: Vec<&MethodResult> =
+        results.iter().filter(|r| r.method == "HNSW+PQ" && r.map >= vaq_best.map - 0.05).collect();
+    if let Some(h) =
+        hnsw_matching.iter().min_by(|a, b| a.query_secs.partial_cmp(&b.query_secs).unwrap())
     {
         println!(
             "\nShape check at MAP ≈ {:.3}: HNSW preprocessing {:.1}× VAQ's; \

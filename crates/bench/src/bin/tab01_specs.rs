@@ -46,26 +46,22 @@ fn main() {
     let code_bytes = (n * BUDGET) as f64 / 8.0;
     let mut specs: Vec<Spec> = Vec::new();
 
-    let mut measure = |method: &str,
-                       storage_extra_bytes: f64,
-                       train: Box<dyn FnOnce() -> Box<dyn Fn(&[f32]) -> Vec<u32>>>| {
-        let t0 = std::time::Instant::now();
-        let search = train();
-        let encode_secs = t0.elapsed().as_secs_f64();
-        let (_, map, query_secs) = evaluate_with_truth(
-            |q| search(q),
-            &ds.queries,
-            &truth,
-            k,
-        );
-        specs.push(Spec {
-            method: method.into(),
-            storage_overhead: storage_extra_bytes / code_bytes,
-            encode_secs,
-            query_secs,
-            map,
-        });
-    };
+    let mut measure =
+        |method: &str,
+         storage_extra_bytes: f64,
+         train: Box<dyn FnOnce() -> Box<dyn Fn(&[f32]) -> Vec<u32>>>| {
+            let t0 = std::time::Instant::now();
+            let search = train();
+            let encode_secs = t0.elapsed().as_secs_f64();
+            let (_, map, query_secs) = evaluate_with_truth(|q| search(q), &ds.queries, &truth, k);
+            specs.push(Spec {
+                method: method.into(),
+                storage_overhead: storage_extra_bytes / code_bytes,
+                encode_secs,
+                query_secs,
+                map,
+            });
+        };
 
     let data = &ds.data;
     let seed = args.seed;
@@ -136,9 +132,7 @@ fn main() {
         Box::new(move || {
             let vaq = Vaq::train(
                 data,
-                &VaqConfig::new(BUDGET, SEGMENTS)
-                    .with_seed(seed)
-                    .with_ti_clusters(ti_clusters),
+                &VaqConfig::new(BUDGET, SEGMENTS).with_seed(seed).with_ti_clusters(ti_clusters),
             )
             .unwrap();
             Box::new(move |q| vaq.search(q, k).iter().map(|x| x.index).collect())
@@ -176,8 +170,13 @@ fn main() {
         });
     }
     print_table(
-        &["Method", "Min storage overhead", "Min encoding overhead", "Query speedup",
-          "Recall/Accuracy gain"],
+        &[
+            "Method",
+            "Min storage overhead",
+            "Min encoding overhead",
+            "Query speedup",
+            "Recall/Accuracy gain",
+        ],
         &rows,
     );
     println!(

@@ -11,18 +11,16 @@
 //!
 //! Run: `cargo run -p vaq-bench --release --bin tab02_ucr_sweep`
 
-use serde::Serialize;
 use vaq_baselines::bolt::{Bolt, BoltConfig};
 use vaq_baselines::opq::{Opq, OpqConfig};
 use vaq_baselines::pq::{Pq, PqConfig};
 use vaq_baselines::AnnIndex;
-use vaq_bench::{print_table, write_json, ExpArgs};
+use vaq_bench::{print_table, write_json, ExpArgs, Json, ToJson};
 use vaq_core::{Vaq, VaqConfig};
 use vaq_dataset::{exact_knn, ucr_like_archive};
 use vaq_metrics::{map_at_k, recall_at_k, wilcoxon_signed_rank};
 
 /// Per-(method, budget) scores across the archive, used by Figure 10.
-#[derive(Serialize)]
 pub struct ArchiveScores {
     pub methods: Vec<String>,
     /// `recall5[method][dataset]`
@@ -30,23 +28,29 @@ pub struct ArchiveScores {
     pub datasets: Vec<String>,
 }
 
+impl ToJson for ArchiveScores {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("methods", self.methods.to_json()),
+            ("recall5", self.recall5.to_json()),
+            ("datasets", self.datasets.to_json()),
+        ])
+    }
+}
+
 fn main() {
     let args = ExpArgs::parse();
     let n_train = args.size(150);
     let n_test = args.queries(20);
     let k = 10;
-    println!(
-        "Table II: 128 medium-scale datasets (train = {n_train}, queries = {n_test} each)\n"
-    );
+    println!("Table II: 128 medium-scale datasets (train = {n_train}, queries = {n_test} each)\n");
 
     let archive = ucr_like_archive(n_train, n_test, args.seed);
     let configs = [(64usize, 16usize), (128, 32)];
     // methods × configs scores per dataset.
     let method_names: Vec<String> = configs
         .iter()
-        .flat_map(|&(b, _)| {
-            ["Bolt", "PQ", "OPQ", "VAQ"].iter().map(move |m| format!("{m}-{b}"))
-        })
+        .flat_map(|&(b, _)| ["Bolt", "PQ", "OPQ", "VAQ"].iter().map(move |m| format!("{m}-{b}")))
         .collect();
     let mut recall5: Vec<Vec<f64>> = vec![Vec::new(); method_names.len()];
     let mut recall10: Vec<Vec<f64>> = vec![Vec::new(); method_names.len()];
@@ -66,26 +70,18 @@ fn main() {
                 let pq =
                     Pq::train(&ds.data, &PqConfig::new(m).with_bits((budget / m).clamp(1, 12)))
                         .unwrap();
-                let opq = Opq::train(
-                    &ds.data,
-                    &OpqConfig::new(m).with_bits((budget / m).clamp(1, 12)),
-                )
-                .unwrap();
+                let opq =
+                    Opq::train(&ds.data, &OpqConfig::new(m).with_bits((budget / m).clamp(1, 12)))
+                        .unwrap();
                 let vaq = Vaq::train(
                     &ds.data,
-                    &VaqConfig::new(budget.min(m * 13), m)
-                        .with_seed(args.seed)
-                        .with_ti_clusters(0),
+                    &VaqConfig::new(budget.min(m * 13), m).with_seed(args.seed).with_ti_clusters(0),
                 )
                 .unwrap();
                 vec![
-                    Box::new(move |q: &[f32]| {
-                        bolt.search(q, k).iter().map(|x| x.index).collect()
-                    }),
+                    Box::new(move |q: &[f32]| bolt.search(q, k).iter().map(|x| x.index).collect()),
                     Box::new(move |q: &[f32]| pq.search(q, k).iter().map(|x| x.index).collect()),
-                    Box::new(move |q: &[f32]| {
-                        opq.search(q, k).iter().map(|x| x.index).collect()
-                    }),
+                    Box::new(move |q: &[f32]| opq.search(q, k).iter().map(|x| x.index).collect()),
                     Box::new(move |q: &[f32]| {
                         vaq.search_with(q, k, vaq_core::SearchStrategy::FullScan)
                             .0
@@ -130,8 +126,13 @@ fn main() {
 
     // Pairwise Wilcoxon tests at 99% confidence (paper protocol).
     println!("\nWilcoxon signed-rank (Recall@5, 99% confidence):");
-    let pairs = [("VAQ-64", "OPQ-64"), ("VAQ-128", "OPQ-128"), ("VAQ-64", "OPQ-128"),
-                 ("VAQ-64", "PQ-128"), ("OPQ-128", "PQ-128")];
+    let pairs = [
+        ("VAQ-64", "OPQ-64"),
+        ("VAQ-128", "OPQ-128"),
+        ("VAQ-64", "OPQ-128"),
+        ("VAQ-64", "PQ-128"),
+        ("OPQ-128", "PQ-128"),
+    ];
     for (a, b) in pairs {
         let ia = method_names.iter().position(|m| m == a).unwrap();
         let ib = method_names.iter().position(|m| m == b).unwrap();
@@ -143,7 +144,11 @@ fn main() {
             w.z,
             w.p_value,
             if w.p_value < 0.01 {
-                if w.z > 0.0 { "A significantly better" } else { "B significantly better" }
+                if w.z > 0.0 {
+                    "A significantly better"
+                } else {
+                    "B significantly better"
+                }
             } else {
                 "no significant difference"
             }

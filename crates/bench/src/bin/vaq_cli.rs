@@ -101,11 +101,9 @@ fn load_vectors(path: &Path, limit: Option<usize>) -> Result<Matrix, String> {
     let loaded = match ext {
         "fvecs" => read_fvecs(path, limit),
         "bvecs" => read_bvecs(path, limit),
-        "csv" | "tsv" | "txt" => read_csv(path, false).map(|(m, _)| {
-            match limit {
-                Some(l) if l < m.rows() => m.select_rows(&(0..l).collect::<Vec<_>>()),
-                _ => m,
-            }
+        "csv" | "tsv" | "txt" => read_csv(path, false).map(|(m, _)| match limit {
+            Some(l) if l < m.rows() => m.select_rows(&(0..l).collect::<Vec<_>>()),
+            _ => m,
         }),
         other => return Err(format!("unsupported vector format `.{other}`")),
     };
@@ -132,11 +130,7 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
     }
     let t0 = std::time::Instant::now();
     let vaq = Vaq::train(&data, &cfg).map_err(|e| e.to_string())?;
-    println!(
-        "trained in {:.1}s — bit allocation {:?}",
-        t0.elapsed().as_secs_f64(),
-        vaq.bits()
-    );
+    println!("trained in {:.1}s — bit allocation {:?}", t0.elapsed().as_secs_f64(), vaq.bits());
     vaq.save(&out).map_err(|e| e.to_string())?;
     let size = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
     println!("index written to {} ({:.1} MiB)", out.display(), size as f64 / (1 << 20) as f64);
@@ -158,18 +152,12 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
 
     let t0 = std::time::Instant::now();
     for q in 0..queries.rows() {
-        let hits = vaq
-            .search_with(queries.row(q), k, SearchStrategy::TiEa { visit_frac: visit })
-            .0;
+        let hits = vaq.search_with(queries.row(q), k, SearchStrategy::TiEa { visit_frac: visit }).0;
         let ids: Vec<String> =
             hits.iter().map(|h| format!("{}:{:.4}", h.index, h.distance)).collect();
         println!("query {q}: {}", ids.join(" "));
     }
-    eprintln!(
-        "{} queries in {:.1} ms",
-        queries.rows(),
-        t0.elapsed().as_secs_f64() * 1e3
-    );
+    eprintln!("{} queries in {:.1} ms", queries.rows(), t0.elapsed().as_secs_f64() * 1e3);
     Ok(())
 }
 

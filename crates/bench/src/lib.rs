@@ -14,7 +14,10 @@
 //! * [`print_table`] — aligned terminal output matching the rows the paper
 //!   reports.
 
-use serde::{Deserialize, Serialize};
+pub mod json;
+
+pub use json::{Json, ToJson};
+
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -50,10 +53,8 @@ impl ExpArgs {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--scale" => {
-                    args.scale = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--scale needs a float");
+                    args.scale =
+                        it.next().and_then(|v| v.parse().ok()).expect("--scale needs a float");
                 }
                 "--seed" => {
                     args.seed =
@@ -61,8 +62,7 @@ impl ExpArgs {
                 }
                 "--quick" => args.quick = true,
                 "--out" => {
-                    args.out_dir =
-                        PathBuf::from(it.next().expect("--out needs a directory"));
+                    args.out_dir = PathBuf::from(it.next().expect("--out needs a directory"));
                 }
                 other => panic!("unknown argument: {other}"),
             }
@@ -84,7 +84,7 @@ impl ExpArgs {
 }
 
 /// One (method, dataset) measurement — the cell unit of every table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MethodResult {
     /// Method label (e.g. `"VAQ"`, `"OPQ-128"`).
     pub method: String,
@@ -122,11 +122,7 @@ pub fn evaluate_with_truth(
 }
 
 /// Computes ground truth then evaluates (convenience for one-off runs).
-pub fn evaluate(
-    search: impl FnMut(&[f32]) -> Vec<u32>,
-    ds: &Dataset,
-    k: usize,
-) -> (f64, f64, f64) {
+pub fn evaluate(search: impl FnMut(&[f32]) -> Vec<u32>, ds: &Dataset, k: usize) -> (f64, f64, f64) {
     let truth = vaq_dataset::exact_knn(&ds.data, &ds.queries, k);
     evaluate_with_truth(search, &ds.queries, &truth, k)
 }
@@ -154,12 +150,27 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+impl ToJson for MethodResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("method", self.method.to_json()),
+            ("dataset", self.dataset.to_json()),
+            ("code_bits", self.code_bits.to_json()),
+            ("recall", self.recall.to_json()),
+            ("map", self.map.to_json()),
+            ("query_secs", self.query_secs.to_json()),
+            ("train_secs", self.train_secs.to_json()),
+            ("params", self.params.to_json()),
+        ])
+    }
+}
+
 /// Writes results as pretty JSON under the output directory.
-pub fn write_json<T: Serialize>(out_dir: &Path, name: &str, value: &T) {
+pub fn write_json<T: ToJson>(out_dir: &Path, name: &str, value: &T) {
     std::fs::create_dir_all(out_dir).expect("create results dir");
     let path = out_dir.join(name);
     let mut f = std::fs::File::create(&path).expect("create results file");
-    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    let json = value.to_json().pretty();
     f.write_all(json.as_bytes()).expect("write results");
     println!("\n[results written to {}]", path.display());
 }
@@ -199,11 +210,8 @@ mod tests {
     fn evaluate_scores_perfect_searcher() {
         let ds = vaq_dataset::SyntheticSpec::deep_like().generate(100, 5, 1);
         let data = ds.data.clone();
-        let (recall, map, secs) = evaluate(
-            move |q| vaq_dataset::ground_truth::exact_knn_single(&data, q, 10),
-            &ds,
-            10,
-        );
+        let (recall, map, secs) =
+            evaluate(move |q| vaq_dataset::ground_truth::exact_knn_single(&data, q, 10), &ds, 10);
         assert_eq!(recall, 1.0);
         assert_eq!(map, 1.0);
         assert!(secs >= 0.0);

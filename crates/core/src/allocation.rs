@@ -336,12 +336,7 @@ fn check_subspace(s: usize, m: usize) -> Result<usize, VaqError> {
 /// Greedy marginal-gain allocation — provably optimal for this concave
 /// utility under a single budget constraint, used as a test oracle for
 /// the MILP and as a fast path when no extra constraints are present.
-pub fn greedy_allocation(
-    w: &[f64],
-    budget: usize,
-    min_bits: usize,
-    max_bits: usize,
-) -> Vec<usize> {
+pub fn greedy_allocation(w: &[f64], budget: usize, min_bits: usize, max_bits: usize) -> Vec<usize> {
     let m = w.len();
     let total_w: f64 = w.iter().map(|v| v.abs()).sum::<f64>().max(1e-12);
     let shares: Vec<f64> = w.iter().map(|v| v.abs() / total_w).collect();
@@ -384,8 +379,8 @@ mod tests {
     #[test]
     fn respects_budget_and_bounds() {
         for &(m, budget) in &[(8usize, 64usize), (16, 128), (32, 256), (4, 20)] {
-            let bits = allocate_bits(&steep(m), budget, 1, 13, AllocationStrategy::Adaptive)
-                .unwrap();
+            let bits =
+                allocate_bits(&steep(m), budget, 1, 13, AllocationStrategy::Adaptive).unwrap();
             assert_eq!(bits.iter().sum::<usize>(), budget, "m={m} B={budget}");
             assert!(bits.iter().all(|&b| (1..=13).contains(&b)), "{bits:?}");
         }
@@ -394,10 +389,7 @@ mod tests {
     #[test]
     fn skewed_shares_get_skewed_bits() {
         let bits = allocate_bits(&steep(8), 40, 1, 13, AllocationStrategy::Adaptive).unwrap();
-        assert!(
-            bits[0] > bits[7],
-            "most important subspace must get more bits: {bits:?}"
-        );
+        assert!(bits[0] > bits[7], "most important subspace must get more bits: {bits:?}");
         // Monotone non-increasing (C4 ordering).
         for w in bits.windows(2) {
             assert!(w[0] >= w[1], "{bits:?}");

@@ -10,7 +10,7 @@
 use crate::subspaces::SubspaceLayout;
 use crate::VaqError;
 use vaq_kmeans::{nearest_centroid, KMeans, KMeansConfig};
-use vaq_linalg::Matrix;
+use vaq_linalg::{squared_distances_into, Matrix, TableArena};
 
 /// Dictionary-size threshold beyond which hierarchical k-means is used
 /// (paper §III-D: "> 2^10").
@@ -154,16 +154,36 @@ impl Encoder {
         let p = prefix_subspaces.min(self.ranges.len());
         let dim = if p == 0 { 0 } else { self.ranges[p - 1].1 };
         let mut out = vec![0.0f32; dim];
-        for ((&(lo, hi), cb), &c) in
-            self.ranges[..p].iter().zip(self.codebooks.iter()).zip(code)
-        {
+        for ((&(lo, hi), cb), &c) in self.ranges[..p].iter().zip(self.codebooks.iter()).zip(code) {
             out[lo..hi].copy_from_slice(&cb.row(c as usize)[..hi - lo]);
         }
         out
     }
 
+    /// Per-subspace table sizes (dictionary row counts), i.e. the arena
+    /// layout for this encoder's ADC tables.
+    pub fn table_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.codebooks.iter().map(|cb| cb.rows())
+    }
+
+    /// Fills `arena` with per-subspace ADC lookup tables (squared
+    /// distances) for a projected query. The arena is re-shaped to this
+    /// encoder's layout first, which is free once it has seen it — the
+    /// steady-state batch path allocates nothing here.
+    pub fn fill_tables(&self, projected_query: &[f32], arena: &mut TableArena) {
+        arena.ensure_layout(self.table_sizes());
+        for (s, (&(lo, hi), cb)) in self.ranges.iter().zip(self.codebooks.iter()).enumerate() {
+            squared_distances_into(&projected_query[lo..hi], cb, arena.table_mut(s));
+        }
+    }
+
     /// Builds per-subspace ADC lookup tables (squared distances) for a
     /// projected query.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates one Vec per subspace per query; use `fill_tables` with a reusable \
+                `TableArena` (or go through `QueryEngine`) instead"
+    )]
     pub fn lookup_tables(&self, projected_query: &[f32]) -> Vec<Vec<f32>> {
         self.ranges
             .iter()
@@ -261,14 +281,15 @@ mod tests {
     }
 
     #[test]
-    fn lookup_tables_sizes_match_dictionaries() {
+    fn filled_arena_sizes_match_dictionaries() {
         let data = toy_projected(100, 12, 9);
         let l = layout(12, 3);
         let enc = Encoder::train(&data, &l, &[5, 3, 1], 10, 0).unwrap();
-        let t = enc.lookup_tables(data.row(0));
-        assert_eq!(t[0].len(), 32);
-        assert_eq!(t[1].len(), 8);
-        assert_eq!(t[2].len(), 2);
+        let mut arena = TableArena::new();
+        enc.fill_tables(data.row(0), &mut arena);
+        assert_eq!(arena.table(0).len(), 32);
+        assert_eq!(arena.table(1).len(), 8);
+        assert_eq!(arena.table(2).len(), 2);
     }
 
     #[test]
@@ -280,10 +301,26 @@ mod tests {
         let enc = Encoder::train(&data, &l, &[4, 3, 2], 10, 0).unwrap();
         let q = data.row(3);
         let code = enc.encode(data.row(40));
-        let tables = enc.lookup_tables(q);
-        let adc: f32 = tables.iter().zip(code.iter()).map(|(t, &c)| t[c as usize]).sum();
+        let mut arena = TableArena::new();
+        enc.fill_tables(q, &mut arena);
+        let adc: f32 = code.iter().enumerate().map(|(s, &c)| arena.lookup(s, c as usize)).sum();
         let direct = vaq_linalg::squared_euclidean(q, &enc.decode(&code));
         assert!((adc - direct).abs() < 1e-3 * direct.max(1.0));
+    }
+
+    #[test]
+    fn arena_matches_deprecated_nested_tables() {
+        let data = toy_projected(100, 12, 19);
+        let l = layout(12, 3);
+        let enc = Encoder::train(&data, &l, &[4, 3, 2], 10, 0).unwrap();
+        let q = data.row(7);
+        let mut arena = TableArena::new();
+        enc.fill_tables(q, &mut arena);
+        #[allow(deprecated)]
+        let nested = enc.lookup_tables(q);
+        for (s, table) in nested.iter().enumerate() {
+            assert_eq!(arena.table(s), table.as_slice(), "subspace {s}");
+        }
     }
 
     #[test]

@@ -1,0 +1,749 @@
+//! The shared ADC query engine (paper §III-E, Algorithm 4).
+//!
+//! Every ADC consumer in the workspace — flat VAQ, the IVF index, the PQ
+//! family baselines, and the IMI re-ranker — runs the same loop: build one
+//! lookup table per subspace, then accumulate per-code table entries under
+//! some pruning regime. This module factors that loop into two pieces:
+//!
+//! * [`IndexView`] — a borrowed, zero-copy description of an encoded
+//!   database: per-subspace dictionaries, column ranges, the flat `n × m`
+//!   code array, and an optional triangle-inequality partition.
+//! * [`QueryEngine`] — the reusable execution state: a flat
+//!   [`TableArena`] of lookup tables plus a default [`SearchStrategy`].
+//!   One engine answers any number of queries against any number of
+//!   views; after the first query of a given layout, the steady state
+//!   performs **zero** table allocations (observable through
+//!   [`SearchStats::table_reallocations`]).
+//!
+//! Distances: the scan accumulates *squared* Euclidean terms (that is what
+//! the tables store). `search*` take the final square root, matching
+//! Algorithm 4's `distance = sqrt(distance)`; the `*_squared` variants
+//! skip it for callers (PQ, IMI) whose public metric is squared Euclidean.
+
+use crate::encoder::Encoder;
+use crate::search::{Neighbor, SearchStats, SearchStrategy};
+use crate::ti::TiPartition;
+use std::collections::BinaryHeap;
+use vaq_linalg::{squared_distances_into, Matrix, TableArena};
+
+/// A borrowed view of an encoded database, sufficient to execute ADC
+/// queries against it. Cheap to copy; owns nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexView<'a> {
+    codebooks: &'a [Matrix],
+    ranges: &'a [(usize, usize)],
+    codes: &'a [u16],
+    n: usize,
+    ti: Option<&'a TiPartition>,
+}
+
+impl<'a> IndexView<'a> {
+    /// Views raw parts: one dictionary and one `(start, end)` column range
+    /// per subspace, plus the row-major `n × m` code array.
+    ///
+    /// # Panics
+    /// Panics if `codebooks` and `ranges` disagree in length or `codes` is
+    /// not exactly `n × m` entries.
+    pub fn new(
+        codebooks: &'a [Matrix],
+        ranges: &'a [(usize, usize)],
+        codes: &'a [u16],
+        n: usize,
+    ) -> IndexView<'a> {
+        assert_eq!(codebooks.len(), ranges.len(), "one codebook per subspace");
+        assert_eq!(codes.len(), n * ranges.len(), "codes must be n × m");
+        IndexView { codebooks, ranges, codes, n, ti: None }
+    }
+
+    /// Views a trained [`Encoder`] and its encoded database.
+    pub fn from_encoder(encoder: &'a Encoder, codes: &'a [u16], n: usize) -> IndexView<'a> {
+        IndexView::new(encoder.codebooks(), encoder.ranges(), codes, n)
+    }
+
+    /// Attaches (or detaches) a TI partition for data skipping.
+    pub fn with_ti(mut self, ti: Option<&'a TiPartition>) -> IndexView<'a> {
+        self.ti = ti;
+        self
+    }
+
+    /// Number of subspaces `m`.
+    pub fn num_subspaces(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Number of encoded vectors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The code word of database row `i`.
+    #[inline]
+    pub fn code(&self, i: usize) -> &'a [u16] {
+        let m = self.ranges.len();
+        &self.codes[i * m..(i + 1) * m]
+    }
+
+    /// The attached TI partition, if any.
+    pub fn ti(&self) -> Option<&'a TiPartition> {
+        self.ti
+    }
+
+    /// Per-subspace dictionaries.
+    pub fn codebooks(&self) -> &'a [Matrix] {
+        self.codebooks
+    }
+
+    /// Per-subspace column ranges.
+    pub fn ranges(&self) -> &'a [(usize, usize)] {
+        self.ranges
+    }
+
+    /// The arena layout of this view's lookup tables.
+    pub fn table_sizes(&self) -> impl Iterator<Item = usize> + 'a {
+        self.codebooks.iter().map(|cb| cb.rows())
+    }
+
+    /// Fills `arena` with this view's ADC tables for a projected query.
+    fn fill_tables(&self, projected_query: &[f32], arena: &mut TableArena) {
+        arena.ensure_layout(self.table_sizes());
+        for (s, (&(lo, hi), cb)) in self.ranges.iter().zip(self.codebooks.iter()).enumerate() {
+            squared_distances_into(&projected_query[lo..hi], cb, arena.table_mut(s));
+        }
+    }
+}
+
+/// Reusable ADC execution state: the lookup-table arena plus a default
+/// strategy. Create one per thread and reuse it across queries — the
+/// arena re-fills in place, so only the first query of a layout touches
+/// the heap.
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    arena: TableArena,
+    strategy: SearchStrategy,
+}
+
+impl Default for QueryEngine {
+    fn default() -> Self {
+        QueryEngine::new()
+    }
+}
+
+impl QueryEngine {
+    /// An empty engine defaulting to [`SearchStrategy::EarlyAbandon`]
+    /// (exact w.r.t. the ADC ranking, needs no TI partition).
+    pub fn new() -> QueryEngine {
+        QueryEngine { arena: TableArena::new(), strategy: SearchStrategy::EarlyAbandon }
+    }
+
+    /// An engine whose arena is pre-sized for `view`, so even the first
+    /// query allocates nothing.
+    pub fn for_view(view: &IndexView<'_>) -> QueryEngine {
+        let mut engine = QueryEngine::new();
+        engine.arena.ensure_layout(view.table_sizes());
+        engine
+    }
+
+    /// Overrides the default strategy used by [`QueryEngine::search`].
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> QueryEngine {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The default strategy.
+    pub fn strategy(&self) -> SearchStrategy {
+        self.strategy
+    }
+
+    /// Changes the default strategy in place.
+    pub fn set_strategy(&mut self, strategy: SearchStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The engine's table arena (tests and benches read its reallocation
+    /// counter; scans read prepared tables through it).
+    pub fn arena(&self) -> &TableArena {
+        &self.arena
+    }
+
+    /// Fills the arena with `view`'s ADC tables for a projected query.
+    /// Exposed for callers that consume the tables directly (quantized
+    /// scanners, prefix ablations) rather than through a full search.
+    pub fn prepare(&mut self, view: &IndexView<'_>, projected_query: &[f32]) {
+        view.fill_tables(projected_query, &mut self.arena);
+    }
+
+    /// Fills the arena with caller-defined tables (e.g. SDC
+    /// centroid-to-centroid distances): `fill(s, table_s)` per subspace.
+    pub fn prepare_with(
+        &mut self,
+        sizes: impl IntoIterator<Item = usize>,
+        fill: impl FnMut(usize, &mut [f32]),
+    ) {
+        self.arena.ensure_layout(sizes);
+        self.arena.fill_with(fill);
+    }
+
+    /// Searches with the engine's default strategy; unsquared distances.
+    pub fn search(
+        &mut self,
+        view: &IndexView<'_>,
+        projected_query: &[f32],
+        k: usize,
+    ) -> Vec<Neighbor> {
+        self.search_with(view, projected_query, k, self.strategy).0
+    }
+
+    /// Searches with an explicit strategy; unsquared (metric) distances.
+    pub fn search_with(
+        &mut self,
+        view: &IndexView<'_>,
+        projected_query: &[f32],
+        k: usize,
+        strategy: SearchStrategy,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let (mut out, stats) = self.search_squared(view, projected_query, k, strategy);
+        sqrt_distances(&mut out);
+        (out, stats)
+    }
+
+    /// Searches with an explicit strategy, keeping *squared* distances —
+    /// the PQ-family metric.
+    pub fn search_squared(
+        &mut self,
+        view: &IndexView<'_>,
+        projected_query: &[f32],
+        k: usize,
+        strategy: SearchStrategy,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let before = self.arena.reallocations();
+        self.prepare(view, projected_query);
+        let mut stats = SearchStats {
+            table_reallocations: self.arena.reallocations() - before,
+            ..SearchStats::default()
+        };
+        let n = view.len();
+        let k = k.max(1).min(n.max(1));
+        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
+
+        match strategy {
+            SearchStrategy::FullScan => {
+                let m = view.num_subspaces();
+                let flat = self.arena.as_slice();
+                let offsets = self.arena.offsets();
+                for i in 0..n {
+                    let code = view.code(i);
+                    let mut dist = 0.0f32;
+                    for (s, &c) in code.iter().enumerate() {
+                        dist += flat[offsets[s] + c as usize];
+                    }
+                    stats.vectors_visited += 1;
+                    stats.lookups += m;
+                    push_k(&mut heap, k, i as u32, dist);
+                }
+            }
+            SearchStrategy::EarlyAbandon => {
+                for i in 0..n {
+                    scan_one(view, &self.arena, i, &mut heap, k, &mut stats);
+                }
+            }
+            SearchStrategy::TiEa { visit_frac } => {
+                let Some(ti) = view.ti() else {
+                    // No partition built: degrade to EA over everything.
+                    for i in 0..n {
+                        scan_one(view, &self.arena, i, &mut heap, k, &mut stats);
+                    }
+                    return (collect_sorted(heap), stats);
+                };
+                let qd = ti.query_distances(projected_query);
+                let order = ti.visit_order(&qd);
+                let visit =
+                    ((visit_frac.clamp(0.0, 1.0) * order.len() as f64).ceil() as usize).max(1);
+                for &ci in order.iter().take(visit) {
+                    let ci = ci as usize;
+                    let members = ti.cluster(ci);
+                    // Current best-so-far in metric (unsquared) space.
+                    let bsf = current_threshold(&heap, k).sqrt();
+                    let (lo, hi) = ti.survivor_window(ci, qd[ci], bsf);
+                    stats.vectors_skipped += lo + (members.len() - hi);
+                    for mem in &members[lo..hi] {
+                        scan_one(view, &self.arena, mem.idx as usize, &mut heap, k, &mut stats);
+                    }
+                }
+                for &ci in order.iter().skip(visit) {
+                    stats.vectors_skipped += ti.cluster(ci as usize).len();
+                }
+            }
+        }
+        (collect_sorted(heap), stats)
+    }
+
+    /// Early-abandoned scan over an explicit id list (inverted lists,
+    /// candidate pools) with a threshold shared across the whole list;
+    /// unsquared distances.
+    pub fn search_ids(
+        &mut self,
+        view: &IndexView<'_>,
+        projected_query: &[f32],
+        ids: impl IntoIterator<Item = u32>,
+        k: usize,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let (mut out, stats) = self.search_ids_squared(view, projected_query, ids, k);
+        sqrt_distances(&mut out);
+        (out, stats)
+    }
+
+    /// Like [`QueryEngine::search_ids`] but keeping squared distances.
+    pub fn search_ids_squared(
+        &mut self,
+        view: &IndexView<'_>,
+        projected_query: &[f32],
+        ids: impl IntoIterator<Item = u32>,
+        k: usize,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let before = self.arena.reallocations();
+        self.prepare(view, projected_query);
+        let (out, mut stats) = self.scan_ids_prepared(view, ids, k);
+        (out, {
+            stats.table_reallocations = self.arena.reallocations() - before;
+            stats
+        })
+    }
+
+    /// Early-abandoned scan over `ids` using whatever tables are currently
+    /// in the arena ([`QueryEngine::prepare`] / `prepare_with` must have
+    /// run). Squared distances; EA is exact w.r.t. the table ranking.
+    pub fn scan_ids_prepared(
+        &self,
+        view: &IndexView<'_>,
+        ids: impl IntoIterator<Item = u32>,
+        k: usize,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let k = k.max(1).min(view.len().max(1));
+        let mut stats = SearchStats::default();
+        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
+        for id in ids {
+            scan_one(view, &self.arena, id as usize, &mut heap, k, &mut stats);
+        }
+        (collect_sorted(heap), stats)
+    }
+
+    /// Answers every row of `queries`, sharding across threads. Each
+    /// worker clones this engine once and reuses it for its whole shard,
+    /// so the steady state does no per-query table allocation. `project`
+    /// maps a raw query row into the view's (projected) space.
+    ///
+    /// Returns per-query neighbor lists plus the work counters summed over
+    /// the batch.
+    pub fn search_batch<F>(
+        &mut self,
+        view: &IndexView<'_>,
+        queries: &Matrix,
+        k: usize,
+        strategy: SearchStrategy,
+        project: F,
+    ) -> (Vec<Vec<Neighbor>>, SearchStats)
+    where
+        F: Fn(&[f32]) -> Vec<f32> + Sync,
+    {
+        let nq = queries.rows();
+        let workers =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(nq.max(1));
+        if workers <= 1 || nq < 4 {
+            let mut stats = SearchStats::default();
+            let out = (0..nq)
+                .map(|qi| {
+                    let projected = project(queries.row(qi));
+                    let (res, s) = self.search_with(view, &projected, k, strategy);
+                    stats += s;
+                    res
+                })
+                .collect();
+            return (out, stats);
+        }
+        let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+        let mut worker_stats: Vec<SearchStats> = vec![SearchStats::default(); workers];
+        let chunk = nq.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [Vec<Neighbor>] = &mut out;
+            let mut stats_rest: &mut [SearchStats] = &mut worker_stats;
+            let prototype = &*self;
+            let project = &project;
+            for w in 0..workers {
+                let start = w * chunk;
+                if start >= nq {
+                    break;
+                }
+                let len = chunk.min(nq - start);
+                let (mine, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let (my_stats, stats_tail) = stats_rest.split_at_mut(1);
+                stats_rest = stats_tail;
+                scope.spawn(move || {
+                    let mut engine = prototype.clone();
+                    for (j, slot) in mine.iter_mut().enumerate() {
+                        let projected = project(queries.row(start + j));
+                        let (res, s) = engine.search_with(view, &projected, k, strategy);
+                        my_stats[0] += s;
+                        *slot = res;
+                    }
+                });
+            }
+        });
+        let stats = worker_stats.into_iter().fold(SearchStats::default(), |a, b| a + b);
+        (out, stats)
+    }
+}
+
+/// Early-abandoned accumulation of one encoded vector against the arena.
+#[inline]
+fn scan_one(
+    view: &IndexView<'_>,
+    arena: &TableArena,
+    i: usize,
+    heap: &mut BinaryHeap<Neighbor>,
+    k: usize,
+    stats: &mut SearchStats,
+) {
+    let code = view.code(i);
+    let m = code.len();
+    let flat = arena.as_slice();
+    let offsets = arena.offsets();
+    let threshold = current_threshold(heap, k);
+    stats.vectors_visited += 1;
+    let mut dist = 0.0f32;
+    let mut s = 0usize;
+    while s < m {
+        dist += flat[offsets[s] + code[s] as usize];
+        s += 1;
+        if dist >= threshold {
+            stats.lookups += s;
+            stats.lookups_skipped += m - s;
+            return; // abandoned — cannot enter the top-k
+        }
+    }
+    stats.lookups += m;
+    push_k(heap, k, i as u32, dist);
+}
+
+/// Current pruning threshold: the k-th best squared distance so far, or
+/// `INFINITY` while the heap is still warming up (Algorithm 4 computes the
+/// first `K` candidates fully).
+#[inline]
+fn current_threshold(heap: &BinaryHeap<Neighbor>, k: usize) -> f32 {
+    if heap.len() < k {
+        f32::INFINITY
+    } else {
+        heap.peek().map(|n| n.distance).unwrap_or(f32::INFINITY)
+    }
+}
+
+#[inline]
+fn push_k(heap: &mut BinaryHeap<Neighbor>, k: usize, index: u32, dist: f32) {
+    if heap.len() < k {
+        heap.push(Neighbor { index, distance: dist });
+    } else if let Some(top) = heap.peek() {
+        if dist < top.distance {
+            heap.pop();
+            heap.push(Neighbor { index, distance: dist });
+        }
+    }
+}
+
+/// Drains the heap into a best-first sorted list (distances left as-is).
+fn collect_sorted(heap: BinaryHeap<Neighbor>) -> Vec<Neighbor> {
+    let mut out = heap.into_vec();
+    out.sort();
+    out
+}
+
+/// Algorithm 4's final `distance = sqrt(distance)` (monotone; preserves
+/// the order `collect_sorted` established).
+fn sqrt_distances(out: &mut [Neighbor]) {
+    for n in out.iter_mut() {
+        n.distance = n.distance.max(0.0).sqrt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subspaces::{SubspaceLayout, SubspaceMode};
+
+    fn setup(n: usize) -> (Matrix, Encoder, Vec<u16>, TiPartition) {
+        let d = 8;
+        let mut s = 21u64;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(d);
+            for j in 0..d {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = ((s >> 40) as f32 / (1u32 << 23) as f32) - 1.0;
+                row.push(v * 3.0 / (1.0 + j as f32));
+            }
+            rows.push(row);
+        }
+        let data = Matrix::from_rows(&rows);
+        let vars: Vec<f64> = (0..d).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let layout = SubspaceLayout::build(&vars, 4, SubspaceMode::Uniform, false, 0).unwrap();
+        let enc = Encoder::train(&data, &layout, &[5, 4, 3, 2], 15, 0).unwrap();
+        let codes = enc.encode_all(&data);
+        let ti = TiPartition::build(&enc, &codes, n, 16, 2, 1).unwrap();
+        (data, enc, codes, ti)
+    }
+
+    #[test]
+    fn ea_returns_identical_results_to_full_scan() {
+        let (data, enc, codes, _) = setup(600);
+        let view = IndexView::from_encoder(&enc, &codes, 600);
+        let mut engine = QueryEngine::for_view(&view);
+        for qi in [0usize, 100, 399] {
+            let q = data.row(qi);
+            let (full, _) = engine.search_with(&view, q, 10, SearchStrategy::FullScan);
+            let (ea, _) = engine.search_with(&view, q, 10, SearchStrategy::EarlyAbandon);
+            assert_eq!(
+                full.iter().map(|n| n.index).collect::<Vec<_>>(),
+                ea.iter().map(|n| n.index).collect::<Vec<_>>(),
+                "query {qi}"
+            );
+            for (a, b) in full.iter().zip(ea.iter()) {
+                assert!((a.distance - b.distance).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn ti_with_full_visit_matches_full_scan() {
+        // Visiting 100% of clusters keeps TI pruning exact.
+        let (data, enc, codes, ti) = setup(500);
+        let view = IndexView::from_encoder(&enc, &codes, 500).with_ti(Some(&ti));
+        let mut engine = QueryEngine::for_view(&view);
+        for qi in [3usize, 250] {
+            let q = data.row(qi);
+            let (full, _) = engine.search_with(&view, q, 10, SearchStrategy::FullScan);
+            let (tiea, _) =
+                engine.search_with(&view, q, 10, SearchStrategy::TiEa { visit_frac: 1.0 });
+            assert_eq!(
+                full.iter().map(|n| n.index).collect::<Vec<_>>(),
+                tiea.iter().map(|n| n.index).collect::<Vec<_>>(),
+                "query {qi}"
+            );
+        }
+    }
+
+    #[test]
+    fn ea_skips_lookups() {
+        let (data, enc, codes, _) = setup(800);
+        let view = IndexView::from_encoder(&enc, &codes, 800);
+        let mut engine = QueryEngine::for_view(&view);
+        let q = data.row(1);
+        let (_, full_stats) = engine.search_with(&view, q, 5, SearchStrategy::FullScan);
+        let (_, ea_stats) = engine.search_with(&view, q, 5, SearchStrategy::EarlyAbandon);
+        assert_eq!(full_stats.lookups, 800 * 4);
+        assert!(ea_stats.lookups < full_stats.lookups, "EA did not skip any lookups");
+        assert_eq!(ea_stats.lookups + ea_stats.lookups_skipped, 800 * 4);
+    }
+
+    #[test]
+    fn ti_skips_vectors() {
+        let (data, enc, codes, ti) = setup(800);
+        let view = IndexView::from_encoder(&enc, &codes, 800).with_ti(Some(&ti));
+        let mut engine = QueryEngine::for_view(&view);
+        let (_, stats) =
+            engine.search_with(&view, data.row(2), 5, SearchStrategy::TiEa { visit_frac: 0.25 });
+        assert!(stats.vectors_skipped > 0, "TI skipped nothing");
+        assert_eq!(stats.vectors_visited + stats.vectors_skipped, 800);
+    }
+
+    #[test]
+    fn partial_visit_recall_degrades_gracefully() {
+        // Visiting 25% of clusters must still recover most of the exact
+        // ADC top-10 (clusters are visited nearest-first).
+        let (data, enc, codes, ti) = setup(1000);
+        let view = IndexView::from_encoder(&enc, &codes, 1000).with_ti(Some(&ti));
+        let mut engine = QueryEngine::for_view(&view);
+        let mut overlap_sum = 0.0;
+        let queries = [0usize, 123, 456, 789];
+        for &qi in &queries {
+            let q = data.row(qi);
+            let (full, _) = engine.search_with(&view, q, 10, SearchStrategy::FullScan);
+            let (tiea, _) =
+                engine.search_with(&view, q, 10, SearchStrategy::TiEa { visit_frac: 0.25 });
+            let full_set: std::collections::HashSet<u32> = full.iter().map(|n| n.index).collect();
+            let overlap = tiea.iter().filter(|n| full_set.contains(&n.index)).count() as f64 / 10.0;
+            overlap_sum += overlap;
+        }
+        let mean = overlap_sum / queries.len() as f64;
+        assert!(mean > 0.5, "25% visit overlap too low: {mean}");
+    }
+
+    #[test]
+    fn missing_partition_degrades_to_ea() {
+        let (data, enc, codes, _) = setup(300);
+        let view = IndexView::from_encoder(&enc, &codes, 300);
+        let mut engine = QueryEngine::for_view(&view);
+        let q = data.row(0);
+        let (a, _) = engine.search_with(&view, q, 10, SearchStrategy::TiEa { visit_frac: 0.25 });
+        let (b, _) = engine.search_with(&view, q, 10, SearchStrategy::EarlyAbandon);
+        assert_eq!(
+            a.iter().map(|n| n.index).collect::<Vec<_>>(),
+            b.iter().map(|n| n.index).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn distances_are_sqrt_and_sorted() {
+        let (data, enc, codes, _) = setup(200);
+        let view = IndexView::from_encoder(&enc, &codes, 200);
+        let mut engine = QueryEngine::for_view(&view);
+        let (res, _) = engine.search_with(&view, data.row(9), 15, SearchStrategy::FullScan);
+        assert_eq!(res.len(), 15);
+        for w in res.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        // A vector queried against itself has near-zero reconstructed
+        // distance — certainly below the raw squared scale.
+        assert!(res[0].distance < 3.0);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_n() {
+        let (data, enc, codes, _) = setup(50);
+        let view = IndexView::from_encoder(&enc, &codes, 50);
+        let mut engine = QueryEngine::for_view(&view);
+        let (res, _) = engine.search_with(&view, data.row(0), 500, SearchStrategy::FullScan);
+        assert_eq!(res.len(), 50);
+    }
+
+    #[test]
+    fn squared_variant_is_square_of_metric_variant() {
+        let (data, enc, codes, _) = setup(150);
+        let view = IndexView::from_encoder(&enc, &codes, 150);
+        let mut engine = QueryEngine::for_view(&view);
+        let q = data.row(4);
+        let (metric, _) = engine.search_with(&view, q, 8, SearchStrategy::FullScan);
+        let (squared, _) = engine.search_squared(&view, q, 8, SearchStrategy::FullScan);
+        for (a, b) in metric.iter().zip(squared.iter()) {
+            assert_eq!(a.index, b.index);
+            assert!((a.distance * a.distance - b.distance).abs() < 1e-3 * b.distance.max(1.0));
+        }
+    }
+
+    #[test]
+    fn id_scan_matches_restricted_full_scan() {
+        let (data, enc, codes, _) = setup(400);
+        let view = IndexView::from_encoder(&enc, &codes, 400);
+        let mut engine = QueryEngine::for_view(&view);
+        let q = data.row(11);
+        let ids: Vec<u32> = (0..400u32).filter(|i| i % 3 == 0).collect();
+        let (got, stats) = engine.search_ids_squared(&view, q, ids.iter().copied(), 10);
+        // Reference: exhaustive table accumulation over the same ids.
+        engine.prepare(&view, q);
+        let mut want: Vec<Neighbor> = ids
+            .iter()
+            .map(|&i| {
+                let dist: f32 = view
+                    .code(i as usize)
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &c)| engine.arena().lookup(s, c as usize))
+                    .sum();
+                Neighbor { index: i, distance: dist }
+            })
+            .collect();
+        want.sort();
+        want.truncate(10);
+        assert_eq!(
+            got.iter().map(|n| n.index).collect::<Vec<_>>(),
+            want.iter().map(|n| n.index).collect::<Vec<_>>()
+        );
+        assert_eq!(stats.vectors_visited, ids.len());
+    }
+
+    #[test]
+    fn steady_state_reallocates_nothing() {
+        let (data, enc, codes, ti) = setup(300);
+        let view = IndexView::from_encoder(&enc, &codes, 300).with_ti(Some(&ti));
+        let mut engine = QueryEngine::for_view(&view);
+        let baseline = engine.arena().reallocations();
+        let mut realloc_reports = 0usize;
+        for qi in 0..50 {
+            for strategy in [
+                SearchStrategy::FullScan,
+                SearchStrategy::EarlyAbandon,
+                SearchStrategy::TiEa { visit_frac: 0.5 },
+            ] {
+                let (_, stats) = engine.search_with(&view, data.row(qi % 300), 5, strategy);
+                realloc_reports += stats.table_reallocations;
+            }
+        }
+        assert_eq!(engine.arena().reallocations(), baseline, "arena grew in steady state");
+        assert_eq!(realloc_reports, 0, "stats reported phantom reallocations");
+    }
+
+    #[test]
+    fn one_engine_serves_views_with_different_layouts() {
+        let (data, enc, codes, _) = setup(200);
+        let view = IndexView::from_encoder(&enc, &codes, 200);
+        // A second encoder with a different dictionary layout.
+        let vars: Vec<f64> = (0..8).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let layout = SubspaceLayout::build(&vars, 2, SubspaceMode::Uniform, false, 0).unwrap();
+        let enc2 = Encoder::train(&data, &layout, &[6, 3], 10, 0).unwrap();
+        let codes2 = enc2.encode_all(&data);
+        let view2 = IndexView::from_encoder(&enc2, &codes2, 200);
+        let mut engine = QueryEngine::new();
+        let q = data.row(0);
+        let (a, _) = engine.search_with(&view, q, 5, SearchStrategy::EarlyAbandon);
+        let (b, _) = engine.search_with(&view2, q, 5, SearchStrategy::EarlyAbandon);
+        let (a2, _) = engine.search_with(&view, q, 5, SearchStrategy::EarlyAbandon);
+        assert_eq!(a, a2, "alternating layouts corrupted results");
+        assert_eq!(a.len(), 5);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_sums_stats() {
+        let (data, enc, codes, ti) = setup(500);
+        let view = IndexView::from_encoder(&enc, &codes, 500).with_ti(Some(&ti));
+        let queries =
+            Matrix::from_rows(&(0..20).map(|i| data.row(i * 7).to_vec()).collect::<Vec<_>>());
+        let strategy = SearchStrategy::TiEa { visit_frac: 0.5 };
+        let mut engine = QueryEngine::for_view(&view);
+        let (batch, batch_stats) =
+            engine.search_batch(&view, &queries, 6, strategy, |q| q.to_vec());
+        let mut seq_stats = SearchStats::default();
+        for qi in 0..queries.rows() {
+            let (res, s) = engine.search_with(&view, queries.row(qi), 6, strategy);
+            seq_stats += s;
+            assert_eq!(batch[qi], res, "query {qi}");
+        }
+        assert_eq!(batch_stats.vectors_visited, seq_stats.vectors_visited);
+        assert_eq!(batch_stats.vectors_skipped, seq_stats.vectors_skipped);
+        assert_eq!(batch_stats.lookups, seq_stats.lookups);
+        assert_eq!(batch_stats.lookups_skipped, seq_stats.lookups_skipped);
+        // Workers clone a pre-sized arena: the batch allocates no tables.
+        assert_eq!(batch_stats.table_reallocations, 0);
+    }
+
+    #[test]
+    fn prepared_custom_tables_drive_id_scans() {
+        // SDC-style: caller fills the arena itself, then scans.
+        let (data, enc, codes, _) = setup(100);
+        let view = IndexView::from_encoder(&enc, &codes, 100);
+        let mut engine = QueryEngine::new();
+        let q = data.row(8);
+        engine.prepare(&view, q);
+        let (via_prepare, _) = engine.scan_ids_prepared(&view, 0..100u32, 10);
+        let sizes: Vec<usize> = view.table_sizes().collect();
+        engine.prepare_with(sizes, |s, table| {
+            let (lo, hi) = view.ranges()[s];
+            squared_distances_into(&q[lo..hi], &view.codebooks()[s], table);
+        });
+        let (via_custom, _) = engine.scan_ids_prepared(&view, 0..100u32, 10);
+        assert_eq!(via_prepare, via_custom);
+    }
+}

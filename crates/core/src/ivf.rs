@@ -17,11 +17,11 @@
 //! quantizer is a single k-means in the importance-ordered projected
 //! space, so cell geometry aligns with the query distances VAQ computes.
 
+use crate::engine::{IndexView, QueryEngine};
 use crate::search::{Neighbor, SearchStats};
 use crate::vaq::{Vaq, VaqConfig};
 use crate::VaqError;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use vaq_kmeans::{KMeans, KMeansConfig};
 use vaq_linalg::Matrix;
 
@@ -80,8 +80,7 @@ impl VaqIvf {
         let km = KMeansConfig::new(cfg.coarse_cells.min(data.rows()))
             .with_seed(inner_cfg.seed ^ 0x1AF)
             .with_max_iters(cfg.coarse_iters);
-        let model =
-            KMeans::fit(&projected, &km).map_err(|e| VaqError::Numeric(e.to_string()))?;
+        let model = KMeans::fit(&projected, &km).map_err(|e| VaqError::Numeric(e.to_string()))?;
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); model.k()];
         for (i, &c) in model.assignments.iter().enumerate() {
             lists[c as usize].push(i as u32);
@@ -109,23 +108,49 @@ impl VaqIvf {
         &self.vaq
     }
 
+    /// A borrowed [`IndexView`] of the encoded database (the coarse lists
+    /// address rows of the same code array flat VAQ scans).
+    pub fn view(&self) -> IndexView<'_> {
+        self.vaq.view()
+    }
+
+    /// A [`QueryEngine`] pre-sized for this index.
+    pub fn engine(&self) -> QueryEngine {
+        QueryEngine::for_view(&self.view())
+    }
+
     /// Searches with the default probe count.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         self.search_nprobe(query, k, self.nprobe).0
     }
 
     /// Searches probing the `nprobe` nearest cells; returns work counters.
+    ///
+    /// Convenience wrapper that builds a fresh engine per call; query
+    /// loops should hold a [`VaqIvf::engine`] and use
+    /// [`VaqIvf::search_nprobe_in`].
     pub fn search_nprobe(
         &self,
         query: &[f32],
         k: usize,
         nprobe: usize,
     ) -> (Vec<Neighbor>, SearchStats) {
+        let mut engine = self.engine();
+        self.search_nprobe_in(&mut engine, query, k, nprobe)
+    }
+
+    /// Searches through a caller-held engine: one table fill, then one
+    /// early-abandoned scan over the probed cells' concatenated lists
+    /// (the threshold is shared across cells, exactly like the flat scan).
+    pub fn search_nprobe_in(
+        &self,
+        engine: &mut QueryEngine,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+    ) -> (Vec<Neighbor>, SearchStats) {
         let projected = self.vaq.project_query(query);
-        let tables = self.vaq.encoder.lookup_tables(&projected);
-        let m = self.vaq.encoder.num_subspaces();
-        let k = k.max(1).min(self.vaq.len().max(1));
-        let mut stats = SearchStats::default();
+        let view = self.view();
 
         // Order cells by centroid distance.
         let mut order: Vec<(f32, u32)> = self
@@ -136,53 +161,15 @@ impl VaqIvf {
             .collect();
         order.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
 
-        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
-        for &(_, cell) in order.iter().take(nprobe.max(1)) {
-            for &id in &self.lists[cell as usize] {
-                let i = id as usize;
-                let code = &self.vaq.codes[i * m..(i + 1) * m];
-                let threshold = if heap.len() < k {
-                    f32::INFINITY
-                } else {
-                    heap.peek().map(|n| n.distance).unwrap_or(f32::INFINITY)
-                };
-                stats.vectors_visited += 1;
-                let mut dist = 0.0f32;
-                let mut s = 0usize;
-                let mut abandoned = false;
-                while s < m {
-                    dist += tables[s][code[s] as usize];
-                    s += 1;
-                    if dist >= threshold {
-                        abandoned = true;
-                        break;
-                    }
-                }
-                stats.lookups += s;
-                stats.lookups_skipped += m - s;
-                if abandoned {
-                    continue;
-                }
-                if heap.len() < k {
-                    heap.push(Neighbor { index: id, distance: dist });
-                } else if let Some(top) = heap.peek() {
-                    if dist < top.distance {
-                        heap.pop();
-                        heap.push(Neighbor { index: id, distance: dist });
-                    }
-                }
-            }
-        }
-        for &(_, cell) in order.iter().skip(nprobe.max(1)) {
+        let probe = nprobe.max(1);
+        let ids = order
+            .iter()
+            .take(probe)
+            .flat_map(|&(_, cell)| self.lists[cell as usize].iter().copied());
+        let (out, mut stats) = engine.search_ids(&view, &projected, ids, k);
+        for &(_, cell) in order.iter().skip(probe) {
             stats.vectors_skipped += self.lists[cell as usize].len();
         }
-
-        let mut out: Vec<Neighbor> = heap
-            .into_vec()
-            .into_iter()
-            .map(|n| Neighbor { index: n.index, distance: n.distance.max(0.0).sqrt() })
-            .collect();
-        out.sort();
         (out, stats)
     }
 }
@@ -216,10 +203,7 @@ mod tests {
         let ivf = VaqIvf::train(&ds.data, &config()).unwrap();
         for q in 0..ds.queries.rows() {
             let (ivf_res, _) = ivf.search_nprobe(ds.queries.row(q), 10, ivf.num_cells());
-            let flat = ivf
-                .inner()
-                .search_with(ds.queries.row(q), 10, SearchStrategy::FullScan)
-                .0;
+            let flat = ivf.inner().search_with(ds.queries.row(q), 10, SearchStrategy::FullScan).0;
             assert_eq!(
                 ivf_res.iter().map(|n| n.index).collect::<Vec<_>>(),
                 flat.iter().map(|n| n.index).collect::<Vec<_>>(),

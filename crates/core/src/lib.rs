@@ -47,8 +47,10 @@
 
 pub mod allocation;
 pub mod encoder;
+pub mod engine;
 pub mod ivf;
 pub mod persist;
+pub mod pipeline;
 pub mod search;
 pub mod subspaces;
 pub mod ti;
@@ -58,9 +60,11 @@ pub use allocation::{
     allocate_bits, allocate_bits_constrained, greedy_allocation, AllocationConstraint,
     AllocationStrategy,
 };
-pub use search::{Neighbor, SearchStrategy};
-pub use subspaces::{SubspaceLayout, SubspaceMode};
+pub use engine::{IndexView, QueryEngine};
 pub use ivf::{VaqIvf, VaqIvfConfig};
+pub use pipeline::{BitPlan, DictionaryStage, SubspacePlan, VarPcaStage};
+pub use search::{Neighbor, SearchStats, SearchStrategy};
+pub use subspaces::{SubspaceLayout, SubspaceMode};
 pub use vaq::{Vaq, VaqConfig};
 
 use std::fmt;

@@ -1,4 +1,8 @@
-//! Query execution (paper §III-E, Algorithm 4).
+//! Query-execution vocabulary types (paper §III-E, Algorithm 4).
+//!
+//! The execution loop itself lives in [`crate::engine`]; this module keeps
+//! the types it speaks — results, strategies, and work counters — plus a
+//! deprecated free-function shim for callers of the old API.
 //!
 //! Three strategies, composable exactly as the Figure 7 ablation studies
 //! them:
@@ -19,9 +23,10 @@
 //!   approximation knob the paper tunes (25% / 10%).
 
 use crate::encoder::Encoder;
+use crate::engine::{IndexView, QueryEngine};
 use crate::ti::TiPartition;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::ops::{Add, AddAssign};
 
 /// One search result: database row and *unsquared* approximate (ADC)
 /// distance, as Algorithm 4 reports (`distance = sqrt(distance)`).
@@ -66,6 +71,9 @@ pub enum SearchStrategy {
 
 /// Counters describing how much work a query did — used by the Figure 7
 /// pruning ablation and by tests asserting that pruning actually prunes.
+///
+/// Stats are additive: summing the per-query stats of a batch (via `+` /
+/// `+=`) yields the batch totals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Encoded vectors whose distance accumulation started.
@@ -77,6 +85,28 @@ pub struct SearchStats {
     pub lookups: usize,
     /// Lookups avoided by early abandoning (subspaces not accumulated).
     pub lookups_skipped: usize,
+    /// Times the lookup-table arena had to grow while preparing this
+    /// query's tables. Zero in the steady state — the batch path asserts
+    /// on this to prove per-query table allocation is gone.
+    pub table_reallocations: usize,
+}
+
+impl AddAssign for SearchStats {
+    fn add_assign(&mut self, rhs: SearchStats) {
+        self.vectors_visited += rhs.vectors_visited;
+        self.vectors_skipped += rhs.vectors_skipped;
+        self.lookups += rhs.lookups;
+        self.lookups_skipped += rhs.lookups_skipped;
+        self.table_reallocations += rhs.table_reallocations;
+    }
+}
+
+impl Add for SearchStats {
+    type Output = SearchStats;
+    fn add(mut self, rhs: SearchStats) -> SearchStats {
+        self += rhs;
+        self
+    }
 }
 
 /// Executes a query against the encoded database.
@@ -84,6 +114,11 @@ pub struct SearchStats {
 /// `projected_query` must already be in VAQ's permuted PC space. `codes`
 /// is the `n × m` code array. Returns up to `k` neighbors, best first,
 /// plus work counters.
+#[deprecated(
+    since = "0.2.0",
+    note = "builds a throwaway lookup-table arena per call; hold a \
+            `QueryEngine` and search through an `IndexView` instead"
+)]
 pub fn execute(
     encoder: &Encoder,
     codes: &[u16],
@@ -93,299 +128,52 @@ pub fn execute(
     k: usize,
     strategy: SearchStrategy,
 ) -> (Vec<Neighbor>, SearchStats) {
-    let tables = encoder.lookup_tables(projected_query);
-    let m = encoder.num_subspaces();
-    let k = k.max(1).min(n.max(1));
-    let mut stats = SearchStats::default();
-    // The heap stores *squared* accumulated distances; square roots are
-    // taken once at the end (monotone, so the ranking is unchanged).
-    let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
-
-    match strategy {
-        SearchStrategy::FullScan => {
-            for i in 0..n {
-                let code = &codes[i * m..(i + 1) * m];
-                let mut dist = 0.0f32;
-                for (t, &c) in tables.iter().zip(code.iter()) {
-                    dist += t[c as usize];
-                }
-                stats.vectors_visited += 1;
-                stats.lookups += m;
-                push_k(&mut heap, k, i as u32, dist);
-            }
-        }
-        SearchStrategy::EarlyAbandon => {
-            for i in 0..n {
-                scan_one(codes, m, &tables, i, &mut heap, k, &mut stats);
-            }
-        }
-        SearchStrategy::TiEa { visit_frac } => {
-            let Some(ti) = ti else {
-                // No partition built: degrade to EA over everything.
-                for i in 0..n {
-                    scan_one(codes, m, &tables, i, &mut heap, k, &mut stats);
-                }
-                let out = finish(heap);
-                return (out, stats);
-            };
-            let qd = ti.query_distances(projected_query);
-            let order = ti.visit_order(&qd);
-            let visit =
-                ((visit_frac.clamp(0.0, 1.0) * order.len() as f64).ceil() as usize).max(1);
-            for &ci in order.iter().take(visit) {
-                let ci = ci as usize;
-                let members = ti.cluster(ci);
-                // Current best-so-far in metric (unsquared) space.
-                let bsf = current_threshold(&heap, k).sqrt();
-                let (lo, hi) = ti.survivor_window(ci, qd[ci], bsf);
-                stats.vectors_skipped += lo + (members.len() - hi);
-                for mem in &members[lo..hi] {
-                    scan_one(codes, m, &tables, mem.idx as usize, &mut heap, k, &mut stats);
-                }
-            }
-            for &ci in order.iter().skip(visit) {
-                stats.vectors_skipped += ti.cluster(ci as usize).len();
-            }
-        }
-    }
-    (finish(heap), stats)
-}
-
-/// Early-abandoned accumulation of one encoded vector.
-#[inline]
-fn scan_one(
-    codes: &[u16],
-    m: usize,
-    tables: &[Vec<f32>],
-    i: usize,
-    heap: &mut BinaryHeap<Neighbor>,
-    k: usize,
-    stats: &mut SearchStats,
-) {
-    let code = &codes[i * m..(i + 1) * m];
-    let threshold = current_threshold(heap, k);
-    stats.vectors_visited += 1;
-    let mut dist = 0.0f32;
-    let mut s = 0usize;
-    while s < m {
-        dist += tables[s][code[s] as usize];
-        s += 1;
-        if dist >= threshold {
-            stats.lookups += s;
-            stats.lookups_skipped += m - s;
-            return; // abandoned — cannot enter the top-k
-        }
-    }
-    stats.lookups += m;
-    push_k(heap, k, i as u32, dist);
-}
-
-/// Current pruning threshold: the k-th best squared distance so far, or
-/// `INFINITY` while the heap is still warming up (Algorithm 4 computes the
-/// first `K` candidates fully).
-#[inline]
-fn current_threshold(heap: &BinaryHeap<Neighbor>, k: usize) -> f32 {
-    if heap.len() < k {
-        f32::INFINITY
-    } else {
-        heap.peek().map(|n| n.distance).unwrap_or(f32::INFINITY)
-    }
-}
-
-#[inline]
-fn push_k(heap: &mut BinaryHeap<Neighbor>, k: usize, index: u32, dist: f32) {
-    if heap.len() < k {
-        heap.push(Neighbor { index, distance: dist });
-    } else if let Some(top) = heap.peek() {
-        if dist < top.distance {
-            heap.pop();
-            heap.push(Neighbor { index, distance: dist });
-        }
-    }
-}
-
-fn finish(heap: BinaryHeap<Neighbor>) -> Vec<Neighbor> {
-    let mut out: Vec<Neighbor> = heap
-        .into_vec()
-        .into_iter()
-        .map(|n| Neighbor { index: n.index, distance: n.distance.max(0.0).sqrt() })
-        .collect();
-    out.sort();
-    out
+    let view = IndexView::from_encoder(encoder, codes, n).with_ti(ti);
+    QueryEngine::for_view(&view).search_with(&view, projected_query, k, strategy)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::subspaces::{SubspaceLayout, SubspaceMode};
-    use vaq_linalg::Matrix;
 
-    fn setup(n: usize) -> (Matrix, Encoder, Vec<u16>, TiPartition) {
-        let d = 8;
-        let mut s = 21u64;
-        let mut rows = Vec::with_capacity(n);
-        for _ in 0..n {
-            let mut row = Vec::with_capacity(d);
-            for j in 0..d {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                let v = ((s >> 40) as f32 / (1u32 << 23) as f32) - 1.0;
-                row.push(v * 3.0 / (1.0 + j as f32));
-            }
-            rows.push(row);
-        }
-        let data = Matrix::from_rows(&rows);
-        let vars: Vec<f64> = (0..d).map(|i| 1.0 / (1.0 + i as f64)).collect();
-        let layout = SubspaceLayout::build(&vars, 4, SubspaceMode::Uniform, false, 0).unwrap();
-        let enc = Encoder::train(&data, &layout, &[5, 4, 3, 2], 15, 0).unwrap();
-        let codes = enc.encode_all(&data);
-        let ti = TiPartition::build(&enc, &codes, n, 16, 2, 1).unwrap();
-        (data, enc, codes, ti)
+    #[test]
+    fn neighbors_order_by_distance_then_index() {
+        let a = Neighbor { index: 3, distance: 1.0 };
+        let b = Neighbor { index: 1, distance: 2.0 };
+        let c = Neighbor { index: 0, distance: 1.0 };
+        let mut v = vec![b, a, c];
+        v.sort();
+        assert_eq!(v, vec![c, a, b]);
     }
 
     #[test]
-    fn ea_returns_identical_results_to_full_scan() {
-        let (data, enc, codes, _) = setup(600);
-        for qi in [0usize, 100, 399] {
-            let q = data.row(qi);
-            let (full, _) =
-                execute(&enc, &codes, 600, None, q, 10, SearchStrategy::FullScan);
-            let (ea, _) =
-                execute(&enc, &codes, 600, None, q, 10, SearchStrategy::EarlyAbandon);
-            assert_eq!(
-                full.iter().map(|n| n.index).collect::<Vec<_>>(),
-                ea.iter().map(|n| n.index).collect::<Vec<_>>(),
-                "query {qi}"
-            );
-            for (a, b) in full.iter().zip(ea.iter()) {
-                assert!((a.distance - b.distance).abs() < 1e-5);
-            }
-        }
-    }
-
-    #[test]
-    fn ti_with_full_visit_matches_full_scan() {
-        // Visiting 100% of clusters keeps TI pruning exact.
-        let (data, enc, codes, ti) = setup(500);
-        for qi in [3usize, 250] {
-            let q = data.row(qi);
-            let (full, _) =
-                execute(&enc, &codes, 500, None, q, 10, SearchStrategy::FullScan);
-            let (tiea, _) = execute(
-                &enc,
-                &codes,
-                500,
-                Some(&ti),
-                q,
-                10,
-                SearchStrategy::TiEa { visit_frac: 1.0 },
-            );
-            assert_eq!(
-                full.iter().map(|n| n.index).collect::<Vec<_>>(),
-                tiea.iter().map(|n| n.index).collect::<Vec<_>>(),
-                "query {qi}"
-            );
-        }
-    }
-
-    #[test]
-    fn ea_skips_lookups() {
-        let (data, enc, codes, _) = setup(800);
-        let q = data.row(1);
-        let (_, full_stats) =
-            execute(&enc, &codes, 800, None, q, 5, SearchStrategy::FullScan);
-        let (_, ea_stats) =
-            execute(&enc, &codes, 800, None, q, 5, SearchStrategy::EarlyAbandon);
-        assert_eq!(full_stats.lookups, 800 * 4);
-        assert!(ea_stats.lookups < full_stats.lookups, "EA did not skip any lookups");
-        assert_eq!(ea_stats.lookups + ea_stats.lookups_skipped, 800 * 4);
-    }
-
-    #[test]
-    fn ti_skips_vectors() {
-        let (data, enc, codes, ti) = setup(800);
-        let q = data.row(2);
-        let (_, stats) = execute(
-            &enc,
-            &codes,
-            800,
-            Some(&ti),
-            q,
-            5,
-            SearchStrategy::TiEa { visit_frac: 0.25 },
-        );
-        assert!(stats.vectors_skipped > 0, "TI skipped nothing");
-        assert_eq!(stats.vectors_visited + stats.vectors_skipped, 800);
-    }
-
-    #[test]
-    fn partial_visit_recall_degrades_gracefully() {
-        // Visiting 25% of clusters must still recover most of the exact
-        // ADC top-10 (clusters are visited nearest-first).
-        let (data, enc, codes, ti) = setup(1000);
-        let mut overlap_sum = 0.0;
-        let queries = [0usize, 123, 456, 789];
-        for &qi in &queries {
-            let q = data.row(qi);
-            let (full, _) =
-                execute(&enc, &codes, 1000, None, q, 10, SearchStrategy::FullScan);
-            let (tiea, _) = execute(
-                &enc,
-                &codes,
-                1000,
-                Some(&ti),
-                q,
-                10,
-                SearchStrategy::TiEa { visit_frac: 0.25 },
-            );
-            let full_set: std::collections::HashSet<u32> =
-                full.iter().map(|n| n.index).collect();
-            let overlap =
-                tiea.iter().filter(|n| full_set.contains(&n.index)).count() as f64 / 10.0;
-            overlap_sum += overlap;
-        }
-        let mean = overlap_sum / queries.len() as f64;
-        assert!(mean > 0.5, "25% visit overlap too low: {mean}");
-    }
-
-    #[test]
-    fn missing_partition_degrades_to_ea() {
-        let (data, enc, codes, _) = setup(300);
-        let q = data.row(0);
-        let (a, _) = execute(
-            &enc,
-            &codes,
-            300,
-            None,
-            q,
-            10,
-            SearchStrategy::TiEa { visit_frac: 0.25 },
-        );
-        let (b, _) = execute(&enc, &codes, 300, None, q, 10, SearchStrategy::EarlyAbandon);
+    fn stats_sum_component_wise() {
+        let a = SearchStats {
+            vectors_visited: 1,
+            vectors_skipped: 2,
+            lookups: 3,
+            lookups_skipped: 4,
+            table_reallocations: 1,
+        };
+        let b = SearchStats {
+            vectors_visited: 10,
+            vectors_skipped: 20,
+            lookups: 30,
+            lookups_skipped: 40,
+            table_reallocations: 0,
+        };
+        let mut acc = SearchStats::default();
+        acc += a;
+        let sum = acc + b;
         assert_eq!(
-            a.iter().map(|n| n.index).collect::<Vec<_>>(),
-            b.iter().map(|n| n.index).collect::<Vec<_>>()
+            sum,
+            SearchStats {
+                vectors_visited: 11,
+                vectors_skipped: 22,
+                lookups: 33,
+                lookups_skipped: 44,
+                table_reallocations: 1,
+            }
         );
-    }
-
-    #[test]
-    fn distances_are_sqrt_and_sorted() {
-        let (data, enc, codes, _) = setup(200);
-        let (res, _) =
-            execute(&enc, &codes, 200, None, data.row(9), 15, SearchStrategy::FullScan);
-        assert_eq!(res.len(), 15);
-        for w in res.windows(2) {
-            assert!(w[0].distance <= w[1].distance);
-        }
-        // A vector queried against itself has near-zero reconstructed
-        // distance — certainly below the raw squared scale.
-        assert!(res[0].distance < 3.0);
-    }
-
-    #[test]
-    fn k_larger_than_n_returns_n() {
-        let (data, enc, codes, _) = setup(50);
-        let (res, _) =
-            execute(&enc, &codes, 50, None, data.row(0), 500, SearchStrategy::FullScan);
-        assert_eq!(res.len(), 50);
     }
 }

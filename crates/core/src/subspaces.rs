@@ -269,7 +269,11 @@ mod tests {
             let total: f64 = l.variance_share.iter().sum();
             assert!((total - 1.0).abs() < 1e-9, "{mode:?}: total {total}");
             for w in l.variance_share.windows(2) {
-                assert!(w[0] >= w[1] - 1e-12, "{mode:?}: shares not descending {:?}", l.variance_share);
+                assert!(
+                    w[0] >= w[1] - 1e-12,
+                    "{mode:?}: shares not descending {:?}",
+                    l.variance_share
+                );
             }
         }
     }
@@ -288,8 +292,8 @@ mod tests {
     #[test]
     fn clustered_mode_exact_subspace_count() {
         for m in [2usize, 3, 5, 8, 16] {
-            let l = SubspaceLayout::build(&steep(48), m, SubspaceMode::Clustered, false, 7)
-                .unwrap();
+            let l =
+                SubspaceLayout::build(&steep(48), m, SubspaceMode::Clustered, false, 7).unwrap();
             assert_eq!(l.num_subspaces(), m);
             // Non-empty, contiguous, covering.
             assert_eq!(l.ranges[0].0, 0);
@@ -348,7 +352,7 @@ mod tests {
         // Flat-ish spectrum where a wider later subspace would outweigh an
         // earlier narrow one without repair.
         let mut vars = vec![0.9, 0.5];
-        vars.extend(std::iter::repeat(0.4).take(6));
+        vars.extend(std::iter::repeat_n(0.4, 6));
         let l = SubspaceLayout::build(&vars, 3, SubspaceMode::Clustered, false, 5).unwrap();
         for w in l.variance_share.windows(2) {
             assert!(w[0] >= w[1] - 1e-12, "repair failed: {:?}", l.variance_share);

@@ -169,9 +169,7 @@ impl TiPartition {
             }
         }
         let cluster = &mut self.clusters[best];
-        let pos = cluster.partition_point(|m| {
-            m.dist < best_d || (m.dist == best_d && m.idx < idx)
-        });
+        let pos = cluster.partition_point(|m| m.dist < best_d || (m.dist == best_d && m.idx < idx));
         cluster.insert(pos, Member { idx, dist: best_d });
     }
 

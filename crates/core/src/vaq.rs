@@ -2,11 +2,11 @@
 //! subspace construction → partial balancing → adaptive bit allocation →
 //! variable-sized dictionaries → TI partitioning → pruned query execution.
 
-use crate::allocation::{
-    allocate_bits, allocate_bits_constrained, AllocationConstraint, AllocationStrategy,
-};
+use crate::allocation::{AllocationConstraint, AllocationStrategy};
 use crate::encoder::Encoder;
-use crate::search::{execute, Neighbor, SearchStats, SearchStrategy};
+use crate::engine::{IndexView, QueryEngine};
+use crate::pipeline::VarPcaStage;
+use crate::search::{Neighbor, SearchStats, SearchStrategy};
 use crate::subspaces::{SubspaceLayout, SubspaceMode};
 use crate::ti::TiPartition;
 use crate::VaqError;
@@ -104,6 +104,39 @@ impl VaqConfig {
         self.allocation_constraints.push(c);
         self
     }
+
+    /// Checks the configuration's internal consistency, before any data
+    /// is touched. [`Vaq::train`] calls this first, so a bad config fails
+    /// fast with a descriptive [`VaqError`] instead of being silently
+    /// clamped or surfacing mid-pipeline.
+    pub fn validate(&self) -> Result<(), VaqError> {
+        if self.num_subspaces == 0 {
+            return Err(VaqError::BadConfig("num_subspaces must be positive".into()));
+        }
+        if self.min_bits == 0 || self.min_bits > self.max_bits || self.max_bits > 16 {
+            return Err(VaqError::BadConfig(format!(
+                "bit bounds {}..={} invalid (need 1 ≤ min ≤ max ≤ 16)",
+                self.min_bits, self.max_bits
+            )));
+        }
+        let m = self.num_subspaces;
+        if self.budget_bits < m * self.min_bits || self.budget_bits > m * self.max_bits {
+            return Err(VaqError::InfeasibleBudget {
+                budget: self.budget_bits,
+                subspaces: m,
+                min_bits: self.min_bits,
+                max_bits: self.max_bits,
+            });
+        }
+        // Catches NaN too: a NaN fails both comparisons.
+        if !(self.ti_visit_frac > 0.0 && self.ti_visit_frac <= 1.0) {
+            return Err(VaqError::BadConfig(format!(
+                "ti_visit_frac {} outside (0, 1]",
+                self.ti_visit_frac
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// A trained VAQ index.
@@ -120,88 +153,16 @@ pub struct Vaq {
 }
 
 impl Vaq {
-    /// Trains VAQ on the rows of `data` (paper Algorithm 5).
+    /// Trains VAQ on the rows of `data` (paper Algorithm 5) by running the
+    /// explicit stage chain in [`crate::pipeline`]: `VarPCA` → subspace
+    /// plan → bit allocation → dictionaries → TI partition. Use the stages
+    /// directly to fork mid-pipeline (e.g. one eigenbasis, many budgets).
     pub fn train(data: &Matrix, cfg: &VaqConfig) -> Result<Vaq, VaqError> {
-        if data.rows() == 0 {
-            return Err(VaqError::EmptyData);
-        }
-        if cfg.num_subspaces == 0 || cfg.num_subspaces > data.cols() {
-            return Err(VaqError::BadConfig(format!(
-                "num_subspaces {} out of range for dim {}",
-                cfg.num_subspaces,
-                data.cols()
-            )));
-        }
-        // Step 1: VarPCA (Algorithm 1).
-        let mut pca = Pca::fit(data).map_err(|e| VaqError::Numeric(e.to_string()))?;
-
-        // Step 2: subspace construction + partial balancing (Algorithm 2,
-        // lines 2–9).
-        let layout = SubspaceLayout::build(
-            pca.eigenvalues(),
-            cfg.num_subspaces,
-            cfg.subspace_mode,
-            cfg.partial_balance,
-            cfg.seed,
-        )?;
-        // The projection must follow the same PC order as the layout.
-        pca.permute_components(&layout.perm);
-
-        // Step 3: adaptive bit allocation (Algorithm 2, MILP).
-        let bits = if cfg.allocation_constraints.is_empty() {
-            allocate_bits(
-                &layout.variance_share,
-                cfg.budget_bits,
-                cfg.min_bits,
-                cfg.max_bits,
-                cfg.allocation,
-            )?
-        } else {
-            if cfg.allocation != AllocationStrategy::Adaptive {
-                return Err(VaqError::BadConfig(
-                    "allocation constraints require the adaptive strategy".into(),
-                ));
-            }
-            allocate_bits_constrained(
-                &layout.variance_share,
-                cfg.budget_bits,
-                cfg.min_bits,
-                cfg.max_bits,
-                &cfg.allocation_constraints,
-            )?
-        };
-
-        // Step 4: project, build variable-sized dictionaries, encode
-        // (Algorithm 3).
-        let projected = pca.transform(data).map_err(|e| VaqError::Numeric(e.to_string()))?;
-        let encoder = Encoder::train(&projected, &layout, &bits, cfg.train_iters, cfg.seed)?;
-        let codes = encoder.encode_all(&projected);
-        let n = data.rows();
-
-        // Step 5: TI partitioning for data skipping (Algorithm 3, part 2).
-        let ti = if cfg.ti_clusters > 0 {
-            Some(TiPartition::build(
-                &encoder,
-                &codes,
-                n,
-                cfg.ti_clusters,
-                cfg.ti_prefix_subspaces,
-                cfg.seed ^ 0x71,
-            )?)
-        } else {
-            None
-        };
-
-        Ok(Vaq {
-            pca,
-            layout,
-            bits,
-            encoder,
-            codes,
-            n,
-            ti,
-            default_strategy: SearchStrategy::TiEa { visit_frac: cfg.ti_visit_frac },
-        })
+        VarPcaStage::compute(data, cfg)?
+            .plan_subspaces(cfg)?
+            .allocate_bits(cfg)?
+            .train_dictionaries(data, cfg)?
+            .build_ti(cfg)
     }
 
     /// Number of encoded vectors.
@@ -239,58 +200,67 @@ impl Vaq {
         self.pca.transform_vec(query).expect("query dimensionality")
     }
 
+    /// A borrowed [`IndexView`] of the encoded database (codes + TI),
+    /// ready for a [`QueryEngine`].
+    pub fn view(&self) -> IndexView<'_> {
+        IndexView::from_encoder(&self.encoder, &self.codes, self.n).with_ti(self.ti.as_ref())
+    }
+
+    /// A [`QueryEngine`] pre-sized for this index, defaulting to the
+    /// trained strategy (TI + EA). Hold one per thread and reuse it across
+    /// queries — after the first, table preparation allocates nothing.
+    pub fn engine(&self) -> QueryEngine {
+        QueryEngine::for_view(&self.view()).with_strategy(self.default_strategy)
+    }
+
     /// Searches with the configured default strategy (TI + EA).
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         self.search_with(query, k, self.default_strategy).0
     }
 
     /// Batch search: answers every row of `queries`, sharding across
-    /// threads (each query is independent; the index is shared read-only).
+    /// threads (each query is independent; the index is shared read-only,
+    /// each worker reuses one cloned engine for its whole shard). Returns
+    /// per-query results plus work counters summed over the batch.
     pub fn search_batch(
         &self,
         queries: &Matrix,
         k: usize,
         strategy: SearchStrategy,
-    ) -> Vec<Vec<Neighbor>> {
-        let nq = queries.rows();
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(nq.max(1));
-        if workers <= 1 || nq < 4 {
-            return (0..nq).map(|q| self.search_with(queries.row(q), k, strategy).0).collect();
-        }
-        let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
-        let chunk = nq.div_ceil(workers);
-        std::thread::scope(|scope| {
-            let mut rest: &mut [Vec<Neighbor>] = &mut out;
-            for w in 0..workers {
-                let start = w * chunk;
-                if start >= nq {
-                    break;
-                }
-                let len = chunk.min(nq - start);
-                let (mine, tail) = rest.split_at_mut(len);
-                rest = tail;
-                scope.spawn(move || {
-                    for (j, slot) in mine.iter_mut().enumerate() {
-                        *slot = self.search_with(queries.row(start + j), k, strategy).0;
-                    }
-                });
-            }
-        });
-        out
+    ) -> (Vec<Vec<Neighbor>>, SearchStats) {
+        let view = self.view();
+        let mut engine = QueryEngine::for_view(&view);
+        engine.search_batch(&view, queries, k, strategy, |q| self.project_query(q))
     }
 
     /// Searches with an explicit strategy, returning work counters.
+    ///
+    /// Convenience wrapper that builds a fresh engine per call; query
+    /// loops should hold a [`Vaq::engine`] and use [`Vaq::search_in`].
     pub fn search_with(
         &self,
         query: &[f32],
         k: usize,
         strategy: SearchStrategy,
     ) -> (Vec<Neighbor>, SearchStats) {
+        let view = self.view();
+        let mut engine = QueryEngine::for_view(&view);
         let projected = self.project_query(query);
-        execute(&self.encoder, &self.codes, self.n, self.ti.as_ref(), &projected, k, strategy)
+        engine.search_with(&view, &projected, k, strategy)
+    }
+
+    /// Searches through a caller-held engine (zero table allocations in
+    /// the steady state), with the engine's current strategy.
+    pub fn search_in(
+        &self,
+        engine: &mut QueryEngine,
+        query: &[f32],
+        k: usize,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let view = self.view();
+        let projected = self.project_query(query);
+        let strategy = engine.strategy();
+        engine.search_with(&view, &projected, k, strategy)
     }
 
     /// Appends new vectors to the encoded database without retraining.
@@ -311,8 +281,7 @@ impl Vaq {
             )));
         }
         let first = self.n;
-        let projected =
-            self.pca.transform(data).map_err(|e| VaqError::Numeric(e.to_string()))?;
+        let projected = self.pca.transform(data).map_err(|e| VaqError::Numeric(e.to_string()))?;
         let new_codes = self.encoder.encode_all(&projected);
         if let Some(ti) = &mut self.ti {
             let m = self.encoder.num_subspaces();
@@ -459,7 +428,12 @@ mod tests {
         let (_, full) = vaq.search_with(q, 10, SearchStrategy::FullScan);
         let (_, ea) = vaq.search_with(q, 10, SearchStrategy::EarlyAbandon);
         let (_, tiea) = vaq.search_with(q, 10, SearchStrategy::TiEa { visit_frac: 0.1 });
-        assert!(ea.lookups < full.lookups / 2, "EA lookups {} vs full {}", ea.lookups, full.lookups);
+        assert!(
+            ea.lookups < full.lookups / 2,
+            "EA lookups {} vs full {}",
+            ea.lookups,
+            full.lookups
+        );
         assert!(
             tiea.vectors_visited < full.vectors_visited / 2,
             "TI visited {} of {}",
@@ -507,15 +481,108 @@ mod tests {
     fn batch_search_matches_sequential() {
         let ds = SyntheticSpec::sift_like().generate(600, 24, 27);
         let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 8).with_ti_clusters(24)).unwrap();
-        for strategy in
-            [SearchStrategy::FullScan, SearchStrategy::TiEa { visit_frac: 0.5 }]
-        {
-            let batch = vaq.search_batch(&ds.queries, 7, strategy);
+        for strategy in [SearchStrategy::FullScan, SearchStrategy::TiEa { visit_frac: 0.5 }] {
+            let (batch, _) = vaq.search_batch(&ds.queries, 7, strategy);
             assert_eq!(batch.len(), 24);
             for q in 0..ds.queries.rows() {
                 assert_eq!(batch[q], vaq.search_with(ds.queries.row(q), 7, strategy).0);
             }
         }
+    }
+
+    #[test]
+    fn batch_stats_are_the_sum_of_per_query_stats() {
+        // Pruning counters must survive aggregation across worker threads:
+        // the batch stats equal the component-wise sum of sequential runs,
+        // and actually show pruning (skips > 0) for TI + EA.
+        let ds = SyntheticSpec::sift_like().generate(900, 16, 29);
+        let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 8).with_ti_clusters(32)).unwrap();
+        let strategy = SearchStrategy::TiEa { visit_frac: 0.25 };
+        let (_, batch) = vaq.search_batch(&ds.queries, 10, strategy);
+        let mut seq = SearchStats::default();
+        for q in 0..ds.queries.rows() {
+            seq += vaq.search_with(ds.queries.row(q), 10, strategy).1;
+        }
+        assert_eq!(batch.vectors_visited, seq.vectors_visited);
+        assert_eq!(batch.vectors_skipped, seq.vectors_skipped);
+        assert_eq!(batch.lookups, seq.lookups);
+        assert_eq!(batch.lookups_skipped, seq.lookups_skipped);
+        assert!(batch.vectors_skipped > 0, "TI pruned nothing across the batch");
+        assert!(batch.lookups_skipped > 0, "EA pruned nothing across the batch");
+        // Every query accounts for the whole database.
+        assert_eq!(batch.vectors_visited + batch.vectors_skipped, 900 * 16);
+        // Workers clone a pre-sized engine: no per-query table allocation.
+        assert_eq!(batch.table_reallocations, 0);
+    }
+
+    #[test]
+    fn small_batches_fall_back_to_sequential_with_stats() {
+        let ds = SyntheticSpec::deep_like().generate(200, 2, 33);
+        let vaq = Vaq::train(&ds.data, &VaqConfig::new(32, 8).with_ti_clusters(8)).unwrap();
+        let (batch, stats) = vaq.search_batch(&ds.queries, 5, SearchStrategy::EarlyAbandon);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(stats.vectors_visited + stats.vectors_skipped, 200 * 2);
+    }
+
+    #[test]
+    fn validate_rejects_bad_visit_fractions() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let cfg = VaqConfig::new(64, 8).with_visit_frac(bad);
+            assert!(
+                matches!(cfg.validate(), Err(VaqError::BadConfig(_))),
+                "visit_frac {bad} accepted"
+            );
+        }
+        assert!(VaqConfig::new(64, 8).with_visit_frac(1.0).validate().is_ok());
+        assert!(VaqConfig::new(64, 8).with_visit_frac(0.01).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_inverted_bit_bounds() {
+        let mut cfg = VaqConfig::new(64, 8);
+        cfg.min_bits = 9;
+        cfg.max_bits = 4;
+        assert!(matches!(cfg.validate(), Err(VaqError::BadConfig(_))));
+        cfg.min_bits = 0;
+        assert!(matches!(cfg.validate(), Err(VaqError::BadConfig(_))));
+        cfg.min_bits = 1;
+        cfg.max_bits = 17;
+        assert!(matches!(cfg.validate(), Err(VaqError::BadConfig(_))));
+    }
+
+    #[test]
+    fn validate_rejects_infeasible_budgets_before_training() {
+        // Too small and too large budgets both fail fast, with the exact
+        // bounds in the error.
+        for budget in [2usize, 200] {
+            let cfg = VaqConfig::new(budget, 8);
+            match cfg.validate() {
+                Err(VaqError::InfeasibleBudget { budget: b, subspaces, min_bits, max_bits }) => {
+                    assert_eq!((b, subspaces, min_bits, max_bits), (budget, 8, 1, 13));
+                }
+                other => panic!("budget {budget}: expected InfeasibleBudget, got {other:?}"),
+            }
+        }
+        // Training surfaces the same error without touching the data.
+        let ds = SyntheticSpec::deep_like().generate(50, 0, 37);
+        assert!(matches!(
+            Vaq::train(&ds.data, &VaqConfig::new(2, 8)),
+            Err(VaqError::InfeasibleBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn engine_reuse_matches_convenience_search() {
+        let ds = SyntheticSpec::sift_like().generate(400, 0, 41);
+        let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 8).with_ti_clusters(16)).unwrap();
+        let mut engine = vaq.engine();
+        let baseline = engine.arena().reallocations();
+        for i in (0..400).step_by(57) {
+            let (held, _) = vaq.search_in(&mut engine, ds.data.row(i), 5);
+            let held_default = vaq.search(ds.data.row(i), 5);
+            assert_eq!(held, held_default, "row {i}");
+        }
+        assert_eq!(engine.arena().reallocations(), baseline, "pre-sized engine grew");
     }
 
     #[test]
@@ -542,8 +609,7 @@ mod tests {
         let ds = SyntheticSpec::sift_like().generate(800, 0, 21);
         let initial = ds.data.select_rows(&(0..600).collect::<Vec<_>>());
         let extra = ds.data.select_rows(&(600..800).collect::<Vec<_>>());
-        let mut vaq =
-            Vaq::train(&initial, &VaqConfig::new(64, 8).with_ti_clusters(32)).unwrap();
+        let mut vaq = Vaq::train(&initial, &VaqConfig::new(64, 8).with_ti_clusters(32)).unwrap();
         let first = vaq.add(&extra).unwrap();
         assert_eq!(first, 600);
         assert_eq!(vaq.len(), 800);
@@ -576,8 +642,7 @@ mod tests {
         // An add that equals train-then-add of everything at once matches
         // encoding-wise (dictionaries shared).
         let joint = {
-            let mut v =
-                Vaq::train(&initial, &VaqConfig::new(64, 8).with_ti_clusters(32)).unwrap();
+            let mut v = Vaq::train(&initial, &VaqConfig::new(64, 8).with_ti_clusters(32)).unwrap();
             v.add(&extra).unwrap();
             v
         };

@@ -51,7 +51,7 @@ pub fn exact_knn_single(data: &Matrix, query: &[f32], k: usize) -> Vec<u32> {
         }
     }
     let mut items: Vec<HeapItem> = heap.into_vec();
-    items.sort_by(|a, b| a.cmp(b));
+    items.sort();
     items.into_iter().map(|it| it.idx).collect()
 }
 

@@ -42,10 +42,8 @@ pub fn read_fvecs(path: &Path, limit: Option<usize>) -> io::Result<Matrix> {
         }
         let mut payload = vec![0u8; d as usize * 4];
         reader.read_exact(&mut payload)?;
-        let row: Vec<f32> = payload
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let row: Vec<f32> =
+            payload.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
         if let Some(first) = rows.first() {
             if first.len() != row.len() {
                 return Err(io::Error::new(

@@ -107,11 +107,8 @@ mod tests {
 
     #[test]
     fn dataset_accessors() {
-        let d = Dataset {
-            name: "t".into(),
-            data: Matrix::zeros(5, 3),
-            queries: Matrix::zeros(2, 3),
-        };
+        let d =
+            Dataset { name: "t".into(), data: Matrix::zeros(5, 3), queries: Matrix::zeros(2, 3) };
         assert_eq!(d.len(), 5);
         assert_eq!(d.dim(), 3);
         assert!(!d.is_empty());

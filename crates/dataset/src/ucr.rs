@@ -146,13 +146,7 @@ impl UcrFamily {
 
     /// Generates a full dataset: `n_train` base series and `n_test` query
     /// series, classes round-robin, everything z-normalized.
-    pub fn generate(
-        &self,
-        len: usize,
-        n_train: usize,
-        n_test: usize,
-        seed: u64,
-    ) -> Dataset {
+    pub fn generate(&self, len: usize, n_train: usize, n_test: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
         let k = self.classes();
         let mut data = Matrix::zeros(n_train, len);
@@ -185,9 +179,9 @@ fn cbf_series(class: usize, out: &mut [f32], rng: &mut StdRng) {
             0.0
         } else {
             match class {
-                0 => 1.0,                                            // cylinder
-                1 => (t - a) as f32 / (b - a).max(1) as f32,         // bell: ramp up
-                _ => (b - t) as f32 / (b - a).max(1) as f32,         // funnel: ramp down
+                0 => 1.0,                                    // cylinder
+                1 => (t - a) as f32 / (b - a).max(1) as f32, // bell: ramp up
+                _ => (b - t) as f32 / (b - a).max(1) as f32, // funnel: ramp down
             }
         };
         *v = amp * shape + gaussian(rng) as f32;
@@ -210,12 +204,20 @@ fn slc_series(class: usize, out: &mut [f32], rng: &mut StdRng) {
             // Cepheid: asymmetric sawtooth-like pulse.
             1 => {
                 let ph = (x + phase / std::f32::consts::TAU).fract();
-                if ph < 0.3 { ph / 0.3 } else { 1.0 - (ph - 0.3) / 0.7 }
+                if ph < 0.3 {
+                    ph / 0.3
+                } else {
+                    1.0 - (ph - 0.3) / 0.7
+                }
             }
             // RR Lyrae: sharper rise.
             _ => {
                 let ph = (x + phase / std::f32::consts::TAU).fract();
-                if ph < 0.15 { ph / 0.15 } else { (1.0 - (ph - 0.15) / 0.85).powf(2.0) }
+                if ph < 0.15 {
+                    ph / 0.15
+                } else {
+                    (1.0 - (ph - 0.15) / 0.85).powf(2.0)
+                }
             }
         };
         *v = base + 0.02 * gaussian(rng) as f32;

@@ -176,7 +176,11 @@ impl DsTree {
                 })
                 .map(|(i, s)| (i, s.max_std - s.min_std))
                 .unwrap();
-            if by_mean.1 >= by_std.1 { (by_mean.0, false) } else { (by_std.0, true) }
+            if by_mean.1 >= by_std.1 {
+                (by_mean.0, false)
+            } else {
+                (by_std.0, true)
+            }
         };
 
         // Optionally refine the chosen segment first (vertical split).
@@ -196,8 +200,11 @@ impl DsTree {
         let lo = if seg == 0 { 0 } else { self.nodes[node].bounds[seg - 1] };
         let hi = self.nodes[node].bounds[seg];
         let st = self.nodes[node].syn[seg];
-        let threshold =
-            if use_std { (st.min_std + st.max_std) / 2.0 } else { (st.min_mean + st.max_mean) / 2.0 };
+        let threshold = if use_std {
+            (st.min_std + st.max_std) / 2.0
+        } else {
+            (st.min_mean + st.max_mean) / 2.0
+        };
         let members = self.nodes[node].members.clone();
         let mut left_ids = Vec::new();
         let mut right_ids = Vec::new();
@@ -427,10 +434,7 @@ mod tests {
         let run = |params: TraversalParams| -> f64 {
             let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
                 .map(|q| {
-                    tree.search(ds.queries.row(q), 10, params)
-                        .iter()
-                        .map(|n| n.index)
-                        .collect()
+                    tree.search(ds.queries.row(q), 10, params).iter().map(|n| n.index).collect()
                 })
                 .collect();
             recall_at_k(&retrieved, &truth, 10)
@@ -448,8 +452,7 @@ mod tests {
         let truth = exact_knn(&ds.data, &ds.queries, 1);
         for q in 0..8 {
             let got = tree.search(ds.queries.row(q), 1, TraversalParams::epsilon(0.5));
-            let exact_d =
-                squared_euclidean(ds.data.row(truth[q][0] as usize), ds.queries.row(q));
+            let exact_d = squared_euclidean(ds.data.row(truth[q][0] as usize), ds.queries.row(q));
             assert!(
                 got[0].distance <= exact_d * 2.25 + 1e-3,
                 "epsilon guarantee violated: {} vs {exact_d}",

@@ -341,11 +341,7 @@ impl<S: VectorStore> Hnsw<S> {
             }
         }
         let found = self.search_layer_query(query, ep, ef.max(k), 0);
-        found
-            .into_iter()
-            .take(k)
-            .map(|Near(d, i)| Neighbor { index: i, distance: d })
-            .collect()
+        found.into_iter().take(k).map(|Near(d, i)| Neighbor { index: i, distance: d }).collect()
     }
 
     /// k-NN search with the configured default `ef_search`.
@@ -461,10 +457,8 @@ mod tests {
         let a = Hnsw::build(RawStore::new(ds.data.clone()), &HnswConfig::new(8)).unwrap();
         let b = Hnsw::build(RawStore::new(ds.data.clone()), &HnswConfig::new(8)).unwrap();
         for q in 0..3 {
-            let ra: Vec<u32> =
-                a.search(ds.queries.row(q), 5).iter().map(|n| n.index).collect();
-            let rb: Vec<u32> =
-                b.search(ds.queries.row(q), 5).iter().map(|n| n.index).collect();
+            let ra: Vec<u32> = a.search(ds.queries.row(q), 5).iter().map(|n| n.index).collect();
+            let rb: Vec<u32> = b.search(ds.queries.row(q), 5).iter().map(|n| n.index).collect();
             assert_eq!(ra, rb);
         }
     }

@@ -15,7 +15,8 @@ use crate::IndexError;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use vaq_baselines::opq::{Opq, OpqConfig};
-use vaq_baselines::{AnnIndex, Neighbor, TopK};
+use vaq_baselines::{AnnIndex, Neighbor};
+use vaq_core::QueryEngine;
 use vaq_kmeans::{nearest_centroid, KMeans, KMeansConfig};
 use vaq_linalg::{squared_euclidean, Matrix};
 
@@ -78,17 +79,12 @@ impl Imi {
         let split = data.cols() / 2;
 
         // Train per-half coarse codebooks.
-        let halves = [
-            submatrix(data, 0, split),
-            submatrix(data, split, data.cols()),
-        ];
+        let halves = [submatrix(data, 0, split), submatrix(data, split, data.cols())];
         let mut coarse = Vec::with_capacity(2);
         for (h, half) in halves.iter().enumerate() {
-            let km = KMeansConfig::new(k)
-                .with_seed(cfg.seed.wrapping_add(h as u64))
-                .with_max_iters(20);
-            let model =
-                KMeans::fit(half, &km).map_err(|e| IndexError::BadConfig(e.to_string()))?;
+            let km =
+                KMeansConfig::new(k).with_seed(cfg.seed.wrapping_add(h as u64)).with_max_iters(20);
+            let model = KMeans::fit(half, &km).map_err(|e| IndexError::BadConfig(e.to_string()))?;
             coarse.push(model.centroids);
         }
         let coarse: [Matrix; 2] = [coarse.remove(0), coarse.remove(0)];
@@ -102,8 +98,7 @@ impl Imi {
             cells[c1 * coarse[1].rows() + c2].push(i as u32);
         }
 
-        let opq = Opq::train(data, &cfg.opq)
-            .map_err(|e| IndexError::BadConfig(e.to_string()))?;
+        let opq = Opq::train(data, &cfg.opq).map_err(|e| IndexError::BadConfig(e.to_string()))?;
 
         Ok(Imi { split, coarse, cells, opq, candidates: cfg.candidates })
     }
@@ -167,17 +162,16 @@ impl Imi {
         out
     }
 
-    /// Search with an explicit candidate quota.
+    /// Search with an explicit candidate quota: gather cells, then re-rank
+    /// the candidate ids through the shared ADC engine (early-abandoned,
+    /// exact w.r.t. the ADC ranking; squared distances, PQ convention).
     pub fn search_with_candidates(&self, query: &[f32], k: usize, quota: usize) -> Vec<Neighbor> {
         let ids = self.gather_candidates(query, quota);
         let rotated = self.opq.rotate_query(query);
-        let tables = self.opq.inner().lookup_tables(&rotated);
-        let mut top = TopK::new(k);
-        for &i in &ids {
-            let d = self.opq.inner().distance_with_tables(&tables, i as usize);
-            top.push(i, d);
-        }
-        top.into_sorted()
+        let view = self.opq.inner().view();
+        let mut engine = QueryEngine::for_view(&view);
+        let (hits, _) = engine.search_ids_squared(&view, &rotated, ids.iter().copied(), k);
+        hits.into_iter().map(|n| Neighbor { index: n.index, distance: n.distance }).collect()
     }
 }
 
@@ -283,9 +277,8 @@ mod tests {
                 (0..ds.queries.rows()).map(|q| f(ds.queries.row(q))).collect();
             recall_at_k(&retrieved, &truth, 10)
         };
-        let r_imi = run(&|q| {
-            imi.search_with_candidates(q, 10, 100).iter().map(|n| n.index).collect()
-        });
+        let r_imi =
+            run(&|q| imi.search_with_candidates(q, 10, 100).iter().map(|n| n.index).collect());
         let r_opq = run(&|q| opq.search(q, 10).iter().map(|n| n.index).collect());
         assert!(
             r_opq >= r_imi - 0.02,

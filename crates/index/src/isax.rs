@@ -161,8 +161,7 @@ impl IsaxIndex {
             members: Vec::new(),
             children: None,
         };
-        let mut index =
-            IsaxIndex { cfg: cfg.clone(), data, paa, nodes: vec![root], breaks };
+        let mut index = IsaxIndex { cfg: cfg.clone(), data, paa, nodes: vec![root], breaks };
         for i in 0..index.data.rows() {
             index.insert(i as u32);
         }
@@ -202,9 +201,7 @@ impl IsaxIndex {
                 continue;
             }
             self.nodes[cur].members.push(id);
-            if self.nodes[cur].members.len() > self.cfg.leaf_capacity
-                && self.try_split(cur)
-            {
+            if self.nodes[cur].members.len() > self.cfg.leaf_capacity && self.try_split(cur) {
                 // Members were redistributed; continue from this node to
                 // place nothing further (insert already completed).
             }
@@ -256,11 +253,8 @@ impl IsaxIndex {
                 continue;
             }
             let bps = &self.breaks[sym.bits as usize];
-            let lo = if sym.value == 0 {
-                f32::NEG_INFINITY
-            } else {
-                bps[sym.value as usize - 1] as f32
-            };
+            let lo =
+                if sym.value == 0 { f32::NEG_INFINITY } else { bps[sym.value as usize - 1] as f32 };
             let hi = if (sym.value as usize) < bps.len() {
                 bps[sym.value as usize] as f32
             } else {
@@ -416,8 +410,7 @@ mod tests {
         // All leaves within capacity unless max_bits saturated everywhere.
         for node in &idx.nodes {
             if node.children.is_none() {
-                let saturated =
-                    node.word.iter().all(|s| s.bits >= idx.cfg.max_bits);
+                let saturated = node.word.iter().all(|s| s.bits >= idx.cfg.max_bits);
                 assert!(
                     node.members.len() <= idx.cfg.leaf_capacity || saturated,
                     "oversized leaf: {}",
@@ -469,10 +462,7 @@ mod tests {
                 let lb = idx.lower_bound_sq(&qpaa, node);
                 for &m in &node.members {
                     let d = squared_euclidean(ds.data.row(m as usize), q);
-                    assert!(
-                        lb <= d + 1e-3 * d.max(1.0),
-                        "LB {lb} exceeds true distance {d}"
-                    );
+                    assert!(lb <= d + 1e-3 * d.max(1.0), "LB {lb} exceeds true distance {d}");
                 }
             }
         }
@@ -486,10 +476,7 @@ mod tests {
         let run = |params: TraversalParams| -> f64 {
             let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
                 .map(|q| {
-                    idx.search(ds.queries.row(q), 10, params)
-                        .iter()
-                        .map(|n| n.index)
-                        .collect()
+                    idx.search(ds.queries.row(q), 10, params).iter().map(|n| n.index).collect()
                 })
                 .collect();
             recall_at_k(&retrieved, &truth, 10)
@@ -507,8 +494,7 @@ mod tests {
         let truth = exact_knn(&ds.data, &ds.queries, 1);
         for q in 0..8 {
             let got = idx.search(ds.queries.row(q), 1, TraversalParams::epsilon(1.0));
-            let exact_d =
-                squared_euclidean(ds.data.row(truth[q][0] as usize), ds.queries.row(q));
+            let exact_d = squared_euclidean(ds.data.row(truth[q][0] as usize), ds.queries.row(q));
             // Squared guarantee: d ≤ (1+ε)² · d*.
             assert!(
                 got[0].distance <= exact_d * 4.0 + 1e-3,

@@ -31,8 +31,8 @@ pub use dstree::DsTree;
 pub use exact::ExactScan;
 pub use hnsw::Hnsw;
 pub use imi::Imi;
-pub use rerank::{rerank, search_with_rerank};
 pub use isax::IsaxIndex;
+pub use rerank::{rerank, search_with_rerank, vaq_search_with_rerank};
 
 use std::fmt;
 

@@ -7,6 +7,7 @@
 //! raw vectors settle the final order.
 
 use vaq_baselines::{Neighbor, TopK};
+use vaq_core::{QueryEngine, SearchStats, Vaq};
 use vaq_linalg::{squared_euclidean, Matrix};
 
 /// Re-ranks `candidates` (database row ids) by exact distance to `query`
@@ -31,6 +32,24 @@ pub fn search_with_rerank(
 ) -> Vec<Neighbor> {
     let pool = search(query, k * pool_factor.max(1));
     rerank(data, query, &pool, k)
+}
+
+/// Two-stage VAQ serving through the shared query engine: the pruned ADC
+/// scan produces a `pool_factor × k` candidate pool (reusing `engine`'s
+/// table arena across calls, so steady-state queries allocate no tables),
+/// and the raw vectors settle the final order. Returns the exact top `k`
+/// together with the compressed-domain scan statistics.
+pub fn vaq_search_with_rerank(
+    vaq: &Vaq,
+    data: &Matrix,
+    engine: &mut QueryEngine,
+    query: &[f32],
+    k: usize,
+    pool_factor: usize,
+) -> (Vec<Neighbor>, SearchStats) {
+    let (pool, stats) = vaq.search_in(engine, query, k * pool_factor.max(1));
+    let ids: Vec<u32> = pool.iter().map(|n| n.index).collect();
+    (rerank(data, query, &ids, k), stats)
 }
 
 #[cfg(test)]
@@ -85,11 +104,32 @@ mod tests {
             .collect();
         let r_plain = recall_at_k(&plain, &truth, 10);
         let r_rerank = recall_at_k(&reranked, &truth, 10);
-        assert!(
-            r_rerank >= r_plain,
-            "re-ranking reduced recall: {r_rerank} < {r_plain}"
-        );
+        assert!(r_rerank >= r_plain, "re-ranking reduced recall: {r_rerank} < {r_plain}");
         assert!(r_rerank > 0.6, "re-ranked recall too low: {r_rerank}");
+    }
+
+    #[test]
+    fn vaq_rerank_reuses_engine_tables_and_lifts_recall() {
+        use vaq_core::VaqConfig;
+        let ds = SyntheticSpec::sift_like().generate(1200, 20, 5);
+        let truth = exact_knn(&ds.data, &ds.queries, 10);
+        let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 8)).unwrap();
+        let mut engine = vaq.engine();
+        let baseline = engine.arena().reallocations();
+        let mut plain = Vec::new();
+        let mut reranked = Vec::new();
+        for qi in 0..ds.queries.rows() {
+            let q = ds.queries.row(qi);
+            plain.push(vaq.search(q, 10).iter().map(|n| n.index).collect::<Vec<u32>>());
+            let (hits, stats) = vaq_search_with_rerank(&vaq, &ds.data, &mut engine, q, 10, 10);
+            assert!(stats.lookups > 0);
+            reranked.push(hits.iter().map(|n| n.index).collect::<Vec<u32>>());
+        }
+        // The shared engine refills its arena in place: no per-query growth.
+        assert_eq!(engine.arena().reallocations(), baseline);
+        let r_plain = recall_at_k(&plain, &truth, 10);
+        let r_rerank = recall_at_k(&reranked, &truth, 10);
+        assert!(r_rerank >= r_plain, "re-ranking reduced recall: {r_rerank} < {r_plain}");
     }
 
     #[test]

@@ -248,9 +248,8 @@ fn plus_plus_seed(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
     let first = rng.gen_range(0..n);
     centroids.row_mut(0).copy_from_slice(data.row(first));
 
-    let mut d2: Vec<f64> = (0..n)
-        .map(|i| squared_euclidean(data.row(i), centroids.row(0)) as f64)
-        .collect();
+    let mut d2: Vec<f64> =
+        (0..n).map(|i| squared_euclidean(data.row(i), centroids.row(0)) as f64).collect();
     for c in 1..k {
         let total: f64 = d2.iter().sum();
         let pick = if total <= 0.0 {
@@ -427,10 +426,7 @@ mod tests {
     #[test]
     fn empty_data_errors() {
         let data = Matrix::zeros(0, 4);
-        assert_eq!(
-            KMeans::fit(&data, &KMeansConfig::new(2)).unwrap_err(),
-            KMeansError::EmptyData
-        );
+        assert_eq!(KMeans::fit(&data, &KMeansConfig::new(2)).unwrap_err(), KMeansError::EmptyData);
     }
 
     #[test]

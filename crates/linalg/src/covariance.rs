@@ -89,11 +89,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 6.0],
-            vec![5.0, 10.0],
-        ])
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 6.0], vec![5.0, 10.0]])
     }
 
     #[test]

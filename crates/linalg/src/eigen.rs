@@ -225,12 +225,11 @@ mod tests {
 
     #[test]
     fn eigenvalues_sorted_descending() {
-        let m = DMatrix::from_vec(4, 4, vec![
-            1.0, 0.2, 0.0, 0.1,
-            0.2, 7.0, 0.3, 0.0,
-            0.0, 0.3, 4.0, 0.5,
-            0.1, 0.0, 0.5, 2.0,
-        ]);
+        let m = DMatrix::from_vec(
+            4,
+            4,
+            vec![1.0, 0.2, 0.0, 0.1, 0.2, 7.0, 0.3, 0.0, 0.0, 0.3, 4.0, 0.5, 0.1, 0.0, 0.5, 2.0],
+        );
         let e = sym_eigen(&m).unwrap();
         for w in e.values.windows(2) {
             assert!(w[0] >= w[1]);

@@ -33,6 +33,7 @@ pub mod norms;
 pub mod pca;
 pub mod sketch;
 pub mod svd;
+pub mod tables;
 
 pub use covariance::{column_means, covariance, covariance_centered};
 pub use eigen::{sym_eigen, SymEigen};
@@ -41,6 +42,7 @@ pub use norms::{dot, euclidean, hamming, squared_euclidean};
 pub use pca::Pca;
 pub use sketch::FrequentDirections;
 pub use svd::{procrustes, svd, Svd};
+pub use tables::{squared_distances_into, TableArena};
 
 use std::fmt;
 

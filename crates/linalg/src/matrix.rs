@@ -377,12 +377,7 @@ impl DMatrix {
     /// Panics if shapes differ.
     pub fn frobenius_distance(&self, other: &DMatrix) -> f64 {
         assert_eq!(self.shape(), other.shape());
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 
     /// Converts to the `f32` representation.

@@ -76,11 +76,7 @@ impl Pca {
     pub fn fit_uncentered(x: &Matrix) -> Result<Pca> {
         let cov = crate::covariance::covariance(x)?;
         let SymEigen { values, vectors } = sym_eigen(&cov)?;
-        Ok(Pca {
-            mean: vec![0.0; x.cols()],
-            components: vectors.to_f32(),
-            eigenvalues: values,
-        })
+        Ok(Pca { mean: vec![0.0; x.cols()], components: vectors.to_f32(), eigenvalues: values })
     }
 
     /// Dimensionality of the fitted space.
@@ -270,9 +266,8 @@ mod tests {
         let sr = sketched.explained_variance_ratio()[0];
         assert!((er - sr).abs() < 0.05, "shares {er} vs {sr}");
         // Dominant directions align up to sign.
-        let dot: f32 = (0..2)
-            .map(|i| exact.components().get(i, 0) * sketched.components().get(i, 0))
-            .sum();
+        let dot: f32 =
+            (0..2).map(|i| exact.components().get(i, 0) * sketched.components().get(i, 0)).sum();
         assert!(dot.abs() > 0.99, "direction cosine {dot}");
     }
 

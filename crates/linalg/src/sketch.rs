@@ -250,10 +250,7 @@ mod tests {
         for k in 0..3 {
             let a = approx_eig.values[k] / 600.0;
             let e = exact_eig.values[k];
-            assert!(
-                (a - e).abs() < 0.2 * e.max(1e-9),
-                "eigenvalue {k}: sketch {a} vs exact {e}"
-            );
+            assert!((a - e).abs() < 0.2 * e.max(1e-9), "eigenvalue {k}: sketch {a} vs exact {e}");
         }
     }
 

@@ -125,11 +125,7 @@ mod tests {
 
     #[test]
     fn svd_reconstructs_full_rank_square() {
-        let a = DMatrix::from_vec(3, 3, vec![
-            2.0, 0.5, -1.0,
-            0.0, 3.0, 0.7,
-            1.0, -0.2, 1.5,
-        ]);
+        let a = DMatrix::from_vec(3, 3, vec![2.0, 0.5, -1.0, 0.0, 3.0, 0.7, 1.0, -0.2, 1.5]);
         let s = svd(&a).unwrap();
         assert!(reconstruct(&s).frobenius_distance(&a) < 1e-8);
     }
@@ -143,11 +139,7 @@ mod tests {
 
     #[test]
     fn singular_values_descending_nonnegative() {
-        let a = DMatrix::from_vec(3, 3, vec![
-            1.0, 4.0, 0.0,
-            -2.0, 0.5, 3.0,
-            0.0, 1.0, -1.0,
-        ]);
+        let a = DMatrix::from_vec(3, 3, vec![1.0, 4.0, 0.0, -2.0, 0.5, 3.0, 0.0, 1.0, -1.0]);
         let s = svd(&a).unwrap();
         for w in s.sigma.windows(2) {
             assert!(w[0] >= w[1]);
@@ -165,11 +157,7 @@ mod tests {
 
     #[test]
     fn procrustes_returns_orthogonal_matrix() {
-        let m = DMatrix::from_vec(3, 3, vec![
-            2.0, -1.0, 0.3,
-            0.5, 1.0, -0.7,
-            -0.2, 0.8, 1.5,
-        ]);
+        let m = DMatrix::from_vec(3, 3, vec![2.0, -1.0, 0.3, 0.5, 1.0, -0.7, -0.2, 0.8, 1.5]);
         let r = procrustes(&m).unwrap();
         let rtr = r.transpose().matmul(&r).unwrap();
         assert!(rtr.frobenius_distance(&DMatrix::identity(3)) < 1e-8);
@@ -179,10 +167,7 @@ mod tests {
     fn procrustes_recovers_known_rotation() {
         // If m is already orthogonal, procrustes(m) == m.
         let theta = 0.7f64;
-        let m = DMatrix::from_vec(2, 2, vec![
-            theta.cos(), -theta.sin(),
-            theta.sin(), theta.cos(),
-        ]);
+        let m = DMatrix::from_vec(2, 2, vec![theta.cos(), -theta.sin(), theta.sin(), theta.cos()]);
         let r = procrustes(&m).unwrap();
         assert!(r.frobenius_distance(&m) < 1e-8);
     }
@@ -208,20 +193,13 @@ mod tests {
 
     #[test]
     fn procrustes_rejects_non_square() {
-        assert!(matches!(
-            procrustes(&DMatrix::zeros(2, 3)),
-            Err(LinalgError::NotSquare { .. })
-        ));
+        assert!(matches!(procrustes(&DMatrix::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
     }
 
     #[test]
     fn svd_rank_deficient_still_orthogonal_u() {
         // Rank-1 matrix.
-        let a = DMatrix::from_vec(3, 3, vec![
-            1.0, 2.0, 3.0,
-            2.0, 4.0, 6.0,
-            3.0, 6.0, 9.0,
-        ]);
+        let a = DMatrix::from_vec(3, 3, vec![1.0, 2.0, 3.0, 2.0, 4.0, 6.0, 3.0, 6.0, 9.0]);
         let s = svd(&a).unwrap();
         assert!(reconstruct(&s).frobenius_distance(&a) < 1e-7);
         assert!(s.sigma[1] < 1e-6 * s.sigma[0].max(1.0));

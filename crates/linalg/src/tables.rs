@@ -1,0 +1,275 @@
+//! Flat ADC lookup-table storage.
+//!
+//! An ADC scan consumes one distance table per subspace: `table[s][c]` is
+//! the squared distance from the query's s-th sub-vector to centroid `c`
+//! of subspace `s`. The natural `Vec<Vec<f32>>` layout costs one heap
+//! allocation per table per query and a pointer chase per lookup — Quick
+//! ADC and Quicker ADC (André et al.) show a flat, cache-friendly layout
+//! is the prerequisite for every downstream ADC speedup. [`TableArena`] is
+//! that layout: one contiguous `f32` buffer plus precomputed per-subspace
+//! offsets, refilled in place so steady-state batch queries allocate
+//! nothing.
+
+use crate::Matrix;
+
+/// Fills `out` with the squared Euclidean distances from `query` to every
+/// row of `centroids`, in one pass over the centroid block.
+///
+/// This is the batched stripe kernel behind ADC table construction: one
+/// call fills a whole subspace's table. Walking `centroids.as_slice()`
+/// linearly (rather than calling [`crate::squared_euclidean`] per row)
+/// keeps the centroid block streaming through cache, and the 4-wide
+/// accumulators auto-vectorize like the scalar kernels in [`crate::norms`].
+///
+/// # Panics
+/// Panics (debug builds) if `query.len() != centroids.cols()` or
+/// `out.len() != centroids.rows()`.
+#[inline]
+pub fn squared_distances_into(query: &[f32], centroids: &Matrix, out: &mut [f32]) {
+    debug_assert_eq!(query.len(), centroids.cols());
+    debug_assert_eq!(out.len(), centroids.rows());
+    let d = centroids.cols();
+    let block = centroids.as_slice();
+    let chunks = d / 4;
+    for (r, slot) in out.iter_mut().enumerate() {
+        let row = &block[r * d..r * d + d];
+        let mut acc = [0.0f32; 4];
+        for i in 0..chunks {
+            let o = i * 4;
+            let d0 = query[o] - row[o];
+            let d1 = query[o + 1] - row[o + 1];
+            let d2 = query[o + 2] - row[o + 2];
+            let d3 = query[o + 3] - row[o + 3];
+            acc[0] += d0 * d0;
+            acc[1] += d1 * d1;
+            acc[2] += d2 * d2;
+            acc[3] += d3 * d3;
+        }
+        let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+        for i in chunks * 4..d {
+            let diff = query[i] - row[i];
+            sum += diff * diff;
+        }
+        *slot = sum;
+    }
+}
+
+/// Contiguous storage for one query's ADC lookup tables.
+///
+/// Table `s` occupies `buf[offsets[s]..offsets[s+1]]`. The arena is meant
+/// to be owned by a long-lived query engine and refilled per query:
+/// [`TableArena::ensure_layout`] only touches the heap when the layout
+/// actually changes, and [`TableArena::reallocations`] counts those events
+/// so tests can assert the steady state allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct TableArena {
+    buf: Vec<f32>,
+    offsets: Vec<usize>,
+    reallocations: usize,
+}
+
+impl TableArena {
+    pub fn new() -> TableArena {
+        TableArena::default()
+    }
+
+    /// An arena pre-sized for tables of the given lengths.
+    pub fn with_layout(sizes: &[usize]) -> TableArena {
+        let mut arena = TableArena::new();
+        arena.ensure_layout(sizes.iter().copied());
+        arena
+    }
+
+    /// Re-shapes the arena for tables of the given lengths. Cheap when the
+    /// layout is unchanged (one pass over `offsets`, no heap traffic).
+    pub fn ensure_layout(&mut self, sizes: impl IntoIterator<Item = usize>) {
+        let mut matches = !self.offsets.is_empty();
+        let mut count = 0usize;
+        let mut total = 0usize;
+        let mut new_offsets: Vec<usize> = Vec::new();
+        for size in sizes {
+            if matches
+                && (count + 1 >= self.offsets.len()
+                    || self.offsets[count + 1] - self.offsets[count] != size)
+            {
+                matches = false;
+                // Preserve the already-validated prefix.
+                new_offsets = self.offsets[..count + 1].to_vec();
+            }
+            if !matches && new_offsets.is_empty() {
+                new_offsets.push(0);
+            }
+            if !matches {
+                new_offsets.push(total + size);
+            }
+            count += 1;
+            total += size;
+        }
+        if matches && count + 1 == self.offsets.len() {
+            return;
+        }
+        if new_offsets.is_empty() {
+            new_offsets = if matches {
+                // `matches` held throughout but the old layout has extra tables.
+                self.offsets[..count + 1].to_vec()
+            } else {
+                // Empty arena asked for an empty layout.
+                vec![0]
+            };
+        }
+        self.offsets = new_offsets;
+        if total > self.buf.len() {
+            self.reallocations += 1;
+            self.buf.resize(total, 0.0);
+        }
+    }
+
+    /// Number of tables in the current layout.
+    pub fn num_tables(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total `f32` slots across all tables.
+    pub fn len(&self) -> usize {
+        self.offsets.last().copied().unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Start offset of each table, plus one past-the-end sentinel.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat buffer; index with `offsets()[s] + code`.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.buf[..self.len()]
+    }
+
+    /// Table `s` as a slice.
+    #[inline]
+    pub fn table(&self, s: usize) -> &[f32] {
+        &self.buf[self.offsets[s]..self.offsets[s + 1]]
+    }
+
+    /// Mutable table `s`, for in-place filling.
+    #[inline]
+    pub fn table_mut(&mut self, s: usize) -> &mut [f32] {
+        &mut self.buf[self.offsets[s]..self.offsets[s + 1]]
+    }
+
+    /// One table lookup: `table(s)[code]` without slice re-borrowing.
+    #[inline]
+    pub fn lookup(&self, s: usize, code: usize) -> f32 {
+        debug_assert!(self.offsets[s] + code < self.offsets[s + 1]);
+        self.buf[self.offsets[s] + code]
+    }
+
+    /// Iterates the tables in subspace order.
+    pub fn tables(&self) -> impl Iterator<Item = &[f32]> {
+        self.offsets.windows(2).map(|w| &self.buf[w[0]..w[1]])
+    }
+
+    /// Fills every table through `fill(s, table_s)`.
+    pub fn fill_with(&mut self, mut fill: impl FnMut(usize, &mut [f32])) {
+        for s in 0..self.num_tables() {
+            let (lo, hi) = (self.offsets[s], self.offsets[s + 1]);
+            fill(s, &mut self.buf[lo..hi]);
+        }
+    }
+
+    /// Times the backing buffer had to grow. A steady-state query loop
+    /// re-using one arena holds this constant — the zero-allocation
+    /// property the batch search path relies on.
+    pub fn reallocations(&self) -> usize {
+        self.reallocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_centroids() -> Matrix {
+        Matrix::from_rows(&[vec![0.0, 0.0, 0.0], vec![1.0, 2.0, 2.0], vec![-1.0, 0.5, 3.0]])
+    }
+
+    #[test]
+    fn stripe_kernel_matches_scalar_distances() {
+        let cb = toy_centroids();
+        let q = [0.5, -1.0, 2.0];
+        let mut out = vec![0.0; cb.rows()];
+        squared_distances_into(&q, &cb, &mut out);
+        for (r, &got) in out.iter().enumerate() {
+            let want = crate::squared_euclidean(&q, cb.row(r));
+            assert!((got - want).abs() < 1e-6, "row {r}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn stripe_kernel_handles_wide_rows_with_tail() {
+        // 7-dim rows: one 4-chunk plus a 3-tail.
+        let rows: Vec<Vec<f32>> =
+            (0..5).map(|r| (0..7).map(|c| (r * 7 + c) as f32 * 0.25 - 3.0).collect()).collect();
+        let cb = Matrix::from_rows(&rows);
+        let q: Vec<f32> = (0..7).map(|c| c as f32 * 0.5).collect();
+        let mut out = vec![0.0; 5];
+        squared_distances_into(&q, &cb, &mut out);
+        for (r, &got) in out.iter().enumerate() {
+            assert!((got - crate::squared_euclidean(&q, cb.row(r))).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn arena_layout_and_indexing() {
+        let mut arena = TableArena::with_layout(&[4, 2, 3]);
+        assert_eq!(arena.num_tables(), 3);
+        assert_eq!(arena.len(), 9);
+        assert_eq!(arena.offsets(), &[0, 4, 6, 9]);
+        arena.fill_with(|s, t| {
+            for (c, v) in t.iter_mut().enumerate() {
+                *v = (s * 10 + c) as f32;
+            }
+        });
+        assert_eq!(arena.table(1), &[10.0, 11.0]);
+        assert_eq!(arena.lookup(2, 2), 22.0);
+        assert_eq!(arena.as_slice().len(), 9);
+        let collected: Vec<usize> = arena.tables().map(|t| t.len()).collect();
+        assert_eq!(collected, vec![4, 2, 3]);
+    }
+
+    #[test]
+    fn refilling_same_layout_never_reallocates() {
+        let mut arena = TableArena::with_layout(&[8, 8, 8]);
+        let baseline = arena.reallocations();
+        for pass in 0..100 {
+            arena.ensure_layout([8usize, 8, 8]);
+            arena.fill_with(|s, t| t.fill((pass + s) as f32));
+        }
+        assert_eq!(arena.reallocations(), baseline, "steady state must not grow");
+    }
+
+    #[test]
+    fn shrinking_layout_reuses_the_buffer() {
+        let mut arena = TableArena::with_layout(&[16, 16]);
+        let baseline = arena.reallocations();
+        arena.ensure_layout([4usize, 4]);
+        assert_eq!(arena.num_tables(), 2);
+        assert_eq!(arena.len(), 8);
+        assert_eq!(arena.reallocations(), baseline, "shrink must reuse the buffer");
+        arena.ensure_layout([16usize, 16, 16]);
+        assert_eq!(arena.reallocations(), baseline + 1, "growth must be counted");
+    }
+
+    #[test]
+    fn layout_change_with_same_total_is_detected() {
+        let mut arena = TableArena::with_layout(&[4, 2]);
+        arena.ensure_layout([2usize, 4]);
+        assert_eq!(arena.offsets(), &[0, 2, 6]);
+        arena.ensure_layout([2usize]);
+        assert_eq!(arena.num_tables(), 1);
+        assert_eq!(arena.len(), 2);
+    }
+}

@@ -88,10 +88,7 @@ pub fn mean_reciprocal_rank(retrieved: &[Vec<u32>], truth: &[Vec<u32>]) -> f64 {
         .zip(truth.iter())
         .map(|(r, t)| {
             let t: HashSet<u32> = t.iter().copied().collect();
-            r.iter()
-                .position(|id| t.contains(id))
-                .map(|p| 1.0 / (p + 1) as f64)
-                .unwrap_or(0.0)
+            r.iter().position(|id| t.contains(id)).map(|p| 1.0 / (p + 1) as f64).unwrap_or(0.0)
         })
         .sum();
     total / retrieved.len() as f64

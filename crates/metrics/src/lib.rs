@@ -23,5 +23,7 @@ pub mod timing;
 
 pub use accuracy::{average_precision, map_at_k, mean_reciprocal_rank, precision_at, recall_at_k};
 pub use ranking::{average_ranks, nemenyi_critical_difference, speedup_at_recall};
-pub use stats::{bootstrap_mean_ci, friedman_test, wilcoxon_signed_rank, FriedmanResult, WilcoxonResult};
+pub use stats::{
+    bootstrap_mean_ci, friedman_test, wilcoxon_signed_rank, FriedmanResult, WilcoxonResult,
+};
 pub use timing::Stopwatch;

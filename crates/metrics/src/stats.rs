@@ -35,27 +35,26 @@ pub struct WilcoxonResult {
 /// Panics if the slices have different lengths.
 pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
     assert_eq!(a.len(), b.len(), "paired samples must have equal length");
-    let mut diffs: Vec<f64> = a
-        .iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| x - y)
-        .filter(|d| d.abs() > 1e-12)
-        .collect();
+    let mut diffs: Vec<f64> =
+        a.iter().zip(b.iter()).map(|(&x, &y)| x - y).filter(|d| d.abs() > 1e-12).collect();
     let wins_a = a.iter().zip(b.iter()).filter(|(x, y)| x > y).count();
     let wins_b = a.iter().zip(b.iter()).filter(|(x, y)| y > x).count();
     let n = diffs.len();
     if n == 0 {
-        return WilcoxonResult { w_plus: 0.0, z: 0.0, p_value: 1.0, n_effective: 0, wins_a, wins_b };
+        return WilcoxonResult {
+            w_plus: 0.0,
+            z: 0.0,
+            p_value: 1.0,
+            n_effective: 0,
+            wins_a,
+            wins_b,
+        };
     }
     // Rank |d| with midranks.
     let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
     let ranks = rank_with_ties(&abs);
-    let w_plus: f64 = diffs
-        .iter()
-        .zip(ranks.iter())
-        .filter(|(d, _)| **d > 0.0)
-        .map(|(_, &r)| r)
-        .sum();
+    let w_plus: f64 =
+        diffs.iter().zip(ranks.iter()).filter(|(d, _)| **d > 0.0).map(|(_, &r)| r).sum();
 
     let nf = n as f64;
     let mean = nf * (nf + 1.0) / 4.0;
@@ -124,8 +123,7 @@ pub fn friedman_test(scores: &[Vec<f64>]) -> FriedmanResult {
     let nf = n as f64;
     let kf = k as f64;
     let sum_r2: f64 = rank_sums.iter().map(|&r| r * r).sum();
-    let chi_square =
-        12.0 / (nf * kf * (kf + 1.0)) * sum_r2 - 3.0 * nf * (kf + 1.0);
+    let chi_square = 12.0 / (nf * kf * (kf + 1.0)) * sum_r2 - 3.0 * nf * (kf + 1.0);
     let df = k - 1;
     let p_value = chi_square_sf(chi_square.max(0.0), df as f64);
     FriedmanResult { average_ranks, chi_square, df, p_value }
@@ -161,8 +159,7 @@ pub fn bootstrap_mean_ci(samples: &[f64], confidence: f64, resamples: usize) -> 
     means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let alpha = (1.0 - confidence) / 2.0;
     let lo_idx = ((means.len() as f64 * alpha) as usize).min(means.len() - 1);
-    let hi_idx =
-        ((means.len() as f64 * (1.0 - alpha)) as usize).min(means.len() - 1);
+    let hi_idx = ((means.len() as f64 * (1.0 - alpha)) as usize).min(means.len() - 1);
     (means[lo_idx], means[hi_idx])
 }
 

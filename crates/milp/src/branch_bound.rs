@@ -276,11 +276,7 @@ mod tests {
                 zi.push(model.add_int_var(0.0, 1.0, gain));
             }
         }
-        model.add_constraint(
-            z.iter().flatten().map(|&v| (v, 1.0)).collect(),
-            Cmp::Eq,
-            24.0,
-        );
+        model.add_constraint(z.iter().flatten().map(|&v| (v, 1.0)).collect(), Cmp::Eq, 24.0);
         for zi in &z {
             for j in 1..zi.len() {
                 model.add_constraint(vec![(zi[j - 1], 1.0), (zi[j], -1.0)], Cmp::Ge, 0.0);
@@ -328,11 +324,9 @@ mod tests {
                     for c in 0..=4 {
                         let x = [a as f64, b as f64, c as f64];
                         if rows.iter().all(|(co, rhs)| {
-                            co.iter().zip(x.iter()).map(|(c, v)| c * v).sum::<f64>()
-                                <= rhs + 1e-9
+                            co.iter().zip(x.iter()).map(|(c, v)| c * v).sum::<f64>() <= rhs + 1e-9
                         }) {
-                            let o: f64 =
-                                obj.iter().zip(x.iter()).map(|(o, v)| o * v).sum();
+                            let o: f64 = obj.iter().zip(x.iter()).map(|(o, v)| o * v).sum();
                             best = best.max(o);
                         }
                     }

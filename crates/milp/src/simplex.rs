@@ -213,12 +213,9 @@ pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
             *v = var.ub;
         }
     }
-    let objective: f64 = values
-        .iter()
-        .zip(model.vars.iter())
-        .map(|(&x, v)| v.obj * (x - v.lb))
-        .sum::<f64>()
-        + constant;
+    let objective: f64 =
+        values.iter().zip(model.vars.iter()).map(|(&x, v)| v.obj * (x - v.lb)).sum::<f64>()
+            + constant;
     Ok(Solution { values, objective })
 }
 
@@ -249,8 +246,7 @@ fn run_simplex(
             if a > EPS {
                 let ratio = t[i * width + total] / a;
                 if ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                    || (ratio < best + EPS && leave.map(|l| basis[i] < basis[l]).unwrap_or(false))
                 {
                     best = ratio;
                     leave = Some(i);

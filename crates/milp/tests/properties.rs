@@ -9,15 +9,11 @@ use vaq_milp::{solve_lp, solve_milp, Cmp, Model, Objective};
 fn small_ilp() -> impl Strategy<Value = (Model, Vec<Vec<f64>>, Vec<f64>, usize)> {
     (2usize..=3, 1usize..=3, 2usize..=4).prop_flat_map(|(n, rows, ub)| {
         let objs = proptest::collection::vec(-1.0f64..1.0, n);
-        let coefs = proptest::collection::vec(
-            proptest::collection::vec(0.05f64..1.0, n),
-            rows,
-        );
+        let coefs = proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, n), rows);
         let rhss = proptest::collection::vec(0.5f64..4.0, rows);
         (objs, coefs, rhss).prop_map(move |(objs, coefs, rhss)| {
             let mut m = Model::new(Objective::Maximize);
-            let vars: Vec<usize> =
-                objs.iter().map(|&o| m.add_int_var(0.0, ub as f64, o)).collect();
+            let vars: Vec<usize> = objs.iter().map(|&o| m.add_int_var(0.0, ub as f64, o)).collect();
             for (c, &r) in coefs.iter().zip(rhss.iter()) {
                 m.add_constraint(
                     vars.iter().zip(c.iter()).map(|(&v, &cc)| (v, cc)).collect(),
@@ -30,12 +26,7 @@ fn small_ilp() -> impl Strategy<Value = (Model, Vec<Vec<f64>>, Vec<f64>, usize)>
     })
 }
 
-fn brute_force_best(
-    objs: &[f64],
-    coefs: &[Vec<f64>],
-    rhss: &[f64],
-    ub: usize,
-) -> f64 {
+fn brute_force_best(objs: &[f64], coefs: &[Vec<f64>], rhss: &[f64], ub: usize) -> f64 {
     let n = objs.len();
     let mut best = f64::NEG_INFINITY;
     let total = (ub + 1).pow(n as u32);
@@ -46,9 +37,10 @@ fn brute_force_best(
             x.push((rest % (ub + 1)) as f64);
             rest /= ub + 1;
         }
-        let feasible = coefs.iter().zip(rhss.iter()).all(|(c, &r)| {
-            c.iter().zip(x.iter()).map(|(a, b)| a * b).sum::<f64>() <= r + 1e-9
-        });
+        let feasible = coefs
+            .iter()
+            .zip(rhss.iter())
+            .all(|(c, &r)| c.iter().zip(x.iter()).map(|(a, b)| a * b).sum::<f64>() <= r + 1e-9);
         if feasible {
             let obj: f64 = objs.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
             best = best.max(obj);
@@ -123,11 +115,7 @@ fn milp_equals_enumeration_on_fixed_grid() {
     let mut m = Model::new(Objective::Maximize);
     let vars: Vec<usize> = objs.iter().map(|&o| m.add_int_var(0.0, ub as f64, o)).collect();
     for (c, &r) in coefs.iter().zip(rhss.iter()) {
-        m.add_constraint(
-            vars.iter().zip(c.iter()).map(|(&v, &cc)| (v, cc)).collect(),
-            Cmp::Le,
-            r,
-        );
+        m.add_constraint(vars.iter().zip(c.iter()).map(|(&v, &cc)| (v, cc)).collect(), Cmp::Le, r);
     }
     let sol = solve_milp(&m).unwrap();
     let best = brute_force_best(&objs, &coefs, &rhss, ub);

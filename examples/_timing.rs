@@ -1,5 +1,5 @@
-use vaq::linalg::{covariance_centered, sym_eigen};
 use vaq::dataset::ucr::UcrFamily;
+use vaq::linalg::{covariance_centered, sym_eigen};
 fn main() {
     let ds = UcrFamily::SlcLike.generate(1024, 1500, 1, 3);
     let t0 = std::time::Instant::now();

@@ -17,24 +17,14 @@ use vaq::dataset::SyntheticSpec;
 fn main() {
     for spec in [SyntheticSpec::sald_like(), SyntheticSpec::seismic_like()] {
         let ds = spec.generate(4000, 0, 7);
-        let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 16).with_ti_clusters(0))
-            .expect("training");
+        let vaq =
+            Vaq::train(&ds.data, &VaqConfig::new(64, 16).with_ti_clusters(0)).expect("training");
         println!("== {} ==", ds.name);
         println!("subspace  variance%  bits");
-        for (s, (&share, &bits)) in vaq
-            .layout()
-            .variance_share
-            .iter()
-            .zip(vaq.bits().iter())
-            .enumerate()
+        for (s, (&share, &bits)) in
+            vaq.layout().variance_share.iter().zip(vaq.bits().iter()).enumerate()
         {
-            println!(
-                "{:>8}  {:>8.2}%  {:>4} {}",
-                s,
-                share * 100.0,
-                bits,
-                "▇".repeat(bits)
-            );
+            println!("{:>8}  {:>8.2}%  {:>4} {}", s, share * 100.0, bits, "▇".repeat(bits));
         }
         println!();
     }

@@ -97,8 +97,7 @@ fn main() {
     bench(
         "VAQ",
         Box::new(move || {
-            let vaq =
-                Vaq::train(data, &VaqConfig::new(budget, 16).with_ti_clusters(150)).unwrap();
+            let vaq = Vaq::train(data, &VaqConfig::new(budget, 16).with_ti_clusters(150)).unwrap();
             Box::new(move |q| vaq.search(q, k).iter().map(|n| n.index).collect())
         }),
     );

@@ -8,9 +8,7 @@
 //! cargo run --release --example production_workflow
 //! ```
 
-use vaq::core::{
-    allocate_bits_constrained, AllocationConstraint, SearchStrategy, Vaq, VaqConfig,
-};
+use vaq::core::{allocate_bits_constrained, AllocationConstraint, SearchStrategy, Vaq, VaqConfig};
 use vaq::dataset::SyntheticSpec;
 
 fn main() {
@@ -19,8 +17,7 @@ fn main() {
     let initial = ds.data.select_rows(&(0..10_000).collect::<Vec<_>>());
     let late_batch = ds.data.select_rows(&(10_000..12_000).collect::<Vec<_>>());
 
-    let vaq =
-        Vaq::train(&initial, &VaqConfig::new(128, 16).with_ti_clusters(128)).expect("train");
+    let vaq = Vaq::train(&initial, &VaqConfig::new(128, 16).with_ti_clusters(128)).expect("train");
     let path = std::env::temp_dir().join("vaq-example-index.bin");
     vaq.save(&path).expect("save");
     println!(
@@ -43,9 +40,7 @@ fn main() {
         late_batch.rows(),
         served.len()
     );
-    let hit = served
-        .search_with(late_batch.row(0), 3, SearchStrategy::FullScan)
-        .0;
+    let hit = served.search_with(late_batch.row(0), 3, SearchStrategy::FullScan).0;
     assert!(hit.iter().any(|n| n.index == first_new as u32));
     println!("a just-appended vector finds itself: {:?}", hit[0].index);
 

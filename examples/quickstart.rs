@@ -21,11 +21,7 @@ fn main() {
     println!("bit allocation per subspace: {:?}", vaq.bits());
     println!(
         "subspace variance shares:    {:?}",
-        vaq.layout()
-            .variance_share
-            .iter()
-            .map(|v| (v * 100.0).round() / 100.0)
-            .collect::<Vec<_>>()
+        vaq.layout().variance_share.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
     );
 
     // 3. Search. Results carry the approximate (ADC) distance.

@@ -12,8 +12,8 @@
 use std::time::Instant;
 use vaq::baselines::AnnIndex;
 use vaq::core::{Vaq, VaqConfig};
-use vaq::dataset::ucr::UcrFamily;
 use vaq::dataset::exact_knn;
+use vaq::dataset::ucr::UcrFamily;
 use vaq::index::dstree::{DsTree, DsTreeConfig};
 use vaq::index::isax::{IsaxConfig, IsaxIndex};
 use vaq::index::{ExactScan, TraversalParams};
@@ -73,8 +73,5 @@ fn main() {
         .collect();
     report("DSTree (NG-20)", r, t.elapsed().as_secs_f64());
 
-    println!(
-        "\nVAQ's 64-bit codes use {}× less memory than the raw series.",
-        (ds.dim() * 32) / 64
-    );
+    println!("\nVAQ's 64-bit codes use {}× less memory than the raw series.", (ds.dim() * 32) / 64);
 }

@@ -1,0 +1,248 @@
+//! Vendored stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! Implements the surface `crates/bench/benches/microbench.rs` consumes:
+//! `Criterion::benchmark_group`, group tuning knobs, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros.
+//! Measurement is plain wall-clock sampling (warm-up, then `sample_size`
+//! samples sized to fill `measurement_time`), reporting the best and mean
+//! per-iteration time. No statistical regression analysis or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    /// Marker for the only measurement this shim supports.
+    pub struct WallTime;
+}
+
+/// Mean/best per-iteration nanoseconds for one completed benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchSummary {
+    pub id: String,
+    pub mean_ns: f64,
+    pub best_ns: f64,
+    pub samples: usize,
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    summaries: Vec<BenchSummary>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// All benchmarks measured through this `Criterion` so far.
+    pub fn summaries(&self) -> &[BenchSummary] {
+        &self.summaries
+    }
+}
+
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let full_id = format!("{}/{}", self.name, id);
+        let summary = bencher.summarize(&full_id);
+        println!(
+            "{full_id:<48} time: [best {} mean {}] ({} samples)",
+            fmt_ns(summary.best_ns),
+            fmt_ns(summary.mean_ns),
+            summary.samples
+        );
+        self.criterion.summaries.push(summary);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over `sample_size` samples, each running enough
+    /// iterations to make per-sample noise negligible.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up, also yielding a rough per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((budget_ns / est_ns) as u64).clamp(1, 1_000_000);
+
+        self.sample_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.sample_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times only `routine`, regenerating its input with `setup` for every
+    /// call so the routine may consume it.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+            if warm_iters >= 100_000 {
+                break;
+            }
+        }
+
+        self.sample_ns.clear();
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.sample_ns.push(start.elapsed().as_nanos() as f64);
+            black_box(out);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn summarize(&self, id: &str) -> BenchSummary {
+        assert!(
+            !self.sample_ns.is_empty(),
+            "benchmark '{id}' never called Bencher::iter/iter_batched"
+        );
+        let mean = self.sample_ns.iter().sum::<f64>() / self.sample_ns.len() as f64;
+        let best = self.sample_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        BenchSummary {
+            id: id.to_string(),
+            mean_ns: mean,
+            best_ns: best,
+            samples: self.sample_ns.len(),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_summary() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(5)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(5));
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert_eq!(c.summaries().len(), 2);
+        assert!(c.summaries().iter().all(|s| s.mean_ns >= 0.0 && s.samples > 0));
+        assert_eq!(c.summaries()[0].id, "shim/noop");
+    }
+}

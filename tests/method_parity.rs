@@ -13,7 +13,11 @@ use vaq::core::{SearchStrategy, Vaq, VaqConfig};
 use vaq::dataset::{exact_knn, SyntheticSpec};
 use vaq::metrics::recall_at_k;
 
-fn recall_of(search: impl Fn(&[f32]) -> Vec<u32>, ds: &vaq::dataset::Dataset, truth: &[Vec<u32>]) -> f64 {
+fn recall_of(
+    search: impl Fn(&[f32]) -> Vec<u32>,
+    ds: &vaq::dataset::Dataset,
+    truth: &[Vec<u32>],
+) -> f64 {
     let retrieved: Vec<Vec<u32>> =
         (0..ds.queries.rows()).map(|q| search(ds.queries.row(q))).collect();
     recall_at_k(&retrieved, truth, 10)
@@ -23,18 +27,13 @@ fn recall_of(search: impl Fn(&[f32]) -> Vec<u32>, ds: &vaq::dataset::Dataset, tr
 fn all_methods_respect_their_declared_bit_budgets() {
     let ds = SyntheticSpec::sift_like().generate(600, 0, 1);
     assert_eq!(Pq::train(&ds.data, &PqConfig::new(16).with_bits(4)).unwrap().code_bits(), 64);
-    assert_eq!(
-        Opq::train(&ds.data, &OpqConfig::new(16).with_bits(4)).unwrap().code_bits(),
-        64
-    );
+    assert_eq!(Opq::train(&ds.data, &OpqConfig::new(16).with_bits(4)).unwrap().code_bits(), 64);
     assert_eq!(Bolt::train(&ds.data, &BoltConfig::new(16)).unwrap().code_bits(), 64);
     assert_eq!(PqFastScan::train(&ds.data, &PqfsConfig::new(8)).unwrap().code_bits(), 64);
     assert_eq!(ItqLsh::train(&ds.data, &ItqConfig::new(64)).unwrap().code_bits(), 64);
     assert_eq!(Vq::train(&ds.data, &VqConfig::new(8)).unwrap().code_bits(), 8);
     assert_eq!(
-        Vaq::train(&ds.data, &VaqConfig::new(64, 16).with_ti_clusters(0))
-            .unwrap()
-            .code_bits(),
+        Vaq::train(&ds.data, &VaqConfig::new(64, 16).with_ti_clusters(0)).unwrap().code_bits(),
         64
     );
 }
@@ -94,15 +93,10 @@ fn vaq_matches_or_beats_the_best_baseline_on_every_spectrum() {
         let opq = Opq::train(&ds.data, &OpqConfig::new(8).with_bits(8)).unwrap();
         let vaq = Vaq::train(&ds.data, &VaqConfig::new(budget, 8).with_ti_clusters(0)).unwrap();
         let r_pq = recall_of(|q| pq.search(q, 10).iter().map(|n| n.index).collect(), &ds, &truth);
-        let r_opq =
-            recall_of(|q| opq.search(q, 10).iter().map(|n| n.index).collect(), &ds, &truth);
+        let r_opq = recall_of(|q| opq.search(q, 10).iter().map(|n| n.index).collect(), &ds, &truth);
         let r_vaq = recall_of(
             |q| {
-                vaq.search_with(q, 10, SearchStrategy::FullScan)
-                    .0
-                    .iter()
-                    .map(|n| n.index)
-                    .collect()
+                vaq.search_with(q, 10, SearchStrategy::FullScan).0.iter().map(|n| n.index).collect()
             },
             &ds,
             &truth,

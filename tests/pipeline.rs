@@ -43,11 +43,7 @@ fn vaq_beats_pq_on_skewed_spectrum_at_equal_budget() {
     let r_vaq = recall_at_k(
         &retrieve(
             |q| {
-                vaq.search_with(q, 10, SearchStrategy::FullScan)
-                    .0
-                    .iter()
-                    .map(|n| n.index)
-                    .collect()
+                vaq.search_with(q, 10, SearchStrategy::FullScan).0.iter().map(|n| n.index).collect()
             },
             &ds.queries,
         ),
@@ -115,11 +111,7 @@ fn bigger_budget_never_much_worse() {
         let vaq = Vaq::train(&ds.data, &VaqConfig::new(budget, 8).with_ti_clusters(0)).unwrap();
         let retrieved = retrieve(
             |q| {
-                vaq.search_with(q, 10, SearchStrategy::FullScan)
-                    .0
-                    .iter()
-                    .map(|n| n.index)
-                    .collect()
+                vaq.search_with(q, 10, SearchStrategy::FullScan).0.iter().map(|n| n.index).collect()
             },
             &ds.queries,
         );

@@ -1,7 +1,11 @@
 //! Property-based tests over the workspace's core invariants.
 
 use proptest::prelude::*;
-use vaq::core::{allocate_bits, AllocationStrategy, SubspaceLayout, SubspaceMode};
+use std::sync::OnceLock;
+use vaq::core::{
+    allocate_bits, AllocationStrategy, SearchStats, SearchStrategy, SubspaceLayout, SubspaceMode,
+    Vaq, VaqConfig,
+};
 use vaq::linalg::{covariance_centered, sym_eigen, DMatrix, Matrix, Pca};
 use vaq::metrics::{average_precision, recall_at_k};
 use vaq::milp::{solve_lp, solve_milp, Cmp, Model, Objective};
@@ -11,6 +15,18 @@ fn small_matrix() -> impl Strategy<Value = Matrix> {
     (3usize..=8, 6usize..=24).prop_flat_map(|(cols, rows)| {
         proptest::collection::vec(-100.0f32..100.0, rows * cols)
             .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    })
+}
+
+/// One trained index + query pool shared across property cases (training is
+/// deterministic, so sharing does not couple the cases).
+fn trained_vaq() -> &'static (Vaq, Matrix) {
+    static CELL: OnceLock<(Vaq, Matrix)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let ds = vaq::dataset::SyntheticSpec::sift_like().generate(500, 16, 41);
+        let index = Vaq::train(&ds.data, &VaqConfig::new(32, 4).with_seed(41).with_ti_clusters(16))
+            .unwrap();
+        (index, ds.queries)
     })
 }
 
@@ -129,9 +145,45 @@ proptest! {
     ) {
         let ap = average_precision(&retrieved, &truth);
         prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
-        let r = recall_at_k(&[retrieved.clone()], &[truth.clone()], 10);
+        let r = recall_at_k(std::slice::from_ref(&retrieved), std::slice::from_ref(&truth), 10);
         prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
         prop_assert!(ap <= r + 1e-12, "AP {ap} exceeded recall {r}");
+    }
+
+    #[test]
+    fn batch_search_equals_per_query_search(
+        // nq spans the n<4 sequential fallback AND the threaded shard path.
+        nq in 1usize..=8,
+        k in 1usize..=10,
+        strat_idx in 0usize..3,
+    ) {
+        let (index, pool) = trained_vaq();
+        let strategy = [
+            SearchStrategy::FullScan,
+            SearchStrategy::EarlyAbandon,
+            SearchStrategy::TiEa { visit_frac: 0.5 },
+        ][strat_idx];
+        let cols = pool.cols();
+        let mut flat = Vec::with_capacity(nq * cols);
+        for qi in 0..nq {
+            flat.extend_from_slice(pool.row(qi));
+        }
+        let queries = Matrix::from_vec(nq, cols, flat);
+
+        let (batch, batch_stats) = index.search_batch(&queries, k, strategy);
+        prop_assert_eq!(batch.len(), nq);
+        let mut expected_stats = SearchStats::default();
+        for (qi, got) in batch.iter().enumerate() {
+            let (want, stats) = index.search_with(pool.row(qi), k, strategy);
+            prop_assert_eq!(got, &want, "query {} diverged under {:?}", qi, strategy);
+            expected_stats += stats;
+        }
+        // Batch counters are exactly the sum of the per-query counters
+        // (table refills excluded: the batch path reuses one arena).
+        prop_assert_eq!(batch_stats.vectors_visited, expected_stats.vectors_visited);
+        prop_assert_eq!(batch_stats.vectors_skipped, expected_stats.vectors_skipped);
+        prop_assert_eq!(batch_stats.lookups, expected_stats.lookups);
+        prop_assert_eq!(batch_stats.lookups_skipped, expected_stats.lookups_skipped);
     }
 
     #[test]
