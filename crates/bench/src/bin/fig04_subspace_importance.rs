@@ -41,7 +41,7 @@ fn prefix_search(pq: &Pq, arena: &mut TableArena, query: &[f32], k: usize, j: us
             code[..j].iter().enumerate().map(|(s, &c)| flat[offsets[s] + c as usize]).sum();
         best.push((d, i as u32));
     }
-    best.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    best.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     best.into_iter().take(k).map(|(_, i)| i).collect()
 }
 
@@ -72,7 +72,7 @@ fn vaq_prefix_search(
             code[..j].iter().enumerate().map(|(s, &c)| flat[offsets[s] + c as usize]).sum();
         best.push((d, i as u32));
     }
-    best.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    best.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     best.into_iter().take(k).map(|(_, i)| i).collect()
 }
 

@@ -84,9 +84,7 @@ fn main() {
 
     // Rank table, best first.
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&a, &b| {
-        fr.average_ranks[a].partial_cmp(&fr.average_ranks[b]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| fr.average_ranks[a].total_cmp(&fr.average_ranks[b]));
     let rows: Vec<Vec<String>> = order
         .iter()
         .map(|&i| vec![scores.methods[i].clone(), format!("{:.3}", fr.average_ranks[i])])

@@ -126,14 +126,12 @@ fn main() {
     let vaq_best = results
         .iter()
         .filter(|r| r.method == "VAQ")
-        .max_by(|a, b| a.map.partial_cmp(&b.map).unwrap())
+        .max_by(|a, b| a.map.total_cmp(&b.map))
         .unwrap()
         .clone();
     let hnsw_matching: Vec<&MethodResult> =
         results.iter().filter(|r| r.method == "HNSW+PQ" && r.map >= vaq_best.map - 0.05).collect();
-    if let Some(h) =
-        hnsw_matching.iter().min_by(|a, b| a.query_secs.partial_cmp(&b.query_secs).unwrap())
-    {
+    if let Some(h) = hnsw_matching.iter().min_by(|a, b| a.query_secs.total_cmp(&b.query_secs)) {
         println!(
             "\nShape check at MAP ≈ {:.3}: HNSW preprocessing {:.1}× VAQ's; \
              HNSW query time {:.1}× VAQ's (paper: 22× more preprocessing, ~0.5× query time)",

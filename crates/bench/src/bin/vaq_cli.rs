@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use vaq_core::{SearchStrategy, Vaq, VaqConfig};
+use vaq_core::{Audit, SearchStrategy, Vaq, VaqConfig};
 use vaq_dataset::io::{read_bvecs, read_csv, read_fvecs, read_ivecs};
 use vaq_linalg::Matrix;
 use vaq_metrics::{map_at_k, recall_at_k};
@@ -29,7 +29,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_opts(&args[1..]) {
+    // `audit` also accepts a bare index path: `vaq_cli audit index.vaq`.
+    let mut rest: Vec<String> = args[1..].to_vec();
+    if cmd == "audit" && rest.len() == 1 && !rest[0].starts_with("--") {
+        rest = vec!["--index".to_string(), rest.remove(0)];
+    }
+    let opts = match parse_opts(&rest) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -41,6 +46,7 @@ fn main() -> ExitCode {
         "search" => cmd_search(&opts),
         "eval" => cmd_eval(&opts),
         "info" => cmd_info(&opts),
+        "audit" => cmd_audit(&opts),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -61,8 +67,12 @@ USAGE:
   vaq_cli eval   --index INDEX --queries FILE --truth FILE.ivecs [--k 100]
                  [--visit 0.25] [--limit N]
   vaq_cli info   --index INDEX
+  vaq_cli audit  INDEX            (or --index INDEX)
 
-Vector FILEs may be .fvecs, .bvecs, or .csv (one vector per line).";
+Vector FILEs may be .fvecs, .bvecs, or .csv (one vector per line).
+`audit` re-checks the index's structural invariants (bit budget C1–C4,
+importance monotonicity, code ranges, TI partition order) and exits
+non-zero listing each VAQ1xx diagnostic on failure.";
 
 type Opts = HashMap<String, String>;
 
@@ -198,6 +208,27 @@ fn cmd_eval(opts: &Opts) -> Result<(), String> {
         secs * 1e3 / queries.rows() as f64
     );
     Ok(())
+}
+
+fn cmd_audit(opts: &Opts) -> Result<(), String> {
+    let path = PathBuf::from(get(opts, "index")?);
+    let vaq = Vaq::load(&path).map_err(|e| e.to_string())?;
+    println!(
+        "auditing {} — {} vectors, {} subspaces, {} code bits",
+        path.display(),
+        vaq.len(),
+        vaq.bits().len(),
+        vaq.code_bits()
+    );
+    let report = vaq.audit();
+    if report.is_ok() {
+        println!("audit clean: all structural invariants hold");
+        return Ok(());
+    }
+    for issue in report.issues() {
+        eprintln!("{issue}");
+    }
+    Err(format!("{} invariant violation(s) found", report.issues().len()))
 }
 
 fn cmd_info(opts: &Opts) -> Result<(), String> {

@@ -270,11 +270,29 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                         }
                         *pos += 1;
                     }
+                    Some(&b) if b < 0x80 => {
+                        s.push(b as char);
+                        *pos += 1;
+                    }
                     Some(_) => {
-                        // Consume one UTF-8 scalar (input is a valid &str).
-                        let rest = &bytes[*pos..];
-                        let text = unsafe { std::str::from_utf8_unchecked(rest) };
-                        let c = text.chars().next().unwrap();
+                        // Consume one multi-byte UTF-8 scalar. A window of 4
+                        // bytes always covers the longest encoding; a valid
+                        // prefix shorter than the window still decodes the
+                        // scalar at `pos`.
+                        let end = (*pos + 4).min(bytes.len());
+                        let window = &bytes[*pos..end];
+                        let valid = match std::str::from_utf8(window) {
+                            Ok(text) => text,
+                            Err(e) => {
+                                let (head, _) = window.split_at(e.valid_up_to());
+                                std::str::from_utf8(head)
+                                    .map_err(|_| format!("invalid UTF-8 at byte {pos}"))?
+                            }
+                        };
+                        let c = valid
+                            .chars()
+                            .next()
+                            .ok_or_else(|| format!("invalid UTF-8 at byte {pos}"))?;
                         s.push(c);
                         *pos += c.len_utf8();
                     }

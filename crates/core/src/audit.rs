@@ -1,0 +1,616 @@
+//! Structural invariant auditing for trained indexes and pipeline stages.
+//!
+//! Training can succeed numerically while silently violating the paper's
+//! structural contract — a bit allocation off-budget, an importance order
+//! broken after the repair pass, a code outside its dictionary, a TI
+//! cluster that is no longer sorted. The [`Audit`] trait re-checks those
+//! contracts after the fact. Each violated invariant is reported with a
+//! stable diagnostic code (`VAQ101`–`VAQ109`, documented in DESIGN.md §8)
+//! so tests, CI, and the `vaq_cli audit` subcommand can match on them.
+//!
+//! The pipeline stages call [`Audit::debug_audit`] at the end of each
+//! stage: in debug builds a violated invariant aborts with the full
+//! report; release builds skip the check entirely.
+
+use crate::encoder::Encoder;
+use crate::pipeline::{BitPlan, DictionaryStage, SubspacePlan};
+use crate::subspaces::SubspaceLayout;
+use crate::ti::TiPartition;
+use crate::vaq::{Vaq, VaqConfig};
+use std::fmt;
+use vaq_linalg::TableArena;
+
+/// Hard ceiling on per-subspace bits: codes are stored as `u16`.
+pub const MAX_CODE_BITS: usize = 16;
+
+/// One violated invariant: a stable diagnostic code plus detail text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditIssue {
+    /// Stable diagnostic code (`VAQ101`…); see DESIGN.md §8.
+    pub code: &'static str,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.detail)
+    }
+}
+
+/// The outcome of an audit: empty means every checked invariant holds.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    issues: Vec<AuditIssue>,
+}
+
+impl AuditReport {
+    pub fn new() -> AuditReport {
+        AuditReport::default()
+    }
+
+    /// Records a violation.
+    pub fn push(&mut self, code: &'static str, detail: String) {
+        self.issues.push(AuditIssue { code, detail });
+    }
+
+    /// Records a violation when `ok` is false; `detail` is only built on
+    /// failure.
+    pub fn check(&mut self, ok: bool, code: &'static str, detail: impl FnOnce() -> String) {
+        if !ok {
+            self.push(code, detail());
+        }
+    }
+
+    /// Absorbs another report's issues.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.issues.extend(other.issues);
+    }
+
+    pub fn is_ok(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    pub fn issues(&self) -> &[AuditIssue] {
+        &self.issues
+    }
+
+    /// `true` when some issue carries the given diagnostic code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.issues.iter().any(|i| i.code == code)
+    }
+
+    /// `Ok(())` when clean, otherwise the report itself as the error.
+    pub fn into_result(self) -> Result<(), AuditReport> {
+        if self.is_ok() {
+            Ok(())
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.issues.is_empty() {
+            return write!(f, "audit clean");
+        }
+        for (i, issue) in self.issues.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{issue}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Re-checks the structural invariants of a trained artifact.
+pub trait Audit {
+    /// Runs every applicable invariant check, collecting violations.
+    fn audit(&self) -> AuditReport;
+
+    /// Debug-build assertion: panics with the full report when an
+    /// invariant is violated. Compiles to nothing in release builds.
+    fn debug_audit(&self, stage: &str) {
+        if cfg!(debug_assertions) {
+            let report = self.audit();
+            assert!(report.is_ok(), "invariant audit failed after {stage}:\n{report}");
+        }
+    }
+}
+
+impl Audit for SubspaceLayout {
+    fn audit(&self) -> AuditReport {
+        let mut r = AuditReport::new();
+        let d = self.perm.len();
+        let m = self.ranges.len();
+
+        // VAQ105 — permutation validity.
+        let mut seen = vec![false; d];
+        for &p in &self.perm {
+            if p >= d || seen[p] {
+                r.push("VAQ105", format!("perm is not a permutation of 0..{d} (entry {p})"));
+                break;
+            }
+            seen[p] = true;
+        }
+
+        // VAQ105 — ranges contiguous, non-empty, covering [0, d).
+        r.check(m > 0, "VAQ105", || "layout has no subspaces".into());
+        let mut cursor = 0usize;
+        for (s, &(lo, hi)) in self.ranges.iter().enumerate() {
+            r.check(lo == cursor, "VAQ105", || {
+                format!("subspace {s} starts at {lo}, expected {cursor} (ranges not contiguous)")
+            });
+            r.check(hi > lo, "VAQ105", || format!("subspace {s} is empty ({lo}..{hi})"));
+            cursor = hi;
+        }
+        r.check(cursor == d, "VAQ105", || {
+            format!("ranges cover 0..{cursor} but the layout spans {d} dimensions")
+        });
+
+        // VAQ105 — share vectors aligned with the structure.
+        r.check(self.variance_share.len() == m, "VAQ105", || {
+            format!("{} variance shares for {m} subspaces", self.variance_share.len())
+        });
+        r.check(self.pc_share.len() == d, "VAQ105", || {
+            format!("{} pc shares for {d} dimensions", self.pc_share.len())
+        });
+        for (s, &w) in self.variance_share.iter().enumerate() {
+            r.check(w.is_finite() && w >= 0.0, "VAQ105", || {
+                format!("subspace {s} variance share {w} is not a finite non-negative value")
+            });
+        }
+
+        // VAQ104 — importance monotonicity after the repair pass: subspaces
+        // are ordered by non-increasing variance share.
+        for s in 1..self.variance_share.len() {
+            let (prev, cur) = (self.variance_share[s - 1], self.variance_share[s]);
+            r.check(cur <= prev + 1e-9, "VAQ104", || {
+                format!("variance share increases at subspace {s}: {prev} -> {cur}")
+            });
+        }
+        r
+    }
+}
+
+impl Audit for SubspacePlan {
+    fn audit(&self) -> AuditReport {
+        let mut r = self.layout.audit();
+        r.check(self.pca.eigenvalues().len() == self.layout.perm.len(), "VAQ105", || {
+            format!(
+                "projection has {} components but the layout permutes {}",
+                self.pca.eigenvalues().len(),
+                self.layout.perm.len()
+            )
+        });
+        r
+    }
+}
+
+/// Intrinsic bit-vector checks shared by [`BitPlan`] and [`Vaq`].
+fn audit_bits(r: &mut AuditReport, bits: &[usize], num_subspaces: usize) {
+    r.check(bits.len() == num_subspaces, "VAQ105", || {
+        format!("{} bit entries for {num_subspaces} subspaces", bits.len())
+    });
+    for (s, &b) in bits.iter().enumerate() {
+        // C1 coverage: every subspace keeps at least one bit.
+        r.check(b >= 1, "VAQ101", || format!("subspace {s} allocated 0 bits (C1 coverage)"));
+        // C2 bounds: codes are u16, so 16 bits is the hard ceiling.
+        r.check(b <= MAX_CODE_BITS, "VAQ102", || {
+            format!("subspace {s} allocated {b} bits, above the {MAX_CODE_BITS}-bit u16 ceiling")
+        });
+    }
+}
+
+impl Audit for BitPlan {
+    fn audit(&self) -> AuditReport {
+        let mut r = self.layout.audit();
+        audit_bits(&mut r, &self.bits, self.layout.ranges.len());
+        r
+    }
+}
+
+impl BitPlan {
+    /// Audits the allocation against the *configured* C1–C4 envelope:
+    /// C1/C2 per-subspace bounds and the exact C3 budget. (C4
+    /// proportionality is a property of the optimizer's objective, not of
+    /// a single allocation, so it is asserted by the solver's own
+    /// re-check; see `vaq_milp::Model::check_solution`.)
+    pub fn audit_constraints(&self, cfg: &VaqConfig) -> AuditReport {
+        let mut r = self.audit();
+        for (s, &b) in self.bits.iter().enumerate() {
+            r.check(b >= cfg.min_bits, "VAQ101", || {
+                format!("subspace {s} allocated {b} bits < MinBits {} (C1)", cfg.min_bits)
+            });
+            r.check(b <= cfg.max_bits, "VAQ102", || {
+                format!("subspace {s} allocated {b} bits > MaxBits {} (C2)", cfg.max_bits)
+            });
+        }
+        let total: usize = self.bits.iter().sum();
+        r.check(total == cfg.budget_bits, "VAQ103", || {
+            format!("allocation sums to {total} bits, budget is {} (C3)", cfg.budget_bits)
+        });
+        r
+    }
+}
+
+impl Audit for Encoder {
+    fn audit(&self) -> AuditReport {
+        let mut r = AuditReport::new();
+        let m = self.ranges.len();
+        r.check(self.codebooks.len() == m, "VAQ109", || {
+            format!("{} codebooks for {m} subspaces", self.codebooks.len())
+        });
+        r.check(self.bits.len() == m, "VAQ109", || {
+            format!("{} bit entries for {m} subspaces", self.bits.len())
+        });
+        let mut cursor = 0usize;
+        for (s, &(lo, hi)) in self.ranges.iter().enumerate() {
+            r.check(lo == cursor && hi > lo, "VAQ109", || {
+                format!("encoder range {s} is {lo}..{hi}, expected to start at {cursor}")
+            });
+            cursor = hi;
+        }
+        for (s, cb) in self.codebooks.iter().enumerate() {
+            let (lo, hi) = self.ranges.get(s).copied().unwrap_or((0, 0));
+            r.check(cb.cols() == hi - lo, "VAQ109", || {
+                format!("codebook {s} is {} wide for subspace width {}", cb.cols(), hi - lo)
+            });
+            r.check(cb.rows() >= 1, "VAQ109", || format!("codebook {s} is empty"));
+            if let Some(&b) = self.bits.get(s) {
+                r.check(b <= MAX_CODE_BITS, "VAQ102", || {
+                    format!("encoder subspace {s} uses {b} bits, above the u16 ceiling")
+                });
+                r.check(b > MAX_CODE_BITS || cb.rows() <= (1usize << b), "VAQ109", || {
+                    format!("codebook {s} holds {} centroids for {b} bits", cb.rows())
+                });
+            }
+        }
+        r
+    }
+}
+
+impl Encoder {
+    /// Audits a filled [`TableArena`] against this encoder's layout:
+    /// VAQ107 covers both the arena's own offset contiguity and its
+    /// agreement with the dictionary sizes (a truncated or stale arena
+    /// fails here before it can misprice a distance).
+    pub fn audit_tables(&self, arena: &TableArena) -> AuditReport {
+        let mut r = arena.audit();
+        let m = self.ranges.len();
+        r.check(arena.num_tables() == m, "VAQ107", || {
+            format!("arena holds {} tables for {m} subspaces", arena.num_tables())
+        });
+        for (s, size) in self.table_sizes().enumerate() {
+            if s >= arena.num_tables() {
+                break;
+            }
+            let got = arena.table(s).len();
+            r.check(got == size, "VAQ107", || {
+                format!("arena table {s} has {got} entries, dictionary has {size}")
+            });
+        }
+        r
+    }
+}
+
+impl Audit for TableArena {
+    fn audit(&self) -> AuditReport {
+        let mut r = AuditReport::new();
+        let offsets = self.offsets();
+        if offsets.is_empty() {
+            // A never-shaped arena is fine (no tables yet).
+            return r;
+        }
+        r.check(offsets[0] == 0, "VAQ107", || {
+            format!("arena offsets start at {}, expected 0", offsets[0])
+        });
+        for w in offsets.windows(2) {
+            r.check(w[0] <= w[1], "VAQ107", || {
+                format!("arena offsets decrease: {} -> {}", w[0], w[1])
+            });
+        }
+        r
+    }
+}
+
+impl Audit for TiPartition {
+    fn audit(&self) -> AuditReport {
+        let mut r = AuditReport::new();
+        r.check(self.centroids.rows() == self.clusters.len(), "VAQ108", || {
+            format!("{} centroids for {} clusters", self.centroids.rows(), self.clusters.len())
+        });
+        r.check(self.centroids.cols() == self.prefix_dim, "VAQ108", || {
+            format!("centroids span {} dims, prefix is {}", self.centroids.cols(), self.prefix_dim)
+        });
+        r.check(self.prefix_subspaces >= 1, "VAQ108", || "prefix spans no subspaces".into());
+        for (c, members) in self.clusters.iter().enumerate() {
+            for mem in members {
+                r.check(mem.dist.is_finite() && mem.dist >= 0.0, "VAQ108", || {
+                    format!("cluster {c} member {} has distance {}", mem.idx, mem.dist)
+                });
+            }
+            for w in members.windows(2) {
+                // The binary-searched pruning window requires ascending
+                // cached distances.
+                r.check(w[0].dist <= w[1].dist, "VAQ108", || {
+                    format!(
+                        "cluster {c} is not sorted: {} (idx {}) before {} (idx {})",
+                        w[0].dist, w[0].idx, w[1].dist, w[1].idx
+                    )
+                });
+            }
+        }
+        r
+    }
+}
+
+/// Audits an `n × m` code array against its encoder: every code must index
+/// an existing dictionary entry (and therefore lie in `[0, 2^y_i)`).
+fn audit_codes(r: &mut AuditReport, codes: &[u16], n: usize, encoder: &Encoder) {
+    let m = encoder.num_subspaces();
+    r.check(codes.len() == n * m, "VAQ106", || {
+        format!("{} codes for {n} vectors x {m} subspaces", codes.len())
+    });
+    for (row, code) in codes.chunks_exact(m).enumerate() {
+        for (s, &c) in code.iter().enumerate() {
+            let rows = encoder.codebooks[s].rows();
+            if c as usize >= rows {
+                r.push(
+                    "VAQ106",
+                    format!("vector {row} subspace {s}: code {c} out of range [0, {rows})"),
+                );
+                // One out-of-range code per subspace is enough signal.
+                return;
+            }
+        }
+    }
+}
+
+impl Audit for DictionaryStage {
+    fn audit(&self) -> AuditReport {
+        let mut r = self.layout.audit();
+        audit_bits(&mut r, &self.bits, self.layout.ranges.len());
+        r.merge(self.encoder.audit());
+        audit_codes(&mut r, &self.codes, self.n, &self.encoder);
+        r
+    }
+}
+
+impl Audit for Vaq {
+    fn audit(&self) -> AuditReport {
+        let mut r = self.layout.audit();
+        audit_bits(&mut r, &self.bits, self.layout.ranges.len());
+        r.merge(self.encoder.audit());
+        r.check(self.encoder.bits() == self.bits.as_slice(), "VAQ109", || {
+            "encoder bit widths disagree with the trained allocation".into()
+        });
+        audit_codes(&mut r, &self.codes, self.n, &self.encoder);
+
+        if let Some(ti) = &self.ti {
+            r.merge(ti.audit());
+            // The partition must cover every database row exactly once.
+            let mut seen = vec![false; self.n];
+            let mut dup_or_oob = false;
+            for members in &ti.clusters {
+                for mem in members {
+                    let idx = mem.idx as usize;
+                    if idx >= self.n || seen[idx] {
+                        r.push(
+                            "VAQ108",
+                            format!(
+                                "TI partition repeats or exceeds row index {idx} (n={})",
+                                self.n
+                            ),
+                        );
+                        dup_or_oob = true;
+                        break;
+                    }
+                    seen[idx] = true;
+                }
+                if dup_or_oob {
+                    break;
+                }
+            }
+            if !dup_or_oob {
+                let covered = seen.iter().filter(|&&s| s).count();
+                r.check(covered == self.n, "VAQ108", || {
+                    format!("TI partition covers {covered} of {} rows", self.n)
+                });
+            }
+            // The prefix space must end on a subspace boundary of the
+            // encoder.
+            let m = self.encoder.num_subspaces();
+            if ti.prefix_subspaces >= 1 && ti.prefix_subspaces <= m {
+                let end = self.encoder.ranges()[ti.prefix_subspaces - 1].1;
+                r.check(ti.prefix_dim == end, "VAQ108", || {
+                    format!(
+                        "prefix dim {} does not match subspace boundary {end} after {} subspaces",
+                        ti.prefix_dim, ti.prefix_subspaces
+                    )
+                });
+            } else {
+                r.push("VAQ108", format!("prefix spans {} of {m} subspaces", ti.prefix_subspaces));
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ti::Member;
+    use vaq_dataset::SyntheticSpec;
+
+    fn trained() -> Vaq {
+        let ds = SyntheticSpec::sift_like().generate(300, 0, 11);
+        let cfg = VaqConfig::new(40, 8).with_ti_clusters(12).with_seed(5);
+        Vaq::train(&ds.data, &cfg).unwrap()
+    }
+
+    #[test]
+    fn trained_index_is_clean() {
+        let vaq = trained();
+        let report = vaq.audit();
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn corrupted_code_is_vaq106() {
+        let mut vaq = trained();
+        // Force a code past its dictionary: subspace 0's codebook has at
+        // most 2^13 rows, u16::MAX is always out of range.
+        vaq.codes[0] = u16::MAX;
+        let report = vaq.audit();
+        assert!(report.has_code("VAQ106"), "{report}");
+    }
+
+    #[test]
+    fn truncated_codes_are_vaq106() {
+        let mut vaq = trained();
+        vaq.codes.pop();
+        let report = vaq.audit();
+        assert!(report.has_code("VAQ106"), "{report}");
+    }
+
+    #[test]
+    fn unsorted_ti_cluster_is_vaq108() {
+        let mut vaq = trained();
+        let ti = vaq.ti.as_mut().unwrap();
+        let cluster =
+            ti.clusters.iter_mut().find(|c| c.len() >= 2).expect("some cluster has two members");
+        cluster.reverse();
+        let all_equal = cluster.windows(2).all(|w| w[0].dist == w[1].dist);
+        if !all_equal {
+            let report = vaq.audit();
+            assert!(report.has_code("VAQ108"), "{report}");
+        }
+    }
+
+    #[test]
+    fn duplicated_ti_member_is_vaq108() {
+        let mut vaq = trained();
+        let ti = vaq.ti.as_mut().unwrap();
+        let first = ti.clusters.iter().flatten().next().copied().unwrap();
+        for cl in ti.clusters.iter_mut() {
+            if !cl.iter().any(|m| m.idx == first.idx) {
+                cl.push(Member { idx: first.idx, dist: f32::MAX });
+                break;
+            }
+        }
+        let report = vaq.audit();
+        assert!(report.has_code("VAQ108"), "{report}");
+    }
+
+    #[test]
+    fn off_budget_bits_are_vaq103() {
+        let ds = SyntheticSpec::sald_like().generate(200, 0, 3);
+        let cfg = VaqConfig::new(32, 8).with_ti_clusters(0);
+        let mut plan = crate::pipeline::VarPcaStage::compute(&ds.data, &cfg)
+            .unwrap()
+            .plan_subspaces(&cfg)
+            .unwrap()
+            .allocate_bits(&cfg)
+            .unwrap();
+        assert!(plan.audit_constraints(&cfg).is_ok());
+        plan.bits[0] += 1;
+        let report = plan.audit_constraints(&cfg);
+        assert!(report.has_code("VAQ103"), "{report}");
+    }
+
+    #[test]
+    fn zero_bit_subspace_is_vaq101() {
+        let ds = SyntheticSpec::sald_like().generate(200, 0, 3);
+        let cfg = VaqConfig::new(32, 8).with_ti_clusters(0);
+        let mut plan = crate::pipeline::VarPcaStage::compute(&ds.data, &cfg)
+            .unwrap()
+            .plan_subspaces(&cfg)
+            .unwrap()
+            .allocate_bits(&cfg)
+            .unwrap();
+        plan.bits[3] = 0;
+        let report = plan.audit();
+        assert!(report.has_code("VAQ101"), "{report}");
+    }
+
+    #[test]
+    fn broken_importance_order_is_vaq104() {
+        let vaq = trained();
+        let mut layout = vaq.layout.clone();
+        layout.variance_share.reverse();
+        let report = layout.audit();
+        assert!(report.has_code("VAQ104"), "{report}");
+    }
+
+    #[test]
+    fn truncated_arena_is_vaq107() {
+        let vaq = trained();
+        // An arena shaped for one table too few (and the wrong sizes).
+        let sizes: Vec<usize> = vaq.encoder().table_sizes().collect();
+        let arena = TableArena::with_layout(&sizes[..sizes.len() - 1]);
+        let report = vaq.encoder().audit_tables(&arena);
+        assert!(report.has_code("VAQ107"), "{report}");
+    }
+
+    #[test]
+    fn display_lists_every_issue() {
+        let mut r = AuditReport::new();
+        r.push("VAQ101", "first".into());
+        r.push("VAQ108", "second".into());
+        let text = r.to_string();
+        assert!(text.contains("VAQ101: first") && text.contains("VAQ108: second"));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// One clean index shared across cases (training is deterministic;
+        /// each case clones before corrupting).
+        fn shared() -> &'static Vaq {
+            static CELL: OnceLock<Vaq> = OnceLock::new();
+            CELL.get_or_init(trained)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Any single corrupted code cell is caught as VAQ106,
+            /// regardless of where it lands.
+            #[test]
+            fn any_corrupted_code_is_vaq106(pos_seed in 0usize..10_000) {
+                let mut vaq = shared().clone();
+                let pos = pos_seed % vaq.codes.len();
+                vaq.codes[pos] = u16::MAX;
+                let report = vaq.audit();
+                prop_assert!(report.has_code("VAQ106"), "{report}");
+            }
+
+            /// Any truncation of the codes buffer is caught as VAQ106.
+            #[test]
+            fn any_truncated_codes_are_vaq106(cut_seed in 1usize..10_000) {
+                let mut vaq = shared().clone();
+                let cut = 1 + cut_seed % (vaq.codes.len() - 1);
+                vaq.codes.truncate(vaq.codes.len() - cut);
+                let report = vaq.audit();
+                prop_assert!(report.has_code("VAQ106"), "{report}");
+            }
+
+            /// Any arena truncated below the encoder's table layout is
+            /// caught as VAQ107.
+            #[test]
+            fn any_truncated_arena_is_vaq107(drop_seed in 1usize..10_000) {
+                let vaq = shared();
+                let sizes: Vec<usize> = vaq.encoder().table_sizes().collect();
+                let keep = sizes.len() - 1 - (drop_seed % (sizes.len() - 1));
+                let arena = TableArena::with_layout(&sizes[..keep]);
+                let report = vaq.encoder().audit_tables(&arena);
+                prop_assert!(report.has_code("VAQ107"), "{report}");
+            }
+        }
+    }
+}

@@ -67,7 +67,9 @@ impl Encoder {
             .map_err(|e| VaqError::Numeric(e.to_string()))?;
             codebooks.push(model.centroids);
         }
-        Ok(Encoder { codebooks, bits: bits.to_vec(), ranges: layout.ranges.clone() })
+        let encoder = Encoder { codebooks, bits: bits.to_vec(), ranges: layout.ranges.clone() };
+        crate::audit::Audit::debug_audit(&encoder, "dictionary training");
+        Ok(encoder)
     }
 
     /// Number of subspaces.

@@ -175,6 +175,16 @@ impl QueryEngine {
     /// scanners, prefix ablations) rather than through a full search.
     pub fn prepare(&mut self, view: &IndexView<'_>, projected_query: &[f32]) {
         view.fill_tables(projected_query, &mut self.arena);
+        if cfg!(debug_assertions) {
+            use crate::audit::Audit;
+            let report = self.arena.audit();
+            assert!(report.is_ok(), "table arena audit failed after prepare:\n{report}");
+            assert_eq!(
+                self.arena.num_tables(),
+                view.num_subspaces(),
+                "arena table count disagrees with the view"
+            );
+        }
     }
 
     /// Fills the arena with caller-defined tables (e.g. SDC

@@ -21,7 +21,6 @@ use crate::engine::{IndexView, QueryEngine};
 use crate::search::{Neighbor, SearchStats};
 use crate::vaq::{Vaq, VaqConfig};
 use crate::VaqError;
-use std::cmp::Ordering;
 use vaq_kmeans::{KMeans, KMeansConfig};
 use vaq_linalg::Matrix;
 
@@ -159,7 +158,7 @@ impl VaqIvf {
             .enumerate()
             .map(|(c, row)| (vaq_linalg::squared_euclidean(row, &projected), c as u32))
             .collect();
-        order.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
         let probe = nprobe.max(1);
         let ids = order

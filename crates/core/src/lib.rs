@@ -46,6 +46,7 @@
 //! ```
 
 pub mod allocation;
+pub mod audit;
 pub mod encoder;
 pub mod engine;
 pub mod ivf;
@@ -60,6 +61,7 @@ pub use allocation::{
     allocate_bits, allocate_bits_constrained, greedy_allocation, AllocationConstraint,
     AllocationStrategy,
 };
+pub use audit::{Audit, AuditIssue, AuditReport};
 pub use engine::{IndexView, QueryEngine};
 pub use ivf::{VaqIvf, VaqIvfConfig};
 pub use pipeline::{BitPlan, DictionaryStage, SubspacePlan, VarPcaStage};

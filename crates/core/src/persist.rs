@@ -229,7 +229,9 @@ impl Vaq {
             _ => return Err(bad("bad strategy tag")),
         };
 
-        Ok(Vaq { pca, layout, bits, encoder, codes, n, ti, default_strategy })
+        let vaq = Vaq { pca, layout, bits, encoder, codes, n, ti, default_strategy };
+        crate::audit::Audit::debug_audit(&vaq, "deserialization");
+        Ok(vaq)
     }
 
     /// Writes the index to a file.

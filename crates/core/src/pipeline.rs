@@ -22,6 +22,7 @@
 //! subspace plan.
 
 use crate::allocation::{allocate_bits, allocate_bits_constrained, AllocationStrategy};
+use crate::audit::Audit;
 use crate::encoder::Encoder;
 use crate::search::SearchStrategy;
 use crate::subspaces::SubspaceLayout;
@@ -68,7 +69,9 @@ impl VarPcaStage {
         )?;
         // The projection must follow the same PC order as the layout.
         self.pca.permute_components(&layout.perm);
-        Ok(SubspacePlan { pca: self.pca, layout })
+        let plan = SubspacePlan { pca: self.pca, layout };
+        plan.debug_audit("stage 2 (subspace plan)");
+        Ok(plan)
     }
 }
 
@@ -107,7 +110,12 @@ impl SubspacePlan {
                 &cfg.allocation_constraints,
             )?
         };
-        Ok(BitPlan { pca: self.pca, layout: self.layout, bits })
+        let plan = BitPlan { pca: self.pca, layout: self.layout, bits };
+        if cfg!(debug_assertions) {
+            let report = plan.audit_constraints(cfg);
+            assert!(report.is_ok(), "invariant audit failed after stage 3 (bit plan):\n{report}");
+        }
+        Ok(plan)
     }
 }
 
@@ -134,14 +142,16 @@ impl BitPlan {
         let encoder =
             Encoder::train(&projected, &self.layout, &self.bits, cfg.train_iters, cfg.seed)?;
         let codes = encoder.encode_all(&projected);
-        Ok(DictionaryStage {
+        let stage = DictionaryStage {
             pca: self.pca,
             layout: self.layout,
             bits: self.bits,
             encoder,
             codes,
             n: data.rows(),
-        })
+        };
+        stage.debug_audit("stage 4 (dictionaries)");
+        Ok(stage)
     }
 }
 
@@ -179,7 +189,7 @@ impl DictionaryStage {
         } else {
             None
         };
-        Ok(Vaq {
+        let vaq = Vaq {
             pca: self.pca,
             layout: self.layout,
             bits: self.bits,
@@ -188,7 +198,9 @@ impl DictionaryStage {
             n: self.n,
             ti,
             default_strategy: SearchStrategy::TiEa { visit_frac: cfg.ti_visit_frac },
-        })
+        };
+        vaq.debug_audit("stage 5 (TI build)");
+        Ok(vaq)
     }
 }
 

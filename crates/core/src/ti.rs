@@ -124,12 +124,7 @@ impl TiPartition {
             clusters[ci as usize].push(Member { idx: i as u32, dist: d });
         }
         for cl in clusters.iter_mut() {
-            cl.sort_by(|a, b| {
-                a.dist
-                    .partial_cmp(&b.dist)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.idx.cmp(&b.idx))
-            });
+            cl.sort_by(|a, b| a.dist.total_cmp(&b.dist).then_with(|| a.idx.cmp(&b.idx)));
         }
         Ok(TiPartition { centroids, clusters, prefix_subspaces, prefix_dim })
     }
@@ -183,11 +178,7 @@ impl TiPartition {
     /// Cluster visit order for a query: ascending centroid distance.
     pub fn visit_order(&self, query_dists: &[f32]) -> Vec<u32> {
         let mut order: Vec<u32> = (0..self.clusters.len() as u32).collect();
-        order.sort_by(|&a, &b| {
-            query_dists[a as usize]
-                .partial_cmp(&query_dists[b as usize])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| query_dists[a as usize].total_cmp(&query_dists[b as usize]));
         order
     }
 

@@ -23,7 +23,7 @@ pub mod rng;
 pub mod ucr;
 
 pub use ground_truth::exact_knn;
-pub use largescale::{SyntheticSpec, LARGE_SCALE_NAMES};
+pub use largescale::{Post, SyntheticSpec, LARGE_SCALE_NAMES};
 pub use ucr::{ucr_like_archive, UcrFamily};
 
 use vaq_linalg::Matrix;

@@ -160,20 +160,14 @@ impl DsTree {
                 .iter()
                 .enumerate()
                 .max_by(|a, b| {
-                    (a.1.max_mean - a.1.min_mean)
-                        .partial_cmp(&(b.1.max_mean - b.1.min_mean))
-                        .unwrap_or(Ordering::Equal)
+                    (a.1.max_mean - a.1.min_mean).total_cmp(&(b.1.max_mean - b.1.min_mean))
                 })
                 .map(|(i, s)| (i, s.max_mean - s.min_mean))
                 .unwrap();
             let by_std = syn
                 .iter()
                 .enumerate()
-                .max_by(|a, b| {
-                    (a.1.max_std - a.1.min_std)
-                        .partial_cmp(&(b.1.max_std - b.1.min_std))
-                        .unwrap_or(Ordering::Equal)
-                })
+                .max_by(|a, b| (a.1.max_std - a.1.min_std).total_cmp(&(b.1.max_std - b.1.min_std)))
                 .map(|(i, s)| (i, s.max_std - s.min_std))
                 .unwrap();
             if by_mean.1 >= by_std.1 {

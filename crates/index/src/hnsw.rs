@@ -240,8 +240,7 @@ impl<S: VectorStore> Hnsw<S> {
         list.sort_by(|&a, &b| {
             self.store
                 .pair_distance(node as usize, a as usize)
-                .partial_cmp(&self.store.pair_distance(node as usize, b as usize))
-                .unwrap_or(Ordering::Equal)
+                .total_cmp(&self.store.pair_distance(node as usize, b as usize))
         });
         list.dedup();
         list.truncate(m_max);
@@ -314,7 +313,7 @@ impl<S: VectorStore> Hnsw<S> {
         }
         let mut out: Vec<Near> =
             results.into_vec().into_iter().map(|Far(d, i)| Near(d, i)).collect();
-        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
         out
     }
 

@@ -122,9 +122,9 @@ impl Imi {
             .map(|c| squared_euclidean(c, &query[self.split..]))
             .collect();
         let mut ord1: Vec<usize> = (0..k1).collect();
-        ord1.sort_by(|&a, &b| d1[a].partial_cmp(&d1[b]).unwrap_or(Ordering::Equal));
+        ord1.sort_by(|&a, &b| d1[a].total_cmp(&d1[b]));
         let mut ord2: Vec<usize> = (0..k2).collect();
-        ord2.sort_by(|&a, &b| d2[a].partial_cmp(&d2[b]).unwrap_or(Ordering::Equal));
+        ord2.sort_by(|&a, &b| d2[a].total_cmp(&d2[b]));
 
         // Multi-sequence traversal over the (i, j) grid of sorted ranks.
         #[derive(PartialEq)]

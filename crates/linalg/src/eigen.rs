@@ -152,9 +152,7 @@ pub fn sym_eigen(m: &DMatrix) -> Result<SymEigen> {
 
     // Extract diagonal and sort descending, carrying eigenvector columns.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| {
-        a[j * n + j].partial_cmp(&a[i * n + i]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&i, &j| a[j * n + j].total_cmp(&a[i * n + i]));
     let values: Vec<f64> = order.iter().map(|&i| a[i * n + i]).collect();
     let mut vectors = DMatrix::zeros(n, n);
     for (dst, &src) in order.iter().enumerate() {

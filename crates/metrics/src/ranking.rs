@@ -5,7 +5,7 @@
 pub fn rank_with_ties(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
     let mut ranks = vec![0.0f64; n];
     let mut i = 0;
     while i < n {
@@ -65,9 +65,7 @@ pub fn nemenyi_critical_difference(k: usize, n: usize) -> f64 {
 pub fn nemenyi_groups(avg_ranks: &[f64], cd: f64) -> Vec<Vec<usize>> {
     let k = avg_ranks.len();
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&i, &j| {
-        avg_ranks[i].partial_cmp(&avg_ranks[j]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&i, &j| avg_ranks[i].total_cmp(&avg_ranks[j]));
     let mut groups: Vec<Vec<usize>> = Vec::new();
     for start in 0..k {
         let mut end = start;
@@ -114,7 +112,7 @@ pub fn time_at_recall(points: &[OperatingPoint], target: f64) -> Option<f64> {
         return None;
     }
     let mut pts = points.to_vec();
-    pts.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
+    pts.sort_by(|x, y| x.0.total_cmp(&y.0));
     // Fastest point at or above the target.
     let above: Vec<&OperatingPoint> = pts.iter().filter(|p| p.0 >= target).collect();
     if above.is_empty() {
@@ -126,10 +124,7 @@ pub fn time_at_recall(points: &[OperatingPoint], target: f64) -> Option<f64> {
     match below {
         None => Some(best_above),
         Some(&(r0, t0)) => {
-            let &&(r1, t1) = above
-                .iter()
-                .min_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal))
-                .expect("non-empty");
+            let &&(r1, t1) = above.iter().min_by(|x, y| x.0.total_cmp(&y.0))?;
             if r1 - r0 < 1e-12 {
                 Some(best_above)
             } else {
@@ -223,5 +218,31 @@ mod tests {
         let a = vec![(0.5, 1.0)];
         let b = vec![(0.9, 1.0)];
         assert_eq!(speedup_at_recall(&a, &b, 0.8), None);
+    }
+
+    // NaN regression tests: sorts use `total_cmp`, so a NaN distance must
+    // never panic (it previously did via `partial_cmp(..).unwrap()`).
+
+    #[test]
+    fn rank_with_ties_tolerates_nan() {
+        let ranks = rank_with_ties(&[3.0, f64::NAN, 1.0]);
+        // total_cmp orders NaN after every finite value: 1.0 → 1, 3.0 → 2.
+        assert_eq!(ranks[2], 1.0);
+        assert_eq!(ranks[0], 2.0);
+        assert_eq!(ranks[1], 3.0);
+    }
+
+    #[test]
+    fn time_at_recall_tolerates_nan_point() {
+        let pts = vec![(0.8, 1.0), (f64::NAN, 9.0), (0.9, 2.0)];
+        // NaN recall sorts past the target filter; finite points still work.
+        assert_eq!(time_at_recall(&pts, 0.9), Some(2.0));
+    }
+
+    #[test]
+    fn nemenyi_groups_tolerate_nan_rank() {
+        // Must not panic; the NaN method sorts last and never groups.
+        let groups = nemenyi_groups(&[1.0, 1.2, f64::NAN], 0.5);
+        assert_eq!(groups, vec![vec![0, 1]]);
     }
 }

@@ -60,7 +60,7 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
     let mean = nf * (nf + 1.0) / 4.0;
     // Tie correction on the variance.
     let mut sorted = abs.clone();
-    sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sorted.sort_by(|x, y| x.total_cmp(y));
     let mut tie_term = 0.0;
     let mut i = 0;
     while i < n {
@@ -156,7 +156,7 @@ pub fn bootstrap_mean_ci(samples: &[f64], confidence: f64, resamples: usize) -> 
         }
         means.push(sum / n as f64);
     }
-    means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    means.sort_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - confidence) / 2.0;
     let lo_idx = ((means.len() as f64 * alpha) as usize).min(means.len() - 1);
     let hi_idx = ((means.len() as f64 * (1.0 - alpha)) as usize).min(means.len() - 1);
@@ -281,5 +281,38 @@ mod tests {
     #[should_panic]
     fn wilcoxon_rejects_mismatched_lengths() {
         wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    }
+
+    // NaN regression tests: the internal sorts use `total_cmp`, so a NaN
+    // score (e.g. recall of a failed run) must not panic mid-test.
+
+    #[test]
+    fn wilcoxon_tolerates_nan_score() {
+        let a = vec![0.9, f64::NAN, 0.8, 0.7];
+        let b = vec![0.5, 0.6, 0.5, 0.6];
+        let r = wilcoxon_signed_rank(&a, &b);
+        // The NaN pair still counts as an effective difference but must not
+        // blow up the tie-correction sort; the statistic stays finite-free
+        // of panics even if its value is NaN-contaminated.
+        assert_eq!(r.wins_a, 3);
+        assert_eq!(r.wins_b, 0);
+    }
+
+    #[test]
+    fn bootstrap_ci_tolerates_nan_sample() {
+        // The percentile sort must not panic; with total_cmp NaN means sort
+        // after every finite mean.
+        let (lo, _hi) = bootstrap_mean_ci(&[0.5, 0.6, f64::NAN, 0.7], 0.95, 64);
+        assert!(lo.is_nan() || lo.is_finite());
+    }
+
+    #[test]
+    fn friedman_tolerates_nan_score() {
+        // One dataset has a NaN score for one method: ranking must not
+        // panic, and the other methods still get finite average ranks.
+        let scores = vec![vec![0.9, 0.9], vec![0.8, f64::NAN], vec![0.7, 0.7]];
+        let r = friedman_test(&scores);
+        assert!(r.average_ranks[0].is_finite());
+        assert_eq!(r.df, 2);
     }
 }

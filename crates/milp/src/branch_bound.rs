@@ -39,7 +39,7 @@ impl PartialOrd for Node {
 }
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.score.partial_cmp(&other.score).unwrap_or(Ordering::Equal)
+        self.score.total_cmp(&other.score)
     }
 }
 
@@ -99,7 +99,7 @@ pub fn solve_milp(model: &Model) -> Result<Solution, SolveError> {
             .filter(|(_, v)| v.integer)
             .map(|(i, _)| (i, (sol.values[i] - sol.values[i].round()).abs()))
             .filter(|&(_, f)| f > INT_EPS)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+            .max_by(|a, b| a.1.total_cmp(&b.1));
 
         match frac {
             None => {
@@ -143,7 +143,13 @@ pub fn solve_milp(model: &Model) -> Result<Solution, SolveError> {
         }
     }
 
-    incumbent.ok_or(SolveError::Infeasible)
+    let best = incumbent.ok_or(SolveError::Infeasible)?;
+    if cfg!(debug_assertions) {
+        if let Err(msg) = model.check_solution(&best, 1e-6) {
+            panic!("branch-and-bound produced an invalid solution: {msg}");
+        }
+    }
+    Ok(best)
 }
 
 /// Solves the LP relaxation of `model` under overridden variable bounds.

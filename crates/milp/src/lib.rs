@@ -128,6 +128,61 @@ impl Model {
     pub fn direction(&self) -> Objective {
         self.objective
     }
+
+    /// Re-checks a solution against the model: variable bounds,
+    /// integrality of integer variables, every constraint row, and the
+    /// reported objective value, all within tolerance `tol`.
+    ///
+    /// The branch-and-bound solver asserts this on its own output in debug
+    /// builds; callers holding extra invariants (e.g. VAQ's C1–C4 bit
+    /// constraints) can also run it after the fact.
+    pub fn check_solution(&self, sol: &Solution, tol: f64) -> Result<(), String> {
+        if sol.values.len() != self.vars.len() {
+            return Err(format!(
+                "solution has {} values for {} variables",
+                sol.values.len(),
+                self.vars.len()
+            ));
+        }
+        for (i, (v, &x)) in self.vars.iter().zip(sol.values.iter()).enumerate() {
+            if !x.is_finite() {
+                return Err(format!("variable {i} is {x}"));
+            }
+            if x < v.lb - tol || x > v.ub + tol {
+                return Err(format!("variable {i} = {x} outside bounds [{}, {}]", v.lb, v.ub));
+            }
+            if v.integer && (x - x.round()).abs() > tol {
+                return Err(format!("integer variable {i} = {x} is fractional"));
+            }
+        }
+        for (row, c) in self.constraints.iter().enumerate() {
+            let lhs: f64 = c.coeffs.iter().map(|&(v, a)| a * sol.values[v]).sum();
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return Err(format!(
+                    "constraint {row} violated: lhs {lhs} {} rhs {}",
+                    match c.cmp {
+                        Cmp::Le => "≤",
+                        Cmp::Ge => "≥",
+                        Cmp::Eq => "=",
+                    },
+                    c.rhs
+                ));
+            }
+        }
+        let obj: f64 = self.vars.iter().zip(sol.values.iter()).map(|(v, &x)| v.obj * x).sum();
+        if (obj - sol.objective).abs() > tol * (1.0 + sol.objective.abs()) {
+            return Err(format!(
+                "reported objective {} disagrees with recomputed {obj}",
+                sol.objective
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// A solver result: the optimum found.
@@ -189,5 +244,35 @@ mod tests {
     fn constraint_with_unknown_var_panics() {
         let mut m = Model::new(Objective::Maximize);
         m.add_constraint(vec![(3, 1.0)], Cmp::Le, 1.0);
+    }
+
+    #[test]
+    fn check_solution_accepts_valid_and_rejects_corruption() {
+        let mut m = Model::new(Objective::Maximize);
+        let x = m.add_var(0.0, 10.0, 1.0);
+        let y = m.add_int_var(0.0, 5.0, 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 7.0);
+
+        let good = Solution { values: vec![2.0, 5.0], objective: 12.0 };
+        assert!(m.check_solution(&good, 1e-9).is_ok());
+
+        // Out of bounds.
+        let oob = Solution { values: vec![-1.0, 5.0], objective: 9.0 };
+        assert!(m.check_solution(&oob, 1e-9).unwrap_err().contains("bounds"));
+        // Fractional integer.
+        let frac = Solution { values: vec![2.0, 2.5], objective: 7.0 };
+        assert!(m.check_solution(&frac, 1e-9).unwrap_err().contains("fractional"));
+        // Constraint violated.
+        let infeas = Solution { values: vec![6.0, 5.0], objective: 16.0 };
+        assert!(m.check_solution(&infeas, 1e-9).unwrap_err().contains("constraint"));
+        // Objective mismatch.
+        let lied = Solution { values: vec![2.0, 5.0], objective: 99.0 };
+        assert!(m.check_solution(&lied, 1e-9).unwrap_err().contains("objective"));
+        // NaN value.
+        let nan = Solution { values: vec![f64::NAN, 5.0], objective: 10.0 };
+        assert!(m.check_solution(&nan, 1e-9).is_err());
+        // Wrong arity.
+        let short = Solution { values: vec![2.0], objective: 2.0 };
+        assert!(m.check_solution(&short, 1e-9).is_err());
     }
 }

@@ -1,0 +1,351 @@
+//! The VAQ lint rules, evaluated over the token stream of one file.
+//!
+//! | Code   | Rule |
+//! |--------|------|
+//! | VAQ001 | no new callers of the deprecated `lookup_tables` / `search::execute` shims outside their parity tests |
+//! | VAQ002 | no `Vec<Vec<f32>>` lookup-table pattern in `crates/core` / `crates/baselines` |
+//! | VAQ003 | no `partial_cmp(..).unwrap()` and no `partial_cmp` inside sort/min/max comparators — use `total_cmp` |
+//! | VAQ004 | no `unwrap()` / `expect()` in library crates outside `#[cfg(test)]` |
+//! | VAQ005 | no `unsafe` without a `// SAFETY:` comment within the three preceding lines |
+//!
+//! Every rule reports a stable code so `lint.toml` allowances and CI logs
+//! stay meaningful as the codebase grows. See DESIGN.md §8.
+
+use crate::lexer::{LexedFile, Token};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Library crates where panicking on `Option`/`Result` is banned (VAQ004).
+const LIB_CRATES: &[&str] =
+    &["core", "linalg", "kmeans", "milp", "metrics", "dataset", "baselines", "index"];
+
+/// Comparator-taking functions whose argument must be NaN-safe (VAQ003).
+const COMPARATOR_FNS: &[&str] =
+    &["sort_by", "sort_unstable_by", "max_by", "min_by", "binary_search_by"];
+
+/// What the path tells us about a file. Paths are repo-relative with
+/// forward slashes.
+#[derive(Debug, Clone, Copy)]
+pub struct FileClass<'a> {
+    path: &'a str,
+}
+
+impl<'a> FileClass<'a> {
+    pub fn new(path: &'a str) -> FileClass<'a> {
+        FileClass { path }
+    }
+
+    /// Test-only source: integration tests and benches directories.
+    fn in_test_dir(&self) -> bool {
+        self.path.contains("/tests/")
+            || self.path.contains("/benches/")
+            || self.path.starts_with("tests/")
+            || self.path.starts_with("benches/")
+    }
+
+    /// Library source of a production crate (no bins, no examples).
+    fn is_library_src(&self) -> bool {
+        if self.path.contains("/bin/") || self.path.contains("examples/") {
+            return false;
+        }
+        if self.path.starts_with("src/") {
+            return true; // the root facade crate
+        }
+        LIB_CRATES.iter().any(|c| self.path.starts_with(&format!("crates/{c}/src/")))
+    }
+
+    /// Inside the crates the `Vec<Vec<f32>>` ban applies to.
+    fn in_table_banned_crate(&self) -> bool {
+        self.path.starts_with("crates/core/src/") || self.path.starts_with("crates/baselines/src/")
+    }
+}
+
+/// Runs every rule over one lexed file.
+pub fn check_file(class: FileClass<'_>, lexed: &LexedFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let toks = &lexed.tokens;
+
+    let push = |out: &mut Vec<Violation>, rule: &'static str, line: u32, message: String| {
+        // One diagnostic per (rule, line): composed patterns (e.g. a
+        // sort_by whose comparator also calls .unwrap()) fire once.
+        if !out.iter().any(|v: &Violation| v.rule == rule && v.line == line) {
+            out.push(Violation { rule, path: class.path.to_string(), line, message });
+        }
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        // ---- VAQ005: unsafe without a SAFETY comment (applies everywhere,
+        // including test code).
+        if t.text == "unsafe" {
+            let documented = lexed.safety_lines.iter().any(|&l| l <= t.line && l + 3 >= t.line);
+            if !documented {
+                push(
+                    &mut out,
+                    "VAQ005",
+                    t.line,
+                    "`unsafe` without a `// SAFETY:` comment on the preceding lines".into(),
+                );
+            }
+        }
+
+        if t.is_test || class.in_test_dir() {
+            continue;
+        }
+
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+
+        // ---- VAQ001: deprecated shim callers.
+        if t.text == "lookup_tables" && prev != Some("fn") {
+            push(
+                &mut out,
+                "VAQ001",
+                t.line,
+                "call to deprecated `lookup_tables` shim; fill a `TableArena` via \
+                 `QueryEngine`/`fill_tables` instead"
+                    .into(),
+            );
+        }
+        if t.text == "execute"
+            && i >= 3
+            && toks[i - 1].text == ":"
+            && toks[i - 2].text == ":"
+            && toks[i - 3].text == "search"
+        {
+            push(
+                &mut out,
+                "VAQ001",
+                t.line,
+                "call to deprecated `search::execute` shim; use `QueryEngine::search_with`".into(),
+            );
+        }
+
+        // ---- VAQ002: nested-Vec lookup tables in core/baselines.
+        if class.in_table_banned_crate()
+            && t.text == "Vec"
+            && matches(toks, i + 1, &["<", "Vec", "<", "f32"])
+        {
+            push(
+                &mut out,
+                "VAQ002",
+                t.line,
+                "`Vec<Vec<f32>>` lookup tables are banned; use the flat `TableArena`".into(),
+            );
+        }
+
+        // ---- VAQ003a: partial_cmp(..).unwrap().
+        if t.text == "partial_cmp" && prev != Some("fn") {
+            if let Some(close) = skip_balanced_parens(toks, i + 1) {
+                if matches(toks, close + 1, &[".", "unwrap"]) {
+                    push(
+                        &mut out,
+                        "VAQ003",
+                        t.line,
+                        "`partial_cmp(..).unwrap()` panics on NaN; use `total_cmp`".into(),
+                    );
+                }
+            }
+        }
+
+        // ---- VAQ003b: partial_cmp anywhere inside a comparator closure.
+        if COMPARATOR_FNS.contains(&t.text.as_str())
+            && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+        {
+            if let Some(close) = skip_balanced_parens(toks, i + 1) {
+                if toks[i + 1..close].iter().any(|x| x.text == "partial_cmp") {
+                    push(
+                        &mut out,
+                        "VAQ003",
+                        t.line,
+                        format!(
+                            "NaN-unsafe comparator: `partial_cmp` inside `{}`; use `total_cmp`",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+
+        // ---- VAQ004: unwrap/expect in library code.
+        if class.is_library_src() && (t.text == "unwrap" || t.text == "expect") && prev == Some(".")
+        {
+            push(
+                &mut out,
+                "VAQ004",
+                t.line,
+                format!(
+                    "`.{}()` in library code; propagate a `Result` (or budget it in lint.toml)",
+                    t.text
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// True when the tokens starting at `start` spell out `pattern`.
+fn matches(toks: &[Token], start: usize, pattern: &[&str]) -> bool {
+    pattern.iter().enumerate().all(|(k, want)| toks.get(start + k).is_some_and(|t| t.text == *want))
+}
+
+/// If `open` indexes a `(`, returns the index of its matching `)`.
+fn skip_balanced_parens(toks: &[Token], open: usize) -> Option<usize> {
+    if toks.get(open).map(|t| t.text.as_str()) != Some("(") {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        check_file(FileClass::new(path), &lex(src))
+    }
+
+    fn codes(path: &str, src: &str) -> Vec<&'static str> {
+        check(path, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    const LIB: &str = "crates/core/src/example.rs";
+
+    #[test]
+    fn deprecated_shim_call_is_vaq001() {
+        let v = check(LIB, "fn f(e: &Encoder, q: &[f32]) { let t = e.lookup_tables(q); }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "VAQ001");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn deprecated_execute_call_is_vaq001() {
+        assert_eq!(
+            codes(LIB, "fn f() { let hits = crate::search::execute(&view, q, 5); }"),
+            vec!["VAQ001"]
+        );
+    }
+
+    #[test]
+    fn shim_definition_is_exempt() {
+        assert!(codes(LIB, "pub fn lookup_tables(&self) {}").is_empty());
+        assert!(codes(LIB, "pub fn execute(view: &IndexView) {}").is_empty());
+    }
+
+    #[test]
+    fn shim_call_in_cfg_test_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t(e: &Encoder) { e.lookup_tables(q); }\n}";
+        assert!(codes(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn nested_vec_tables_are_vaq002_in_core_only() {
+        let src = "fn f() -> Vec<Vec<f32>> { vec![] }";
+        // The definition line also trips no other rule.
+        assert_eq!(codes("crates/core/src/x.rs", src), vec!["VAQ002"]);
+        assert_eq!(codes("crates/baselines/src/x.rs", src), vec!["VAQ002"]);
+        assert!(codes("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    /// A path outside the library crates, so `.unwrap()` itself (VAQ004)
+    /// stays out of the picture.
+    const BIN: &str = "crates/bench/src/bin/example.rs";
+
+    #[test]
+    fn partial_cmp_unwrap_is_vaq003() {
+        assert_eq!(
+            codes(BIN, "fn f(a: f32, b: f32) { let o = a.partial_cmp(&b).unwrap(); let _ = o; }"),
+            vec!["VAQ003"]
+        );
+    }
+
+    #[test]
+    fn partial_cmp_sort_is_vaq003_once() {
+        // sort_by + partial_cmp + unwrap on one line still reports once.
+        let v = check(BIN, "fn f(v: &mut [f32]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "VAQ003");
+    }
+
+    #[test]
+    fn library_partial_cmp_unwrap_trips_both_rules() {
+        let mut c = codes(LIB, "fn f(a: f32, b: f32) { let _ = a.partial_cmp(&b).unwrap(); }");
+        c.sort_unstable();
+        assert_eq!(c, vec!["VAQ003", "VAQ004"]);
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_or_in_comparator_is_vaq003() {
+        let src = "fn f(v: &mut [f32]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(O::Equal)); }";
+        assert_eq!(codes(LIB, src), vec!["VAQ003"]);
+    }
+
+    #[test]
+    fn total_cmp_sort_is_clean() {
+        assert!(codes(LIB, "fn f(v: &mut [f32]) { v.sort_by(|a, b| a.total_cmp(b)); }").is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_in_ord_impl_is_allowed() {
+        // `fn partial_cmp` definitions and unwrap_or-based Ord impls pass.
+        let src = "impl PartialOrd for N { fn partial_cmp(&self, o: &N) -> Option<Ordering> { \
+                   Some(self.cmp(o)) } }";
+        assert!(codes(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn library_unwrap_is_vaq004() {
+        assert_eq!(codes(LIB, "fn f(x: Option<u8>) { x.unwrap(); }"), vec!["VAQ004"]);
+        assert_eq!(codes(LIB, "fn f(x: Option<u8>) { x.expect(\"set\"); }"), vec!["VAQ004"]);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_vaq004() {
+        assert!(codes(LIB, "fn f(x: Option<u8>) { x.unwrap_or(0); }").is_empty());
+    }
+
+    #[test]
+    fn bench_and_test_unwrap_are_exempt() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(codes("crates/bench/src/bin/tool.rs", src).is_empty());
+        assert!(codes("crates/core/tests/props.rs", src).is_empty());
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}";
+        assert!(codes(LIB, test_mod).is_empty());
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_vaq005() {
+        assert_eq!(codes(LIB, "fn f() { unsafe { go() } }"), vec!["VAQ005"]);
+    }
+
+    #[test]
+    fn documented_unsafe_is_clean() {
+        let src = "fn f() {\n    // SAFETY: bounds checked above\n    unsafe { go() }\n}";
+        assert!(codes(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_is_ignored() {
+        assert!(codes(LIB, "fn f() { let s = \"unsafe { }\"; }").is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! End-to-end checks of the `xtask lint` binary: the committed tree plus
+//! allowlist must be clean, and a reintroduced violation must fail with a
+//! `file:line: VAQxxx` diagnostic.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+fn run_lint(root: &Path) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(root)
+        .output()
+        .expect("xtask binary runs");
+    let text =
+        format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
+    (out.status.success(), text)
+}
+
+#[test]
+fn committed_tree_is_clean_under_allowlist() {
+    let (ok, text) = run_lint(&repo_root());
+    assert!(ok, "lint failed on the committed tree:\n{text}");
+    assert!(text.contains("xtask lint: OK"), "{text}");
+}
+
+#[test]
+fn reintroduced_violation_fails_with_location_and_code() {
+    // A scratch workspace with one library file holding a fresh VAQ004
+    // violation and no allowlist.
+    let dir = std::env::temp_dir().join(format!("vaq-lint-test-{}", std::process::id()));
+    let src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("scratch tree");
+    std::fs::write(src.join("bad.rs"), "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n")
+        .expect("scratch file");
+
+    let (ok, text) = run_lint(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(!ok, "lint must fail on an unallowed violation:\n{text}");
+    assert!(
+        text.contains("crates/core/src/bad.rs:2: VAQ004"),
+        "diagnostic must carry file:line and rule code:\n{text}"
+    );
+    assert!(text.contains("xtask lint: FAILED"), "{text}");
+}

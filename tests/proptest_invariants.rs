@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use std::sync::OnceLock;
 use vaq::core::{
-    allocate_bits, AllocationStrategy, SearchStats, SearchStrategy, SubspaceLayout, SubspaceMode,
-    Vaq, VaqConfig,
+    allocate_bits, AllocationStrategy, Audit, SearchStats, SearchStrategy, SubspaceLayout,
+    SubspaceMode, Vaq, VaqConfig,
 };
 use vaq::linalg::{covariance_centered, sym_eigen, DMatrix, Matrix, Pca};
 use vaq::metrics::{average_precision, recall_at_k};
@@ -184,6 +184,33 @@ proptest! {
         prop_assert_eq!(batch_stats.vectors_skipped, expected_stats.vectors_skipped);
         prop_assert_eq!(batch_stats.lookups, expected_stats.lookups);
         prop_assert_eq!(batch_stats.lookups_skipped, expected_stats.lookups_skipped);
+    }
+
+    #[test]
+    fn trained_index_passes_audit(
+        m in 2usize..=5,
+        bits_per_sub in 2usize..=5,
+        ti_clusters in 0usize..=10,
+        seed in 0u64..1_000,
+    ) {
+        // A small 16-d spec keeps per-case training cheap while still
+        // exercising the full five-stage pipeline (PCA → subspaces → bit
+        // allocation → dictionaries → TI).
+        let spec = vaq::dataset::SyntheticSpec {
+            name: "sift-like",
+            dim: 16,
+            alpha: 0.9,
+            clusters: 8,
+            center_scale: 1.6,
+            post: vaq::dataset::Post::ClipNonNegative,
+        };
+        let ds = spec.generate(120, 0, seed ^ 0xA5A5);
+        let cfg = VaqConfig::new(bits_per_sub * m, m)
+            .with_seed(seed)
+            .with_ti_clusters(ti_clusters);
+        let index = Vaq::train(&ds.data, &cfg).unwrap();
+        let report = index.audit();
+        prop_assert!(report.is_ok(), "audit of trained index failed:\n{report}");
     }
 
     #[test]
