@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use vaq_core::{Audit, SearchStrategy, Vaq, VaqConfig};
+use vaq_core::{Audit, IngressPolicy, SearchStrategy, Vaq, VaqConfig};
 use vaq_dataset::io::{read_bvecs, read_csv, read_fvecs, read_ivecs};
 use vaq_linalg::Matrix;
 use vaq_metrics::{map_at_k, recall_at_k};
@@ -47,6 +47,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&opts),
         "info" => cmd_info(&opts),
         "audit" => cmd_audit(&opts),
+        "chaos" => cmd_chaos(&opts),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -68,11 +69,16 @@ USAGE:
                  [--visit 0.25] [--limit N]
   vaq_cli info   --index INDEX
   vaq_cli audit  INDEX            (or --index INDEX)
+  vaq_cli chaos  [--seed-range 0..32] [--p 0.3] [--n 400] [--dim 16]
 
 Vector FILEs may be .fvecs, .bvecs, or .csv (one vector per line).
 `audit` re-checks the index's structural invariants (bit budget C1–C4,
 importance monotonicity, code ranges, TI partition order) and exits
-non-zero listing each VAQ1xx diagnostic on failure.";
+non-zero listing each VAQ1xx diagnostic on failure.
+`chaos` runs the full train → save → load → query pipeline on synthetic
+data with every registered fault site armed under a seeded probabilistic
+schedule, asserting each run ends in a clean result or a typed error —
+never a panic, a failed audit, or a silently wrong answer.";
 
 type Opts = HashMap<String, String>;
 
@@ -249,4 +255,153 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
         None => println!("TI partition:   none (EA-only queries)"),
     }
     Ok(())
+}
+
+/// Parses `LO..HI` (half-open) into a range of chaos seeds.
+fn parse_seed_range(s: &str) -> Result<std::ops::Range<u64>, String> {
+    let (lo, hi) = s.split_once("..").ok_or_else(|| format!("--seed-range `{s}`: want LO..HI"))?;
+    let lo: u64 = lo.trim().parse().map_err(|_| format!("--seed-range: bad start `{lo}`"))?;
+    let hi: u64 = hi.trim().parse().map_err(|_| format!("--seed-range: bad end `{hi}`"))?;
+    if lo >= hi {
+        return Err(format!("--seed-range `{s}` is empty"));
+    }
+    Ok(lo..hi)
+}
+
+/// Deterministic synthetic training data with a mildly skewed variance
+/// spectrum; seeds 3 mod 4 additionally plant non-finite values so the
+/// ingress path is exercised too.
+fn chaos_data(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row = Vec::with_capacity(d);
+        for j in 0..d {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((s >> 40) as f32 / (1u32 << 23) as f32) - 1.0;
+            row.push(v * 3.0 / (1.0 + j as f32 * 0.4));
+        }
+        if seed % 4 == 3 && i % 97 == 13 {
+            row[i % d] = if i % 2 == 0 { f32::NAN } else { f32::INFINITY };
+        }
+        rows.push(row);
+    }
+    Matrix::from_rows(&rows)
+}
+
+/// One chaos iteration: train → serialize → deserialize → query, with all
+/// fault sites armed. Returns `Ok(true)` when the pipeline produced a
+/// queryable index, `Ok(false)` when it ended in a typed error, and `Err`
+/// on any contract violation (wrong answer, failed audit).
+fn chaos_run(seed: u64, p: f64, n: usize, d: usize) -> Result<bool, String> {
+    use vaq_core::faults::{arm, Trigger, SITES};
+
+    for site in SITES {
+        arm(site, Trigger::Probability { p, seed });
+    }
+    let data = chaos_data(n, d, seed);
+    let ingress =
+        if seed.is_multiple_of(2) { IngressPolicy::Reject } else { IngressPolicy::Sanitize };
+    let cfg =
+        VaqConfig::new(32, 4).with_seed(seed).with_ti_clusters(16.min(n)).with_ingress(ingress);
+
+    let trained = match Vaq::train(&data, &cfg) {
+        Ok(v) => v,
+        // A typed error is an accepted outcome; the site that tripped is
+        // in the message.
+        Err(e) => return Ok(drop_err(e)),
+    };
+    let report = trained.audit();
+    if !report.is_ok() {
+        return Err(format!("trained index failed audit: {}", report.issues().len()));
+    }
+
+    let bytes = trained.to_bytes();
+    let loaded = match Vaq::from_bytes(&bytes) {
+        Ok(v) => v,
+        Err(e) => return Ok(drop_err(e)),
+    };
+    let report = loaded.audit();
+    if !report.is_ok() {
+        return Err(format!("loaded index failed audit: {}", report.issues().len()));
+    }
+
+    // Querying may never fail — only degrade. Full-visit TiEa is exact, so
+    // whatever path it takes (TI, audited-out TI, injected bypass) must
+    // agree with the FullScan reference on the same engine state.
+    for qi in (0..n).step_by((n / 8).max(1)) {
+        let q: Vec<f32> =
+            data.row(qi).iter().map(|v| if v.is_finite() { *v } else { 0.0 }).collect();
+        let full = loaded.search_with(&q, 5, SearchStrategy::FullScan).0;
+        let tiea = loaded.search_with(&q, 5, SearchStrategy::TiEa { visit_frac: 1.0 }).0;
+        let f: Vec<u32> = full.iter().map(|h| h.index).collect();
+        let t: Vec<u32> = tiea.iter().map(|h| h.index).collect();
+        if f != t {
+            return Err(format!(
+                "seed {seed} query {qi}: TiEa {t:?} disagrees with FullScan {f:?}"
+            ));
+        }
+    }
+    Ok(true)
+}
+
+/// Accepts any typed `VaqError` (returning `false` = "degraded to error");
+/// the type system already guarantees it is not a panic.
+fn drop_err(_e: vaq_core::VaqError) -> bool {
+    false
+}
+
+fn cmd_chaos(opts: &Opts) -> Result<(), String> {
+    use vaq_core::faults::{disarm_all, take_degradations};
+
+    let range = parse_seed_range(opts.get("seed-range").map(|s| s.as_str()).unwrap_or("0..32"))?;
+    let p: f64 = get_or(opts, "p", 0.3)?;
+    let n: usize = get_or(opts, "n", 400)?;
+    let d: usize = get_or(opts, "dim", 16)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("--p {p} outside [0, 1]"));
+    }
+
+    let (mut clean, mut degraded, mut errored) = (0u64, 0u64, 0u64);
+    let mut failures: Vec<String> = Vec::new();
+    for seed in range.clone() {
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| chaos_run(seed, p, n, d)));
+        let notes = take_degradations();
+        disarm_all();
+        match outcome {
+            Err(_) => failures.push(format!("seed {seed}: PANIC")),
+            Ok(Err(msg)) => failures.push(format!("seed {seed}: {msg}")),
+            Ok(Ok(queryable)) => {
+                if !queryable {
+                    errored += 1;
+                } else if notes.is_empty() {
+                    clean += 1;
+                } else {
+                    degraded += 1;
+                }
+                if !notes.is_empty() {
+                    println!("seed {seed}: degraded — {}", notes.join("; "));
+                }
+            }
+        }
+    }
+
+    let total = range.end - range.start;
+    println!(
+        "chaos: {total} seeds, {clean} clean, {degraded} degraded-but-correct, \
+         {errored} typed errors, {} contract violations",
+        failures.len()
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        Err(format!(
+            "{} chaos seed(s) violated the no-panic/no-wrong-answer contract",
+            failures.len()
+        ))
+    }
 }

@@ -28,8 +28,8 @@
 //! solver ([`vaq_milp`]); the paper notes this takes "a fraction of a
 //! second", which holds here too (the LP relaxation is nearly integral).
 
-use crate::VaqError;
-use vaq_milp::{solve_milp, Cmp, Model, Objective};
+use crate::{faults, VaqError};
+use vaq_milp::{solve_milp, Cmp, Model, Objective, SolveError};
 
 /// How to allocate bits to subspaces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,7 +156,28 @@ fn adaptive_allocation(
         }
     }
 
-    let sol = solve_milp(&model).map_err(|e| VaqError::Numeric(e.to_string()))?;
+    let solved = if faults::fired("allocation.milp") {
+        Err(SolveError::LimitReached { what: "injected branch-and-bound node" })
+    } else {
+        solve_milp(&model)
+    };
+    let sol = match solved {
+        Ok(sol) => {
+            if !sol.optimal {
+                faults::note_degradation("allocation.milp: anytime incumbent used");
+            }
+            sol
+        }
+        // Unconstrained allocation always has the greedy marginal-gain
+        // allocator as a feasible, bound-respecting stand-in, so a solver
+        // failure degrades the objective slightly instead of failing the
+        // whole training run.
+        Err(SolveError::Infeasible | SolveError::LimitReached { .. }) => {
+            faults::note_degradation("allocation.milp: greedy variance-proportional fallback");
+            return Ok(greedy_allocation(w, budget, min_bits, max_bits));
+        }
+        Err(e) => return Err(e.into()),
+    };
     let bits: Vec<usize> = z
         .iter()
         .map(|zi| min_bits + zi.iter().map(|&v| sol.values[v].round() as usize).sum::<usize>())
@@ -313,12 +334,18 @@ pub fn allocate_bits_constrained(
         }
     }
 
+    // No greedy fallback here: extra constraints (pins, caps, SLAs) are
+    // promises to the caller, and the greedy allocator cannot honor them —
+    // infeasibility must surface as a typed error instead.
     let sol = solve_milp(&model).map_err(|e| match e {
-        vaq_milp::SolveError::Infeasible => VaqError::BadConfig(
+        SolveError::Infeasible => VaqError::BadConfig(
             "allocation constraints are jointly infeasible with the budget".into(),
         ),
-        other => VaqError::Numeric(other.to_string()),
+        other => VaqError::Solve(other),
     })?;
+    if !sol.optimal {
+        faults::note_degradation("allocation.milp: anytime incumbent used");
+    }
     let bits: Vec<usize> = z
         .iter()
         .map(|zi| min_bits + zi.iter().map(|&v| sol.values[v].round() as usize).sum::<usize>())

@@ -63,8 +63,10 @@ impl Encoder {
                 KMeans::fit_hierarchical(&sub, k, HIERARCHICAL_BRANCH, &cfg)
             } else {
                 KMeans::fit(&sub, &cfg)
+            }?;
+            if !model.converged {
+                crate::faults::note_degradation("dictionary.train: iteration budget hit");
             }
-            .map_err(|e| VaqError::Numeric(e.to_string()))?;
             codebooks.push(model.centroids);
         }
         let encoder = Encoder { codebooks, bits: bits.to_vec(), ranges: layout.ranges.clone() };

@@ -174,6 +174,12 @@ impl QueryEngine {
     /// Exposed for callers that consume the tables directly (quantized
     /// scanners, prefix ablations) rather than through a full search.
     pub fn prepare(&mut self, view: &IndexView<'_>, projected_query: &[f32]) {
+        if crate::faults::fired("engine.prepare") {
+            // Treat the cached arena as corrupted: drop it and rebuild from
+            // scratch. Costs one reallocation, never a wrong table.
+            self.arena = TableArena::new();
+            crate::faults::note_degradation("engine.prepare: table arena rebuilt");
+        }
         view.fill_tables(projected_query, &mut self.arena);
         if cfg!(debug_assertions) {
             use crate::audit::Audit;
@@ -262,8 +268,23 @@ impl QueryEngine {
                 }
             }
             SearchStrategy::TiEa { visit_frac } => {
-                let Some(ti) = view.ti() else {
-                    // No partition built: degrade to EA over everything.
+                let usable = match view.ti() {
+                    Some(ti) if crate::faults::fired("engine.search") => {
+                        crate::faults::note_degradation("engine.search: TI bypassed, EA scan");
+                        let _ = ti;
+                        None
+                    }
+                    Some(ti) if !ti_covers(ti, n) => {
+                        // A partition that does not cover the database
+                        // exactly once would silently drop or duplicate
+                        // candidates — fall back to the exact EA scan.
+                        crate::faults::note_degradation("engine.search: TI failed audit, EA scan");
+                        None
+                    }
+                    other => other,
+                };
+                let Some(ti) = usable else {
+                    // No (sound) partition: degrade to EA over everything.
                     for i in 0..n {
                         scan_one(view, &self.arena, i, &mut heap, k, &mut stats);
                     }
@@ -407,6 +428,14 @@ impl QueryEngine {
         let stats = worker_stats.into_iter().fold(SearchStats::default(), |a, b| a + b);
         (out, stats)
     }
+}
+
+/// Cheap per-query soundness check on a TI partition: every database row
+/// must appear in exactly one cluster (O(#clusters), not O(n)).
+#[inline]
+fn ti_covers(ti: &TiPartition, n: usize) -> bool {
+    let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster(c).len()).sum();
+    total == n
 }
 
 /// Early-abandoned accumulation of one encoded vector against the arena.

@@ -1,0 +1,260 @@
+//! Deterministic fail-point fault injection for the train→query pipeline,
+//! plus the degradation log that records every graceful fallback the
+//! pipeline takes (with or without injection).
+//!
+//! The runtime is gated behind the `faults` cargo feature. Without it,
+//! [`fired`] is a `const false` that the optimizer deletes, so production
+//! builds carry no branch, no atomic, and no registry — the sites compile
+//! to no-ops. With the feature on but nothing armed, the cost per site is
+//! one relaxed atomic load.
+//!
+//! Sites are *named* and *registered*: [`SITES`] is the single source of
+//! truth, mirrored by the `xtask` lint (rule VAQ006) so a site cannot be
+//! added or removed without updating the registry, and by `vaq_cli chaos`
+//! which arms every registered site under a seeded schedule.
+//!
+//! Triggering is deterministic: a [`Trigger::Probability`] site hashes
+//! `(seed, site name, per-site hit counter)` through splitmix64, so the
+//! same seed always fires the same hits — chaos runs are reproducible.
+
+/// Every registered fault site, in pipeline order. Each name is
+/// `stage.operation`; the wiring lives next to the real failure it
+/// simulates and shares the real recovery path.
+pub const SITES: &[&str] = &[
+    "ingress.validate",
+    "varpca.fit",
+    "subspaces.plan",
+    "allocation.milp",
+    "dictionary.train",
+    "ti.build",
+    "persist.from_bytes",
+    "engine.prepare",
+    "engine.search",
+];
+
+/// True when `site` is in [`SITES`].
+pub fn is_registered(site: &str) -> bool {
+    SITES.contains(&site)
+}
+
+// ---------------------------------------------------------------------------
+// Degradation log (always compiled — fallbacks happen without injection too).
+// ---------------------------------------------------------------------------
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static DEGRADATIONS_NONEMPTY: AtomicBool = AtomicBool::new(false);
+static DEGRADATIONS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// Records that a pipeline stage took its degraded path (`what` names the
+/// fallback, e.g. `"allocation.milp: greedy fallback"`). Only failure
+/// paths call this, so the lock is never contended in steady state.
+pub fn note_degradation(what: &'static str) {
+    if let Ok(mut log) = DEGRADATIONS.lock() {
+        log.push(what);
+        DEGRADATIONS_NONEMPTY.store(true, Ordering::Release);
+    }
+}
+
+/// Drains and returns the degradation log (process-wide). `vaq_cli chaos`
+/// calls this between seeds to report which fallbacks each run exercised.
+pub fn take_degradations() -> Vec<&'static str> {
+    if !DEGRADATIONS_NONEMPTY.load(Ordering::Acquire) {
+        return Vec::new();
+    }
+    match DEGRADATIONS.lock() {
+        Ok(mut log) => {
+            DEGRADATIONS_NONEMPTY.store(false, Ordering::Release);
+            std::mem::take(&mut *log)
+        }
+        Err(_) => Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Injection runtime (feature-gated).
+// ---------------------------------------------------------------------------
+
+/// When and whether an armed site fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Never fires (armed but inert).
+    Off,
+    /// Fires on every hit.
+    Always,
+    /// Fires on exactly the n-th hit (1-based), once.
+    NthHit(u64),
+    /// Fires each hit independently with probability `p`, deterministically
+    /// derived from `(seed, site, hit index)`.
+    Probability {
+        /// Firing probability in `[0, 1]`.
+        p: f64,
+        /// Schedule seed.
+        seed: u64,
+    },
+}
+
+#[cfg(feature = "faults")]
+mod runtime {
+    use super::Trigger;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+    static REGISTRY: Mutex<Option<HashMap<&'static str, SiteState>>> = Mutex::new(None);
+
+    struct SiteState {
+        trigger: Trigger,
+        hits: u64,
+    }
+
+    /// splitmix64 — a tiny, well-mixed hash for reproducible schedules.
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    fn site_hash(site: &str) -> u64 {
+        // FNV-1a over the site name, folded through splitmix64.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in site.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        splitmix64(h)
+    }
+
+    /// Arms `site` with `trigger`. Unknown sites are a caller bug in test
+    /// infrastructure; they are ignored in release and flagged in debug.
+    pub fn arm(site: &'static str, trigger: Trigger) {
+        debug_assert!(super::is_registered(site), "arming unregistered fault site `{site}`");
+        if let Ok(mut guard) = REGISTRY.lock() {
+            let map = guard.get_or_insert_with(HashMap::new);
+            map.insert(site, SiteState { trigger, hits: 0 });
+            ANY_ARMED.store(true, Ordering::Release);
+        }
+    }
+
+    /// Disarms every site and resets all hit counters.
+    pub fn disarm_all() {
+        if let Ok(mut guard) = REGISTRY.lock() {
+            *guard = None;
+            ANY_ARMED.store(false, Ordering::Release);
+        }
+    }
+
+    /// Evaluates the site's trigger, counting this call as one hit.
+    pub fn fired(site: &'static str) -> bool {
+        if !ANY_ARMED.load(Ordering::Acquire) {
+            return false;
+        }
+        let Ok(mut guard) = REGISTRY.lock() else {
+            return false;
+        };
+        let Some(state) = guard.as_mut().and_then(|m| m.get_mut(site)) else {
+            return false;
+        };
+        state.hits += 1;
+        match state.trigger {
+            Trigger::Off => false,
+            Trigger::Always => true,
+            Trigger::NthHit(n) => state.hits == n,
+            Trigger::Probability { p, seed } => {
+                let h = splitmix64(seed ^ site_hash(site) ^ state.hits);
+                // Map the top 53 bits to [0, 1).
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                u < p
+            }
+        }
+    }
+}
+
+#[cfg(feature = "faults")]
+pub use runtime::{arm, disarm_all, fired};
+
+/// With the `faults` feature off, no site ever fires and the call
+/// disappears at compile time.
+#[cfg(not(feature = "faults"))]
+#[inline(always)]
+pub fn fired(_site: &'static str) -> bool {
+    false
+}
+
+#[cfg(all(test, feature = "faults"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The registry is process-global; serialize tests that touch it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> MutexGuard<'static, ()> {
+        let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        g
+    }
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        let _g = guard();
+        assert!(!fired("varpca.fit"));
+        assert!(!fired("engine.search"));
+    }
+
+    #[test]
+    fn always_and_nth_hit_triggers() {
+        let _g = guard();
+        arm("varpca.fit", Trigger::Always);
+        assert!(fired("varpca.fit"));
+        assert!(fired("varpca.fit"));
+
+        arm("ti.build", Trigger::NthHit(3));
+        assert!(!fired("ti.build"));
+        assert!(!fired("ti.build"));
+        assert!(fired("ti.build"));
+        assert!(!fired("ti.build")); // fires exactly once
+        disarm_all();
+        assert!(!fired("varpca.fit"));
+    }
+
+    #[test]
+    fn probability_schedule_is_deterministic_per_seed() {
+        let _g = guard();
+        let run = |seed: u64| -> Vec<bool> {
+            arm("allocation.milp", Trigger::Probability { p: 0.5, seed });
+            let fires = (0..64).map(|_| fired("allocation.milp")).collect();
+            disarm_all();
+            fires
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed must reproduce the same schedule");
+        assert_ne!(a, c, "different seeds should differ");
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!(hits > 8 && hits < 56, "p=0.5 over 64 hits fired {hits} times");
+    }
+
+    #[test]
+    fn degradation_log_drains() {
+        let _g = guard();
+        take_degradations();
+        note_degradation("test: fallback one");
+        note_degradation("test: fallback two");
+        let log = take_degradations();
+        assert!(log.contains(&"test: fallback one") && log.contains(&"test: fallback two"));
+        assert!(take_degradations().is_empty());
+    }
+
+    #[test]
+    fn every_site_is_unique_and_well_formed() {
+        for (i, s) in SITES.iter().enumerate() {
+            assert!(s.contains('.'), "site `{s}` should be stage.operation");
+            assert!(!SITES[..i].contains(s), "duplicate site `{s}`");
+            assert!(is_registered(s));
+        }
+    }
+}

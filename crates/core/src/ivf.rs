@@ -75,11 +75,11 @@ impl VaqIvf {
 
         // Coarse clustering in the projected space (where ADC distances
         // live), so cell geometry matches query geometry.
-        let projected = vaq.pca.transform(data).map_err(|e| VaqError::Numeric(e.to_string()))?;
+        let projected = vaq.pca.transform(data)?;
         let km = KMeansConfig::new(cfg.coarse_cells.min(data.rows()))
             .with_seed(inner_cfg.seed ^ 0x1AF)
             .with_max_iters(cfg.coarse_iters);
-        let model = KMeans::fit(&projected, &km).map_err(|e| VaqError::Numeric(e.to_string()))?;
+        let model = KMeans::fit(&projected, &km)?;
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); model.k()];
         for (i, &c) in model.assignments.iter().enumerate() {
             lists[c as usize].push(i as u32);

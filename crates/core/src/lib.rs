@@ -49,6 +49,7 @@ pub mod allocation;
 pub mod audit;
 pub mod encoder;
 pub mod engine;
+pub mod faults;
 pub mod ivf;
 pub mod persist;
 pub mod pipeline;
@@ -67,9 +68,12 @@ pub use ivf::{VaqIvf, VaqIvfConfig};
 pub use pipeline::{BitPlan, DictionaryStage, SubspacePlan, VarPcaStage};
 pub use search::{Neighbor, SearchStats, SearchStrategy};
 pub use subspaces::{SubspaceLayout, SubspaceMode};
-pub use vaq::{Vaq, VaqConfig};
+pub use vaq::{IngressPolicy, Vaq, VaqConfig};
 
 use std::fmt;
+use vaq_kmeans::KMeansError;
+use vaq_linalg::LinalgError;
+use vaq_milp::SolveError;
 
 /// Errors produced while training or querying VAQ.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +93,25 @@ pub enum VaqError {
         /// Maximum bits per subspace.
         max_bits: usize,
     },
+    /// Ingress validation found a NaN/Inf value and the configured
+    /// [`IngressPolicy`] is `Reject`.
+    NonFinite {
+        /// Row of the first offending value.
+        row: usize,
+        /// Column of the first offending value.
+        col: usize,
+    },
+    /// A linear-algebra routine failed.
+    Linalg(LinalgError),
+    /// A k-means dictionary build failed.
+    KMeans(KMeansError),
+    /// The MILP solver failed in a way no fallback covers.
+    Solve(SolveError),
+    /// A fault-injection site fired (only with the `faults` feature).
+    Injected {
+        /// The registered fault-site name.
+        site: &'static str,
+    },
     /// An internal numeric routine failed (propagated message).
     Numeric(String),
 }
@@ -103,9 +126,43 @@ impl fmt::Display for VaqError {
                 "budget of {budget} bits cannot be split over {subspaces} subspaces \
                  with {min_bits}..={max_bits} bits each"
             ),
+            VaqError::NonFinite { row, col } => {
+                write!(f, "ingress rejected non-finite value at row {row}, column {col}")
+            }
+            VaqError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            VaqError::KMeans(e) => write!(f, "k-means failure: {e}"),
+            VaqError::Solve(e) => write!(f, "bit-allocation solver failure: {e}"),
+            VaqError::Injected { site } => write!(f, "injected fault at site `{site}`"),
             VaqError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
         }
     }
 }
 
-impl std::error::Error for VaqError {}
+impl std::error::Error for VaqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VaqError::Linalg(e) => Some(e),
+            VaqError::KMeans(e) => Some(e),
+            VaqError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for VaqError {
+    fn from(e: LinalgError) -> Self {
+        VaqError::Linalg(e)
+    }
+}
+
+impl From<KMeansError> for VaqError {
+    fn from(e: KMeansError) -> Self {
+        VaqError::KMeans(e)
+    }
+}
+
+impl From<SolveError> for VaqError {
+    fn from(e: SolveError) -> Self {
+        VaqError::Solve(e)
+    }
+}

@@ -103,6 +103,9 @@ impl Vaq {
 
     /// Deserializes an index previously produced by [`Vaq::to_bytes`].
     pub fn from_bytes(data: &[u8]) -> Result<Vaq, VaqError> {
+        if crate::faults::fired("persist.from_bytes") {
+            return Err(VaqError::Injected { site: "persist.from_bytes" });
+        }
         let mut buf = Bytes::copy_from_slice(data);
         let bad = |msg: &str| VaqError::BadConfig(format!("corrupt index file: {msg}"));
 
@@ -173,8 +176,11 @@ impl Vaq {
             return Err(bad("code width mismatch"));
         }
         let total = n.checked_mul(m).ok_or_else(|| bad("code size overflow"))?;
+        let nbytes = total.checked_mul(2).ok_or_else(|| bad("code size overflow"))?;
+        // Take the bytes *before* allocating: the header is untrusted, and
+        // a fabricated count must fail the length check, not reserve memory.
+        let mut code_bytes = take(&mut buf, nbytes)?;
         let mut codes = Vec::with_capacity(total);
-        let mut code_bytes = take(&mut buf, total * 2)?;
         for _ in 0..total {
             codes.push(code_bytes.get_u16_le());
         }
@@ -193,11 +199,18 @@ impl Vaq {
                 if ncl != centroids.rows() {
                     return Err(bad("TI cluster count mismatch"));
                 }
+                // More clusters than vectors is never produced by training
+                // (and would let a zero-width centroid matrix request an
+                // enormous cluster table).
+                if ncl > n {
+                    return Err(bad("TI cluster count exceeds database size"));
+                }
                 let mut clusters = Vec::with_capacity(ncl);
                 let mut members_total = 0usize;
                 for _ in 0..ncl {
                     let len = take(&mut buf, 8)?.get_u64_le() as usize;
-                    members_total += len;
+                    members_total =
+                        members_total.checked_add(len).ok_or_else(|| bad("TI member overflow"))?;
                     if members_total > n {
                         return Err(bad("TI clusters exceed database size"));
                     }
@@ -230,7 +243,17 @@ impl Vaq {
         };
 
         let vaq = Vaq { pca, layout, bits, encoder, codes, n, ti, default_strategy };
-        crate::audit::Audit::debug_audit(&vaq, "deserialization");
+        // The file is untrusted input: a payload can parse field-by-field
+        // yet still violate the index's structural invariants (bit budget,
+        // TI ordering, ...). Run the full audit and fail loud — in every
+        // build profile, not just debug.
+        let report = crate::audit::Audit::audit(&vaq);
+        if !report.is_ok() {
+            return Err(bad(&format!(
+                "audit found {} invariant violation(s) after load",
+                report.issues().len()
+            )));
+        }
         Ok(vaq)
     }
 
@@ -255,6 +278,14 @@ fn take(buf: &mut Bytes, n: usize) -> Result<Bytes, VaqError> {
     Ok(buf.split_to(n))
 }
 
+/// `count * elem_size` with overflow reported as corruption — every length
+/// in the file is attacker-controlled, so no size math may wrap.
+fn checked_size(count: usize, elem_size: usize) -> Result<usize, VaqError> {
+    count
+        .checked_mul(elem_size)
+        .ok_or_else(|| VaqError::BadConfig("corrupt index file: length overflow".into()))
+}
+
 fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
     buf.put_u64_le(m.rows() as u64);
     buf.put_u64_le(m.cols() as u64);
@@ -270,8 +301,9 @@ fn get_matrix(buf: &mut Bytes) -> Result<Matrix, VaqError> {
         .checked_mul(cols)
         .filter(|&t| t <= 1 << 32)
         .ok_or_else(|| VaqError::BadConfig("corrupt index file: matrix too large".into()))?;
+    // Bytes first, allocation second: the dimensions are untrusted.
+    let mut bytes = take(buf, checked_size(total, 4)?)?;
     let mut data = Vec::with_capacity(total);
-    let mut bytes = take(buf, total * 4)?;
     for _ in 0..total {
         data.push(bytes.get_f32_le());
     }
@@ -287,7 +319,7 @@ fn put_f32_slice(buf: &mut BytesMut, s: &[f32]) {
 
 fn get_f32_slice(buf: &mut Bytes) -> Result<Vec<f32>, VaqError> {
     let len = take(buf, 8)?.get_u64_le() as usize;
-    let mut bytes = take(buf, len * 4)?;
+    let mut bytes = take(buf, checked_size(len, 4)?)?;
     Ok((0..len).map(|_| bytes.get_f32_le()).collect())
 }
 
@@ -300,7 +332,7 @@ fn put_f64_slice(buf: &mut BytesMut, s: &[f64]) {
 
 fn get_f64_slice(buf: &mut Bytes) -> Result<Vec<f64>, VaqError> {
     let len = take(buf, 8)?.get_u64_le() as usize;
-    let mut bytes = take(buf, len * 8)?;
+    let mut bytes = take(buf, checked_size(len, 8)?)?;
     Ok((0..len).map(|_| bytes.get_f64_le()).collect())
 }
 
@@ -313,7 +345,7 @@ fn put_usize_slice(buf: &mut BytesMut, s: &[usize]) {
 
 fn get_usize_slice(buf: &mut Bytes) -> Result<Vec<usize>, VaqError> {
     let len = take(buf, 8)?.get_u64_le() as usize;
-    let mut bytes = take(buf, len * 8)?;
+    let mut bytes = take(buf, checked_size(len, 8)?)?;
     Ok((0..len).map(|_| bytes.get_u64_le() as usize).collect())
 }
 

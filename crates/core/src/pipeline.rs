@@ -24,12 +24,90 @@
 use crate::allocation::{allocate_bits, allocate_bits_constrained, AllocationStrategy};
 use crate::audit::Audit;
 use crate::encoder::Encoder;
+use crate::faults;
 use crate::search::SearchStrategy;
-use crate::subspaces::SubspaceLayout;
+use crate::subspaces::{SubspaceLayout, SubspaceMode};
 use crate::ti::TiPartition;
-use crate::vaq::{Vaq, VaqConfig};
+use crate::vaq::{IngressPolicy, Vaq, VaqConfig};
 use crate::VaqError;
-use vaq_linalg::{Matrix, Pca};
+use vaq_linalg::{LinalgError, Matrix, Pca};
+
+/// Position of the first NaN/Inf entry, if any.
+fn first_non_finite(data: &Matrix) -> Option<(usize, usize)> {
+    for i in 0..data.rows() {
+        if let Some(j) = data.row(i).iter().position(|v| !v.is_finite()) {
+            return Some((i, j));
+        }
+    }
+    None
+}
+
+/// Ingress validation for [`Vaq::train`]: scans the input for NaN/Inf
+/// *before any numeric work*. Under [`IngressPolicy::Reject`] the first
+/// offending cell is named in the error; under [`IngressPolicy::Sanitize`]
+/// a cleaned copy (non-finite entries zeroed) is returned and the
+/// degradation is recorded. `Ok(None)` means the data was already clean
+/// and can be used as-is.
+pub fn ingress_check(data: &Matrix, cfg: &VaqConfig) -> Result<Option<Matrix>, VaqError> {
+    if faults::fired("ingress.validate") {
+        return Err(VaqError::Injected { site: "ingress.validate" });
+    }
+    let Some((row, col)) = first_non_finite(data) else {
+        return Ok(None);
+    };
+    match cfg.ingress {
+        IngressPolicy::Reject => Err(VaqError::NonFinite { row, col }),
+        IngressPolicy::Sanitize => {
+            faults::note_degradation("ingress.validate: non-finite values zeroed");
+            let mut clean = data.clone();
+            for i in 0..clean.rows() {
+                for v in clean.row_mut(i) {
+                    if !v.is_finite() {
+                        *v = 0.0;
+                    }
+                }
+            }
+            Ok(Some(clean))
+        }
+    }
+}
+
+/// The `VarPCA` degradation path: when the eigendecomposition does not
+/// converge, fall back to an axis-aligned "projection" — a permutation
+/// that ranks the original dimensions by variance. Importance shares stay
+/// meaningful (they are exactly the per-dimension variances), only the
+/// rotation is lost.
+fn axis_aligned_pca(data: &Matrix) -> Pca {
+    let d = data.cols();
+    let n = data.rows().max(1) as f64;
+    let mut mean = vec![0.0f64; d];
+    for i in 0..data.rows() {
+        for (m, &v) in mean.iter_mut().zip(data.row(i)) {
+            *m += v as f64;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut var = vec![0.0f64; d];
+    for i in 0..data.rows() {
+        for (j, &v) in data.row(i).iter().enumerate() {
+            let c = v as f64 - mean[j];
+            var[j] += c * c;
+        }
+    }
+    for v in &mut var {
+        *v /= n;
+    }
+    let mut order: Vec<usize> = (0..d).collect();
+    order.sort_by(|&a, &b| var[b].total_cmp(&var[a]));
+    let mut components = Matrix::zeros(d, d);
+    for (pc, &dim) in order.iter().enumerate() {
+        components.set(dim, pc, 1.0);
+    }
+    let eigenvalues: Vec<f64> = order.iter().map(|&dim| var[dim]).collect();
+    Pca::from_parts(mean.into_iter().map(|m| m as f32).collect(), components, eigenvalues)
+}
 
 /// Stage 1 output: the fitted `VarPCA` basis (Algorithm 1).
 #[derive(Debug, Clone)]
@@ -53,20 +131,59 @@ impl VarPcaStage {
                 data.cols()
             )));
         }
-        let pca = Pca::fit(data).map_err(|e| VaqError::Numeric(e.to_string()))?;
+        // Stage entry points are strict: `Sanitize` happens in
+        // `Vaq::train` before the chain starts.
+        if let Some((row, col)) = first_non_finite(data) {
+            return Err(VaqError::NonFinite { row, col });
+        }
+        let fitted = if faults::fired("varpca.fit") {
+            Err(LinalgError::NoConvergence { routine: "sym_eigen (injected)", iterations: 0 })
+        } else {
+            Pca::fit(data)
+        };
+        let pca = match fitted {
+            Ok(pca) => pca,
+            Err(LinalgError::NoConvergence { .. }) => {
+                faults::note_degradation("varpca.fit: axis-aligned variance fallback");
+                axis_aligned_pca(data)
+            }
+            Err(e) => return Err(e.into()),
+        };
         Ok(VarPcaStage { pca })
     }
 
     /// Stage 2: subspace construction + partial balancing (Algorithm 2,
     /// lines 2–9). Permutes the projection to the layout's PC order.
     pub fn plan_subspaces(mut self, cfg: &VaqConfig) -> Result<SubspacePlan, VaqError> {
-        let layout = SubspaceLayout::build(
-            self.pca.eigenvalues(),
-            cfg.num_subspaces,
-            cfg.subspace_mode,
-            cfg.partial_balance,
-            cfg.seed,
-        )?;
+        let built = if faults::fired("subspaces.plan") {
+            Err(VaqError::Injected { site: "subspaces.plan" })
+        } else {
+            SubspaceLayout::build(
+                self.pca.eigenvalues(),
+                cfg.num_subspaces,
+                cfg.subspace_mode,
+                cfg.partial_balance,
+                cfg.seed,
+            )
+        };
+        let layout = match built {
+            Ok(layout) => layout,
+            // Clustered construction can fail on degenerate variance
+            // vectors (e.g. too few distinct values to form m non-empty
+            // clusters); the uniform layout is always well-defined, so
+            // degrade to it instead of aborting training.
+            Err(_) if cfg.subspace_mode == SubspaceMode::Clustered => {
+                faults::note_degradation("subspaces.plan: uniform layout fallback");
+                SubspaceLayout::build(
+                    self.pca.eigenvalues(),
+                    cfg.num_subspaces,
+                    SubspaceMode::Uniform,
+                    cfg.partial_balance,
+                    cfg.seed,
+                )?
+            }
+            Err(e) => return Err(e),
+        };
         // The projection must follow the same PC order as the layout.
         self.pca.permute_components(&layout.perm);
         let plan = SubspacePlan { pca: self.pca, layout };
@@ -138,7 +255,10 @@ impl BitPlan {
         data: &Matrix,
         cfg: &VaqConfig,
     ) -> Result<DictionaryStage, VaqError> {
-        let projected = self.pca.transform(data).map_err(|e| VaqError::Numeric(e.to_string()))?;
+        if faults::fired("dictionary.train") {
+            return Err(VaqError::Injected { site: "dictionary.train" });
+        }
+        let projected = self.pca.transform(data)?;
         let encoder =
             Encoder::train(&projected, &self.layout, &self.bits, cfg.train_iters, cfg.seed)?;
         let codes = encoder.encode_all(&projected);
@@ -178,14 +298,29 @@ impl DictionaryStage {
     /// (EA-only queries).
     pub fn build_ti(self, cfg: &VaqConfig) -> Result<Vaq, VaqError> {
         let ti = if cfg.ti_clusters > 0 {
-            Some(TiPartition::build(
-                &self.encoder,
-                &self.codes,
-                self.n,
-                cfg.ti_clusters,
-                cfg.ti_prefix_subspaces,
-                cfg.seed ^ 0x71,
-            )?)
+            let built = if faults::fired("ti.build") {
+                Err(VaqError::Injected { site: "ti.build" })
+            } else {
+                TiPartition::build(
+                    &self.encoder,
+                    &self.codes,
+                    self.n,
+                    cfg.ti_clusters,
+                    cfg.ti_prefix_subspaces,
+                    cfg.seed ^ 0x71,
+                )
+            };
+            match built {
+                Ok(ti) => Some(ti),
+                // The TI partition is an accelerator, not a correctness
+                // requirement: the engine degrades TiEa to a plain
+                // early-abandon scan when it is absent, so a failed build
+                // costs speed, never answers.
+                Err(_) => {
+                    faults::note_degradation("ti.build: partition dropped, EA-only queries");
+                    None
+                }
+            }
         } else {
             None
         };

@@ -114,7 +114,7 @@ fn uniform_boundaries(d: usize, m: usize) -> Vec<usize> {
 /// Splits the largest segments when k-means produces fewer than `m`.
 fn clustered_boundaries(share: &[f64], m: usize, seed: u64) -> Result<Vec<usize>, VaqError> {
     let d = share.len();
-    let labels = kmeans_1d(share, m, seed).map_err(|e| VaqError::Numeric(e.to_string()))?;
+    let labels = kmeans_1d(share, m, seed)?;
     // Walk in order; new segment whenever the cluster label changes.
     let mut boundaries = Vec::new();
     for i in 1..d {

@@ -12,6 +12,20 @@ use crate::ti::TiPartition;
 use crate::VaqError;
 use vaq_linalg::{Matrix, Pca};
 
+/// What ingress validation does with NaN/Inf values in training or
+/// appended data (degenerate but *finite* data — constant dimensions,
+/// duplicate rows — is handled by the pipeline's own fallbacks and never
+/// rejected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngressPolicy {
+    /// Fail fast with [`VaqError::NonFinite`] naming the offending cell.
+    #[default]
+    Reject,
+    /// Replace every NaN/Inf with `0.0` (recorded in the degradation log)
+    /// and continue training.
+    Sanitize,
+}
+
 /// Configuration for [`Vaq::train`].
 #[derive(Debug, Clone)]
 pub struct VaqConfig {
@@ -45,6 +59,8 @@ pub struct VaqConfig {
     /// supervised weights — see [`AllocationConstraint`]). Only honoured
     /// by the adaptive strategy.
     pub allocation_constraints: Vec<AllocationConstraint>,
+    /// How [`Vaq::train`] treats NaN/Inf values in the input.
+    pub ingress: IngressPolicy,
 }
 
 impl VaqConfig {
@@ -66,6 +82,7 @@ impl VaqConfig {
             train_iters: 25,
             seed: 0x5eed,
             allocation_constraints: Vec::new(),
+            ingress: IngressPolicy::Reject,
         }
     }
 
@@ -102,6 +119,12 @@ impl VaqConfig {
     /// Adds an allocation constraint (see [`AllocationConstraint`]).
     pub fn with_constraint(mut self, c: AllocationConstraint) -> Self {
         self.allocation_constraints.push(c);
+        self
+    }
+
+    /// Overrides the NaN/Inf ingress policy (default: reject).
+    pub fn with_ingress(mut self, policy: IngressPolicy) -> Self {
+        self.ingress = policy;
         self
     }
 
@@ -154,10 +177,15 @@ pub struct Vaq {
 
 impl Vaq {
     /// Trains VAQ on the rows of `data` (paper Algorithm 5) by running the
-    /// explicit stage chain in [`crate::pipeline`]: `VarPCA` → subspace
-    /// plan → bit allocation → dictionaries → TI partition. Use the stages
-    /// directly to fork mid-pipeline (e.g. one eigenbasis, many budgets).
+    /// explicit stage chain in [`crate::pipeline`]: ingress validation →
+    /// `VarPCA` → subspace plan → bit allocation → dictionaries → TI
+    /// partition. Use the stages directly to fork mid-pipeline (e.g. one
+    /// eigenbasis, many budgets); stage entry points always *reject*
+    /// non-finite data — the `Sanitize` policy is applied here, before the
+    /// chain starts.
     pub fn train(data: &Matrix, cfg: &VaqConfig) -> Result<Vaq, VaqError> {
+        let sanitized = crate::pipeline::ingress_check(data, cfg)?;
+        let data = sanitized.as_ref().unwrap_or(data);
         VarPcaStage::compute(data, cfg)?
             .plan_subspaces(cfg)?
             .allocate_bits(cfg)?
@@ -281,7 +309,7 @@ impl Vaq {
             )));
         }
         let first = self.n;
-        let projected = self.pca.transform(data).map_err(|e| VaqError::Numeric(e.to_string()))?;
+        let projected = self.pca.transform(data)?;
         let new_codes = self.encoder.encode_all(&projected);
         if let Some(ti) = &mut self.ti {
             let m = self.encoder.num_subspaces();

@@ -89,6 +89,10 @@ pub struct KMeansModel {
     pub inertia: f64,
     /// Lloyd iterations actually performed.
     pub iterations: usize,
+    /// Whether the stopping rule was met within the iteration budget.
+    /// `false` means the model is the best incumbent when `max_iters` ran
+    /// out — still valid, just an anytime result.
+    pub converged: bool,
 }
 
 impl KMeansModel {
@@ -140,21 +144,30 @@ impl KMeans {
         let mut assignments = vec![0u32; data.rows()];
         let mut inertia = f64::INFINITY;
         let mut iterations = 0;
+        let mut converged = false;
 
         for it in 0..cfg.max_iters.max(1) {
             iterations = it + 1;
             let new_inertia = assign_all(data, &centroids, &mut assignments, cfg.threads);
             update_centroids(data, &assignments, &mut centroids, &mut rng);
             let improved = inertia - new_inertia;
-            let done = improved.abs() <= cfg.tol * inertia.abs().max(1e-30) || new_inertia == 0.0;
+            // The first pass has no previous inertia to compare against
+            // (`inertia` starts infinite, and `inf <= inf` would otherwise
+            // declare convergence immediately).
+            let done = (inertia.is_finite()
+                && improved.abs() <= cfg.tol * inertia.abs().max(1e-30))
+                || new_inertia == 0.0;
             inertia = new_inertia;
             if done {
+                converged = true;
                 break;
             }
         }
-        // Final assignment against the last centroid update.
+        // Final assignment against the last centroid update. The anytime
+        // contract: when the budget runs out first, the incumbent is
+        // returned with `converged: false` instead of spinning further.
         inertia = assign_all(data, &centroids, &mut assignments, cfg.threads);
-        Ok(KMeansModel { centroids, assignments, inertia, iterations })
+        Ok(KMeansModel { centroids, assignments, inertia, iterations, converged })
     }
 
     /// Hierarchical k-means for very large dictionaries (paper §III-D).
@@ -180,6 +193,7 @@ impl KMeans {
         let coarse_cfg = KMeansConfig { k: branch, ..cfg.clone() };
         let coarse = Self::fit(data, &coarse_cfg)?;
         let coarse_k = coarse.k();
+        let mut converged = coarse.converged;
 
         // Distribute the leaf budget proportionally to coarse cluster sizes.
         let mut sizes = vec![0usize; coarse_k];
@@ -228,13 +242,14 @@ impl KMeans {
             let sub = data.select_rows(&members);
             let sub_cfg = KMeansConfig { k: leaf_budget[ci].min(sub.rows()), ..cfg.clone() };
             let model = Self::fit(&sub, &sub_cfg)?;
+            converged &= model.converged;
             all = all.vstack(&model.centroids).expect("same dim");
         }
 
         // Assign against the final flat dictionary.
         let mut assignments = vec![0u32; data.rows()];
         let inertia = assign_all(data, &all, &mut assignments, cfg.threads);
-        Ok(KMeansModel { centroids: all, assignments, inertia, iterations: 0 })
+        Ok(KMeansModel { centroids: all, assignments, inertia, iterations: 0, converged })
     }
 }
 
@@ -451,6 +466,37 @@ mod tests {
         let b = KMeans::fit(&data, &KMeansConfig::new(3).with_seed(42)).unwrap();
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn anytime_budget_reports_convergence() {
+        let (data, _) = blobs();
+        // One iteration on three blobs cannot meet the tolerance rule: the
+        // incumbent comes back flagged as unconverged but still usable.
+        let short = KMeans::fit(&data, &KMeansConfig::new(3).with_max_iters(1)).unwrap();
+        assert!(!short.converged, "one Lloyd step should not report convergence");
+        assert_eq!(short.assignments.len(), data.rows());
+        assert!(short.inertia.is_finite());
+        let long = KMeans::fit(&data, &KMeansConfig::new(3).with_max_iters(50)).unwrap();
+        assert!(long.converged, "well-separated blobs converge in 50 iterations");
+        assert!(long.iterations < 50);
+    }
+
+    #[test]
+    fn hierarchical_propagates_convergence() {
+        let (data, _) = blobs();
+        let model = KMeans::fit_hierarchical(&data, 12, 3, &KMeansConfig::new(12)).unwrap();
+        assert!(model.converged);
+        let rushed = KMeans::fit_hierarchical(
+            &data,
+            12,
+            3,
+            &KMeansConfig { max_iters: 1, ..KMeansConfig::new(12) },
+        )
+        .unwrap();
+        // A one-iteration budget anywhere in the tree marks the whole
+        // dictionary as an anytime result.
+        assert!(!rushed.converged);
     }
 
     #[test]

@@ -46,12 +46,19 @@ impl Ord for Node {
 /// Solves the mixed-integer program: all variables flagged with
 /// `add_int_var` are driven to integral values.
 ///
-/// Returns [`SolveError::Infeasible`] when no integral assignment exists
-/// and [`SolveError::LimitReached`] when the node budget runs out before
-/// optimality is proven (the incumbent, if any, is discarded in that case —
-/// callers of the bit allocator treat it as a hard error because the budget
-/// is tiny).
+/// Returns [`SolveError::Infeasible`] when no integral assignment exists.
+/// When the node budget runs out before optimality is proven, the solver
+/// behaves as an *anytime* algorithm: the best incumbent (if one was
+/// found) is returned with [`Solution::optimal`] set to `false`, and
+/// [`SolveError::LimitReached`] is returned only when the budget expired
+/// with no feasible integral point in hand.
 pub fn solve_milp(model: &Model) -> Result<Solution, SolveError> {
+    solve_milp_with_limit(model, MAX_NODES)
+}
+
+/// [`solve_milp`] with an explicit node budget, exposed so callers (and
+/// tests) can bound the time spent proving optimality.
+pub fn solve_milp_with_limit(model: &Model, max_nodes: usize) -> Result<Solution, SolveError> {
     if model.vars.is_empty() {
         return Err(SolveError::EmptyModel);
     }
@@ -70,8 +77,15 @@ pub fn solve_milp(model: &Model) -> Result<Solution, SolveError> {
 
     while let Some(node) = heap.pop() {
         nodes += 1;
-        if nodes > MAX_NODES {
-            return Err(SolveError::LimitReached { what: "branch-and-bound node" });
+        if nodes > max_nodes {
+            return match incumbent {
+                Some(mut best) => {
+                    best.optimal = false;
+                    debug_check(model, &best);
+                    Ok(best)
+                }
+                None => Err(SolveError::LimitReached { what: "branch-and-bound node" }),
+            };
         }
         // Bound: even the relaxation cannot beat the incumbent.
         if let Some(inc) = &incumbent {
@@ -117,7 +131,7 @@ pub fn solve_milp(model: &Model) -> Result<Solution, SolveError> {
                     .map(|inc| dir * objective > dir * inc.objective + INT_EPS)
                     .unwrap_or(true);
                 if better {
-                    incumbent = Some(Solution { values: vals, objective });
+                    incumbent = Some(Solution { values: vals, objective, optimal: true });
                 }
             }
             Some((i, _)) => {
@@ -144,12 +158,17 @@ pub fn solve_milp(model: &Model) -> Result<Solution, SolveError> {
     }
 
     let best = incumbent.ok_or(SolveError::Infeasible)?;
+    debug_check(model, &best);
+    Ok(best)
+}
+
+/// Debug-build self-check: any solution handed back must re-verify.
+fn debug_check(model: &Model, sol: &Solution) {
     if cfg!(debug_assertions) {
-        if let Err(msg) = model.check_solution(&best, 1e-6) {
+        if let Err(msg) = model.check_solution(sol, 1e-6) {
             panic!("branch-and-bound produced an invalid solution: {msg}");
         }
     }
-    Ok(best)
 }
 
 /// Solves the LP relaxation of `model` under overridden variable bounds.
@@ -223,6 +242,46 @@ mod tests {
         // Greedy: most important subspace maxes out first.
         assert!((s.values[vars[0]] - 13.0).abs() < 1e-6);
         assert!(s.values[vars[3]] >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn node_limit_returns_best_incumbent() {
+        // Knapsack from above: optimum 21. Under every node budget the
+        // solver must hand back either a typed error or a *feasible*
+        // incumbent no better than the optimum, flagging optimality
+        // honestly.
+        let mut m = Model::new(Objective::Maximize);
+        let vars: [usize; 4] = [
+            m.add_int_var(0.0, 1.0, 8.0),
+            m.add_int_var(0.0, 1.0, 11.0),
+            m.add_int_var(0.0, 1.0, 6.0),
+            m.add_int_var(0.0, 1.0, 4.0),
+        ];
+        m.add_constraint(
+            vec![(vars[0], 5.0), (vars[1], 7.0), (vars[2], 4.0), (vars[3], 3.0)],
+            Cmp::Le,
+            14.0,
+        );
+        let full = solve_milp(&m).unwrap();
+        assert!(full.optimal);
+
+        let mut saw_anytime = false;
+        for limit in 1..64 {
+            match solve_milp_with_limit(&m, limit) {
+                Ok(s) => {
+                    m.check_solution(&s, 1e-6).expect("incumbent must be feasible");
+                    assert!(s.objective <= full.objective + 1e-9);
+                    if !s.optimal {
+                        saw_anytime = true;
+                        assert!(s.objective.is_finite());
+                    }
+                }
+                Err(e) => {
+                    assert_eq!(e, SolveError::LimitReached { what: "branch-and-bound node" })
+                }
+            }
+        }
+        assert!(saw_anytime, "some node budget should yield a non-optimal incumbent");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 pub mod branch_bound;
 pub mod simplex;
 
-pub use branch_bound::solve_milp;
+pub use branch_bound::{solve_milp, solve_milp_with_limit};
 pub use simplex::solve_lp;
 
 use std::fmt;
@@ -185,13 +185,16 @@ impl Model {
     }
 }
 
-/// A solver result: the optimum found.
+/// A solver result: the best solution found.
 #[derive(Debug, Clone)]
 pub struct Solution {
-    /// Optimal variable values, indexed like the model's variables.
+    /// Variable values, indexed like the model's variables.
     pub values: Vec<f64>,
     /// Objective value at `values` (in the model's direction).
     pub objective: f64,
+    /// `true` when the solver proved optimality. `false` marks an anytime
+    /// result: the best incumbent when a node/iteration budget ran out.
+    pub optimal: bool,
 }
 
 /// Solver failure modes.
@@ -253,26 +256,27 @@ mod tests {
         let y = m.add_int_var(0.0, 5.0, 2.0);
         m.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 7.0);
 
-        let good = Solution { values: vec![2.0, 5.0], objective: 12.0 };
+        let sol = |values: Vec<f64>, objective: f64| Solution { values, objective, optimal: true };
+        let good = sol(vec![2.0, 5.0], 12.0);
         assert!(m.check_solution(&good, 1e-9).is_ok());
 
         // Out of bounds.
-        let oob = Solution { values: vec![-1.0, 5.0], objective: 9.0 };
+        let oob = sol(vec![-1.0, 5.0], 9.0);
         assert!(m.check_solution(&oob, 1e-9).unwrap_err().contains("bounds"));
         // Fractional integer.
-        let frac = Solution { values: vec![2.0, 2.5], objective: 7.0 };
+        let frac = sol(vec![2.0, 2.5], 7.0);
         assert!(m.check_solution(&frac, 1e-9).unwrap_err().contains("fractional"));
         // Constraint violated.
-        let infeas = Solution { values: vec![6.0, 5.0], objective: 16.0 };
+        let infeas = sol(vec![6.0, 5.0], 16.0);
         assert!(m.check_solution(&infeas, 1e-9).unwrap_err().contains("constraint"));
         // Objective mismatch.
-        let lied = Solution { values: vec![2.0, 5.0], objective: 99.0 };
+        let lied = sol(vec![2.0, 5.0], 99.0);
         assert!(m.check_solution(&lied, 1e-9).unwrap_err().contains("objective"));
         // NaN value.
-        let nan = Solution { values: vec![f64::NAN, 5.0], objective: 10.0 };
+        let nan = sol(vec![f64::NAN, 5.0], 10.0);
         assert!(m.check_solution(&nan, 1e-9).is_err());
         // Wrong arity.
-        let short = Solution { values: vec![2.0], objective: 2.0 };
+        let short = sol(vec![2.0], 2.0);
         assert!(m.check_solution(&short, 1e-9).is_err());
     }
 }

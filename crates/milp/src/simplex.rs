@@ -216,7 +216,7 @@ pub fn solve_lp(model: &Model) -> Result<Solution, SolveError> {
     let objective: f64 =
         values.iter().zip(model.vars.iter()).map(|(&x, v)| v.obj * (x - v.lb)).sum::<f64>()
             + constant;
-    Ok(Solution { values, objective })
+    Ok(Solution { values, objective, optimal: true })
 }
 
 /// Primal simplex iterations with Bland's rule. `reduced` is maintained as

@@ -77,7 +77,19 @@ pub fn lex(src: &str) -> LexedFile {
                     out.safety_lines.push(start_line);
                 }
             }
-            b'"' => i = skip_string(b, i, &mut line),
+            b'"' => {
+                // Plain string literals survive as single tokens (text
+                // includes the quotes, so they can never collide with an
+                // identifier) — VAQ006 inspects fault-site name literals.
+                let start = i;
+                let start_line = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Token {
+                    text: src[start..i.min(b.len())].to_string(),
+                    line: start_line,
+                    is_test: false,
+                });
+            }
             b'r' | b'b' if raw_or_byte_string_start(b, i).is_some() => {
                 let (quote, hashes) = raw_or_byte_string_start(b, i).expect("checked");
                 i = if hashes == usize::MAX {
@@ -338,6 +350,25 @@ mod tests {
         assert!(!toks.contains(&"partial_cmp".to_string()));
         assert!(!toks.contains(&"unsafe".to_string()));
         assert!(toks.contains(&"call".to_string()));
+    }
+
+    #[test]
+    fn plain_string_literals_survive_as_quoted_tokens() {
+        let toks = texts("faults::fired(\"varpca.fit\"); next();");
+        assert!(toks.contains(&"\"varpca.fit\"".to_string()));
+        assert!(toks.contains(&"next".to_string()));
+        // The quotes stay in the token text, so a literal can never be
+        // mistaken for a bare identifier by the other rules.
+        assert!(!toks.iter().any(|t| t == "varpca"));
+    }
+
+    #[test]
+    fn multiline_string_tracks_following_lines() {
+        let lexed = lex("let s = \"a\nb\";\nafter();");
+        let after = lexed.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
+        let lit = lexed.tokens.iter().find(|t| t.text.starts_with('"')).unwrap();
+        assert_eq!(lit.line, 1);
     }
 
     #[test]

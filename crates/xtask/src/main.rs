@@ -8,7 +8,7 @@
 //! ```
 //!
 //! The linter is a dependency-free, token-level scanner (see `lexer.rs`)
-//! enforcing the repo-specific rules VAQ001–VAQ005 (see `rules.rs` and
+//! enforcing the repo-specific rules VAQ001–VAQ006 (see `rules.rs` and
 //! DESIGN.md §8) against every Rust source file in the workspace, modulo
 //! the shrink-only allowlist in `lint.toml` (see `config.rs`).
 
@@ -26,7 +26,7 @@ USAGE:
   cargo run -p xtask -- lint [--update-allowlist] [--root DIR]
 
 `lint` scans every workspace .rs file (vendored shims and build output
-excluded) for the VAQ001–VAQ005 rules and checks the result against the
+excluded) for the VAQ001–VAQ006 rules and checks the result against the
 shrink-only allowlist in lint.toml. Exit code 1 on any violation not
 covered by an exact allowance, or on an allowance wider than reality.";
 
@@ -67,11 +67,35 @@ fn run_lint(args: &[String]) -> Result<ExitCode, String> {
 
     let files = collect_rust_files(&root)?;
     let mut violations: Vec<Violation> = Vec::new();
+    let mut sites_used: Vec<&'static str> = Vec::new();
     for rel in &files {
         let abs = root.join(rel);
         let src = std::fs::read_to_string(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
         let lexed = lexer::lex(&src);
         violations.extend(rules::check_file(FileClass::new(rel), &lexed));
+        // VAQ006's cross-file half: which registered sites does the
+        // workspace actually arm or check? (The registry declaration in
+        // faults.rs doesn't count as a use.)
+        if !rel.ends_with("core/src/faults.rs") {
+            for site in rules::used_fault_sites(&lexed) {
+                if !sites_used.contains(&site) {
+                    sites_used.push(site);
+                }
+            }
+        }
+    }
+    for &site in rules::FAULT_SITES {
+        if !sites_used.contains(&site) {
+            violations.push(Violation {
+                rule: "VAQ006",
+                path: "crates/core/src/faults.rs".to_string(),
+                line: 0,
+                message: format!(
+                    "registered fault site `{site}` is never armed or checked anywhere \
+                     in the workspace — wire it into its stage or drop it from `SITES`"
+                ),
+            });
+        }
     }
     violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
 

@@ -7,6 +7,7 @@
 //! | VAQ003 | no `partial_cmp(..).unwrap()` and no `partial_cmp` inside sort/min/max comparators — use `total_cmp` |
 //! | VAQ004 | no `unwrap()` / `expect()` in library crates outside `#[cfg(test)]` |
 //! | VAQ005 | no `unsafe` without a `// SAFETY:` comment within the three preceding lines |
+//! | VAQ006 | fault-site string literals (`fired`, `arm`, …) must name a site registered in `faults::SITES`, and that const must mirror the lint registry |
 //!
 //! Every rule reports a stable code so `lint.toml` allowances and CI logs
 //! stay meaningful as the codebase grows. See DESIGN.md §8.
@@ -29,6 +30,25 @@ const LIB_CRATES: &[&str] =
 /// Comparator-taking functions whose argument must be NaN-safe (VAQ003).
 const COMPARATOR_FNS: &[&str] =
     &["sort_by", "sort_unstable_by", "max_by", "min_by", "binary_search_by"];
+
+/// The fault-site registry, mirrored from `vaq-core`'s `faults::SITES`
+/// (VAQ006 verifies the two stay identical). A typo'd site name compiles
+/// fine but never fires — this list is what catches it.
+pub const FAULT_SITES: &[&str] = &[
+    "ingress.validate",
+    "varpca.fit",
+    "subspaces.plan",
+    "allocation.milp",
+    "dictionary.train",
+    "ti.build",
+    "persist.from_bytes",
+    "engine.prepare",
+    "engine.search",
+];
+
+/// Functions whose first string-literal argument names a fault site
+/// (VAQ006): the runtime triggers, the arming API, and test helpers.
+const FAULT_FNS: &[&str] = &["fired", "arm", "with_armed", "fault_point"];
 
 /// What the path tells us about a file. Paths are repo-relative with
 /// forward slashes.
@@ -92,6 +112,30 @@ pub fn check_file(class: FileClass<'_>, lexed: &LexedFile) -> Vec<Violation> {
                     t.line,
                     "`unsafe` without a `// SAFETY:` comment on the preceding lines".into(),
                 );
+            }
+        }
+
+        // ---- VAQ006: fault-site name literals must be registered (applies
+        // everywhere, including test code — a typo'd site compiles fine but
+        // never fires, silently disarming the chaos coverage).
+        if FAULT_FNS.contains(&t.text.as_str()) {
+            let open =
+                if toks.get(i + 1).map(|n| n.text.as_str()) == Some("!") { i + 2 } else { i + 1 };
+            if toks.get(open).map(|n| n.text.as_str()) == Some("(") {
+                if let Some(site) = toks
+                    .get(open + 1)
+                    .and_then(|n| n.text.strip_prefix('"'))
+                    .and_then(|s| s.strip_suffix('"'))
+                {
+                    if !FAULT_SITES.contains(&site) {
+                        push(
+                            &mut out,
+                            "VAQ006",
+                            t.line,
+                            format!("fault site `{site}` is not registered in `faults::SITES`"),
+                        );
+                    }
+                }
             }
         }
 
@@ -186,7 +230,65 @@ pub fn check_file(class: FileClass<'_>, lexed: &LexedFile) -> Vec<Violation> {
             );
         }
     }
+
+    // ---- VAQ006 (registry sync): the `SITES` const in faults.rs must
+    // list exactly the sites this lint knows about, so the two registries
+    // cannot drift apart.
+    if class.path.ends_with("core/src/faults.rs") {
+        if let Some(decl) = toks.iter().position(|t| t.text == "SITES") {
+            let declared: Vec<&str> = toks[decl..]
+                .iter()
+                .take_while(|t| t.text != ";")
+                .filter_map(|t| t.text.strip_prefix('"').and_then(|s| s.strip_suffix('"')))
+                .collect();
+            let missing: Vec<&&str> =
+                FAULT_SITES.iter().filter(|s| !declared.contains(s)).collect();
+            let extra: Vec<&&str> = declared.iter().filter(|s| !FAULT_SITES.contains(s)).collect();
+            if !missing.is_empty() || !extra.is_empty() {
+                push(
+                    &mut out,
+                    "VAQ006",
+                    toks[decl].line,
+                    format!(
+                        "faults::SITES disagrees with the lint registry \
+                         (missing {missing:?}, unexpected {extra:?}); update \
+                         xtask rules::FAULT_SITES together with faults.rs"
+                    ),
+                );
+            }
+        }
+    }
     out
+}
+
+/// Registered fault sites referenced by this file through any of the
+/// [`FAULT_FNS`] call forms. `main` aggregates these across the workspace
+/// to flag registry entries nothing ever arms or checks.
+pub fn used_fault_sites(lexed: &LexedFile) -> Vec<&'static str> {
+    let toks = &lexed.tokens;
+    let mut used = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !FAULT_FNS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let open =
+            if toks.get(i + 1).map(|n| n.text.as_str()) == Some("!") { i + 2 } else { i + 1 };
+        if toks.get(open).map(|n| n.text.as_str()) != Some("(") {
+            continue;
+        }
+        if let Some(site) = toks
+            .get(open + 1)
+            .and_then(|n| n.text.strip_prefix('"'))
+            .and_then(|s| s.strip_suffix('"'))
+        {
+            if let Some(&known) = FAULT_SITES.iter().find(|&&s| s == site) {
+                if !used.contains(&known) {
+                    used.push(known);
+                }
+            }
+        }
+    }
+    used
 }
 
 /// True when the tokens starting at `start` spell out `pattern`.
@@ -347,5 +449,45 @@ mod tests {
     #[test]
     fn unsafe_in_string_is_ignored() {
         assert!(codes(LIB, "fn f() { let s = \"unsafe { }\"; }").is_empty());
+    }
+
+    #[test]
+    fn unregistered_fault_site_is_vaq006() {
+        assert_eq!(
+            codes(LIB, "fn f() { if faults::fired(\"varpca.fitt\") { return; } }"),
+            vec!["VAQ006"]
+        );
+        assert!(codes(LIB, "fn f() { if faults::fired(\"varpca.fit\") { return; } }").is_empty());
+    }
+
+    #[test]
+    fn fault_site_rule_applies_inside_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { arm(\"nope.site\", Trigger::Always); }\n}";
+        assert_eq!(codes(LIB, src), vec!["VAQ006"]);
+    }
+
+    #[test]
+    fn macro_form_and_non_literal_fault_args() {
+        assert_eq!(codes(LIB, "fn f() { fault_point!(\"bogus.site\"); }"), vec!["VAQ006"]);
+        assert!(codes(LIB, "fn f(site: &str) { if faults::fired(site) { return; } }").is_empty());
+    }
+
+    #[test]
+    fn sites_const_must_match_the_lint_registry() {
+        let path = "crates/core/src/faults.rs";
+        let good = format!(
+            "pub const SITES: &[&str] = &[{}];",
+            FAULT_SITES.iter().map(|s| format!("{s:?}")).collect::<Vec<_>>().join(", ")
+        );
+        assert!(codes(path, &good).is_empty());
+        let bad = "pub const SITES: &[&str] = &[\"ingress.validate\", \"made.up\"];";
+        assert_eq!(codes(path, bad), vec!["VAQ006"]);
+    }
+
+    #[test]
+    fn used_fault_sites_are_collected_once_each() {
+        let lexed = lex("fn f() { if fired(\"varpca.fit\") { } arm(\"ti.build\", T); \
+             fired(\"varpca.fit\"); fired(\"bogus.site\"); }");
+        assert_eq!(used_fault_sites(&lexed), vec!["varpca.fit", "ti.build"]);
     }
 }
