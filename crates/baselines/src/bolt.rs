@@ -16,6 +16,13 @@
 //! *algorithmic* profile (tiny integer tables, packed 4-bit codes, two
 //! codes per byte) without the ISA dependence — the accuracy penalty,
 //! which is what the paper's comparisons measure, is identical in kind.
+//!
+//! Contrast with the engine's quantized scan (`vaq_linalg::qtables`,
+//! DESIGN.md §10): Bolt *rounds* table entries affinely and reports the
+//! approximate integer sums as final distances, accepting ranking error.
+//! The quantized scan instead quantizes *downward* so the integer sum is a
+//! certified lower bound, then reranks survivors through the exact f32
+//! tables — same `pshufb` bandwidth trick, zero accuracy loss.
 
 use crate::util::{split_uniform, Neighbor, TopK};
 use crate::{AnnIndex, BaselineError};

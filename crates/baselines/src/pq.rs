@@ -13,7 +13,7 @@ use crate::util::{adc_table, split_uniform, Neighbor};
 use crate::{AnnIndex, BaselineError};
 use vaq_core::engine::{IndexView, QueryEngine};
 use vaq_kmeans::{nearest_centroid, KMeans, KMeansConfig};
-use vaq_linalg::{squared_euclidean, Matrix, TableArena};
+use vaq_linalg::{squared_euclidean, Matrix, PackedCodes, TableArena};
 
 /// Converts engine results (core's `Neighbor`) into this crate's type.
 pub(crate) fn from_core(neighbors: Vec<vaq_core::Neighbor>) -> Vec<Neighbor> {
@@ -65,6 +65,9 @@ pub struct Pq {
     n: usize,
     /// Total bits per encoded vector.
     bits: usize,
+    /// Blocked code layout for the quantized SIMD scan (derived from
+    /// `codes`; inactive when a dictionary exceeds 256 entries).
+    packed: PackedCodes,
 }
 
 impl Pq {
@@ -99,12 +102,15 @@ impl Pq {
             codebooks.push(model.centroids);
         }
         let codes = encode_all(data, &ranges, &codebooks);
+        let sizes: Vec<usize> = codebooks.iter().map(|cb| cb.rows()).collect();
+        let packed = PackedCodes::pack(&codes, &sizes, data.rows());
         Ok(Pq {
             ranges,
             codebooks,
             codes,
             n: data.rows(),
             bits: cfg.num_subspaces * cfg.bits_per_subspace,
+            packed,
         })
     }
 
@@ -163,6 +169,7 @@ impl Pq {
     /// projection), so queries pass through unprojected.
     pub fn view(&self) -> IndexView<'_> {
         IndexView::new(&self.codebooks, &self.ranges, &self.codes, self.n)
+            .with_packed(Some(&self.packed))
     }
 
     /// Fills `arena` with the per-subspace ADC tables for a query.
@@ -209,6 +216,17 @@ impl Pq {
         let view = self.view();
         let mut engine = QueryEngine::for_view(&view);
         from_core(engine.search_squared(&view, query, k, vaq_core::SearchStrategy::FullScan).0)
+    }
+
+    /// ADC search through the quantized SIMD scan: 8-bit lookup tables
+    /// accumulated with `pshufb` give a lower bound per vector, and only
+    /// survivors are reranked through the exact f32 tables — results are
+    /// identical to [`Pq::search_adc`]. Falls back to the early-abandon
+    /// scan when the plan is not packable (a dictionary > 256 entries).
+    pub fn search_adc_quantized(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let view = self.view();
+        let mut engine = QueryEngine::for_view(&view);
+        from_core(engine.search_squared(&view, query, k, vaq_core::SearchStrategy::Quantized).0)
     }
 
     /// SDC search: the query is itself encoded and distances are taken
@@ -453,6 +471,29 @@ mod tests {
             got.iter().map(|n| n.index).collect::<Vec<_>>(),
             all.iter().map(|n| n.index).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn quantized_adc_matches_exact_adc() {
+        let data = small_data();
+        // 6-bit dictionaries (64 rows) sit on the nibble-split SIMD path.
+        let pq = Pq::train(&data, &PqConfig::new(8).with_bits(6)).unwrap();
+        for qi in [0, 59, 311, 599] {
+            let q = data.row(qi);
+            for k in [1, 10, 33] {
+                assert_eq!(pq.search_adc_quantized(q, k), pq.search_adc(q, k), "qi={qi} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_adc_survives_unpackable_plans() {
+        let data = small_data();
+        // 9-bit dictionaries (512 rows) cannot pack into u8 codes; the
+        // quantized entry point must silently fall back, not misrank.
+        let pq = Pq::train(&data, &PqConfig::new(4).with_bits(9)).unwrap();
+        let q = data.row(7);
+        assert_eq!(pq.search_adc_quantized(q, 15), pq.search_adc(q, 15));
     }
 
     #[test]

@@ -23,10 +23,10 @@ impl PartialOrd for Neighbor {
 }
 impl Ord for Neighbor {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.distance
-            .partial_cmp(&other.distance)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.index.cmp(&other.index))
+        // `total_cmp` keeps the order total when a distance is NaN;
+        // `unwrap_or(Equal)` would make NaN equal to everything and let a
+        // poisoned entry hide inside the heap.
+        self.distance.total_cmp(&other.distance).then_with(|| self.index.cmp(&other.index))
     }
 }
 

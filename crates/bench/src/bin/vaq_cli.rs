@@ -48,6 +48,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&opts),
         "audit" => cmd_audit(&opts),
         "chaos" => cmd_chaos(&opts),
+        "bench" => cmd_bench(&opts),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
@@ -70,6 +71,9 @@ USAGE:
   vaq_cli info   --index INDEX
   vaq_cli audit  INDEX            (or --index INDEX)
   vaq_cli chaos  [--seed-range 0..32] [--p 0.3] [--n 400] [--dim 16]
+  vaq_cli bench  [--n 100000] [--dim 64] [--queries 16] [--k 10]
+                 [--budget 48] [--segments 8] [--seed 7] [--reps 3]
+                 [--train-limit 20000] [--out results]
 
 Vector FILEs may be .fvecs, .bvecs, or .csv (one vector per line).
 `audit` re-checks the index's structural invariants (bit budget C1–C4,
@@ -78,7 +82,12 @@ non-zero listing each VAQ1xx diagnostic on failure.
 `chaos` runs the full train → save → load → query pipeline on synthetic
 data with every registered fault site armed under a seeded probabilistic
 schedule, asserting each run ends in a clean result or a typed error —
-never a panic, a failed audit, or a silently wrong answer.";
+never a panic, a failed audit, or a silently wrong answer.
+`bench` times the quantized SIMD ADC scan against the f32 full scan and
+early-abandon scan on synthetic data (results must match exactly), plus a
+scalar-vs-SIMD kernel micro-benchmark, and writes
+results/BENCH_adc_scan.json. Set VAQ_FORCE_SCALAR=1 to measure the
+end-to-end engine numbers on the portable scalar kernel.";
 
 type Opts = HashMap<String, String>;
 
@@ -349,6 +358,195 @@ fn chaos_run(seed: u64, p: f64, n: usize, d: usize) -> Result<bool, String> {
 /// the type system already guarantees it is not a panic.
 fn drop_err(_e: vaq_core::VaqError) -> bool {
     false
+}
+
+/// Times one search strategy over the query set, returning seconds per
+/// query and the summed per-query work counters.
+fn time_strategy(
+    vaq: &Vaq,
+    queries: &Matrix,
+    k: usize,
+    reps: usize,
+    strategy: SearchStrategy,
+) -> (f64, vaq_core::SearchStats) {
+    // Warm caches (and the lazily quantized tables) outside the clock.
+    for qi in 0..queries.rows().min(4) {
+        let _ = vaq.search_with(queries.row(qi), k, strategy);
+    }
+    let mut stats = vaq_core::SearchStats::default();
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        for qi in 0..queries.rows() {
+            stats += vaq.search_with(queries.row(qi), k, strategy).1;
+        }
+    }
+    (t0.elapsed().as_secs_f64() / (reps * queries.rows()) as f64, stats)
+}
+
+fn cmd_bench(opts: &Opts) -> Result<(), String> {
+    use vaq_bench::Json;
+    use vaq_dataset::SyntheticSpec;
+    use vaq_linalg::{
+        accumulate_qsums_with, active_kernel, PackedCodes, QuantizedTables, ScanKernel, TableArena,
+    };
+
+    let n: usize = get_or(opts, "n", 100_000)?;
+    let dim: usize = get_or(opts, "dim", 64)?;
+    let nq: usize = get_or(opts, "queries", 16)?;
+    let k: usize = get_or(opts, "k", 10)?;
+    let budget: usize = get_or(opts, "budget", 48)?;
+    let segments: usize = get_or(opts, "segments", 8)?;
+    let seed: u64 = get_or(opts, "seed", 7)?;
+    let reps: usize = get_or(opts, "reps", 3)?;
+    let train_limit: usize = get_or(opts, "train-limit", 20_000)?;
+    let out_dir = PathBuf::from(get_or(opts, "out", "results".to_string())?);
+    if n == 0 || nq == 0 || reps == 0 || train_limit == 0 {
+        return Err("--n, --queries, --reps, and --train-limit must be positive".into());
+    }
+
+    let spec = SyntheticSpec { dim, ..SyntheticSpec::sift_like() };
+    let ds = spec.generate(n, nq, seed);
+    println!("data: {n} × {dim} synthetic ({}), {nq} queries", spec.name);
+
+    // Paper-style setup: learn dictionaries on a training sample, then
+    // encode the full collection — the bench measures scan speed, not
+    // dictionary learning.
+    let cfg = VaqConfig::new(budget, segments).with_seed(seed).with_ti_clusters(0);
+    let train_rows = train_limit.min(n);
+    let t0 = std::time::Instant::now();
+    let mut vaq = {
+        let sample = ds.data.select_rows(&(0..train_rows).collect::<Vec<_>>());
+        Vaq::train(&sample, &cfg).map_err(|e| e.to_string())?
+    };
+    if train_rows < n {
+        let rest = ds.data.select_rows(&(train_rows..n).collect::<Vec<_>>());
+        vaq.add(&rest).map_err(|e| e.to_string())?;
+    }
+    let train_secs = t0.elapsed().as_secs_f64();
+    let kernel = active_kernel();
+    println!(
+        "trained in {:.1}s — bit allocation {:?}, scan kernel {}",
+        train_secs,
+        vaq.bits(),
+        kernel.name()
+    );
+
+    // The quantized scan is a pruning accelerator, not an approximation:
+    // its results must be byte-identical to the exact f32 full scan.
+    for qi in 0..ds.queries.rows() {
+        let q = ds.queries.row(qi);
+        let full = vaq.search_with(q, k, SearchStrategy::FullScan).0;
+        let quant = vaq.search_with(q, k, SearchStrategy::Quantized).0;
+        if full != quant {
+            return Err(format!("quantized results diverge from the full scan on query {qi}"));
+        }
+    }
+    println!("parity: quantized == full scan on all {nq} queries");
+
+    let (full_spq, _) = time_strategy(&vaq, &ds.queries, k, reps, SearchStrategy::FullScan);
+    let (ea_spq, _) = time_strategy(&vaq, &ds.queries, k, reps, SearchStrategy::EarlyAbandon);
+    let (qz_spq, qz_stats) = time_strategy(&vaq, &ds.queries, k, reps, SearchStrategy::Quantized);
+    let prune_rate = qz_stats.quantized_pruned as f64 / qz_stats.vectors_visited.max(1) as f64;
+    let speedup = full_spq / qz_spq;
+    let mvps = |spq: f64| n as f64 / spq / 1e6;
+    println!(
+        "engine: full {:.3} ms/q ({:.0} Mvec/s), early-abandon {:.3} ms/q ({:.0} Mvec/s), \
+         quantized {:.3} ms/q ({:.0} Mvec/s) — {speedup:.1}× vs full scan, {:.0}% pruned",
+        full_spq * 1e3,
+        mvps(full_spq),
+        ea_spq * 1e3,
+        mvps(ea_spq),
+        qz_spq * 1e3,
+        mvps(qz_spq),
+        prune_rate * 100.0
+    );
+
+    // Kernel micro-benchmark: raw qsum accumulation throughput over a
+    // synthetic packed database shaped like the trained plan, scalar vs
+    // the best kernel this CPU offers.
+    let sizes: Vec<usize> = vaq.bits().iter().map(|&b| 1usize << b).collect();
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut codes = Vec::with_capacity(n * sizes.len());
+    for _ in 0..n {
+        for &size in &sizes {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            codes.push(((s >> 33) as usize % size) as u16);
+        }
+    }
+    let packed = PackedCodes::pack(&codes, &sizes, n);
+    let mut micro_fields: Vec<(&'static str, Json)> = Vec::new();
+    if packed.is_active() {
+        let mut arena = TableArena::with_layout(&sizes);
+        arena.fill_with(|_, t| {
+            for v in t.iter_mut() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = (s >> 40) as f32 / (1u32 << 22) as f32;
+            }
+        });
+        let mut qt = QuantizedTables::default();
+        qt.quantize(&arena, &packed);
+        let mut qsums = Vec::new();
+        let mut throughput = |kern: ScanKernel| -> f64 {
+            accumulate_qsums_with(kern, &packed, &qt, &mut qsums); // warmup
+            let micro_reps = reps * 10;
+            let t0 = std::time::Instant::now();
+            for _ in 0..micro_reps {
+                accumulate_qsums_with(kern, &packed, &qt, &mut qsums);
+            }
+            let lookups = (n * packed.num_subspaces() * micro_reps) as f64;
+            lookups / t0.elapsed().as_secs_f64() / 1e6
+        };
+        let scalar = throughput(ScanKernel::Scalar);
+        let best = if kernel == ScanKernel::Scalar { scalar } else { throughput(kernel) };
+        println!(
+            "kernel: scalar {scalar:.0} M lookups/s, {} {best:.0} M lookups/s ({:.1}×)",
+            kernel.name(),
+            best / scalar
+        );
+        micro_fields = vec![
+            ("packed_subspaces", Json::Num(packed.num_subspaces() as f64)),
+            ("scalar_mlookups_per_sec", Json::Num(scalar)),
+            ("simd_kernel", Json::Str(kernel.name().to_string())),
+            ("simd_mlookups_per_sec", Json::Num(best)),
+            ("simd_over_scalar", Json::Num(best / scalar)),
+        ];
+    } else {
+        println!("kernel: plan not packable (a subspace exceeds 8 bits); micro-bench skipped");
+    }
+
+    let json = Json::obj([
+        ("bench", Json::Str("adc_scan".to_string())),
+        ("n", Json::Num(n as f64)),
+        ("dim", Json::Num(dim as f64)),
+        ("queries", Json::Num(nq as f64)),
+        ("k", Json::Num(k as f64)),
+        ("reps", Json::Num(reps as f64)),
+        ("bit_allocation", Json::Arr(vaq.bits().iter().map(|&b| Json::Num(b as f64)).collect())),
+        ("active_kernel", Json::Str(kernel.name().to_string())),
+        ("train_secs", Json::Num(train_secs)),
+        (
+            "engine",
+            Json::obj([
+                ("full_scan_ms_per_query", Json::Num(full_spq * 1e3)),
+                ("full_scan_mvectors_per_sec", Json::Num(mvps(full_spq))),
+                ("early_abandon_ms_per_query", Json::Num(ea_spq * 1e3)),
+                ("early_abandon_mvectors_per_sec", Json::Num(mvps(ea_spq))),
+                ("quantized_ms_per_query", Json::Num(qz_spq * 1e3)),
+                ("quantized_mvectors_per_sec", Json::Num(mvps(qz_spq))),
+                ("quantized_speedup_vs_full_scan", Json::Num(speedup)),
+                ("quantized_prune_rate", Json::Num(prune_rate)),
+            ]),
+        ),
+        (
+            "kernel_micro",
+            Json::Obj(micro_fields.into_iter().map(|(f, v)| (f.to_string(), v)).collect()),
+        ),
+    ]);
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
+    let path = out_dir.join("BENCH_adc_scan.json");
+    std::fs::write(&path, json.pretty()).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("results written to {}", path.display());
+    Ok(())
 }
 
 fn cmd_chaos(opts: &Opts) -> Result<(), String> {

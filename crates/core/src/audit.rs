@@ -5,7 +5,7 @@
 //! broken after the repair pass, a code outside its dictionary, a TI
 //! cluster that is no longer sorted. The [`Audit`] trait re-checks those
 //! contracts after the fact. Each violated invariant is reported with a
-//! stable diagnostic code (`VAQ101`–`VAQ109`, documented in DESIGN.md §8)
+//! stable diagnostic code (`VAQ101`–`VAQ110`, documented in DESIGN.md §8)
 //! so tests, CI, and the `vaq_cli audit` subcommand can match on them.
 //!
 //! The pipeline stages call [`Audit::debug_audit`] at the end of each
@@ -435,7 +435,64 @@ impl Audit for Vaq {
                 r.push("VAQ108", format!("prefix spans {} of {m} subspaces", ti.prefix_subspaces));
             }
         }
+
+        // VAQ110 — the blocked packing must mirror `codes` byte for byte:
+        // the quantized scan prunes with bounds computed from the packed
+        // bytes, so a stale packing (e.g. after an append that skipped
+        // re-packing) would silently produce wrong-answer pruning.
+        audit_packed(&mut r, &self.packed, &self.codes, self.n, &self.encoder);
         r
+    }
+}
+
+/// VAQ110: blocked-packing consistency with the flat code array.
+fn audit_packed(
+    r: &mut AuditReport,
+    packed: &vaq_linalg::PackedCodes,
+    codes: &[u16],
+    n: usize,
+    encoder: &Encoder,
+) {
+    let m = encoder.num_subspaces();
+    if !packed.is_active() {
+        // An inactive packing is valid only when packing genuinely has
+        // nothing to do (no ≤8-bit subspace, too many of them, or codes
+        // the packer refused). Re-running the packer detects a packing
+        // that was dropped when it should exist.
+        let expect =
+            vaq_linalg::PackedCodes::pack(codes, &encoder.table_sizes().collect::<Vec<_>>(), n);
+        r.check(!expect.is_active(), "VAQ110", || {
+            "packed codes missing although the plan has packable subspaces".into()
+        });
+        return;
+    }
+    r.check(packed.len() == n, "VAQ110", || {
+        format!("packed codes cover {} of {n} vectors", packed.len())
+    });
+    r.check(packed.num_total_subspaces() == m, "VAQ110", || {
+        format!("packed codes built for {} of {m} subspaces", packed.num_total_subspaces())
+    });
+    if packed.len() != n || packed.num_total_subspaces() != m || codes.len() != n * m {
+        return;
+    }
+    let mp = packed.num_subspaces();
+    let block = vaq_linalg::qtables::BLOCK;
+    for (i, row) in codes.chunks_exact(m).enumerate() {
+        let (b, lane) = (i / block, i % block);
+        for (j, &s) in packed.subspaces().iter().enumerate() {
+            let got = packed.data()[(b * mp + j) * block + lane];
+            if u16::from(got) != row[s] {
+                r.push(
+                    "VAQ110",
+                    format!(
+                        "packed byte for vector {i} subspace {s} is {got}, codes say {}",
+                        row[s]
+                    ),
+                );
+                // One divergent byte is enough signal.
+                return;
+            }
+        }
     }
 }
 
@@ -474,6 +531,39 @@ mod tests {
         vaq.codes.pop();
         let report = vaq.audit();
         assert!(report.has_code("VAQ106"), "{report}");
+    }
+
+    #[test]
+    fn stale_packing_content_is_vaq110() {
+        let mut vaq = trained();
+        assert!(vaq.packed.is_active(), "40-bit/8-subspace plan must pack");
+        // Mutate one code *within* its dictionary range without
+        // re-packing: VAQ106 stays clean, but the packed bytes now lie.
+        let rows = vaq.encoder.codebooks()[0].rows() as u16;
+        vaq.codes[0] = (vaq.codes[0] + 1) % rows;
+        let report = vaq.audit();
+        assert!(report.has_code("VAQ110"), "{report}");
+        assert!(!report.has_code("VAQ106"), "{report}");
+    }
+
+    #[test]
+    fn short_packing_is_vaq110() {
+        let mut vaq = trained();
+        let m = vaq.encoder.num_subspaces();
+        let sizes: Vec<usize> = vaq.encoder.table_sizes().collect();
+        // A packing built over a truncated database.
+        vaq.packed =
+            vaq_linalg::PackedCodes::pack(&vaq.codes[..(vaq.n - 1) * m], &sizes, vaq.n - 1);
+        let report = vaq.audit();
+        assert!(report.has_code("VAQ110"), "{report}");
+    }
+
+    #[test]
+    fn missing_packing_is_vaq110() {
+        let mut vaq = trained();
+        vaq.packed = vaq_linalg::PackedCodes::default();
+        let report = vaq.audit();
+        assert!(report.has_code("VAQ110"), "{report}");
     }
 
     #[test]

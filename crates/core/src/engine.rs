@@ -24,7 +24,9 @@ use crate::encoder::Encoder;
 use crate::search::{Neighbor, SearchStats, SearchStrategy};
 use crate::ti::TiPartition;
 use std::collections::BinaryHeap;
-use vaq_linalg::{squared_distances_into, Matrix, TableArena};
+use vaq_linalg::{
+    accumulate_qsums, squared_distances_into, Matrix, PackedCodes, QuantizedTables, TableArena,
+};
 
 /// A borrowed view of an encoded database, sufficient to execute ADC
 /// queries against it. Cheap to copy; owns nothing.
@@ -35,6 +37,7 @@ pub struct IndexView<'a> {
     codes: &'a [u16],
     n: usize,
     ti: Option<&'a TiPartition>,
+    packed: Option<&'a PackedCodes>,
 }
 
 impl<'a> IndexView<'a> {
@@ -52,7 +55,7 @@ impl<'a> IndexView<'a> {
     ) -> IndexView<'a> {
         assert_eq!(codebooks.len(), ranges.len(), "one codebook per subspace");
         assert_eq!(codes.len(), n * ranges.len(), "codes must be n × m");
-        IndexView { codebooks, ranges, codes, n, ti: None }
+        IndexView { codebooks, ranges, codes, n, ti: None, packed: None }
     }
 
     /// Views a trained [`Encoder`] and its encoded database.
@@ -64,6 +67,19 @@ impl<'a> IndexView<'a> {
     pub fn with_ti(mut self, ti: Option<&'a TiPartition>) -> IndexView<'a> {
         self.ti = ti;
         self
+    }
+
+    /// Attaches (or detaches) a blocked code packing for the quantized
+    /// SIMD scan ([`SearchStrategy::Quantized`]). The packing must come
+    /// from the same `codes`/`n` this view was built over.
+    pub fn with_packed(mut self, packed: Option<&'a PackedCodes>) -> IndexView<'a> {
+        self.packed = packed;
+        self
+    }
+
+    /// The attached blocked code packing, if any.
+    pub fn packed(&self) -> Option<&'a PackedCodes> {
+        self.packed
     }
 
     /// Number of subspaces `m`.
@@ -125,6 +141,12 @@ impl<'a> IndexView<'a> {
 pub struct QueryEngine {
     arena: TableArena,
     strategy: SearchStrategy,
+    /// Per-query `u8` quantization of the arena (Quantized scans only);
+    /// reused across queries without reallocating.
+    qtables: QuantizedTables,
+    /// Scratch accumulator buffer for the quantized scan, one `u16` per
+    /// (padded) database row.
+    qsums: Vec<u16>,
 }
 
 impl Default for QueryEngine {
@@ -137,7 +159,12 @@ impl QueryEngine {
     /// An empty engine defaulting to [`SearchStrategy::EarlyAbandon`]
     /// (exact w.r.t. the ADC ranking, needs no TI partition).
     pub fn new() -> QueryEngine {
-        QueryEngine { arena: TableArena::new(), strategy: SearchStrategy::EarlyAbandon }
+        QueryEngine {
+            arena: TableArena::new(),
+            strategy: SearchStrategy::EarlyAbandon,
+            qtables: QuantizedTables::new(),
+            qsums: Vec::new(),
+        }
     }
 
     /// An engine whose arena is pre-sized for `view`, so even the first
@@ -308,6 +335,59 @@ impl QueryEngine {
                 for &ci in order.iter().skip(visit) {
                     stats.vectors_skipped += ti.cluster(ci as usize).len();
                 }
+            }
+            SearchStrategy::Quantized => {
+                let usable = match view.packed().filter(|p| p.is_active()) {
+                    Some(p) if crate::faults::fired("engine.qscan") => {
+                        crate::faults::note_degradation(
+                            "engine.qscan: SIMD scan bypassed, EA scan",
+                        );
+                        let _ = p;
+                        None
+                    }
+                    Some(p) if p.len() != n || p.num_total_subspaces() != view.num_subspaces() => {
+                        // A packing that disagrees with the view (stale
+                        // after appends, or borrowed from another index)
+                        // could prune with a wrong bound — refuse it.
+                        crate::faults::note_degradation("engine.qscan: packed mismatch, EA scan");
+                        None
+                    }
+                    other => other,
+                };
+                let Some(packed) = usable else {
+                    // No usable packing (e.g. every subspace wider than 8
+                    // bits): the exact early-abandon scan answers instead.
+                    for i in 0..n {
+                        scan_one(view, &self.arena, i, &mut heap, k, &mut stats);
+                    }
+                    return (collect_sorted(heap), stats);
+                };
+                self.qtables.quantize(&self.arena, packed);
+                accumulate_qsums(packed, &self.qtables, &mut self.qsums);
+                let m = view.num_subspaces();
+                // Prune on the certified lower bound alone; survivors
+                // rerank through the exact f32 tables. A pruned vector
+                // has exact distance >= lb >= threshold, so EA would
+                // have abandoned it without pushing — the heap evolves
+                // identically and the top-k is byte-identical to EA's.
+                // The threshold is folded into the integer domain
+                // (`prune_cutoff` is exactly equivalent to comparing
+                // `lower_bound(qsum)` against it) so the hot loop is one
+                // u16 compare per vector; the cutoff only moves when a
+                // survivor improves the heap.
+                let mut cutoff = self.qtables.prune_cutoff(current_threshold(&heap, k));
+                let mut pruned = 0usize;
+                for (i, &qsum) in self.qsums[..n].iter().enumerate() {
+                    if u32::from(qsum) >= cutoff {
+                        pruned += 1;
+                        continue;
+                    }
+                    scan_one(view, &self.arena, i, &mut heap, k, &mut stats);
+                    cutoff = self.qtables.prune_cutoff(current_threshold(&heap, k));
+                }
+                stats.vectors_visited += pruned;
+                stats.lookups_skipped += pruned * m;
+                stats.quantized_pruned += pruned;
             }
         }
         (collect_sorted(heap), stats)
@@ -766,6 +846,115 @@ mod tests {
         assert_eq!(batch_stats.lookups_skipped, seq_stats.lookups_skipped);
         // Workers clone a pre-sized arena: the batch allocates no tables.
         assert_eq!(batch_stats.table_reallocations, 0);
+    }
+
+    fn pack_view(enc: &Encoder, codes: &[u16], n: usize) -> PackedCodes {
+        let sizes: Vec<usize> = enc.codebooks().iter().map(|cb| cb.rows()).collect();
+        PackedCodes::pack(codes, &sizes, n)
+    }
+
+    #[test]
+    fn quantized_matches_early_abandon_byte_for_byte() {
+        let (data, enc, codes, _) = setup(600);
+        let packed = pack_view(&enc, &codes, 600);
+        assert!(packed.is_active(), "5/4/3/2-bit plan must pack fully");
+        let view = IndexView::from_encoder(&enc, &codes, 600).with_packed(Some(&packed));
+        let mut engine = QueryEngine::for_view(&view);
+        for qi in [0usize, 100, 399, 598] {
+            for k in [1usize, 5, 17] {
+                let q = data.row(qi);
+                let (ea, _) = engine.search_with(&view, q, k, SearchStrategy::EarlyAbandon);
+                let (qz, stats) = engine.search_with(&view, q, k, SearchStrategy::Quantized);
+                assert_eq!(ea, qz, "query {qi} k {k}");
+                assert_eq!(stats.vectors_visited + stats.vectors_skipped, 600);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_scan_actually_prunes() {
+        let (data, enc, codes, _) = setup(900);
+        let packed = pack_view(&enc, &codes, 900);
+        let view = IndexView::from_encoder(&enc, &codes, 900).with_packed(Some(&packed));
+        let mut engine = QueryEngine::for_view(&view);
+        let q = data.row(3);
+        let (_, ea) = engine.search_with(&view, q, 5, SearchStrategy::EarlyAbandon);
+        let (_, qz) = engine.search_with(&view, q, 5, SearchStrategy::Quantized);
+        assert!(qz.quantized_pruned > 0, "lower bound never pruned anything");
+        assert!(
+            qz.lookups < ea.lookups,
+            "quantized scan did not reduce exact lookups: {} vs {}",
+            qz.lookups,
+            ea.lookups
+        );
+    }
+
+    #[test]
+    fn quantized_without_packing_degrades_to_ea() {
+        let (data, enc, codes, _) = setup(300);
+        let view = IndexView::from_encoder(&enc, &codes, 300);
+        let mut engine = QueryEngine::for_view(&view);
+        let q = data.row(7);
+        let (ea, _) = engine.search_with(&view, q, 10, SearchStrategy::EarlyAbandon);
+        let (qz, stats) = engine.search_with(&view, q, 10, SearchStrategy::Quantized);
+        assert_eq!(ea, qz);
+        assert_eq!(stats.quantized_pruned, 0);
+    }
+
+    #[test]
+    fn quantized_refuses_mismatched_packing() {
+        // A packing built over a shorter prefix of the database must not
+        // drive pruning decisions for the full view.
+        let (data, enc, codes, _) = setup(400);
+        let stale = pack_view(&enc, &codes[..200 * 4], 200);
+        let view = IndexView::from_encoder(&enc, &codes, 400).with_packed(Some(&stale));
+        let mut engine = QueryEngine::for_view(&view);
+        let q = data.row(11);
+        let (ea, _) = engine.search_with(&view, q, 10, SearchStrategy::EarlyAbandon);
+        let (qz, stats) = engine.search_with(&view, q, 10, SearchStrategy::Quantized);
+        assert_eq!(ea, qz);
+        assert_eq!(stats.quantized_pruned, 0, "mismatched packing was used for pruning");
+    }
+
+    mod quantized_parity_proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Trains an encoder for an arbitrary bit plan over the shared
+        /// deterministic dataset and returns everything a parity check
+        /// needs. Bits span 2..=9, so plans mix packable (≤8-bit) and
+        /// unpackable (9-bit, 512-row) subspaces.
+        fn trained(bits: &[usize], n: usize) -> (Matrix, Encoder, Vec<u16>) {
+            let (data, _, _, _) = setup(n);
+            let vars: Vec<f64> = (0..8).map(|i| 1.0 / (1.0 + i as f64)).collect();
+            let layout =
+                SubspaceLayout::build(&vars, bits.len(), SubspaceMode::Uniform, false, 0).unwrap();
+            let enc = Encoder::train(&data, &layout, bits, 8, 0).unwrap();
+            let codes = enc.encode_all(&data);
+            (data, enc, codes)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(6))]
+            #[test]
+            fn quantized_is_byte_identical_to_ea_on_random_bit_plans(
+                bits in proptest::collection::vec(2usize..=9, 4),
+                k in 1usize..16,
+                qi in 0usize..300,
+            ) {
+                let n = 300;
+                let (data, enc, codes) = trained(&bits, n);
+                let packed = pack_view(&enc, &codes, n);
+                let view =
+                    IndexView::from_encoder(&enc, &codes, n).with_packed(Some(&packed));
+                let mut engine = QueryEngine::for_view(&view);
+                let q = data.row(qi);
+                let (ea, _) = engine.search_with(&view, q, k, SearchStrategy::EarlyAbandon);
+                let (qz, _) = engine.search_with(&view, q, k, SearchStrategy::Quantized);
+                // Byte-identical: same indices AND bit-equal distances.
+                prop_assert_eq!(ea, qz);
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub const SITES: &[&str] = &[
     "persist.from_bytes",
     "engine.prepare",
     "engine.search",
+    "engine.qscan",
 ];
 
 /// True when `site` is in [`SITES`].

@@ -324,6 +324,14 @@ impl DictionaryStage {
         } else {
             None
         };
+        // Build the blocked code layout for the quantized SIMD scan once,
+        // at encode time; subspaces wider than 8 bits are simply left out
+        // (the scan folds their table minima into its bound).
+        let packed = vaq_linalg::PackedCodes::pack(
+            &self.codes,
+            &self.encoder.table_sizes().collect::<Vec<_>>(),
+            self.n,
+        );
         let vaq = Vaq {
             pca: self.pca,
             layout: self.layout,
@@ -333,6 +341,7 @@ impl DictionaryStage {
             n: self.n,
             ti,
             default_strategy: SearchStrategy::TiEa { visit_frac: cfg.ti_visit_frac },
+            packed,
         };
         vaq.debug_audit("stage 5 (TI build)");
         Ok(vaq)

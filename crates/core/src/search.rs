@@ -21,6 +21,13 @@
 //!   prune, and the survivors go through the early-abandon loop. Visiting
 //!   all clusters keeps the ADC ranking exact; visiting a fraction is the
 //!   approximation knob the paper tunes (25% / 10%).
+//! * [`SearchStrategy::Quantized`] — the Quick-ADC-style SIMD scan: sum
+//!   8-bit-quantized tables over the blocked code layout, prune every
+//!   vector whose certified lower bound cannot beat the current k-th
+//!   best, and rerank the survivors through the exact `f32` tables.
+//!   Exact with respect to the ADC ranking (identical results to
+//!   [`SearchStrategy::EarlyAbandon`]); indexes whose subspaces all
+//!   exceed 8 bits transparently fall back to the early-abandon loop.
 
 use crate::encoder::Encoder;
 use crate::engine::{IndexView, QueryEngine};
@@ -46,10 +53,12 @@ impl PartialOrd for Neighbor {
 }
 impl Ord for Neighbor {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.distance
-            .partial_cmp(&other.distance)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.index.cmp(&other.index))
+        // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: the latter
+        // makes NaN compare Equal to *everything*, a non-transitive order
+        // that silently corrupts the top-k BinaryHeap. Under total order,
+        // NaN sorts above +inf, so a poisoned distance loses every
+        // "is it better" comparison instead of scrambling the heap.
+        self.distance.total_cmp(&other.distance).then_with(|| self.index.cmp(&other.index))
     }
 }
 
@@ -67,6 +76,9 @@ pub enum SearchStrategy {
         /// 0.10).
         visit_frac: f64,
     },
+    /// SIMD quantized-table scan with exact rerank (Quick-ADC style).
+    /// Same results as [`SearchStrategy::EarlyAbandon`].
+    Quantized,
 }
 
 /// Counters describing how much work a query did — used by the Figure 7
@@ -85,6 +97,9 @@ pub struct SearchStats {
     pub lookups: usize,
     /// Lookups avoided by early abandoning (subspaces not accumulated).
     pub lookups_skipped: usize,
+    /// Vectors dismissed by the quantized scan's lower bound alone,
+    /// without touching the exact `f32` tables.
+    pub quantized_pruned: usize,
     /// Times the lookup-table arena had to grow while preparing this
     /// query's tables. Zero in the steady state — the batch path asserts
     /// on this to prove per-query table allocation is gone.
@@ -97,6 +112,7 @@ impl AddAssign for SearchStats {
         self.vectors_skipped += rhs.vectors_skipped;
         self.lookups += rhs.lookups;
         self.lookups_skipped += rhs.lookups_skipped;
+        self.quantized_pruned += rhs.quantized_pruned;
         self.table_reallocations += rhs.table_reallocations;
     }
 }
@@ -153,6 +169,7 @@ mod tests {
             vectors_skipped: 2,
             lookups: 3,
             lookups_skipped: 4,
+            quantized_pruned: 5,
             table_reallocations: 1,
         };
         let b = SearchStats {
@@ -160,6 +177,7 @@ mod tests {
             vectors_skipped: 20,
             lookups: 30,
             lookups_skipped: 40,
+            quantized_pruned: 50,
             table_reallocations: 0,
         };
         let mut acc = SearchStats::default();
@@ -172,8 +190,34 @@ mod tests {
                 vectors_skipped: 22,
                 lookups: 33,
                 lookups_skipped: 44,
+                quantized_pruned: 55,
                 table_reallocations: 1,
             }
         );
+    }
+
+    #[test]
+    fn nan_distance_cannot_corrupt_the_heap() {
+        use std::collections::BinaryHeap;
+        // Under the old `partial_cmp(..).unwrap_or(Equal)` order, NaN
+        // compared Equal to everything; sift-up/down decisions became
+        // inconsistent and the heap's max was no longer the max. With
+        // `total_cmp`, NaN is the largest value and behaves like +inf.
+        let nan = Neighbor { index: 7, distance: f32::NAN };
+        let near = Neighbor { index: 1, distance: 0.5 };
+        let far = Neighbor { index: 2, distance: 99.0 };
+        assert_eq!(nan.cmp(&near), Ordering::Greater);
+        assert_eq!(nan.cmp(&far), Ordering::Greater);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+
+        let mut heap = BinaryHeap::new();
+        for x in [far, nan, near] {
+            heap.push(x);
+        }
+        // The NaN entry is the worst element, so a bounded top-k heap
+        // evicts it first and the real neighbors survive.
+        assert_eq!(heap.pop().map(|x| x.index), Some(7));
+        assert_eq!(heap.pop(), Some(far));
+        assert_eq!(heap.pop(), Some(near));
     }
 }

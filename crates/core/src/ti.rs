@@ -164,7 +164,13 @@ impl TiPartition {
             }
         }
         let cluster = &mut self.clusters[best];
-        let pos = cluster.partition_point(|m| m.dist < best_d || (m.dist == best_d && m.idx < idx));
+        // Same comparator as the build-time sort: `total_cmp` then index.
+        // A `<`/`==` mix here would disagree with that order (and stall at
+        // position 0 on NaN), breaking the sorted invariant for every
+        // later binary search.
+        let pos = cluster.partition_point(|m| {
+            m.dist.total_cmp(&best_d).then_with(|| m.idx.cmp(&idx)) == std::cmp::Ordering::Less
+        });
         cluster.insert(pos, Member { idx, dist: best_d });
     }
 
@@ -250,6 +256,32 @@ mod tests {
                 assert!(w[0].dist <= w[1].dist);
             }
         }
+    }
+
+    #[test]
+    fn insert_preserves_sorted_ascending_invariant() {
+        // Regression: insert used a `<` / `==` comparator that disagreed
+        // with the build-time `total_cmp` sort. Grow a partition one
+        // vector at a time and re-check the invariant after every insert,
+        // including the total-order tiebreak on equal distances.
+        let (_, enc, codes) = setup(300);
+        let mut ti = TiPartition::build(&enc, &codes[..200 * 4], 200, 8, 2, 5).unwrap();
+        for i in 200..300 {
+            let code = &codes[i * 4..(i + 1) * 4];
+            ti.insert(&enc, code, i as u32);
+            for c in 0..ti.num_clusters() {
+                for w in ti.cluster(c).windows(2) {
+                    let ord = w[0].dist.total_cmp(&w[1].dist).then(w[0].idx.cmp(&w[1].idx));
+                    assert_ne!(
+                        ord,
+                        std::cmp::Ordering::Greater,
+                        "after inserting {i}: cluster {c} out of order"
+                    );
+                }
+            }
+        }
+        let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster(c).len()).sum();
+        assert_eq!(total, 300);
     }
 
     #[test]

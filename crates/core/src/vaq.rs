@@ -10,7 +10,7 @@ use crate::search::{Neighbor, SearchStats, SearchStrategy};
 use crate::subspaces::{SubspaceLayout, SubspaceMode};
 use crate::ti::TiPartition;
 use crate::VaqError;
-use vaq_linalg::{Matrix, Pca};
+use vaq_linalg::{Matrix, PackedCodes, Pca};
 
 /// What ingress validation does with NaN/Inf values in training or
 /// appended data (degenerate but *finite* data — constant dimensions,
@@ -173,6 +173,10 @@ pub struct Vaq {
     pub(crate) n: usize,
     pub(crate) ti: Option<TiPartition>,
     pub(crate) default_strategy: SearchStrategy,
+    /// Blocked/transposed codes of the ≤8-bit subspaces for the SIMD
+    /// quantized scan. Derived from `codes` (rebuilt on load and append,
+    /// never serialized); inactive when no subspace fits in 8 bits.
+    pub(crate) packed: PackedCodes,
 }
 
 impl Vaq {
@@ -228,10 +232,12 @@ impl Vaq {
         self.pca.transform_vec(query).expect("query dimensionality")
     }
 
-    /// A borrowed [`IndexView`] of the encoded database (codes + TI),
-    /// ready for a [`QueryEngine`].
+    /// A borrowed [`IndexView`] of the encoded database (codes + TI +
+    /// blocked packing), ready for a [`QueryEngine`].
     pub fn view(&self) -> IndexView<'_> {
-        IndexView::from_encoder(&self.encoder, &self.codes, self.n).with_ti(self.ti.as_ref())
+        IndexView::from_encoder(&self.encoder, &self.codes, self.n)
+            .with_ti(self.ti.as_ref())
+            .with_packed(Some(&self.packed))
     }
 
     /// A [`QueryEngine`] pre-sized for this index, defaulting to the
@@ -319,6 +325,11 @@ impl Vaq {
         }
         self.codes.extend_from_slice(&new_codes);
         self.n += data.rows();
+        // The blocked layout interleaves subspaces within 32-vector
+        // blocks, so appending means re-packing; O(n·m) byte moves, the
+        // same order as encoding the appended rows themselves.
+        self.packed =
+            PackedCodes::pack(&self.codes, &self.encoder.table_sizes().collect::<Vec<_>>(), self.n);
         Ok(first)
     }
 

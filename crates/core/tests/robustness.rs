@@ -288,6 +288,13 @@ mod injected {
             assert_eq!(got, clean, "{site} changed query answers");
             assert!(!notes.is_empty(), "{site} should log its degradation");
         }
+        // The quantized SIMD path is a pure accelerator: bypassing it must
+        // fall back to the EA scan with byte-identical results.
+        let clean_q = vaq.search_with(d.row(1), 5, SearchStrategy::Quantized).0;
+        let (got, notes) =
+            with_armed("engine.qscan", || vaq.search_with(d.row(1), 5, SearchStrategy::Quantized).0);
+        assert_eq!(got, clean_q, "engine.qscan changed query answers");
+        assert!(notes.iter().any(|n| n.starts_with("engine.qscan")), "{notes:?}");
     }
 
     #[test]
@@ -303,6 +310,7 @@ mod injected {
                 let bytes = vaq.to_bytes();
                 let back = Vaq::from_bytes(&bytes)?;
                 back.search_with(d.row(0), 3, SearchStrategy::TiEa { visit_frac: 1.0 });
+                back.search_with(d.row(0), 3, SearchStrategy::Quantized);
                 Ok::<(), VaqError>(())
             });
             let observed = outcome.is_err()

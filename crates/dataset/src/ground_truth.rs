@@ -26,10 +26,9 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap by distance; tie-break on index for determinism.
-        self.dist
-            .partial_cmp(&other.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.idx.cmp(&other.idx))
+        // `total_cmp` so a NaN distance sorts above every finite one and
+        // gets evicted first instead of corrupting the heap order.
+        self.dist.total_cmp(&other.dist).then_with(|| self.idx.cmp(&other.idx))
     }
 }
 

@@ -273,7 +273,7 @@ impl DsTree {
         }
         impl Ord for Item {
             fn cmp(&self, other: &Self) -> Ordering {
-                other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+                other.0.total_cmp(&self.0).then(other.1.cmp(&self.1))
             }
         }
         let mut heap = BinaryHeap::new();

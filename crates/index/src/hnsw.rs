@@ -136,7 +136,7 @@ impl PartialOrd for Far {
 }
 impl Ord for Far {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal).then(self.1.cmp(&other.1))
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
     }
 }
 
@@ -151,7 +151,7 @@ impl PartialOrd for Near {
 }
 impl Ord for Near {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal).then(other.1.cmp(&self.1))
+        other.0.total_cmp(&self.0).then(other.1.cmp(&self.1))
     }
 }
 

@@ -137,7 +137,7 @@ impl Imi {
         }
         impl Ord for Cell {
             fn cmp(&self, other: &Self) -> Ordering {
-                other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+                other.0.total_cmp(&self.0).then((other.1, other.2).cmp(&(self.1, self.2)))
             }
         }
         let mut heap = BinaryHeap::new();

@@ -31,6 +31,7 @@ pub mod eigen;
 pub mod matrix;
 pub mod norms;
 pub mod pca;
+pub mod qtables;
 pub mod sketch;
 pub mod svd;
 pub mod tables;
@@ -40,6 +41,10 @@ pub use eigen::{sym_eigen, SymEigen};
 pub use matrix::{DMatrix, Matrix};
 pub use norms::{dot, euclidean, hamming, squared_euclidean};
 pub use pca::Pca;
+pub use qtables::{
+    accumulate_qsums, accumulate_qsums_with, active_kernel, PackedCodes, QuantizedTables,
+    ScanKernel,
+};
 pub use sketch::FrequentDirections;
 pub use svd::{procrustes, svd, Svd};
 pub use tables::{squared_distances_into, TableArena};

@@ -1,0 +1,729 @@
+//! Quantized ADC scan: `u8` lookup tables, a blocked/transposed code
+//! layout, and in-register `pshufb` accumulation kernels.
+//!
+//! The exact ADC loop pays one `u16` code load plus one random `f32`
+//! table read per subspace per vector. Quick ADC and Quicker ADC (André
+//! et al.) remove that bottleneck with 8-bit-quantized tables small
+//! enough to live in SIMD registers, looked up 16–32 lanes at a time
+//! with `pshufb`. This module provides the three pieces the query engine
+//! composes:
+//!
+//! 1. [`PackedCodes`] — the codes of every ≤8-bit subspace, transposed
+//!    into blocks of [`BLOCK`] vectors laid out subspace-major, so one
+//!    SIMD load grabs the same subspace's code for 32 consecutive
+//!    vectors. Built once at encode time.
+//! 2. [`QuantizedTables`] — a per-query `u8` quantization of the exact
+//!    `f32` tables using a per-table minimum plus one shared step
+//!    (`delta`), constructed so the de-quantized sum is a certified
+//!    *lower bound* on the exact distance.
+//! 3. [`accumulate_qsums`] — the scan kernel summing quantized entries
+//!    for every vector, dispatching at runtime between a portable scalar
+//!    loop and SSSE3/AVX2 `pshufb` kernels on x86_64.
+//!
+//! # The lower-bound contract
+//!
+//! For entry value `t` of packed table `s`, the stored byte is
+//! `q = floor((t - min_s) / delta)` clamped to `0..=254` and then
+//! *verified* in `f64` so `min_s + delta*q <= t` holds. Summing `q` over
+//! packed subspaces and adding every table's minimum — including tables
+//! too wide to pack — reconstructs `base + delta * qsum`, which cannot
+//! exceed the exact distance in real arithmetic; a small multiplicative
+//! slack ([`QuantizedTables::bound_scale`]) absorbs the `f32` rounding
+//! of both the reconstruction and the exact path's own accumulation.
+//! Subspaces wider than 8 bits therefore stay on the `f32` path without
+//! breaking the bound: their minima are folded into `base`.
+//!
+//! # Why `0..=254` and at most 257 subspaces
+//!
+//! The kernels accumulate into `u16` lanes. With entries capped at 254,
+//! up to 257 packed subspaces sum to at most `254 * 257 = 65 278`, which
+//! fits `u16::MAX`; [`PackedCodes::pack`] refuses wider plans (the
+//! engine then falls back to the exact scan).
+
+use crate::tables::TableArena;
+use std::sync::OnceLock;
+
+/// Number of vectors per packed block. One AVX2 register holds the codes
+/// of a whole block; SSSE3 processes it as two 16-lane halves.
+pub const BLOCK: usize = 32;
+
+/// Largest number of ≤8-bit subspaces the `u16` accumulators can take
+/// without overflow (entries are capped at 254; `254 * 257 <= u16::MAX`).
+pub const MAX_PACKED_SUBSPACES: usize = 257;
+
+/// Codes of the ≤8-bit subspaces, transposed into a blocked layout:
+/// block-major, then subspace-major, then the [`BLOCK`] lanes of the
+/// block. The byte for vector `i`, packed subspace `j` lives at
+/// `data[((i / BLOCK) * mp + j) * BLOCK + (i % BLOCK)]`. The tail block
+/// is zero-padded so kernels never branch on `n`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PackedCodes {
+    data: Vec<u8>,
+    /// Original subspace indices with table size `1..=256`, ascending.
+    subspaces: Vec<usize>,
+    /// Table size (codebook rows) per packed subspace.
+    sizes: Vec<usize>,
+    /// Total subspace count of the source plan (packed + unpacked).
+    m_total: usize,
+    n: usize,
+    blocks: usize,
+}
+
+impl PackedCodes {
+    /// Transposes `codes` (row-major `n × table_sizes.len()`) into the
+    /// blocked layout, keeping only subspaces with `1..=256` codebook
+    /// rows. Returns a packing with *no* subspaces — the caller's signal
+    /// to stay on the exact `f32` path — when nothing is packable, when
+    /// more than [`MAX_PACKED_SUBSPACES`] subspaces qualify (the `u16`
+    /// accumulators could overflow), or when any code is out of range
+    /// for its table (a wrong byte here would break the lower bound).
+    pub fn pack(codes: &[u16], table_sizes: &[usize], n: usize) -> Self {
+        let m = table_sizes.len();
+        let fallback = |m_total: usize, n: usize| Self { m_total, n, ..Self::default() };
+        if codes.len() != n * m {
+            return fallback(m, n);
+        }
+        let mut subspaces = Vec::new();
+        let mut sizes = Vec::new();
+        for (s, &sz) in table_sizes.iter().enumerate() {
+            if (1..=256).contains(&sz) {
+                subspaces.push(s);
+                sizes.push(sz);
+            }
+        }
+        if subspaces.is_empty() || subspaces.len() > MAX_PACKED_SUBSPACES {
+            return fallback(m, n);
+        }
+        for row in codes.chunks_exact(m) {
+            for (j, &s) in subspaces.iter().enumerate() {
+                if row[s] as usize >= sizes[j] {
+                    return fallback(m, n);
+                }
+            }
+        }
+        let mp = subspaces.len();
+        let blocks = n.div_ceil(BLOCK).max(1);
+        let mut data = vec![0u8; blocks * mp * BLOCK];
+        for (i, row) in codes.chunks_exact(m).enumerate() {
+            let (b, lane) = (i / BLOCK, i % BLOCK);
+            for (j, &s) in subspaces.iter().enumerate() {
+                data[(b * mp + j) * BLOCK + lane] = row[s] as u8;
+            }
+        }
+        Self { data, subspaces, sizes, m_total: m, n, blocks }
+    }
+
+    /// `true` when at least one subspace was packed and the quantized
+    /// scan can run.
+    pub fn is_active(&self) -> bool {
+        !self.subspaces.is_empty()
+    }
+
+    /// Number of packed subspaces.
+    pub fn num_subspaces(&self) -> usize {
+        self.subspaces.len()
+    }
+
+    /// Original subspace indices of the packed subspaces, ascending.
+    pub fn subspaces(&self) -> &[usize] {
+        &self.subspaces
+    }
+
+    /// Table sizes (codebook rows) per packed subspace.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Total subspace count of the source plan, packed or not.
+    pub fn num_total_subspaces(&self) -> usize {
+        self.m_total
+    }
+
+    /// Number of encoded vectors (excluding tail padding).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no vectors are encoded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of [`BLOCK`]-sized blocks, including the padded tail.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Capacity the accumulator buffer must have: `blocks() * BLOCK`.
+    pub fn padded_len(&self) -> usize {
+        self.blocks * BLOCK
+    }
+
+    /// Raw blocked bytes (see the struct docs for the layout).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Per-query `u8` quantization of the exact `f32` lookup tables held by
+/// a [`TableArena`], reusable across queries without reallocating.
+///
+/// Rows are padded with zeros to a multiple of 16 bytes so the SIMD
+/// kernels can load whole chunks; pad bytes are never selected because
+/// every code is `< sizes[j]`.
+#[derive(Clone, Debug, Default)]
+pub struct QuantizedTables {
+    entries: Vec<u8>,
+    /// `num_subspaces + 1` row boundaries into `entries`.
+    offsets: Vec<usize>,
+    /// Scratch: per-packed-table minima.
+    mins: Vec<f32>,
+    delta: f32,
+    base: f32,
+    bound_scale: f32,
+}
+
+impl QuantizedTables {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quantizes the arena's tables against `packed`'s subspace
+    /// selection. The arena must hold one table per subspace of the plan
+    /// that produced `packed` (checked in debug builds).
+    pub fn quantize(&mut self, arena: &TableArena, packed: &PackedCodes) {
+        debug_assert_eq!(arena.num_tables(), packed.num_total_subspaces());
+        let mp = packed.num_subspaces();
+
+        // One pass over every table: `base` folds in all minima (packed
+        // or not) so the reconstruction bounds the full-m distance, while
+        // the shared step spans only the packed tables' widest range.
+        self.mins.clear();
+        let mut base = 0.0f32;
+        let mut max_range = 0.0f32;
+        let mut next = 0usize;
+        for (s, t) in arena.tables().enumerate() {
+            let (mut mn, mut mx) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &v in t {
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+            if mn.is_finite() {
+                base += mn;
+            }
+            if next < mp && packed.subspaces()[next] == s {
+                self.mins.push(if mn.is_finite() { mn } else { 0.0 });
+                if (mx - mn).is_finite() {
+                    max_range = max_range.max(mx - mn);
+                }
+                next += 1;
+            }
+        }
+        let delta = if max_range > 0.0 { max_range / 254.0 } else { 0.0 };
+
+        self.entries.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        for (j, &s) in packed.subspaces().iter().enumerate() {
+            let t = arena.table(s);
+            let mn = self.mins[j];
+            for &v in t {
+                self.entries.push(quantize_entry(v, mn, delta));
+            }
+            // Zero-pad the row to whole 16-byte chunks for the kernels.
+            let padded = self.offsets[j] + t.len().max(1).div_ceil(16) * 16;
+            self.entries.resize(padded, 0);
+            self.offsets.push(self.entries.len());
+        }
+
+        self.delta = delta;
+        self.base = base;
+        // Slack absorbing `f32` rounding on both sides of the pruning
+        // comparison: the (m+2)-term reconstruction here and the exact
+        // path's own m-term accumulation. 8(m+4) ulps is far beyond
+        // either error's worst case.
+        self.bound_scale = 1.0 - 8.0 * (arena.num_tables() + 4) as f32 * f32::EPSILON;
+    }
+
+    /// Number of quantized rows (packed subspaces).
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Quantized row `j`, zero-padded to a multiple of 16 bytes.
+    pub fn row(&self, j: usize) -> &[u8] {
+        &self.entries[self.offsets[j]..self.offsets[j + 1]]
+    }
+
+    /// The shared quantization step. `0` means every packed table was
+    /// constant and all stored bytes are zero.
+    pub fn delta(&self) -> f32 {
+        self.delta
+    }
+
+    /// Sum of every table's minimum entry (packed and unpacked).
+    pub fn base(&self) -> f32 {
+        self.base
+    }
+
+    /// Multiplicative slack applied to positive bounds; see `quantize`.
+    pub fn bound_scale(&self) -> f32 {
+        self.bound_scale
+    }
+
+    /// Certified lower bound on the exact full-m ADC distance of a
+    /// vector whose packed entries sum to `qsum`. Safe to prune with:
+    /// `lower_bound(qsum) >= threshold` implies the exact `f32` distance
+    /// is `>= threshold` too.
+    #[inline]
+    pub fn lower_bound(&self, qsum: u16) -> f32 {
+        let lb = self.base + self.delta * f32::from(qsum);
+        if lb > 0.0 {
+            lb * self.bound_scale
+        } else {
+            lb
+        }
+    }
+
+    /// Worst-case gap between the bound and the exact distance coming
+    /// from quantization alone (one sub-`delta` truncation per packed
+    /// row). Reported by the bench for context.
+    pub fn max_underestimate(&self) -> f32 {
+        self.delta * self.num_rows() as f32
+    }
+
+    /// Smallest quantized sum whose [`Self::lower_bound`] reaches
+    /// `threshold`, or `u32::MAX` when no representable sum does. Testing
+    /// `u32::from(qsum) >= prune_cutoff(t)` is *exactly* equivalent to
+    /// testing `lower_bound(qsum) >= t` — `lower_bound` is monotone
+    /// nondecreasing in the sum (`delta >= 0`, and the positive branch's
+    /// `* bound_scale` preserves order across the sign boundary) — but
+    /// moves all float work out of the per-vector scan loop.
+    pub fn prune_cutoff(&self, threshold: f32) -> u32 {
+        let reachable = self.lower_bound(u16::MAX) >= threshold;
+        if !reachable {
+            return u32::MAX; // also catches threshold = INFINITY / NaN
+        }
+        // Binary search the boundary; invariant: lower_bound(hi) >= threshold.
+        let (mut lo, mut hi) = (0u32, u32::from(u16::MAX));
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.lower_bound(mid as u16) >= threshold {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        hi
+    }
+}
+
+/// Floor-quantizes one table entry, then walks the byte down until
+/// `min + delta*q <= t` certifies in `f64` (the `f32` division and floor
+/// can land one step high near representability boundaries).
+fn quantize_entry(t: f32, min: f32, delta: f32) -> u8 {
+    if delta <= 0.0 || !t.is_finite() {
+        return 0;
+    }
+    let mut q = (((t - min) / delta).floor() as i64).clamp(0, 254);
+    let (tf, mf, df) = (f64::from(t), f64::from(min), f64::from(delta));
+    while q > 0 && mf + df * q as f64 > tf {
+        q -= 1;
+    }
+    q as u8
+}
+
+/// Which accumulation kernel a scan uses. All variants exist on every
+/// architecture; dispatch re-verifies CPU support before any `unsafe`
+/// call and silently degrades to `Scalar` when the feature is missing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanKernel {
+    /// Portable loop; auto-vectorizes reasonably on most targets.
+    Scalar,
+    /// `pshufb` over two 16-lane halves per block (x86_64).
+    Ssse3,
+    /// `vpshufb` over the whole 32-lane block (x86_64).
+    Avx2,
+}
+
+impl ScanKernel {
+    /// Human-readable name for logs and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanKernel::Scalar => "scalar",
+            ScanKernel::Ssse3 => "ssse3",
+            ScanKernel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The kernel the current process uses, picked once: the widest
+/// supported x86_64 feature, unless `VAQ_FORCE_SCALAR` is set to a
+/// non-empty value other than `0`.
+pub fn active_kernel() -> ScanKernel {
+    static KERNEL: OnceLock<ScanKernel> = OnceLock::new();
+    *KERNEL.get_or_init(detect_kernel)
+}
+
+fn detect_kernel() -> ScanKernel {
+    let forced = std::env::var_os("VAQ_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0");
+    if forced {
+        return ScanKernel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return ScanKernel::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            return ScanKernel::Ssse3;
+        }
+    }
+    ScanKernel::Scalar
+}
+
+/// Sums the quantized table entry of every packed subspace for every
+/// vector, writing one `u16` per lane into `out` (resized to
+/// [`PackedCodes::padded_len`]; tail lanes hold the code-0 sum and must
+/// be ignored). Uses [`active_kernel`].
+pub fn accumulate_qsums(packed: &PackedCodes, qt: &QuantizedTables, out: &mut Vec<u16>) {
+    accumulate_qsums_with(active_kernel(), packed, qt, out);
+}
+
+/// Same as [`accumulate_qsums`] with an explicit kernel — the hook the
+/// parity tests use to compare SIMD against scalar on identical inputs.
+/// SIMD requests re-verify CPU support and fall back to scalar if the
+/// feature is unavailable.
+pub fn accumulate_qsums_with(
+    kernel: ScanKernel,
+    packed: &PackedCodes,
+    qt: &QuantizedTables,
+    out: &mut Vec<u16>,
+) {
+    debug_assert_eq!(qt.num_rows(), packed.num_subspaces());
+    out.clear();
+    out.resize(packed.padded_len(), 0);
+    match kernel {
+        #[cfg(target_arch = "x86_64")]
+        ScanKernel::Ssse3 if std::arch::is_x86_feature_detected!("ssse3") => {
+            // SAFETY: SSSE3 support was just verified by the match guard.
+            unsafe { x86::accumulate_ssse3(packed, qt, out) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        ScanKernel::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
+            // SAFETY: AVX2 support was just verified by the match guard.
+            unsafe { x86::accumulate_avx2(packed, qt, out) }
+        }
+        _ => accumulate_scalar(packed, qt, out),
+    }
+}
+
+/// Portable accumulation: same visitation order as the SIMD kernels, so
+/// the `u16` results are bit-identical (integer adds commute exactly).
+fn accumulate_scalar(packed: &PackedCodes, qt: &QuantizedTables, out: &mut [u16]) {
+    let mp = packed.num_subspaces();
+    let data = packed.data();
+    for (b, out_b) in out.chunks_exact_mut(BLOCK).enumerate() {
+        for j in 0..mp {
+            let codes = &data[(b * mp + j) * BLOCK..][..BLOCK];
+            let row = qt.row(j);
+            for (acc, &c) in out_b.iter_mut().zip(codes) {
+                *acc += u16::from(row[c as usize]);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[deny(unsafe_op_in_unsafe_fn)]
+mod x86 {
+    //! `pshufb`-based kernels. Tables with ≤16 entries resolve in one
+    //! shuffle; wider tables (up to 256 entries) split the code into
+    //! nibbles and select the right 16-entry chunk with a `cmpeq` mask —
+    //! the Quicker-ADC chunked lookup. `u8` results widen to the `u16`
+    //! accumulators in linear lane order.
+
+    use super::{PackedCodes, QuantizedTables, BLOCK};
+    use std::arch::x86_64::*;
+
+    /// SSSE3 kernel: each block is two 16-lane halves, four 8×`u16`
+    /// accumulators.
+    ///
+    /// SAFETY: the caller must verify SSSE3 support at runtime before
+    /// calling (`is_x86_feature_detected!("ssse3")`).
+    #[target_feature(enable = "ssse3")]
+    pub unsafe fn accumulate_ssse3(packed: &PackedCodes, qt: &QuantizedTables, out: &mut [u16]) {
+        let mp = packed.num_subspaces();
+        let data = packed.data();
+        let low_mask = _mm_set1_epi8(0x0f);
+        let zero = _mm_setzero_si128();
+        for (b, out_b) in out.chunks_exact_mut(BLOCK).enumerate() {
+            let mut acc = [zero; 4];
+            for j in 0..mp {
+                let row = qt.row(j);
+                let chunks = row.len() / 16;
+                let codes = &data[(b * mp + j) * BLOCK..][..BLOCK];
+                for half in 0..2 {
+                    // SAFETY: `codes` has BLOCK = 32 bytes; `half * 16 + 16 <= 32`.
+                    let cv = unsafe { _mm_loadu_si128(codes.as_ptr().add(half * 16).cast()) };
+                    let vals = if chunks == 1 {
+                        // Codes are < 16, so a single in-register shuffle
+                        // resolves the whole lookup.
+                        // SAFETY: `row` is padded to at least 16 bytes.
+                        let tbl = unsafe { _mm_loadu_si128(row.as_ptr().cast()) };
+                        _mm_shuffle_epi8(tbl, cv)
+                    } else {
+                        let lo = _mm_and_si128(cv, low_mask);
+                        let hi = _mm_and_si128(_mm_srli_epi16::<4>(cv), low_mask);
+                        let mut v = zero;
+                        for k in 0..chunks {
+                            // SAFETY: `row` is padded to `chunks * 16` bytes.
+                            let tbl = unsafe { _mm_loadu_si128(row.as_ptr().add(k * 16).cast()) };
+                            let sel = _mm_cmpeq_epi8(hi, _mm_set1_epi8(k as i8));
+                            v = _mm_or_si128(v, _mm_and_si128(sel, _mm_shuffle_epi8(tbl, lo)));
+                        }
+                        v
+                    };
+                    // Interleaving with zero widens u8→u16 in lane order.
+                    acc[half * 2] = _mm_add_epi16(acc[half * 2], _mm_unpacklo_epi8(vals, zero));
+                    acc[half * 2 + 1] =
+                        _mm_add_epi16(acc[half * 2 + 1], _mm_unpackhi_epi8(vals, zero));
+                }
+            }
+            for (q, a) in acc.iter().enumerate() {
+                // SAFETY: `out_b` has BLOCK = 32 u16 lanes; `q * 8 + 8 <= 32`.
+                unsafe { _mm_storeu_si128(out_b.as_mut_ptr().add(q * 8).cast(), *a) };
+            }
+        }
+    }
+
+    /// AVX2 kernel: a whole 32-lane block per iteration. The 16-byte
+    /// table chunk is broadcast to both 128-bit lanes because `vpshufb`
+    /// shuffles within each lane independently.
+    ///
+    /// SAFETY: the caller must verify AVX2 support at runtime before
+    /// calling (`is_x86_feature_detected!("avx2")`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accumulate_avx2(packed: &PackedCodes, qt: &QuantizedTables, out: &mut [u16]) {
+        let mp = packed.num_subspaces();
+        let data = packed.data();
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let zero = _mm256_setzero_si256();
+        for (b, out_b) in out.chunks_exact_mut(BLOCK).enumerate() {
+            let mut acc_lo = zero;
+            let mut acc_hi = zero;
+            for j in 0..mp {
+                let row = qt.row(j);
+                let chunks = row.len() / 16;
+                let codes = &data[(b * mp + j) * BLOCK..][..BLOCK];
+                // SAFETY: `codes` has exactly BLOCK = 32 bytes.
+                let cv = unsafe { _mm256_loadu_si256(codes.as_ptr().cast()) };
+                let vals = if chunks == 1 {
+                    // SAFETY: `row` is padded to at least 16 bytes.
+                    let tbl = unsafe { _mm_loadu_si128(row.as_ptr().cast()) };
+                    _mm256_shuffle_epi8(_mm256_broadcastsi128_si256(tbl), cv)
+                } else {
+                    let lo = _mm256_and_si256(cv, low_mask);
+                    let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(cv), low_mask);
+                    let mut v = zero;
+                    for k in 0..chunks {
+                        // SAFETY: `row` is padded to `chunks * 16` bytes.
+                        let tbl = unsafe { _mm_loadu_si128(row.as_ptr().add(k * 16).cast()) };
+                        let t2 = _mm256_broadcastsi128_si256(tbl);
+                        let sel = _mm256_cmpeq_epi8(hi, _mm256_set1_epi8(k as i8));
+                        v = _mm256_or_si256(v, _mm256_and_si256(sel, _mm256_shuffle_epi8(t2, lo)));
+                    }
+                    v
+                };
+                // Widen with cvtepu8 to keep u16 lane order linear
+                // (unpack would interleave across the 128-bit lanes).
+                acc_lo =
+                    _mm256_add_epi16(acc_lo, _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vals)));
+                acc_hi = _mm256_add_epi16(
+                    acc_hi,
+                    _mm256_cvtepu8_epi16(_mm256_extracti128_si256::<1>(vals)),
+                );
+            }
+            // SAFETY: `out_b` has BLOCK = 32 u16 lanes = two 256-bit stores.
+            unsafe { _mm256_storeu_si256(out_b.as_mut_ptr().cast(), acc_lo) };
+            // SAFETY: offset 16 leaves exactly 16 u16 lanes for the store.
+            unsafe { _mm256_storeu_si256(out_b.as_mut_ptr().add(16).cast(), acc_hi) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG in [0, 1).
+    fn rng(seed: &mut u64) -> f32 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*seed >> 40) as f32) / (1u32 << 24) as f32
+    }
+
+    /// Builds an arena with the given table sizes filled with random
+    /// non-negative values, plus random in-range codes for `n` vectors.
+    fn setup(sizes: &[usize], n: usize, seed: u64) -> (TableArena, Vec<u16>) {
+        let mut s = seed.wrapping_add(1);
+        let mut arena = TableArena::with_layout(sizes);
+        for t in 0..sizes.len() {
+            for v in arena.table_mut(t) {
+                *v = rng(&mut s) * 10.0;
+            }
+        }
+        let mut codes = Vec::with_capacity(n * sizes.len());
+        for _ in 0..n {
+            for &sz in sizes {
+                codes.push((rng(&mut s) * sz as f32) as u16 % sz as u16);
+            }
+        }
+        (arena, codes)
+    }
+
+    const MIXED_SIZES: &[usize] = &[4, 16, 32, 256, 1024, 7];
+
+    #[test]
+    fn pack_transposes_into_blocked_layout() {
+        let sizes = [16usize, 256, 512];
+        let (_, codes) = setup(&sizes, 70, 3);
+        let packed = PackedCodes::pack(&codes, &sizes, 70);
+        assert_eq!(packed.subspaces(), &[0, 1]);
+        assert_eq!(packed.blocks(), 3);
+        assert_eq!(packed.data().len(), 3 * 2 * BLOCK);
+        let mp = packed.num_subspaces();
+        for i in 0..70 {
+            let (b, lane) = (i / BLOCK, i % BLOCK);
+            for (j, &s) in packed.subspaces().iter().enumerate() {
+                assert_eq!(
+                    packed.data()[(b * mp + j) * BLOCK + lane],
+                    codes[i * sizes.len() + s] as u8,
+                    "vector {i} subspace {s}"
+                );
+            }
+        }
+        // Tail lanes of the last block are zero-padded.
+        for lane in 70 % BLOCK..BLOCK {
+            for j in 0..mp {
+                assert_eq!(packed.data()[(2 * mp + j) * BLOCK + lane], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_refuses_unpackable_plans() {
+        // Nothing ≤ 256 rows.
+        let p = PackedCodes::pack(&[0, 0], &[512, 1024], 1);
+        assert!(!p.is_active());
+        // Too many subspaces for the u16 accumulators.
+        let sizes = vec![2usize; MAX_PACKED_SUBSPACES + 1];
+        let codes = vec![0u16; sizes.len()];
+        let p = PackedCodes::pack(&codes, &sizes, 1);
+        assert!(!p.is_active());
+        // An out-of-range code would corrupt the bound: refuse.
+        let p = PackedCodes::pack(&[3, 1], &[4, 4], 1);
+        assert!(p.is_active());
+        let p = PackedCodes::pack(&[4, 1], &[4, 4], 1);
+        assert!(!p.is_active());
+    }
+
+    #[test]
+    fn quantized_sum_lower_bounds_exact_distance() {
+        for seed in 0..20 {
+            let n = 57;
+            let (arena, codes) = setup(MIXED_SIZES, n, seed);
+            let packed = PackedCodes::pack(&codes, MIXED_SIZES, n);
+            assert_eq!(packed.num_subspaces(), 5);
+            let mut qt = QuantizedTables::new();
+            qt.quantize(&arena, &packed);
+            let mut qsums = Vec::new();
+            accumulate_qsums_with(ScanKernel::Scalar, &packed, &qt, &mut qsums);
+            let m = MIXED_SIZES.len();
+            for i in 0..n {
+                let exact: f32 = (0..m).map(|s| arena.lookup(s, codes[i * m + s] as usize)).sum();
+                let lb = qt.lower_bound(qsums[i]);
+                assert!(lb <= exact, "seed {seed} vector {i}: bound {lb} exceeds exact {exact}");
+                // And the bound is not vacuous: for the packed part it is
+                // within m*delta of the exact entries (unpacked subspaces
+                // only contribute their minimum, which the floor reflects).
+                let floor: f32 = packed
+                    .subspaces()
+                    .iter()
+                    .map(|&s| arena.lookup(s, codes[i * m + s] as usize))
+                    .sum::<f32>()
+                    + (0..m)
+                        .filter(|s| !packed.subspaces().contains(s))
+                        .map(|s| arena.table(s).iter().copied().fold(f32::INFINITY, f32::min))
+                        .sum::<f32>();
+                assert!(lb >= floor - qt.max_underestimate() - 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn prune_cutoff_is_equivalent_to_lower_bound_test() {
+        let (arena, codes) = setup(MIXED_SIZES, 40, 9);
+        let packed = PackedCodes::pack(&codes, MIXED_SIZES, 40);
+        let mut qt = QuantizedTables::new();
+        qt.quantize(&arena, &packed);
+        let thresholds = [
+            f32::NEG_INFINITY,
+            -1.0,
+            0.0,
+            qt.base(),
+            qt.lower_bound(1),
+            qt.lower_bound(700),
+            qt.lower_bound(700) + 1e-6,
+            qt.lower_bound(u16::MAX),
+            f32::INFINITY,
+            f32::NAN,
+        ];
+        for t in thresholds {
+            let cutoff = qt.prune_cutoff(t);
+            for q in (0..=u32::from(u16::MAX)).step_by(7).chain([cutoff.saturating_sub(1), cutoff])
+            {
+                let Ok(q16) = u16::try_from(q) else { continue };
+                assert_eq!(
+                    q >= cutoff,
+                    qt.lower_bound(q16) >= t,
+                    "threshold {t} qsum {q} cutoff {cutoff}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_kernels_match_scalar_exactly() {
+        for &n in &[1usize, 31, 32, 33, 400] {
+            let (arena, codes) = setup(MIXED_SIZES, n, n as u64);
+            let packed = PackedCodes::pack(&codes, MIXED_SIZES, n);
+            let mut qt = QuantizedTables::new();
+            qt.quantize(&arena, &packed);
+            let mut reference = Vec::new();
+            accumulate_qsums_with(ScanKernel::Scalar, &packed, &qt, &mut reference);
+            for kernel in [ScanKernel::Ssse3, ScanKernel::Avx2, active_kernel()] {
+                let mut out = Vec::new();
+                accumulate_qsums_with(kernel, &packed, &qt, &mut out);
+                assert_eq!(out, reference, "kernel {} n {n}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn constant_tables_quantize_to_zero() {
+        let sizes = [8usize, 8];
+        let mut arena = TableArena::with_layout(&sizes);
+        arena.fill_with(|_, t| t.fill(2.5));
+        let codes: Vec<u16> = (0..16).map(|i| i % 8).collect();
+        let packed = PackedCodes::pack(&codes, &sizes, 8);
+        let mut qt = QuantizedTables::new();
+        qt.quantize(&arena, &packed);
+        assert_eq!(qt.delta(), 0.0);
+        let mut qsums = Vec::new();
+        accumulate_qsums(&packed, &qt, &mut qsums);
+        assert!(qsums.iter().all(|&q| q == 0));
+        // base alone reconstructs the (constant) distance, within slack.
+        let lb = qt.lower_bound(0);
+        assert!(lb <= 5.0 && lb > 4.99);
+    }
+}

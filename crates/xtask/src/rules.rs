@@ -4,7 +4,7 @@
 //! |--------|------|
 //! | VAQ001 | no new callers of the deprecated `lookup_tables` / `search::execute` shims outside their parity tests |
 //! | VAQ002 | no `Vec<Vec<f32>>` lookup-table pattern in `crates/core` / `crates/baselines` |
-//! | VAQ003 | no `partial_cmp(..).unwrap()` and no `partial_cmp` inside sort/min/max comparators — use `total_cmp` |
+//! | VAQ003 | no `partial_cmp(..).unwrap()` / `.unwrap_or(..)` and no `partial_cmp` inside sort/min/max comparators — use `total_cmp` |
 //! | VAQ004 | no `unwrap()` / `expect()` in library crates outside `#[cfg(test)]` |
 //! | VAQ005 | no `unsafe` without a `// SAFETY:` comment within the three preceding lines |
 //! | VAQ006 | fault-site string literals (`fired`, `arm`, …) must name a site registered in `faults::SITES`, and that const must mirror the lint registry |
@@ -44,6 +44,7 @@ pub const FAULT_SITES: &[&str] = &[
     "persist.from_bytes",
     "engine.prepare",
     "engine.search",
+    "engine.qscan",
 ];
 
 /// Functions whose first string-literal argument names a fault site
@@ -183,15 +184,24 @@ pub fn check_file(class: FileClass<'_>, lexed: &LexedFile) -> Vec<Violation> {
             );
         }
 
-        // ---- VAQ003a: partial_cmp(..).unwrap().
+        // ---- VAQ003a: partial_cmp(..).unwrap() / .unwrap_or(..).
         if t.text == "partial_cmp" && prev != Some("fn") {
             if let Some(close) = skip_balanced_parens(toks, i + 1) {
-                if matches(toks, close + 1, &[".", "unwrap"]) {
+                let method = toks.get(close + 2).map(|n| n.text.as_str());
+                if toks.get(close + 1).map(|n| n.text.as_str()) == Some(".")
+                    && matches!(method, Some("unwrap" | "unwrap_or"))
+                {
+                    // `.unwrap()` panics on NaN; `.unwrap_or(Equal)` silently
+                    // makes NaN compare equal to everything, which breaks the
+                    // strict-weak-ordering contract of sorts and heaps.
                     push(
                         &mut out,
                         "VAQ003",
                         t.line,
-                        "`partial_cmp(..).unwrap()` panics on NaN; use `total_cmp`".into(),
+                        format!(
+                            "`partial_cmp(..).{}()` is NaN-unsafe; use `total_cmp`",
+                            method.unwrap_or_default()
+                        ),
                     );
                 }
             }
@@ -400,6 +410,14 @@ mod tests {
     fn partial_cmp_unwrap_or_in_comparator_is_vaq003() {
         let src = "fn f(v: &mut [f32]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(O::Equal)); }";
         assert_eq!(codes(LIB, src), vec!["VAQ003"]);
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_or_outside_comparator_is_vaq003() {
+        // The `.unwrap_or(Equal)` spelling never panics, but it makes NaN
+        // compare equal to everything — same hazard, same rule.
+        let src = "fn f(a: f32, b: f32) { let _ = a.partial_cmp(&b).unwrap_or(O::Equal); }";
+        assert_eq!(codes(BIN, src), vec!["VAQ003"]);
     }
 
     #[test]
