@@ -73,7 +73,7 @@ USAGE:
   vaq_cli chaos  [--seed-range 0..32] [--p 0.3] [--n 400] [--dim 16]
   vaq_cli bench  [--n 100000] [--dim 64] [--queries 16] [--k 10]
                  [--budget 48] [--segments 8] [--seed 7] [--reps 3]
-                 [--train-limit 20000] [--out results]
+                 [--train-limit 20000] [--out results] [--profile]
 
 Vector FILEs may be .fvecs, .bvecs, or .csv (one vector per line).
 `audit` re-checks the index's structural invariants (bit budget C1–C4,
@@ -87,7 +87,12 @@ never a panic, a failed audit, or a silently wrong answer.
 early-abandon scan on synthetic data (results must match exactly), plus a
 scalar-vs-SIMD kernel micro-benchmark, and writes
 results/BENCH_adc_scan.json. Set VAQ_FORCE_SCALAR=1 to measure the
-end-to-end engine numbers on the portable scalar kernel.";
+end-to-end engine numbers on the portable scalar kernel.
+`bench --profile` additionally turns on the obs subsystem: per-stage
+training spans, query-phase spans, per-query latency histograms, and
+kernel timings are printed after the run and exported to
+results/OBS_bench.prom (Prometheus text) and results/OBS_bench.json.
+Set VAQ_THREADS=N to pin the worker count of every threaded site.";
 
 type Opts = HashMap<String, String>;
 
@@ -99,7 +104,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             return Err(format!("expected --flag, got `{a}`"));
         };
         // Boolean flags.
-        if key == "clustered" {
+        if key == "clustered" || key == "profile" {
             opts.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -403,6 +408,12 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     if n == 0 || nq == 0 || reps == 0 || train_limit == 0 {
         return Err("--n, --queries, --reps, and --train-limit must be positive".into());
     }
+    let profile = opts.contains_key("profile");
+    if profile {
+        vaq_core::obs::set_enabled(true);
+        vaq_core::obs::install_kernel_timing();
+        vaq_core::obs::reset();
+    }
 
     let spec = SyntheticSpec { dim, ..SyntheticSpec::sift_like() };
     let ds = spec.generate(n, nq, seed);
@@ -546,7 +557,64 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     let path = out_dir.join("BENCH_adc_scan.json");
     std::fs::write(&path, json.pretty()).map_err(|e| format!("{}: {e}", path.display()))?;
     println!("results written to {}", path.display());
+
+    if profile {
+        let snap = vaq_core::obs::snapshot();
+        print_profile(&snap);
+        let prom_path = out_dir.join("OBS_bench.prom");
+        std::fs::write(&prom_path, snap.to_prometheus())
+            .map_err(|e| format!("{}: {e}", prom_path.display()))?;
+        let json_path = out_dir.join("OBS_bench.json");
+        std::fs::write(&json_path, snap.to_json())
+            .map_err(|e| format!("{}: {e}", json_path.display()))?;
+        println!("profile written to {} and {}", prom_path.display(), json_path.display());
+    }
     Ok(())
+}
+
+/// Renders an obs snapshot as the human-readable `--profile` report:
+/// span table, non-empty histogram buckets, counters, and event totals.
+fn print_profile(snap: &vaq_core::obs::Snapshot) {
+    println!("\nprofile: spans");
+    println!(
+        "  {:<22} {:>8} {:>12} {:>12} {:>12}",
+        "span", "count", "total ms", "mean µs", "max µs"
+    );
+    for s in &snap.spans {
+        let mean_us = s.total_ns as f64 / s.count.max(1) as f64 / 1e3;
+        println!(
+            "  {:<22} {:>8} {:>12.3} {:>12.2} {:>12.2}",
+            s.name,
+            s.count,
+            s.total_ns as f64 / 1e6,
+            mean_us,
+            s.max_ns as f64 / 1e3
+        );
+    }
+    for h in &snap.histograms {
+        println!("profile: histogram {} ({} observations)", h.name, h.count);
+        for &(le_ns, c) in h.buckets.iter().filter(|&&(_, c)| c > 0) {
+            println!("  ≤ {:>12.1} µs  {c}", le_ns as f64 / 1e3);
+        }
+        let mean_us = h.sum_ns as f64 / h.count.max(1) as f64 / 1e3;
+        println!("  mean {mean_us:.2} µs");
+    }
+    if !snap.counters.is_empty() {
+        println!("profile: counters");
+        for &(name, v) in &snap.counters {
+            println!("  {name:<28} {v}");
+        }
+    }
+    if !snap.events.is_empty() || snap.events_dropped > 0 {
+        println!(
+            "profile: {} structured events ({} dropped)",
+            snap.events.len(),
+            snap.events_dropped
+        );
+        for e in snap.events.iter().take(10) {
+            println!("  [{}] {}: {}", e.seq, e.kind, e.detail);
+        }
+    }
 }
 
 fn cmd_chaos(opts: &Opts) -> Result<(), String> {

@@ -1,0 +1,132 @@
+//! Round-trip tests for the obs exports: a profiled run's snapshot must
+//! survive its own JSON rendering through [`vaq_bench::Json`]'s parser,
+//! and the Prometheus text must parse back line-by-line into the same
+//! numbers. One test function: the obs registries are process-global.
+
+use vaq_bench::Json;
+use vaq_core::obs;
+use vaq_core::{SearchStrategy, Vaq, VaqConfig};
+use vaq_linalg::Matrix;
+
+/// Parses Prometheus text exposition into `(metric, labels, value)`
+/// triples, skipping comments. Labels come back as the raw `k="v"` body.
+fn parse_prometheus(text: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_labels, value) = line.rsplit_once(' ').expect("metric line has a value");
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, l)) => (n, l.strip_suffix('}').expect("closing brace")),
+            None => (name_labels, ""),
+        };
+        out.push((
+            name.to_string(),
+            labels.to_string(),
+            value.parse::<f64>().unwrap_or_else(|_| panic!("bad value in line: {line}")),
+        ));
+    }
+    out
+}
+
+fn lookup(metrics: &[(String, String, f64)], name: &str, labels: &str) -> Option<f64> {
+    metrics.iter().find(|(n, l, _)| n == name && l == labels).map(|&(_, _, v)| v)
+}
+
+#[test]
+fn profiled_run_round_trips_through_both_exports() {
+    obs::set_enabled(true);
+    obs::reset();
+
+    // A miniature profiled workload: train, then answer queries under two
+    // strategies so spans, counters, and the latency histogram all fill.
+    let rows: Vec<Vec<f32>> = (0..240)
+        .map(|i| {
+            let t = i as f32 / 16.0;
+            (0..8).map(|j| t * (j as f32 + 1.0) + ((i * 7 + j) % 5) as f32 * 0.25).collect()
+        })
+        .collect();
+    let data = Matrix::from_rows(&rows);
+    let vaq = Vaq::train(&data, &VaqConfig::new(16, 4).with_ti_clusters(8)).unwrap();
+    for qi in 0..6 {
+        vaq.search_with(data.row(qi * 31), 5, SearchStrategy::EarlyAbandon);
+        vaq.search_with(data.row(qi * 31), 5, SearchStrategy::Quantized);
+    }
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+
+    assert!(snap.spans.iter().any(|s| s.name == "train.varpca" && s.count == 1));
+    assert!(snap.spans.iter().any(|s| s.name == "query.table_refill"));
+    let latency = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "query_latency")
+        .expect("latency histogram recorded");
+    assert_eq!(latency.count, 12);
+
+    // --- JSON round-trip through the workspace's own parser. ---
+    let doc = Json::parse(&snap.to_json()).expect("snapshot JSON must parse");
+    let spans = doc.get("spans").and_then(Json::as_array).unwrap();
+    assert_eq!(spans.len(), snap.spans.len());
+    for (parsed, orig) in spans.iter().zip(&snap.spans) {
+        assert_eq!(parsed.get("name").and_then(Json::as_str), Some(orig.name));
+        assert_eq!(parsed.get("count").and_then(Json::as_f64), Some(orig.count as f64));
+        assert_eq!(parsed.get("total_ns").and_then(Json::as_f64), Some(orig.total_ns as f64));
+        assert_eq!(parsed.get("max_ns").and_then(Json::as_f64), Some(orig.max_ns as f64));
+    }
+    let counters = doc.get("counters").and_then(Json::as_array).unwrap();
+    assert_eq!(counters.len(), snap.counters.len());
+    for (parsed, &(name, v)) in counters.iter().zip(&snap.counters) {
+        assert_eq!(parsed.get("name").and_then(Json::as_str), Some(name));
+        assert_eq!(parsed.get("value").and_then(Json::as_f64), Some(v as f64));
+    }
+    let hists = doc.get("histograms").and_then(Json::as_array).unwrap();
+    assert_eq!(hists.len(), snap.histograms.len());
+    for (parsed, orig) in hists.iter().zip(&snap.histograms) {
+        assert_eq!(parsed.get("name").and_then(Json::as_str), Some(orig.name));
+        assert_eq!(parsed.get("count").and_then(Json::as_f64), Some(orig.count as f64));
+        assert_eq!(parsed.get("sum_ns").and_then(Json::as_f64), Some(orig.sum_ns as f64));
+        let buckets = parsed.get("buckets").and_then(Json::as_array).unwrap();
+        assert_eq!(buckets.len(), orig.buckets.len());
+        let parsed_total: f64 =
+            buckets.iter().map(|b| b.get("count").and_then(Json::as_f64).unwrap()).sum();
+        assert_eq!(parsed_total, orig.count as f64, "bucket counts must sum to the total");
+    }
+    assert_eq!(doc.get("events_dropped").and_then(Json::as_f64), Some(snap.events_dropped as f64));
+
+    // --- Prometheus text round-trip. ---
+    let metrics = parse_prometheus(&snap.to_prometheus());
+    for s in &snap.spans {
+        let labels = format!("span=\"{}\"", s.name);
+        assert_eq!(lookup(&metrics, "vaq_span_count_total", &labels), Some(s.count as f64));
+        let secs = lookup(&metrics, "vaq_span_seconds_total", &labels).unwrap();
+        assert!(
+            (secs - s.total_ns as f64 / 1e9).abs() <= 1e-12 * s.total_ns as f64 + f64::EPSILON,
+            "span {} seconds diverged: {secs} vs {} ns",
+            s.name,
+            s.total_ns
+        );
+    }
+    for &(name, v) in &snap.counters {
+        let labels = format!("name=\"{name}\"");
+        assert_eq!(lookup(&metrics, "vaq_counter_total", &labels), Some(v as f64));
+    }
+    // Histogram buckets are cumulative, never decreasing, and end at the
+    // total count; +Inf and _count agree.
+    let bucket_vals: Vec<f64> = metrics
+        .iter()
+        .filter(|(n, l, _)| n == "vaq_query_latency_seconds_bucket" && !l.contains("+Inf"))
+        .map(|&(_, _, v)| v)
+        .collect();
+    assert_eq!(bucket_vals.len(), latency.buckets.len());
+    for w in bucket_vals.windows(2) {
+        assert!(w[0] <= w[1], "cumulative buckets decreased: {w:?}");
+    }
+    assert_eq!(bucket_vals.last().copied(), Some(latency.count as f64));
+    assert_eq!(
+        lookup(&metrics, "vaq_query_latency_seconds_bucket", "le=\"+Inf\""),
+        Some(latency.count as f64)
+    );
+    assert_eq!(lookup(&metrics, "vaq_query_latency_seconds_count", ""), Some(latency.count as f64));
+}

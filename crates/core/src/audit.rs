@@ -391,35 +391,16 @@ impl Audit for Vaq {
 
         if let Some(ti) = &self.ti {
             r.merge(ti.audit());
-            // The partition must cover every database row exactly once.
-            let mut seen = vec![false; self.n];
-            let mut dup_or_oob = false;
-            for members in &ti.clusters {
-                for mem in members {
-                    let idx = mem.idx as usize;
-                    if idx >= self.n || seen[idx] {
-                        r.push(
-                            "VAQ108",
-                            format!(
-                                "TI partition repeats or exceeds row index {idx} (n={})",
-                                self.n
-                            ),
-                        );
-                        dup_or_oob = true;
-                        break;
-                    }
-                    seen[idx] = true;
-                }
-                if dup_or_oob {
-                    break;
-                }
-            }
-            if !dup_or_oob {
-                let covered = seen.iter().filter(|&&s| s).count();
-                r.check(covered == self.n, "VAQ108", || {
-                    format!("TI partition covers {covered} of {} rows", self.n)
-                });
-            }
+            // The partition must cover every database row exactly once —
+            // the exact-membership bitset check, not just a size sum (a
+            // double-assigned row plus an omitted one passes the sum).
+            r.check(ti.covers_exactly(self.n), "VAQ108", || {
+                format!(
+                    "TI partition does not cover every row in 0..{} exactly once \
+                     (duplicate, out-of-range, or omitted assignment)",
+                    self.n
+                )
+            });
             // The prefix space must end on a subspace boundary of the
             // encoder.
             let m = self.encoder.num_subspaces();

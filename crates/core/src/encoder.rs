@@ -114,8 +114,7 @@ impl Encoder {
         let n = projected.rows();
         let m = self.ranges.len();
         let mut codes = vec![0u16; n * m];
-        let workers =
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+        let workers = crate::threads::worker_count(n);
         let chunk = n.div_ceil(workers);
         std::thread::scope(|scope| {
             let mut rest: &mut [u16] = &mut codes;

@@ -201,6 +201,7 @@ impl QueryEngine {
     /// Exposed for callers that consume the tables directly (quantized
     /// scanners, prefix ablations) rather than through a full search.
     pub fn prepare(&mut self, view: &IndexView<'_>, projected_query: &[f32]) {
+        let _span = crate::obs::span("query.table_refill");
         if crate::faults::fired("engine.prepare") {
             // Treat the cached arena as corrupted: drop it and rebuild from
             // scratch. Costs one reallocation, never a wrong table.
@@ -263,6 +264,25 @@ impl QueryEngine {
         k: usize,
         strategy: SearchStrategy,
     ) -> (Vec<Neighbor>, SearchStats) {
+        let t0 = crate::obs::enabled().then(std::time::Instant::now);
+        let result = self.search_squared_inner(view, projected_query, k, strategy);
+        if let Some(t0) = t0 {
+            crate::obs::observe_ns("query_latency", t0.elapsed().as_nanos() as u64);
+            crate::obs::record_search_stats(&result.1);
+        }
+        result
+    }
+
+    /// The strategy dispatch behind [`QueryEngine::search_squared`],
+    /// split out so the public entry can time whole-query latency across
+    /// every early-return path.
+    fn search_squared_inner(
+        &mut self,
+        view: &IndexView<'_>,
+        projected_query: &[f32],
+        k: usize,
+        strategy: SearchStrategy,
+    ) -> (Vec<Neighbor>, SearchStats) {
         let before = self.arena.reallocations();
         self.prepare(view, projected_query);
         let mut stats = SearchStats {
@@ -275,6 +295,7 @@ impl QueryEngine {
 
         match strategy {
             SearchStrategy::FullScan => {
+                let _scan = crate::obs::span("query.scan");
                 let m = view.num_subspaces();
                 let flat = self.arena.as_slice();
                 let offsets = self.arena.offsets();
@@ -290,6 +311,7 @@ impl QueryEngine {
                 }
             }
             SearchStrategy::EarlyAbandon => {
+                let _scan = crate::obs::span("query.scan");
                 for i in 0..n {
                     scan_one(view, &self.arena, i, &mut heap, k, &mut stats);
                 }
@@ -312,13 +334,17 @@ impl QueryEngine {
                 };
                 let Some(ti) = usable else {
                     // No (sound) partition: degrade to EA over everything.
+                    let _scan = crate::obs::span("query.scan");
                     for i in 0..n {
                         scan_one(view, &self.arena, i, &mut heap, k, &mut stats);
                     }
                     return (collect_sorted(heap), stats);
                 };
+                let prune = crate::obs::span("query.ti_prune");
                 let qd = ti.query_distances(projected_query);
                 let order = ti.visit_order(&qd);
+                drop(prune);
+                let _scan = crate::obs::span("query.scan");
                 let visit =
                     ((visit_frac.clamp(0.0, 1.0) * order.len() as f64).ceil() as usize).max(1);
                 for &ci in order.iter().take(visit) {
@@ -357,13 +383,17 @@ impl QueryEngine {
                 let Some(packed) = usable else {
                     // No usable packing (e.g. every subspace wider than 8
                     // bits): the exact early-abandon scan answers instead.
+                    let _scan = crate::obs::span("query.scan");
                     for i in 0..n {
                         scan_one(view, &self.arena, i, &mut heap, k, &mut stats);
                     }
                     return (collect_sorted(heap), stats);
                 };
+                let qscan = crate::obs::span("query.qscan");
                 self.qtables.quantize(&self.arena, packed);
                 accumulate_qsums(packed, &self.qtables, &mut self.qsums);
+                drop(qscan);
+                let _rerank = crate::obs::span("query.rerank");
                 let m = view.num_subspaces();
                 // Prune on the certified lower bound alone; survivors
                 // rerank through the exact f32 tables. A pruned vector
@@ -444,14 +474,16 @@ impl QueryEngine {
     }
 
     /// Answers every row of `queries`, sharding across threads. Each
-    /// worker clones this engine once and reuses it for its whole shard,
-    /// so the steady state does no per-query table allocation. `project`
-    /// maps a raw query row into the view's (projected) space.
+    /// worker clones this engine once (it is only a prototype — `&self`)
+    /// and reuses the clone for its whole shard, so the steady state does
+    /// no per-query table allocation. `project` maps a raw query row into
+    /// the view's (projected) space. The worker count honors the
+    /// `VAQ_THREADS` override (see [`crate::threads`]).
     ///
     /// Returns per-query neighbor lists plus the work counters summed over
     /// the batch.
     pub fn search_batch<F>(
-        &mut self,
+        &self,
         view: &IndexView<'_>,
         queries: &Matrix,
         k: usize,
@@ -462,14 +494,14 @@ impl QueryEngine {
         F: Fn(&[f32]) -> Vec<f32> + Sync,
     {
         let nq = queries.rows();
-        let workers =
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(nq.max(1));
+        let workers = crate::threads::worker_count(nq);
         if workers <= 1 || nq < 4 {
+            let mut engine = self.clone();
             let mut stats = SearchStats::default();
             let out = (0..nq)
                 .map(|qi| {
                     let projected = project(queries.row(qi));
-                    let (res, s) = self.search_with(view, &projected, k, strategy);
+                    let (res, s) = engine.search_with(view, &projected, k, strategy);
                     stats += s;
                     res
                 })
@@ -482,7 +514,7 @@ impl QueryEngine {
         std::thread::scope(|scope| {
             let mut rest: &mut [Vec<Neighbor>] = &mut out;
             let mut stats_rest: &mut [SearchStats] = &mut worker_stats;
-            let prototype = &*self;
+            let prototype = self;
             let project = &project;
             for w in 0..workers {
                 let start = w * chunk;
@@ -510,12 +542,22 @@ impl QueryEngine {
     }
 }
 
-/// Cheap per-query soundness check on a TI partition: every database row
-/// must appear in exactly one cluster (O(#clusters), not O(n)).
+/// Per-query soundness check on a TI partition. Release builds keep the
+/// cheap O(#clusters) size-sum test; debug builds additionally verify
+/// exact membership — every database row in exactly one cluster — via
+/// [`TiPartition::covers_exactly`], which the size sum alone cannot see
+/// (a double-assigned row plus an omitted one still sums to `n`).
 #[inline]
 fn ti_covers(ti: &TiPartition, n: usize) -> bool {
     let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster(c).len()).sum();
-    total == n
+    if total != n {
+        return false;
+    }
+    if cfg!(debug_assertions) {
+        ti.covers_exactly(n)
+    } else {
+        true
+    }
 }
 
 /// Early-abandoned accumulation of one encoded vector against the arena.
@@ -846,6 +888,39 @@ mod tests {
         assert_eq!(batch_stats.lookups_skipped, seq_stats.lookups_skipped);
         // Workers clone a pre-sized arena: the batch allocates no tables.
         assert_eq!(batch_stats.table_reallocations, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn doctored_partition_with_intact_size_sum_degrades_to_ea() {
+        // Regression: `ti_covers` only summed cluster sizes, so a row
+        // assigned twice while another was omitted passed the check and
+        // the omitted row could never be returned. The debug-build exact
+        // membership check must reject the doctored partition and fall
+        // back to the EA scan, which still finds the omitted row.
+        use crate::ti::Member;
+        let n = 400;
+        let (data, enc, codes, mut ti) = setup(n);
+        let big = (0..ti.num_clusters()).max_by_key(|&c| ti.cluster(c).len()).unwrap();
+        let dup = ti.clusters[big][0];
+        let len = ti.clusters[big].len();
+        assert!(len >= 2);
+        // Replace the farthest member (an omission) with a duplicate of
+        // the nearest (a double assignment); the size sum stays n. Keep
+        // the duplicate's cached distance so the sorted invariant holds.
+        let omitted = ti.clusters[big][len - 1].idx;
+        let kept_dist = ti.clusters[big][len - 1].dist;
+        ti.clusters[big][len - 1] = Member { idx: dup.idx, dist: kept_dist };
+        let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster(c).len()).sum();
+        assert_eq!(total, n, "doctoring must preserve the size sum");
+        assert!(!ti.covers_exactly(n));
+
+        let view = IndexView::from_encoder(&enc, &codes, n).with_ti(Some(&ti));
+        let mut engine = QueryEngine::for_view(&view);
+        let q = data.row(omitted as usize);
+        let (tiea, _) = engine.search_with(&view, q, 1, SearchStrategy::TiEa { visit_frac: 1.0 });
+        let (ea, _) = engine.search_with(&view, q, 1, SearchStrategy::EarlyAbandon);
+        assert_eq!(tiea, ea, "doctored partition was not rejected");
     }
 
     fn pack_view(enc: &Encoder, codes: &[u16], n: usize) -> PackedCodes {

@@ -50,8 +50,12 @@ static DEGRADATIONS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
 
 /// Records that a pipeline stage took its degraded path (`what` names the
 /// fallback, e.g. `"allocation.milp: greedy fallback"`). Only failure
-/// paths call this, so the lock is never contended in steady state.
+/// paths call this, so the lock is never contended in steady state. Every
+/// entry is also surfaced as a structured `degradation` event through
+/// [`crate::obs`] (a no-op while recording is disabled), so profiled runs
+/// see fallbacks in sequence with the rest of the event stream.
 pub fn note_degradation(what: &'static str) {
+    crate::obs::event("degradation", what);
     if let Ok(mut log) = DEGRADATIONS.lock() {
         log.push(what);
         DEGRADATIONS_NONEMPTY.store(true, Ordering::Release);

@@ -51,10 +51,12 @@ pub mod encoder;
 pub mod engine;
 pub mod faults;
 pub mod ivf;
+pub mod obs;
 pub mod persist;
 pub mod pipeline;
 pub mod search;
 pub mod subspaces;
+pub mod threads;
 pub mod ti;
 pub mod vaq;
 

@@ -120,6 +120,7 @@ pub struct VarPcaStage {
 impl VarPcaStage {
     /// Validates `cfg` against `data` and fits the eigendecomposition.
     pub fn compute(data: &Matrix, cfg: &VaqConfig) -> Result<VarPcaStage, VaqError> {
+        let _span = crate::obs::span("train.varpca");
         cfg.validate()?;
         if data.rows() == 0 {
             return Err(VaqError::EmptyData);
@@ -155,6 +156,7 @@ impl VarPcaStage {
     /// Stage 2: subspace construction + partial balancing (Algorithm 2,
     /// lines 2–9). Permutes the projection to the layout's PC order.
     pub fn plan_subspaces(mut self, cfg: &VaqConfig) -> Result<SubspacePlan, VaqError> {
+        let _span = crate::obs::span("train.subspace_plan");
         let built = if faults::fired("subspaces.plan") {
             Err(VaqError::Injected { site: "subspaces.plan" })
         } else {
@@ -205,6 +207,7 @@ impl SubspacePlan {
     /// Stage 3: MILP bit allocation over the layout's importance shares
     /// (Algorithm 2), honouring `cfg.allocation_constraints`.
     pub fn allocate_bits(self, cfg: &VaqConfig) -> Result<BitPlan, VaqError> {
+        let _span = crate::obs::span("train.bit_plan");
         let bits = if cfg.allocation_constraints.is_empty() {
             allocate_bits(
                 &self.layout.variance_share,
@@ -255,6 +258,7 @@ impl BitPlan {
         data: &Matrix,
         cfg: &VaqConfig,
     ) -> Result<DictionaryStage, VaqError> {
+        let _span = crate::obs::span("train.dictionaries");
         if faults::fired("dictionary.train") {
             return Err(VaqError::Injected { site: "dictionary.train" });
         }
@@ -297,6 +301,7 @@ impl DictionaryStage {
     /// finished index. `cfg.ti_clusters == 0` skips the partition
     /// (EA-only queries).
     pub fn build_ti(self, cfg: &VaqConfig) -> Result<Vaq, VaqError> {
+        let _span = crate::obs::span("train.ti_build");
         let ti = if cfg.ti_clusters > 0 {
             let built = if faults::fired("ti.build") {
                 Err(VaqError::Injected { site: "ti.build" })

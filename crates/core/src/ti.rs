@@ -72,11 +72,19 @@ impl TiPartition {
         let prefix_dim = encoder.ranges()[prefix_subspaces - 1].1;
         let c = num_clusters.clamp(1, n);
 
-        // Sample centroid codes and reconstruct their prefixes.
+        // Sample centroid codes *without replacement* (partial
+        // Fisher–Yates over the row ids) and reconstruct their prefixes.
+        // Sampling with replacement would let duplicate picks produce
+        // identical centroids, and since assignment ties break toward the
+        // lower cluster id, every duplicate would be a permanently dead
+        // cluster.
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut pool: Vec<u32> = (0..n as u32).collect();
         let mut centroids = Matrix::zeros(c, prefix_dim);
         for ci in 0..c {
-            let pick = rng.gen_range(0..n);
+            let j = ci + rng.gen_range(0..n - ci);
+            pool.swap(ci, j);
+            let pick = pool[ci] as usize;
             let code = &codes[pick * m..(pick + 1) * m];
             let rec = encoder.decode_prefix(code, prefix_subspaces);
             centroids.row_mut(ci).copy_from_slice(&rec);
@@ -85,8 +93,7 @@ impl TiPartition {
         // Assign every code to its nearest centroid (prefix space,
         // unsquared), parallel over rows.
         let mut assign: Vec<(u32, f32)> = vec![(0, 0.0); n];
-        let workers =
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+        let workers = crate::threads::worker_count(n);
         let chunk = n.div_ceil(workers);
         std::thread::scope(|scope| {
             let mut rest: &mut [(u32, f32)] = &mut assign;
@@ -147,6 +154,28 @@ impl TiPartition {
     /// Members of cluster `c`, sorted ascending by centroid distance.
     pub fn cluster(&self, c: usize) -> &[Member] {
         &self.clusters[c]
+    }
+
+    /// Exact-membership coverage check: `true` iff every row index in
+    /// `0..n` appears in exactly one cluster. O(n) time and one bit per
+    /// row — unlike the cheap size-sum test, this catches a
+    /// double-assigned row masking an omitted one.
+    pub fn covers_exactly(&self, n: usize) -> bool {
+        let mut seen = vec![false; n];
+        let mut covered = 0usize;
+        for cluster in &self.clusters {
+            for m in cluster {
+                let Some(slot) = seen.get_mut(m.idx as usize) else {
+                    return false; // out-of-range index
+                };
+                if *slot {
+                    return false; // duplicate assignment
+                }
+                *slot = true;
+                covered += 1;
+            }
+        }
+        covered == n
     }
 
     /// Inserts one newly encoded vector: assigns it to its nearest
@@ -346,6 +375,55 @@ mod tests {
             assert!(qd[w[0] as usize] <= qd[w[1] as usize]);
         }
         assert_eq!(order.len(), 12);
+    }
+
+    #[test]
+    fn centroid_sampling_is_without_replacement() {
+        // Regression: centroids were sampled with replacement, so on
+        // small n duplicate picks produced identical centroids (and the
+        // duplicates became permanently dead clusters). With c == n every
+        // distinct row must appear exactly once as a centroid; a
+        // with-replacement sampler passes this for one seed with
+        // probability n!/n^n ≈ 5e-5 at n = 12, so six seeds cannot all
+        // pass by luck.
+        let n = 12;
+        let (_, enc, codes) = setup(n);
+        for seed in 0..6u64 {
+            let ti = TiPartition::build(&enc, &codes, n, n, 2, seed).unwrap();
+            let key = |row: &[f32]| row.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+            let mut got: Vec<Vec<u32>> = ti.centroids.iter_rows().map(key).collect();
+            let mut want: Vec<Vec<u32>> =
+                (0..n).map(|i| key(&enc.decode_prefix(&codes[i * 4..(i + 1) * 4], 2))).collect();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "seed {seed}: centroid multiset != row multiset");
+        }
+    }
+
+    #[test]
+    fn covers_exactly_accepts_a_real_partition() {
+        let (_, enc, codes) = setup(300);
+        let ti = TiPartition::build(&enc, &codes, 300, 10, 2, 3).unwrap();
+        assert!(ti.covers_exactly(300));
+        assert!(!ti.covers_exactly(299), "over-coverage accepted");
+        assert!(!ti.covers_exactly(301), "under-coverage accepted");
+    }
+
+    #[test]
+    fn covers_exactly_catches_double_assignment_masking_an_omission() {
+        // The size-sum check cannot see this corruption: remove one row
+        // from a cluster and duplicate another member in its place, so
+        // the total count still equals n.
+        let (_, enc, codes) = setup(200);
+        let mut ti = TiPartition::build(&enc, &codes, 200, 8, 2, 5).unwrap();
+        let big = (0..ti.num_clusters()).max_by_key(|&c| ti.cluster(c).len()).unwrap();
+        let dup = ti.clusters[big][0];
+        let len = ti.clusters[big].len();
+        assert!(len >= 2, "need a cluster with two members to doctor");
+        ti.clusters[big][len - 1] = dup;
+        let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster(c).len()).sum();
+        assert_eq!(total, 200, "doctoring must keep the size sum intact");
+        assert!(!ti.covers_exactly(200), "double-assignment + omission went undetected");
     }
 
     #[test]

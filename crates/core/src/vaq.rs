@@ -263,7 +263,7 @@ impl Vaq {
         strategy: SearchStrategy,
     ) -> (Vec<Vec<Neighbor>>, SearchStats) {
         let view = self.view();
-        let mut engine = QueryEngine::for_view(&view);
+        let engine = QueryEngine::for_view(&view);
         engine.search_batch(&view, queries, k, strategy, |q| self.project_query(q))
     }
 

@@ -291,8 +291,9 @@ mod injected {
         // The quantized SIMD path is a pure accelerator: bypassing it must
         // fall back to the EA scan with byte-identical results.
         let clean_q = vaq.search_with(d.row(1), 5, SearchStrategy::Quantized).0;
-        let (got, notes) =
-            with_armed("engine.qscan", || vaq.search_with(d.row(1), 5, SearchStrategy::Quantized).0);
+        let (got, notes) = with_armed("engine.qscan", || {
+            vaq.search_with(d.row(1), 5, SearchStrategy::Quantized).0
+        });
         assert_eq!(got, clean_q, "engine.qscan changed query answers");
         assert!(notes.iter().any(|n| n.starts_with("engine.qscan")), "{notes:?}");
     }

@@ -1,0 +1,37 @@
+//! `VAQ_THREADS` override — integration-tested in its own binary because
+//! the budget is cached process-wide on first use, so the variable must
+//! be set before any threaded site runs.
+
+use vaq_core::search::SearchStrategy;
+use vaq_core::{Vaq, VaqConfig};
+use vaq_linalg::Matrix;
+
+#[test]
+fn vaq_threads_pins_every_scoped_thread_site() {
+    // Single test in this binary: nothing can race the set_var or touch
+    // the budget cache first.
+    std::env::set_var("VAQ_THREADS", "1");
+    assert_eq!(vaq_core::threads::thread_budget(), 1);
+    assert_eq!(vaq_core::threads::worker_count(64), 1);
+
+    // The full pipeline (encoder::encode_all, ti::build) and the batch
+    // query path all run through worker_count — train and query a small
+    // index end-to-end to prove the pinned budget still yields correct
+    // answers on every site.
+    let rows: Vec<Vec<f32>> = (0..160)
+        .map(|i| {
+            let t = i as f32 / 10.0;
+            vec![t, 2.0 * t, (i % 7) as f32, t * 0.5, 1.0 - t, t * t * 0.01, 0.3, -t]
+        })
+        .collect();
+    let data = Matrix::from_rows(&rows);
+    let cfg = VaqConfig::new(16, 4).with_ti_clusters(8);
+    let vaq = Vaq::train(&data, &cfg).unwrap();
+
+    let queries = Matrix::from_rows(&(0..12).map(|i| rows[i * 13].clone()).collect::<Vec<_>>());
+    let (batch, _) = vaq.search_batch(&queries, 3, SearchStrategy::EarlyAbandon);
+    assert_eq!(batch.len(), 12);
+    for (qi, res) in batch.iter().enumerate() {
+        assert_eq!(res[0].index as usize, qi * 13, "query {qi} did not find itself");
+    }
+}

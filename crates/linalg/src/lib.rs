@@ -42,8 +42,8 @@ pub use matrix::{DMatrix, Matrix};
 pub use norms::{dot, euclidean, hamming, squared_euclidean};
 pub use pca::Pca;
 pub use qtables::{
-    accumulate_qsums, accumulate_qsums_with, active_kernel, PackedCodes, QuantizedTables,
-    ScanKernel,
+    accumulate_qsums, accumulate_qsums_with, active_kernel, install_kernel_timing_hook,
+    KernelTimingHook, PackedCodes, QuantizedTables, ScanKernel,
 };
 pub use sketch::FrequentDirections;
 pub use svd::{procrustes, svd, Svd};

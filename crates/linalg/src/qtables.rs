@@ -382,6 +382,21 @@ fn detect_kernel() -> ScanKernel {
     ScanKernel::Scalar
 }
 
+/// Signature of a kernel timing observer: `(kernel name, elapsed ns)`
+/// per [`accumulate_qsums`] call.
+pub type KernelTimingHook = fn(&'static str, u64);
+
+static TIMING_HOOK: OnceLock<KernelTimingHook> = OnceLock::new();
+
+/// Installs a process-wide observer that is called with the kernel name
+/// and elapsed nanoseconds after every [`accumulate_qsums`] dispatch.
+/// First installation wins; later calls are ignored. The crate stays
+/// dependency-free — higher layers (the obs subsystem) plug in here, and
+/// no clock is read until a hook is installed.
+pub fn install_kernel_timing_hook(hook: KernelTimingHook) {
+    let _ = TIMING_HOOK.set(hook);
+}
+
 /// Sums the quantized table entry of every packed subspace for every
 /// vector, writing one `u16` per lane into `out` (resized to
 /// [`PackedCodes::padded_len`]; tail lanes hold the code-0 sum and must
@@ -395,6 +410,22 @@ pub fn accumulate_qsums(packed: &PackedCodes, qt: &QuantizedTables, out: &mut Ve
 /// SIMD requests re-verify CPU support and fall back to scalar if the
 /// feature is unavailable.
 pub fn accumulate_qsums_with(
+    kernel: ScanKernel,
+    packed: &PackedCodes,
+    qt: &QuantizedTables,
+    out: &mut Vec<u16>,
+) {
+    match TIMING_HOOK.get() {
+        Some(hook) => {
+            let t0 = std::time::Instant::now();
+            accumulate_dispatch(kernel, packed, qt, out);
+            hook(kernel.name(), t0.elapsed().as_nanos() as u64);
+        }
+        None => accumulate_dispatch(kernel, packed, qt, out),
+    }
+}
+
+fn accumulate_dispatch(
     kernel: ScanKernel,
     packed: &PackedCodes,
     qt: &QuantizedTables,

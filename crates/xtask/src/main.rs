@@ -8,7 +8,7 @@
 //! ```
 //!
 //! The linter is a dependency-free, token-level scanner (see `lexer.rs`)
-//! enforcing the repo-specific rules VAQ001–VAQ006 (see `rules.rs` and
+//! enforcing the repo-specific rules VAQ001–VAQ007 (see `rules.rs` and
 //! DESIGN.md §8) against every Rust source file in the workspace, modulo
 //! the shrink-only allowlist in `lint.toml` (see `config.rs`).
 
@@ -26,7 +26,7 @@ USAGE:
   cargo run -p xtask -- lint [--update-allowlist] [--root DIR]
 
 `lint` scans every workspace .rs file (vendored shims and build output
-excluded) for the VAQ001–VAQ006 rules and checks the result against the
+excluded) for the VAQ001–VAQ007 rules and checks the result against the
 shrink-only allowlist in lint.toml. Exit code 1 on any violation not
 covered by an exact allowance, or on an allowance wider than reality.";
 

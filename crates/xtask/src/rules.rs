@@ -8,6 +8,7 @@
 //! | VAQ004 | no `unwrap()` / `expect()` in library crates outside `#[cfg(test)]` |
 //! | VAQ005 | no `unsafe` without a `// SAFETY:` comment within the three preceding lines |
 //! | VAQ006 | fault-site string literals (`fired`, `arm`, …) must name a site registered in `faults::SITES`, and that const must mirror the lint registry |
+//! | VAQ007 | no bare `println!` / `eprintln!` in library crates — route diagnostics through `obs::event` / structured logs |
 //!
 //! Every rule reports a stable code so `lint.toml` allowances and CI logs
 //! stay meaningful as the codebase grows. See DESIGN.md §8.
@@ -224,6 +225,26 @@ pub fn check_file(class: FileClass<'_>, lexed: &LexedFile) -> Vec<Violation> {
                     );
                 }
             }
+        }
+
+        // ---- VAQ007: bare stdout/stderr printing in library code. Library
+        // crates report through `Result`s, `obs::event`, or the degradation
+        // log — never by writing to the process streams, which callers
+        // cannot capture, rate-limit, or machine-parse.
+        if class.is_library_src()
+            && (t.text == "println" || t.text == "eprintln")
+            && toks.get(i + 1).map(|n| n.text.as_str()) == Some("!")
+        {
+            push(
+                &mut out,
+                "VAQ007",
+                t.line,
+                format!(
+                    "bare `{}!` in library code; emit a structured `obs::event` \
+                     (or return the message in a `Result`) instead",
+                    t.text
+                ),
+            );
         }
 
         // ---- VAQ004: unwrap/expect in library code.
@@ -451,6 +472,29 @@ mod tests {
         assert!(codes("crates/core/tests/props.rs", src).is_empty());
         let test_mod = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}";
         assert!(codes(LIB, test_mod).is_empty());
+    }
+
+    #[test]
+    fn library_println_is_vaq007() {
+        assert_eq!(codes(LIB, "fn f() { println!(\"ready\"); }"), vec!["VAQ007"]);
+        assert_eq!(codes(LIB, "fn f() { eprintln!(\"warn: {x}\"); }"), vec!["VAQ007"]);
+    }
+
+    #[test]
+    fn println_outside_library_src_is_exempt() {
+        let src = "fn f() { println!(\"progress\"); eprintln!(\"err\"); }";
+        // Binaries and examples print by design; tests print for debugging.
+        assert!(codes(BIN, src).is_empty());
+        assert!(codes("crates/core/tests/props.rs", src).is_empty());
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn t() { println!(\"dbg\"); }\n}";
+        assert!(codes(LIB, test_mod).is_empty());
+    }
+
+    #[test]
+    fn println_identifier_without_bang_is_not_vaq007() {
+        // A plain identifier (e.g. a local fn named `println`) is not the
+        // macro; only the `println !` token pair trips the rule.
+        assert!(codes(LIB, "fn f() { let println = 3; let _ = println; }").is_empty());
     }
 
     #[test]
