@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use vaq_core::{Audit, IngressPolicy, SearchStrategy, Vaq, VaqConfig};
+use vaq_core::{Audit, IngressPolicy, SearchStrategy, SegmentPolicy, SegmentedVaq, Vaq, VaqConfig};
 use vaq_dataset::io::{read_bvecs, read_csv, read_fvecs, read_ivecs};
 use vaq_linalg::Matrix;
 use vaq_metrics::{map_at_k, recall_at_k};
@@ -74,6 +74,7 @@ USAGE:
   vaq_cli bench  [--n 100000] [--dim 64] [--queries 16] [--k 10]
                  [--budget 48] [--segments 8] [--seed 7] [--reps 3]
                  [--train-limit 20000] [--out results] [--profile]
+                 [--concurrent [--seal 8192] [--batch 1024] [--readers 2]]
 
 Vector FILEs may be .fvecs, .bvecs, or .csv (one vector per line).
 `audit` re-checks the index's structural invariants (bit budget C1–C4,
@@ -82,12 +83,22 @@ non-zero listing each VAQ1xx diagnostic on failure.
 `chaos` runs the full train → save → load → query pipeline on synthetic
 data with every registered fault site armed under a seeded probabilistic
 schedule, asserting each run ends in a clean result or a typed error —
-never a panic, a failed audit, or a silently wrong answer.
+never a panic, a failed audit, or a silently wrong answer. The same
+schedule then drives a segmented index across seal, tombstone-purge, and
+merge boundaries (sites `segment.seal` / `segment.compact`), checking
+that failed maintenance degrades without losing rows, resurfacing
+deleted rows, or corrupting query answers.
 `bench` times the quantized SIMD ADC scan against the f32 full scan and
 early-abandon scan on synthetic data (results must match exactly), plus a
 scalar-vs-SIMD kernel micro-benchmark, and writes
 results/BENCH_adc_scan.json. Set VAQ_FORCE_SCALAR=1 to measure the
 end-to-end engine numbers on the portable scalar kernel.
+`bench --concurrent` instead benchmarks the segmented index: a writer
+ingests the dataset tail in batches (sealing and compacting in the
+background) while reader threads keep answering queries from lock-free
+snapshots; the drained index is then timed again. Writes
+results/BENCH_segments.json, including how many queries completed while
+ingest was running.
 `bench --profile` additionally turns on the obs subsystem: per-stage
 training spans, query-phase spans, per-query latency histograms, and
 kernel timings are printed after the run and exported to
@@ -104,7 +115,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             return Err(format!("expected --flag, got `{a}`"));
         };
         // Boolean flags.
-        if key == "clustered" || key == "profile" {
+        if key == "clustered" || key == "profile" || key == "concurrent" {
             opts.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -356,6 +367,74 @@ fn chaos_run(seed: u64, p: f64, n: usize, d: usize) -> Result<bool, String> {
             ));
         }
     }
+
+    // Segmented phase: the same armed schedule now crosses seal,
+    // tombstone-purge, and merge boundaries (`segment.seal` /
+    // `segment.compact` fire under the probabilistic trigger). Failed
+    // maintenance must degrade — buffer retained, input segments kept —
+    // while queries stay exact and tombstoned rows stay dead.
+    let seg = SegmentedVaq::from_vaq(
+        loaded,
+        SegmentPolicy::default()
+            .with_seal_threshold(24)
+            .with_compact_min_segments(2)
+            .with_tombstone_purge_frac(0.3)
+            .with_ti_clusters(8)
+            .sequential(),
+    );
+    // `SegmentedVaq::add` trusts its input like `Vaq::add` does, so feed
+    // it the sanitized view of the chaos rows.
+    let sanitized = |i: usize| -> Vec<f32> {
+        data.row(i).iter().map(|v| if v.is_finite() { *v } else { 0.0 }).collect()
+    };
+    let mut s2 = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+    let mut deleted: Vec<u32> = Vec::new();
+    for round in 0..5usize {
+        // Three 13-row batches per round: every round crosses the 24-row
+        // seal threshold, so maintenance triggers mid-schedule.
+        for b in 0..3usize {
+            let rows: Vec<Vec<f32>> =
+                (0..13).map(|r| sanitized((round * 39 + b * 13 + r) % n)).collect();
+            let ids = match seg.add(&Matrix::from_rows(&rows)) {
+                Ok(ids) => ids,
+                Err(e) => return Ok(drop_err(e)),
+            };
+            s2 = s2.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let victim = ids[(s2 >> 33) as usize % ids.len()];
+            if seg.delete(victim) {
+                deleted.push(victim);
+            }
+        }
+        let q = sanitized((round * 17) % n);
+        let full = match seg.search_with(&q, 5, SearchStrategy::FullScan) {
+            Ok(r) => r.0,
+            Err(e) => return Ok(drop_err(e)),
+        };
+        let tiea = match seg.search_with(&q, 5, SearchStrategy::TiEa { visit_frac: 1.0 }) {
+            Ok(r) => r.0,
+            Err(e) => return Ok(drop_err(e)),
+        };
+        if full.iter().map(|h| h.index).ne(tiea.iter().map(|h| h.index)) {
+            return Err(format!(
+                "seed {seed} round {round}: segmented TiEa disagrees with FullScan"
+            ));
+        }
+        if full.iter().any(|h| deleted.contains(&h.index)) {
+            return Err(format!("seed {seed} round {round}: query surfaced a tombstoned id"));
+        }
+    }
+    // Quiesce deterministically before the final audit: a failed seal
+    // legitimately leaves the buffer over threshold until the next
+    // trigger retries it, which the VAQ111 quiescence check would flag.
+    vaq_core::faults::disarm_all();
+    seg.flush();
+    let report = seg.audit();
+    if !report.is_ok() {
+        return Err(format!(
+            "seed {seed}: segmented index failed audit after quiesce: {}",
+            report.issues().len()
+        ));
+    }
     Ok(true)
 }
 
@@ -389,6 +468,9 @@ fn time_strategy(
 }
 
 fn cmd_bench(opts: &Opts) -> Result<(), String> {
+    if opts.contains_key("concurrent") {
+        return cmd_bench_segments(opts);
+    }
     use vaq_bench::Json;
     use vaq_dataset::SyntheticSpec;
     use vaq_linalg::{
@@ -569,6 +651,225 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
             .map_err(|e| format!("{}: {e}", json_path.display()))?;
         println!("profile written to {} and {}", prom_path.display(), json_path.display());
     }
+    Ok(())
+}
+
+/// `bench --concurrent`: concurrent ingest + query benchmark for the
+/// segmented index (acceptance criterion of ISSUE 6: queries must keep
+/// completing while ingest is running). One writer adds the dataset tail
+/// in batches — sealing and compacting on the background maintenance
+/// thread — while reader threads answer queries from lock-free snapshots
+/// the whole time. The drained, fully sealed index is then timed on the
+/// same query set, and everything lands in results/BENCH_segments.json.
+fn cmd_bench_segments(opts: &Opts) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use vaq_bench::Json;
+    use vaq_dataset::SyntheticSpec;
+
+    let n: usize = get_or(opts, "n", 100_000)?;
+    let dim: usize = get_or(opts, "dim", 64)?;
+    let nq: usize = get_or(opts, "queries", 16)?;
+    let k: usize = get_or(opts, "k", 10)?;
+    let budget: usize = get_or(opts, "budget", 48)?;
+    let segments: usize = get_or(opts, "segments", 8)?;
+    let seed: u64 = get_or(opts, "seed", 7)?;
+    let reps: usize = get_or(opts, "reps", 3)?;
+    let train_limit: usize = get_or(opts, "train-limit", 20_000)?;
+    let seal: usize = get_or(opts, "seal", 8192)?;
+    let batch_rows: usize = get_or(opts, "batch", 1024)?;
+    let readers: usize = get_or(opts, "readers", 2)?;
+    let out_dir = PathBuf::from(get_or(opts, "out", "results".to_string())?);
+    if n == 0 || nq == 0 || reps == 0 || train_limit == 0 || batch_rows == 0 || readers == 0 {
+        return Err(
+            "--n, --queries, --reps, --train-limit, --batch, and --readers must be positive".into(),
+        );
+    }
+
+    let spec = SyntheticSpec { dim, ..SyntheticSpec::sift_like() };
+    let ds = spec.generate(n, nq, seed);
+    let train_rows = train_limit.min(n);
+    println!(
+        "data: {n} × {dim} synthetic ({}), {nq} queries; training on {train_rows} rows, \
+         ingesting {} concurrently",
+        spec.name,
+        n - train_rows
+    );
+
+    let cfg = VaqConfig::new(budget, segments).with_seed(seed).with_ti_clusters(0);
+    let t0 = std::time::Instant::now();
+    let vaq = {
+        let sample = ds.data.select_rows(&(0..train_rows).collect::<Vec<_>>());
+        Vaq::train(&sample, &cfg).map_err(|e| e.to_string())?
+    };
+    let train_secs = t0.elapsed().as_secs_f64();
+    println!("trained in {train_secs:.1}s — bit allocation {:?}", vaq.bits());
+
+    // Count maintenance events over the whole run.
+    vaq_core::obs::set_enabled(true);
+    let _ = vaq_core::obs::take_events();
+
+    let policy = SegmentPolicy::default().with_seal_threshold(seal);
+    let index = SegmentedVaq::from_vaq(vaq, policy);
+
+    // Concurrent phase: one writer, `readers` query threads.
+    let done = AtomicBool::new(false);
+    let mut ingest_err: Option<String> = None;
+    let mut ingest_secs = 0.0f64;
+    let mut reader_stats: Vec<(u64, f64)> = Vec::new(); // (queries, secs on the clock)
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let index = &index;
+                let done = &done;
+                let queries = &ds.queries;
+                scope.spawn(move || {
+                    let mut searcher = index.searcher();
+                    let mut count = 0u64;
+                    let t0 = std::time::Instant::now();
+                    loop {
+                        for qi in 0..queries.rows() {
+                            match searcher.search_with(
+                                queries.row(qi),
+                                k,
+                                SearchStrategy::Quantized,
+                            ) {
+                                Ok(_) => count += 1,
+                                Err(e) => return Err(e.to_string()),
+                            }
+                        }
+                        if done.load(Ordering::Acquire) {
+                            return Ok((count, t0.elapsed().as_secs_f64()));
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let t0 = std::time::Instant::now();
+        for lo in (train_rows..n).step_by(batch_rows) {
+            let hi = (lo + batch_rows).min(n);
+            let batch = ds.data.select_rows(&(lo..hi).collect::<Vec<_>>());
+            if let Err(e) = index.add(&batch) {
+                ingest_err = Some(e.to_string());
+                break;
+            }
+        }
+        ingest_secs = t0.elapsed().as_secs_f64();
+        done.store(true, Ordering::Release);
+        for h in handles {
+            match h.join() {
+                Ok(Ok(stat)) => reader_stats.push(stat),
+                Ok(Err(e)) => ingest_err = Some(format!("reader failed: {e}")),
+                Err(_) => ingest_err = Some("reader panicked".into()),
+            }
+        }
+    });
+    if let Some(e) = ingest_err {
+        return Err(e);
+    }
+    index.flush();
+
+    let during_total: u64 = reader_stats.iter().map(|&(c, _)| c).sum();
+    let during_qps: f64 =
+        reader_stats.iter().map(|&(c, secs)| c as f64 / secs.max(1e-9)).sum::<f64>();
+    let ingested = n - train_rows;
+    println!(
+        "ingest: {ingested} rows in {ingest_secs:.2}s ({:.0} krows/s) with {readers} readers \
+         running — {during_total} queries completed during ingest ({during_qps:.0} q/s)",
+        ingested as f64 / ingest_secs.max(1e-9) / 1e3,
+    );
+    if during_total == 0 {
+        return Err("no query completed while ingest was running".into());
+    }
+
+    // Exactness spot-check on the drained index, then steady-state timing.
+    for qi in 0..ds.queries.rows().min(4) {
+        let q = ds.queries.row(qi);
+        let full = index.search_with(q, k, SearchStrategy::FullScan).map_err(|e| e.to_string())?;
+        let tiea = index
+            .search_with(q, k, SearchStrategy::TiEa { visit_frac: 1.0 })
+            .map_err(|e| e.to_string())?;
+        let f: Vec<u32> = full.0.iter().map(|h| h.index).collect();
+        let t: Vec<u32> = tiea.0.iter().map(|h| h.index).collect();
+        if f != t {
+            return Err(format!("post-ingest parity failure on query {qi}: {t:?} vs {f:?}"));
+        }
+    }
+    let mut searcher = index.searcher();
+    for qi in 0..ds.queries.rows().min(4) {
+        let _ = searcher.search_with(ds.queries.row(qi), k, SearchStrategy::Quantized);
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        for qi in 0..ds.queries.rows() {
+            searcher
+                .search_with(ds.queries.row(qi), k, SearchStrategy::Quantized)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    let sealed_spq = t0.elapsed().as_secs_f64() / (reps * nq) as f64;
+
+    let events = vaq_core::obs::take_events();
+    let count_kind = |kind: &str| events.iter().filter(|e| e.kind == kind).count() as f64;
+    let set = index.snapshot();
+    println!(
+        "drained: {} segments, {} live rows; steady-state {:.3} ms/q; \
+         {} seals, {} merges, {} purges",
+        set.num_segments(),
+        set.live_len(),
+        sealed_spq * 1e3,
+        count_kind("segment.seal"),
+        count_kind("segment.compact"),
+        count_kind("segment.tombstone_purge"),
+    );
+
+    let json = Json::obj([
+        ("bench", Json::Str("segmented_ingest".to_string())),
+        ("n", Json::Num(n as f64)),
+        ("dim", Json::Num(dim as f64)),
+        ("queries", Json::Num(nq as f64)),
+        ("k", Json::Num(k as f64)),
+        ("train_rows", Json::Num(train_rows as f64)),
+        ("seal_threshold", Json::Num(seal as f64)),
+        ("batch_rows", Json::Num(batch_rows as f64)),
+        ("readers", Json::Num(readers as f64)),
+        ("train_secs", Json::Num(train_secs)),
+        (
+            "ingest",
+            Json::obj([
+                ("rows", Json::Num(ingested as f64)),
+                ("secs", Json::Num(ingest_secs)),
+                ("krows_per_sec", Json::Num(ingested as f64 / ingest_secs.max(1e-9) / 1e3)),
+            ]),
+        ),
+        (
+            "queries_during_ingest",
+            Json::obj([
+                ("total", Json::Num(during_total as f64)),
+                ("queries_per_sec", Json::Num(during_qps)),
+            ]),
+        ),
+        ("steady_state_ms_per_query", Json::Num(sealed_spq * 1e3)),
+        (
+            "maintenance",
+            Json::obj([
+                ("seals", Json::Num(count_kind("segment.seal"))),
+                ("compactions", Json::Num(count_kind("segment.compact"))),
+                ("tombstone_purges", Json::Num(count_kind("segment.tombstone_purge"))),
+            ]),
+        ),
+        (
+            "final",
+            Json::obj([
+                ("segments", Json::Num(set.num_segments() as f64)),
+                ("live_rows", Json::Num(set.live_len() as f64)),
+            ]),
+        ),
+    ]);
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
+    let path = out_dir.join("BENCH_segments.json");
+    std::fs::write(&path, json.pretty()).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("results written to {}", path.display());
     Ok(())
 }
 

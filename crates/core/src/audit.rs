@@ -426,6 +426,139 @@ impl Audit for Vaq {
     }
 }
 
+/// VAQ111: segmented-index structural invariants — shared model
+/// consistency, per-segment id/tombstone/TI/packing integrity, pairwise
+/// disjoint ascending id ranges, buffer ids above every sealed id, and
+/// (when no maintenance pass is in flight) a buffer below the seal
+/// threshold.
+impl Audit for crate::segment::SegmentedVaq {
+    fn audit(&self) -> AuditReport {
+        let model = self.shared_model();
+        let set = self.snapshot();
+        let (next_id, maintenance) = self.writer_probe();
+
+        // Shared model: same invariants a monolithic index carries.
+        let mut r = model.layout.audit();
+        audit_bits(&mut r, &model.bits, model.layout.ranges.len());
+        r.merge(model.encoder.audit());
+        r.check(model.encoder.bits() == model.bits.as_slice(), "VAQ109", || {
+            "encoder bit widths disagree with the trained allocation".into()
+        });
+
+        let mut prev_last: Option<u32> = None;
+        for (s, seg) in set.segments.iter().enumerate() {
+            let core = &seg.core;
+            r.check(core.ids.len() == core.n, "VAQ111", || {
+                format!("segment {s} holds {} ids for {} rows", core.ids.len(), core.n)
+            });
+            r.check(core.n > 0, "VAQ111", || format!("segment {s} is empty"));
+            r.check(core.ids.windows(2).all(|w| w[0] < w[1]), "VAQ111", || {
+                format!("segment {s} ids are not strictly ascending")
+            });
+            if let (Some(&first), Some(last)) = (core.ids.first(), prev_last) {
+                r.check(first > last, "VAQ111", || {
+                    format!("segment {s} starts at id {first}, segment {} ends at {last}", s - 1)
+                });
+            }
+            if let Some(&last) = core.ids.last() {
+                r.check(last < next_id, "VAQ111", || {
+                    format!("segment {s} holds id {last} >= next_id {next_id}")
+                });
+                prev_last = Some(last);
+            }
+            audit_codes(&mut r, &core.codes, core.n, &model.encoder);
+            audit_tombstones(&mut r, seg.tombstones.words(), seg.tombstones.dead(), core.n, s);
+            if let Some(ti) = &core.ti {
+                r.merge(ti.audit());
+                r.check(ti.covers_exactly(core.n), "VAQ108", || {
+                    format!("segment {s}: TI partition does not cover 0..{} exactly once", core.n)
+                });
+                let m = model.encoder.num_subspaces();
+                if ti.prefix_subspaces >= 1 && ti.prefix_subspaces <= m {
+                    let end = model.encoder.ranges()[ti.prefix_subspaces - 1].1;
+                    r.check(ti.prefix_dim == end, "VAQ108", || {
+                        format!(
+                            "segment {s}: prefix dim {} does not match subspace boundary {end}",
+                            ti.prefix_dim
+                        )
+                    });
+                } else {
+                    r.push(
+                        "VAQ108",
+                        format!(
+                            "segment {s}: prefix spans {} of {m} subspaces",
+                            ti.prefix_subspaces
+                        ),
+                    );
+                }
+            }
+            audit_packed(&mut r, &core.packed, &core.codes, core.n, &model.encoder);
+        }
+
+        let buf = &set.buffer;
+        r.check(buf.ids.windows(2).all(|w| w[0] < w[1]), "VAQ111", || {
+            "buffer ids are not strictly ascending".into()
+        });
+        if let (Some(&first), Some(last)) = (buf.ids.first(), prev_last) {
+            r.check(first > last, "VAQ111", || {
+                format!("buffer starts at id {first}, below sealed id {last}")
+            });
+        }
+        if let Some(&last) = buf.ids.last() {
+            r.check(last < next_id, "VAQ111", || {
+                format!("buffer holds id {last} >= next_id {next_id}")
+            });
+        }
+        audit_codes(&mut r, &buf.codes, buf.ids.len(), &model.encoder);
+        audit_tombstones(
+            &mut r,
+            buf.tombstones.words(),
+            buf.tombstones.dead(),
+            buf.ids.len(),
+            usize::MAX,
+        );
+        r.check(
+            maintenance || buf.ids.len() < self.policy().seal_threshold.max(1),
+            "VAQ111",
+            || {
+                format!(
+                    "buffer holds {} rows, at or above the seal threshold {} with no \
+                     maintenance pass in flight",
+                    buf.ids.len(),
+                    self.policy().seal_threshold
+                )
+            },
+        );
+        r
+    }
+}
+
+/// VAQ111: tombstone-bitmap sizing and accounting for one segment (or the
+/// buffer, flagged as `seg == usize::MAX`).
+fn audit_tombstones(r: &mut AuditReport, words: &[u64], dead: usize, n: usize, seg: usize) {
+    let who = move || {
+        if seg == usize::MAX {
+            "buffer".to_string()
+        } else {
+            format!("segment {seg}")
+        }
+    };
+    r.check(words.len() == n.div_ceil(64), "VAQ111", || {
+        format!("{}: {} tombstone words for {n} rows", who(), words.len())
+    });
+    if !n.is_multiple_of(64) {
+        if let Some(&lastw) = words.last() {
+            r.check(lastw >> (n % 64) == 0, "VAQ111", || {
+                format!("{}: tombstone bits set past row {n}", who())
+            });
+        }
+    }
+    let popcount: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+    r.check(popcount == dead && dead <= n, "VAQ111", || {
+        format!("{}: {popcount} tombstone bits set, dead counter says {dead} of {n}", who())
+    });
+}
+
 /// VAQ110: blocked-packing consistency with the flat code array.
 fn audit_packed(
     r: &mut AuditReport,
@@ -624,6 +757,46 @@ mod tests {
         let arena = TableArena::with_layout(&sizes[..sizes.len() - 1]);
         let report = vaq.encoder().audit_tables(&arena);
         assert!(report.has_code("VAQ107"), "{report}");
+    }
+
+    #[test]
+    fn segmented_index_is_clean_and_vaq111_catches_structure_breaks() {
+        use crate::segment::{SegmentPolicy, SegmentedVaq};
+        let ds = SyntheticSpec::sift_like().generate(200, 0, 19);
+        let policy =
+            SegmentPolicy::default().with_seal_threshold(40).with_ti_clusters(4).sequential();
+        let cfg = VaqConfig::new(40, 8).with_ti_clusters(12).with_seed(5);
+        let seg = SegmentedVaq::train(&ds.data, &cfg, policy).unwrap();
+        let extra = SyntheticSpec::sift_like().generate(90, 0, 20);
+        seg.add(&extra.data).unwrap();
+        seg.delete(3);
+        seg.flush();
+        let report = seg.audit();
+        assert!(report.is_ok(), "{report}");
+        assert!(seg.snapshot().num_segments() >= 2, "want sealed segments to audit");
+    }
+
+    #[test]
+    fn tombstone_accounting_breaks_are_vaq111() {
+        let mut r = AuditReport::new();
+        // 70 rows → two words; dead counter disagrees with the popcount.
+        super::audit_tombstones(&mut r, &[0b1011, 0], 2, 70, 0);
+        assert!(r.has_code("VAQ111"), "{r}");
+
+        // Bits set past the row count (row 70 lives in word 1, bit 6).
+        let mut r = AuditReport::new();
+        super::audit_tombstones(&mut r, &[0, 1u64 << 40], 1, 70, 0);
+        assert!(r.has_code("VAQ111"), "{r}");
+
+        // Wrong word count for the row count.
+        let mut r = AuditReport::new();
+        super::audit_tombstones(&mut r, &[0], 0, 70, usize::MAX);
+        assert!(r.has_code("VAQ111"), "{r}");
+
+        // Clean bitmap passes.
+        let mut r = AuditReport::new();
+        super::audit_tombstones(&mut r, &[0b101, 0], 2, 70, 0);
+        assert!(r.is_ok(), "{r}");
     }
 
     #[test]

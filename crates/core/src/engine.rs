@@ -38,6 +38,9 @@ pub struct IndexView<'a> {
     n: usize,
     ti: Option<&'a TiPartition>,
     packed: Option<&'a PackedCodes>,
+    /// Tombstone bitmap (bit `i` set = row `i` is deleted): dead rows are
+    /// excluded from every scan and rerank path, counted as skipped.
+    dead: Option<&'a [u64]>,
 }
 
 impl<'a> IndexView<'a> {
@@ -55,7 +58,7 @@ impl<'a> IndexView<'a> {
     ) -> IndexView<'a> {
         assert_eq!(codebooks.len(), ranges.len(), "one codebook per subspace");
         assert_eq!(codes.len(), n * ranges.len(), "codes must be n × m");
-        IndexView { codebooks, ranges, codes, n, ti: None, packed: None }
+        IndexView { codebooks, ranges, codes, n, ti: None, packed: None, dead: None }
     }
 
     /// Views a trained [`Encoder`] and its encoded database.
@@ -80,6 +83,24 @@ impl<'a> IndexView<'a> {
     /// The attached blocked code packing, if any.
     pub fn packed(&self) -> Option<&'a PackedCodes> {
         self.packed
+    }
+
+    /// Attaches (or detaches) a tombstone bitmap: bit `i` of
+    /// `words[i / 64]` marks row `i` as deleted. Dead rows are consulted
+    /// at every scan *and* rerank site — they can never enter the top-k —
+    /// and are counted in [`SearchStats::vectors_skipped`].
+    pub fn with_dead(mut self, dead: Option<&'a [u64]>) -> IndexView<'a> {
+        self.dead = dead;
+        self
+    }
+
+    /// `true` when row `i` is tombstoned. Rows past the bitmap are live.
+    #[inline]
+    pub fn is_dead(&self, i: usize) -> bool {
+        match self.dead {
+            Some(words) => words.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1),
+            None => false,
+        }
     }
 
     /// Number of subspaces `m`.
@@ -300,6 +321,10 @@ impl QueryEngine {
                 let flat = self.arena.as_slice();
                 let offsets = self.arena.offsets();
                 for i in 0..n {
+                    if view.is_dead(i) {
+                        stats.vectors_skipped += 1;
+                        continue;
+                    }
                     let code = view.code(i);
                     let mut dist = 0.0f32;
                     for (s, &c) in code.iter().enumerate() {
@@ -570,6 +595,13 @@ fn scan_one(
     k: usize,
     stats: &mut SearchStats,
 ) {
+    if view.is_dead(i) {
+        // Tombstoned rows never reach the heap — checked here so every
+        // scan path (EA, TI survivors, quantized rerank, id lists) is
+        // covered by the same gate.
+        stats.vectors_skipped += 1;
+        return;
+    }
     let code = view.code(i);
     let m = code.len();
     let flat = arena.as_slice();
@@ -1030,6 +1062,48 @@ mod tests {
                 prop_assert_eq!(ea, qz);
             }
         }
+    }
+
+    #[test]
+    fn dead_rows_are_excluded_from_every_strategy() {
+        let n = 500;
+        let (data, enc, codes, ti) = setup(n);
+        let packed = pack_view(&enc, &codes, n);
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for i in (0..n).step_by(3) {
+            words[i / 64] |= 1 << (i % 64);
+        }
+        let view = IndexView::from_encoder(&enc, &codes, n)
+            .with_ti(Some(&ti))
+            .with_packed(Some(&packed))
+            .with_dead(Some(&words));
+        let mut engine = QueryEngine::for_view(&view);
+        let q = data.row(33); // row 33 is dead: its own best match is gone
+        let (full, fs) = engine.search_with(&view, q, 12, SearchStrategy::FullScan);
+        assert_eq!(full.len(), 12);
+        assert!(full.iter().all(|nb| nb.index % 3 != 0), "a tombstoned row was returned");
+        assert_eq!(fs.vectors_visited + fs.vectors_skipped, n, "skip accounting broke");
+        assert!(fs.vectors_skipped >= n / 3);
+        // Every exact strategy must agree with the filtered full scan —
+        // the filter is consulted at scan (EA / TI survivors) and at
+        // rerank (quantized survivors) alike.
+        for strategy in [
+            SearchStrategy::EarlyAbandon,
+            SearchStrategy::TiEa { visit_frac: 1.0 },
+            SearchStrategy::Quantized,
+        ] {
+            let (got, st) = engine.search_with(&view, q, 12, strategy);
+            assert_eq!(
+                got.iter().map(|nb| nb.index).collect::<Vec<_>>(),
+                full.iter().map(|nb| nb.index).collect::<Vec<_>>(),
+                "{strategy:?} disagrees with the filtered full scan"
+            );
+            assert_eq!(st.vectors_visited + st.vectors_skipped, n, "{strategy:?} accounting");
+        }
+        // A detached bitmap restores the unfiltered results.
+        let unfiltered = view.with_dead(None);
+        let (all, _) = engine.search_with(&unfiltered, q, 1, SearchStrategy::FullScan);
+        assert_eq!(all[0].index, 33, "row 33 must reappear once the bitmap is detached");
     }
 
     #[test]

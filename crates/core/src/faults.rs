@@ -31,6 +31,8 @@ pub const SITES: &[&str] = &[
     "engine.prepare",
     "engine.search",
     "engine.qscan",
+    "segment.seal",
+    "segment.compact",
 ];
 
 /// True when `site` is in [`SITES`].

@@ -55,6 +55,7 @@ pub mod obs;
 pub mod persist;
 pub mod pipeline;
 pub mod search;
+pub mod segment;
 pub mod subspaces;
 pub mod threads;
 pub mod ti;
@@ -69,6 +70,7 @@ pub use engine::{IndexView, QueryEngine};
 pub use ivf::{VaqIvf, VaqIvfConfig};
 pub use pipeline::{BitPlan, DictionaryStage, SubspacePlan, VarPcaStage};
 pub use search::{Neighbor, SearchStats, SearchStrategy};
+pub use segment::{SegmentPolicy, SegmentSearcher, SegmentSet, SegmentedVaq};
 pub use subspaces::{SubspaceLayout, SubspaceMode};
 pub use vaq::{IngressPolicy, Vaq, VaqConfig};
 

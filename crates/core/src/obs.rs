@@ -426,7 +426,7 @@ mod state {
         bucket_index, bucket_le_ns, EventRecord, HistogramSnapshot, Snapshot, SpanStat,
         HIST_BUCKETS,
     };
-    use std::collections::BTreeMap;
+    use std::collections::{BTreeMap, VecDeque};
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::{Mutex, MutexGuard};
 
@@ -452,8 +452,11 @@ mod state {
     static SPANS: Mutex<BTreeMap<&'static str, SpanAgg>> = Mutex::new(BTreeMap::new());
     static COUNTERS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
     static HISTS: Mutex<BTreeMap<&'static str, Hist>> = Mutex::new(BTreeMap::new());
-    /// `(buffer, dropped)` — events in arrival order plus the overflow count.
-    static EVENTS: Mutex<(Vec<EventRecord>, u64)> = Mutex::new((Vec::new(), 0));
+    /// `(ring, dropped)` — events in arrival order plus the overflow
+    /// count. A `VecDeque` makes the overflow eviction O(1): the old
+    /// `Vec::remove(0)` shifted all [`EVENT_CAP`] survivors on every
+    /// event once the buffer was full.
+    static EVENTS: Mutex<(VecDeque<EventRecord>, u64)> = Mutex::new((VecDeque::new(), 0));
 
     /// Recording must survive a panicked holder: recover the data instead
     /// of propagating the poison.
@@ -488,15 +491,15 @@ mod state {
     pub(super) fn event(kind: &'static str, detail: &str) {
         let seq = EVENT_SEQ.fetch_add(1, Ordering::Relaxed);
         let mut events = lock(&EVENTS);
-        if events.0.len() >= EVENT_CAP {
-            events.0.remove(0);
+        while events.0.len() >= EVENT_CAP {
+            events.0.pop_front();
             events.1 += 1;
         }
-        events.0.push(EventRecord { seq, kind, detail: detail.to_string() });
+        events.0.push_back(EventRecord { seq, kind, detail: detail.to_string() });
     }
 
     pub(super) fn take_events() -> Vec<EventRecord> {
-        std::mem::take(&mut lock(&EVENTS).0)
+        std::mem::take(&mut lock(&EVENTS).0).into_iter().collect()
     }
 
     pub(super) fn reset() {
@@ -529,7 +532,13 @@ mod state {
             })
             .collect();
         let events = lock(&EVENTS);
-        Snapshot { spans, counters, histograms, events: events.0.clone(), events_dropped: events.1 }
+        Snapshot {
+            spans,
+            counters,
+            histograms,
+            events: events.0.iter().cloned().collect(),
+            events_dropped: events.1,
+        }
     }
 }
 
@@ -683,6 +692,44 @@ mod tests {
         assert!(snap.events_dropped >= 44, "dropped {}", snap.events_dropped);
         // The newest events survive.
         assert!(snap.events.iter().any(|e| e.detail == "e299"));
+        finish(g);
+    }
+
+    #[test]
+    fn event_ring_wraparound_keeps_order_and_sequence() {
+        // Push several capacities' worth so the ring wraps repeatedly;
+        // the survivors must be exactly the newest window, in arrival
+        // order, with strictly increasing sequence numbers and a drop
+        // counter accounting for every evicted event.
+        let g = guard();
+        let total = 256 * 3 + 17;
+        for i in 0..total {
+            event("obs-test", &format!("w{i}"));
+        }
+        let snap = snapshot();
+        // Concurrent (non-obs) tests may interleave events of their own,
+        // so assert only on the events this test emitted: the survivors
+        // are a *contiguous suffix* of what was pushed, in arrival order.
+        let mine: Vec<&EventRecord> = snap.events.iter().filter(|e| e.kind == "obs-test").collect();
+        assert!(!mine.is_empty() && mine.len() <= 256, "kept {}", mine.len());
+        assert_eq!(mine.last().unwrap().detail, format!("w{}", total - 1), "newest survivor");
+        let first: usize = mine[0].detail.strip_prefix('w').unwrap().parse().unwrap();
+        for (off, e) in mine.iter().enumerate() {
+            assert_eq!(e.detail, format!("w{}", first + off), "gap after wraparound");
+        }
+        for pair in mine.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "sequence numbers must stay monotonic");
+        }
+        assert!(
+            snap.events_dropped as usize >= total - 256,
+            "evictions undercounted: {}",
+            snap.events_dropped
+        );
+        // Draining after wraparound returns the same ordered window.
+        let drained: Vec<EventRecord> =
+            take_events().into_iter().filter(|e| e.kind == "obs-test").collect();
+        assert_eq!(drained.len(), mine.len());
+        assert_eq!(drained[0].detail, format!("w{first}"));
         finish(g);
     }
 

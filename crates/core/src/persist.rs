@@ -1,11 +1,12 @@
-//! Binary persistence for trained [`Vaq`] indexes.
+//! Binary persistence for trained [`Vaq`] and [`SegmentedVaq`] indexes.
 //!
 //! A trained index is expensive (dictionary learning dominates, as the
 //! paper's encoding-time measurements show), so a downstream system wants
-//! to train once and serve many times. The format is a small versioned
-//! little-endian binary layout built with [`bytes`]:
+//! to train once and serve many times. Two versioned little-endian binary
+//! layouts share one vocabulary of fields, built with [`bytes`]:
 //!
 //! ```text
+//! -- monolithic index, magic "VAQ1" --
 //! magic "VAQ1" | version u32 |
 //! pca:    mean [f32] | components rows/cols + [f32] | eigenvalues [f64]
 //! layout: perm [u64] | ranges [(u64,u64)] | shares [f64] | pc_share [f64]
@@ -14,23 +15,45 @@
 //! codes:  n u64 | m u64 | [u16]
 //! ti:     present flag | centroids | clusters [(idx u32, dist f32)] | prefix
 //! default strategy tag + payload
+//!
+//! -- segmented index, magic "VAQ2" --
+//! magic "VAQ2" | version u32 |
+//! model:  pca | layout | bits | codebooks | strategy |
+//!         ti_prefix_subspaces u64 | seed u64
+//! policy: seal_threshold u64 | compact_min_segments u64 |
+//!         tombstone_purge_frac f64 | ti_clusters u64 | background u8
+//! next_id u32 | segment count u64
+//! per segment: n u64 | ids [u32] | codes [u16] |
+//!              dead u64 | tombstone words [u64] | ti flag + payload
+//! buffer: rows u64 | ids [u32] | codes [u16] | dead u64 | words [u64]
 //! ```
 //!
-//! Everything is validated on load; a truncated or corrupted file returns
+//! [`SegmentedVaq::from_bytes`] accepts both: a `VAQ1` file loads as a
+//! segmented index whose whole database is one sealed segment, with
+//! byte-identical search behaviour.
+//!
+//! Everything is validated on load (field-level checks here, the full
+//! structural audit afterwards); a truncated or corrupted file returns
 //! [`VaqError::BadConfig`] rather than panicking.
 
 use crate::encoder::Encoder;
 use crate::search::SearchStrategy;
+use crate::segment::{
+    Buffer, Model, Segment, SegmentCore, SegmentPolicy, SegmentedVaq, Tombstones,
+};
 use crate::subspaces::SubspaceLayout;
 use crate::ti::{Member, TiPartition};
 use crate::vaq::Vaq;
 use crate::VaqError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::path::Path;
+use std::sync::Arc;
 use vaq_linalg::{Matrix, PackedCodes, Pca};
 
 const MAGIC: &[u8; 4] = b"VAQ1";
 const VERSION: u32 = 1;
+const MAGIC2: &[u8; 4] = b"VAQ2";
+const VERSION2: u32 = 1;
 
 impl Vaq {
     /// Serializes the trained index to bytes.
@@ -39,22 +62,8 @@ impl Vaq {
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
 
-        // PCA.
-        put_f32_slice(&mut buf, self.pca.mean());
-        put_matrix(&mut buf, self.pca.components());
-        put_f64_slice(&mut buf, self.pca.eigenvalues());
-
-        // Layout.
-        put_usize_slice(&mut buf, &self.layout.perm);
-        buf.put_u64_le(self.layout.ranges.len() as u64);
-        for &(lo, hi) in &self.layout.ranges {
-            buf.put_u64_le(lo as u64);
-            buf.put_u64_le(hi as u64);
-        }
-        put_f64_slice(&mut buf, &self.layout.variance_share);
-        put_f64_slice(&mut buf, &self.layout.pc_share);
-
-        // Bits.
+        put_pca(&mut buf, &self.pca);
+        put_layout(&mut buf, &self.layout);
         put_usize_slice(&mut buf, &self.bits);
 
         // Encoder codebooks (bits/ranges are shared with the layout).
@@ -70,35 +79,8 @@ impl Vaq {
             buf.put_u16_le(c);
         }
 
-        // TI partition.
-        match &self.ti {
-            None => buf.put_u8(0),
-            Some(ti) => {
-                buf.put_u8(1);
-                put_matrix(&mut buf, &ti.centroids);
-                buf.put_u64_le(ti.clusters.len() as u64);
-                for cl in &ti.clusters {
-                    buf.put_u64_le(cl.len() as u64);
-                    for m in cl {
-                        buf.put_u32_le(m.idx);
-                        buf.put_f32_le(m.dist);
-                    }
-                }
-                buf.put_u64_le(ti.prefix_subspaces as u64);
-                buf.put_u64_le(ti.prefix_dim as u64);
-            }
-        }
-
-        // Default strategy.
-        match self.default_strategy {
-            SearchStrategy::FullScan => buf.put_u8(0),
-            SearchStrategy::EarlyAbandon => buf.put_u8(1),
-            SearchStrategy::TiEa { visit_frac } => {
-                buf.put_u8(2);
-                buf.put_f64_le(visit_frac);
-            }
-            SearchStrategy::Quantized => buf.put_u8(3),
-        }
+        put_ti(&mut buf, self.ti.as_ref());
+        put_strategy(&mut buf, self.default_strategy);
         buf.to_vec()
     }
 
@@ -108,7 +90,6 @@ impl Vaq {
             return Err(VaqError::Injected { site: "persist.from_bytes" });
         }
         let mut buf = Bytes::copy_from_slice(data);
-        let bad = |msg: &str| VaqError::BadConfig(format!("corrupt index file: {msg}"));
 
         let mut magic = [0u8; 4];
         take(&mut buf, 4)?.copy_to_slice(&mut magic);
@@ -120,129 +101,25 @@ impl Vaq {
             return Err(bad(&format!("unsupported version {version}")));
         }
 
-        let mean = get_f32_slice(&mut buf)?;
-        let components = get_matrix(&mut buf)?;
-        let eigenvalues = get_f64_slice(&mut buf)?;
-        if mean.len() != components.rows() || eigenvalues.len() != components.cols() {
-            return Err(bad("pca shape mismatch"));
-        }
-        let pca = Pca::from_parts(mean, components, eigenvalues);
-
-        let perm = get_usize_slice(&mut buf)?;
-        let nranges = take(&mut buf, 8)?.get_u64_le() as usize;
-        if nranges > perm.len().max(1) {
-            return Err(bad("too many subspace ranges"));
-        }
-        let mut ranges = Vec::with_capacity(nranges);
-        for _ in 0..nranges {
-            let lo = take(&mut buf, 8)?.get_u64_le() as usize;
-            let hi = take(&mut buf, 8)?.get_u64_le() as usize;
-            if lo > hi || hi > perm.len() {
-                return Err(bad("invalid subspace range"));
-            }
-            ranges.push((lo, hi));
-        }
-        let variance_share = get_f64_slice(&mut buf)?;
-        let pc_share = get_f64_slice(&mut buf)?;
-        if variance_share.len() != nranges || pc_share.len() != perm.len() {
-            return Err(bad("layout share lengths"));
-        }
-        let layout = SubspaceLayout { perm, ranges: ranges.clone(), variance_share, pc_share };
+        let pca = get_pca(&mut buf)?;
+        let layout = get_layout(&mut buf)?;
+        let nranges = layout.ranges.len();
 
         let bits = get_usize_slice(&mut buf)?;
         if bits.len() != nranges {
             return Err(bad("bits/subspace count mismatch"));
         }
-
-        let ncb = take(&mut buf, 8)?.get_u64_le() as usize;
-        if ncb != nranges {
-            return Err(bad("codebook count mismatch"));
-        }
-        let mut codebooks = Vec::with_capacity(ncb);
-        for (s, &(lo, hi)) in ranges.iter().enumerate() {
-            let cb = get_matrix(&mut buf)?;
-            if cb.cols() != hi - lo {
-                return Err(bad(&format!("codebook {s} width mismatch")));
-            }
-            if cb.rows() > 1usize << bits[s] {
-                return Err(bad(&format!("codebook {s} larger than its bit width")));
-            }
-            codebooks.push(cb);
-        }
-        let encoder = Encoder { codebooks, bits: bits.clone(), ranges };
+        let codebooks = get_codebooks(&mut buf, &bits, &layout.ranges)?;
+        let encoder = Encoder { codebooks, bits: bits.clone(), ranges: layout.ranges.clone() };
 
         let n = take(&mut buf, 8)?.get_u64_le() as usize;
         let m = take(&mut buf, 8)?.get_u64_le() as usize;
         if m != nranges {
             return Err(bad("code width mismatch"));
         }
-        let total = n.checked_mul(m).ok_or_else(|| bad("code size overflow"))?;
-        let nbytes = total.checked_mul(2).ok_or_else(|| bad("code size overflow"))?;
-        // Take the bytes *before* allocating: the header is untrusted, and
-        // a fabricated count must fail the length check, not reserve memory.
-        let mut code_bytes = take(&mut buf, nbytes)?;
-        let mut codes = Vec::with_capacity(total);
-        for _ in 0..total {
-            codes.push(code_bytes.get_u16_le());
-        }
-        for (i, &c) in codes.iter().enumerate() {
-            let s = i % m;
-            if c as usize >= encoder.codebooks[s].rows() {
-                return Err(bad("code exceeds dictionary size"));
-            }
-        }
-
-        let ti = match take(&mut buf, 1)?.get_u8() {
-            0 => None,
-            1 => {
-                let centroids = get_matrix(&mut buf)?;
-                let ncl = take(&mut buf, 8)?.get_u64_le() as usize;
-                if ncl != centroids.rows() {
-                    return Err(bad("TI cluster count mismatch"));
-                }
-                // More clusters than vectors is never produced by training
-                // (and would let a zero-width centroid matrix request an
-                // enormous cluster table).
-                if ncl > n {
-                    return Err(bad("TI cluster count exceeds database size"));
-                }
-                let mut clusters = Vec::with_capacity(ncl);
-                let mut members_total = 0usize;
-                for _ in 0..ncl {
-                    let len = take(&mut buf, 8)?.get_u64_le() as usize;
-                    members_total =
-                        members_total.checked_add(len).ok_or_else(|| bad("TI member overflow"))?;
-                    if members_total > n {
-                        return Err(bad("TI clusters exceed database size"));
-                    }
-                    let mut cl = Vec::with_capacity(len);
-                    for _ in 0..len {
-                        let idx = take(&mut buf, 4)?.get_u32_le();
-                        let dist = take(&mut buf, 4)?.get_f32_le();
-                        if idx as usize >= n {
-                            return Err(bad("TI member out of range"));
-                        }
-                        cl.push(Member { idx, dist });
-                    }
-                    clusters.push(cl);
-                }
-                if members_total != n {
-                    return Err(bad("TI clusters do not partition the database"));
-                }
-                let prefix_subspaces = take(&mut buf, 8)?.get_u64_le() as usize;
-                let prefix_dim = take(&mut buf, 8)?.get_u64_le() as usize;
-                Some(TiPartition { centroids, clusters, prefix_subspaces, prefix_dim })
-            }
-            _ => return Err(bad("bad TI flag")),
-        };
-
-        let default_strategy = match take(&mut buf, 1)?.get_u8() {
-            0 => SearchStrategy::FullScan,
-            1 => SearchStrategy::EarlyAbandon,
-            2 => SearchStrategy::TiEa { visit_frac: take(&mut buf, 8)?.get_f64_le() },
-            3 => SearchStrategy::Quantized,
-            _ => return Err(bad("bad strategy tag")),
-        };
+        let codes = get_codes(&mut buf, n, &encoder)?;
+        let ti = get_ti(&mut buf, n)?;
+        let default_strategy = get_strategy(&mut buf)?;
 
         // The blocked packing is derived state (codes were range-checked
         // above, and the full audit below re-verifies them against the
@@ -278,11 +155,244 @@ impl Vaq {
     }
 }
 
+impl SegmentedVaq {
+    /// Serializes the segmented index to the `VAQ2` manifest: the shared
+    /// model once, then one blob per sealed segment (ids, codes,
+    /// tombstones, TI) and the write buffer. The snapshot and id counter
+    /// are captured atomically, so serializing during concurrent ingest
+    /// yields *some* consistent state; pending buffered rows are persisted
+    /// as-is and re-sealed on load.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let (set, next_id) = self.persist_snapshot();
+        let model = self.shared_model();
+        let policy = self.policy();
+
+        let mut buf = BytesMut::with_capacity(4096);
+        buf.put_slice(MAGIC2);
+        buf.put_u32_le(VERSION2);
+
+        // Shared model.
+        put_pca(&mut buf, &model.pca);
+        put_layout(&mut buf, &model.layout);
+        put_usize_slice(&mut buf, &model.bits);
+        buf.put_u64_le(model.encoder.codebooks.len() as u64);
+        for cb in &model.encoder.codebooks {
+            put_matrix(&mut buf, cb);
+        }
+        put_strategy(&mut buf, model.default_strategy);
+        buf.put_u64_le(model.ti_prefix_subspaces as u64);
+        buf.put_u64_le(model.seed);
+
+        // Maintenance policy.
+        buf.put_u64_le(policy.seal_threshold as u64);
+        buf.put_u64_le(policy.compact_min_segments as u64);
+        buf.put_f64_le(policy.tombstone_purge_frac);
+        buf.put_u64_le(policy.ti_clusters as u64);
+        buf.put_u8(u8::from(policy.background));
+
+        buf.put_u32_le(next_id);
+        buf.put_u64_le(set.segments.len() as u64);
+        for seg in &set.segments {
+            let core = &seg.core;
+            buf.put_u64_le(core.n as u64);
+            for &id in &core.ids {
+                buf.put_u32_le(id);
+            }
+            for &c in &core.codes {
+                buf.put_u16_le(c);
+            }
+            put_tombstones(&mut buf, &seg.tombstones);
+            put_ti(&mut buf, core.ti.as_ref());
+        }
+
+        buf.put_u64_le(set.buffer.ids.len() as u64);
+        for &id in &set.buffer.ids {
+            buf.put_u32_le(id);
+        }
+        for &c in &set.buffer.codes {
+            buf.put_u16_le(c);
+        }
+        put_tombstones(&mut buf, &set.buffer.tombstones);
+        buf.to_vec()
+    }
+
+    /// Deserializes a segmented index.
+    ///
+    /// Accepts both formats: a `VAQ2` manifest restores segments, buffer,
+    /// tombstones, and policy exactly; a legacy `VAQ1` file (a monolithic
+    /// [`Vaq`]) loads as one sealed segment under a default
+    /// [`SegmentPolicy`], returning byte-identical search results to the
+    /// original index. Every field is validated, the quiescence invariant
+    /// is restored (an over-threshold buffer is sealed), and the full
+    /// structural audit must pass before the index is returned.
+    pub fn from_bytes(data: &[u8]) -> Result<SegmentedVaq, VaqError> {
+        if data.len() >= 4 && &data[..4] == MAGIC {
+            // Legacy monolithic file: `Vaq::from_bytes` owns validation,
+            // auditing, and the `persist.from_bytes` fault site.
+            return Ok(SegmentedVaq::from_vaq(Vaq::from_bytes(data)?, SegmentPolicy::default()));
+        }
+        if crate::faults::fired("persist.from_bytes") {
+            return Err(VaqError::Injected { site: "persist.from_bytes" });
+        }
+        let mut buf = Bytes::copy_from_slice(data);
+
+        let mut magic = [0u8; 4];
+        take(&mut buf, 4)?.copy_to_slice(&mut magic);
+        if &magic != MAGIC2 {
+            return Err(bad("bad magic"));
+        }
+        let version = take(&mut buf, 4)?.get_u32_le();
+        if version != VERSION2 {
+            return Err(bad(&format!("unsupported segmented version {version}")));
+        }
+
+        // Shared model.
+        let pca = get_pca(&mut buf)?;
+        let layout = get_layout(&mut buf)?;
+        let bits = get_usize_slice(&mut buf)?;
+        if bits.len() != layout.ranges.len() {
+            return Err(bad("bits/subspace count mismatch"));
+        }
+        let codebooks = get_codebooks(&mut buf, &bits, &layout.ranges)?;
+        let encoder = Encoder { codebooks, bits: bits.clone(), ranges: layout.ranges.clone() };
+        let m = encoder.num_subspaces();
+        let default_strategy = get_strategy(&mut buf)?;
+        let ti_prefix_subspaces = take(&mut buf, 8)?.get_u64_le() as usize;
+        if !(1..=m).contains(&ti_prefix_subspaces) {
+            return Err(bad("TI prefix outside the subspace plan"));
+        }
+        let seed = take(&mut buf, 8)?.get_u64_le();
+        let model =
+            Model { pca, layout, bits, encoder, default_strategy, ti_prefix_subspaces, seed };
+
+        // Policy (re-clamped through the builders: persisted knobs are as
+        // untrusted as everything else).
+        let seal_threshold = take(&mut buf, 8)?.get_u64_le() as usize;
+        let compact_min_segments = take(&mut buf, 8)?.get_u64_le() as usize;
+        let tombstone_purge_frac = take(&mut buf, 8)?.get_f64_le();
+        let ti_clusters = take(&mut buf, 8)?.get_u64_le() as usize;
+        let mut policy = SegmentPolicy::default()
+            .with_seal_threshold(seal_threshold)
+            .with_compact_min_segments(compact_min_segments)
+            .with_tombstone_purge_frac(tombstone_purge_frac)
+            .with_ti_clusters(ti_clusters);
+        policy.background = match take(&mut buf, 1)?.get_u8() {
+            0 => false,
+            1 => true,
+            _ => return Err(bad("bad background flag")),
+        };
+
+        let next_id = take(&mut buf, 4)?.get_u32_le();
+        let nsegs = take(&mut buf, 8)?.get_u64_le() as usize;
+        let mut segments = Vec::new();
+        for s in 0..nsegs {
+            let n = take(&mut buf, 8)?.get_u64_le() as usize;
+            if n == 0 {
+                return Err(bad(&format!("segment {s} is empty")));
+            }
+            let ids = get_id_slice(&mut buf, n)?;
+            let codes = get_codes(&mut buf, n, &model.encoder)?;
+            let tombstones = get_tombstones(&mut buf, n)?;
+            let ti = get_ti(&mut buf, n)?;
+            let packed =
+                PackedCodes::pack(&codes, &model.encoder.table_sizes().collect::<Vec<_>>(), n);
+            segments.push(Segment {
+                core: Arc::new(SegmentCore { ids, codes, n, packed, ti }),
+                tombstones,
+            });
+        }
+
+        let brows = take(&mut buf, 8)?.get_u64_le() as usize;
+        let buffer = Buffer {
+            ids: get_id_slice(&mut buf, brows)?,
+            codes: get_codes(&mut buf, brows, &model.encoder)?,
+            tombstones: get_tombstones(&mut buf, brows)?,
+        };
+
+        let index = SegmentedVaq::from_parts(model, policy, segments, buffer, next_id);
+        // The file is untrusted input: run the full structural audit
+        // (VAQ101–VAQ111) and fail loud, exactly like the monolithic
+        // loader. The audit's quiescence check requires a drained buffer,
+        // so restore that invariant first — sealing only rearranges data
+        // that was already field-validated above.
+        index.normalize_after_load();
+        let report = crate::audit::Audit::audit(&index);
+        if !report.is_ok() {
+            return Err(bad(&format!(
+                "audit found {} invariant violation(s) after load",
+                report.issues().len()
+            )));
+        }
+        Ok(index)
+    }
+
+    /// Writes the segmented index to a file.
+    pub fn save(&self, path: &Path) -> Result<(), VaqError> {
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| VaqError::BadConfig(format!("write {}: {e}", path.display())))
+    }
+
+    /// Loads a segmented index from a file (either format; see
+    /// [`SegmentedVaq::from_bytes`]).
+    pub fn load(path: &Path) -> Result<SegmentedVaq, VaqError> {
+        let data = std::fs::read(path)
+            .map_err(|e| VaqError::BadConfig(format!("read {}: {e}", path.display())))?;
+        SegmentedVaq::from_bytes(&data)
+    }
+}
+
+fn put_tombstones(buf: &mut BytesMut, t: &Tombstones) {
+    buf.put_u64_le(t.dead() as u64);
+    buf.put_u64_le(t.words().len() as u64);
+    for &w in t.words() {
+        buf.put_u64_le(w);
+    }
+}
+
+fn get_tombstones(buf: &mut Bytes, n: usize) -> Result<Tombstones, VaqError> {
+    let dead = take(buf, 8)?.get_u64_le() as usize;
+    let nwords = take(buf, 8)?.get_u64_le() as usize;
+    if nwords != n.div_ceil(64) || dead > n {
+        return Err(bad("tombstone bitmap sized wrong"));
+    }
+    let mut bytes = take(buf, checked_size(nwords, 8)?)?;
+    let words: Vec<u64> = (0..nwords).map(|_| bytes.get_u64_le()).collect();
+    let popcount: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+    if popcount != dead {
+        return Err(bad("tombstone popcount disagrees with dead counter"));
+    }
+    if !n.is_multiple_of(64) {
+        if let Some(&last) = words.last() {
+            if last >> (n % 64) != 0 {
+                return Err(bad("tombstone bits set past the row count"));
+            }
+        }
+    }
+    Ok(Tombstones::from_raw(words, dead))
+}
+
+/// Reads exactly `n` little-endian `u32` ids, requiring strict ascent —
+/// the segment search path binary-searches and maps through this array.
+fn get_id_slice(buf: &mut Bytes, n: usize) -> Result<Vec<u32>, VaqError> {
+    let mut bytes = take(buf, checked_size(n, 4)?)?;
+    let ids: Vec<u32> = (0..n).map(|_| bytes.get_u32_le()).collect();
+    if !ids.windows(2).all(|w| w[0] < w[1]) {
+        return Err(bad("ids are not strictly ascending"));
+    }
+    Ok(ids)
+}
+
 fn take(buf: &mut Bytes, n: usize) -> Result<Bytes, VaqError> {
     if buf.remaining() < n {
         return Err(VaqError::BadConfig("corrupt index file: truncated".into()));
     }
     Ok(buf.split_to(n))
+}
+
+/// The uniform corruption error: every loader rejection routes through
+/// here so callers can match one variant.
+fn bad(msg: &str) -> VaqError {
+    VaqError::BadConfig(format!("corrupt index file: {msg}"))
 }
 
 /// `count * elem_size` with overflow reported as corruption — every length
@@ -291,6 +401,195 @@ fn checked_size(count: usize, elem_size: usize) -> Result<usize, VaqError> {
     count
         .checked_mul(elem_size)
         .ok_or_else(|| VaqError::BadConfig("corrupt index file: length overflow".into()))
+}
+
+fn put_pca(buf: &mut BytesMut, pca: &Pca) {
+    put_f32_slice(buf, pca.mean());
+    put_matrix(buf, pca.components());
+    put_f64_slice(buf, pca.eigenvalues());
+}
+
+fn get_pca(buf: &mut Bytes) -> Result<Pca, VaqError> {
+    let mean = get_f32_slice(buf)?;
+    let components = get_matrix(buf)?;
+    let eigenvalues = get_f64_slice(buf)?;
+    if mean.len() != components.rows() || eigenvalues.len() != components.cols() {
+        return Err(bad("pca shape mismatch"));
+    }
+    Ok(Pca::from_parts(mean, components, eigenvalues))
+}
+
+fn put_layout(buf: &mut BytesMut, layout: &SubspaceLayout) {
+    put_usize_slice(buf, &layout.perm);
+    buf.put_u64_le(layout.ranges.len() as u64);
+    for &(lo, hi) in &layout.ranges {
+        buf.put_u64_le(lo as u64);
+        buf.put_u64_le(hi as u64);
+    }
+    put_f64_slice(buf, &layout.variance_share);
+    put_f64_slice(buf, &layout.pc_share);
+}
+
+fn get_layout(buf: &mut Bytes) -> Result<SubspaceLayout, VaqError> {
+    let perm = get_usize_slice(buf)?;
+    let nranges = take(buf, 8)?.get_u64_le() as usize;
+    if nranges > perm.len().max(1) {
+        return Err(bad("too many subspace ranges"));
+    }
+    let mut ranges = Vec::with_capacity(nranges);
+    for _ in 0..nranges {
+        let lo = take(buf, 8)?.get_u64_le() as usize;
+        let hi = take(buf, 8)?.get_u64_le() as usize;
+        if lo > hi || hi > perm.len() {
+            return Err(bad("invalid subspace range"));
+        }
+        ranges.push((lo, hi));
+    }
+    let variance_share = get_f64_slice(buf)?;
+    let pc_share = get_f64_slice(buf)?;
+    if variance_share.len() != nranges || pc_share.len() != perm.len() {
+        return Err(bad("layout share lengths"));
+    }
+    Ok(SubspaceLayout { perm, ranges, variance_share, pc_share })
+}
+
+/// Reads the per-subspace codebooks, validated against the bit plan and
+/// subspace widths.
+fn get_codebooks(
+    buf: &mut Bytes,
+    bits: &[usize],
+    ranges: &[(usize, usize)],
+) -> Result<Vec<Matrix>, VaqError> {
+    let ncb = take(buf, 8)?.get_u64_le() as usize;
+    if ncb != ranges.len() {
+        return Err(bad("codebook count mismatch"));
+    }
+    let mut codebooks = Vec::with_capacity(ncb);
+    for (s, &(lo, hi)) in ranges.iter().enumerate() {
+        let cb = get_matrix(buf)?;
+        if cb.cols() != hi - lo {
+            return Err(bad(&format!("codebook {s} width mismatch")));
+        }
+        if bits[s] > crate::audit::MAX_CODE_BITS || cb.rows() > 1usize << bits[s] {
+            return Err(bad(&format!("codebook {s} larger than its bit width")));
+        }
+        codebooks.push(cb);
+    }
+    Ok(codebooks)
+}
+
+/// Reads an `n × m` code array and range-checks every code against its
+/// dictionary — anything downstream (packing, TI builds, scans) may index
+/// dictionaries by code, so out-of-range values must die here.
+fn get_codes(buf: &mut Bytes, n: usize, encoder: &Encoder) -> Result<Vec<u16>, VaqError> {
+    let m = encoder.num_subspaces();
+    let total = n.checked_mul(m).ok_or_else(|| bad("code size overflow"))?;
+    let nbytes = total.checked_mul(2).ok_or_else(|| bad("code size overflow"))?;
+    // Take the bytes *before* allocating: the header is untrusted, and
+    // a fabricated count must fail the length check, not reserve memory.
+    let mut code_bytes = take(buf, nbytes)?;
+    let mut codes = Vec::with_capacity(total);
+    for _ in 0..total {
+        codes.push(code_bytes.get_u16_le());
+    }
+    for (i, &c) in codes.iter().enumerate() {
+        let s = i % m;
+        if c as usize >= encoder.codebooks[s].rows() {
+            return Err(bad("code exceeds dictionary size"));
+        }
+    }
+    Ok(codes)
+}
+
+fn put_ti(buf: &mut BytesMut, ti: Option<&TiPartition>) {
+    match ti {
+        None => buf.put_u8(0),
+        Some(ti) => {
+            buf.put_u8(1);
+            put_matrix(buf, &ti.centroids);
+            buf.put_u64_le(ti.clusters.len() as u64);
+            for cl in &ti.clusters {
+                buf.put_u64_le(cl.len() as u64);
+                for m in cl {
+                    buf.put_u32_le(m.idx);
+                    buf.put_f32_le(m.dist);
+                }
+            }
+            buf.put_u64_le(ti.prefix_subspaces as u64);
+            buf.put_u64_le(ti.prefix_dim as u64);
+        }
+    }
+}
+
+/// Reads an optional TI partition over an `n`-row database (monolithic
+/// index or one sealed segment), validating that it partitions exactly
+/// those rows.
+fn get_ti(buf: &mut Bytes, n: usize) -> Result<Option<TiPartition>, VaqError> {
+    match take(buf, 1)?.get_u8() {
+        0 => Ok(None),
+        1 => {
+            let centroids = get_matrix(buf)?;
+            let ncl = take(buf, 8)?.get_u64_le() as usize;
+            if ncl != centroids.rows() {
+                return Err(bad("TI cluster count mismatch"));
+            }
+            // More clusters than vectors is never produced by training
+            // (and would let a zero-width centroid matrix request an
+            // enormous cluster table).
+            if ncl > n {
+                return Err(bad("TI cluster count exceeds database size"));
+            }
+            let mut clusters = Vec::with_capacity(ncl);
+            let mut members_total = 0usize;
+            for _ in 0..ncl {
+                let len = take(buf, 8)?.get_u64_le() as usize;
+                members_total =
+                    members_total.checked_add(len).ok_or_else(|| bad("TI member overflow"))?;
+                if members_total > n {
+                    return Err(bad("TI clusters exceed database size"));
+                }
+                let mut cl = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let idx = take(buf, 4)?.get_u32_le();
+                    let dist = take(buf, 4)?.get_f32_le();
+                    if idx as usize >= n {
+                        return Err(bad("TI member out of range"));
+                    }
+                    cl.push(Member { idx, dist });
+                }
+                clusters.push(cl);
+            }
+            if members_total != n {
+                return Err(bad("TI clusters do not partition the database"));
+            }
+            let prefix_subspaces = take(buf, 8)?.get_u64_le() as usize;
+            let prefix_dim = take(buf, 8)?.get_u64_le() as usize;
+            Ok(Some(TiPartition { centroids, clusters, prefix_subspaces, prefix_dim }))
+        }
+        _ => Err(bad("bad TI flag")),
+    }
+}
+
+fn put_strategy(buf: &mut BytesMut, strategy: SearchStrategy) {
+    match strategy {
+        SearchStrategy::FullScan => buf.put_u8(0),
+        SearchStrategy::EarlyAbandon => buf.put_u8(1),
+        SearchStrategy::TiEa { visit_frac } => {
+            buf.put_u8(2);
+            buf.put_f64_le(visit_frac);
+        }
+        SearchStrategy::Quantized => buf.put_u8(3),
+    }
+}
+
+fn get_strategy(buf: &mut Bytes) -> Result<SearchStrategy, VaqError> {
+    match take(buf, 1)?.get_u8() {
+        0 => Ok(SearchStrategy::FullScan),
+        1 => Ok(SearchStrategy::EarlyAbandon),
+        2 => Ok(SearchStrategy::TiEa { visit_frac: take(buf, 8)?.get_f64_le() }),
+        3 => Ok(SearchStrategy::Quantized),
+        _ => Err(bad("bad strategy tag")),
+    }
 }
 
 fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
@@ -491,5 +790,182 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(Vaq::load(std::path::Path::new("/nonexistent/vaq.idx")).is_err());
+    }
+
+    mod segmented {
+        use super::toy_data;
+        use crate::segment::{SegmentPolicy, SegmentedVaq};
+        use crate::{SearchStrategy, Vaq, VaqConfig};
+        use vaq_linalg::Matrix;
+
+        fn policy() -> SegmentPolicy {
+            SegmentPolicy::default()
+                .with_seal_threshold(40)
+                .with_compact_min_segments(3)
+                .with_ti_clusters(6)
+                .sequential()
+        }
+
+        /// A segmented index with several sealed segments, tombstones in
+        /// both a segment and the buffer, and a non-empty buffer.
+        fn populated() -> (SegmentedVaq, Matrix) {
+            let data = toy_data(300);
+            let train = data.select_rows(&(0..150).collect::<Vec<_>>());
+            let rest = data.select_rows(&(150..300).collect::<Vec<_>>());
+            let seg =
+                SegmentedVaq::train(&train, &VaqConfig::new(24, 4).with_ti_clusters(16), policy())
+                    .unwrap();
+            // Chunks of 15 against a threshold of 40: two seals fire and
+            // the last 15 rows stay in the write buffer.
+            for chunk in rest.as_slice().chunks(15 * rest.cols()) {
+                let m = Matrix::from_vec(chunk.len() / rest.cols(), rest.cols(), chunk.to_vec());
+                seg.add(&m).unwrap();
+            }
+            seg.delete(7); // sealed row
+            seg.delete(295); // buffered row
+            (seg, data)
+        }
+
+        #[test]
+        fn vaq2_round_trip_preserves_state_and_results() {
+            let (seg, data) = populated();
+            let bytes = seg.to_bytes();
+            let back = SegmentedVaq::from_bytes(&bytes).unwrap();
+            assert_eq!(back.len(), seg.len());
+            assert_eq!(back.snapshot().num_segments(), seg.snapshot().num_segments());
+            assert_eq!(back.snapshot().buffer_len(), seg.snapshot().buffer_len());
+            assert_eq!(back.policy().seal_threshold, 40);
+            assert_eq!(back.policy().compact_min_segments, 3);
+            assert!(!back.policy().background);
+            assert!(!back.contains(7) && !back.contains(295));
+            for i in (0..300).step_by(41) {
+                for strat in [
+                    SearchStrategy::FullScan,
+                    SearchStrategy::TiEa { visit_frac: 1.0 },
+                    SearchStrategy::Quantized,
+                ] {
+                    assert_eq!(
+                        seg.search_with(data.row(i), 7, strat).unwrap().0,
+                        back.search_with(data.row(i), 7, strat).unwrap().0,
+                        "row {i} {strat:?}"
+                    );
+                }
+            }
+            // Appends keep working on the loaded index (next_id restored).
+            let pre = back.len();
+            let ids = back.add(&toy_data(3)).unwrap();
+            assert!(ids.iter().all(|&id| id >= 300), "{ids:?}");
+            assert_eq!(back.len(), pre + 3);
+        }
+
+        #[test]
+        fn legacy_vaq1_file_loads_as_one_sealed_segment() {
+            let data = toy_data(250);
+            let vaq = Vaq::train(&data, &VaqConfig::new(24, 4).with_ti_clusters(16)).unwrap();
+            let back = SegmentedVaq::from_bytes(&vaq.to_bytes()).unwrap();
+            assert_eq!(back.len(), 250);
+            assert_eq!(back.snapshot().num_segments(), 1);
+            assert_eq!(back.snapshot().buffer_len(), 0);
+            for i in (0..250).step_by(23) {
+                for strat in [
+                    SearchStrategy::FullScan,
+                    SearchStrategy::EarlyAbandon,
+                    SearchStrategy::TiEa { visit_frac: 0.5 },
+                    SearchStrategy::Quantized,
+                ] {
+                    assert_eq!(
+                        vaq.search_with(data.row(i), 9, strat).0,
+                        back.search_with(data.row(i), 9, strat).unwrap().0,
+                        "row {i} {strat:?}"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn save_load_file_round_trips() {
+            let (seg, data) = populated();
+            let dir = std::env::temp_dir().join("vaq-persist-tests");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("index.vaq2");
+            seg.save(&path).unwrap();
+            let back = SegmentedVaq::load(&path).unwrap();
+            assert_eq!(seg.search(data.row(9), 5).unwrap(), back.search(data.row(9), 5).unwrap());
+        }
+
+        #[test]
+        fn rejects_corrupted_manifests() {
+            let (seg, _) = populated();
+            let mut bytes = seg.to_bytes();
+
+            // Bad magic.
+            let mut bad = bytes.clone();
+            bad[3] = b'9';
+            assert!(SegmentedVaq::from_bytes(&bad).is_err());
+
+            // Truncation at every 89th byte must error, never panic.
+            let mut at = 5;
+            while at < bytes.len() {
+                assert!(SegmentedVaq::from_bytes(&bytes[..at]).is_err(), "truncated at {at}");
+                at += 89;
+            }
+
+            // Wholesale byte shift cannot parse cleanly.
+            for b in bytes.iter_mut() {
+                *b = b.wrapping_add(13);
+            }
+            assert!(SegmentedVaq::from_bytes(&bytes).is_err());
+        }
+
+        #[test]
+        fn over_threshold_buffer_is_sealed_on_load() {
+            // A manifest can carry a buffer at or above the seal threshold
+            // (serialized mid-ingest, or with a policy edit). Use a marker
+            // threshold value, locate its unique encoding in the stream,
+            // and shrink it below the buffered row count.
+            let marker = 0x00DE_AD17u64;
+            let data = toy_data(120);
+            let seg = SegmentedVaq::train(
+                &data,
+                &VaqConfig::new(24, 4).with_ti_clusters(8),
+                SegmentPolicy::default()
+                    .with_seal_threshold(marker as usize)
+                    .with_ti_clusters(4)
+                    .sequential(),
+            )
+            .unwrap();
+            seg.add(&toy_data(50)).unwrap();
+            assert_eq!(seg.snapshot().buffer_len(), 50);
+            let mut bytes = seg.to_bytes();
+            let needle = marker.to_le_bytes();
+            let hits: Vec<usize> = bytes
+                .windows(8)
+                .enumerate()
+                .filter(|(_, w)| *w == needle)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(hits.len(), 1, "marker threshold must appear exactly once");
+            bytes[hits[0]..hits[0] + 8].copy_from_slice(&8u64.to_le_bytes());
+
+            let back = SegmentedVaq::from_bytes(&bytes).unwrap();
+            assert_eq!(back.policy().seal_threshold, 8);
+            assert!(back.snapshot().buffer_len() < 8, "loader must re-seal the buffer");
+            assert_eq!(back.len(), seg.len());
+            assert_eq!(seg.search(data.row(5), 6).unwrap(), back.search(data.row(5), 6).unwrap());
+        }
+
+        #[test]
+        fn tombstone_accounting_corruption_is_rejected() {
+            let (seg, _) = populated();
+            let clean = seg.to_bytes();
+            // Nudge the buffer's trailing tombstone word (the very end of
+            // the stream holds the buffer bitmap): flipping a bit there
+            // breaks the popcount/dead agreement.
+            let mut bytes = clean.clone();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x40;
+            let err = SegmentedVaq::from_bytes(&bytes);
+            assert!(err.is_err(), "corrupted tombstone bitmap accepted");
+        }
     }
 }

@@ -1,0 +1,1409 @@
+//! Segmented concurrent index: sealed segments, a mutable write buffer,
+//! tombstoned deletes, and background compaction (ROADMAP open item 1 —
+//! the serving-scale regime).
+//!
+//! A [`SegmentedVaq`] shares **one trained model** (PCA basis, subspace
+//! plan, bit plan, dictionaries — everything [`Vaq::train`] learns) across
+//! an LSM-like collection of data holders:
+//!
+//! * a bounded mutable **write buffer** of plain codes, scanned exactly
+//!   (early-abandon, no TI, no packing) so freshly ingested vectors are
+//!   searchable immediately;
+//! * a list of immutable **sealed segments**, each owning its own
+//!   [`PackedCodes`] blocked layout and [`TiPartition`], searched through
+//!   the same pruned paths a monolithic [`Vaq`] uses.
+//!
+//! # Snapshot semantics — no locks on the query path
+//!
+//! All index state lives in a fully immutable [`SegmentSet`] behind an
+//! `Arc`. Writers (add / delete / seal / compact) build a *new* set and
+//! swap the `Arc` while holding a writer mutex; readers either clone the
+//! current `Arc` (one brief `RwLock` read) or — via [`SegmentSearcher`] —
+//! cache the clone and re-validate it with a single atomic version load
+//! per query, so the steady-state query path takes **no lock at all**.
+//! Every operation observes one coherent snapshot; a query never sees a
+//! half-applied write.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//!   add ──▶ write buffer ──(≥ seal_threshold, background thread)──▶ seal
+//!                                                                    │
+//!            sealed segment ◀── pack codes + build per-segment TI ◀──┘
+//!                 │
+//!                 ├─ delete ──▶ tombstone bit (consulted at scan & rerank)
+//!                 │
+//!                 └─(small segments / dead_frac ≥ purge threshold)──▶
+//!                        compaction: merge neighbours, drop tombstones
+//! ```
+//!
+//! Sealing and compaction run on a background thread when the
+//! [`crate::threads`] budget allows (and [`SegmentPolicy::background`] is
+//! set); otherwise they run inline at the trigger point. A failed seal
+//! (fault site `segment.seal`) keeps the buffer queryable and retries on a
+//! later trigger; a failed compaction (`segment.compact`) keeps its input
+//! segments. All three maintenance actions emit structured events
+//! (`segment.seal` / `segment.compact` / `segment.tombstone_purge`) into
+//! the [`crate::obs`] event ring under span coverage.
+//!
+//! ```
+//! use vaq_core::{SegmentPolicy, SegmentedVaq, VaqConfig};
+//! use vaq_linalg::Matrix;
+//!
+//! let rows: Vec<Vec<f32>> = (0..96)
+//!     .map(|i| (0..6).map(|j| ((i * 5 + j) % 17) as f32 * 0.1).collect())
+//!     .collect();
+//! let data = Matrix::from_rows(&rows);
+//! let cfg = VaqConfig::new(12, 3).with_ti_clusters(8);
+//! let policy = SegmentPolicy::default().with_seal_threshold(32).sequential();
+//! let index = SegmentedVaq::train(&data, &cfg, policy).unwrap();
+//! let ids = index.add(&Matrix::from_rows(&rows[..4])).unwrap();
+//! assert!(index.delete(ids[0]));
+//! let hits = index.search(&rows[1], 5).unwrap();
+//! assert_eq!(hits.len(), 5);
+//! ```
+
+use crate::encoder::Encoder;
+use crate::engine::{IndexView, QueryEngine};
+use crate::search::{Neighbor, SearchStats, SearchStrategy};
+use crate::subspaces::SubspaceLayout;
+use crate::ti::TiPartition;
+use crate::vaq::{Vaq, VaqConfig};
+use crate::VaqError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use vaq_linalg::{Matrix, PackedCodes, Pca};
+
+// ---------------------------------------------------------------------------
+// Policy
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for segment maintenance. All thresholds are clamped to
+/// sane minima by the builders.
+#[derive(Debug, Clone)]
+pub struct SegmentPolicy {
+    /// Buffer size (rows) that triggers sealing into a new segment.
+    pub seal_threshold: usize,
+    /// Sealed-segment count that triggers merging the smallest adjacent
+    /// pair. Minimum 2.
+    pub compact_min_segments: usize,
+    /// Dead fraction of a sealed segment that triggers a tombstone purge
+    /// rewrite, in `(0, 1]`.
+    pub tombstone_purge_frac: f64,
+    /// TI clusters per sealed segment (clamped to the segment size;
+    /// `0` disables per-segment TI and the segment scans exactly).
+    pub ti_clusters: usize,
+    /// Run seal/compaction on a background thread when the
+    /// [`crate::threads`] budget allows. When `false` (or with a budget
+    /// of 1) maintenance runs inline at the trigger point —
+    /// deterministic, useful for tests.
+    pub background: bool,
+}
+
+impl Default for SegmentPolicy {
+    fn default() -> Self {
+        SegmentPolicy {
+            seal_threshold: 1024,
+            compact_min_segments: 4,
+            tombstone_purge_frac: 0.25,
+            ti_clusters: 64,
+            background: true,
+        }
+    }
+}
+
+impl SegmentPolicy {
+    /// Overrides the buffer-size seal trigger (min 1).
+    pub fn with_seal_threshold(mut self, rows: usize) -> Self {
+        self.seal_threshold = rows.max(1);
+        self
+    }
+
+    /// Overrides the segment-count compaction trigger (min 2).
+    pub fn with_compact_min_segments(mut self, count: usize) -> Self {
+        self.compact_min_segments = count.max(2);
+        self
+    }
+
+    /// Overrides the tombstone-purge dead fraction (clamped to `(0, 1]`).
+    pub fn with_tombstone_purge_frac(mut self, frac: f64) -> Self {
+        self.tombstone_purge_frac =
+            if frac.is_finite() { frac.clamp(f64::EPSILON, 1.0) } else { 1.0 };
+        self
+    }
+
+    /// Overrides the per-segment TI cluster count (0 disables).
+    pub fn with_ti_clusters(mut self, clusters: usize) -> Self {
+        self.ti_clusters = clusters;
+        self
+    }
+
+    /// Forces inline (same-thread) seal/compaction: deterministic, no
+    /// background thread.
+    pub fn sequential(mut self) -> Self {
+        self.background = false;
+        self
+    }
+
+    /// Hard cap on the buffer before writers block on the in-flight seal
+    /// (backpressure): twice the seal threshold.
+    fn backpressure_rows(&self) -> usize {
+        self.seal_threshold.saturating_mul(2).max(2)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Immutable building blocks
+// ---------------------------------------------------------------------------
+
+/// The trained model every segment shares: projection, layout, bit plan,
+/// dictionaries, and query defaults. Never mutated after construction.
+#[derive(Debug)]
+pub(crate) struct Model {
+    pub(crate) pca: Pca,
+    pub(crate) layout: SubspaceLayout,
+    pub(crate) bits: Vec<usize>,
+    pub(crate) encoder: Encoder,
+    pub(crate) default_strategy: SearchStrategy,
+    /// Prefix subspaces for per-segment TI builds.
+    pub(crate) ti_prefix_subspaces: usize,
+    /// Base RNG seed for per-segment TI sampling (xor-ed with the
+    /// segment's first id, so rebuilds are deterministic per segment).
+    pub(crate) seed: u64,
+}
+
+/// Tombstone bitmap over a segment's local rows plus a live-count cache.
+/// Cloned (O(n/64) words) whenever a delete produces a new snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Tombstones {
+    words: Vec<u64>,
+    dead: usize,
+}
+
+impl Tombstones {
+    pub(crate) fn with_len(n: usize) -> Tombstones {
+        Tombstones { words: vec![0u64; n.div_ceil(64)], dead: 0 }
+    }
+
+    pub(crate) fn is_dead(&self, i: usize) -> bool {
+        self.words.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+
+    /// Marks row `i` dead; `true` when the bit was newly set.
+    pub(crate) fn kill(&mut self, i: usize) -> bool {
+        let Some(w) = self.words.get_mut(i / 64) else { return false };
+        let mask = 1u64 << (i % 64);
+        if *w & mask != 0 {
+            return false;
+        }
+        *w |= mask;
+        self.dead += 1;
+        true
+    }
+
+    pub(crate) fn dead(&self) -> usize {
+        self.dead
+    }
+
+    /// Rebuilds a bitmap from persisted parts. The caller (the loader)
+    /// checks the sizing; the popcount/tail invariants are re-verified by
+    /// the audit that runs after every load.
+    pub(crate) fn from_raw(words: Vec<u64>, dead: usize) -> Tombstones {
+        Tombstones { words, dead }
+    }
+
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The bitmap for [`IndexView::with_dead`]; `None` while nothing is
+    /// dead so fully live segments skip the per-row check entirely.
+    fn filter(&self) -> Option<&[u64]> {
+        (self.dead > 0).then_some(self.words.as_slice())
+    }
+}
+
+/// The immutable payload of a sealed segment: codes, global ids, the
+/// blocked packing, and the per-segment TI partition. Shared by `Arc`
+/// across snapshots; only the tombstone bitmap beside it ever changes.
+#[derive(Debug)]
+pub(crate) struct SegmentCore {
+    /// Global ids, strictly ascending; `ids[local] = global`.
+    pub(crate) ids: Vec<u32>,
+    /// Row-major `n × m` codes.
+    pub(crate) codes: Vec<u16>,
+    pub(crate) n: usize,
+    pub(crate) packed: PackedCodes,
+    pub(crate) ti: Option<TiPartition>,
+}
+
+/// One sealed segment inside a snapshot: the shared immutable core plus
+/// this snapshot's tombstone bitmap.
+#[derive(Debug, Clone)]
+pub(crate) struct Segment {
+    pub(crate) core: Arc<SegmentCore>,
+    pub(crate) tombstones: Tombstones,
+}
+
+impl Segment {
+    fn live(&self) -> usize {
+        self.core.n - self.tombstones.dead()
+    }
+
+    fn dead_frac(&self) -> f64 {
+        if self.core.n == 0 {
+            0.0
+        } else {
+            self.tombstones.dead() as f64 / self.core.n as f64
+        }
+    }
+
+    /// Local row of a global id, if this segment holds it.
+    fn local_of(&self, id: u32) -> Option<usize> {
+        self.core.ids.binary_search(&id).ok()
+    }
+}
+
+/// The mutable-by-replacement write buffer: plain codes scanned exactly.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Buffer {
+    /// Global ids, strictly ascending (appends always take fresh ids).
+    pub(crate) ids: Vec<u32>,
+    /// Row-major `len × m` codes.
+    pub(crate) codes: Vec<u16>,
+    pub(crate) tombstones: Tombstones,
+}
+
+impl Buffer {
+    fn rows(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn live(&self) -> usize {
+        self.ids.len() - self.tombstones.dead()
+    }
+}
+
+/// One immutable snapshot of the whole index: sealed segments (sorted by
+/// first id, id ranges pairwise disjoint) plus the write buffer. Readers
+/// hold an `Arc<SegmentSet>`; writers install a new one atomically.
+#[derive(Debug, Clone)]
+pub struct SegmentSet {
+    pub(crate) segments: Vec<Segment>,
+    pub(crate) buffer: Arc<Buffer>,
+}
+
+impl SegmentSet {
+    /// Live (non-tombstoned) rows across segments and buffer.
+    pub fn live_len(&self) -> usize {
+        self.segments.iter().map(Segment::live).sum::<usize>() + self.buffer.live()
+    }
+
+    /// Sealed segment count.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Rows currently in the write buffer (including tombstoned ones).
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.rows()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared state + the public handle
+// ---------------------------------------------------------------------------
+
+/// Serialized writer state. Every mutation (add/delete/install) happens
+/// under this mutex; the query path never touches it.
+#[derive(Debug, Default)]
+pub(crate) struct WriterState {
+    pub(crate) next_id: u32,
+    /// A seal/compaction pass is running (background or inline); at most
+    /// one at a time.
+    maintenance: bool,
+    /// Join handle of the in-flight background pass, for backpressure
+    /// and [`SegmentedVaq::flush`].
+    inflight: Option<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) model: Arc<Model>,
+    pub(crate) policy: SegmentPolicy,
+    /// Bumped (release) after every snapshot install; searchers
+    /// re-validate their cached snapshot against it with one atomic load.
+    version: AtomicU64,
+    current: RwLock<Arc<SegmentSet>>,
+    pub(crate) writer: Mutex<WriterState>,
+}
+
+/// Poison-tolerant lock helpers: index state must stay reachable even if
+/// a panicking holder poisoned a lock (the data is a plain snapshot).
+fn wlock(shared: &Shared) -> MutexGuard<'_, WriterState> {
+    shared.writer.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_current(shared: &Shared) -> Arc<SegmentSet> {
+    shared.current.read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Installs a new snapshot. Callers mutating index *state* must hold the
+/// writer mutex around decide→install so snapshots are totally ordered.
+fn install(shared: &Shared, set: SegmentSet) {
+    let mut cur = shared.current.write().unwrap_or_else(|e| e.into_inner());
+    *cur = Arc::new(set);
+    drop(cur);
+    shared.version.fetch_add(1, Ordering::Release);
+}
+
+/// An LSM-like VAQ index supporting concurrent ingest, deletes, and
+/// lock-free snapshot queries. Cheap to clone — clones share all state.
+///
+/// See the [module docs](self) for the architecture.
+#[derive(Debug, Clone)]
+pub struct SegmentedVaq {
+    shared: Arc<Shared>,
+}
+
+impl SegmentedVaq {
+    /// Trains a model on `data` (exactly [`Vaq::train`]) and starts the
+    /// segmented index with the training set as its first sealed segment.
+    pub fn train(
+        data: &Matrix,
+        cfg: &VaqConfig,
+        policy: SegmentPolicy,
+    ) -> Result<SegmentedVaq, VaqError> {
+        let vaq = Vaq::train(data, cfg)?;
+        let mut this = SegmentedVaq::from_vaq(vaq, policy);
+        // `from_vaq` cannot see the config; thread the seed through for
+        // deterministic per-segment TI sampling.
+        if let Some(shared) = Arc::get_mut(&mut this.shared) {
+            if let Some(model) = Arc::get_mut(&mut shared.model) {
+                model.seed = cfg.seed;
+            }
+        }
+        Ok(this)
+    }
+
+    /// Wraps an already-trained [`Vaq`] as a segmented index whose entire
+    /// database becomes sealed segment 0 (ids `0..n`), keeping the
+    /// original TI partition and blocked packing — searches return
+    /// exactly what the monolithic index returned.
+    pub fn from_vaq(vaq: Vaq, policy: SegmentPolicy) -> SegmentedVaq {
+        let Vaq { pca, layout, bits, encoder, codes, n, ti, default_strategy, packed } = vaq;
+        let ti_prefix_subspaces = ti
+            .as_ref()
+            .map(|t| t.prefix_subspaces())
+            .unwrap_or(8)
+            .clamp(1, encoder.num_subspaces());
+        let model = Arc::new(Model {
+            pca,
+            layout,
+            bits,
+            encoder,
+            default_strategy,
+            ti_prefix_subspaces,
+            seed: 0x5eed,
+        });
+        let segments = if n > 0 {
+            let core = SegmentCore { ids: (0..n as u32).collect(), codes, n, packed, ti };
+            vec![Segment { core: Arc::new(core), tombstones: Tombstones::with_len(n) }]
+        } else {
+            Vec::new()
+        };
+        let set = SegmentSet { segments, buffer: Arc::new(Buffer::default()) };
+        SegmentedVaq {
+            shared: Arc::new(Shared {
+                model,
+                policy,
+                version: AtomicU64::new(0),
+                current: RwLock::new(Arc::new(set)),
+                writer: Mutex::new(WriterState { next_id: n as u32, ..WriterState::default() }),
+            }),
+        }
+    }
+
+    /// Reconstructs from persisted parts (see `crate::persist`).
+    pub(crate) fn from_parts(
+        model: Model,
+        policy: SegmentPolicy,
+        segments: Vec<Segment>,
+        buffer: Buffer,
+        next_id: u32,
+    ) -> SegmentedVaq {
+        let set = SegmentSet { segments, buffer: Arc::new(buffer) };
+        SegmentedVaq {
+            shared: Arc::new(Shared {
+                model: Arc::new(model),
+                policy,
+                version: AtomicU64::new(0),
+                current: RwLock::new(Arc::new(set)),
+                writer: Mutex::new(WriterState { next_id, ..WriterState::default() }),
+            }),
+        }
+    }
+
+    /// The maintenance policy.
+    pub fn policy(&self) -> &SegmentPolicy {
+        &self.shared.policy
+    }
+
+    /// The current snapshot (cheap: one `RwLock` read + `Arc` clone).
+    pub fn snapshot(&self) -> Arc<SegmentSet> {
+        read_current(&self.shared)
+    }
+
+    pub(crate) fn shared_model(&self) -> &Model {
+        &self.shared.model
+    }
+
+    /// Writer-state probe for the audit: `(next_id, maintenance pass in
+    /// flight)`, read atomically under the writer lock.
+    pub(crate) fn writer_probe(&self) -> (u32, bool) {
+        let st = wlock(&self.shared);
+        (st.next_id, st.maintenance)
+    }
+
+    /// A mutually consistent `(snapshot, next_id)` pair for serialization,
+    /// read under the writer lock so no add can slip between the two.
+    pub(crate) fn persist_snapshot(&self) -> (Arc<SegmentSet>, u32) {
+        let st = wlock(&self.shared);
+        (read_current(&self.shared), st.next_id)
+    }
+
+    /// Restores the VAQ111 quiescence invariant after a load: an index
+    /// serialized mid-ingest can carry a buffer at or above the seal
+    /// threshold, which a live index only exhibits while a maintenance
+    /// pass is in flight. Seal it down synchronously.
+    pub(crate) fn normalize_after_load(&self) {
+        let claimed = {
+            let mut st = wlock(&self.shared);
+            let pending = !st.maintenance
+                && read_current(&self.shared).buffer.rows() >= self.shared.policy.seal_threshold;
+            if pending {
+                st.maintenance = true;
+            }
+            pending
+        };
+        if claimed {
+            maintenance_task(&self.shared);
+        }
+    }
+
+    /// Live (non-deleted) vector count.
+    pub fn len(&self) -> usize {
+        self.snapshot().live_len()
+    }
+
+    /// `true` when no live vectors remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global ids of every live vector, ascending.
+    pub fn live_ids(&self) -> Vec<u32> {
+        let set = self.snapshot();
+        let mut out = Vec::with_capacity(set.live_len());
+        for seg in &set.segments {
+            out.extend(
+                seg.core
+                    .ids
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| !seg.tombstones.is_dead(i))
+                    .map(|(_, &id)| id),
+            );
+        }
+        out.extend(
+            set.buffer
+                .ids
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !set.buffer.tombstones.is_dead(i))
+                .map(|(_, &id)| id),
+        );
+        out
+    }
+
+    /// `true` when `id` exists and is not tombstoned.
+    pub fn contains(&self, id: u32) -> bool {
+        let set = self.snapshot();
+        for seg in &set.segments {
+            if let Some(local) = seg.local_of(id) {
+                return !seg.tombstones.is_dead(local);
+            }
+        }
+        if let Ok(local) = set.buffer.ids.binary_search(&id) {
+            return !set.buffer.tombstones.is_dead(local);
+        }
+        false
+    }
+
+    /// Encodes and appends the rows of `data` into the write buffer,
+    /// returning their assigned global ids. The rows are searchable as
+    /// soon as this returns; sealing happens asynchronously (or inline
+    /// under a [`SegmentPolicy::sequential`] policy). Writers block only
+    /// when the buffer outruns the in-flight seal by 2× the threshold
+    /// (backpressure).
+    pub fn add(&self, data: &Matrix) -> Result<Vec<u32>, VaqError> {
+        let model = &self.shared.model;
+        if data.cols() != model.pca.dim() {
+            return Err(VaqError::BadConfig(format!(
+                "appended vectors have {} dims, index expects {}",
+                data.cols(),
+                model.pca.dim()
+            )));
+        }
+        if data.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        // Encoding is lock-free: the model is immutable.
+        let projected = model.pca.transform(data)?;
+        let new_codes = model.encoder.encode_all(&projected);
+
+        let mut run_inline = false;
+        let mut join_for_backpressure = None;
+        let ids: Vec<u32>;
+        {
+            let mut st = wlock(&self.shared);
+            let rows = data.rows() as u64;
+            if u64::from(st.next_id) + rows > u64::from(u32::MAX) {
+                return Err(VaqError::BadConfig("id space exhausted (u32 ids)".into()));
+            }
+            let first = st.next_id;
+            st.next_id += data.rows() as u32;
+            ids = (first..st.next_id).collect();
+
+            let cur = read_current(&self.shared);
+            let mut buffer = (*cur.buffer).clone();
+            buffer.ids.extend_from_slice(&ids);
+            buffer.codes.extend_from_slice(&new_codes);
+            buffer.tombstones = {
+                let mut t = Tombstones::with_len(buffer.ids.len());
+                t.words[..cur.buffer.tombstones.words().len()]
+                    .copy_from_slice(cur.buffer.tombstones.words());
+                t.dead = cur.buffer.tombstones.dead();
+                t
+            };
+            let buffered = buffer.rows();
+            install(
+                &self.shared,
+                SegmentSet { segments: cur.segments.clone(), buffer: Arc::new(buffer) },
+            );
+
+            if buffered >= self.shared.policy.seal_threshold && !st.maintenance {
+                st.maintenance = true;
+                run_inline = !self.spawn_maintenance(&mut st);
+            } else if st.maintenance && buffered >= self.shared.policy.backpressure_rows() {
+                join_for_backpressure = st.inflight.take();
+            }
+        }
+        if run_inline {
+            maintenance_task(&self.shared);
+        }
+        if let Some(handle) = join_for_backpressure {
+            let _ = handle.join();
+        }
+        Ok(ids)
+    }
+
+    /// Tombstones `id`. Returns `true` when the id existed and was live.
+    /// The row stops appearing in queries with the next snapshot; its
+    /// storage is reclaimed by compaction.
+    pub fn delete(&self, id: u32) -> bool {
+        let mut run_inline = false;
+        let killed;
+        {
+            let mut st = wlock(&self.shared);
+            let cur = read_current(&self.shared);
+            let mut purge_eligible = false;
+            let mut next: Option<SegmentSet> = None;
+            if let Some(pos) = cur.segments.iter().position(|seg| seg.local_of(id).is_some()) {
+                let seg = &cur.segments[pos];
+                // `local_of` succeeded above.
+                let Some(local) = seg.local_of(id) else { return false };
+                let mut tombstones = seg.tombstones.clone();
+                if tombstones.kill(local) {
+                    let mut segments = cur.segments.clone();
+                    segments[pos] = Segment { core: Arc::clone(&seg.core), tombstones };
+                    purge_eligible =
+                        segments[pos].dead_frac() >= self.shared.policy.tombstone_purge_frac;
+                    next = Some(SegmentSet { segments, buffer: Arc::clone(&cur.buffer) });
+                }
+            } else if let Ok(local) = cur.buffer.ids.binary_search(&id) {
+                let mut buffer = (*cur.buffer).clone();
+                if buffer.tombstones.kill(local) {
+                    next = Some(SegmentSet {
+                        segments: cur.segments.clone(),
+                        buffer: Arc::new(buffer),
+                    });
+                }
+            }
+            killed = next.is_some();
+            if let Some(set) = next {
+                install(&self.shared, set);
+            }
+            if purge_eligible && !st.maintenance {
+                st.maintenance = true;
+                run_inline = !self.spawn_maintenance(&mut st);
+            }
+        }
+        if run_inline {
+            maintenance_task(&self.shared);
+        }
+        killed
+    }
+
+    /// Replaces `id` with a re-encoded `vector`: tombstones the old row
+    /// and appends the new one under a fresh id (returned). `Ok(None)`
+    /// when `id` was not live. The two steps are individually atomic but
+    /// a concurrent reader may observe the gap between them.
+    pub fn update(&self, id: u32, vector: &[f32]) -> Result<Option<u32>, VaqError> {
+        if !self.delete(id) {
+            return Ok(None);
+        }
+        let ids = self.add(&Matrix::from_rows(&[vector.to_vec()]))?;
+        Ok(ids.first().copied())
+    }
+
+    /// Searches with the model's default strategy. Convenience wrapper —
+    /// query loops should hold a [`SegmentedVaq::searcher`] instead.
+    pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, VaqError> {
+        Ok(self.search_with(query, k, self.shared.model.default_strategy)?.0)
+    }
+
+    /// Searches with an explicit strategy, returning work counters summed
+    /// over all segments plus the buffer.
+    pub fn search_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        strategy: SearchStrategy,
+    ) -> Result<(Vec<Neighbor>, SearchStats), VaqError> {
+        let set = self.snapshot();
+        let mut engine = QueryEngine::new();
+        search_set(&self.shared.model, &set, &mut engine, query, k, strategy)
+    }
+
+    /// A reusable per-thread query handle: caches the snapshot and the
+    /// table arena, so the steady-state query path performs one relaxed
+    /// atomic load and zero locks/allocations.
+    pub fn searcher(&self) -> SegmentSearcher {
+        let set = self.snapshot();
+        SegmentSearcher {
+            shared: Arc::clone(&self.shared),
+            version: self.shared.version.load(Ordering::Acquire),
+            set,
+            engine: QueryEngine::new(),
+        }
+    }
+
+    /// Drains pending maintenance synchronously: joins any in-flight
+    /// background pass, then seals and compacts inline until the buffer
+    /// is below the seal threshold and no compaction is eligible. Queries
+    /// keep running throughout.
+    pub fn flush(&self) {
+        loop {
+            let (handle, claimed) = {
+                let mut st = wlock(&self.shared);
+                let handle = st.inflight.take();
+                if handle.is_some() {
+                    (handle, false)
+                } else if st.maintenance {
+                    // An inline pass on another thread: wait and re-check.
+                    (None, false)
+                } else {
+                    let cur = read_current(&self.shared);
+                    let pending = cur.buffer.rows() >= self.shared.policy.seal_threshold
+                        || pick_compaction(&cur, &self.shared.policy).is_some();
+                    if pending {
+                        st.maintenance = true;
+                    }
+                    if !pending {
+                        return;
+                    }
+                    (None, true)
+                }
+            };
+            if let Some(h) = handle {
+                let _ = h.join();
+            } else if claimed {
+                maintenance_task(&self.shared);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Spawns the maintenance pass on a background thread when the policy
+    /// and thread budget allow; returns `false` when the caller must run
+    /// it inline. The `maintenance` flag must already be claimed.
+    fn spawn_maintenance(&self, st: &mut WriterState) -> bool {
+        if !self.shared.policy.background || crate::threads::thread_budget() <= 1 {
+            return false;
+        }
+        let shared = Arc::clone(&self.shared);
+        match std::thread::Builder::new()
+            .name("vaq-segment-maintenance".into())
+            .spawn(move || maintenance_task(&shared))
+        {
+            Ok(handle) => {
+                st.inflight = Some(handle);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query fan-out
+// ---------------------------------------------------------------------------
+
+/// A snapshot-caching query handle. `search` re-validates the cached
+/// snapshot with one atomic version load; only when a writer installed a
+/// new snapshot does it take the brief `RwLock` read to re-clone. Hold
+/// one per query thread.
+#[derive(Debug)]
+pub struct SegmentSearcher {
+    shared: Arc<Shared>,
+    version: u64,
+    set: Arc<SegmentSet>,
+    engine: QueryEngine,
+}
+
+impl SegmentSearcher {
+    /// Re-validates the cached snapshot (one atomic load; re-clones only
+    /// after a write). Called automatically by the search methods.
+    pub fn refresh(&mut self) {
+        let v = self.shared.version.load(Ordering::Acquire);
+        if v != self.version {
+            self.set = read_current(&self.shared);
+            self.version = v;
+        }
+    }
+
+    /// The snapshot this searcher currently queries.
+    pub fn snapshot(&self) -> &SegmentSet {
+        &self.set
+    }
+
+    /// Searches with the model's default strategy.
+    pub fn search(&mut self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, VaqError> {
+        let strategy = self.shared.model.default_strategy;
+        Ok(self.search_with(query, k, strategy)?.0)
+    }
+
+    /// Searches with an explicit strategy.
+    pub fn search_with(
+        &mut self,
+        query: &[f32],
+        k: usize,
+        strategy: SearchStrategy,
+    ) -> Result<(Vec<Neighbor>, SearchStats), VaqError> {
+        self.refresh();
+        search_set(&self.shared.model, &self.set, &mut self.engine, query, k, strategy)
+    }
+}
+
+/// Fans one query out over every segment plus the buffer and k-way-merges
+/// the partial top-k (sort by `(distance, global id)`, truncate). Stats
+/// are summed; distances come back in metric (unsquared) space.
+fn search_set(
+    model: &Model,
+    set: &SegmentSet,
+    engine: &mut QueryEngine,
+    query: &[f32],
+    k: usize,
+    strategy: SearchStrategy,
+) -> Result<(Vec<Neighbor>, SearchStats), VaqError> {
+    let projected = model.pca.transform_vec(query)?;
+    let mut stats = SearchStats::default();
+    let mut merged: Vec<Neighbor> = Vec::new();
+    for seg in &set.segments {
+        if seg.live() == 0 {
+            continue;
+        }
+        let view = IndexView::from_encoder(&model.encoder, &seg.core.codes, seg.core.n)
+            .with_ti(seg.core.ti.as_ref())
+            .with_packed(Some(&seg.core.packed))
+            .with_dead(seg.tombstones.filter());
+        let (part, s) = engine.search_squared(&view, &projected, k, strategy);
+        stats += s;
+        merged.extend(
+            part.into_iter().map(|nb| Neighbor { index: seg.core.ids[nb.index as usize], ..nb }),
+        );
+    }
+    if set.buffer.live() > 0 {
+        // The buffer has no TI partition and no packing: it is scanned
+        // *exactly* with early abandoning, whatever the segment strategy.
+        let buf_strategy = match strategy {
+            SearchStrategy::TiEa { .. } | SearchStrategy::Quantized => SearchStrategy::EarlyAbandon,
+            exact => exact,
+        };
+        let view = IndexView::from_encoder(&model.encoder, &set.buffer.codes, set.buffer.rows())
+            .with_dead(set.buffer.tombstones.filter());
+        let (part, s) = engine.search_squared(&view, &projected, k, buf_strategy);
+        stats += s;
+        merged.extend(
+            part.into_iter().map(|nb| Neighbor { index: set.buffer.ids[nb.index as usize], ..nb }),
+        );
+    }
+    merged.sort();
+    merged.truncate(k);
+    for nb in merged.iter_mut() {
+        nb.distance = nb.distance.max(0.0).sqrt();
+    }
+    Ok((merged, stats))
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance: seal + compaction
+// ---------------------------------------------------------------------------
+
+/// One maintenance pass: seal the frozen buffer, compact until quiescent,
+/// and repeat while writers refilled the buffer past the threshold in the
+/// meantime. Runs on the background thread or inline; the `maintenance`
+/// flag is held for the whole pass and cleared at the end — the final
+/// re-check happens under the writer lock, so whenever the flag is down
+/// the buffer is below the seal threshold (audit code VAQ111). A failed
+/// (fault-injected) seal ends the pass instead of retrying hot; the next
+/// add/flush trigger retries it.
+fn maintenance_task(shared: &Arc<Shared>) {
+    loop {
+        let sealed = seal_step(shared);
+        compact_step(shared);
+        let mut st = wlock(shared);
+        let drained = read_current(shared).buffer.rows() < shared.policy.seal_threshold.max(1);
+        if drained || !sealed {
+            st.maintenance = false;
+            return;
+        }
+    }
+}
+
+/// Packs the current buffer prefix into a new sealed segment. The
+/// expensive work (packing + per-segment TI build) runs without any lock
+/// against a frozen prefix — adds only append past it and deletes only
+/// set bits, which are re-read at install time. A failed seal (fault
+/// site `segment.seal`) keeps the buffer intact and queryable and
+/// returns `false` so the maintenance loop gives up instead of spinning.
+fn seal_step(shared: &Arc<Shared>) -> bool {
+    let frozen = read_current(shared);
+    let rows = frozen.buffer.rows();
+    if rows == 0 {
+        return true;
+    }
+    let _span = crate::obs::span("segment.seal");
+    if crate::faults::fired("segment.seal") {
+        crate::faults::note_degradation("segment.seal: seal failed, write buffer retained");
+        return false;
+    }
+    let core = build_core(
+        &shared.model,
+        &shared.policy,
+        frozen.buffer.ids.clone(),
+        frozen.buffer.codes.clone(),
+    );
+
+    let _st = wlock(shared);
+    let cur = read_current(shared);
+    // The frozen prefix is still the buffer's prefix (appends only grow
+    // it); carry over any tombstones set while the build ran.
+    let mut tombstones = Tombstones::with_len(rows);
+    for i in 0..rows {
+        if cur.buffer.tombstones.is_dead(i) {
+            tombstones.kill(i);
+        }
+    }
+    let m = shared.model.encoder.num_subspaces();
+    let mut rest = Buffer {
+        ids: cur.buffer.ids[rows..].to_vec(),
+        codes: cur.buffer.codes[rows * m..].to_vec(),
+        tombstones: Tombstones::with_len(cur.buffer.rows() - rows),
+    };
+    for i in rows..cur.buffer.rows() {
+        if cur.buffer.tombstones.is_dead(i) {
+            rest.tombstones.kill(i - rows);
+        }
+    }
+    let mut segments = cur.segments.clone();
+    segments.push(Segment { core: Arc::new(core), tombstones });
+    let total = segments.len();
+    install(shared, SegmentSet { segments, buffer: Arc::new(rest) });
+    crate::obs::event("segment.seal", &format!("sealed {rows} rows; {total} segments"));
+    true
+}
+
+/// What the compaction loop should do next, against one snapshot.
+enum CompactionJob {
+    /// Rewrite segment `i` dropping its tombstoned rows.
+    Purge(usize),
+    /// Merge adjacent segments `i` and `i + 1`.
+    Merge(usize),
+}
+
+fn pick_compaction(set: &SegmentSet, policy: &SegmentPolicy) -> Option<CompactionJob> {
+    // Purges first: they shrink data and can unblock better merges.
+    for (i, seg) in set.segments.iter().enumerate() {
+        if seg.tombstones.dead() > 0 && seg.dead_frac() >= policy.tombstone_purge_frac {
+            return Some(CompactionJob::Purge(i));
+        }
+    }
+    if set.segments.len() >= policy.compact_min_segments {
+        // Merge the adjacent pair with the fewest combined live rows —
+        // adjacency keeps per-segment id ranges disjoint and ascending.
+        let best = set
+            .segments
+            .windows(2)
+            .enumerate()
+            .min_by_key(|(_, w)| w[0].live() + w[1].live())
+            .map(|(i, _)| i);
+        if let Some(i) = best {
+            return Some(CompactionJob::Merge(i));
+        }
+    }
+    None
+}
+
+/// Merges small adjacent segments and purges tombstones until no job is
+/// eligible. Each rebuild runs without locks against a frozen snapshot;
+/// deletes that land during the rebuild are re-applied at install. A
+/// failed compaction (fault site `segment.compact`) keeps its inputs.
+fn compact_step(shared: &Arc<Shared>) {
+    loop {
+        let frozen = read_current(shared);
+        let Some(job) = pick_compaction(&frozen, &shared.policy) else { return };
+        let _span = crate::obs::span("segment.compact");
+        if crate::faults::fired("segment.compact") {
+            crate::faults::note_degradation(
+                "segment.compact: compaction failed, input segments retained",
+            );
+            return;
+        }
+        let (pos, len, kind) = match job {
+            CompactionJob::Purge(i) => (i, 1usize, "segment.tombstone_purge"),
+            CompactionJob::Merge(i) => (i, 2usize, "segment.compact"),
+        };
+        let srcs = &frozen.segments[pos..pos + len];
+        // Gather live rows (at freeze time) in id order, remembering the
+        // (segment, local) source of every merged row so deletes that
+        // raced the rebuild can be re-applied at install.
+        let m = shared.model.encoder.num_subspaces();
+        let mut ids = Vec::new();
+        let mut codes = Vec::new();
+        let mut origins: Vec<(usize, usize)> = Vec::new();
+        for (s, seg) in srcs.iter().enumerate() {
+            for local in 0..seg.core.n {
+                if seg.tombstones.is_dead(local) {
+                    continue;
+                }
+                ids.push(seg.core.ids[local]);
+                codes.extend_from_slice(&seg.core.codes[local * m..(local + 1) * m]);
+                origins.push((pos + s, local));
+            }
+        }
+        let dropped: usize = srcs.iter().map(|s| s.tombstones.dead()).sum();
+        let merged =
+            (!ids.is_empty()).then(|| build_core(&shared.model, &shared.policy, ids, codes));
+
+        let _st = wlock(shared);
+        let cur = read_current(shared);
+        // Only one maintenance pass runs at a time and nothing else
+        // restructures `segments`, so positions are stable; verify the
+        // cores anyway and abort (inputs retained) on any surprise.
+        let stable = cur.segments.len() == frozen.segments.len()
+            && (pos..pos + len)
+                .all(|i| Arc::ptr_eq(&cur.segments[i].core, &frozen.segments[i].core));
+        if !stable {
+            crate::faults::note_degradation(
+                "segment.compact: snapshot changed shape mid-rebuild, inputs retained",
+            );
+            return;
+        }
+        let mut segments: Vec<Segment> = Vec::with_capacity(cur.segments.len());
+        segments.extend_from_slice(&cur.segments[..pos]);
+        if let Some(core) = merged {
+            let mut tombstones = Tombstones::with_len(core.n);
+            for (row, &(s, local)) in origins.iter().enumerate() {
+                if cur.segments[s].tombstones.is_dead(local) {
+                    tombstones.kill(row);
+                }
+            }
+            segments.push(Segment { core: Arc::new(core), tombstones });
+        }
+        segments.extend_from_slice(&cur.segments[pos + len..]);
+        let total = segments.len();
+        install(shared, SegmentSet { segments, buffer: Arc::clone(&cur.buffer) });
+        crate::obs::event(
+            kind,
+            &format!("compacted {len} segment(s), purged {dropped} rows; {total} segments"),
+        );
+    }
+}
+
+/// Builds a sealed segment's immutable payload: the blocked packing plus
+/// a per-segment TI partition (best-effort — a TI failure degrades the
+/// segment to exact scans, mirroring `ti.build` at train time).
+fn build_core(
+    model: &Model,
+    policy: &SegmentPolicy,
+    ids: Vec<u32>,
+    codes: Vec<u16>,
+) -> SegmentCore {
+    let n = ids.len();
+    let sizes: Vec<usize> = model.encoder.table_sizes().collect();
+    let packed = PackedCodes::pack(&codes, &sizes, n);
+    let ti = if policy.ti_clusters > 0 && n > 0 {
+        let seed = model.seed ^ u64::from(ids.first().copied().unwrap_or(0)).rotate_left(17);
+        match TiPartition::build(
+            &model.encoder,
+            &codes,
+            n,
+            policy.ti_clusters.min(n),
+            model.ti_prefix_subspaces,
+            seed,
+        ) {
+            Ok(ti) => Some(ti),
+            Err(_) => {
+                crate::faults::note_degradation(
+                    "segment.seal: per-segment TI build failed, segment scans exactly",
+                );
+                None
+            }
+        }
+    } else {
+        None
+    };
+    SegmentCore { ids, codes, n, packed, ti }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(d);
+            for j in 0..d {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = ((s >> 40) as f32 / (1u32 << 23) as f32) - 1.0;
+                row.push(v * 2.0 / (1.0 + j as f32 * 0.25));
+            }
+            rows.push(row);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    fn cfg() -> VaqConfig {
+        VaqConfig::new(20, 4).with_ti_clusters(16)
+    }
+
+    fn policy() -> SegmentPolicy {
+        SegmentPolicy::default()
+            .with_seal_threshold(48)
+            .with_compact_min_segments(3)
+            .with_ti_clusters(8)
+            .sequential()
+    }
+
+    fn ids_of(hits: &[Neighbor]) -> Vec<u32> {
+        hits.iter().map(|h| h.index).collect()
+    }
+
+    #[test]
+    fn single_segment_matches_the_monolithic_index() {
+        let data = toy_data(300, 10, 3);
+        let vaq = Vaq::train(&data, &cfg()).unwrap();
+        let seg = SegmentedVaq::from_vaq(vaq.clone(), policy());
+        for qi in [0usize, 77, 250] {
+            let q = data.row(qi);
+            for strategy in [
+                SearchStrategy::FullScan,
+                SearchStrategy::EarlyAbandon,
+                SearchStrategy::TiEa { visit_frac: 1.0 },
+                SearchStrategy::Quantized,
+            ] {
+                let mono = vaq.search_with(q, 10, strategy).0;
+                let segd = seg.search_with(q, 10, strategy).unwrap().0;
+                assert_eq!(mono, segd, "query {qi} {strategy:?}");
+            }
+            // The default-strategy entry point agrees too.
+            assert_eq!(vaq.search(q, 5), seg.search(q, 5).unwrap(), "query {qi} default");
+        }
+    }
+
+    #[test]
+    fn adds_cross_seal_boundaries_and_stay_exact() {
+        let data = toy_data(400, 8, 9);
+        let (train, rest) = (toy_data(120, 8, 9), toy_data(280, 8, 77));
+        let _ = data;
+        let seg = SegmentedVaq::train(&train, &cfg(), policy()).unwrap();
+        // A monolithic oracle over the same rows (FullScan is exact).
+        let mut oracle = Vaq::train(&train, &cfg()).unwrap();
+        for chunk in 0..7 {
+            let rows: Vec<Vec<f32>> = (0..40).map(|i| rest.row(chunk * 40 + i).to_vec()).collect();
+            let batch = Matrix::from_rows(&rows);
+            let ids = seg.add(&batch).unwrap();
+            assert_eq!(ids.len(), 40);
+            oracle.add(&batch).unwrap();
+        }
+        let snap = seg.snapshot();
+        assert!(snap.num_segments() > 1, "sealing never triggered");
+        assert!(snap.buffer_len() < seg.policy().seal_threshold);
+        assert_eq!(seg.len(), 400);
+        for qi in [0usize, 50, 150] {
+            let q = rest.row(qi);
+            let mono = oracle.search_with(q, 12, SearchStrategy::FullScan).0;
+            let segd = seg.search_with(q, 12, SearchStrategy::FullScan).unwrap().0;
+            assert_eq!(mono, segd, "query {qi}");
+            // The pruned strategies agree with the exact scan.
+            let tiea = seg.search_with(q, 12, SearchStrategy::TiEa { visit_frac: 1.0 }).unwrap().0;
+            let qz = seg.search_with(q, 12, SearchStrategy::Quantized).unwrap().0;
+            assert_eq!(ids_of(&segd), ids_of(&tiea), "query {qi} TiEa");
+            assert_eq!(ids_of(&segd), ids_of(&qz), "query {qi} Quantized");
+        }
+    }
+
+    #[test]
+    fn deletes_hide_rows_in_buffer_and_sealed_segments() {
+        let train = toy_data(100, 8, 5);
+        let seg = SegmentedVaq::train(&train, &cfg(), policy()).unwrap();
+        let extra = toy_data(10, 8, 6);
+        let new_ids = seg.add(&extra).unwrap();
+
+        // Sealed-segment delete: row 7's nearest neighbor is itself.
+        let q = train.row(7).to_vec();
+        assert_eq!(seg.search(&q, 1).unwrap()[0].index, 7);
+        assert!(seg.delete(7));
+        assert!(!seg.delete(7), "double delete must report false");
+        assert!(!seg.contains(7));
+        assert_ne!(seg.search(&q, 1).unwrap()[0].index, 7);
+
+        // Buffer delete.
+        let qb = extra.row(0).to_vec();
+        assert_eq!(seg.search(&qb, 1).unwrap()[0].index, new_ids[0]);
+        assert!(seg.delete(new_ids[0]));
+        assert_ne!(seg.search(&qb, 1).unwrap()[0].index, new_ids[0]);
+
+        assert_eq!(seg.len(), 108);
+        assert!(!seg.delete(9_999), "unknown id");
+    }
+
+    #[test]
+    fn update_moves_a_row_to_a_fresh_id() {
+        let train = toy_data(80, 6, 11);
+        let seg = SegmentedVaq::train(&train, &cfg(), policy()).unwrap();
+        let moved = vec![9.0f32; 6];
+        let new_id = seg.update(3, &moved).unwrap().unwrap();
+        assert!(new_id >= 80);
+        assert!(!seg.contains(3));
+        assert_eq!(seg.search(&moved, 1).unwrap()[0].index, new_id);
+        assert_eq!(seg.update(3, &moved).unwrap(), None, "stale id");
+        assert_eq!(seg.len(), 80);
+    }
+
+    #[test]
+    fn compaction_merges_small_segments_and_purges_tombstones() {
+        let train = toy_data(60, 8, 21);
+        let pol = SegmentPolicy::default()
+            .with_seal_threshold(30)
+            .with_compact_min_segments(3)
+            .with_tombstone_purge_frac(0.3)
+            .with_ti_clusters(4)
+            .sequential();
+        let seg = SegmentedVaq::train(&train, &cfg(), pol).unwrap();
+        let more = toy_data(120, 8, 22);
+        seg.add(&more).unwrap();
+        seg.flush();
+        let snap = seg.snapshot();
+        assert!(
+            snap.num_segments() < 3,
+            "compaction should keep the segment count below the trigger, got {}",
+            snap.num_segments()
+        );
+        assert_eq!(seg.len(), 180);
+
+        // Deleting >30% of one segment triggers a purge that physically
+        // drops the rows.
+        let victim_ids: Vec<u32> = seg.live_ids().into_iter().take(70).collect();
+        for id in &victim_ids {
+            seg.delete(*id);
+        }
+        seg.flush();
+        let snap = seg.snapshot();
+        let total_rows: usize = snap.segments.iter().map(|s| s.core.n).sum::<usize>();
+        let total_dead: usize = snap.segments.iter().map(|s| s.tombstones.dead()).sum::<usize>();
+        assert_eq!(seg.len(), 110);
+        assert_eq!(total_rows - total_dead + snap.buffer.live(), 110);
+        assert!(
+            total_dead < victim_ids.len(),
+            "purge never reclaimed tombstoned rows (dead = {total_dead})"
+        );
+        // Results stay exact after compaction.
+        let q = more.row(119);
+        let full = seg.search_with(q, 8, SearchStrategy::FullScan).unwrap().0;
+        let tiea = seg.search_with(q, 8, SearchStrategy::TiEa { visit_frac: 1.0 }).unwrap().0;
+        assert_eq!(ids_of(&full), ids_of(&tiea));
+        for h in &full {
+            assert!(seg.contains(h.index), "returned a purged/tombstoned id {}", h.index);
+        }
+    }
+
+    #[test]
+    fn searcher_sees_new_snapshots_after_refresh() {
+        let train = toy_data(64, 6, 31);
+        let seg = SegmentedVaq::train(&train, &cfg(), policy()).unwrap();
+        let mut searcher = seg.searcher();
+        let probe = vec![0.2f32; 6];
+        let before = searcher.search(&probe, 3).unwrap();
+        let spike = Matrix::from_rows(&[vec![0.2f32; 6]]);
+        let id = seg.add(&spike).unwrap()[0];
+        let after = searcher.search(&probe, 3).unwrap();
+        assert_ne!(before, after, "searcher never observed the add");
+        assert_eq!(after[0].index, id);
+        seg.delete(id);
+        let gone = searcher.search(&probe, 3).unwrap();
+        assert!(gone.iter().all(|h| h.index != id), "searcher saw a tombstoned row");
+    }
+
+    #[test]
+    fn background_seal_keeps_queries_exact() {
+        let train = toy_data(100, 8, 41);
+        let pol = SegmentPolicy::default()
+            .with_seal_threshold(32)
+            .with_compact_min_segments(4)
+            .with_ti_clusters(4); // background stays on
+        let seg = SegmentedVaq::train(&train, &cfg(), pol).unwrap();
+        let more = toy_data(200, 8, 42);
+        let mut oracle = Vaq::train(&train, &cfg()).unwrap();
+        oracle.add(&more).unwrap();
+        for c in 0..10 {
+            let rows: Vec<Vec<f32>> = (0..20).map(|i| more.row(c * 20 + i).to_vec()).collect();
+            seg.add(&Matrix::from_rows(&rows)).unwrap();
+        }
+        seg.flush();
+        assert_eq!(seg.len(), 300);
+        for qi in [0usize, 99, 199] {
+            let q = more.row(qi);
+            assert_eq!(
+                oracle.search_with(q, 10, SearchStrategy::FullScan).0,
+                seg.search_with(q, 10, SearchStrategy::FullScan).unwrap().0,
+                "query {qi}"
+            );
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn maintenance_events_reach_the_obs_ring() {
+        let train = toy_data(40, 6, 51);
+        let pol = SegmentPolicy::default()
+            .with_seal_threshold(16)
+            .with_compact_min_segments(2)
+            .with_ti_clusters(2)
+            .sequential();
+        crate::obs::set_enabled(true);
+        let seg = SegmentedVaq::train(&train, &cfg(), pol).unwrap();
+        seg.add(&toy_data(40, 6, 52)).unwrap();
+        seg.flush();
+        crate::obs::set_enabled(false);
+        let events = crate::obs::take_events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"segment.seal"), "no seal event in {kinds:?}");
+        assert!(kinds.contains(&"segment.compact"), "no compact event in {kinds:?}");
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn failed_seal_keeps_the_buffer_queryable_and_retries() {
+        use crate::faults::{arm, disarm_all, take_degradations, Trigger};
+        let train = toy_data(50, 6, 61);
+        let seg = SegmentedVaq::train(
+            &train,
+            &cfg(),
+            SegmentPolicy::default().with_seal_threshold(8).with_ti_clusters(2).sequential(),
+        )
+        .unwrap();
+        take_degradations();
+        arm("segment.seal", Trigger::Always);
+        let extra = toy_data(30, 6, 62);
+        let ids = seg.add(&extra).unwrap();
+        let segments_during = seg.snapshot().num_segments();
+        // Buffer rows stay searchable despite every seal failing.
+        let hit = seg.search(extra.row(0), 1).unwrap()[0];
+        assert_eq!(hit.index, ids[0]);
+        disarm_all();
+        let notes = take_degradations();
+        assert!(notes.iter().any(|n| n.starts_with("segment.seal")), "{notes:?}");
+        seg.flush();
+        assert!(seg.snapshot().num_segments() > segments_during, "seal never retried");
+        assert!(seg.snapshot().buffer_len() < 8);
+        assert_eq!(seg.search(extra.row(0), 1).unwrap()[0].index, ids[0]);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn failed_compaction_keeps_input_segments() {
+        use crate::faults::{arm, disarm_all, take_degradations, Trigger};
+        let train = toy_data(40, 6, 71);
+        let pol = SegmentPolicy::default()
+            .with_seal_threshold(16)
+            .with_compact_min_segments(2)
+            .with_ti_clusters(2)
+            .sequential();
+        let seg = SegmentedVaq::train(&train, &cfg(), pol).unwrap();
+        take_degradations();
+        arm("segment.compact", Trigger::Always);
+        seg.add(&toy_data(48, 6, 72)).unwrap();
+        seg.flush_sealing_only_for_test();
+        let before = seg.snapshot().num_segments();
+        assert!(before >= 2, "need multiple segments to compact");
+        disarm_all();
+        // With the fault cleared, flush compacts down.
+        seg.flush();
+        assert!(seg.snapshot().num_segments() < before);
+        assert_eq!(seg.len(), 88);
+    }
+
+    #[cfg(feature = "faults")]
+    impl SegmentedVaq {
+        /// Test-only: runs seal steps but leaves compaction to the fault
+        /// schedule under test.
+        fn flush_sealing_only_for_test(&self) {
+            loop {
+                let claimed = {
+                    let mut st = wlock(&self.shared);
+                    if st.maintenance {
+                        false
+                    } else if read_current(&self.shared).buffer.rows()
+                        >= self.shared.policy.seal_threshold
+                    {
+                        st.maintenance = true;
+                        true
+                    } else {
+                        return;
+                    }
+                };
+                if claimed {
+                    seal_step(&self.shared);
+                    wlock(&self.shared).maintenance = false;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn id_space_exhaustion_is_a_typed_error() {
+        let train = toy_data(10, 6, 81);
+        let seg = SegmentedVaq::train(&train, &cfg(), policy()).unwrap();
+        wlock(&seg.shared).next_id = u32::MAX - 1;
+        let err = seg.add(&toy_data(5, 6, 82)).unwrap_err();
+        assert!(matches!(err, VaqError::BadConfig(_)));
+    }
+}

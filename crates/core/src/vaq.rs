@@ -325,11 +325,16 @@ impl Vaq {
         }
         self.codes.extend_from_slice(&new_codes);
         self.n += data.rows();
-        // The blocked layout interleaves subspaces within 32-vector
-        // blocks, so appending means re-packing; O(n·m) byte moves, the
-        // same order as encoding the appended rows themselves.
-        self.packed =
-            PackedCodes::pack(&self.codes, &self.encoder.table_sizes().collect::<Vec<_>>(), self.n);
+        // The blocked layout is block-major, so earlier 32-vector blocks
+        // never move on append: only the trailing partial block's padded
+        // lanes and the new blocks are written — O(rows·m), independent
+        // of how large the index already is. (`append` stays
+        // byte-identical to a full repack, audit code VAQ110.)
+        self.packed.append(
+            &new_codes,
+            &self.encoder.table_sizes().collect::<Vec<_>>(),
+            data.rows(),
+        );
         Ok(first)
     }
 

@@ -9,7 +9,9 @@
 
 use proptest::prelude::*;
 use std::sync::{Mutex, OnceLock};
-use vaq_core::{Audit, IngressPolicy, SearchStrategy, Vaq, VaqConfig, VaqError};
+use vaq_core::{
+    Audit, IngressPolicy, SearchStrategy, SegmentPolicy, SegmentedVaq, Vaq, VaqConfig, VaqError,
+};
 use vaq_linalg::Matrix;
 
 /// The degradation log is process-global; tests that drain or assert on it
@@ -38,6 +40,32 @@ fn trained_bytes() -> &'static [u8] {
     BYTES.get_or_init(|| {
         let data = toy_data(300, 12, 9);
         Vaq::train(&data, &VaqConfig::new(24, 4).with_ti_clusters(12)).unwrap().to_bytes()
+    })
+}
+
+/// A segmented (`VAQ2`) manifest — multiple sealed segments, a live write
+/// buffer, and tombstones in both — serialized once for the fuzz cases
+/// below, mirroring [`trained_bytes`] for the monolithic format.
+fn segmented_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let data = toy_data(300, 12, 9);
+        let slice = |lo: usize, hi: usize| {
+            Matrix::from_rows(&(lo..hi).map(|i| data.row(i).to_vec()).collect::<Vec<_>>())
+        };
+        let policy =
+            SegmentPolicy::default().with_seal_threshold(40).with_ti_clusters(6).sequential();
+        let seg = SegmentedVaq::train(
+            &slice(0, 200),
+            &VaqConfig::new(24, 4).with_ti_clusters(12),
+            policy,
+        )
+        .unwrap();
+        seg.add(&slice(200, 275)).unwrap(); // over threshold: sealed inline
+        seg.add(&slice(275, 300)).unwrap(); // 25 rows stay in the buffer
+        assert!(seg.delete(3)); // tombstone in a sealed segment
+        assert!(seg.delete(280)); // tombstone in the write buffer
+        seg.to_bytes()
     })
 }
 
@@ -83,6 +111,41 @@ proptest! {
         let mut spliced = bytes[..lo].to_vec();
         spliced.extend_from_slice(&bytes[hi..]);
         let _ = Vaq::from_bytes(&spliced); // Ok or Err both fine; panics are not
+    }
+
+    /// The segmented (`VAQ2`) manifest holds the same line: any single-byte
+    /// mutation either parses to an index that passes the full structural
+    /// audit (VAQ101–VAQ111) or is rejected with a typed error.
+    #[test]
+    fn vaq2_byte_mutations_never_panic(pos_seed in 0usize..1_000_000, delta in 1u8..=255) {
+        let mut bytes = segmented_bytes().to_vec();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] = bytes[pos].wrapping_add(delta);
+        if let Ok(seg) = SegmentedVaq::from_bytes(&bytes) {
+            prop_assert!(seg.audit().is_ok());
+            let q = vec![0.25f32; 12];
+            prop_assert_eq!(seg.search(&q, 5).map(|hits| hits.len()), Ok(5));
+        }
+    }
+
+    /// Every strict prefix of a segmented manifest is rejected: the format
+    /// is purely sequential, so a torn tail always cuts a field short.
+    #[test]
+    fn vaq2_truncations_always_error(cut_seed in 0usize..1_000_000) {
+        let bytes = segmented_bytes();
+        let cut = cut_seed % bytes.len();
+        prop_assert!(SegmentedVaq::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Torn-write splices of the segmented manifest never panic.
+    #[test]
+    fn vaq2_spliced_windows_never_panic(a in 0usize..1_000_000, b in 0usize..1_000_000) {
+        let bytes = segmented_bytes();
+        let (a, b) = (a % bytes.len(), b % bytes.len());
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut spliced = bytes[..lo].to_vec();
+        spliced.extend_from_slice(&bytes[hi..]);
+        let _ = SegmentedVaq::from_bytes(&spliced);
     }
 }
 
@@ -312,6 +375,26 @@ mod injected {
                 let back = Vaq::from_bytes(&bytes)?;
                 back.search_with(d.row(0), 3, SearchStrategy::TiEa { visit_frac: 1.0 });
                 back.search_with(d.row(0), 3, SearchStrategy::Quantized);
+                // The segmented wrapper owns the `segment.*` sites: cross
+                // the seal threshold (maintenance runs inline under
+                // `.sequential()`) and keep enough sealed segments around
+                // for a merge to be eligible. `flush()` is deliberately not
+                // called — with `segment.seal` armed `Always` the buffer
+                // can never drain, so flush would retry forever.
+                let seg = SegmentedVaq::from_vaq(
+                    back,
+                    SegmentPolicy::default()
+                        .with_seal_threshold(8)
+                        .with_compact_min_segments(2)
+                        .with_ti_clusters(4)
+                        .sequential(),
+                );
+                for chunk in 0..3usize {
+                    let rows: Vec<Vec<f32>> =
+                        (0..8).map(|i| d.row((chunk * 8 + i) % d.rows()).to_vec()).collect();
+                    seg.add(&Matrix::from_rows(&rows))?;
+                }
+                seg.search_with(d.row(0), 3, SearchStrategy::TiEa { visit_frac: 1.0 })?;
                 Ok::<(), VaqError>(())
             });
             let observed = outcome.is_err()

@@ -113,6 +113,67 @@ impl PackedCodes {
         Self { data, subspaces, sizes, m_total: m, n, blocks }
     }
 
+    /// Appends `n_new` freshly encoded rows without re-transposing the
+    /// existing blocks: only the trailing partial [`BLOCK`] (whose lanes
+    /// were zero padding) and the newly added blocks are written. The
+    /// result is byte-identical to a full [`PackedCodes::pack`] over the
+    /// concatenated codes — including the fallback semantics: an
+    /// out-of-range new code, a row-length mismatch, or a `table_sizes`
+    /// plan that differs from the one this packing was built with all
+    /// degrade to the inactive fallback, exactly as the full repack
+    /// would.
+    pub fn append(&mut self, new_codes: &[u16], table_sizes: &[usize], n_new: usize) {
+        let m = table_sizes.len();
+        let n_total = self.n + n_new;
+        // An inactive packing stays inactive under any suffix: the full
+        // repack would see the same unpackable plan or the same bad
+        // prefix row. Only the bookkeeping advances.
+        if !self.is_active() {
+            self.m_total = m;
+            self.n = n_total;
+            return;
+        }
+        let degrade = |this: &mut Self| {
+            *this = Self { m_total: m, n: n_total, ..Self::default() };
+        };
+        if m != self.m_total || new_codes.len() != n_new * m {
+            return degrade(self);
+        }
+        // The packable-subspace selection is a pure function of the
+        // plan; a caller switching plans mid-stream gets the fallback
+        // rather than a silently inconsistent transpose.
+        let mut expect = self.subspaces.iter();
+        for (s, &sz) in table_sizes.iter().enumerate() {
+            if (1..=256).contains(&sz) && expect.next() != Some(&s) {
+                return degrade(self);
+            }
+        }
+        if expect.next().is_some() {
+            return degrade(self);
+        }
+        for row in new_codes.chunks_exact(m) {
+            for (j, &s) in self.subspaces.iter().enumerate() {
+                if row[s] as usize >= self.sizes[j] {
+                    return degrade(self);
+                }
+            }
+        }
+        let mp = self.subspaces.len();
+        let blocks = n_total.div_ceil(BLOCK).max(1);
+        // Earlier blocks never move in the block-major layout; growing
+        // the buffer only zero-fills the new tail blocks.
+        self.data.resize(blocks * mp * BLOCK, 0u8);
+        for (i, row) in new_codes.chunks_exact(m).enumerate() {
+            let g = self.n + i;
+            let (b, lane) = (g / BLOCK, g % BLOCK);
+            for (j, &s) in self.subspaces.iter().enumerate() {
+                self.data[(b * mp + j) * BLOCK + lane] = row[s] as u8;
+            }
+        }
+        self.n = n_total;
+        self.blocks = blocks;
+    }
+
     /// `true` when at least one subspace was packed and the quantized
     /// scan can run.
     pub fn is_active(&self) -> bool {
@@ -639,6 +700,60 @@ mod tests {
                 assert_eq!(packed.data()[(2 * mp + j) * BLOCK + lane], 0);
             }
         }
+    }
+
+    #[test]
+    fn append_is_byte_identical_to_full_repack() {
+        // Cross every interesting boundary: appends that stay inside the
+        // trailing partial block, land exactly on a block edge, and span
+        // multiple new blocks — the derived `Eq` compares the raw blocked
+        // bytes including tail padding, so equality here is byte-level.
+        let sizes = MIXED_SIZES;
+        let m = sizes.len();
+        for (n0, extra) in [(0, 1), (5, 3), (30, 2), (32, 32), (33, 70), (64, 1), (70, 100)] {
+            let (_, all) = setup(sizes, n0 + extra, 7 + n0 as u64);
+            let mut incremental = PackedCodes::pack(&all[..n0 * m], sizes, n0);
+            incremental.append(&all[n0 * m..], sizes, extra);
+            let full = PackedCodes::pack(&all, sizes, n0 + extra);
+            assert_eq!(incremental, full, "n0={n0} extra={extra}");
+        }
+        // Chained appends equal one shot too.
+        let (_, all) = setup(sizes, 100, 42);
+        let mut inc = PackedCodes::pack(&all[..10 * m], sizes, 10);
+        let mut at = 10;
+        for step in [1usize, 21, 32, 36] {
+            inc.append(&all[at * m..(at + step) * m], sizes, step);
+            at += step;
+        }
+        assert_eq!(inc, PackedCodes::pack(&all, sizes, 100));
+    }
+
+    #[test]
+    fn append_degrades_exactly_like_full_repack() {
+        // An out-of-range appended code must yield the same inactive
+        // fallback the full repack produces.
+        let sizes = [4usize, 8];
+        let (_, mut all) = setup(&sizes, 40, 5);
+        let mut inc = PackedCodes::pack(&all[..20 * 2], &sizes, 20);
+        assert!(inc.is_active());
+        all[25 * 2] = 4; // >= sizes[0]
+        inc.append(&all[20 * 2..], &sizes, 20);
+        assert_eq!(inc, PackedCodes::pack(&all, &sizes, 40));
+        assert!(!inc.is_active());
+        assert_eq!(inc.len(), 40);
+        // Once inactive, further appends only advance the bookkeeping —
+        // matching a full repack that still sees the poisoned prefix.
+        let (_, more) = setup(&sizes, 8, 6);
+        inc.append(&more, &sizes, 8);
+        let mut combined = all.clone();
+        combined.extend_from_slice(&more);
+        assert_eq!(inc, PackedCodes::pack(&combined, &sizes, 48));
+        // A plan switch mid-stream is refused rather than transposed
+        // inconsistently.
+        let mut inc = PackedCodes::pack(&all[..20 * 2], &sizes, 20);
+        inc.append(&all[20 * 2..], &[4, 512], 20);
+        assert!(!inc.is_active());
+        assert_eq!(inc.len(), 40);
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub const FAULT_SITES: &[&str] = &[
     "engine.prepare",
     "engine.search",
     "engine.qscan",
+    "segment.seal",
+    "segment.compact",
 ];
 
 /// Functions whose first string-literal argument names a fault site
