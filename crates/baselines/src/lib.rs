@@ -24,6 +24,8 @@
 //! All searchers implement [`AnnIndex`], the minimal interface the
 //! experiment harness drives.
 
+#![forbid(unsafe_code)]
+
 pub mod bolt;
 pub mod itq;
 pub mod opq;

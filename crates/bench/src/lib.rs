@@ -14,6 +14,8 @@
 //! * [`print_table`] — aligned terminal output matching the rows the paper
 //!   reports.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 
 pub use json::{Json, ToJson};

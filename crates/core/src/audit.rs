@@ -810,8 +810,8 @@ mod tests {
 
     mod properties {
         use super::*;
+        use crate::sync::OnceLock;
         use proptest::prelude::*;
-        use std::sync::OnceLock;
 
         /// One clean index shared across cases (training is deterministic;
         /// each case clones before corrupting).

@@ -116,7 +116,7 @@ impl Encoder {
         let mut codes = vec![0u16; n * m];
         let workers = crate::threads::worker_count(n);
         let chunk = n.div_ceil(workers);
-        std::thread::scope(|scope| {
+        crate::sync::thread::scope(|scope| {
             let mut rest: &mut [u16] = &mut codes;
             for w in 0..workers {
                 let start = w * chunk;

@@ -536,7 +536,7 @@ impl QueryEngine {
         let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
         let mut worker_stats: Vec<SearchStats> = vec![SearchStats::default(); workers];
         let chunk = nq.div_ceil(workers);
-        std::thread::scope(|scope| {
+        crate::sync::thread::scope(|scope| {
             let mut rest: &mut [Vec<Neighbor>] = &mut out;
             let mut stats_rest: &mut [SearchStats] = &mut worker_stats;
             let prototype = self;

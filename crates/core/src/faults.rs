@@ -44,8 +44,8 @@ pub fn is_registered(site: &str) -> bool {
 // Degradation log (always compiled — fallbacks happen without injection too).
 // ---------------------------------------------------------------------------
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Mutex;
 
 static DEGRADATIONS_NONEMPTY: AtomicBool = AtomicBool::new(false);
 static DEGRADATIONS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
@@ -60,6 +60,10 @@ pub fn note_degradation(what: &'static str) {
     crate::obs::event("degradation", what);
     if let Ok(mut log) = DEGRADATIONS.lock() {
         log.push(what);
+        // ORDERING: Release pairs with the Acquire fast-path load in
+        // `take_degradations`: a drainer that observes `true` must also
+        // observe the push above. (The store happens under the mutex,
+        // which already orders it against other writers.)
         DEGRADATIONS_NONEMPTY.store(true, Ordering::Release);
     }
 }
@@ -67,11 +71,18 @@ pub fn note_degradation(what: &'static str) {
 /// Drains and returns the degradation log (process-wide). `vaq_cli chaos`
 /// calls this between seeds to report which fallbacks each run exercised.
 pub fn take_degradations() -> Vec<&'static str> {
+    // ORDERING: Acquire pairs with the Release store in
+    // `note_degradation`; observing `true` here guarantees the entries
+    // behind it are visible once the lock is taken. A stale `false` only
+    // delays draining to the caller's next poll — never loses entries.
     if !DEGRADATIONS_NONEMPTY.load(Ordering::Acquire) {
         return Vec::new();
     }
     match DEGRADATIONS.lock() {
         Ok(mut log) => {
+            // ORDERING: Release keeps the flag's pairing symmetric; the
+            // clearing store is already ordered by the mutex, and a
+            // racing `note_degradation` re-arms the flag after its push.
             DEGRADATIONS_NONEMPTY.store(false, Ordering::Release);
             std::mem::take(&mut *log)
         }
@@ -105,9 +116,9 @@ pub enum Trigger {
 #[cfg(feature = "faults")]
 mod runtime {
     use super::Trigger;
+    use crate::sync::atomic::{AtomicBool, Ordering};
+    use crate::sync::Mutex;
     use std::collections::HashMap;
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Mutex;
 
     static ANY_ARMED: AtomicBool = AtomicBool::new(false);
     static REGISTRY: Mutex<Option<HashMap<&'static str, SiteState>>> = Mutex::new(None);
@@ -141,6 +152,9 @@ mod runtime {
         if let Ok(mut guard) = REGISTRY.lock() {
             let map = guard.get_or_insert_with(HashMap::new);
             map.insert(site, SiteState { trigger, hits: 0 });
+            // ORDERING: Release pairs with the Acquire fast-path load in
+            // `fired`: a site that observes `true` must also observe the
+            // registry entry inserted above once it takes the lock.
             ANY_ARMED.store(true, Ordering::Release);
         }
     }
@@ -149,12 +163,19 @@ mod runtime {
     pub fn disarm_all() {
         if let Ok(mut guard) = REGISTRY.lock() {
             *guard = None;
+            // ORDERING: Release for symmetry with `arm`; a stale `true`
+            // at a fault site only costs one registry lock that finds
+            // the map empty — injection stays correct.
             ANY_ARMED.store(false, Ordering::Release);
         }
     }
 
     /// Evaluates the site's trigger, counting this call as one hit.
     pub fn fired(site: &'static str) -> bool {
+        // ORDERING: Acquire pairs with the Release store in `arm`:
+        // observing `true` guarantees the armed entry is visible under
+        // the lock below. A stale `false` can only skip an injection
+        // that raced with arming — tests arm before spawning workers.
         if !ANY_ARMED.load(Ordering::Acquire) {
             return false;
         }
@@ -193,7 +214,7 @@ pub fn fired(_site: &'static str) -> bool {
 #[cfg(all(test, feature = "faults"))]
 mod tests {
     use super::*;
-    use std::sync::{Mutex, MutexGuard};
+    use crate::sync::{Mutex, MutexGuard};
 
     /// The registry is process-global; serialize tests that touch it.
     static LOCK: Mutex<()> = Mutex::new(());

@@ -45,6 +45,8 @@
 //! assert_eq!(hits[0].index, 10); // a database vector finds itself
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod allocation;
 pub mod audit;
 pub mod encoder;
@@ -57,6 +59,7 @@ pub mod pipeline;
 pub mod search;
 pub mod segment;
 pub mod subspaces;
+pub mod sync;
 pub mod threads;
 pub mod ti;
 pub mod vaq;

@@ -59,11 +59,21 @@ fn bucket_le_ns(i: usize) -> u64 {
 /// the clock or any registry.
 #[inline(always)]
 pub fn enabled() -> bool {
-    #[cfg(feature = "obs")]
+    // Under `cfg(loom)` the gate is pinned off: instrumentation is not
+    // protocol state, and modeling one atomic load per instrumentation
+    // point would multiply the schedule space of every loom scenario.
+    #[cfg(all(feature = "obs", not(loom)))]
     {
-        state::ENABLED.load(std::sync::atomic::Ordering::Relaxed)
+        // ORDERING: Relaxed is enough for an on/off gate read in
+        // isolation: no data is published *through* the flag — every
+        // registry the instrumentation points touch afterwards is behind
+        // its own Mutex, which provides the ordering. The only cost of
+        // staleness is recording (or skipping) a few events around the
+        // toggle, which `set_enabled`'s SeqCst store only bounds, never
+        // eliminates.
+        state::ENABLED.load(crate::sync::atomic::Ordering::Relaxed)
     }
-    #[cfg(not(feature = "obs"))]
+    #[cfg(any(not(feature = "obs"), loom))]
     {
         false
     }
@@ -73,7 +83,7 @@ pub fn enabled() -> bool {
 pub fn set_enabled(on: bool) {
     let _ = on;
     #[cfg(feature = "obs")]
-    state::ENABLED.store(on, std::sync::atomic::Ordering::SeqCst);
+    state::ENABLED.store(on, crate::sync::atomic::Ordering::SeqCst);
 }
 
 /// RAII span timer: created by [`span`], records its elapsed wall time
@@ -426,9 +436,9 @@ mod state {
         bucket_index, bucket_le_ns, EventRecord, HistogramSnapshot, Snapshot, SpanStat,
         HIST_BUCKETS,
     };
+    use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use crate::sync::{Mutex, MutexGuard};
     use std::collections::{BTreeMap, VecDeque};
-    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-    use std::sync::{Mutex, MutexGuard};
 
     pub(super) static ENABLED: AtomicBool = AtomicBool::new(false);
     static EVENT_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -489,6 +499,11 @@ mod state {
     }
 
     pub(super) fn event(kind: &'static str, detail: &str) {
+        // ORDERING: Relaxed suffices for a pure sequence-number ticket:
+        // the RMW is atomic regardless of ordering, so tickets are
+        // unique, and the record is published under the EVENTS mutex
+        // below, which supplies all the cross-thread visibility readers
+        // need. Nothing is ordered *against* the counter itself.
         let seq = EVENT_SEQ.fetch_add(1, Ordering::Relaxed);
         let mut events = lock(&EVENTS);
         while events.0.len() >= EVENT_CAP {
@@ -545,7 +560,7 @@ mod state {
 #[cfg(all(test, feature = "obs"))]
 mod tests {
     use super::*;
-    use std::sync::{Mutex, MutexGuard};
+    use crate::sync::{Mutex, MutexGuard};
 
     /// The registries are process-global; serialize tests that touch them
     /// (other test modules never *drain* them, so filtering by our own

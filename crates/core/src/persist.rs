@@ -42,12 +42,12 @@ use crate::segment::{
     Buffer, Model, Segment, SegmentCore, SegmentPolicy, SegmentedVaq, Tombstones,
 };
 use crate::subspaces::SubspaceLayout;
+use crate::sync::Arc;
 use crate::ti::{Member, TiPartition};
 use crate::vaq::Vaq;
 use crate::VaqError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::path::Path;
-use std::sync::Arc;
 use vaq_linalg::{Matrix, PackedCodes, Pca};
 
 const MAGIC: &[u8; 4] = b"VAQ1";
@@ -67,14 +67,14 @@ impl Vaq {
         put_usize_slice(&mut buf, &self.bits);
 
         // Encoder codebooks (bits/ranges are shared with the layout).
-        buf.put_u64_le(self.encoder.codebooks.len() as u64);
+        buf.put_u64_le(wide(self.encoder.codebooks.len()));
         for cb in &self.encoder.codebooks {
             put_matrix(&mut buf, cb);
         }
 
         // Codes.
-        buf.put_u64_le(self.n as u64);
-        buf.put_u64_le(self.encoder.num_subspaces() as u64);
+        buf.put_u64_le(wide(self.n));
+        buf.put_u64_le(wide(self.encoder.num_subspaces()));
         for &c in &self.codes {
             buf.put_u16_le(c);
         }
@@ -112,8 +112,8 @@ impl Vaq {
         let codebooks = get_codebooks(&mut buf, &bits, &layout.ranges)?;
         let encoder = Encoder { codebooks, bits: bits.clone(), ranges: layout.ranges.clone() };
 
-        let n = take(&mut buf, 8)?.get_u64_le() as usize;
-        let m = take(&mut buf, 8)?.get_u64_le() as usize;
+        let n = take_len(&mut buf, "row count")?;
+        let m = take_len(&mut buf, "code width")?;
         if m != nranges {
             return Err(bad("code width mismatch"));
         }
@@ -175,26 +175,26 @@ impl SegmentedVaq {
         put_pca(&mut buf, &model.pca);
         put_layout(&mut buf, &model.layout);
         put_usize_slice(&mut buf, &model.bits);
-        buf.put_u64_le(model.encoder.codebooks.len() as u64);
+        buf.put_u64_le(wide(model.encoder.codebooks.len()));
         for cb in &model.encoder.codebooks {
             put_matrix(&mut buf, cb);
         }
         put_strategy(&mut buf, model.default_strategy);
-        buf.put_u64_le(model.ti_prefix_subspaces as u64);
+        buf.put_u64_le(wide(model.ti_prefix_subspaces));
         buf.put_u64_le(model.seed);
 
         // Maintenance policy.
-        buf.put_u64_le(policy.seal_threshold as u64);
-        buf.put_u64_le(policy.compact_min_segments as u64);
+        buf.put_u64_le(wide(policy.seal_threshold));
+        buf.put_u64_le(wide(policy.compact_min_segments));
         buf.put_f64_le(policy.tombstone_purge_frac);
-        buf.put_u64_le(policy.ti_clusters as u64);
+        buf.put_u64_le(wide(policy.ti_clusters));
         buf.put_u8(u8::from(policy.background));
 
         buf.put_u32_le(next_id);
-        buf.put_u64_le(set.segments.len() as u64);
+        buf.put_u64_le(wide(set.segments.len()));
         for seg in &set.segments {
             let core = &seg.core;
-            buf.put_u64_le(core.n as u64);
+            buf.put_u64_le(wide(core.n));
             for &id in &core.ids {
                 buf.put_u32_le(id);
             }
@@ -205,7 +205,7 @@ impl SegmentedVaq {
             put_ti(&mut buf, core.ti.as_ref());
         }
 
-        buf.put_u64_le(set.buffer.ids.len() as u64);
+        buf.put_u64_le(wide(set.buffer.ids.len()));
         for &id in &set.buffer.ids {
             buf.put_u32_le(id);
         }
@@ -257,7 +257,7 @@ impl SegmentedVaq {
         let encoder = Encoder { codebooks, bits: bits.clone(), ranges: layout.ranges.clone() };
         let m = encoder.num_subspaces();
         let default_strategy = get_strategy(&mut buf)?;
-        let ti_prefix_subspaces = take(&mut buf, 8)?.get_u64_le() as usize;
+        let ti_prefix_subspaces = take_len(&mut buf, "TI prefix")?;
         if !(1..=m).contains(&ti_prefix_subspaces) {
             return Err(bad("TI prefix outside the subspace plan"));
         }
@@ -267,10 +267,10 @@ impl SegmentedVaq {
 
         // Policy (re-clamped through the builders: persisted knobs are as
         // untrusted as everything else).
-        let seal_threshold = take(&mut buf, 8)?.get_u64_le() as usize;
-        let compact_min_segments = take(&mut buf, 8)?.get_u64_le() as usize;
+        let seal_threshold = take_len(&mut buf, "seal threshold")?;
+        let compact_min_segments = take_len(&mut buf, "compaction minimum")?;
         let tombstone_purge_frac = take(&mut buf, 8)?.get_f64_le();
-        let ti_clusters = take(&mut buf, 8)?.get_u64_le() as usize;
+        let ti_clusters = take_len(&mut buf, "TI cluster knob")?;
         let mut policy = SegmentPolicy::default()
             .with_seal_threshold(seal_threshold)
             .with_compact_min_segments(compact_min_segments)
@@ -283,10 +283,10 @@ impl SegmentedVaq {
         };
 
         let next_id = take(&mut buf, 4)?.get_u32_le();
-        let nsegs = take(&mut buf, 8)?.get_u64_le() as usize;
+        let nsegs = take_len(&mut buf, "segment count")?;
         let mut segments = Vec::new();
         for s in 0..nsegs {
-            let n = take(&mut buf, 8)?.get_u64_le() as usize;
+            let n = take_len(&mut buf, "row count")?;
             if n == 0 {
                 return Err(bad(&format!("segment {s} is empty")));
             }
@@ -302,7 +302,7 @@ impl SegmentedVaq {
             });
         }
 
-        let brows = take(&mut buf, 8)?.get_u64_le() as usize;
+        let brows = take_len(&mut buf, "buffer row count")?;
         let buffer = Buffer {
             ids: get_id_slice(&mut buf, brows)?,
             codes: get_codes(&mut buf, brows, &model.encoder)?,
@@ -342,23 +342,23 @@ impl SegmentedVaq {
 }
 
 fn put_tombstones(buf: &mut BytesMut, t: &Tombstones) {
-    buf.put_u64_le(t.dead() as u64);
-    buf.put_u64_le(t.words().len() as u64);
+    buf.put_u64_le(wide(t.dead()));
+    buf.put_u64_le(wide(t.words().len()));
     for &w in t.words() {
         buf.put_u64_le(w);
     }
 }
 
 fn get_tombstones(buf: &mut Bytes, n: usize) -> Result<Tombstones, VaqError> {
-    let dead = take(buf, 8)?.get_u64_le() as usize;
-    let nwords = take(buf, 8)?.get_u64_le() as usize;
+    let dead = take_len(buf, "tombstone dead count")?;
+    let nwords = take_len(buf, "tombstone word count")?;
     if nwords != n.div_ceil(64) || dead > n {
         return Err(bad("tombstone bitmap sized wrong"));
     }
     let mut bytes = take(buf, checked_size(nwords, 8)?)?;
     let words: Vec<u64> = (0..nwords).map(|_| bytes.get_u64_le()).collect();
-    let popcount: usize = words.iter().map(|w| w.count_ones() as usize).sum();
-    if popcount != dead {
+    let popcount: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+    if popcount != wide(dead) {
         return Err(bad("tombstone popcount disagrees with dead counter"));
     }
     if !n.is_multiple_of(64) {
@@ -403,6 +403,27 @@ fn checked_size(count: usize, elem_size: usize) -> Result<usize, VaqError> {
         .ok_or_else(|| VaqError::BadConfig("corrupt index file: length overflow".into()))
 }
 
+/// Widens a host-side length to the on-disk `u64`. `usize` is at most 64
+/// bits on every supported target, so the conversion cannot fail; the
+/// saturating fallback keeps the writer total rather than panicking if
+/// that ever changes. The write path's only integer conversion funnels
+/// through here (rule VAQ010).
+fn wide(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// Narrows an on-disk `u64` to a host `usize`, rejecting values this
+/// address space cannot represent — the check an `as usize` cast would
+/// silently truncate away on 32-bit targets (rule VAQ010).
+fn narrow(v: u64, what: &str) -> Result<usize, VaqError> {
+    usize::try_from(v).map_err(|_| bad(&format!("{what} {v} does not fit in usize")))
+}
+
+/// Reads one little-endian `u64` length/count field and narrows it.
+fn take_len(buf: &mut Bytes, what: &str) -> Result<usize, VaqError> {
+    narrow(take(buf, 8)?.get_u64_le(), what)
+}
+
 fn put_pca(buf: &mut BytesMut, pca: &Pca) {
     put_f32_slice(buf, pca.mean());
     put_matrix(buf, pca.components());
@@ -421,10 +442,10 @@ fn get_pca(buf: &mut Bytes) -> Result<Pca, VaqError> {
 
 fn put_layout(buf: &mut BytesMut, layout: &SubspaceLayout) {
     put_usize_slice(buf, &layout.perm);
-    buf.put_u64_le(layout.ranges.len() as u64);
+    buf.put_u64_le(wide(layout.ranges.len()));
     for &(lo, hi) in &layout.ranges {
-        buf.put_u64_le(lo as u64);
-        buf.put_u64_le(hi as u64);
+        buf.put_u64_le(wide(lo));
+        buf.put_u64_le(wide(hi));
     }
     put_f64_slice(buf, &layout.variance_share);
     put_f64_slice(buf, &layout.pc_share);
@@ -432,14 +453,14 @@ fn put_layout(buf: &mut BytesMut, layout: &SubspaceLayout) {
 
 fn get_layout(buf: &mut Bytes) -> Result<SubspaceLayout, VaqError> {
     let perm = get_usize_slice(buf)?;
-    let nranges = take(buf, 8)?.get_u64_le() as usize;
+    let nranges = take_len(buf, "subspace range count")?;
     if nranges > perm.len().max(1) {
         return Err(bad("too many subspace ranges"));
     }
     let mut ranges = Vec::with_capacity(nranges);
     for _ in 0..nranges {
-        let lo = take(buf, 8)?.get_u64_le() as usize;
-        let hi = take(buf, 8)?.get_u64_le() as usize;
+        let lo = take_len(buf, "range lo")?;
+        let hi = take_len(buf, "range hi")?;
         if lo > hi || hi > perm.len() {
             return Err(bad("invalid subspace range"));
         }
@@ -460,7 +481,7 @@ fn get_codebooks(
     bits: &[usize],
     ranges: &[(usize, usize)],
 ) -> Result<Vec<Matrix>, VaqError> {
-    let ncb = take(buf, 8)?.get_u64_le() as usize;
+    let ncb = take_len(buf, "codebook count")?;
     if ncb != ranges.len() {
         return Err(bad("codebook count mismatch"));
     }
@@ -494,7 +515,7 @@ fn get_codes(buf: &mut Bytes, n: usize, encoder: &Encoder) -> Result<Vec<u16>, V
     }
     for (i, &c) in codes.iter().enumerate() {
         let s = i % m;
-        if c as usize >= encoder.codebooks[s].rows() {
+        if usize::from(c) >= encoder.codebooks[s].rows() {
             return Err(bad("code exceeds dictionary size"));
         }
     }
@@ -507,16 +528,16 @@ fn put_ti(buf: &mut BytesMut, ti: Option<&TiPartition>) {
         Some(ti) => {
             buf.put_u8(1);
             put_matrix(buf, &ti.centroids);
-            buf.put_u64_le(ti.clusters.len() as u64);
+            buf.put_u64_le(wide(ti.clusters.len()));
             for cl in &ti.clusters {
-                buf.put_u64_le(cl.len() as u64);
+                buf.put_u64_le(wide(cl.len()));
                 for m in cl {
                     buf.put_u32_le(m.idx);
                     buf.put_f32_le(m.dist);
                 }
             }
-            buf.put_u64_le(ti.prefix_subspaces as u64);
-            buf.put_u64_le(ti.prefix_dim as u64);
+            buf.put_u64_le(wide(ti.prefix_subspaces));
+            buf.put_u64_le(wide(ti.prefix_dim));
         }
     }
 }
@@ -529,7 +550,7 @@ fn get_ti(buf: &mut Bytes, n: usize) -> Result<Option<TiPartition>, VaqError> {
         0 => Ok(None),
         1 => {
             let centroids = get_matrix(buf)?;
-            let ncl = take(buf, 8)?.get_u64_le() as usize;
+            let ncl = take_len(buf, "TI cluster count")?;
             if ncl != centroids.rows() {
                 return Err(bad("TI cluster count mismatch"));
             }
@@ -542,7 +563,7 @@ fn get_ti(buf: &mut Bytes, n: usize) -> Result<Option<TiPartition>, VaqError> {
             let mut clusters = Vec::with_capacity(ncl);
             let mut members_total = 0usize;
             for _ in 0..ncl {
-                let len = take(buf, 8)?.get_u64_le() as usize;
+                let len = take_len(buf, "length")?;
                 members_total =
                     members_total.checked_add(len).ok_or_else(|| bad("TI member overflow"))?;
                 if members_total > n {
@@ -552,7 +573,7 @@ fn get_ti(buf: &mut Bytes, n: usize) -> Result<Option<TiPartition>, VaqError> {
                 for _ in 0..len {
                     let idx = take(buf, 4)?.get_u32_le();
                     let dist = take(buf, 4)?.get_f32_le();
-                    if idx as usize >= n {
+                    if u64::from(idx) >= wide(n) {
                         return Err(bad("TI member out of range"));
                     }
                     cl.push(Member { idx, dist });
@@ -562,8 +583,8 @@ fn get_ti(buf: &mut Bytes, n: usize) -> Result<Option<TiPartition>, VaqError> {
             if members_total != n {
                 return Err(bad("TI clusters do not partition the database"));
             }
-            let prefix_subspaces = take(buf, 8)?.get_u64_le() as usize;
-            let prefix_dim = take(buf, 8)?.get_u64_le() as usize;
+            let prefix_subspaces = take_len(buf, "TI prefix subspaces")?;
+            let prefix_dim = take_len(buf, "TI prefix dim")?;
             Ok(Some(TiPartition { centroids, clusters, prefix_subspaces, prefix_dim }))
         }
         _ => Err(bad("bad TI flag")),
@@ -593,16 +614,16 @@ fn get_strategy(buf: &mut Bytes) -> Result<SearchStrategy, VaqError> {
 }
 
 fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
-    buf.put_u64_le(m.rows() as u64);
-    buf.put_u64_le(m.cols() as u64);
+    buf.put_u64_le(wide(m.rows()));
+    buf.put_u64_le(wide(m.cols()));
     for &v in m.as_slice() {
         buf.put_f32_le(v);
     }
 }
 
 fn get_matrix(buf: &mut Bytes) -> Result<Matrix, VaqError> {
-    let rows = take(buf, 8)?.get_u64_le() as usize;
-    let cols = take(buf, 8)?.get_u64_le() as usize;
+    let rows = take_len(buf, "matrix rows")?;
+    let cols = take_len(buf, "matrix cols")?;
     let total = rows
         .checked_mul(cols)
         .filter(|&t| t <= 1 << 32)
@@ -617,42 +638,42 @@ fn get_matrix(buf: &mut Bytes) -> Result<Matrix, VaqError> {
 }
 
 fn put_f32_slice(buf: &mut BytesMut, s: &[f32]) {
-    buf.put_u64_le(s.len() as u64);
+    buf.put_u64_le(wide(s.len()));
     for &v in s {
         buf.put_f32_le(v);
     }
 }
 
 fn get_f32_slice(buf: &mut Bytes) -> Result<Vec<f32>, VaqError> {
-    let len = take(buf, 8)?.get_u64_le() as usize;
+    let len = take_len(buf, "length")?;
     let mut bytes = take(buf, checked_size(len, 4)?)?;
     Ok((0..len).map(|_| bytes.get_f32_le()).collect())
 }
 
 fn put_f64_slice(buf: &mut BytesMut, s: &[f64]) {
-    buf.put_u64_le(s.len() as u64);
+    buf.put_u64_le(wide(s.len()));
     for &v in s {
         buf.put_f64_le(v);
     }
 }
 
 fn get_f64_slice(buf: &mut Bytes) -> Result<Vec<f64>, VaqError> {
-    let len = take(buf, 8)?.get_u64_le() as usize;
+    let len = take_len(buf, "length")?;
     let mut bytes = take(buf, checked_size(len, 8)?)?;
     Ok((0..len).map(|_| bytes.get_f64_le()).collect())
 }
 
 fn put_usize_slice(buf: &mut BytesMut, s: &[usize]) {
-    buf.put_u64_le(s.len() as u64);
+    buf.put_u64_le(wide(s.len()));
     for &v in s {
-        buf.put_u64_le(v as u64);
+        buf.put_u64_le(wide(v));
     }
 }
 
 fn get_usize_slice(buf: &mut Bytes) -> Result<Vec<usize>, VaqError> {
-    let len = take(buf, 8)?.get_u64_le() as usize;
+    let len = take_len(buf, "length")?;
     let mut bytes = take(buf, checked_size(len, 8)?)?;
-    Ok((0..len).map(|_| bytes.get_u64_le() as usize).collect())
+    (0..len).map(|_| narrow(bytes.get_u64_le(), "usize element")).collect()
 }
 
 #[cfg(test)]

@@ -67,11 +67,11 @@ use crate::encoder::Encoder;
 use crate::engine::{IndexView, QueryEngine};
 use crate::search::{Neighbor, SearchStats, SearchStrategy};
 use crate::subspaces::SubspaceLayout;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{thread, Arc, Mutex, MutexGuard, RwLock};
 use crate::ti::TiPartition;
 use crate::vaq::{Vaq, VaqConfig};
 use crate::VaqError;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use vaq_linalg::{Matrix, PackedCodes, Pca};
 
 // ---------------------------------------------------------------------------
@@ -324,7 +324,7 @@ pub(crate) struct WriterState {
     maintenance: bool,
     /// Join handle of the in-flight background pass, for backpressure
     /// and [`SegmentedVaq::flush`].
-    inflight: Option<std::thread::JoinHandle<()>>,
+    inflight: Option<thread::JoinHandle<()>>,
 }
 
 #[derive(Debug)]
@@ -354,6 +354,11 @@ fn install(shared: &Shared, set: SegmentSet) {
     let mut cur = shared.current.write().unwrap_or_else(|e| e.into_inner());
     *cur = Arc::new(set);
     drop(cur);
+    // ORDERING: Release pairs with the Acquire loads in `searcher` and
+    // `SegmentSearcher::refresh`: a reader that observes the bumped
+    // version must also observe the RwLock write above that installed
+    // the snapshot it is about to re-read. (The swap itself is already
+    // ordered by the RwLock; the version is the cheap change signal.)
     shared.version.fetch_add(1, Ordering::Release);
 }
 
@@ -690,10 +695,19 @@ impl SegmentedVaq {
     /// table arena, so the steady-state query path performs one relaxed
     /// atomic load and zero locks/allocations.
     pub fn searcher(&self) -> SegmentSearcher {
+        // ORDERING: Acquire pairs with the Release bump in `install`.
+        // The version MUST be read before the snapshot (seqlock order):
+        // the cached version is then never newer than the cached set, so
+        // an install racing between the two reads only costs `refresh` a
+        // spurious re-clone. Reading set-then-version could pair a new
+        // version with a stale set and pin the searcher to it forever —
+        // the loom suite (`snapshots_never_regress`) catches exactly
+        // that inversion.
+        let version = self.shared.version.load(Ordering::Acquire);
         let set = self.snapshot();
         SegmentSearcher {
             shared: Arc::clone(&self.shared),
-            version: self.shared.version.load(Ordering::Acquire),
+            version,
             set,
             engine: QueryEngine::new(),
         }
@@ -731,7 +745,7 @@ impl SegmentedVaq {
             } else if claimed {
                 maintenance_task(&self.shared);
             } else {
-                std::thread::yield_now();
+                thread::yield_now();
             }
         }
     }
@@ -744,7 +758,7 @@ impl SegmentedVaq {
             return false;
         }
         let shared = Arc::clone(&self.shared);
-        match std::thread::Builder::new()
+        match thread::Builder::new()
             .name("vaq-segment-maintenance".into())
             .spawn(move || maintenance_task(&shared))
         {
@@ -777,6 +791,11 @@ impl SegmentSearcher {
     /// Re-validates the cached snapshot (one atomic load; re-clones only
     /// after a write). Called automatically by the search methods.
     pub fn refresh(&mut self) {
+        // ORDERING: Acquire pairs with the Release bump in `install`: if
+        // this load observes the new version, the RwLock read below is
+        // guaranteed to observe (at least) the snapshot that bump
+        // published, so the searcher can never cache a version number
+        // newer than the snapshot it holds.
         let v = self.shared.version.load(Ordering::Acquire);
         if v != self.version {
             self.set = read_current(&self.shared);
@@ -1392,7 +1411,7 @@ mod tests {
                     seal_step(&self.shared);
                     wlock(&self.shared).maintenance = false;
                 } else {
-                    std::thread::yield_now();
+                    thread::yield_now();
                 }
             }
         }

@@ -10,7 +10,7 @@
 //! [`std::thread::available_parallelism`]. The value is read once per
 //! process and cached.
 
-use std::sync::OnceLock;
+use crate::sync::{thread, OnceLock};
 
 /// Parses a `VAQ_THREADS` value: trimmed positive integer, anything else
 /// (empty, zero, garbage) means "no override".
@@ -25,7 +25,7 @@ pub fn thread_budget() -> usize {
     *BUDGET.get_or_init(|| {
         let raw = std::env::var("VAQ_THREADS").ok();
         parse_threads(raw.as_deref())
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+            .unwrap_or_else(|| thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
     })
 }
 

@@ -95,7 +95,7 @@ impl TiPartition {
         let mut assign: Vec<(u32, f32)> = vec![(0, 0.0); n];
         let workers = crate::threads::worker_count(n);
         let chunk = n.div_ceil(workers);
-        std::thread::scope(|scope| {
+        crate::sync::thread::scope(|scope| {
             let mut rest: &mut [(u32, f32)] = &mut assign;
             let centroids = &centroids;
             for w in 0..workers {

@@ -16,6 +16,8 @@
 //!
 //! All generators are deterministic functions of their seed.
 
+#![forbid(unsafe_code)]
+
 pub mod ground_truth;
 pub mod io;
 pub mod largescale;

@@ -20,6 +20,8 @@
 //!   with mean/stddev split policies and lower-bound pruned traversal, same
 //!   two approximate modes.
 
+#![forbid(unsafe_code)]
+
 pub mod dstree;
 pub mod exact;
 pub mod hnsw;

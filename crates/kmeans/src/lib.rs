@@ -16,6 +16,8 @@
 //! * [`kmeans_1d`] — the 1-D specialization VAQ uses to cluster the vector
 //!   of per-dimension variances into non-uniform subspaces (§III-B).
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;

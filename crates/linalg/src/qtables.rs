@@ -96,7 +96,7 @@ impl PackedCodes {
         }
         for row in codes.chunks_exact(m) {
             for (j, &s) in subspaces.iter().enumerate() {
-                if row[s] as usize >= sizes[j] {
+                if usize::from(row[s]) >= sizes[j] {
                     return fallback(m, n);
                 }
             }
@@ -107,7 +107,9 @@ impl PackedCodes {
         for (i, row) in codes.chunks_exact(m).enumerate() {
             let (b, lane) = (i / BLOCK, i % BLOCK);
             for (j, &s) in subspaces.iter().enumerate() {
-                data[(b * mp + j) * BLOCK + lane] = row[s] as u8;
+                // Cannot fail: the loop above rejected any code not
+                // strictly below its table size, and sizes are <= 256.
+                data[(b * mp + j) * BLOCK + lane] = u8::try_from(row[s]).unwrap_or(u8::MAX);
             }
         }
         Self { data, subspaces, sizes, m_total: m, n, blocks }
@@ -153,7 +155,7 @@ impl PackedCodes {
         }
         for row in new_codes.chunks_exact(m) {
             for (j, &s) in self.subspaces.iter().enumerate() {
-                if row[s] as usize >= self.sizes[j] {
+                if usize::from(row[s]) >= self.sizes[j] {
                     return degrade(self);
                 }
             }
@@ -167,7 +169,9 @@ impl PackedCodes {
             let g = self.n + i;
             let (b, lane) = (g / BLOCK, g % BLOCK);
             for (j, &s) in self.subspaces.iter().enumerate() {
-                self.data[(b * mp + j) * BLOCK + lane] = row[s] as u8;
+                // Cannot fail: the check above bounds each code below a
+                // table size of at most 256.
+                self.data[(b * mp + j) * BLOCK + lane] = u8::try_from(row[s]).unwrap_or(u8::MAX);
             }
         }
         self.n = n_total;
@@ -369,7 +373,8 @@ impl QuantizedTables {
         let (mut lo, mut hi) = (0u32, u32::from(u16::MAX));
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if self.lower_bound(mid as u16) >= threshold {
+            // Cannot fail: lo <= mid <= hi <= u16::MAX by the invariant.
+            if self.lower_bound(u16::try_from(mid).unwrap_or(u16::MAX)) >= threshold {
                 hi = mid;
             } else {
                 lo = mid + 1;
@@ -386,12 +391,15 @@ fn quantize_entry(t: f32, min: f32, delta: f32) -> u8 {
     if delta <= 0.0 || !t.is_finite() {
         return 0;
     }
+    // The only `as` cast in this file (allowlisted under VAQ010): Rust
+    // float->int `as` saturates, and the clamp bounds q to [0, 254].
     let mut q = (((t - min) / delta).floor() as i64).clamp(0, 254);
     let (tf, mf, df) = (f64::from(t), f64::from(min), f64::from(delta));
     while q > 0 && mf + df * q as f64 > tf {
         q -= 1;
     }
-    q as u8
+    // Cannot fail: q stays within [0, 254].
+    u8::try_from(q).unwrap_or(0)
 }
 
 /// Which accumulation kernel a scan uses. All variants exist on every
@@ -427,6 +435,11 @@ pub fn active_kernel() -> ScanKernel {
 }
 
 fn detect_kernel() -> ScanKernel {
+    // Miri interprets no x86 shuffle intrinsics; the scalar kernel visits
+    // lanes in the same order, so interpreted runs lose no coverage.
+    if cfg!(miri) {
+        return ScanKernel::Scalar;
+    }
     let forced = std::env::var_os("VAQ_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0");
     if forced {
         return ScanKernel::Scalar;
@@ -480,7 +493,7 @@ pub fn accumulate_qsums_with(
         Some(hook) => {
             let t0 = std::time::Instant::now();
             accumulate_dispatch(kernel, packed, qt, out);
-            hook(kernel.name(), t0.elapsed().as_nanos() as u64);
+            hook(kernel.name(), u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
         None => accumulate_dispatch(kernel, packed, qt, out),
     }
@@ -496,12 +509,12 @@ fn accumulate_dispatch(
     out.clear();
     out.resize(packed.padded_len(), 0);
     match kernel {
-        #[cfg(target_arch = "x86_64")]
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         ScanKernel::Ssse3 if std::arch::is_x86_feature_detected!("ssse3") => {
             // SAFETY: SSSE3 support was just verified by the match guard.
             unsafe { x86::accumulate_ssse3(packed, qt, out) }
         }
-        #[cfg(target_arch = "x86_64")]
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         ScanKernel::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
             // SAFETY: AVX2 support was just verified by the match guard.
             unsafe { x86::accumulate_avx2(packed, qt, out) }
@@ -520,13 +533,13 @@ fn accumulate_scalar(packed: &PackedCodes, qt: &QuantizedTables, out: &mut [u16]
             let codes = &data[(b * mp + j) * BLOCK..][..BLOCK];
             let row = qt.row(j);
             for (acc, &c) in out_b.iter_mut().zip(codes) {
-                *acc += u16::from(row[c as usize]);
+                *acc += u16::from(row[usize::from(c)]);
             }
         }
     }
 }
 
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[deny(unsafe_op_in_unsafe_fn)]
 mod x86 {
     //! `pshufb`-based kernels. Tables with ≤16 entries resolve in one
@@ -568,10 +581,10 @@ mod x86 {
                         let lo = _mm_and_si128(cv, low_mask);
                         let hi = _mm_and_si128(_mm_srli_epi16::<4>(cv), low_mask);
                         let mut v = zero;
-                        for k in 0..chunks {
+                        for (k, kb) in (0..chunks).zip(0i8..) {
                             // SAFETY: `row` is padded to `chunks * 16` bytes.
                             let tbl = unsafe { _mm_loadu_si128(row.as_ptr().add(k * 16).cast()) };
-                            let sel = _mm_cmpeq_epi8(hi, _mm_set1_epi8(k as i8));
+                            let sel = _mm_cmpeq_epi8(hi, _mm_set1_epi8(kb));
                             v = _mm_or_si128(v, _mm_and_si128(sel, _mm_shuffle_epi8(tbl, lo)));
                         }
                         v
@@ -618,11 +631,11 @@ mod x86 {
                     let lo = _mm256_and_si256(cv, low_mask);
                     let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(cv), low_mask);
                     let mut v = zero;
-                    for k in 0..chunks {
+                    for (k, kb) in (0..chunks).zip(0i8..) {
                         // SAFETY: `row` is padded to `chunks * 16` bytes.
                         let tbl = unsafe { _mm_loadu_si128(row.as_ptr().add(k * 16).cast()) };
                         let t2 = _mm256_broadcastsi128_si256(tbl);
-                        let sel = _mm256_cmpeq_epi8(hi, _mm256_set1_epi8(k as i8));
+                        let sel = _mm256_cmpeq_epi8(hi, _mm256_set1_epi8(kb));
                         v = _mm256_or_si256(v, _mm256_and_si256(sel, _mm256_shuffle_epi8(t2, lo)));
                     }
                     v

@@ -15,6 +15,8 @@
 //!   gamma) the tests need for p-values, implemented from scratch.
 //! * [`timing`] — a tiny stopwatch for CPU-time style measurements.
 
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod ranking;
 pub mod special;

@@ -24,6 +24,8 @@
 //! imposing service-level limits on subspaces — can be added by pushing one
 //! more row, not by writing a new solver.
 
+#![forbid(unsafe_code)]
+
 pub mod branch_bound;
 pub mod simplex;
 

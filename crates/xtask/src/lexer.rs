@@ -18,8 +18,46 @@ pub struct Token {
 #[derive(Debug, Default)]
 pub struct LexedFile {
     pub tokens: Vec<Token>,
-    /// Lines carrying a comment that contains `SAFETY:`.
+    /// Last line of each comment run carrying a `SAFETY:` marker followed
+    /// by non-trivial justification text (an empty `// SAFETY:` records
+    /// nothing — rule VAQ005 requires an actual argument).
     pub safety_lines: Vec<u32>,
+    /// Same for `ORDERING:` justification comments (rule VAQ009).
+    pub ordering_lines: Vec<u32>,
+}
+
+/// A contiguous run of comments: first line, last line, accumulated text,
+/// and the token count when the run last grew (a token emitted between
+/// two comments splits the run, so a trailing comment after code never
+/// merges with the next line's comment).
+struct CommentRun {
+    last: u32,
+    text: String,
+    ntokens: usize,
+}
+
+/// Extends the open run when `start` continues it, else opens a new one.
+/// Runs let a `SAFETY:` / `ORDERING:` marker's justification span several
+/// `//` lines and still be judged as one comment.
+fn push_comment(runs: &mut Vec<CommentRun>, start: u32, end: u32, text: &str, ntokens: usize) {
+    if let Some(run) = runs.last_mut() {
+        if run.last + 1 >= start && run.ntokens == ntokens {
+            run.last = end;
+            run.text.push('\n');
+            run.text.push_str(text);
+            return;
+        }
+    }
+    runs.push(CommentRun { last: end, text: text.to_string(), ntokens });
+}
+
+/// The line a justification run vouches from: its last line, or `None`
+/// when fewer than three alphanumeric characters follow the marker — a
+/// bare `// SAFETY:` or `// ORDERING: .` justifies nothing.
+fn marker_line(run: &CommentRun, marker: &str) -> Option<u32> {
+    let rest = &run.text[run.text.find(marker)? + marker.len()..];
+    let alnum = rest.chars().filter(char::is_ascii_alphanumeric).count();
+    (alnum >= 3).then_some(run.last)
 }
 
 fn is_ident_start(c: u8) -> bool {
@@ -34,6 +72,7 @@ fn is_ident_continue(c: u8) -> bool {
 pub fn lex(src: &str) -> LexedFile {
     let b = src.as_bytes();
     let mut out = LexedFile::default();
+    let mut runs: Vec<CommentRun> = Vec::new();
     let mut i = 0usize;
     let mut line = 1u32;
 
@@ -50,9 +89,7 @@ pub fn lex(src: &str) -> LexedFile {
                 while i < b.len() && b[i] != b'\n' {
                     i += 1;
                 }
-                if src[start..i].contains("SAFETY:") {
-                    out.safety_lines.push(line);
-                }
+                push_comment(&mut runs, line, line, &src[start..i], out.tokens.len());
             }
             b'/' if b.get(i + 1) == Some(&b'*') => {
                 let start = i;
@@ -73,9 +110,13 @@ pub fn lex(src: &str) -> LexedFile {
                         i += 1;
                     }
                 }
-                if src[start..i.min(b.len())].contains("SAFETY:") {
-                    out.safety_lines.push(start_line);
-                }
+                push_comment(
+                    &mut runs,
+                    start_line,
+                    line,
+                    &src[start..i.min(b.len())],
+                    out.tokens.len(),
+                );
             }
             b'"' => {
                 // Plain string literals survive as single tokens (text
@@ -148,6 +189,14 @@ pub fn lex(src: &str) -> LexedFile {
         }
     }
 
+    for run in &runs {
+        if let Some(l) = marker_line(run, "SAFETY:") {
+            out.safety_lines.push(l);
+        }
+        if let Some(l) = marker_line(run, "ORDERING:") {
+            out.ordering_lines.push(l);
+        }
+    }
     mark_test_regions(&mut out.tokens);
     out
 }
@@ -419,5 +468,43 @@ mod tests {
     fn safety_comment_lines_are_recorded() {
         let lexed = lex("fn f() {\n    // SAFETY: bounds checked above\n    unsafe { go() }\n}");
         assert_eq!(lexed.safety_lines, vec![2]);
+    }
+
+    #[test]
+    fn empty_safety_marker_is_not_recorded() {
+        // VAQ005 requires an argument: a bare marker, or one followed only
+        // by punctuation, vouches for nothing.
+        assert!(lex("fn f() {\n    // SAFETY:\n    unsafe { go() }\n}").safety_lines.is_empty());
+        assert!(lex("fn f() {\n    // SAFETY: ..\n    unsafe { go() }\n}").safety_lines.is_empty());
+        assert!(lex("fn f() {\n    /* SAFETY: */\n    unsafe { go() }\n}").safety_lines.is_empty());
+    }
+
+    #[test]
+    fn multiline_safety_run_records_its_last_line() {
+        // The justification continues across `//` lines; the run vouches
+        // from its last line so a long comment still sits "within three
+        // lines" of the code below it.
+        let lexed = lex("// SAFETY: the caller pinned the buffer\n// for the whole call\n\
+                         unsafe { go() }");
+        assert_eq!(lexed.safety_lines, vec![2]);
+        // A bare marker whose justification lives on the next comment
+        // line still counts — the run is judged as one comment.
+        let lexed = lex("// SAFETY:\n// bounds were checked above\nunsafe { go() }");
+        assert_eq!(lexed.safety_lines, vec![2]);
+    }
+
+    #[test]
+    fn code_between_comments_splits_the_run() {
+        // The second comment must not inherit the first line's marker.
+        let lexed = lex("// SAFETY: fine here\nuse x; // unrelated\nunsafe { go() }");
+        assert_eq!(lexed.safety_lines, vec![1]);
+    }
+
+    #[test]
+    fn ordering_comment_lines_are_recorded() {
+        let lexed = lex("// ORDERING: Release pairs with the Acquire\n// load in the searcher\n\
+                         v.store(1, Ordering::Release);");
+        assert_eq!(lexed.ordering_lines, vec![2]);
+        assert!(lex("// ORDERING:\nv.store(1, Ordering::Release);").ordering_lines.is_empty());
     }
 }

@@ -8,9 +8,9 @@
 //! ```
 //!
 //! The linter is a dependency-free, token-level scanner (see `lexer.rs`)
-//! enforcing the repo-specific rules VAQ001–VAQ007 (see `rules.rs` and
-//! DESIGN.md §8) against every Rust source file in the workspace, modulo
-//! the shrink-only allowlist in `lint.toml` (see `config.rs`).
+//! enforcing the repo-specific rules VAQ001–VAQ010 (see `rules.rs` and
+//! DESIGN.md §8/§13) against every Rust source file in the workspace,
+//! modulo the shrink-only allowlist in `lint.toml` (see `config.rs`).
 
 mod config;
 mod lexer;
@@ -26,7 +26,7 @@ USAGE:
   cargo run -p xtask -- lint [--update-allowlist] [--root DIR]
 
 `lint` scans every workspace .rs file (vendored shims and build output
-excluded) for the VAQ001–VAQ007 rules and checks the result against the
+excluded) for the VAQ001–VAQ010 rules and checks the result against the
 shrink-only allowlist in lint.toml. Exit code 1 on any violation not
 covered by an exact allowance, or on an allowance wider than reality.";
 
@@ -64,6 +64,13 @@ fn run_lint(args: &[String]) -> Result<ExitCode, String> {
         Some(r) => r,
         None => repo_root()?,
     };
+
+    // The active rule set, up front: a CI log should say what was checked
+    // before it says what passed.
+    println!("xtask lint rules:");
+    for (code, desc) in rules::RULES {
+        println!("  {code}  {desc}");
+    }
 
     let files = collect_rust_files(&root)?;
     let mut violations: Vec<Violation> = Vec::new();

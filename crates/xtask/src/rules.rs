@@ -6,14 +6,43 @@
 //! | VAQ002 | no `Vec<Vec<f32>>` lookup-table pattern in `crates/core` / `crates/baselines` |
 //! | VAQ003 | no `partial_cmp(..).unwrap()` / `.unwrap_or(..)` and no `partial_cmp` inside sort/min/max comparators — use `total_cmp` |
 //! | VAQ004 | no `unwrap()` / `expect()` in library crates outside `#[cfg(test)]` |
-//! | VAQ005 | no `unsafe` without a `// SAFETY:` comment within the three preceding lines |
+//! | VAQ005 | no `unsafe` without a justifying `// SAFETY:` comment (non-trivial text, within the three preceding lines) |
 //! | VAQ006 | fault-site string literals (`fired`, `arm`, …) must name a site registered in `faults::SITES`, and that const must mirror the lint registry |
 //! | VAQ007 | no bare `println!` / `eprintln!` in library crates — route diagnostics through `obs::event` / structured logs |
+//! | VAQ008 | no direct `std::sync` / `std::thread` in `vaq-core` outside the `crate::sync` facade — loom builds must model every primitive |
+//! | VAQ009 | every non-`SeqCst` atomic ordering argument needs an `// ORDERING:` justification within the three preceding lines |
+//! | VAQ010 | no `as` integer casts in the serialization/kernel boundary files (`persist.rs`, `qtables.rs`) — use `try_from`/`From` with a typed error |
 //!
 //! Every rule reports a stable code so `lint.toml` allowances and CI logs
-//! stay meaningful as the codebase grows. See DESIGN.md §8.
+//! stay meaningful as the codebase grows. See DESIGN.md §8 and §13.
 
 use crate::lexer::{LexedFile, Token};
+
+/// `code → one-line summary`, printed by `xtask lint` so every CI log
+/// shows which rules were active for the run.
+pub const RULES: &[(&str, &str)] = &[
+    ("VAQ001", "no new callers of the deprecated `lookup_tables`/`search::execute` shims"),
+    ("VAQ002", "no `Vec<Vec<f32>>` lookup tables in core/baselines — use the flat `TableArena`"),
+    ("VAQ003", "no NaN-unsafe `partial_cmp` unwraps or comparators — use `total_cmp`"),
+    ("VAQ004", "no `unwrap()`/`expect()` in library crates outside test code"),
+    ("VAQ005", "every `unsafe` needs a justifying `// SAFETY:` comment (non-trivial text)"),
+    ("VAQ006", "fault-site names must match the `faults::SITES` registry exactly"),
+    ("VAQ007", "no bare `println!`/`eprintln!` in library crates — use `obs::event`"),
+    ("VAQ008", "no direct `std::sync`/`std::thread` in vaq-core — go through `crate::sync`"),
+    ("VAQ009", "non-SeqCst atomic orderings need an `// ORDERING:` justification"),
+    ("VAQ010", "no `as` integer casts in persist.rs/qtables.rs — use `try_from`/`From`"),
+];
+
+/// Non-`SeqCst` ordering variants whose use must be justified (VAQ009).
+/// `SeqCst` is the safe default; anything weaker is a claim about the
+/// protocol that the comment (and the loom suite) must back up. The cmp
+/// variants (`Less`, `Equal`, `Greater`) never match, so
+/// `std::cmp::Ordering` code is naturally exempt.
+const WEAK_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel"];
+
+/// Integer destination types of the `as` casts VAQ010 bans.
+const INT_TYPES: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +118,25 @@ impl<'a> FileClass<'a> {
     fn in_table_banned_crate(&self) -> bool {
         self.path.starts_with("crates/core/src/") || self.path.starts_with("crates/baselines/src/")
     }
+
+    /// `vaq-core` library source, where every sync/thread primitive must
+    /// come through the `crate::sync` facade (VAQ008).
+    fn in_core_src(&self) -> bool {
+        self.path.starts_with("crates/core/src/")
+    }
+
+    /// The one file allowed to name `std::sync` / `std::thread` directly:
+    /// the facade that maps them to loom under `cfg(loom)`.
+    fn is_sync_facade(&self) -> bool {
+        self.path == "crates/core/src/sync.rs"
+    }
+
+    /// Serialization/kernel boundary files where `as` integer casts are
+    /// banned (VAQ010): every length there is attacker-controlled or
+    /// feeds an unsafe kernel, so conversions must be checked.
+    fn in_cast_banned_file(&self) -> bool {
+        self.path.ends_with("core/src/persist.rs") || self.path.ends_with("linalg/src/qtables.rs")
+    }
 }
 
 /// Runs every rule over one lexed file.
@@ -114,9 +162,33 @@ pub fn check_file(class: FileClass<'_>, lexed: &LexedFile) -> Vec<Violation> {
                     &mut out,
                     "VAQ005",
                     t.line,
-                    "`unsafe` without a `// SAFETY:` comment on the preceding lines".into(),
+                    "`unsafe` without a justifying `// SAFETY:` comment on the preceding \
+                     lines (an empty marker does not count)"
+                        .into(),
                 );
             }
+        }
+
+        // ---- VAQ008: direct std sync/thread primitives in vaq-core
+        // (applies everywhere, including test code — `#[cfg(test)]`
+        // modules compile under `RUSTFLAGS="--cfg loom"` too, and an
+        // unmodeled primitive silently escapes the model checker).
+        if class.in_core_src()
+            && !class.is_sync_facade()
+            && t.text == "std"
+            && matches(toks, i + 1, &[":", ":"])
+            && toks.get(i + 3).is_some_and(|n| n.text == "sync" || n.text == "thread")
+        {
+            push(
+                &mut out,
+                "VAQ008",
+                t.line,
+                format!(
+                    "direct `std::{}` in vaq-core; import through `crate::sync` so \
+                     loom builds model the primitive",
+                    toks[i + 3].text
+                ),
+            );
         }
 
         // ---- VAQ006: fault-site name literals must be registered (applies
@@ -259,6 +331,49 @@ pub fn check_file(class: FileClass<'_>, lexed: &LexedFile) -> Vec<Violation> {
                 format!(
                     "`.{}()` in library code; propagate a `Result` (or budget it in lint.toml)",
                     t.text
+                ),
+            );
+        }
+
+        // ---- VAQ009: weak atomic orderings must be argued. A missing
+        // comment usually means the ordering was guessed; the loom suite
+        // can prove the protocol, but only the comment says what the
+        // protocol *is*.
+        if class.is_library_src()
+            && t.text == "Ordering"
+            && matches(toks, i + 1, &[":", ":"])
+            && toks.get(i + 3).is_some_and(|n| WEAK_ORDERINGS.contains(&n.text.as_str()))
+        {
+            let justified = lexed.ordering_lines.iter().any(|&l| l <= t.line && l + 3 >= t.line);
+            if !justified {
+                push(
+                    &mut out,
+                    "VAQ009",
+                    t.line,
+                    format!(
+                        "`Ordering::{}` without an `// ORDERING:` justification on the \
+                         preceding lines — name the pairing store/load (or use `SeqCst`)",
+                        toks[i + 3].text
+                    ),
+                );
+            }
+        }
+
+        // ---- VAQ010: lossy-looking `as` integer casts in the boundary
+        // files. `use x as y` aliases never name a primitive integer, so
+        // only real casts match.
+        if class.in_cast_banned_file()
+            && t.text == "as"
+            && toks.get(i + 1).is_some_and(|n| INT_TYPES.contains(&n.text.as_str()))
+        {
+            push(
+                &mut out,
+                "VAQ010",
+                t.line,
+                format!(
+                    "`as {}` cast in a serialization/kernel boundary file; convert with \
+                     `try_from`/`From` and report a typed error",
+                    toks[i + 1].text
                 ),
             );
         }
@@ -513,6 +628,111 @@ mod tests {
     #[test]
     fn unsafe_in_string_is_ignored() {
         assert!(codes(LIB, "fn f() { let s = \"unsafe { }\"; }").is_empty());
+    }
+
+    #[test]
+    fn empty_safety_marker_is_still_vaq005() {
+        // The marker alone no longer satisfies the rule; the justification
+        // text is what the audit reads.
+        let src = "fn f() {\n    // SAFETY:\n    unsafe { go() }\n}";
+        assert_eq!(codes(LIB, src), vec!["VAQ005"]);
+    }
+
+    #[test]
+    fn multiline_safety_justification_is_clean() {
+        let src = "fn f() {\n    // SAFETY: the match guard verified the\n    \
+                   // CPU feature at runtime\n    unsafe { go() }\n}";
+        assert!(codes(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn direct_std_sync_in_core_is_vaq008() {
+        assert_eq!(codes(LIB, "use std::sync::Mutex;"), vec!["VAQ008"]);
+        assert_eq!(codes(LIB, "fn f() { std::thread::spawn(|| {}); }"), vec!["VAQ008"]);
+        // Test modules are NOT exempt: they compile under --cfg loom too.
+        let test_mod = "#[cfg(test)]\nmod tests {\n use std::sync::Arc;\n}";
+        assert_eq!(codes(LIB, test_mod), vec!["VAQ008"]);
+    }
+
+    #[test]
+    fn std_sync_outside_core_or_in_facade_is_exempt() {
+        let src = "use std::sync::Mutex;";
+        assert!(codes("crates/core/src/sync.rs", src).is_empty());
+        assert!(codes("crates/bench/src/bin/tool.rs", src).is_empty());
+        assert!(codes("crates/index/src/dstree.rs", src).is_empty());
+        // `crate::sync` and other std modules in core stay clean.
+        assert!(codes(LIB, "use crate::sync::Mutex; use std::collections::HashMap;").is_empty());
+    }
+
+    #[test]
+    fn unjustified_weak_ordering_is_vaq009() {
+        let src = "fn f(v: &AtomicU64) { v.load(Ordering::Acquire); }";
+        let v = check(LIB, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "VAQ009");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(
+            codes(LIB, "fn f(v: &AtomicU64) { v.store(3, Ordering::Relaxed); }"),
+            vec!["VAQ009"]
+        );
+    }
+
+    #[test]
+    fn justified_or_seqcst_ordering_is_clean() {
+        let src = "fn f(v: &AtomicU64) {\n    // ORDERING: Acquire pairs with the Release\n    \
+                   // bump in `install`.\n    v.load(Ordering::Acquire);\n}";
+        assert!(codes(LIB, src).is_empty());
+        assert!(codes(LIB, "fn f(v: &AtomicU64) { v.load(Ordering::SeqCst); }").is_empty());
+        // An empty marker is as good as no marker.
+        let bare = "fn f(v: &AtomicU64) {\n    // ORDERING:\n    v.load(Ordering::Acquire);\n}";
+        assert_eq!(codes(LIB, bare), vec!["VAQ009"]);
+    }
+
+    #[test]
+    fn cmp_ordering_and_test_code_are_exempt_from_vaq009() {
+        assert!(codes(LIB, "fn f(a: &N, o: &N) -> bool { a.cmp(o) == Ordering::Less }").is_empty());
+        let test_mod =
+            "#[cfg(test)]\nmod tests {\n fn t(v: &AtomicU64) { v.load(Ordering::Relaxed); }\n}";
+        assert!(codes(LIB, test_mod).is_empty());
+        assert!(codes(
+            "crates/core/tests/model.rs",
+            "fn t(v: &AtomicU64) { \
+             v.load(Ordering::Relaxed); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn integer_cast_in_boundary_files_is_vaq010() {
+        let src = "fn f(v: u64) -> usize { v as usize }";
+        let v = check("crates/core/src/persist.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "VAQ010");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(
+            codes("crates/linalg/src/qtables.rs", "fn f(c: u16) -> u8 { c as u8 }"),
+            vec!["VAQ010"]
+        );
+    }
+
+    #[test]
+    fn casts_elsewhere_and_checked_conversions_are_exempt_from_vaq010() {
+        assert!(codes(LIB, "fn f(v: u64) -> usize { v as usize }").is_empty());
+        let p = "crates/core/src/persist.rs";
+        assert!(
+            codes(p, "use bytes::Buf as B; fn f(v: u16) -> usize { usize::from(v) }").is_empty()
+        );
+        assert!(codes(p, "fn f(x: usize) -> f32 { x as f32 }").is_empty()); // float, not integer
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn t(v: u64) -> usize { v as usize }\n}";
+        assert!(codes(p, test_mod).is_empty());
+    }
+
+    #[test]
+    fn rule_table_covers_every_emitted_code() {
+        for (code, _) in RULES {
+            assert!(code.starts_with("VAQ"), "{code}");
+        }
+        assert_eq!(RULES.len(), 10);
     }
 
     #[test]

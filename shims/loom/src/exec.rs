@@ -1,0 +1,859 @@
+//! The checker core: execution state, the depth-first search over
+//! schedules, vector clocks, and the per-location store histories that
+//! model C11 weak memory.
+//!
+//! One execution ("iteration") runs the user closure with every model
+//! thread mapped to a real OS thread, but only one thread ever runs at a
+//! time: before each visible operation the running thread consults the
+//! scheduler, which replays a recorded decision path and extends it with
+//! default choices past the replayed prefix. After the iteration, the
+//! deepest decision with an unexplored alternative is advanced and the
+//! execution re-runs — a classic stateless-model-checking DFS with a
+//! preemption bound.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomOrd};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use std::sync::atomic::Ordering;
+
+// ---------------------------------------------------------------------------
+// Globals
+// ---------------------------------------------------------------------------
+
+/// Serializes concurrent [`model`] calls: the test harness runs tests on
+/// parallel threads, and one exploration owns the process-global state.
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// Execution state shared by every model thread of the running
+/// exploration. Only the active model thread mutates it.
+static STATE: Mutex<ExecState> = Mutex::new(ExecState::new());
+static CV: Condvar = Condvar::new();
+
+/// Monotonic execution-id generator: objects registered in an earlier
+/// iteration (or an earlier `model()` call) detect their registration is
+/// stale by comparing against the current id. Starts at 1 so an id of 0
+/// in a [`Registration`] always means "never registered".
+static EXEC_ID: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// Model-thread id of the current OS thread while it runs inside an
+    /// active exploration.
+    static TL_TID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+pub(crate) fn current_tid() -> Option<usize> {
+    TL_TID.with(|c| c.get())
+}
+
+fn lock_state() -> MutexGuard<'static, ExecState> {
+    STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+type VClock = Vec<u64>;
+
+fn clock_merge(into: &mut VClock, from: &[u64]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (a, &b) in into.iter_mut().zip(from) {
+        *a = (*a).max(b);
+    }
+}
+
+/// Whether an event stamped `(tid, epoch)` happened-before a thread whose
+/// clock is `clock`.
+fn clock_covers(clock: &[u64], tid: usize, epoch: u64) -> bool {
+    epoch <= clock.get(tid).copied().unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+/// One branch point of an execution: `chosen` out of `options`
+/// equally-legal alternatives (next thread to run, or which store a load
+/// observes). Points with a single option are not recorded.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    chosen: usize,
+    options: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Run {
+    Runnable,
+    /// Runnable, but must not be scheduled while a non-yielded runnable
+    /// thread exists (what makes yield-spin loops terminate).
+    Yielded,
+    BlockedMutex(usize),
+    BlockedRwWrite(usize),
+    BlockedRwRead(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadInfo {
+    run: Run,
+    clock: VClock,
+    epoch: u64,
+    /// The closure's boxed return value, consumed by `join`.
+    result: Option<Box<dyn Any + Send>>,
+}
+
+/// One write in a location's modification order.
+struct StoreEvent {
+    value: u64,
+    /// Stamp of the storing thread at store time, for happens-before
+    /// queries. The registration-time initial value is stamped `(0, 0)`,
+    /// which happens-before everything.
+    tid: usize,
+    epoch: u64,
+    /// The release clock an `Acquire` load of this store synchronizes
+    /// with; `None` for a `Relaxed` store (which is exactly why a relaxed
+    /// publish lets readers observe stale data).
+    rel: Option<VClock>,
+}
+
+struct AtomicHist {
+    stores: Vec<StoreEvent>,
+    /// Per-thread coherence floor: index of the newest store each thread
+    /// has read or written. Loads may not go back before it.
+    floor: Vec<usize>,
+    /// Modification-order length each thread saw at its last load of
+    /// this location. A repeated load with no intervening store reads
+    /// the newest store without branching — the C11 eventual-visibility
+    /// guarantee, and what keeps spin loops from growing the decision
+    /// tree forever. (Forcing freshness can only hide behaviors, never
+    /// invent impossible ones, so it stays sound for bug-finding.)
+    last_len: Vec<usize>,
+}
+
+struct MutexInfo {
+    locked: bool,
+    /// Clock of the most recent unlock; merged by the next locker
+    /// (acquire/release semantics of a mutex).
+    release: VClock,
+}
+
+struct RwInfo {
+    writer: bool,
+    readers: usize,
+    /// Clock of the last write-unlock (merged by readers and writers).
+    release_w: VClock,
+    /// Accumulated clocks of read-unlocks (merged by the next writer).
+    release_r: VClock,
+}
+
+pub(crate) struct ExecState {
+    exec_id: usize,
+    active: usize,
+    threads: Vec<ThreadInfo>,
+    atomics: Vec<AtomicHist>,
+    mutexes: Vec<MutexInfo>,
+    rwlocks: Vec<RwInfo>,
+    path: Vec<Decision>,
+    depth: usize,
+    preemptions: usize,
+    max_preemptions: usize,
+    steps: u64,
+    max_steps: u64,
+    /// Set when the iteration is over (all threads finished) or aborted
+    /// (fatal model error); parked threads check it to avoid leaking.
+    iteration_done: bool,
+    /// First user panic observed this iteration; re-raised by [`model`].
+    panic_payload: Option<Box<dyn Any + Send>>,
+    /// A model-level failure (deadlock, step cap, nondeterminism).
+    fatal: Option<&'static str>,
+}
+
+impl ExecState {
+    const fn new() -> ExecState {
+        ExecState {
+            exec_id: 0,
+            active: 0,
+            threads: Vec::new(),
+            atomics: Vec::new(),
+            mutexes: Vec::new(),
+            rwlocks: Vec::new(),
+            path: Vec::new(),
+            depth: 0,
+            preemptions: 0,
+            max_preemptions: 2,
+            steps: 0,
+            max_steps: 100_000,
+            iteration_done: false,
+            panic_payload: None,
+            fatal: None,
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.run == Run::Finished)
+    }
+}
+
+/// Registers a model-level failure, releases every parked thread, and
+/// panics. The panic unwinds through user code (dropping lock guards,
+/// whose unlock hooks see `iteration_done` and no-op) and is reported by
+/// [`model`] ahead of any user panic it masked.
+fn fatal(st: &mut ExecState, msg: &'static str) -> ! {
+    st.fatal = Some(msg);
+    st.iteration_done = true;
+    CV.notify_all();
+    panic!("loom shim: {msg}");
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+/// Replays or extends the decision path. Single-option points are free.
+fn decide(st: &mut ExecState, options: usize) -> usize {
+    if options <= 1 {
+        return 0;
+    }
+    let d = st.depth;
+    st.depth += 1;
+    if d < st.path.len() {
+        let rec = st.path[d];
+        if rec.options != options {
+            fatal(st, "nondeterministic execution: decision arity changed on replay");
+        }
+        rec.chosen
+    } else {
+        st.path.push(Decision { chosen: 0, options });
+        0
+    }
+}
+
+/// Picks the next thread to run. `me` comes first in the option order, so
+/// the default (chosen = 0) continues the current thread — preemptions
+/// only happen on explicitly-explored branches. Yielded threads are
+/// eligible only when no plain-runnable thread exists.
+fn choose_next(st: &mut ExecState, me: usize) -> usize {
+    let mut runnable = Vec::new();
+    let mut yielded = Vec::new();
+    let mut ordered: Vec<usize> = Vec::with_capacity(st.threads.len());
+    ordered.push(me);
+    ordered.extend((0..st.threads.len()).filter(|&t| t != me));
+    for &t in &ordered {
+        match st.threads[t].run {
+            Run::Runnable => runnable.push(t),
+            Run::Yielded => yielded.push(t),
+            _ => {}
+        }
+    }
+    let mut pool = if runnable.is_empty() { yielded } else { runnable };
+    if pool.is_empty() {
+        fatal(st, "deadlock: every unfinished thread is blocked");
+    }
+    if st.preemptions >= st.max_preemptions && pool.contains(&me) {
+        pool = vec![me];
+    }
+    let idx = decide(st, pool.len());
+    let next = pool[idx];
+    if st.threads[next].run == Run::Yielded {
+        st.threads[next].run = Run::Runnable;
+    }
+    next
+}
+
+/// Parks the calling OS thread until the scheduler hands control back.
+fn wait_for_turn(mut st: MutexGuard<'_, ExecState>, me: usize) -> MutexGuard<'_, ExecState> {
+    loop {
+        if st.iteration_done {
+            drop(st);
+            panic!("loom shim: execution aborted");
+        }
+        if st.active == me {
+            return st;
+        }
+        st = CV.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// The scheduling point before every visible operation: bumps the
+/// thread's clock, lets the scheduler preempt, and returns once the
+/// thread is active again.
+fn schedule_point(mut st: MutexGuard<'_, ExecState>, me: usize) -> MutexGuard<'_, ExecState> {
+    if st.iteration_done {
+        return st; // aborted execution: unwind path, no more modeling
+    }
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        fatal(&mut st, "step cap exceeded (livelock, or raise LOOM_MAX_STEPS)");
+    }
+    let t = &mut st.threads[me];
+    t.epoch += 1;
+    let e = t.epoch;
+    if t.clock.len() <= me {
+        t.clock.resize(me + 1, 0);
+    }
+    t.clock[me] = e;
+    let next = choose_next(&mut st, me);
+    if next == me {
+        return st;
+    }
+    st.preemptions += 1;
+    st.active = next;
+    CV.notify_all();
+    wait_for_turn(st, me)
+}
+
+/// Blocks the current thread with reason `how` and forces a switch; the
+/// forced switch is not a preemption. Returns once rescheduled.
+fn block_current(
+    mut st: MutexGuard<'_, ExecState>,
+    me: usize,
+    how: Run,
+) -> MutexGuard<'_, ExecState> {
+    if st.iteration_done {
+        return st;
+    }
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        fatal(&mut st, "step cap exceeded (livelock, or raise LOOM_MAX_STEPS)");
+    }
+    st.threads[me].run = how;
+    let next = choose_next(&mut st, me);
+    st.active = next;
+    CV.notify_all();
+    let mut st = wait_for_turn(st, me);
+    st.threads[me].run = Run::Runnable;
+    st
+}
+
+fn wake(st: &mut ExecState, pred: impl Fn(Run) -> bool) {
+    for t in st.threads.iter_mut() {
+        if pred(t.run) {
+            t.run = Run::Runnable;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Object registration
+// ---------------------------------------------------------------------------
+
+/// Per-object registration cell embedded in every shim primitive. An
+/// object registers lazily on first touch *per execution*, so statics
+/// (whose std-side value persists across iterations) and fresh per-
+/// iteration objects both work, and stale slots from earlier iterations
+/// are never reused.
+pub(crate) struct Registration {
+    exec: AtomicUsize,
+    slot: AtomicUsize,
+}
+
+impl Registration {
+    pub(crate) const fn new() -> Registration {
+        Registration { exec: AtomicUsize::new(0), slot: AtomicUsize::new(0) }
+    }
+}
+
+impl std::fmt::Debug for Registration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Registration")
+    }
+}
+
+fn ensure_atomic(st: &mut ExecState, reg: &Registration, init: u64) -> usize {
+    if reg.exec.load(AtomOrd::Relaxed) == st.exec_id {
+        return reg.slot.load(AtomOrd::Relaxed);
+    }
+    let slot = st.atomics.len();
+    st.atomics.push(AtomicHist {
+        stores: vec![StoreEvent { value: init, tid: 0, epoch: 0, rel: None }],
+        floor: Vec::new(),
+        last_len: Vec::new(),
+    });
+    reg.slot.store(slot, AtomOrd::Relaxed);
+    reg.exec.store(st.exec_id, AtomOrd::Relaxed);
+    slot
+}
+
+fn ensure_mutex(st: &mut ExecState, reg: &Registration) -> usize {
+    if reg.exec.load(AtomOrd::Relaxed) == st.exec_id {
+        return reg.slot.load(AtomOrd::Relaxed);
+    }
+    let slot = st.mutexes.len();
+    st.mutexes.push(MutexInfo { locked: false, release: Vec::new() });
+    reg.slot.store(slot, AtomOrd::Relaxed);
+    reg.exec.store(st.exec_id, AtomOrd::Relaxed);
+    slot
+}
+
+fn ensure_rwlock(st: &mut ExecState, reg: &Registration) -> usize {
+    if reg.exec.load(AtomOrd::Relaxed) == st.exec_id {
+        return reg.slot.load(AtomOrd::Relaxed);
+    }
+    let slot = st.rwlocks.len();
+    st.rwlocks.push(RwInfo {
+        writer: false,
+        readers: 0,
+        release_w: Vec::new(),
+        release_r: Vec::new(),
+    });
+    reg.slot.store(slot, AtomOrd::Relaxed);
+    reg.exec.store(st.exec_id, AtomOrd::Relaxed);
+    slot
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+fn acquires(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Modeled atomic load; `None` when the caller is not a model thread
+/// (passthrough). The observed store is a recorded decision: any store in
+/// the modification order that is neither superseded by a newer
+/// happened-before store nor older than the thread's coherence floor.
+pub(crate) fn atomic_load(reg: &Registration, init: u64, ordering: Ordering) -> Option<u64> {
+    let me = current_tid()?;
+    let mut st = lock_state();
+    let slot = ensure_atomic(&mut st, reg, init);
+    let mut st = schedule_point(st, me);
+    if st.iteration_done {
+        return None;
+    }
+    let n = st.atomics[slot].stores.len();
+    let mut last_hb = 0;
+    for j in 0..n {
+        let s = &st.atomics[slot].stores[j];
+        if clock_covers(&st.threads[me].clock, s.tid, s.epoch) {
+            last_hb = j;
+        }
+    }
+    if st.atomics[slot].floor.len() <= me {
+        st.atomics[slot].floor.resize(me + 1, 0);
+    }
+    if st.atomics[slot].last_len.len() <= me {
+        st.atomics[slot].last_len.resize(me + 1, 0);
+    }
+    let repeat = st.atomics[slot].last_len[me] == n;
+    st.atomics[slot].last_len[me] = n;
+    let lo = last_hb.max(st.atomics[slot].floor[me]);
+    let idx = if ordering == Ordering::SeqCst || repeat {
+        // SeqCst loads read the newest store (per-location sequential
+        // consistency; the cross-location SC total order is not modeled
+        // — strictly stronger, so no false alarms). A repeated load with
+        // no new stores in between also reads the newest: eventual
+        // visibility, which keeps spin loops finite.
+        n - 1
+    } else {
+        // Candidates newest-first, so the default path behaves like SC
+        // and stale reads are the explored alternatives.
+        n - 1 - decide(&mut st, n - lo)
+    };
+    st.atomics[slot].floor[me] = st.atomics[slot].floor[me].max(idx);
+    if acquires(ordering) {
+        if let Some(rel) = st.atomics[slot].stores[idx].rel.clone() {
+            clock_merge(&mut st.threads[me].clock, &rel);
+        }
+    }
+    Some(st.atomics[slot].stores[idx].value)
+}
+
+/// Modeled atomic store; `false` when not a model thread. The caller
+/// syncs the std-side value afterwards (it stays the modification-order
+/// tail because only one model thread runs at a time).
+pub(crate) fn atomic_store(reg: &Registration, init: u64, value: u64, ordering: Ordering) -> bool {
+    let Some(me) = current_tid() else { return false };
+    let mut st = lock_state();
+    let slot = ensure_atomic(&mut st, reg, init);
+    let mut st = schedule_point(st, me);
+    if st.iteration_done {
+        return false;
+    }
+    let rel = releases(ordering).then(|| st.threads[me].clock.clone());
+    let epoch = st.threads[me].epoch;
+    st.atomics[slot].stores.push(StoreEvent { value, tid: me, epoch, rel });
+    let idx = st.atomics[slot].stores.len() - 1;
+    if st.atomics[slot].floor.len() <= me {
+        st.atomics[slot].floor.resize(me + 1, 0);
+    }
+    st.atomics[slot].floor[me] = idx;
+    true
+}
+
+/// Modeled read-modify-write; `None` when not a model thread. An RMW
+/// reads the modification-order tail (atomicity) and continues the
+/// release sequence of the store it replaces.
+pub(crate) fn atomic_rmw(
+    reg: &Registration,
+    init: u64,
+    f: &dyn Fn(u64) -> u64,
+    ordering: Ordering,
+) -> Option<u64> {
+    let me = current_tid()?;
+    let mut st = lock_state();
+    let slot = ensure_atomic(&mut st, reg, init);
+    let mut st = schedule_point(st, me);
+    if st.iteration_done {
+        return None;
+    }
+    let n = st.atomics[slot].stores.len();
+    let prev = st.atomics[slot].stores[n - 1].value;
+    let prev_rel = st.atomics[slot].stores[n - 1].rel.clone();
+    if acquires(ordering) {
+        if let Some(r) = &prev_rel {
+            clock_merge(&mut st.threads[me].clock, r);
+        }
+    }
+    let mut rel = releases(ordering).then(|| st.threads[me].clock.clone());
+    if let Some(pr) = prev_rel {
+        match &mut rel {
+            Some(r) => clock_merge(r, &pr),
+            None => rel = Some(pr),
+        }
+    }
+    let epoch = st.threads[me].epoch;
+    st.atomics[slot].stores.push(StoreEvent { value: f(prev), tid: me, epoch, rel });
+    if st.atomics[slot].floor.len() <= me {
+        st.atomics[slot].floor.resize(me + 1, 0);
+    }
+    st.atomics[slot].floor[me] = n;
+    Some(prev)
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / RwLock
+// ---------------------------------------------------------------------------
+
+/// Model-level mutex acquisition; `false` when not a model thread.
+pub(crate) fn mutex_lock(reg: &Registration) -> bool {
+    let Some(me) = current_tid() else { return false };
+    let mut st = lock_state();
+    let slot = ensure_mutex(&mut st, reg);
+    let mut st = schedule_point(st, me);
+    loop {
+        if st.iteration_done {
+            return true; // aborted: std-level lock still provides exclusion
+        }
+        if !st.mutexes[slot].locked {
+            st.mutexes[slot].locked = true;
+            let rel = st.mutexes[slot].release.clone();
+            clock_merge(&mut st.threads[me].clock, &rel);
+            return true;
+        }
+        st = block_current(st, me, Run::BlockedMutex(slot));
+    }
+}
+
+pub(crate) fn mutex_unlock(reg: &Registration) {
+    let Some(me) = current_tid() else { return };
+    let mut st = lock_state();
+    let slot = ensure_mutex(&mut st, reg);
+    let mut st = schedule_point(st, me);
+    if st.iteration_done {
+        return;
+    }
+    st.mutexes[slot].locked = false;
+    st.mutexes[slot].release = st.threads[me].clock.clone();
+    wake(&mut st, |r| r == Run::BlockedMutex(slot));
+}
+
+pub(crate) fn rw_read_lock(reg: &Registration) -> bool {
+    let Some(me) = current_tid() else { return false };
+    let mut st = lock_state();
+    let slot = ensure_rwlock(&mut st, reg);
+    let mut st = schedule_point(st, me);
+    loop {
+        if st.iteration_done {
+            return true;
+        }
+        if !st.rwlocks[slot].writer {
+            st.rwlocks[slot].readers += 1;
+            let rel = st.rwlocks[slot].release_w.clone();
+            clock_merge(&mut st.threads[me].clock, &rel);
+            return true;
+        }
+        st = block_current(st, me, Run::BlockedRwRead(slot));
+    }
+}
+
+pub(crate) fn rw_read_unlock(reg: &Registration) {
+    let Some(me) = current_tid() else { return };
+    let mut st = lock_state();
+    let slot = ensure_rwlock(&mut st, reg);
+    let mut st = schedule_point(st, me);
+    if st.iteration_done {
+        return;
+    }
+    st.rwlocks[slot].readers = st.rwlocks[slot].readers.saturating_sub(1);
+    let clock = st.threads[me].clock.clone();
+    clock_merge(&mut st.rwlocks[slot].release_r, &clock);
+    wake(&mut st, |r| r == Run::BlockedRwWrite(slot));
+}
+
+pub(crate) fn rw_write_lock(reg: &Registration) -> bool {
+    let Some(me) = current_tid() else { return false };
+    let mut st = lock_state();
+    let slot = ensure_rwlock(&mut st, reg);
+    let mut st = schedule_point(st, me);
+    loop {
+        if st.iteration_done {
+            return true;
+        }
+        if !st.rwlocks[slot].writer && st.rwlocks[slot].readers == 0 {
+            st.rwlocks[slot].writer = true;
+            let rw = st.rwlocks[slot].release_w.clone();
+            let rr = st.rwlocks[slot].release_r.clone();
+            clock_merge(&mut st.threads[me].clock, &rw);
+            clock_merge(&mut st.threads[me].clock, &rr);
+            return true;
+        }
+        st = block_current(st, me, Run::BlockedRwWrite(slot));
+    }
+}
+
+pub(crate) fn rw_write_unlock(reg: &Registration) {
+    let Some(me) = current_tid() else { return };
+    let mut st = lock_state();
+    let slot = ensure_rwlock(&mut st, reg);
+    let mut st = schedule_point(st, me);
+    if st.iteration_done {
+        return;
+    }
+    st.rwlocks[slot].writer = false;
+    st.rwlocks[slot].release_w = st.threads[me].clock.clone();
+    wake(&mut st, |r| r == Run::BlockedRwWrite(slot) || r == Run::BlockedRwRead(slot));
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Spawns a model thread running `f` on a fresh OS thread; `None` when
+/// the caller is not inside a model. The child inherits the parent's
+/// clock (the spawn happens-before everything in the child).
+pub(crate) fn spawn_model(f: Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>) -> Option<usize> {
+    let me = current_tid()?;
+    let st = lock_state();
+    let mut st = schedule_point(st, me);
+    if st.iteration_done {
+        drop(st);
+        panic!("loom shim: execution aborted");
+    }
+    let tid = st.threads.len();
+    let mut clock = st.threads[me].clock.clone();
+    if clock.len() <= tid {
+        clock.resize(tid + 1, 0);
+    }
+    clock[tid] = 1;
+    st.threads.push(ThreadInfo { run: Run::Runnable, clock, epoch: 1, result: None });
+    drop(st);
+    std::thread::Builder::new()
+        .name(format!("loom-model-{tid}"))
+        .spawn(move || {
+            TL_TID.with(|c| c.set(Some(tid)));
+            let res = catch_unwind(AssertUnwindSafe(move || {
+                let st = lock_state();
+                drop(wait_for_turn(st, tid));
+                f()
+            }));
+            finish_thread(tid, res);
+        })
+        .expect("loom shim: failed to spawn a model OS thread");
+    Some(tid)
+}
+
+/// Marks `tid` finished, records its result or panic, wakes joiners, and
+/// hands control to the next runnable thread (or ends the iteration).
+fn finish_thread(tid: usize, res: Result<Box<dyn Any + Send>, Box<dyn Any + Send>>) {
+    let mut st = lock_state();
+    match res {
+        Ok(v) => st.threads[tid].result = Some(v),
+        Err(p) => {
+            if st.panic_payload.is_none() && st.fatal.is_none() {
+                st.panic_payload = Some(p);
+            }
+        }
+    }
+    st.threads[tid].run = Run::Finished;
+    wake(&mut st, |r| r == Run::BlockedJoin(tid));
+    if st.iteration_done {
+        return; // aborted execution: main is already being notified
+    }
+    if st.all_finished() {
+        st.iteration_done = true;
+        CV.notify_all();
+        return;
+    }
+    let next = choose_next(&mut st, tid);
+    st.active = next;
+    CV.notify_all();
+}
+
+/// Model-level join: blocks until `target` finishes, merges its clock
+/// (join edge), and returns its boxed result.
+pub(crate) fn join_model(target: usize) -> std::thread::Result<Box<dyn Any + Send>> {
+    let me = current_tid().expect("loom shim: model JoinHandle joined outside the model");
+    let st = lock_state();
+    let mut st = schedule_point(st, me);
+    while st.threads[target].run != Run::Finished {
+        if st.iteration_done {
+            drop(st);
+            panic!("loom shim: execution aborted");
+        }
+        st = block_current(st, me, Run::BlockedJoin(target));
+    }
+    let tclock = st.threads[target].clock.clone();
+    clock_merge(&mut st.threads[me].clock, &tclock);
+    match st.threads[target].result.take() {
+        Some(v) => Ok(v),
+        None => Err(Box::new("loom model thread panicked")),
+    }
+}
+
+/// Model-level yield: deprioritizes the calling thread until every other
+/// runnable thread has had a chance to run. `false` outside a model.
+pub(crate) fn yield_model() -> bool {
+    let Some(me) = current_tid() else { return false };
+    let mut st = lock_state();
+    if st.iteration_done {
+        return true;
+    }
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        fatal(&mut st, "step cap exceeded (livelock, or raise LOOM_MAX_STEPS)");
+    }
+    let t = &mut st.threads[me];
+    t.epoch += 1;
+    let e = t.epoch;
+    if t.clock.len() <= me {
+        t.clock.resize(me + 1, 0);
+    }
+    t.clock[me] = e;
+    t.run = Run::Yielded;
+    let next = choose_next(&mut st, me);
+    if next == me {
+        return true;
+    }
+    st.active = next;
+    CV.notify_all();
+    let mut st = wait_for_turn(st, me);
+    st.threads[me].run = Run::Runnable;
+    true
+}
+
+// ---------------------------------------------------------------------------
+// The model driver
+// ---------------------------------------------------------------------------
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+/// Advances the decision path to the next unexplored schedule; `false`
+/// when the tree is exhausted.
+fn advance(path: &mut Vec<Decision>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.options {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Resets the thread-local model-thread id even when an iteration panics.
+struct TlGuard;
+
+impl Drop for TlGuard {
+    fn drop(&mut self) {
+        TL_TID.with(|c| c.set(None));
+    }
+}
+
+/// Runs `f` under every schedule the checker can distinguish (see the
+/// crate docs for the model and its deliberate simplifications). Panics
+/// — re-raising the closure's own panic — as soon as any schedule makes
+/// the closure fail.
+pub fn model<F: Fn()>(f: F) {
+    let _session = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+    let max_preemptions = env_u64("LOOM_MAX_PREEMPTIONS", 2) as usize;
+    let max_iterations = env_u64("LOOM_MAX_ITERATIONS", 500_000);
+    let max_steps = env_u64("LOOM_MAX_STEPS", 100_000);
+    let mut path: Vec<Decision> = Vec::new();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        if iterations > max_iterations {
+            panic!(
+                "loom shim: exceeded {max_iterations} iterations without exhausting \
+                 the schedule tree (shrink the scenario or raise LOOM_MAX_ITERATIONS)"
+            );
+        }
+        {
+            let mut st = lock_state();
+            *st = ExecState::new();
+            st.exec_id = EXEC_ID.fetch_add(1, AtomOrd::Relaxed);
+            st.max_preemptions = max_preemptions;
+            st.max_steps = max_steps;
+            st.path = std::mem::take(&mut path);
+            st.threads.push(ThreadInfo {
+                run: Run::Runnable,
+                clock: vec![1],
+                epoch: 1,
+                result: None,
+            });
+            st.active = 0;
+        }
+        let _tl = TlGuard;
+        TL_TID.with(|c| c.set(Some(0)));
+        let res = catch_unwind(AssertUnwindSafe(&f));
+        let (fatal_msg, payload) = {
+            let mut st = lock_state();
+            if let Err(p) = res {
+                if st.panic_payload.is_none() && st.fatal.is_none() {
+                    st.panic_payload = Some(p);
+                }
+            }
+            st.threads[0].run = Run::Finished;
+            wake(&mut st, |r| r == Run::BlockedJoin(0));
+            if st.all_finished() {
+                st.iteration_done = true;
+                CV.notify_all();
+            } else if !st.iteration_done {
+                let next = choose_next(&mut st, 0);
+                st.active = next;
+                CV.notify_all();
+            }
+            while !st.iteration_done {
+                st = CV.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            path = std::mem::take(&mut st.path);
+            (st.fatal.take(), st.panic_payload.take())
+        };
+        if let Some(msg) = fatal_msg {
+            panic!("loom shim: {msg} (iteration {iterations})");
+        }
+        if let Some(p) = payload {
+            let choices: Vec<usize> = path.iter().map(|d| d.chosen).collect();
+            eprintln!(
+                "loom shim: failing schedule found on iteration {iterations}; \
+                 decision path {choices:?}"
+            );
+            resume_unwind(p);
+        }
+        if !advance(&mut path) {
+            break;
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Vendored stand-in for [loom](https://docs.rs/loom): an exhaustive
+//! model checker for the `std::sync`/`std::thread` subset this workspace
+//! consumes through `vaq_core::sync`.
+//!
+//! [`model`] runs a closure repeatedly, exploring every schedule the
+//! checker can distinguish: a depth-first search over (a) which thread
+//! performs the next visible operation (preemption-bounded) and (b) for
+//! every atomic load, *which* store in the location's modification order
+//! the load observes, constrained by the C11 coherence and
+//! happens-before rules derived from vector clocks. `Acquire` loads
+//! merge the release clock of the store they read; `Relaxed` loads do
+//! not — so a data race that a `Release`/`Acquire` pair would forbid is
+//! actually *explored* and the assertion that should catch it fires.
+//!
+//! The types mirror `std` deliberately: [`sync::Mutex`]/[`sync::RwLock`]
+//! keep `std`'s poisoning `LockResult` API, atomics take
+//! [`std::sync::atomic::Ordering`], and every type is usable *outside*
+//! [`model`] too, where it degrades to a plain passthrough over the
+//! underlying `std` primitive (so a crate compiled with `--cfg loom`
+//! still works when ordinary code paths run). That dual mode also makes
+//! every type `const`-constructible, which real loom's are not — the
+//! workspace's statics (fault registry, thread budget) keep working.
+//!
+//! Deliberate simplifications, all *sound* for checking (they can only
+//! hide behaviors, never invent impossible ones — no false alarms):
+//!
+//! - `SeqCst` loads read only the newest store (per-location SC); the
+//!   global SC order over mixed-location `SeqCst` ops is not modeled.
+//! - `Arc` is re-exported from `std`: reference counts are not protocol
+//!   state, and the pointed-to data is always published through a
+//!   modeled lock or atomic.
+//! - Plain (non-atomic) conflicting accesses are not detected — the
+//!   consumer workspace is `#![forbid(unsafe_code)]`, so any shared
+//!   mutation already goes through a modeled primitive.
+//! - `thread::yield_now` deprioritizes the yielding thread until every
+//!   other runnable thread has had a chance to run, and a repeated load
+//!   of the same location with no intervening store reads the newest
+//!   store without branching (the C11 eventual-visibility guarantee).
+//!   Together these make yield-spin loops terminate under exhaustive
+//!   exploration instead of growing the schedule tree forever.
+//!
+//! Knobs (environment variables, read per [`model`] call):
+//! `LOOM_MAX_PREEMPTIONS` (default 2), `LOOM_MAX_ITERATIONS` (default
+//! 500000), `LOOM_MAX_STEPS` per execution (default 100000).
+
+pub mod exec;
+pub mod sync;
+pub mod thread;
+
+pub use exec::model;

@@ -1,0 +1,88 @@
+//! Model-aware drop-ins for the `std::thread` subset the workspace uses.
+//!
+//! Inside a [`crate::model`] run, `spawn` registers a model thread (one
+//! real OS thread, scheduled cooperatively by the checker) and `join`
+//! blocks at the model level with a proper join happens-before edge.
+//! Outside a model everything passes through to `std::thread`.
+
+use crate::exec;
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// Re-exported unchanged: scoped batch workers are pure computation in
+/// this workspace (no shared-state protocol), so they are intentionally
+/// not modeled.
+pub use std::thread::{available_parallelism, scope, Scope};
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+pub fn yield_now() {
+    if !exec::yield_model() {
+        std::thread::yield_now();
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if exec::current_tid().is_some() {
+            let boxed = Box::new(move || Box::new(f()) as Box<dyn Any + Send>);
+            let tid = exec::spawn_model(boxed).expect("loom shim: spawn raced with model teardown");
+            Ok(JoinHandle { inner: Inner::Model { tid, _result: PhantomData } })
+        } else {
+            let mut b = std::thread::Builder::new();
+            if let Some(n) = self.name {
+                b = b.name(n);
+            }
+            b.spawn(f).map(|h| JoinHandle { inner: Inner::Std(h) })
+        }
+    }
+}
+
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model { tid: usize, _result: PhantomData<fn() -> T> },
+}
+
+impl<T: 'static> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { tid, .. } => exec::join_model(tid)
+                .map(|boxed| *boxed.downcast::<T>().expect("loom shim: join result type mismatch")),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle(..)")
+    }
+}

@@ -1,0 +1,196 @@
+//! Litmus tests for the vendored loom checker itself: classic
+//! message-passing and store-buffering shapes where the set of outcomes
+//! the model may explore is known from the C11 memory model. These run
+//! in the default test tier (no `--cfg loom` needed — they drive
+//! `loom::model` directly), so a regression in the checker fails CI
+//! before any consumer suite relies on it.
+
+use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Release/Acquire message passing: the reader that observes the flag
+/// must observe the payload. This must hold on every schedule.
+#[test]
+fn message_passing_release_acquire_always_sound() {
+    loom::model(|| {
+        let payload = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (p2, f2) = (Arc::clone(&payload), Arc::clone(&flag));
+        let writer = thread::spawn(move || {
+            p2.store(42, Ordering::Relaxed);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(payload.load(Ordering::Relaxed), 42);
+        }
+        writer.join().unwrap();
+    });
+}
+
+/// The same shape with a Relaxed publish is a real bug, and the checker
+/// must find the schedule that exposes it: flag observed true while the
+/// payload load still returns the stale initial value.
+#[test]
+fn message_passing_relaxed_publish_is_caught() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let payload = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (p2, f2) = (Arc::clone(&payload), Arc::clone(&flag));
+            let writer = thread::spawn(move || {
+                p2.store(42, Ordering::Relaxed);
+                f2.store(true, Ordering::Relaxed); // BUG: no release edge
+            });
+            if flag.load(Ordering::Relaxed) {
+                assert_eq!(payload.load(Ordering::Relaxed), 42);
+            }
+            writer.join().unwrap();
+        });
+    }));
+    assert!(result.is_err(), "checker failed to expose the stale read a Relaxed publish allows");
+}
+
+/// Store buffering with SeqCst: both threads reading the initial value is
+/// forbidden under sequential consistency, and the checker's
+/// per-location-SC treatment of SeqCst must never produce it.
+#[test]
+fn store_buffering_seqcst_forbids_both_stale() {
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            y2.load(Ordering::SeqCst)
+        });
+        y.store(1, Ordering::SeqCst);
+        let r_main = x.load(Ordering::SeqCst);
+        let r_spawned = t.join().unwrap();
+        assert!(r_main == 1 || r_spawned == 1, "both threads read stale values under SeqCst");
+    });
+}
+
+/// Store buffering with Relaxed everywhere: both-stale IS allowed by the
+/// model, and exhaustive exploration must reach it (this is the
+/// exhaustiveness smoke test — a schedule-only checker without weak
+/// memory modeling would miss it on x86).
+#[test]
+fn store_buffering_relaxed_explores_both_stale() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t = thread::spawn(move || {
+                x2.store(1, Ordering::Relaxed);
+                y2.load(Ordering::Relaxed)
+            });
+            y.store(1, Ordering::Relaxed);
+            let r_main = x.load(Ordering::Relaxed);
+            let r_spawned = t.join().unwrap();
+            assert!(r_main == 1 || r_spawned == 1);
+        });
+    }));
+    assert!(result.is_err(), "checker never explored the relaxed both-stale outcome");
+}
+
+/// Mutual exclusion plus the release/acquire edge of unlock→lock: two
+/// increments through a mutex always total 2.
+#[test]
+fn mutex_counter_is_exact() {
+    loom::model(|| {
+        let counter = Arc::new(Mutex::new(0u64));
+        let c2 = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            *c2.lock().unwrap() += 1;
+        });
+        *counter.lock().unwrap() += 1;
+        t.join().unwrap();
+        assert_eq!(*counter.lock().unwrap(), 2);
+    });
+}
+
+/// A coherence check: once a thread has observed a store, a later load
+/// on the same thread may not travel back before it.
+#[test]
+fn read_read_coherence_holds() {
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+        });
+        let first = x.load(Ordering::Relaxed);
+        let second = x.load(Ordering::Relaxed);
+        assert!(second >= first, "load traveled backwards in coherence order");
+        t.join().unwrap();
+    });
+}
+
+/// Yield-spin termination: a reader spinning with `yield_now` on a flag
+/// must terminate under exhaustive exploration (the scheduler
+/// deprioritizes yielded threads instead of replaying the spin forever).
+#[test]
+fn yield_spin_loop_terminates() {
+    loom::model(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let t = thread::spawn(move || {
+            f2.store(true, Ordering::Release);
+        });
+        while !flag.load(Ordering::Acquire) {
+            thread::yield_now();
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Join edge: everything the child did happens-before the parent after
+/// join, even with Relaxed accesses.
+#[test]
+fn join_establishes_happens_before() {
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            x2.store(7, Ordering::Relaxed);
+        });
+        t.join().unwrap();
+        assert_eq!(x.load(Ordering::Relaxed), 7);
+    });
+}
+
+/// Passthrough mode: outside `model`, the types behave like std.
+#[test]
+fn passthrough_outside_model() {
+    let x = AtomicU64::new(1);
+    x.store(5, Ordering::SeqCst);
+    assert_eq!(x.load(Ordering::SeqCst), 5);
+    assert_eq!(x.fetch_add(2, Ordering::SeqCst), 5);
+    assert_eq!(x.load(Ordering::SeqCst), 7);
+    let m = Mutex::new(3u32);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 4);
+    let h = thread::spawn(|| 11u8);
+    assert_eq!(h.join().unwrap(), 11);
+}
+
+/// RwLock: a writer publishing under the write lock is visible to a
+/// reader under the read lock, and two model iterations of the same
+/// scenario stay deterministic.
+#[test]
+fn rwlock_write_visible_to_reader() {
+    loom::model(|| {
+        let cell = Arc::new(loom::sync::RwLock::new(0u64));
+        let c2 = Arc::clone(&cell);
+        let t = thread::spawn(move || {
+            *c2.write().unwrap() = 9;
+        });
+        let seen = *cell.read().unwrap();
+        assert!(seen == 0 || seen == 9);
+        t.join().unwrap();
+        assert_eq!(*cell.read().unwrap(), 9);
+    });
+}

@@ -19,6 +19,8 @@
 //!   paper's datasets.
 //! * [`metrics`] — recall/MAP, Wilcoxon, Friedman + Nemenyi.
 
+#![forbid(unsafe_code)]
+
 pub use vaq_baselines as baselines;
 pub use vaq_core as core;
 pub use vaq_dataset as dataset;
