@@ -202,5 +202,5 @@ fn main() {
             ])
         })
         .collect();
-    write_json(std::path::Path::new("results"), "microbench.json", &rows);
+    write_json(std::path::Path::new("results"), "microbench.json", &rows).expect("write results");
 }

@@ -107,5 +107,5 @@ fn main() {
     }
     print_table(&["prefix subspaces", "recall@100", "query time", "vectors skipped (q0)"], &rows);
 
-    write_json(&args.out_dir, "ablation_design_choices.json", &results);
+    write_json(&args.out_dir, "ablation_design_choices.json", &results).expect("write results");
 }

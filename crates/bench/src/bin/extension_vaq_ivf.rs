@@ -146,5 +146,5 @@ fn main() {
     }
 
     print_table(&["method", "config", "recall@100", "query time", "build time"], &rows);
-    write_json(&args.out_dir, "extension_vaq_ivf.json", &results);
+    write_json(&args.out_dir, "extension_vaq_ivf.json", &results).expect("write results");
 }

@@ -169,5 +169,5 @@ fn main() {
         println!();
     }
 
-    write_json(&args.out_dir, "fig01_quantizer_tradeoff.json", &results);
+    write_json(&args.out_dir, "fig01_quantizer_tradeoff.json", &results).expect("write results");
 }

@@ -82,5 +82,5 @@ fn main() {
         cbf_cum,
         if slc_cum > cbf_cum { "REPRODUCED" } else { "NOT reproduced" }
     );
-    write_json(&args.out_dir, "fig03_variance_profiles.json", &out);
+    write_json(&args.out_dir, "fig03_variance_profiles.json", &out).expect("write results");
 }

@@ -157,5 +157,5 @@ fn main() {
         print_table(&["subspaces used", "PQ", "OPQ", "VAQ"], &rows);
         println!();
     }
-    write_json(&args.out_dir, "fig04_subspace_importance.json", &results);
+    write_json(&args.out_dir, "fig04_subspace_importance.json", &results).expect("write results");
 }

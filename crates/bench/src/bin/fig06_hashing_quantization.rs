@@ -175,5 +175,5 @@ fn main() {
         datasets.len(),
         mean_speedup
     );
-    write_json(&args.out_dir, "fig06_hashing_quantization.json", &results);
+    write_json(&args.out_dir, "fig06_hashing_quantization.json", &results).expect("write results");
 }

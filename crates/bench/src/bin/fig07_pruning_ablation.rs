@@ -105,5 +105,5 @@ fn main() {
         avg(|r| r.2),
         avg(|r| r.3)
     );
-    write_json(&args.out_dir, "fig07_pruning_ablation.json", &results);
+    write_json(&args.out_dir, "fig07_pruning_ablation.json", &results).expect("write results");
 }

@@ -137,5 +137,5 @@ fn main() {
         }
         println!();
     }
-    write_json(&args.out_dir, "fig08_hw_accelerated.json", &results);
+    write_json(&args.out_dir, "fig08_hw_accelerated.json", &results).expect("write results");
 }

@@ -110,5 +110,5 @@ fn main() {
         }
     }
     println!("\nShape check: adaptive ≥ uniform in {adaptive_wins}/{total} configurations");
-    write_json(&args.out_dir, "fig09_adaptive_ablation.json", &results);
+    write_json(&args.out_dir, "fig09_adaptive_ablation.json", &results).expect("write results");
 }

@@ -142,5 +142,5 @@ fn main() {
         ("p_value", fr.p_value.to_json()),
         ("critical_difference", cd.to_json()),
     ]);
-    write_json(&args.out_dir, "fig10_critical_difference.json", &out);
+    write_json(&args.out_dir, "fig10_critical_difference.json", &out).expect("write results");
 }

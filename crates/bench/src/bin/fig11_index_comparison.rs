@@ -192,5 +192,5 @@ fn main() {
         print_table(&["target recall", "VAQ", "iSAX2+", "DSTree", "IMI+OPQ"], &srows);
         println!();
     }
-    write_json(&args.out_dir, "fig11_index_comparison.json", &results);
+    write_json(&args.out_dir, "fig11_index_comparison.json", &results).expect("write results");
 }

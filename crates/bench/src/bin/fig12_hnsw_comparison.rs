@@ -142,5 +142,5 @@ fn main() {
     } else {
         println!("\nShape check: no HNSW configuration reached VAQ's MAP − 0.05");
     }
-    write_json(&args.out_dir, "fig12_hnsw_comparison.json", &results);
+    write_json(&args.out_dir, "fig12_hnsw_comparison.json", &results).expect("write results");
 }

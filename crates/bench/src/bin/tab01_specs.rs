@@ -191,5 +191,5 @@ fn main() {
         "Shape check: VAQ matches all four specifications: {}",
         if four_checks { "yes (paper Table I)" } else { "NO" }
     );
-    write_json(&args.out_dir, "tab01_specs.json", &results);
+    write_json(&args.out_dir, "tab01_specs.json", &results).expect("write results");
 }

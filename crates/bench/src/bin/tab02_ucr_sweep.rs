@@ -156,5 +156,5 @@ fn main() {
     }
 
     let scores = ArchiveScores { methods: method_names, recall5, datasets: dataset_names };
-    write_json(&args.out_dir, "tab02_ucr_scores.json", &scores);
+    write_json(&args.out_dir, "tab02_ucr_scores.json", &scores).expect("write results");
 }

@@ -48,6 +48,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&opts),
         "audit" => cmd_audit(&opts),
         "chaos" => cmd_chaos(&opts),
+        "crash" => cmd_crash(&opts),
         "bench" => cmd_bench(&opts),
         other => Err(format!("unknown command `{other}`")),
     };
@@ -71,6 +72,7 @@ USAGE:
   vaq_cli info   --index INDEX
   vaq_cli audit  INDEX            (or --index INDEX)
   vaq_cli chaos  [--seed-range 0..32] [--p 0.3] [--n 400] [--dim 16]
+  vaq_cli crash  [--durability] [--seed 7] [--n 96] [--dim 12] [--k 8]
   vaq_cli bench  [--n 100000] [--dim 64] [--queries 16] [--k 10]
                  [--budget 48] [--segments 8] [--seed 7] [--reps 3]
                  [--train-limit 20000] [--out results] [--profile]
@@ -88,6 +90,17 @@ schedule then drives a segmented index across seal, tombstone-purge, and
 merge boundaries (sites `segment.seal` / `segment.compact`), checking
 that failed maintenance degrades without losing rows, resurfacing
 deleted rows, or corrupting query answers.
+`crash` is the deterministic crash-point recovery harness: a counting
+pass enumerates every IO point a scripted durable workload touches
+(sites `persist.wal_append` / `persist.commit` / `persist.fsync`), then
+one run per point kills the workload there with a simulated power loss
+(`Trigger::CrashPoint` — all later IO is abandoned), powers back up,
+and requires `open_durable` to recover exactly the acknowledged
+pre-crash state: same live ids, same query answers, clean audit, and a
+working journal afterwards. A typed recovery error is accepted only
+when the index never became durable before the cut. Zero panics, zero
+divergences, or the command exits non-zero listing every violated
+point. `--durability` names the (only) suite explicitly for CI logs.
 `bench` times the quantized SIMD ADC scan against the f32 full scan and
 early-abandon scan on synthetic data (results must match exactly), plus a
 scalar-vs-SIMD kernel micro-benchmark, and writes
@@ -115,7 +128,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             return Err(format!("expected --flag, got `{a}`"));
         };
         // Boolean flags.
-        if key == "clustered" || key == "profile" || key == "concurrent" {
+        if key == "clustered" || key == "profile" || key == "concurrent" || key == "durability" {
             opts.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -970,5 +983,223 @@ fn cmd_chaos(opts: &Opts) -> Result<(), String> {
             "{} chaos seed(s) violated the no-panic/no-wrong-answer contract",
             failures.len()
         ))
+    }
+}
+
+/// The IO fault sites a [`vaq_core::faults::Trigger::CrashPoint`] sweep
+/// enumerates (each is registered in `faults::SITES`).
+const CRASH_SITES: [&str; 3] = ["persist.wal_append", "persist.commit", "persist.fsync"];
+
+/// One crash-harness run: the live workload instance plus how it ended.
+struct CrashRun {
+    seg: SegmentedVaq,
+    /// `true` once the initial `make_durable` acknowledged — from then on
+    /// recovery must succeed and match the acknowledged prefix.
+    durable: bool,
+    /// The typed error that stopped the workload (the simulated power
+    /// cut), `None` when every op acknowledged.
+    stopped: Option<vaq_core::VaqError>,
+}
+
+/// Replays the scripted durable workload against a fresh manifest path:
+/// make-durable, interleaved add/delete batches across seal and compact
+/// boundaries, an update, a mid-stream checkpoint, and a final
+/// checkpoint. Stops at the first failed op. The returned instance is
+/// the oracle: every mutation reaches the write-ahead log before memory,
+/// so its in-memory state is exactly the set of acknowledged ops.
+fn crash_workload(base: &[u8], data: &Matrix, path: &Path) -> Result<CrashRun, String> {
+    let vaq = Vaq::from_bytes(base).map_err(|e| format!("workload setup: {e}"))?;
+    let seg = SegmentedVaq::from_vaq(
+        vaq,
+        SegmentPolicy::default()
+            .with_seal_threshold(12)
+            .with_compact_min_segments(2)
+            .with_ti_clusters(4)
+            .sequential(),
+    );
+    let half = data.rows() / 2;
+    let mut durable = false;
+    let stopped = (|| -> Result<(), vaq_core::VaqError> {
+        seg.make_durable(path)?;
+        durable = true;
+        let mut cursor = half;
+        let mut victims: Vec<u32> = Vec::new();
+        for round in 0..2usize {
+            // Three 7-row batches per round cross the 12-row seal
+            // threshold, so maintenance markers land mid-schedule.
+            for _batch in 0..3usize {
+                let hi = cursor + 7;
+                let ids = seg.add(&data.select_rows(&(cursor..hi).collect::<Vec<_>>()))?;
+                cursor = hi;
+                victims.push(ids[0]);
+            }
+            for v in victims.drain(..) {
+                let _ = seg.try_delete(v)?;
+            }
+            if round == 0 {
+                seg.flush();
+                // Replace a trained row with the (otherwise unused) last
+                // dataset row: a delete + add pair through one call.
+                seg.update(1, data.row(data.rows() - 1))?;
+                seg.checkpoint()?;
+            }
+        }
+        seg.flush();
+        seg.checkpoint()?;
+        Ok(())
+    })();
+    Ok(CrashRun { seg, durable, stopped: stopped.err() })
+}
+
+/// Logical-state fingerprint used to compare the crashed oracle with the
+/// recovered index: the live id set plus full-scan answers (sorted by
+/// `(distance bits, id)` so segmentation-dependent scan order cannot
+/// masquerade as divergence) for the last five dataset rows as queries.
+fn crash_fingerprint(
+    seg: &SegmentedVaq,
+    data: &Matrix,
+    k: usize,
+) -> Result<(Vec<u32>, Vec<Vec<(u32, u32)>>), String> {
+    let mut answers = Vec::new();
+    for qi in data.rows().saturating_sub(5)..data.rows() {
+        let hits = seg
+            .search_with(data.row(qi), k, SearchStrategy::FullScan)
+            .map_err(|e| format!("query on live index failed: {e}"))?
+            .0;
+        let mut a: Vec<(u32, u32)> = hits.iter().map(|h| (h.distance.to_bits(), h.index)).collect();
+        a.sort_unstable();
+        answers.push(a);
+    }
+    Ok((seg.live_ids(), answers))
+}
+
+/// Recreates `dir` empty.
+fn fresh_dir(dir: &Path) -> Result<PathBuf, String> {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    Ok(dir.to_path_buf())
+}
+
+/// How one swept crash point resolved (violations are reported upward).
+enum CrashVerdict {
+    /// Recovery reproduced the acknowledged prefix exactly.
+    Recovered,
+    /// The cut landed before the index ever became durable and recovery
+    /// failed with a typed error — nothing was promised, nothing is owed.
+    Unborn,
+}
+
+fn cmd_crash(opts: &Opts) -> Result<(), String> {
+    use vaq_core::faults::{arm, crashed, disarm_all, hit_count, Trigger};
+
+    let seed: u64 = get_or(opts, "seed", 7)?;
+    let n: usize = get_or(opts, "n", 96)?;
+    let d: usize = get_or(opts, "dim", 12)?;
+    let k: usize = get_or(opts, "k", 8)?;
+    if n < 64 {
+        return Err("--n must be at least 64 (the workload script needs the rows)".into());
+    }
+    // `--durability` names the only suite; accepted for explicit CI logs.
+
+    // Seeds ≡ 0 (mod 4) keep `chaos_data` finite: the durability contract
+    // is exercised on clean vectors (ingress chaos is `chaos` business).
+    let data = chaos_data(n, d, seed.wrapping_mul(4));
+    let half = n / 2;
+    let cfg = VaqConfig::new(32, 4).with_seed(seed).with_ti_clusters(8.min(half));
+    let base = Vaq::train(&data.select_rows(&(0..half).collect::<Vec<_>>()), &cfg)
+        .map_err(|e| format!("baseline training failed: {e}"))?
+        .to_bytes();
+    let scratch = std::env::temp_dir().join(format!("vaq-crash-{}", std::process::id()));
+
+    // Counting pass: arm the IO sites inert, run the workload fault-free,
+    // and read back how many times each site was hit — that enumerates
+    // every IO point the sweep must kill at.
+    disarm_all();
+    for site in CRASH_SITES {
+        arm(site, Trigger::Off);
+    }
+    let dir = fresh_dir(&scratch.join("baseline"))?;
+    let baseline_path = dir.join("index.vaq");
+    let run = crash_workload(&base, &data, &baseline_path)?;
+    if let Some(e) = run.stopped {
+        disarm_all();
+        return Err(format!("fault-free workload failed: {e}"));
+    }
+    let io_points: Vec<(&'static str, u64)> =
+        CRASH_SITES.iter().map(|&s| (s, hit_count(s))).collect();
+    disarm_all();
+    let oracle = crash_fingerprint(&run.seg, &data, k)?;
+    // Clean-shutdown recovery must already reproduce the final state.
+    let rec = SegmentedVaq::open_durable(&baseline_path)
+        .map_err(|e| format!("clean recovery failed: {e}"))?;
+    if crash_fingerprint(&rec, &data, k)? != oracle {
+        return Err("clean recovery diverged from the live index".into());
+    }
+    let total: u64 = io_points.iter().map(|&(_, h)| h).sum();
+    let detail: Vec<String> = io_points.iter().map(|&(s, h)| format!("{s} ×{h}")).collect();
+    println!("crash: workload touches {total} IO points ({})", detail.join(", "));
+
+    let mut failures: Vec<String> = Vec::new();
+    let (mut recovered, mut unborn) = (0u64, 0u64);
+    for &(site, hits) in &io_points {
+        for point in 1..=hits {
+            let dir = fresh_dir(&scratch.join(format!("{}-{point}", site.replace('.', "_"))))?;
+            let path = dir.join("index.vaq");
+            disarm_all();
+            arm(site, Trigger::CrashPoint(point));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                || -> Result<CrashVerdict, String> {
+                    let run = crash_workload(&base, &data, &path)?;
+                    if run.stopped.is_none() || !crashed() {
+                        return Err(format!(
+                            "crash point never cut the workload (stopped: {:?})",
+                            run.stopped
+                        ));
+                    }
+                    // The crashed instance is the oracle (see
+                    // `crash_workload`); capture it before power-up.
+                    let oracle = crash_fingerprint(&run.seg, &data, k)?;
+                    disarm_all(); // power back up
+                    match SegmentedVaq::open_durable(&path) {
+                        Ok(rec) => {
+                            if crash_fingerprint(&rec, &data, k)? != oracle {
+                                return Err(
+                                    "recovered state diverges from the acknowledged prefix".into(),
+                                );
+                            }
+                            // Recovery must hand back a *working* durable
+                            // index, not just a readable one.
+                            rec.checkpoint()
+                                .map_err(|e| format!("post-recovery checkpoint failed: {e}"))?;
+                            Ok(CrashVerdict::Recovered)
+                        }
+                        Err(_) if !run.durable => Ok(CrashVerdict::Unborn),
+                        Err(e) => Err(format!("recovery failed on a durable index: {e}")),
+                    }
+                },
+            ));
+            disarm_all();
+            match outcome {
+                Err(_) => failures.push(format!("{site} point {point}: PANIC")),
+                Ok(Err(msg)) => failures.push(format!("{site} point {point}: {msg}")),
+                Ok(Ok(CrashVerdict::Recovered)) => recovered += 1,
+                Ok(Ok(CrashVerdict::Unborn)) => unborn += 1,
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!(
+        "crash: {total} points swept — {recovered} recovered exactly, {unborn} died before \
+         durability (typed), {} violations",
+        failures.len()
+    );
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        for f in &failures {
+            eprintln!("{f}");
+        }
+        Err(format!("{} crash point(s) violated the recovery contract", failures.len()))
     }
 }

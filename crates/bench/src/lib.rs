@@ -167,14 +167,17 @@ impl ToJson for MethodResult {
     }
 }
 
-/// Writes results as pretty JSON under the output directory.
-pub fn write_json<T: ToJson>(out_dir: &Path, name: &str, value: &T) {
-    std::fs::create_dir_all(out_dir).expect("create results dir");
+/// Writes results as pretty JSON under the output directory. The failed
+/// path is carried in the error so callers (the figure binaries) can
+/// report it without guessing.
+pub fn write_json<T: ToJson>(out_dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+    std::fs::create_dir_all(out_dir)?;
     let path = out_dir.join(name);
-    let mut f = std::fs::File::create(&path).expect("create results file");
+    let mut f = std::fs::File::create(&path)?;
     let json = value.to_json().pretty();
-    f.write_all(json.as_bytes()).expect("write results");
+    f.write_all(json.as_bytes())?;
     println!("\n[results written to {}]", path.display());
+    Ok(())
 }
 
 /// Formats seconds with sensible precision.

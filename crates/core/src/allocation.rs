@@ -382,7 +382,11 @@ pub fn greedy_allocation(w: &[f64], budget: usize, min_bits: usize, max_bits: us
                 }
             }
         }
-        let i = best.expect("budget ≤ m·max_bits was validated");
+        // `budget ≤ m·max_bits` was validated by every caller, so a slot
+        // below `max_bits` always exists; if that contract is ever
+        // broken, returning the bits placed so far degrades the
+        // allocation instead of panicking mid-train.
+        let Some(i) = best else { break };
         bits[i] += 1;
         remaining -= 1;
     }

@@ -5,7 +5,7 @@
 //! broken after the repair pass, a code outside its dictionary, a TI
 //! cluster that is no longer sorted. The [`Audit`] trait re-checks those
 //! contracts after the fact. Each violated invariant is reported with a
-//! stable diagnostic code (`VAQ101`–`VAQ110`, documented in DESIGN.md §8)
+//! stable diagnostic code (`VAQ101`–`VAQ112`, documented in DESIGN.md §8)
 //! so tests, CI, and the `vaq_cli audit` subcommand can match on them.
 //!
 //! The pipeline stages call [`Audit::debug_audit`] at the end of each
@@ -529,6 +529,31 @@ impl Audit for crate::segment::SegmentedVaq {
                 )
             },
         );
+
+        // VAQ112 — write-ahead-log discipline (durable indexes only):
+        // logged add ranges must be strictly ascending and contiguous
+        // from the checkpointed id watermark — i.e. disjoint from every
+        // id the checkpointed manifest already holds — and must never
+        // outrun the live id counter. A violation means replay would
+        // collide ids with the snapshot or leave a gap.
+        if let Some(ws) = self.wal_summary() {
+            let mut cursor = ws.base_next_id;
+            for (i, &(start, end)) in ws.add_ranges.iter().enumerate() {
+                r.check(start >= cursor && start < end, "VAQ112", || {
+                    format!(
+                        "wal add range {i} [{start}, {end}) regresses below the \
+                         watermark {cursor} or is empty"
+                    )
+                });
+                cursor = cursor.max(end);
+            }
+            r.check(cursor <= ws.next_id, "VAQ112", || {
+                format!(
+                    "wal add ranges reach id {cursor}, past next_id {} (last_seq {})",
+                    ws.next_id, ws.last_seq
+                )
+            });
+        }
         r
     }
 }

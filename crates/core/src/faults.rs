@@ -28,6 +28,9 @@ pub const SITES: &[&str] = &[
     "dictionary.train",
     "ti.build",
     "persist.from_bytes",
+    "persist.wal_append",
+    "persist.commit",
+    "persist.fsync",
     "engine.prepare",
     "engine.search",
     "engine.qscan",
@@ -111,6 +114,14 @@ pub enum Trigger {
         /// Schedule seed.
         seed: u64,
     },
+    /// Simulated power loss at the n-th hit (1-based): fires there and on
+    /// every later hit, and raises the process-wide [`crashed`] flag so
+    /// **all** subsequent IO sites (`persist.*`) abandon their operation
+    /// whether or not they are armed — after a crash, no write reaches
+    /// disk. Cleared by `disarm_all`. The crash-point harness
+    /// (`vaq_cli crash`) sweeps this trigger over every IO point of a
+    /// schedule and asserts recovery matches the committed prefix.
+    CrashPoint(u64),
 }
 
 #[cfg(feature = "faults")]
@@ -122,6 +133,10 @@ mod runtime {
 
     static ANY_ARMED: AtomicBool = AtomicBool::new(false);
     static REGISTRY: Mutex<Option<HashMap<&'static str, SiteState>>> = Mutex::new(None);
+    /// Sticky "power was lost" flag raised by a [`Trigger::CrashPoint`]
+    /// firing; while set, every `persist.*` site reports fired so no IO
+    /// after the crash point reaches disk.
+    static CRASHED: AtomicBool = AtomicBool::new(false);
 
     struct SiteState {
         trigger: Trigger,
@@ -159,10 +174,16 @@ mod runtime {
         }
     }
 
-    /// Disarms every site and resets all hit counters.
+    /// Disarms every site, resets all hit counters, and clears the
+    /// simulated-crash flag (the next schedule powers the machine back
+    /// up).
     pub fn disarm_all() {
         if let Ok(mut guard) = REGISTRY.lock() {
             *guard = None;
+            // ORDERING: Relaxed is enough — the flag is only consulted
+            // through `fired`/`crashed`, whose callers synchronize on the
+            // registry mutex or run single-threaded harness schedules.
+            CRASHED.store(false, Ordering::Relaxed);
             // ORDERING: Release for symmetry with `arm`; a stale `true`
             // at a fault site only costs one registry lock that finds
             // the map empty — injection stays correct.
@@ -170,7 +191,32 @@ mod runtime {
         }
     }
 
+    /// True after a [`Trigger::CrashPoint`] fired and before the next
+    /// `disarm_all`: the simulated machine is off, all IO is abandoned.
+    pub fn crashed() -> bool {
+        // ORDERING: Relaxed — see the store in `fired`; harness schedules
+        // are single-threaded around the crash point and recovery starts
+        // only after `disarm_all`.
+        CRASHED.load(Ordering::Relaxed)
+    }
+
+    /// Hits recorded at `site` since it was armed (0 when unarmed). The
+    /// crash harness arms sites with [`Trigger::Off`] for a counting
+    /// pass, then sweeps `CrashPoint(1..=hits)` to kill at every IO
+    /// point.
+    pub fn hit_count(site: &'static str) -> u64 {
+        let Ok(guard) = REGISTRY.lock() else {
+            return 0;
+        };
+        guard.as_ref().and_then(|m| m.get(site)).map_or(0, |s| s.hits)
+    }
+
     /// Evaluates the site's trigger, counting this call as one hit.
+    ///
+    /// After a simulated power loss ([`Trigger::CrashPoint`]) every
+    /// `persist.*` site fires unconditionally — armed or not — so the
+    /// durability layer abandons all IO until `disarm_all` powers the
+    /// machine back up.
     pub fn fired(site: &'static str) -> bool {
         // ORDERING: Acquire pairs with the Release store in `arm`:
         // observing `true` guarantees the armed entry is visible under
@@ -178,6 +224,9 @@ mod runtime {
         // that raced with arming — tests arm before spawning workers.
         if !ANY_ARMED.load(Ordering::Acquire) {
             return false;
+        }
+        if site.starts_with("persist.") && crashed() {
+            return true;
         }
         let Ok(mut guard) = REGISTRY.lock() else {
             return false;
@@ -196,18 +245,36 @@ mod runtime {
                 let u = (h >> 11) as f64 / (1u64 << 53) as f64;
                 u < p
             }
+            Trigger::CrashPoint(n) => {
+                if state.hits >= n {
+                    // ORDERING: Relaxed — the caller is the thread that
+                    // will observe the abandoned IO; cross-thread
+                    // visibility is not part of the crash model.
+                    CRASHED.store(true, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
         }
     }
 }
 
 #[cfg(feature = "faults")]
-pub use runtime::{arm, disarm_all, fired};
+pub use runtime::{arm, crashed, disarm_all, fired, hit_count};
 
 /// With the `faults` feature off, no site ever fires and the call
 /// disappears at compile time.
 #[cfg(not(feature = "faults"))]
 #[inline(always)]
 pub fn fired(_site: &'static str) -> bool {
+    false
+}
+
+/// With the `faults` feature off, the machine never crashes.
+#[cfg(not(feature = "faults"))]
+#[inline(always)]
+pub fn crashed() -> bool {
     false
 }
 
@@ -264,6 +331,45 @@ mod tests {
         assert_ne!(a, c, "different seeds should differ");
         let hits = a.iter().filter(|&&f| f).count();
         assert!(hits > 8 && hits < 56, "p=0.5 over 64 hits fired {hits} times");
+    }
+
+    #[test]
+    fn crash_point_is_sticky_across_all_io_sites() {
+        let _g = guard();
+        assert!(!crashed());
+        arm("persist.wal_append", Trigger::CrashPoint(3));
+        assert!(!fired("persist.wal_append"));
+        assert!(!fired("persist.wal_append"));
+        // Unrelated sites are untouched before the crash...
+        assert!(!fired("persist.commit"));
+        assert!(!fired("segment.seal"));
+        // ...the third hit is the power loss...
+        assert!(fired("persist.wal_append"));
+        assert!(crashed());
+        // ...and afterwards every IO site reports fired, armed or not,
+        // while non-IO sites keep their own schedules.
+        assert!(fired("persist.wal_append"));
+        assert!(fired("persist.commit"));
+        assert!(fired("persist.fsync"));
+        assert!(!fired("segment.seal"));
+        // Power back up.
+        disarm_all();
+        assert!(!crashed());
+        assert!(!fired("persist.commit"));
+    }
+
+    #[test]
+    fn hit_counts_enumerate_io_points() {
+        let _g = guard();
+        arm("persist.commit", Trigger::Off);
+        assert_eq!(hit_count("persist.commit"), 0);
+        for _ in 0..5 {
+            assert!(!fired("persist.commit"));
+        }
+        assert_eq!(hit_count("persist.commit"), 5);
+        assert_eq!(hit_count("persist.fsync"), 0, "unarmed sites count nothing");
+        disarm_all();
+        assert_eq!(hit_count("persist.commit"), 0);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 
 pub mod allocation;
 pub mod audit;
+pub mod crc;
 pub mod encoder;
 pub mod engine;
 pub mod faults;
@@ -83,7 +84,7 @@ use vaq_linalg::LinalgError;
 use vaq_milp::SolveError;
 
 /// Errors produced while training or querying VAQ.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum VaqError {
     /// Training data was empty.
     EmptyData,
@@ -121,6 +122,55 @@ pub enum VaqError {
     },
     /// An internal numeric routine failed (propagated message).
     Numeric(String),
+    /// A filesystem operation failed while saving or loading an index
+    /// (or appending to its write-ahead log). Unlike [`BadConfig`], the
+    /// underlying [`std::io::Error`] is preserved so callers can walk
+    /// the `source()` chain and match on `ErrorKind`.
+    ///
+    /// [`BadConfig`]: VaqError::BadConfig
+    Io {
+        /// The file or directory the operation targeted.
+        path: std::path::PathBuf,
+        /// The underlying IO failure (`Arc`-wrapped: `std::io::Error` is
+        /// not `Clone`, and `VaqError` must stay cheaply clonable).
+        source: crate::sync::Arc<std::io::Error>,
+    },
+}
+
+impl VaqError {
+    /// Builds an [`VaqError::Io`] from a path and the failed operation's
+    /// error.
+    pub fn io(path: impl Into<std::path::PathBuf>, source: std::io::Error) -> VaqError {
+        VaqError::Io { path: path.into(), source: crate::sync::Arc::new(source) }
+    }
+}
+
+/// Structural equality. Two [`VaqError::Io`] values compare equal when
+/// their paths, [`std::io::ErrorKind`]s, and rendered messages agree —
+/// `std::io::Error` itself has no equality, and tests only ever compare
+/// errors for shape, never for OS-handle identity.
+impl PartialEq for VaqError {
+    fn eq(&self, other: &Self) -> bool {
+        use VaqError::*;
+        match (self, other) {
+            (EmptyData, EmptyData) => true,
+            (BadConfig(a), BadConfig(b)) => a == b,
+            (
+                InfeasibleBudget { budget, subspaces, min_bits, max_bits },
+                InfeasibleBudget { budget: b2, subspaces: s2, min_bits: lo2, max_bits: hi2 },
+            ) => budget == b2 && subspaces == s2 && min_bits == lo2 && max_bits == hi2,
+            (NonFinite { row, col }, NonFinite { row: r2, col: c2 }) => row == r2 && col == c2,
+            (Linalg(a), Linalg(b)) => a == b,
+            (KMeans(a), KMeans(b)) => a == b,
+            (Solve(a), Solve(b)) => a == b,
+            (Injected { site: a }, Injected { site: b }) => a == b,
+            (Numeric(a), Numeric(b)) => a == b,
+            (Io { path: p1, source: e1 }, Io { path: p2, source: e2 }) => {
+                p1 == p2 && e1.kind() == e2.kind() && e1.to_string() == e2.to_string()
+            }
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for VaqError {
@@ -141,6 +191,9 @@ impl fmt::Display for VaqError {
             VaqError::Solve(e) => write!(f, "bit-allocation solver failure: {e}"),
             VaqError::Injected { site } => write!(f, "injected fault at site `{site}`"),
             VaqError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+            VaqError::Io { path, source } => {
+                write!(f, "io failure at {}: {source}", path.display())
+            }
         }
     }
 }
@@ -151,6 +204,7 @@ impl std::error::Error for VaqError {
             VaqError::Linalg(e) => Some(e),
             VaqError::KMeans(e) => Some(e),
             VaqError::Solve(e) => Some(e),
+            VaqError::Io { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }

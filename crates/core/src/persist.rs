@@ -1,9 +1,10 @@
-//! Binary persistence for trained [`Vaq`] and [`SegmentedVaq`] indexes.
+//! Binary persistence for trained [`Vaq`] and [`SegmentedVaq`] indexes:
+//! checksummed manifests, atomic commits, and typed IO errors.
 //!
 //! A trained index is expensive (dictionary learning dominates, as the
 //! paper's encoding-time measurements show), so a downstream system wants
-//! to train once and serve many times. Two versioned little-endian binary
-//! layouts share one vocabulary of fields, built with [`bytes`]:
+//! to train once and serve many times. Three versioned little-endian
+//! binary layouts share one vocabulary of fields, built with [`bytes`]:
 //!
 //! ```text
 //! -- monolithic index, magic "VAQ1" --
@@ -26,20 +27,44 @@
 //! per segment: n u64 | ids [u32] | codes [u16] |
 //!              dead u64 | tombstone words [u64] | ti flag + payload
 //! buffer: rows u64 | ids [u32] | codes [u16] | dead u64 | words [u64]
+//!
+//! -- checksummed manifest container, magic "VAQ3" --
+//! header: magic "VAQ3" | version u32 | kind u8 (1=monolithic, 2=segmented) |
+//!         wal_seq u64 | extent count u64 | header crc32c u32
+//! per extent: len u64 | crc32c u32 | payload[len]
+//! kind 1: one extent holding a complete VAQ1 stream
+//! kind 2: extent 0 = model + policy + next_id, one extent per sealed
+//!         segment, final extent = write buffer
 //! ```
 //!
-//! [`SegmentedVaq::from_bytes`] accepts both: a `VAQ1` file loads as a
-//! segmented index whose whole database is one sealed segment, with
-//! byte-identical search behaviour.
+//! `VAQ3` is what [`Vaq::save`] / [`SegmentedVaq::save`] write: the
+//! header and **every extent** carry a CRC32C ([`crate::crc`], in-tree),
+//! verified before a single field is parsed, so a torn or bit-flipped
+//! region is reported as corruption instead of being interpreted. The
+//! `wal_seq` header field records the last write-ahead-log sequence
+//! number baked into the snapshot (see [`crate::segment::wal`]); plain
+//! `save` writes 0.
 //!
-//! Everything is validated on load (field-level checks here, the full
-//! structural audit afterwards); a truncated or corrupted file returns
-//! [`VaqError::BadConfig`] rather than panicking.
+//! Saves are **atomic**: the bytes go to `<path>.tmp`, the file and its
+//! parent directory are fsynced, and the tmp is renamed over the target —
+//! a crash at any point (exercised by the `persist.commit` /
+//! `persist.fsync` fault sites and `vaq_cli crash`) leaves either the old
+//! complete file or the new complete file, never a torn mix.
+//!
+//! [`SegmentedVaq::from_bytes`] accepts all three formats: a `VAQ1` file
+//! loads as a segmented index whose whole database is one sealed segment,
+//! with byte-identical search behaviour, and `VAQ2` files load unchanged.
+//!
+//! Everything is validated on load (checksums first, field-level checks
+//! second, the full structural audit afterwards); a truncated or
+//! corrupted file returns [`VaqError::BadConfig`] and a failed filesystem
+//! operation returns [`VaqError::Io`] with its `source()` chain intact —
+//! never a panic.
 
 use crate::encoder::Encoder;
 use crate::search::SearchStrategy;
 use crate::segment::{
-    Buffer, Model, Segment, SegmentCore, SegmentPolicy, SegmentedVaq, Tombstones,
+    Buffer, Model, Segment, SegmentCore, SegmentPolicy, SegmentSet, SegmentedVaq, Tombstones,
 };
 use crate::subspaces::SubspaceLayout;
 use crate::sync::Arc;
@@ -47,13 +72,180 @@ use crate::ti::{Member, TiPartition};
 use crate::vaq::Vaq;
 use crate::VaqError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use vaq_linalg::{Matrix, PackedCodes, Pca};
 
 const MAGIC: &[u8; 4] = b"VAQ1";
 const VERSION: u32 = 1;
 const MAGIC2: &[u8; 4] = b"VAQ2";
 const VERSION2: u32 = 1;
+const MAGIC3: &[u8; 4] = b"VAQ3";
+const VERSION3: u32 = 1;
+/// `VAQ3` payload kinds.
+const KIND_MONOLITHIC: u8 = 1;
+const KIND_SEGMENTED: u8 = 2;
+/// Bytes of the `VAQ3` header covered by the header CRC (everything
+/// before the CRC field itself).
+const HEADER_CRC_SPAN: usize = 4 + 4 + 1 + 8 + 8;
+
+// ---------------------------------------------------------------------------
+// Atomic commit: tmp → fsync → rename → fsync(dir)
+// ---------------------------------------------------------------------------
+
+/// `<path>.tmp` — the staging file of an atomic commit. Loaders ignore
+/// it; a stale one (from an interrupted save) is silently replaced by the
+/// next commit.
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Wraps a real filesystem failure at `path`.
+pub(crate) fn io_at(path: &Path, e: std::io::Error) -> VaqError {
+    VaqError::io(path, e)
+}
+
+/// The typed error for an IO operation abandoned by a simulated power
+/// loss (or a probabilistically injected transient failure) at `site`.
+pub(crate) fn abandoned(path: &Path, site: &'static str) -> VaqError {
+    VaqError::io(path, std::io::Error::other(format!("injected io failure at `{site}`")))
+}
+
+/// Fsyncs an open file, gated by the `persist.fsync` fault site. Under
+/// Miri the sync itself is skipped (no fsync shim); the fault gate and
+/// error paths still run.
+pub(crate) fn fsync_file(f: &std::fs::File, path: &Path) -> Result<(), VaqError> {
+    if crate::faults::fired("persist.fsync") {
+        return Err(abandoned(path, "persist.fsync"));
+    }
+    #[cfg(not(miri))]
+    f.sync_all().map_err(|e| io_at(path, e))?;
+    #[cfg(miri)]
+    let _ = f;
+    Ok(())
+}
+
+/// Fsyncs a directory so a just-committed rename survives power loss.
+/// Directory handles are only syncable on unix; elsewhere the rename is
+/// as durable as the platform makes it.
+fn fsync_dir(dir: &Path) -> Result<(), VaqError> {
+    if crate::faults::fired("persist.fsync") {
+        return Err(abandoned(dir, "persist.fsync"));
+    }
+    #[cfg(all(unix, not(miri)))]
+    {
+        let d = std::fs::File::open(dir).map_err(|e| io_at(dir, e))?;
+        d.sync_all().map_err(|e| io_at(dir, e))?;
+    }
+    #[cfg(not(all(unix, not(miri))))]
+    let _ = dir;
+    Ok(())
+}
+
+/// Atomically replaces `path` with `bytes`: write `<path>.tmp`, fsync it,
+/// rename it over `path`, fsync the parent directory. A crash — real, or
+/// injected through the `persist.commit` (tmp write, rename) and
+/// `persist.fsync` (both syncs) fault sites — leaves either the old
+/// complete file or the new complete file, never a torn mix; an injected
+/// crash during the tmp write leaves a torn prefix *of the tmp only*, so
+/// recovery tests see realistic debris.
+pub(crate) fn commit_bytes(path: &Path, bytes: &[u8]) -> Result<(), VaqError> {
+    use std::io::Write;
+    let tmp = tmp_path(path);
+    if crate::faults::fired("persist.commit") {
+        // Simulated power loss mid-write: a torn prefix of the staging
+        // file may have reached disk; the destination is untouched.
+        let _ = std::fs::write(&tmp, &bytes[..bytes.len() / 2]);
+        return Err(abandoned(&tmp, "persist.commit"));
+    }
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io_at(&tmp, e))?;
+    f.write_all(bytes).map_err(|e| io_at(&tmp, e))?;
+    fsync_file(&f, &tmp)?;
+    drop(f);
+    if crate::faults::fired("persist.commit") {
+        return Err(abandoned(path, "persist.commit"));
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_at(path, e))?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fsync_dir(parent)?;
+    }
+    crate::obs::counter_add("persist.commits", 1);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// VAQ3 container framing
+// ---------------------------------------------------------------------------
+
+/// Frames `extents` as a `VAQ3` stream: checksummed header, then each
+/// extent length-prefixed and carrying its own CRC32C.
+fn vaq3_wrap(kind: u8, wal_seq: u64, extents: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = extents.iter().map(|e| e.len() + 12).sum();
+    let mut buf = BytesMut::with_capacity(HEADER_CRC_SPAN + 4 + total);
+    buf.put_slice(MAGIC3);
+    buf.put_u32_le(VERSION3);
+    buf.put_u8(kind);
+    buf.put_u64_le(wal_seq);
+    buf.put_u64_le(wide(extents.len()));
+    let header_crc = crate::crc::crc32c(&buf);
+    buf.put_u32_le(header_crc);
+    for e in extents {
+        buf.put_u64_le(wide(e.len()));
+        buf.put_u32_le(crate::crc::crc32c(e));
+        buf.put_slice(e);
+    }
+    buf.to_vec()
+}
+
+struct Vaq3Header {
+    kind: u8,
+    wal_seq: u64,
+    nextents: usize,
+}
+
+/// Parses and verifies the `VAQ3` header. `buf` must be positioned right
+/// after the magic; `data` is the whole stream (for the header CRC).
+fn get_vaq3_header(buf: &mut Bytes, data: &[u8]) -> Result<Vaq3Header, VaqError> {
+    let version = take(buf, 4)?.get_u32_le();
+    if version != VERSION3 {
+        return Err(bad(&format!("unsupported manifest version {version}")));
+    }
+    let kind = take(buf, 1)?.get_u8();
+    let wal_seq = take(buf, 8)?.get_u64_le();
+    let nextents = take_len(buf, "extent count")?;
+    let stored = take(buf, 4)?.get_u32_le();
+    // `take` above guarantees the span exists.
+    if crate::crc::crc32c(&data[..HEADER_CRC_SPAN]) != stored {
+        return Err(bad("manifest header checksum mismatch"));
+    }
+    if kind != KIND_MONOLITHIC && kind != KIND_SEGMENTED {
+        return Err(bad(&format!("unknown manifest kind {kind}")));
+    }
+    Ok(Vaq3Header { kind, wal_seq, nextents })
+}
+
+/// Reads one length-prefixed, checksummed extent and verifies its CRC
+/// before a single payload byte is interpreted.
+fn get_extent(buf: &mut Bytes, what: &str) -> Result<Bytes, VaqError> {
+    let len = take_len(buf, "extent length")?;
+    let stored = take(buf, 4)?.get_u32_le();
+    let payload = take(buf, len)?;
+    if crate::crc::crc32c(&payload) != stored {
+        return Err(bad(&format!("{what} checksum mismatch")));
+    }
+    Ok(payload)
+}
+
+/// Rejects unconsumed bytes at the end of an extent: a well-formed writer
+/// never leaves slack, so trailing bytes mean corruption that happened to
+/// keep the checksum intact (i.e. a hostile file).
+fn expect_drained(buf: &Bytes, what: &str) -> Result<(), VaqError> {
+    if buf.remaining() != 0 {
+        return Err(bad(&format!("{what} has trailing bytes")));
+    }
+    Ok(())
+}
 
 impl Vaq {
     /// Serializes the trained index to bytes.
@@ -84,7 +276,15 @@ impl Vaq {
         buf.to_vec()
     }
 
-    /// Deserializes an index previously produced by [`Vaq::to_bytes`].
+    /// Serializes the trained index as a checksummed `VAQ3` manifest
+    /// (what [`Vaq::save`] writes): one extent holding the `VAQ1` stream,
+    /// header and extent each guarded by a CRC32C.
+    pub fn to_manifest_bytes(&self) -> Vec<u8> {
+        vaq3_wrap(KIND_MONOLITHIC, 0, &[self.to_bytes()])
+    }
+
+    /// Deserializes an index previously produced by [`Vaq::to_bytes`] or
+    /// [`Vaq::to_manifest_bytes`] (a `VAQ3` manifest of monolithic kind).
     pub fn from_bytes(data: &[u8]) -> Result<Vaq, VaqError> {
         if crate::faults::fired("persist.from_bytes") {
             return Err(VaqError::Injected { site: "persist.from_bytes" });
@@ -93,6 +293,23 @@ impl Vaq {
 
         let mut magic = [0u8; 4];
         take(&mut buf, 4)?.copy_to_slice(&mut magic);
+        if &magic == MAGIC3 {
+            let header = get_vaq3_header(&mut buf, data)?;
+            if header.kind != KIND_MONOLITHIC {
+                return Err(bad("manifest holds a segmented index, not a monolithic one"));
+            }
+            if header.nextents != 1 {
+                return Err(bad("monolithic manifest must hold exactly one extent"));
+            }
+            let payload = get_extent(&mut buf, "index extent")?;
+            expect_drained(&buf, "manifest")?;
+            // The extent must be a raw VAQ1 stream: nesting containers
+            // would let a hostile file force unbounded recursion.
+            if payload.len() < 4 || &payload[..4] != MAGIC {
+                return Err(bad("monolithic extent is not a VAQ1 stream"));
+            }
+            return Vaq::from_bytes(&payload);
+        }
         if &magic != MAGIC {
             return Err(bad("bad magic"));
         }
@@ -141,16 +358,16 @@ impl Vaq {
         Ok(vaq)
     }
 
-    /// Writes the index to a file.
+    /// Atomically writes the index to a file as a checksummed `VAQ3`
+    /// manifest (tmp + fsync + rename; see [`commit_bytes`]'s module
+    /// docs). An interrupted save leaves any previous file intact.
     pub fn save(&self, path: &Path) -> Result<(), VaqError> {
-        std::fs::write(path, self.to_bytes())
-            .map_err(|e| VaqError::BadConfig(format!("write {}: {e}", path.display())))
+        commit_bytes(path, &self.to_manifest_bytes())
     }
 
-    /// Loads an index from a file.
+    /// Loads an index from a file (`VAQ3` manifest or legacy raw `VAQ1`).
     pub fn load(path: &Path) -> Result<Vaq, VaqError> {
-        let data = std::fs::read(path)
-            .map_err(|e| VaqError::BadConfig(format!("read {}: {e}", path.display())))?;
+        let data = std::fs::read(path).map_err(|e| io_at(path, e))?;
         Vaq::from_bytes(&data)
     }
 }
@@ -170,50 +387,25 @@ impl SegmentedVaq {
         let mut buf = BytesMut::with_capacity(4096);
         buf.put_slice(MAGIC2);
         buf.put_u32_le(VERSION2);
-
-        // Shared model.
-        put_pca(&mut buf, &model.pca);
-        put_layout(&mut buf, &model.layout);
-        put_usize_slice(&mut buf, &model.bits);
-        buf.put_u64_le(wide(model.encoder.codebooks.len()));
-        for cb in &model.encoder.codebooks {
-            put_matrix(&mut buf, cb);
-        }
-        put_strategy(&mut buf, model.default_strategy);
-        buf.put_u64_le(wide(model.ti_prefix_subspaces));
-        buf.put_u64_le(model.seed);
-
-        // Maintenance policy.
-        buf.put_u64_le(wide(policy.seal_threshold));
-        buf.put_u64_le(wide(policy.compact_min_segments));
-        buf.put_f64_le(policy.tombstone_purge_frac);
-        buf.put_u64_le(wide(policy.ti_clusters));
-        buf.put_u8(u8::from(policy.background));
-
-        buf.put_u32_le(next_id);
+        put_model_policy(&mut buf, model, policy, next_id);
         buf.put_u64_le(wide(set.segments.len()));
         for seg in &set.segments {
-            let core = &seg.core;
-            buf.put_u64_le(wide(core.n));
-            for &id in &core.ids {
-                buf.put_u32_le(id);
-            }
-            for &c in &core.codes {
-                buf.put_u16_le(c);
-            }
-            put_tombstones(&mut buf, &seg.tombstones);
-            put_ti(&mut buf, core.ti.as_ref());
+            put_segment(&mut buf, seg);
         }
-
-        buf.put_u64_le(wide(set.buffer.ids.len()));
-        for &id in &set.buffer.ids {
-            buf.put_u32_le(id);
-        }
-        for &c in &set.buffer.codes {
-            buf.put_u16_le(c);
-        }
-        put_tombstones(&mut buf, &set.buffer.tombstones);
+        put_buffer(&mut buf, &set.buffer);
         buf.to_vec()
+    }
+
+    /// Serializes the segmented index as a checksummed `VAQ3` manifest
+    /// (what [`SegmentedVaq::save`] writes): the same fields as `VAQ2`,
+    /// framed as independently-checksummed extents — model+policy first,
+    /// one extent per sealed segment, the write buffer last — so a torn
+    /// or bit-flipped region is pinpointed before parsing. `wal_seq`
+    /// records the last write-ahead-log sequence number already baked
+    /// into this snapshot (0 when there is no WAL).
+    pub fn to_manifest_bytes(&self, wal_seq: u64) -> Vec<u8> {
+        let (set, next_id) = self.persist_snapshot();
+        manifest_from_set(self.shared_model(), self.policy(), &set, next_id, wal_seq)
     }
 
     /// Deserializes a segmented index.
@@ -226,10 +418,21 @@ impl SegmentedVaq {
     /// is restored (an over-threshold buffer is sealed), and the full
     /// structural audit must pass before the index is returned.
     pub fn from_bytes(data: &[u8]) -> Result<SegmentedVaq, VaqError> {
+        Ok(Self::from_bytes_with_seq(data)?.0)
+    }
+
+    /// [`SegmentedVaq::from_bytes`] plus the manifest's recorded WAL
+    /// sequence number — the replay cursor durable recovery
+    /// ([`SegmentedVaq::open_durable`]) resumes from. Legacy `VAQ1` /
+    /// `VAQ2` files predate the WAL and report 0.
+    ///
+    /// [`SegmentedVaq::open_durable`]: crate::segment::SegmentedVaq::open_durable
+    pub(crate) fn from_bytes_with_seq(data: &[u8]) -> Result<(SegmentedVaq, u64), VaqError> {
         if data.len() >= 4 && &data[..4] == MAGIC {
             // Legacy monolithic file: `Vaq::from_bytes` owns validation,
             // auditing, and the `persist.from_bytes` fault site.
-            return Ok(SegmentedVaq::from_vaq(Vaq::from_bytes(data)?, SegmentPolicy::default()));
+            let vaq = Vaq::from_bytes(data)?;
+            return Ok((SegmentedVaq::from_vaq(vaq, SegmentPolicy::default()), 0));
         }
         if crate::faults::fired("persist.from_bytes") {
             return Err(VaqError::Injected { site: "persist.from_bytes" });
@@ -238,6 +441,43 @@ impl SegmentedVaq {
 
         let mut magic = [0u8; 4];
         take(&mut buf, 4)?.copy_to_slice(&mut magic);
+        if &magic == MAGIC3 {
+            let header = get_vaq3_header(&mut buf, data)?;
+            if header.kind == KIND_MONOLITHIC {
+                if header.nextents != 1 {
+                    return Err(bad("monolithic manifest must hold exactly one extent"));
+                }
+                let payload = get_extent(&mut buf, "index extent")?;
+                expect_drained(&buf, "manifest")?;
+                // Must be a raw VAQ1 stream — nesting containers would
+                // let a hostile file force unbounded recursion.
+                if payload.len() < 4 || &payload[..4] != MAGIC {
+                    return Err(bad("monolithic extent is not a VAQ1 stream"));
+                }
+                let vaq = Vaq::from_bytes(&payload)?;
+                let idx = SegmentedVaq::from_vaq(vaq, SegmentPolicy::default());
+                return Ok((idx, header.wal_seq));
+            }
+            let nsegs = header
+                .nextents
+                .checked_sub(2)
+                .ok_or_else(|| bad("segmented manifest needs model and buffer extents"))?;
+            let mut mp = get_extent(&mut buf, "model extent")?;
+            let (model, policy, next_id) = get_model_policy(&mut mp)?;
+            expect_drained(&mp, "model extent")?;
+            let mut segments = Vec::new();
+            for s in 0..nsegs {
+                let mut e = get_extent(&mut buf, "segment extent")?;
+                segments.push(get_segment(&mut e, &model, s)?);
+                expect_drained(&e, "segment extent")?;
+            }
+            let mut be = get_extent(&mut buf, "buffer extent")?;
+            let buffer = get_buffer(&mut be, &model)?;
+            expect_drained(&be, "buffer extent")?;
+            expect_drained(&buf, "manifest")?;
+            let index = finish_segmented_load(model, policy, segments, buffer, next_id)?;
+            return Ok((index, header.wal_seq));
+        }
         if &magic != MAGIC2 {
             return Err(bad("bad magic"));
         }
@@ -246,99 +486,203 @@ impl SegmentedVaq {
             return Err(bad(&format!("unsupported segmented version {version}")));
         }
 
-        // Shared model.
-        let pca = get_pca(&mut buf)?;
-        let layout = get_layout(&mut buf)?;
-        let bits = get_usize_slice(&mut buf)?;
-        if bits.len() != layout.ranges.len() {
-            return Err(bad("bits/subspace count mismatch"));
-        }
-        let codebooks = get_codebooks(&mut buf, &bits, &layout.ranges)?;
-        let encoder = Encoder { codebooks, bits: bits.clone(), ranges: layout.ranges.clone() };
-        let m = encoder.num_subspaces();
-        let default_strategy = get_strategy(&mut buf)?;
-        let ti_prefix_subspaces = take_len(&mut buf, "TI prefix")?;
-        if !(1..=m).contains(&ti_prefix_subspaces) {
-            return Err(bad("TI prefix outside the subspace plan"));
-        }
-        let seed = take(&mut buf, 8)?.get_u64_le();
-        let model =
-            Model { pca, layout, bits, encoder, default_strategy, ti_prefix_subspaces, seed };
-
-        // Policy (re-clamped through the builders: persisted knobs are as
-        // untrusted as everything else).
-        let seal_threshold = take_len(&mut buf, "seal threshold")?;
-        let compact_min_segments = take_len(&mut buf, "compaction minimum")?;
-        let tombstone_purge_frac = take(&mut buf, 8)?.get_f64_le();
-        let ti_clusters = take_len(&mut buf, "TI cluster knob")?;
-        let mut policy = SegmentPolicy::default()
-            .with_seal_threshold(seal_threshold)
-            .with_compact_min_segments(compact_min_segments)
-            .with_tombstone_purge_frac(tombstone_purge_frac)
-            .with_ti_clusters(ti_clusters);
-        policy.background = match take(&mut buf, 1)?.get_u8() {
-            0 => false,
-            1 => true,
-            _ => return Err(bad("bad background flag")),
-        };
-
-        let next_id = take(&mut buf, 4)?.get_u32_le();
+        let (model, policy, next_id) = get_model_policy(&mut buf)?;
         let nsegs = take_len(&mut buf, "segment count")?;
         let mut segments = Vec::new();
         for s in 0..nsegs {
-            let n = take_len(&mut buf, "row count")?;
-            if n == 0 {
-                return Err(bad(&format!("segment {s} is empty")));
-            }
-            let ids = get_id_slice(&mut buf, n)?;
-            let codes = get_codes(&mut buf, n, &model.encoder)?;
-            let tombstones = get_tombstones(&mut buf, n)?;
-            let ti = get_ti(&mut buf, n)?;
-            let packed =
-                PackedCodes::pack(&codes, &model.encoder.table_sizes().collect::<Vec<_>>(), n);
-            segments.push(Segment {
-                core: Arc::new(SegmentCore { ids, codes, n, packed, ti }),
-                tombstones,
-            });
+            segments.push(get_segment(&mut buf, &model, s)?);
         }
-
-        let brows = take_len(&mut buf, "buffer row count")?;
-        let buffer = Buffer {
-            ids: get_id_slice(&mut buf, brows)?,
-            codes: get_codes(&mut buf, brows, &model.encoder)?,
-            tombstones: get_tombstones(&mut buf, brows)?,
-        };
-
-        let index = SegmentedVaq::from_parts(model, policy, segments, buffer, next_id);
-        // The file is untrusted input: run the full structural audit
-        // (VAQ101–VAQ111) and fail loud, exactly like the monolithic
-        // loader. The audit's quiescence check requires a drained buffer,
-        // so restore that invariant first — sealing only rearranges data
-        // that was already field-validated above.
-        index.normalize_after_load();
-        let report = crate::audit::Audit::audit(&index);
-        if !report.is_ok() {
-            return Err(bad(&format!(
-                "audit found {} invariant violation(s) after load",
-                report.issues().len()
-            )));
-        }
-        Ok(index)
+        let buffer = get_buffer(&mut buf, &model)?;
+        Ok((finish_segmented_load(model, policy, segments, buffer, next_id)?, 0))
     }
 
-    /// Writes the segmented index to a file.
+    /// Atomically writes the segmented index to a file as a checksummed
+    /// `VAQ3` manifest (tmp + fsync + rename; see the module docs). An
+    /// interrupted save leaves any previous file intact. For a
+    /// crash-recoverable index with a write-ahead log, see
+    /// [`SegmentedVaq::make_durable`].
+    ///
+    /// [`SegmentedVaq::make_durable`]: crate::segment::SegmentedVaq::make_durable
     pub fn save(&self, path: &Path) -> Result<(), VaqError> {
-        std::fs::write(path, self.to_bytes())
-            .map_err(|e| VaqError::BadConfig(format!("write {}: {e}", path.display())))
+        commit_bytes(path, &self.to_manifest_bytes(0))
     }
 
-    /// Loads a segmented index from a file (either format; see
-    /// [`SegmentedVaq::from_bytes`]).
+    /// Loads a segmented index from a file (any format; see
+    /// [`SegmentedVaq::from_bytes`]). Does **not** replay a write-ahead
+    /// log — use [`SegmentedVaq::open_durable`] for that.
+    ///
+    /// [`SegmentedVaq::open_durable`]: crate::segment::SegmentedVaq::open_durable
     pub fn load(path: &Path) -> Result<SegmentedVaq, VaqError> {
-        let data = std::fs::read(path)
-            .map_err(|e| VaqError::BadConfig(format!("read {}: {e}", path.display())))?;
+        let data = std::fs::read(path).map_err(|e| io_at(path, e))?;
         SegmentedVaq::from_bytes(&data)
     }
+}
+
+/// Frames an explicit `(set, next_id)` pair as a `VAQ3` manifest — the
+/// body of [`SegmentedVaq::to_manifest_bytes`], split out so durable
+/// checkpoints (which already hold the writer lock and must not re-take
+/// it through `persist_snapshot`) can serialize the state they pinned.
+pub(crate) fn manifest_from_set(
+    model: &Model,
+    policy: &SegmentPolicy,
+    set: &SegmentSet,
+    next_id: u32,
+    wal_seq: u64,
+) -> Vec<u8> {
+    let mut extents = Vec::with_capacity(set.segments.len() + 2);
+    let mut mp = BytesMut::with_capacity(4096);
+    put_model_policy(&mut mp, model, policy, next_id);
+    extents.push(mp.to_vec());
+    for seg in &set.segments {
+        let mut e = BytesMut::with_capacity(64 + seg.core.codes.len() * 2);
+        put_segment(&mut e, seg);
+        extents.push(e.to_vec());
+    }
+    let mut be = BytesMut::with_capacity(64 + set.buffer.codes.len() * 2);
+    put_buffer(&mut be, &set.buffer);
+    extents.push(be.to_vec());
+    vaq3_wrap(KIND_SEGMENTED, wal_seq, &extents)
+}
+
+/// Writes the shared model, maintenance policy, and id counter — the
+/// leading fields of both `VAQ2` and a `VAQ3` model extent.
+fn put_model_policy(buf: &mut BytesMut, model: &Model, policy: &SegmentPolicy, next_id: u32) {
+    put_pca(buf, &model.pca);
+    put_layout(buf, &model.layout);
+    put_usize_slice(buf, &model.bits);
+    buf.put_u64_le(wide(model.encoder.codebooks.len()));
+    for cb in &model.encoder.codebooks {
+        put_matrix(buf, cb);
+    }
+    put_strategy(buf, model.default_strategy);
+    buf.put_u64_le(wide(model.ti_prefix_subspaces));
+    buf.put_u64_le(model.seed);
+
+    buf.put_u64_le(wide(policy.seal_threshold));
+    buf.put_u64_le(wide(policy.compact_min_segments));
+    buf.put_f64_le(policy.tombstone_purge_frac);
+    buf.put_u64_le(wide(policy.ti_clusters));
+    buf.put_u8(u8::from(policy.background));
+
+    buf.put_u32_le(next_id);
+}
+
+/// Reads and validates what [`put_model_policy`] wrote.
+fn get_model_policy(buf: &mut Bytes) -> Result<(Model, SegmentPolicy, u32), VaqError> {
+    let pca = get_pca(buf)?;
+    let layout = get_layout(buf)?;
+    let bits = get_usize_slice(buf)?;
+    if bits.len() != layout.ranges.len() {
+        return Err(bad("bits/subspace count mismatch"));
+    }
+    let codebooks = get_codebooks(buf, &bits, &layout.ranges)?;
+    let encoder = Encoder { codebooks, bits: bits.clone(), ranges: layout.ranges.clone() };
+    let m = encoder.num_subspaces();
+    let default_strategy = get_strategy(buf)?;
+    let ti_prefix_subspaces = take_len(buf, "TI prefix")?;
+    if !(1..=m).contains(&ti_prefix_subspaces) {
+        return Err(bad("TI prefix outside the subspace plan"));
+    }
+    let seed = take(buf, 8)?.get_u64_le();
+    let model = Model { pca, layout, bits, encoder, default_strategy, ti_prefix_subspaces, seed };
+
+    // Policy (re-clamped through the builders: persisted knobs are as
+    // untrusted as everything else).
+    let seal_threshold = take_len(buf, "seal threshold")?;
+    let compact_min_segments = take_len(buf, "compaction minimum")?;
+    let tombstone_purge_frac = take(buf, 8)?.get_f64_le();
+    let ti_clusters = take_len(buf, "TI cluster knob")?;
+    let mut policy = SegmentPolicy::default()
+        .with_seal_threshold(seal_threshold)
+        .with_compact_min_segments(compact_min_segments)
+        .with_tombstone_purge_frac(tombstone_purge_frac)
+        .with_ti_clusters(ti_clusters);
+    policy.background = match take(buf, 1)?.get_u8() {
+        0 => false,
+        1 => true,
+        _ => return Err(bad("bad background flag")),
+    };
+
+    let next_id = take(buf, 4)?.get_u32_le();
+    Ok((model, policy, next_id))
+}
+
+/// Writes one sealed segment (row count, ids, codes, tombstones, TI).
+fn put_segment(buf: &mut BytesMut, seg: &Segment) {
+    let core = &seg.core;
+    buf.put_u64_le(wide(core.n));
+    for &id in &core.ids {
+        buf.put_u32_le(id);
+    }
+    for &c in &core.codes {
+        buf.put_u16_le(c);
+    }
+    put_tombstones(buf, &seg.tombstones);
+    put_ti(buf, core.ti.as_ref());
+}
+
+/// Reads and validates one sealed segment (`s` is its ordinal, for error
+/// messages only); the packed code layout is derived state and rebuilt.
+fn get_segment(buf: &mut Bytes, model: &Model, s: usize) -> Result<Segment, VaqError> {
+    let n = take_len(buf, "row count")?;
+    if n == 0 {
+        return Err(bad(&format!("segment {s} is empty")));
+    }
+    let ids = get_id_slice(buf, n)?;
+    let codes = get_codes(buf, n, &model.encoder)?;
+    let tombstones = get_tombstones(buf, n)?;
+    let ti = get_ti(buf, n)?;
+    let packed = PackedCodes::pack(&codes, &model.encoder.table_sizes().collect::<Vec<_>>(), n);
+    Ok(Segment { core: Arc::new(SegmentCore { ids, codes, n, packed, ti }), tombstones })
+}
+
+/// Writes the unsealed write buffer.
+fn put_buffer(buf: &mut BytesMut, buffer: &Buffer) {
+    buf.put_u64_le(wide(buffer.ids.len()));
+    for &id in &buffer.ids {
+        buf.put_u32_le(id);
+    }
+    for &c in &buffer.codes {
+        buf.put_u16_le(c);
+    }
+    put_tombstones(buf, &buffer.tombstones);
+}
+
+/// Reads and validates the write buffer.
+fn get_buffer(buf: &mut Bytes, model: &Model) -> Result<Buffer, VaqError> {
+    let brows = take_len(buf, "buffer row count")?;
+    Ok(Buffer {
+        ids: get_id_slice(buf, brows)?,
+        codes: get_codes(buf, brows, &model.encoder)?,
+        tombstones: get_tombstones(buf, brows)?,
+    })
+}
+
+/// Assembles the parsed parts, restores the quiescence invariant, and
+/// runs the full structural audit — the shared tail of every segmented
+/// load path. The file is untrusted input: a payload can parse
+/// field-by-field yet still violate structural invariants, so the audit
+/// (VAQ101–VAQ112) must pass before the index is returned. The audit's
+/// quiescence check requires a drained buffer, so an over-threshold
+/// buffer is sealed first — sealing only rearranges data that was
+/// already field-validated.
+fn finish_segmented_load(
+    model: Model,
+    policy: SegmentPolicy,
+    segments: Vec<Segment>,
+    buffer: Buffer,
+    next_id: u32,
+) -> Result<SegmentedVaq, VaqError> {
+    let index = SegmentedVaq::from_parts(model, policy, segments, buffer, next_id);
+    index.normalize_after_load();
+    let report = crate::audit::Audit::audit(&index);
+    if !report.is_ok() {
+        return Err(bad(&format!(
+            "audit found {} invariant violation(s) after load",
+            report.issues().len()
+        )));
+    }
+    Ok(index)
 }
 
 fn put_tombstones(buf: &mut BytesMut, t: &Tombstones) {
@@ -408,14 +752,14 @@ fn checked_size(count: usize, elem_size: usize) -> Result<usize, VaqError> {
 /// saturating fallback keeps the writer total rather than panicking if
 /// that ever changes. The write path's only integer conversion funnels
 /// through here (rule VAQ010).
-fn wide(n: usize) -> u64 {
+pub(crate) fn wide(n: usize) -> u64 {
     u64::try_from(n).unwrap_or(u64::MAX)
 }
 
 /// Narrows an on-disk `u64` to a host `usize`, rejecting values this
 /// address space cannot represent — the check an `as usize` cast would
 /// silently truncate away on 32-bit targets (rule VAQ010).
-fn narrow(v: u64, what: &str) -> Result<usize, VaqError> {
+pub(crate) fn narrow(v: u64, what: &str) -> Result<usize, VaqError> {
     usize::try_from(v).map_err(|_| bad(&format!("{what} {v} does not fit in usize")))
 }
 

@@ -72,7 +72,10 @@ use crate::sync::{thread, Arc, Mutex, MutexGuard, RwLock};
 use crate::ti::TiPartition;
 use crate::vaq::{Vaq, VaqConfig};
 use crate::VaqError;
+use std::path::Path;
 use vaq_linalg::{Matrix, PackedCodes, Pca};
+
+pub(crate) mod wal;
 
 // ---------------------------------------------------------------------------
 // Policy
@@ -336,6 +339,11 @@ pub(crate) struct Shared {
     version: AtomicU64,
     current: RwLock<Arc<SegmentSet>>,
     pub(crate) writer: Mutex<WriterState>,
+    /// The write-ahead log, when the index is durable (attached by
+    /// [`SegmentedVaq::make_durable`] / [`SegmentedVaq::open_durable`]).
+    /// Lock order: `writer` before `journal`, always — appends happen
+    /// under the writer lock so WAL order equals apply order.
+    journal: Mutex<Option<wal::Journal>>,
 }
 
 /// Poison-tolerant lock helpers: index state must stay reachable even if
@@ -346,6 +354,34 @@ fn wlock(shared: &Shared) -> MutexGuard<'_, WriterState> {
 
 fn read_current(shared: &Shared) -> Arc<SegmentSet> {
     shared.current.read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+fn jlock(shared: &Shared) -> MutexGuard<'_, Option<wal::Journal>> {
+    shared.journal.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Appends one record to the journal, when one is attached. The caller
+/// must hold the writer lock (lock order: writer → journal) and must NOT
+/// have applied the mutation yet — write-ahead means an append failure
+/// leaves both the log and the in-memory state at the committed prefix.
+fn journal_append(shared: &Shared, op: &wal::WalOp) -> Result<(), VaqError> {
+    let mut j = jlock(shared);
+    if let Some(j) = j.as_mut() {
+        j.append(op)?;
+    }
+    Ok(())
+}
+
+/// Best-effort advisory marker (seal/compact commit points): a failed
+/// append is recorded as a degradation, never an error — markers carry no
+/// state replay depends on.
+fn journal_note(shared: &Shared, op: &wal::WalOp) {
+    let mut j = jlock(shared);
+    if let Some(j) = j.as_mut() {
+        if j.append(op).is_err() {
+            crate::faults::note_degradation("segment.wal: advisory marker append failed");
+        }
+    }
 }
 
 /// Installs a new snapshot. Callers mutating index *state* must hold the
@@ -425,6 +461,7 @@ impl SegmentedVaq {
                 version: AtomicU64::new(0),
                 current: RwLock::new(Arc::new(set)),
                 writer: Mutex::new(WriterState { next_id: n as u32, ..WriterState::default() }),
+                journal: Mutex::new(None),
             }),
         }
     }
@@ -445,6 +482,7 @@ impl SegmentedVaq {
                 version: AtomicU64::new(0),
                 current: RwLock::new(Arc::new(set)),
                 writer: Mutex::new(WriterState { next_id, ..WriterState::default() }),
+                journal: Mutex::new(None),
             }),
         }
     }
@@ -577,6 +615,13 @@ impl SegmentedVaq {
                 return Err(VaqError::BadConfig("id space exhausted (u32 ids)".into()));
             }
             let first = st.next_id;
+            // Write-ahead: the record must be durable before the state
+            // changes; on append failure nothing was applied and the
+            // caller sees the error.
+            journal_append(
+                &self.shared,
+                &wal::WalOp::Add { first_id: first, rows: data.rows(), codes: new_codes.clone() },
+            )?;
             st.next_id += data.rows() as u32;
             ids = (first..st.next_id).collect();
 
@@ -615,8 +660,18 @@ impl SegmentedVaq {
 
     /// Tombstones `id`. Returns `true` when the id existed and was live.
     /// The row stops appearing in queries with the next snapshot; its
-    /// storage is reclaimed by compaction.
+    /// storage is reclaimed by compaction. On a durable index a failed
+    /// WAL append surfaces as `false` (nothing was deleted); use
+    /// [`SegmentedVaq::try_delete`] to distinguish "not found" from an IO
+    /// failure.
     pub fn delete(&self, id: u32) -> bool {
+        self.try_delete(id).unwrap_or(false)
+    }
+
+    /// [`SegmentedVaq::delete`] with the IO error surfaced: on a durable
+    /// index the tombstone record must reach the write-ahead log before
+    /// the in-memory state changes, and that append can fail.
+    pub fn try_delete(&self, id: u32) -> Result<bool, VaqError> {
         let mut run_inline = false;
         let killed;
         {
@@ -627,7 +682,7 @@ impl SegmentedVaq {
             if let Some(pos) = cur.segments.iter().position(|seg| seg.local_of(id).is_some()) {
                 let seg = &cur.segments[pos];
                 // `local_of` succeeded above.
-                let Some(local) = seg.local_of(id) else { return false };
+                let Some(local) = seg.local_of(id) else { return Ok(false) };
                 let mut tombstones = seg.tombstones.clone();
                 if tombstones.kill(local) {
                     let mut segments = cur.segments.clone();
@@ -647,6 +702,10 @@ impl SegmentedVaq {
             }
             killed = next.is_some();
             if let Some(set) = next {
+                // Write-ahead: the tombstone record goes to the log
+                // before the snapshot flips; a failed append applies
+                // nothing.
+                journal_append(&self.shared, &wal::WalOp::Delete { id })?;
                 install(&self.shared, set);
             }
             if purge_eligible && !st.maintenance {
@@ -657,7 +716,7 @@ impl SegmentedVaq {
         if run_inline {
             maintenance_task(&self.shared);
         }
-        killed
+        Ok(killed)
     }
 
     /// Replaces `id` with a re-encoded `vector`: tombstones the old row
@@ -665,7 +724,7 @@ impl SegmentedVaq {
     /// when `id` was not live. The two steps are individually atomic but
     /// a concurrent reader may observe the gap between them.
     pub fn update(&self, id: u32, vector: &[f32]) -> Result<Option<u32>, VaqError> {
-        if !self.delete(id) {
+        if !self.try_delete(id)? {
             return Ok(None);
         }
         let ids = self.add(&Matrix::from_rows(&[vector.to_vec()]))?;
@@ -750,9 +809,232 @@ impl SegmentedVaq {
         }
     }
 
+    /// Makes the index durable at `path`: atomically commits a
+    /// checksummed `VAQ3` manifest snapshot (see [`SegmentedVaq::save`])
+    /// and attaches a fresh write-ahead log at `<path>.wal`. From this
+    /// point every `add`/`delete`/`update` is logged *before* it is
+    /// applied, so after a crash [`SegmentedVaq::open_durable`] recovers
+    /// the exact pre-crash logical state. Calling this again on an
+    /// already-durable index is a **checkpoint**: the manifest absorbs
+    /// the logged suffix and the log restarts empty.
+    ///
+    /// Writers are quiesced for the duration (manifest bytes, WAL state,
+    /// and id counter must form one consistent cut); queries keep
+    /// running.
+    pub fn make_durable(&self, path: &Path) -> Result<(), VaqError> {
+        let _span = crate::obs::span("segment.checkpoint");
+        let st = wlock(&self.shared);
+        let mut jl = jlock(&self.shared);
+        let last_seq = jl.as_ref().map(|j| j.wal.last_seq()).unwrap_or(0);
+        let set = read_current(&self.shared);
+        let bytes = crate::persist::manifest_from_set(
+            &self.shared.model,
+            &self.shared.policy,
+            &set,
+            st.next_id,
+            last_seq,
+        );
+        crate::persist::commit_bytes(path, &bytes)?;
+        // Manifest committed: restart the log. A crash between the two
+        // leaves the old WAL in place, whose records all sit at or below
+        // the manifest's watermark and are skipped on replay.
+        let w = wal::Wal::create(&wal::wal_path(path), last_seq)?;
+        *jl = Some(wal::Journal {
+            wal: w,
+            manifest_path: path.to_path_buf(),
+            base_next_id: st.next_id,
+            add_ranges: Vec::new(),
+        });
+        crate::obs::event(
+            "segment.checkpoint",
+            &format!("manifest committed at wal_seq {last_seq}"),
+        );
+        Ok(())
+    }
+
+    /// Checkpoints a durable index to the manifest path registered by
+    /// [`SegmentedVaq::make_durable`] / [`SegmentedVaq::open_durable`];
+    /// errors when the index is not durable.
+    pub fn checkpoint(&self) -> Result<(), VaqError> {
+        let path = {
+            let jl = jlock(&self.shared);
+            match jl.as_ref() {
+                Some(j) => j.manifest_path.clone(),
+                None => {
+                    return Err(VaqError::BadConfig(
+                        "index is not durable: call make_durable(path) first".into(),
+                    ))
+                }
+            }
+        };
+        self.make_durable(&path)
+    }
+
+    /// Opens a durable index: loads the manifest at `path` (any format),
+    /// replays the write-ahead-log suffix past the manifest's watermark
+    /// (truncating a torn tail record instead of erroring — the op it
+    /// logged never returned success), re-audits, and re-attaches the
+    /// journal so the index continues durably. Recovery reaches the
+    /// exact logical state of every acknowledged mutation before the
+    /// crash.
+    pub fn open_durable(path: &Path) -> Result<SegmentedVaq, VaqError> {
+        let _span = crate::obs::span("segment.recover");
+        let data = std::fs::read(path).map_err(|e| crate::persist::io_at(path, e))?;
+        let (index, manifest_seq) = SegmentedVaq::from_bytes_with_seq(&data)?;
+        // A stale staging file from an interrupted commit is dead weight;
+        // the rename never happened, so it holds a torn manifest.
+        if std::fs::remove_file(crate::persist::tmp_path(path)).is_ok() {
+            crate::obs::event("segment.recover", "removed stale staging file");
+        }
+        let (base_next_id, _) = index.writer_probe();
+        let wal_file = wal::wal_path(path);
+        let scan = wal::scan(&wal_file)?;
+        if scan.torn {
+            crate::obs::counter_add("wal.torn_tail_truncated", 1);
+            crate::obs::event("segment.recover", "truncated torn wal tail");
+        }
+        let mut last_seq = manifest_seq;
+        let mut replayed = 0u64;
+        let mut add_ranges: Vec<(u32, u32)> = Vec::new();
+        for rec in &scan.records {
+            if rec.seq <= manifest_seq {
+                // Already baked into the manifest (a checkpoint crashed
+                // between the manifest rename and the WAL restart).
+                continue;
+            }
+            if rec.seq != last_seq + 1 {
+                return Err(wal::corrupt("sequence gap after the manifest watermark"));
+            }
+            index.apply_wal(&rec.op)?;
+            if let wal::WalOp::Add { first_id, rows, .. } = rec.op {
+                let end = first_id.saturating_add(u32::try_from(rows).unwrap_or(u32::MAX));
+                match add_ranges.last_mut() {
+                    Some(last) if last.1 == first_id => last.1 = end,
+                    _ => add_ranges.push((first_id, end)),
+                }
+            }
+            last_seq = rec.seq;
+            replayed += 1;
+        }
+        index.normalize_after_load();
+        // Replayed records are as untrusted as the manifest: re-run the
+        // full structural audit on the recovered state.
+        let report = crate::audit::Audit::audit(&index);
+        if !report.is_ok() {
+            return Err(VaqError::BadConfig(format!(
+                "corrupt index file: audit found {} invariant violation(s) after recovery",
+                report.issues().len()
+            )));
+        }
+        crate::obs::counter_add("wal.replayed", replayed);
+        crate::obs::event(
+            "segment.recover",
+            &format!("replayed {replayed} wal record(s) past watermark {manifest_seq}"),
+        );
+        let w = wal::Wal::open_append(&wal_file, scan.clean_len, last_seq)?;
+        {
+            let _st = wlock(&index.shared);
+            let mut jl = jlock(&index.shared);
+            *jl = Some(wal::Journal {
+                wal: w,
+                manifest_path: path.to_path_buf(),
+                base_next_id,
+                add_ranges,
+            });
+        }
+        Ok(index)
+    }
+
+    /// Applies one replayed WAL record. Seal/compact markers are
+    /// advisory: maintenance is re-derived from policy, and the logical
+    /// state replay must reproduce does not depend on segmentation.
+    fn apply_wal(&self, op: &wal::WalOp) -> Result<(), VaqError> {
+        match op {
+            wal::WalOp::Add { first_id, rows, codes } => {
+                self.apply_wal_add(*first_id, *rows, codes)
+            }
+            wal::WalOp::Delete { id } => {
+                // Idempotent: the id may already be gone (e.g. logged
+                // twice around a checkpoint race). No journal is attached
+                // during replay, so nothing is re-logged.
+                let _ = self.try_delete(*id)?;
+                Ok(())
+            }
+            wal::WalOp::Seal { .. } | wal::WalOp::Compact { .. } => Ok(()),
+        }
+    }
+
+    /// Replays one logged add: appends the already-encoded codes to the
+    /// write buffer under the ids the original add assigned. The codes
+    /// are untrusted (they came from disk) and are range-checked against
+    /// the dictionaries exactly like manifest codes.
+    fn apply_wal_add(&self, first_id: u32, rows: usize, codes: &[u16]) -> Result<(), VaqError> {
+        let model = &self.shared.model;
+        let m = model.encoder.num_subspaces();
+        let expect = rows.checked_mul(m).ok_or_else(|| wal::corrupt("add size overflow"))?;
+        if rows == 0 || codes.len() != expect {
+            return Err(wal::corrupt("add record shape mismatch"));
+        }
+        for (i, &c) in codes.iter().enumerate() {
+            if usize::from(c) >= model.encoder.codebooks[i % m].rows() {
+                return Err(wal::corrupt("code exceeds dictionary size"));
+            }
+        }
+        let rows_u32 =
+            u32::try_from(rows).map_err(|_| wal::corrupt("add row count does not fit u32"))?;
+        let mut st = wlock(&self.shared);
+        let end = u64::from(first_id) + u64::from(rows_u32);
+        if end > u64::from(u32::MAX) {
+            return Err(wal::corrupt("add range exhausts the id space"));
+        }
+        if first_id < st.next_id {
+            if end <= u64::from(st.next_id) {
+                // Entire range already in the snapshot: idempotent skip.
+                crate::obs::counter_add("wal.replay_skipped", 1);
+                return Ok(());
+            }
+            return Err(wal::corrupt("add range overlaps the snapshot"));
+        }
+        if first_id > st.next_id {
+            return Err(wal::corrupt("add range leaves an id gap"));
+        }
+        st.next_id = first_id + rows_u32;
+        let ids: Vec<u32> = (first_id..st.next_id).collect();
+        let cur = read_current(&self.shared);
+        let mut buffer = (*cur.buffer).clone();
+        buffer.ids.extend_from_slice(&ids);
+        buffer.codes.extend_from_slice(codes);
+        buffer.tombstones = {
+            let mut t = Tombstones::with_len(buffer.ids.len());
+            t.words[..cur.buffer.tombstones.words().len()]
+                .copy_from_slice(cur.buffer.tombstones.words());
+            t.dead = cur.buffer.tombstones.dead();
+            t
+        };
+        install(
+            &self.shared,
+            SegmentSet { segments: cur.segments.clone(), buffer: Arc::new(buffer) },
+        );
+        Ok(())
+    }
+
+    /// A point-in-time journal summary for the audit (VAQ112), or `None`
+    /// when the index is not durable. Captured under the writer lock so
+    /// `next_id` and the logged ranges form one consistent cut.
+    pub(crate) fn wal_summary(&self) -> Option<wal::WalSummary> {
+        let st = wlock(&self.shared);
+        let jl = jlock(&self.shared);
+        jl.as_ref().map(|j| wal::WalSummary {
+            base_next_id: j.base_next_id,
+            add_ranges: j.add_ranges.clone(),
+            last_seq: j.wal.last_seq(),
+            next_id: st.next_id,
+        })
+    }
+
     /// Spawns the maintenance pass on a background thread when the policy
     /// and thread budget allow; returns `false` when the caller must run
-    /// it inline. The `maintenance` flag must already be claimed.
+    /// it inline. The `maintenance` flag is already claimed.
     fn spawn_maintenance(&self, st: &mut WriterState) -> bool {
         if !self.shared.policy.background || crate::threads::thread_budget() <= 1 {
             return false;
@@ -951,6 +1233,9 @@ fn seal_step(shared: &Arc<Shared>) -> bool {
     segments.push(Segment { core: Arc::new(core), tombstones });
     let total = segments.len();
     install(shared, SegmentSet { segments, buffer: Arc::new(rest) });
+    // Advisory commit marker: replay re-derives sealing from policy, but
+    // the marker lets offline tooling see maintenance points in the log.
+    journal_note(shared, &wal::WalOp::Seal { rows });
     crate::obs::event("segment.seal", &format!("sealed {rows} rows; {total} segments"));
     true
 }
@@ -1055,6 +1340,7 @@ fn compact_step(shared: &Arc<Shared>) {
         segments.extend_from_slice(&cur.segments[pos + len..]);
         let total = segments.len();
         install(shared, SegmentSet { segments, buffer: Arc::clone(&cur.buffer) });
+        journal_note(shared, &wal::WalOp::Compact { segments: len });
         crate::obs::event(
             kind,
             &format!("compacted {len} segment(s), purged {dropped} rows; {total} segments"),

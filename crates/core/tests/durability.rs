@@ -1,0 +1,283 @@
+//! Durability suite (ISSUE 8): corruption-injection over the `VAQ3`
+//! checksummed manifest and the write-ahead log, plus commit-protocol
+//! checks.
+//!
+//! The contract under test:
+//!
+//! * any single-byte mutation or truncation of a `VAQ3` manifest is
+//!   *detected* — the CRC32C framing turns silent corruption into a typed
+//!   error (a CRC detects every burst up to its width, so no 8-bit flip
+//!   can slip through);
+//! * a damaged WAL recovers to a **prefix-consistent** state: the live-id
+//!   set after recovery equals the state after some acknowledged prefix
+//!   of the logged ops — never a partial op, never an unacknowledged one;
+//! * an interrupted atomic commit leaves the previous manifest fully
+//!   readable (old-or-new, never torn);
+//! * nothing in any of the above panics.
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+#[cfg(feature = "faults")]
+use vaq_core::Vaq;
+use vaq_core::{SearchStrategy, SegmentPolicy, SegmentedVaq, VaqConfig};
+use vaq_linalg::Matrix;
+
+/// Serializes every test in this binary: with the `faults` feature on,
+/// the injection registry is process-global, and an armed `persist.*`
+/// site would fail the *other* tests' real saves and recoveries.
+static IO_LOCK: Mutex<()> = Mutex::new(());
+
+fn io_guard() -> MutexGuard<'static, ()> {
+    IO_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn toy_data(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(d);
+        for j in 0..d {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((s >> 40) as f32 / (1u32 << 23) as f32) - 1.0;
+            row.push(v * 2.0 / (1.0 + j as f32 * 0.3));
+        }
+        rows.push(row);
+    }
+    Matrix::from_rows(&rows)
+}
+
+fn slice(data: &Matrix, lo: usize, hi: usize) -> Matrix {
+    Matrix::from_rows(&(lo..hi).map(|i| data.row(i).to_vec()).collect::<Vec<_>>())
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vaq-durability-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// `<manifest>.wal`, mirroring the library's pairing convention.
+fn wal_path(manifest: &Path) -> PathBuf {
+    let mut os = manifest.as_os_str().to_os_string();
+    os.push(".wal");
+    PathBuf::from(os)
+}
+
+/// A durable index checkpointed once and then mutated through the WAL,
+/// captured as raw on-disk bytes plus every acknowledged live-id state.
+struct DurableFixture {
+    manifest: Vec<u8>,
+    wal: Vec<u8>,
+    /// Live-id set after the checkpoint and after each subsequent
+    /// acknowledged op, in log order. A recovery from any damaged-WAL
+    /// prefix must land on exactly one of these (advisory seal/compact
+    /// markers between ops do not change the live set, so dropping them
+    /// also lands on a recorded state).
+    states: Vec<Vec<u32>>,
+}
+
+fn durable_fixture() -> &'static DurableFixture {
+    static FX: OnceLock<DurableFixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let dir = fresh_dir("fixture");
+        let path = dir.join("index.vaq");
+        let data = toy_data(120, 10, 11);
+        let seg = SegmentedVaq::train(
+            &slice(&data, 0, 60),
+            &VaqConfig::new(24, 4).with_ti_clusters(8),
+            SegmentPolicy::default().with_seal_threshold(16).with_ti_clusters(4).sequential(),
+        )
+        .unwrap();
+        seg.make_durable(&path).unwrap();
+        let mut states = vec![seg.live_ids()];
+        let mut cursor = 60;
+        for _batch in 0..3 {
+            // One `Add` record per batch (prefixes cannot split it), one
+            // `Delete` record per victim; state recorded at each boundary.
+            let ids = seg.add(&slice(&data, cursor, cursor + 6)).unwrap();
+            cursor += 6;
+            states.push(seg.live_ids());
+            assert!(seg.try_delete(ids[1]).unwrap());
+            states.push(seg.live_ids());
+        }
+        // Cross a seal boundary so advisory markers land in the log too.
+        seg.flush();
+        assert!(seg.try_delete(2).unwrap());
+        states.push(seg.live_ids());
+        let fx = DurableFixture {
+            manifest: std::fs::read(&path).unwrap(),
+            wal: std::fs::read(wal_path(&path)).unwrap(),
+            states,
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+        fx
+    })
+}
+
+/// Writes the (possibly damaged) manifest + WAL pair and recovers.
+fn recover(name: &str, manifest: &[u8], wal: &[u8]) -> Result<SegmentedVaq, vaq_core::VaqError> {
+    let dir = fresh_dir(name);
+    let path = dir.join("index.vaq");
+    std::fs::write(&path, manifest).unwrap();
+    std::fs::write(wal_path(&path), wal).unwrap();
+    let out = SegmentedVaq::open_durable(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+fn fuzz_cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// Any single-byte mutation of a `VAQ3` manifest is rejected with a
+    /// typed error: the header and every extent carry a CRC32C, and a CRC
+    /// detects all bursts up to its width — an 8-bit flip cannot pass.
+    #[test]
+    fn vaq3_byte_mutations_are_always_detected(pos_seed in 0usize..1_000_000, delta in 1u8..=255) {
+        let _g = io_guard();
+        let fx = durable_fixture();
+        let mut bytes = fx.manifest.clone();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] = bytes[pos].wrapping_add(delta);
+        prop_assert!(SegmentedVaq::from_bytes(&bytes).is_err(), "mutation at {pos} not detected");
+        prop_assert!(recover("vaq3-mut", &bytes, &fx.wal).is_err());
+    }
+
+    /// Every strict prefix of a `VAQ3` manifest is rejected with a typed
+    /// error (truncation lands mid-header, mid-extent, or drops extents —
+    /// all of which the length/CRC framing catches).
+    #[test]
+    fn vaq3_truncations_always_error(cut_seed in 0usize..1_000_000) {
+        let _g = io_guard();
+        let fx = durable_fixture();
+        let cut = cut_seed % fx.manifest.len();
+        prop_assert!(SegmentedVaq::from_bytes(&fx.manifest[..cut]).is_err());
+    }
+
+    /// Truncating the WAL at *any* byte boundary recovers to a
+    /// prefix-consistent state: the final torn record is dropped (the op
+    /// it logged never acknowledged) and the live-id set equals the state
+    /// after some acknowledged prefix of the ops.
+    #[test]
+    fn wal_truncation_recovers_an_acknowledged_prefix(cut_seed in 0usize..1_000_000) {
+        let _g = io_guard();
+        let fx = durable_fixture();
+        let cut = cut_seed % (fx.wal.len() + 1);
+        let rec = recover("wal-cut", &fx.manifest, &fx.wal[..cut]).expect("prefix must recover");
+        let ids = rec.live_ids();
+        prop_assert!(
+            fx.states.contains(&ids),
+            "cut at {cut} recovered a live set matching no acknowledged state: {ids:?}"
+        );
+    }
+
+    /// A single flipped bit anywhere in the WAL either truncates a torn
+    /// tail (prefix-consistent recovery, as above) or is reported as typed
+    /// corruption — never a panic, never an unacknowledged state.
+    #[test]
+    fn wal_bit_flips_recover_or_error(pos_seed in 0usize..1_000_000, bit in 0u8..8) {
+        let _g = io_guard();
+        let fx = durable_fixture();
+        let mut wal = fx.wal.clone();
+        let pos = pos_seed % wal.len();
+        wal[pos] ^= 1 << bit;
+        // Typed corruption is one allowed outcome; the other is a clean
+        // recovery, which must land on an acknowledged state.
+        if let Ok(rec) = recover("wal-flip", &fx.manifest, &wal) {
+            let ids = rec.live_ids();
+            prop_assert!(
+                fx.states.contains(&ids),
+                "flip at {pos} recovered a live set matching no acknowledged state: {ids:?}"
+            );
+        }
+    }
+}
+
+/// The WAL round trip without any damage: an index that is mutated after
+/// its last checkpoint and then abandoned (no clean shutdown exists in
+/// this design — the manifest is stale by construction) recovers to the
+/// exact live state by replaying the log suffix.
+#[test]
+fn open_durable_replays_to_the_live_state() {
+    let _g = io_guard();
+    let dir = fresh_dir("replay");
+    let path = dir.join("index.vaq");
+    let data = toy_data(100, 10, 21);
+    let seg = SegmentedVaq::train(
+        &slice(&data, 0, 50),
+        &VaqConfig::new(24, 4).with_ti_clusters(8),
+        SegmentPolicy::default().with_seal_threshold(16).with_ti_clusters(4).sequential(),
+    )
+    .unwrap();
+    seg.make_durable(&path).unwrap();
+    let ids = seg.add(&slice(&data, 50, 80)).unwrap();
+    assert!(seg.try_delete(ids[3]).unwrap());
+    seg.update(ids[5], data.row(99)).unwrap();
+    seg.flush();
+
+    let rec = SegmentedVaq::open_durable(&path).unwrap();
+    assert_eq!(rec.live_ids(), seg.live_ids());
+    for qi in 90..100 {
+        let a = seg.search_with(data.row(qi), 7, SearchStrategy::FullScan).unwrap().0;
+        let b = rec.search_with(data.row(qi), 7, SearchStrategy::FullScan).unwrap().0;
+        let mut a: Vec<(u32, u32)> = a.iter().map(|h| (h.distance.to_bits(), h.index)).collect();
+        let mut b: Vec<(u32, u32)> = b.iter().map(|h| (h.distance.to_bits(), h.index)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "query {qi} diverges after replay");
+    }
+    // The recovered index is durable in its own right: checkpointing it
+    // absorbs the replayed suffix and restarts the log.
+    rec.checkpoint().unwrap();
+    let again = SegmentedVaq::open_durable(&path).unwrap();
+    assert_eq!(again.live_ids(), seg.live_ids());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An aborted atomic commit must leave the previously committed manifest
+/// byte-for-byte intact: the staging file may hold torn debris, but the
+/// rename never happened.
+#[cfg(feature = "faults")]
+#[test]
+fn interrupted_save_preserves_the_old_index() {
+    use vaq_core::faults::{arm, disarm_all, Trigger};
+
+    let _g = io_guard();
+    let dir = fresh_dir("aborted-commit");
+    let path = dir.join("index.vaq");
+    let data = toy_data(80, 10, 31);
+    let old = Vaq::train(&data, &VaqConfig::new(24, 4).with_ti_clusters(8)).unwrap();
+    old.save(&path).unwrap();
+    let committed = std::fs::read(&path).unwrap();
+
+    let newer = Vaq::train(&slice(&data, 0, 60), &VaqConfig::new(24, 4)).unwrap();
+    // Kill the commit at each protocol step in turn: mid staging write,
+    // at the staging fsync, and at the rename.
+    for (site, trigger) in [
+        ("persist.commit", Trigger::NthHit(1)),
+        ("persist.fsync", Trigger::NthHit(1)),
+        ("persist.commit", Trigger::NthHit(2)),
+    ] {
+        disarm_all();
+        arm(site, trigger);
+        let err = newer.save(&path).unwrap_err();
+        assert!(matches!(err, vaq_core::VaqError::Io { .. }), "{site}: {err}");
+        disarm_all();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            committed,
+            "{site}: aborted commit disturbed the committed manifest"
+        );
+        let back = Vaq::load(&path).unwrap();
+        assert_eq!(back.to_bytes(), old.to_bytes(), "{site}: old index no longer loads");
+    }
+    // With injection gone the same save lands, old-to-new atomically.
+    newer.save(&path).unwrap();
+    assert_eq!(Vaq::load(&path).unwrap().to_bytes(), newer.to_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -395,11 +395,20 @@ mod injected {
                     seg.add(&Matrix::from_rows(&rows))?;
                 }
                 seg.search_with(d.row(0), 3, SearchStrategy::TiEa { visit_frac: 1.0 })?;
+                // The durability layer owns the `persist.wal_append`,
+                // `persist.commit`, and `persist.fsync` sites: commit a
+                // manifest atomically, then log one add through the WAL.
+                let dir = std::env::temp_dir().join(format!("vaq-robust-{}", std::process::id()));
+                std::fs::create_dir_all(&dir).expect("create scratch dir");
+                seg.make_durable(&dir.join(format!("{site}.vaq")))?;
+                seg.add(&Matrix::from_rows(&[d.row(0).to_vec()]))?;
                 Ok::<(), VaqError>(())
             });
             let observed = outcome.is_err()
                 || notes.iter().any(|n| n.starts_with(site) || n.contains("greedy"));
             assert!(observed, "site {site} armed Always but never observed (notes {notes:?})");
         }
+        let scratch = std::env::temp_dir().join(format!("vaq-robust-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(scratch);
     }
 }

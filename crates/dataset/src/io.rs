@@ -17,6 +17,27 @@ use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use vaq_linalg::Matrix;
 
+/// Typed-data error for a value that does not fit the destination type.
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Validates a parsed per-vector dimension and widens it to `usize`.
+/// The headers are attacker-controlled, so the bound check comes first
+/// and the conversion is checked rather than cast.
+fn checked_dim(d: i32, format: &str) -> io::Result<usize> {
+    if d <= 0 || d > 1_000_000 {
+        return Err(bad_data(format!("implausible {format} dimension {d}")));
+    }
+    usize::try_from(d).map_err(|_| bad_data(format!("implausible {format} dimension {d}")))
+}
+
+/// Converts a row length to the `i32` header the *vecs formats store.
+fn header_dim(len: usize, format: &str) -> io::Result<i32> {
+    i32::try_from(len)
+        .map_err(|_| bad_data(format!("row of {len} values does not fit an {format} header")))
+}
+
 /// Reads up to `limit` vectors from an fvecs file (`None` = all).
 pub fn read_fvecs(path: &Path, limit: Option<usize>) -> io::Result<Matrix> {
     let mut reader = BufReader::new(File::open(path)?);
@@ -33,14 +54,8 @@ pub fn read_fvecs(path: &Path, limit: Option<usize>) -> io::Result<Matrix> {
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
             Err(e) => return Err(e),
         }
-        let d = i32::from_le_bytes(dim_buf);
-        if d <= 0 || d > 1_000_000 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("implausible fvecs dimension {d}"),
-            ));
-        }
-        let mut payload = vec![0u8; d as usize * 4];
+        let d = checked_dim(i32::from_le_bytes(dim_buf), "fvecs")?;
+        let mut payload = vec![0u8; d * 4];
         reader.read_exact(&mut payload)?;
         let row: Vec<f32> =
             payload.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
@@ -61,7 +76,7 @@ pub fn read_fvecs(path: &Path, limit: Option<usize>) -> io::Result<Matrix> {
 pub fn write_fvecs(path: &Path, m: &Matrix) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     for row in m.iter_rows() {
-        w.write_all(&(row.len() as i32).to_le_bytes())?;
+        w.write_all(&header_dim(row.len(), "fvecs")?.to_le_bytes())?;
         for &v in row {
             w.write_all(&v.to_le_bytes())?;
         }
@@ -85,14 +100,8 @@ pub fn read_bvecs(path: &Path, limit: Option<usize>) -> io::Result<Matrix> {
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
             Err(e) => return Err(e),
         }
-        let d = i32::from_le_bytes(dim_buf);
-        if d <= 0 || d > 1_000_000 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("implausible bvecs dimension {d}"),
-            ));
-        }
-        let mut payload = vec![0u8; d as usize];
+        let d = checked_dim(i32::from_le_bytes(dim_buf), "bvecs")?;
+        let mut payload = vec![0u8; d];
         reader.read_exact(&mut payload)?;
         rows.push(payload.iter().map(|&b| b as f32).collect());
     }
@@ -115,21 +124,17 @@ pub fn read_ivecs(path: &Path, limit: Option<usize>) -> io::Result<Vec<Vec<u32>>
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
             Err(e) => return Err(e),
         }
-        let d = i32::from_le_bytes(dim_buf);
-        if d <= 0 || d > 1_000_000 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("implausible ivecs dimension {d}"),
-            ));
-        }
-        let mut payload = vec![0u8; d as usize * 4];
+        let d = checked_dim(i32::from_le_bytes(dim_buf), "ivecs")?;
+        let mut payload = vec![0u8; d * 4];
         reader.read_exact(&mut payload)?;
-        rows.push(
-            payload
-                .chunks_exact(4)
-                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]) as u32)
-                .collect(),
-        );
+        let row: Result<Vec<u32>, _> = payload
+            .chunks_exact(4)
+            .map(|c| {
+                let v = i32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+                u32::try_from(v).map_err(|_| bad_data(format!("negative ivecs index {v}")))
+            })
+            .collect();
+        rows.push(row?);
     }
     Ok(rows)
 }
@@ -138,9 +143,11 @@ pub fn read_ivecs(path: &Path, limit: Option<usize>) -> io::Result<Vec<Vec<u32>>
 pub fn write_ivecs(path: &Path, rows: &[Vec<u32>]) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     for row in rows {
-        w.write_all(&(row.len() as i32).to_le_bytes())?;
+        w.write_all(&header_dim(row.len(), "ivecs")?.to_le_bytes())?;
         for &v in row {
-            w.write_all(&(v as i32).to_le_bytes())?;
+            let i = i32::try_from(v)
+                .map_err(|_| bad_data(format!("index {v} does not fit the ivecs i32 payload")))?;
+            w.write_all(&i.to_le_bytes())?;
         }
     }
     w.flush()

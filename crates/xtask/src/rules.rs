@@ -11,7 +11,7 @@
 //! | VAQ007 | no bare `println!` / `eprintln!` in library crates — route diagnostics through `obs::event` / structured logs |
 //! | VAQ008 | no direct `std::sync` / `std::thread` in `vaq-core` outside the `crate::sync` facade — loom builds must model every primitive |
 //! | VAQ009 | every non-`SeqCst` atomic ordering argument needs an `// ORDERING:` justification within the three preceding lines |
-//! | VAQ010 | no `as` integer casts in the serialization/kernel boundary files (`persist.rs`, `qtables.rs`) — use `try_from`/`From` with a typed error |
+//! | VAQ010 | no `as` integer casts in the serialization/kernel boundary files (`persist.rs`, `wal.rs`, `qtables.rs`, dataset `io.rs`) — use `try_from`/`From` with a typed error |
 //!
 //! Every rule reports a stable code so `lint.toml` allowances and CI logs
 //! stay meaningful as the codebase grows. See DESIGN.md §8 and §13.
@@ -30,7 +30,10 @@ pub const RULES: &[(&str, &str)] = &[
     ("VAQ007", "no bare `println!`/`eprintln!` in library crates — use `obs::event`"),
     ("VAQ008", "no direct `std::sync`/`std::thread` in vaq-core — go through `crate::sync`"),
     ("VAQ009", "non-SeqCst atomic orderings need an `// ORDERING:` justification"),
-    ("VAQ010", "no `as` integer casts in persist.rs/qtables.rs — use `try_from`/`From`"),
+    (
+        "VAQ010",
+        "no `as` integer casts in serialization/kernel boundary files — use `try_from`/`From`",
+    ),
 ];
 
 /// Non-`SeqCst` ordering variants whose use must be justified (VAQ009).
@@ -72,6 +75,9 @@ pub const FAULT_SITES: &[&str] = &[
     "dictionary.train",
     "ti.build",
     "persist.from_bytes",
+    "persist.wal_append",
+    "persist.commit",
+    "persist.fsync",
     "engine.prepare",
     "engine.search",
     "engine.qscan",
@@ -133,9 +139,14 @@ impl<'a> FileClass<'a> {
 
     /// Serialization/kernel boundary files where `as` integer casts are
     /// banned (VAQ010): every length there is attacker-controlled or
-    /// feeds an unsafe kernel, so conversions must be checked.
+    /// feeds an unsafe kernel, so conversions must be checked. The WAL
+    /// and the dataset readers/writers parse the same class of untrusted
+    /// on-disk input as the manifest loader.
     fn in_cast_banned_file(&self) -> bool {
-        self.path.ends_with("core/src/persist.rs") || self.path.ends_with("linalg/src/qtables.rs")
+        self.path.ends_with("core/src/persist.rs")
+            || self.path.ends_with("core/src/segment/wal.rs")
+            || self.path.ends_with("linalg/src/qtables.rs")
+            || self.path.ends_with("dataset/src/io.rs")
     }
 }
 
@@ -711,6 +722,14 @@ mod tests {
         assert_eq!(v[0].line, 1);
         assert_eq!(
             codes("crates/linalg/src/qtables.rs", "fn f(c: u16) -> u8 { c as u8 }"),
+            vec!["VAQ010"]
+        );
+        assert_eq!(
+            codes("crates/dataset/src/io.rs", "fn f(n: usize) -> i32 { n as i32 }"),
+            vec!["VAQ010"]
+        );
+        assert_eq!(
+            codes("crates/core/src/segment/wal.rs", "fn f(n: u64) -> u32 { n as u32 }"),
             vec!["VAQ010"]
         );
     }
