@@ -132,7 +132,7 @@ fn bench_encode(c: &mut Criterion) {
     });
     g.bench_function("project_and_encode_one_vaq_128d", |b| {
         b.iter(|| {
-            let p = vaq.project_query(std::hint::black_box(ds.queries.row(0)));
+            let p = vaq.project_query(std::hint::black_box(ds.queries.row(0))).unwrap();
             vaq.encoder().encode(&p)
         })
     });
@@ -148,7 +148,7 @@ fn bench_lookup_tables(c: &mut Criterion) {
     let vaq = Vaq::train(&ds.data, &VaqConfig::new(128, 16).with_ti_clusters(0)).unwrap();
     let enc = vaq.encoder();
     let projected: Vec<Vec<f32>> =
-        (0..ds.queries.rows()).map(|qi| vaq.project_query(ds.queries.row(qi))).collect();
+        (0..ds.queries.rows()).map(|qi| vaq.project_query(ds.queries.row(qi)).unwrap()).collect();
     let q0 = projected[0].as_slice();
 
     let mut g = quick(c);

@@ -38,6 +38,7 @@ fn main() {
             let r = evaluate_with_truth(
                 |q| {
                     vaq.search_with(q, k, SearchStrategy::FullScan)
+                        .expect("search")
                         .0
                         .iter()
                         .map(|x| x.index)
@@ -77,6 +78,7 @@ fn main() {
         let r = evaluate_with_truth(
             |q| {
                 vaq.search_with(q, k, SearchStrategy::TiEa { visit_frac: 0.25 })
+                    .expect("search")
                     .0
                     .iter()
                     .map(|x| x.index)
@@ -86,8 +88,9 @@ fn main() {
             &truth,
             k,
         );
-        let (_, stats) =
-            vaq.search_with(ds.queries.row(0), k, SearchStrategy::TiEa { visit_frac: 0.25 });
+        let (_, stats) = vaq
+            .search_with(ds.queries.row(0), k, SearchStrategy::TiEa { visit_frac: 0.25 })
+            .expect("search");
         rows.push(vec![
             format!("{prefix}"),
             format!("{:.4}", r.0),

@@ -43,6 +43,7 @@ fn main() {
         let r = evaluate_with_truth(
             |q| {
                 vaq.search_with(q, k, SearchStrategy::TiEa { visit_frac: frac })
+                    .expect("search")
                     .0
                     .iter()
                     .map(|x| x.index)
@@ -80,7 +81,9 @@ fn main() {
     let ivf_train = t.elapsed().as_secs_f64();
     for nprobe in [cells / 40 + 1, cells / 10 + 1, cells / 4 + 1] {
         let r = evaluate_with_truth(
-            |q| ivf.search_nprobe(q, k, nprobe).0.iter().map(|x| x.index).collect(),
+            |q| {
+                ivf.search_nprobe(q, k, nprobe).expect("search").0.iter().map(|x| x.index).collect()
+            },
             &ds.queries,
             &truth,
             k,

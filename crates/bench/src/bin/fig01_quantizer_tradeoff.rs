@@ -150,7 +150,7 @@ fn main() {
         .unwrap();
         let vaq_train = t0.elapsed().as_secs_f64();
         let r = evaluate_with_truth(
-            |q| vaq.search(q, k).iter().map(|x| x.index).collect(),
+            |q| vaq.search(q, k).expect("search").iter().map(|x| x.index).collect(),
             &ds.queries,
             &truth,
             k,

@@ -56,12 +56,13 @@ fn vaq_prefix_search(
     if j >= vaq.bits().len() {
         return vaq
             .search_with(query, k, SearchStrategy::FullScan)
+            .expect("search")
             .0
             .iter()
             .map(|n| n.index)
             .collect();
     }
-    let projected = vaq.project_query(query);
+    let projected = vaq.project_query(query).expect("project");
     vaq.encoder().fill_tables(&projected, arena);
     let offsets = arena.offsets();
     let flat = arena.as_slice();

@@ -50,13 +50,20 @@ fn main() {
         let mut times = Vec::new();
         for (name, strategy) in strategies {
             let r = evaluate_with_truth(
-                |q| vaq.search_with(q, k, strategy).0.iter().map(|x| x.index).collect(),
+                |q| {
+                    vaq.search_with(q, k, strategy)
+                        .expect("search")
+                        .0
+                        .iter()
+                        .map(|x| x.index)
+                        .collect()
+                },
                 &ds.queries,
                 &truth,
                 k,
             );
             // Work counters for one representative query.
-            let (_, stats) = vaq.search_with(ds.queries.row(0), k, strategy);
+            let (_, stats) = vaq.search_with(ds.queries.row(0), k, strategy).expect("search");
             rows.push(vec![
                 name.into(),
                 format!("{:.4}", r.0),

@@ -49,6 +49,7 @@ fn main() {
                         let r = evaluate_with_truth(
                             |q| {
                                 vaq.search_with(q, k, SearchStrategy::FullScan)
+                                    .expect("search")
                                     .0
                                     .iter()
                                     .map(|x| x.index)

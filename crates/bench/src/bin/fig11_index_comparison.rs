@@ -83,6 +83,7 @@ fn main() {
                 |q| {
                     search_with_rerank(&ds.data, q, k, 5, |qq, kk| {
                         vaq.search_with(qq, kk, SearchStrategy::TiEa { visit_frac: frac })
+                            .expect("search")
                             .0
                             .iter()
                             .map(|x| x.index)

@@ -45,6 +45,7 @@ fn main() {
         let r = evaluate_with_truth(
             |q| {
                 vaq.search_with(q, k, SearchStrategy::TiEa { visit_frac: frac })
+                    .expect("search")
                     .0
                     .iter()
                     .map(|x| x.index)

@@ -135,7 +135,7 @@ fn main() {
                 &VaqConfig::new(BUDGET, SEGMENTS).with_seed(seed).with_ti_clusters(ti_clusters),
             )
             .unwrap();
-            Box::new(move |q| vaq.search(q, k).iter().map(|x| x.index).collect())
+            Box::new(move |q| vaq.search(q, k).expect("search").iter().map(|x| x.index).collect())
         }),
     );
 

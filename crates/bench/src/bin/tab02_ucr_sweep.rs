@@ -84,6 +84,7 @@ fn main() {
                     Box::new(move |q: &[f32]| opq.search(q, k).iter().map(|x| x.index).collect()),
                     Box::new(move |q: &[f32]| {
                         vaq.search_with(q, k, vaq_core::SearchStrategy::FullScan)
+                            .expect("search")
                             .0
                             .iter()
                             .map(|x| x.index)

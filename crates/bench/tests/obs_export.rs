@@ -50,8 +50,8 @@ fn profiled_run_round_trips_through_both_exports() {
     let data = Matrix::from_rows(&rows);
     let vaq = Vaq::train(&data, &VaqConfig::new(16, 4).with_ti_clusters(8)).unwrap();
     for qi in 0..6 {
-        vaq.search_with(data.row(qi * 31), 5, SearchStrategy::EarlyAbandon);
-        vaq.search_with(data.row(qi * 31), 5, SearchStrategy::Quantized);
+        vaq.search_with(data.row(qi * 31), 5, SearchStrategy::EarlyAbandon).unwrap();
+        vaq.search_with(data.row(qi * 31), 5, SearchStrategy::Quantized).unwrap();
     }
     let snap = obs::snapshot();
     obs::set_enabled(false);

@@ -5,7 +5,7 @@
 //! broken after the repair pass, a code outside its dictionary, a TI
 //! cluster that is no longer sorted. The [`Audit`] trait re-checks those
 //! contracts after the fact. Each violated invariant is reported with a
-//! stable diagnostic code (`VAQ101`–`VAQ112`, documented in DESIGN.md §8)
+//! stable diagnostic code (`VAQ101`–`VAQ113`, documented in DESIGN.md §8)
 //! so tests, CI, and the `vaq_cli audit` subcommand can match on them.
 //!
 //! The pipeline stages call [`Audit::debug_audit`] at the end of each
@@ -18,7 +18,7 @@ use crate::subspaces::SubspaceLayout;
 use crate::ti::TiPartition;
 use crate::vaq::{Vaq, VaqConfig};
 use std::fmt;
-use vaq_linalg::TableArena;
+use vaq_linalg::{MappedSpan, TableArena};
 
 /// Hard ceiling on per-subspace bits: codes are stored as `u16`.
 pub const MAX_CODE_BITS: usize = 16;
@@ -319,26 +319,30 @@ impl Audit for TableArena {
 impl Audit for TiPartition {
     fn audit(&self) -> AuditReport {
         let mut r = AuditReport::new();
-        r.check(self.centroids.rows() == self.clusters.len(), "VAQ108", || {
-            format!("{} centroids for {} clusters", self.centroids.rows(), self.clusters.len())
+        r.check(self.centroids.rows() == self.num_clusters(), "VAQ108", || {
+            format!("{} centroids for {} clusters", self.centroids.rows(), self.num_clusters())
         });
         r.check(self.centroids.cols() == self.prefix_dim, "VAQ108", || {
             format!("centroids span {} dims, prefix is {}", self.centroids.cols(), self.prefix_dim)
         });
         r.check(self.prefix_subspaces >= 1, "VAQ108", || "prefix spans no subspaces".into());
-        for (c, members) in self.clusters.iter().enumerate() {
-            for mem in members {
-                r.check(mem.dist.is_finite() && mem.dist >= 0.0, "VAQ108", || {
-                    format!("cluster {c} member {} has distance {}", mem.idx, mem.dist)
+        for c in 0..self.num_clusters() {
+            let (idxs, dists) = (self.cluster_idx(c), self.cluster_dist(c));
+            for (&idx, &dist) in idxs.iter().zip(dists) {
+                r.check(dist.is_finite() && dist >= 0.0, "VAQ108", || {
+                    format!("cluster {c} member {idx} has distance {dist}")
                 });
             }
-            for w in members.windows(2) {
+            for w in 0..dists.len().saturating_sub(1) {
                 // The binary-searched pruning window requires ascending
                 // cached distances.
-                r.check(w[0].dist <= w[1].dist, "VAQ108", || {
+                r.check(dists[w] <= dists[w + 1], "VAQ108", || {
                     format!(
                         "cluster {c} is not sorted: {} (idx {}) before {} (idx {})",
-                        w[0].dist, w[0].idx, w[1].dist, w[1].idx
+                        dists[w],
+                        idxs[w],
+                        dists[w + 1],
+                        idxs[w + 1]
                     )
                 });
             }
@@ -493,6 +497,14 @@ impl Audit for crate::segment::SegmentedVaq {
                 }
             }
             audit_packed(&mut r, &core.packed, &core.codes, core.n, &model.encoder);
+            audit_mapped_span(&mut r, s, "ids", core.ids.mapped_span());
+            audit_mapped_span(&mut r, s, "codes", core.codes.mapped_span());
+            audit_mapped_span(&mut r, s, "packed", core.packed.storage().mapped_span());
+            audit_mapped_span(&mut r, s, "tombstone", seg.tombstones.mapped_span());
+            if let Some(ti) = &core.ti {
+                audit_mapped_span(&mut r, s, "TI member ids", ti.member_idx.mapped_span());
+                audit_mapped_span(&mut r, s, "TI member dists", ti.member_dist.mapped_span());
+            }
         }
 
         let buf = &set.buffer;
@@ -556,6 +568,27 @@ impl Audit for crate::segment::SegmentedVaq {
         }
         r
     }
+}
+
+/// VAQ113: a mapped extent must sit entirely inside the file it was
+/// mapped from and start on a page boundary (the `VAQ4` writer aligns
+/// every extent; a span that drifted would read a neighbour's bytes).
+/// Owned storages (`span == None`) have nothing to check.
+fn audit_mapped_span(r: &mut AuditReport, s: usize, what: &str, span: Option<MappedSpan>) {
+    let Some(span) = span else { return };
+    r.check(
+        span.offset.checked_add(span.byte_len).is_some_and(|end| end <= span.region_len),
+        "VAQ113",
+        || {
+            format!(
+                "segment {s}: mapped {what} extent {}..+{} escapes the {}-byte file",
+                span.offset, span.byte_len, span.region_len
+            )
+        },
+    );
+    r.check(span.aligned, "VAQ113", || {
+        format!("segment {s}: mapped {what} extent at {} is not page aligned", span.offset)
+    });
 }
 
 /// VAQ111: tombstone-bitmap sizing and accounting for one segment (or the
@@ -638,7 +671,6 @@ fn audit_packed(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ti::Member;
     use vaq_dataset::SyntheticSpec;
 
     fn trained() -> Vaq {
@@ -709,10 +741,14 @@ mod tests {
     fn unsorted_ti_cluster_is_vaq108() {
         let mut vaq = trained();
         let ti = vaq.ti.as_mut().unwrap();
-        let cluster =
-            ti.clusters.iter_mut().find(|c| c.len() >= 2).expect("some cluster has two members");
-        cluster.reverse();
-        let all_equal = cluster.windows(2).all(|w| w[0].dist == w[1].dist);
+        let c = (0..ti.num_clusters())
+            .find(|&c| ti.cluster_len(c) >= 2)
+            .expect("some cluster has two members");
+        let (start, end) = ti.cluster_range(c);
+        ti.member_dist.to_mut()[start..end].reverse();
+        ti.member_idx.to_mut()[start..end].reverse();
+        let dists = ti.cluster_dist(c);
+        let all_equal = dists.windows(2).all(|w| w[0] == w[1]);
         if !all_equal {
             let report = vaq.audit();
             assert!(report.has_code("VAQ108"), "{report}");
@@ -723,10 +759,15 @@ mod tests {
     fn duplicated_ti_member_is_vaq108() {
         let mut vaq = trained();
         let ti = vaq.ti.as_mut().unwrap();
-        let first = ti.clusters.iter().flatten().next().copied().unwrap();
-        for cl in ti.clusters.iter_mut() {
-            if !cl.iter().any(|m| m.idx == first.idx) {
-                cl.push(Member { idx: first.idx, dist: f32::MAX });
+        let first = ti.member_idx.as_slice()[0];
+        for c in 0..ti.num_clusters() {
+            if !ti.cluster_idx(c).contains(&first) {
+                let end = ti.cluster_range(c).1;
+                ti.member_idx.to_mut().insert(end, first);
+                ti.member_dist.to_mut().insert(end, f32::MAX);
+                for o in ti.offsets[c + 1..].iter_mut() {
+                    *o += 1;
+                }
                 break;
             }
         }

@@ -25,7 +25,8 @@ use crate::search::{Neighbor, SearchStats, SearchStrategy};
 use crate::ti::TiPartition;
 use std::collections::BinaryHeap;
 use vaq_linalg::{
-    accumulate_qsums, squared_distances_into, Matrix, PackedCodes, QuantizedTables, TableArena,
+    accumulate_qsums, squared_distances_into, Matrix, PackedCodes, QuantizedTables, ScanPrefetch,
+    TableArena,
 };
 
 /// A borrowed view of an encoded database, sufficient to execute ADC
@@ -41,6 +42,10 @@ pub struct IndexView<'a> {
     /// Tombstone bitmap (bit `i` set = row `i` is deleted): dead rows are
     /// excluded from every scan and rerank path, counted as skipped.
     dead: Option<&'a [u64]>,
+    /// Prefetch hints for memory-mapped storage: linear strategies declare
+    /// a sequential pass, TI-pruned scans advise per visited cluster.
+    /// Purely advisory — never affects results.
+    prefetch: Option<&'a ScanPrefetch>,
 }
 
 impl<'a> IndexView<'a> {
@@ -58,7 +63,16 @@ impl<'a> IndexView<'a> {
     ) -> IndexView<'a> {
         assert_eq!(codebooks.len(), ranges.len(), "one codebook per subspace");
         assert_eq!(codes.len(), n * ranges.len(), "codes must be n × m");
-        IndexView { codebooks, ranges, codes, n, ti: None, packed: None, dead: None }
+        IndexView {
+            codebooks,
+            ranges,
+            codes,
+            n,
+            ti: None,
+            packed: None,
+            dead: None,
+            prefetch: None,
+        }
     }
 
     /// Views a trained [`Encoder`] and its encoded database.
@@ -91,6 +105,14 @@ impl<'a> IndexView<'a> {
     /// and are counted in [`SearchStats::vectors_skipped`].
     pub fn with_dead(mut self, dead: Option<&'a [u64]>) -> IndexView<'a> {
         self.dead = dead;
+        self
+    }
+
+    /// Attaches (or detaches) prefetch hints for a segment whose extents
+    /// are memory-mapped. The engine advises the kernel along the scan
+    /// order it is about to take; hints never change answers.
+    pub fn with_prefetch(mut self, prefetch: Option<&'a ScanPrefetch>) -> IndexView<'a> {
+        self.prefetch = prefetch;
         self
     }
 
@@ -317,6 +339,9 @@ impl QueryEngine {
         match strategy {
             SearchStrategy::FullScan => {
                 let _scan = crate::obs::span("query.scan");
+                if let Some(pf) = view.prefetch {
+                    pf.advise_sequential_scan();
+                }
                 let m = view.num_subspaces();
                 let flat = self.arena.as_slice();
                 let offsets = self.arena.offsets();
@@ -337,6 +362,9 @@ impl QueryEngine {
             }
             SearchStrategy::EarlyAbandon => {
                 let _scan = crate::obs::span("query.scan");
+                if let Some(pf) = view.prefetch {
+                    pf.advise_sequential_scan();
+                }
                 for i in 0..n {
                     scan_one(view, &self.arena, i, &mut heap, k, &mut stats);
                 }
@@ -370,21 +398,32 @@ impl QueryEngine {
                 let order = ti.visit_order(&qd);
                 drop(prune);
                 let _scan = crate::obs::span("query.scan");
+                // TI reranks member rows in cluster order, not file
+                // order: tell a mapped backing store not to read ahead,
+                // and fault each visited cluster's member tables in
+                // ahead of its binary searches.
+                if let Some(pf) = view.prefetch {
+                    pf.advise_random_scan();
+                }
                 let visit =
                     ((visit_frac.clamp(0.0, 1.0) * order.len() as f64).ceil() as usize).max(1);
-                for &ci in order.iter().take(visit) {
+                for (vi, &ci) in order.iter().take(visit).enumerate() {
                     let ci = ci as usize;
-                    let members = ti.cluster(ci);
+                    if let (Some(pf), Some(&next)) = (view.prefetch, order.get(vi + 1)) {
+                        let (s, e) = ti.cluster_range(next as usize);
+                        pf.advise_ti_cluster(s, e);
+                    }
+                    let members = ti.cluster_idx(ci);
                     // Current best-so-far in metric (unsquared) space.
                     let bsf = current_threshold(&heap, k).sqrt();
                     let (lo, hi) = ti.survivor_window(ci, qd[ci], bsf);
                     stats.vectors_skipped += lo + (members.len() - hi);
-                    for mem in &members[lo..hi] {
-                        scan_one(view, &self.arena, mem.idx as usize, &mut heap, k, &mut stats);
+                    for &row in &members[lo..hi] {
+                        scan_one(view, &self.arena, row as usize, &mut heap, k, &mut stats);
                     }
                 }
                 for &ci in order.iter().skip(visit) {
-                    stats.vectors_skipped += ti.cluster(ci as usize).len();
+                    stats.vectors_skipped += ti.cluster_len(ci as usize);
                 }
             }
             SearchStrategy::Quantized => {
@@ -415,6 +454,9 @@ impl QueryEngine {
                     return (collect_sorted(heap), stats);
                 };
                 let qscan = crate::obs::span("query.qscan");
+                if let Some(pf) = view.prefetch {
+                    pf.advise_sequential_scan();
+                }
                 self.qtables.quantize(&self.arena, packed);
                 accumulate_qsums(packed, &self.qtables, &mut self.qsums);
                 drop(qscan);
@@ -574,7 +616,7 @@ impl QueryEngine {
 /// (a double-assigned row plus an omitted one still sums to `n`).
 #[inline]
 fn ti_covers(ti: &TiPartition, n: usize) -> bool {
-    let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster(c).len()).sum();
+    let total: usize = ti.members_total();
     if total != n {
         return false;
     }
@@ -930,21 +972,19 @@ mod tests {
         // the omitted row could never be returned. The debug-build exact
         // membership check must reject the doctored partition and fall
         // back to the EA scan, which still finds the omitted row.
-        use crate::ti::Member;
         let n = 400;
         let (data, enc, codes, mut ti) = setup(n);
-        let big = (0..ti.num_clusters()).max_by_key(|&c| ti.cluster(c).len()).unwrap();
-        let dup = ti.clusters[big][0];
-        let len = ti.clusters[big].len();
-        assert!(len >= 2);
+        let big = (0..ti.num_clusters()).max_by_key(|&c| ti.cluster_len(c)).unwrap();
+        let (start, end) = ti.cluster_range(big);
+        assert!(end - start >= 2);
         // Replace the farthest member (an omission) with a duplicate of
-        // the nearest (a double assignment); the size sum stays n. Keep
-        // the duplicate's cached distance so the sorted invariant holds.
-        let omitted = ti.clusters[big][len - 1].idx;
-        let kept_dist = ti.clusters[big][len - 1].dist;
-        ti.clusters[big][len - 1] = Member { idx: dup.idx, dist: kept_dist };
-        let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster(c).len()).sum();
-        assert_eq!(total, n, "doctoring must preserve the size sum");
+        // the nearest (a double assignment); the size sum stays n. The
+        // cached distance column is untouched so the sorted invariant
+        // holds.
+        let dup = ti.member_idx.as_slice()[start];
+        let omitted = ti.member_idx.as_slice()[end - 1];
+        ti.member_idx.to_mut()[end - 1] = dup;
+        assert_eq!(ti.members_total(), n, "doctoring must preserve the size sum");
         assert!(!ti.covers_exactly(n));
 
         let view = IndexView::from_encoder(&enc, &codes, n).with_ti(Some(&ti));

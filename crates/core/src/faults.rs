@@ -31,6 +31,7 @@ pub const SITES: &[&str] = &[
     "persist.wal_append",
     "persist.commit",
     "persist.fsync",
+    "persist.mmap",
     "engine.prepare",
     "engine.search",
     "engine.qscan",

@@ -118,9 +118,10 @@ impl VaqIvf {
         QueryEngine::for_view(&self.view())
     }
 
-    /// Searches with the default probe count.
-    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        self.search_nprobe(query, k, self.nprobe).0
+    /// Searches with the default probe count. Errors when the query's
+    /// dimensionality does not match the index.
+    pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, VaqError> {
+        Ok(self.search_nprobe(query, k, self.nprobe)?.0)
     }
 
     /// Searches probing the `nprobe` nearest cells; returns work counters.
@@ -133,7 +134,7 @@ impl VaqIvf {
         query: &[f32],
         k: usize,
         nprobe: usize,
-    ) -> (Vec<Neighbor>, SearchStats) {
+    ) -> Result<(Vec<Neighbor>, SearchStats), VaqError> {
         let mut engine = self.engine();
         self.search_nprobe_in(&mut engine, query, k, nprobe)
     }
@@ -147,8 +148,8 @@ impl VaqIvf {
         query: &[f32],
         k: usize,
         nprobe: usize,
-    ) -> (Vec<Neighbor>, SearchStats) {
-        let projected = self.vaq.project_query(query);
+    ) -> Result<(Vec<Neighbor>, SearchStats), VaqError> {
+        let projected = self.vaq.project_query(query)?;
         let view = self.view();
 
         // Order cells by centroid distance.
@@ -169,7 +170,7 @@ impl VaqIvf {
         for &(_, cell) in order.iter().skip(probe) {
             stats.vectors_skipped += self.lists[cell as usize].len();
         }
-        (out, stats)
+        Ok((out, stats))
     }
 }
 
@@ -201,8 +202,9 @@ mod tests {
         let ds = SyntheticSpec::sift_like().generate(500, 10, 2);
         let ivf = VaqIvf::train(&ds.data, &config()).unwrap();
         for q in 0..ds.queries.rows() {
-            let (ivf_res, _) = ivf.search_nprobe(ds.queries.row(q), 10, ivf.num_cells());
-            let flat = ivf.inner().search_with(ds.queries.row(q), 10, SearchStrategy::FullScan).0;
+            let (ivf_res, _) = ivf.search_nprobe(ds.queries.row(q), 10, ivf.num_cells()).unwrap();
+            let flat =
+                ivf.inner().search_with(ds.queries.row(q), 10, SearchStrategy::FullScan).unwrap().0;
             assert_eq!(
                 ivf_res.iter().map(|n| n.index).collect::<Vec<_>>(),
                 flat.iter().map(|n| n.index).collect::<Vec<_>>(),
@@ -220,7 +222,7 @@ mod tests {
             let mut visited = 0;
             let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
                 .map(|q| {
-                    let (res, stats) = ivf.search_nprobe(ds.queries.row(q), 10, nprobe);
+                    let (res, stats) = ivf.search_nprobe(ds.queries.row(q), 10, nprobe).unwrap();
                     visited += stats.vectors_visited;
                     res.iter().map(|n| n.index).collect()
                 })
@@ -246,7 +248,7 @@ mod tests {
     fn stats_account_for_every_vector() {
         let ds = SyntheticSpec::deep_like().generate(400, 1, 5);
         let ivf = VaqIvf::train(&ds.data, &config()).unwrap();
-        let (_, stats) = ivf.search_nprobe(ds.queries.row(0), 5, 4);
+        let (_, stats) = ivf.search_nprobe(ds.queries.row(0), 5, 4).unwrap();
         assert_eq!(stats.vectors_visited + stats.vectors_skipped, 400);
     }
 }

@@ -41,7 +41,7 @@
 //! let data = Matrix::from_rows(&rows);
 //! let cfg = VaqConfig::new(12, 3); // 12-bit budget, 3 subspaces
 //! let vaq = Vaq::train(&data, &cfg).unwrap();
-//! let hits = vaq.search(data.row(10), 3);
+//! let hits = vaq.search(data.row(10), 3).unwrap();
 //! assert_eq!(hits[0].index, 10); // a database vector finds itself
 //! ```
 

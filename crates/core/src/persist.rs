@@ -42,7 +42,7 @@
 //! verified before a single field is parsed, so a torn or bit-flipped
 //! region is reported as corruption instead of being interpreted. The
 //! `wal_seq` header field records the last write-ahead-log sequence
-//! number baked into the snapshot (see [`crate::segment::wal`]); plain
+//! number baked into the snapshot (see `crate::segment::wal`); plain
 //! `save` writes 0.
 //!
 //! Saves are **atomic**: the bytes go to `<path>.tmp`, the file and its
@@ -67,13 +67,17 @@ use crate::segment::{
     Buffer, Model, Segment, SegmentCore, SegmentPolicy, SegmentSet, SegmentedVaq, Tombstones,
 };
 use crate::subspaces::SubspaceLayout;
+use crate::sync::atomic::{AtomicU8, Ordering};
 use crate::sync::Arc;
-use crate::ti::{Member, TiPartition};
+use crate::ti::TiPartition;
 use crate::vaq::Vaq;
 use crate::VaqError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::path::{Path, PathBuf};
-use vaq_linalg::{Matrix, PackedCodes, Pca};
+use vaq_linalg::{
+    CodesStorage, ExtentSpan, F32Storage, MappedRegion, Matrix, PackedCodes, Pca, ScanPrefetch,
+    U16Storage, U32Storage, U64Storage, PAGE_ALIGN,
+};
 
 const MAGIC: &[u8; 4] = b"VAQ1";
 const VERSION: u32 = 1;
@@ -81,6 +85,15 @@ const MAGIC2: &[u8; 4] = b"VAQ2";
 const VERSION2: u32 = 1;
 const MAGIC3: &[u8; 4] = b"VAQ3";
 const VERSION3: u32 = 1;
+/// Page-aligned out-of-core container (see the `VAQ4` section below).
+const MAGIC4: &[u8; 4] = b"VAQ4";
+const VERSION4: u32 = 1;
+/// Extents per sealed segment in a `VAQ4` file: meta, ids, codes, packed,
+/// tombstone words, TI member ids, TI member distances.
+const SEG_EXTENTS: usize = 7;
+/// Bytes per `VAQ4` extent-table entry: offset `u64` + length `u64` +
+/// CRC32C `u32`.
+const VAQ4_TABLE_ENTRY: usize = 8 + 8 + 4;
 /// `VAQ3` payload kinds.
 const KIND_MONOLITHIC: u8 = 1;
 const KIND_SEGMENTED: u8 = 2;
@@ -140,6 +153,73 @@ fn fsync_dir(dir: &Path) -> Result<(), VaqError> {
     }
     #[cfg(not(all(unix, not(miri))))]
     let _ = dir;
+    Ok(())
+}
+
+/// Reads an index file with the container header validated *first*: the
+/// 29-byte header is pulled in alone and checked — magic, checksum, and
+/// the claimed extent count against the real file length — before the
+/// body is read, so a corrupt or hostile header is rejected without a
+/// file-sized read behind it. Legacy raw `VAQ1`/`VAQ2` streams carry no
+/// checksummed header to pre-validate and are read whole, as before.
+pub(crate) fn read_index_file(path: &Path) -> Result<Vec<u8>, VaqError> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path).map_err(|e| io_at(path, e))?;
+    let flen = narrow(f.metadata().map_err(|e| io_at(path, e))?.len(), "file length")?;
+    let mut head = [0u8; HEADER_CRC_SPAN + 4];
+    let mut got = 0usize;
+    while got < head.len() {
+        match f.read(&mut head[got..]).map_err(|e| io_at(path, e))? {
+            0 => break,
+            k => got += k,
+        }
+    }
+    check_header_against_len(&head[..got], flen)?;
+    let mut data = Vec::with_capacity(flen.max(got));
+    data.extend_from_slice(&head[..got]);
+    f.read_to_end(&mut data).map_err(|e| io_at(path, e))?;
+    Ok(data)
+}
+
+/// The header-vs-file-length precheck behind `read_index_file`. For
+/// the checksummed containers this proves the claimed extent count could
+/// at least *encode* within `flen` bytes (12 bytes of framing per `VAQ3`
+/// extent, a 20-byte table entry per `VAQ4` extent), so a fabricated
+/// count dies here instead of driving downstream allocations.
+fn check_header_against_len(head: &[u8], flen: usize) -> Result<(), VaqError> {
+    if head.len() < 4 {
+        return Err(VaqError::BadConfig("corrupt index file: truncated".into()));
+    }
+    let magic = &head[..4];
+    if magic == MAGIC.as_slice() || magic == MAGIC2.as_slice() {
+        return Ok(());
+    }
+    let (per_extent, fixed_tail) = if magic == MAGIC3.as_slice() {
+        (12usize, 0usize)
+    } else if magic == MAGIC4.as_slice() {
+        (VAQ4_TABLE_ENTRY, 4)
+    } else {
+        return Err(bad("unrecognized index file magic"));
+    };
+    if head.len() < HEADER_CRC_SPAN + 4 {
+        return Err(VaqError::BadConfig("corrupt index file: truncated".into()));
+    }
+    let mut buf = Bytes::copy_from_slice(&head[4..HEADER_CRC_SPAN + 4]);
+    let _version = buf.get_u32_le();
+    let _kind = buf.get_u8();
+    let _wal_seq = buf.get_u64_le();
+    let nextents = buf.get_u64_le();
+    let stored = buf.get_u32_le();
+    if crate::crc::crc32c(&head[..HEADER_CRC_SPAN]) != stored {
+        return Err(bad("manifest header checksum mismatch"));
+    }
+    let min_len = nextents
+        .checked_mul(wide(per_extent))
+        .and_then(|b| b.checked_add(wide(HEADER_CRC_SPAN + 4 + fixed_tail)))
+        .ok_or_else(|| bad("extent count overflow"))?;
+    if min_len > wide(flen) {
+        return Err(bad("extent count larger than the file can hold"));
+    }
     Ok(())
 }
 
@@ -310,6 +390,9 @@ impl Vaq {
             }
             return Vaq::from_bytes(&payload);
         }
+        if &magic == MAGIC4 {
+            return Err(bad("VAQ4 manifests hold segmented indexes; open with SegmentedVaq"));
+        }
         if &magic != MAGIC {
             return Err(bad("bad magic"));
         }
@@ -359,15 +442,17 @@ impl Vaq {
     }
 
     /// Atomically writes the index to a file as a checksummed `VAQ3`
-    /// manifest (tmp + fsync + rename; see [`commit_bytes`]'s module
+    /// manifest (tmp + fsync + rename; see `commit_bytes`'s module
     /// docs). An interrupted save leaves any previous file intact.
     pub fn save(&self, path: &Path) -> Result<(), VaqError> {
         commit_bytes(path, &self.to_manifest_bytes())
     }
 
     /// Loads an index from a file (`VAQ3` manifest or legacy raw `VAQ1`).
+    /// The container header is validated before the body is read, so a
+    /// corrupt header fails fast (see `read_index_file`).
     pub fn load(path: &Path) -> Result<Vaq, VaqError> {
-        let data = std::fs::read(path).map_err(|e| io_at(path, e))?;
+        let data = read_index_file(path)?;
         Vaq::from_bytes(&data)
     }
 }
@@ -441,6 +526,12 @@ impl SegmentedVaq {
 
         let mut magic = [0u8; 4];
         take(&mut buf, 4)?.copy_to_slice(&mut magic);
+        if &magic == MAGIC4 {
+            // Owned parse of the out-of-core container: every extent is
+            // checksum-verified eagerly and the full audit runs, exactly
+            // like `VAQ3` — this is the fallback / audit / chaos path.
+            return vaq4_to_segmented(data);
+        }
         if &magic == MAGIC3 {
             let header = get_vaq3_header(&mut buf, data)?;
             if header.kind == KIND_MONOLITHIC {
@@ -513,8 +604,56 @@ impl SegmentedVaq {
     ///
     /// [`SegmentedVaq::open_durable`]: crate::segment::SegmentedVaq::open_durable
     pub fn load(path: &Path) -> Result<SegmentedVaq, VaqError> {
-        let data = std::fs::read(path).map_err(|e| io_at(path, e))?;
+        let data = read_index_file(path)?;
         SegmentedVaq::from_bytes(&data)
+    }
+
+    /// Atomically writes the index as a page-aligned `VAQ4` container
+    /// whose big arrays (ids, codes, packed bytes, tombstone bitmaps, TI
+    /// member tables) can be memory-mapped and scanned in place by
+    /// [`SegmentedVaq::open_mapped`]. The payloads are streamed to the
+    /// staging file (no whole-manifest buffer is materialized), so saving
+    /// adds O(extent-table) memory, not O(file).
+    pub fn save_mapped(&self, path: &Path) -> Result<(), VaqError> {
+        let (set, next_id) = self.persist_snapshot();
+        write_vaq4(path, self.shared_model(), self.policy(), &set, next_id, 0)
+    }
+
+    /// Opens a `VAQ4` file out-of-core: the file is memory-mapped and the
+    /// sealed segments borrow their arrays from the mapping instead of
+    /// copying. Small/structural extents (header, extent table, model,
+    /// per-segment meta, tombstone bitmaps, buffer) are checksum-verified
+    /// eagerly; the big scan extents are verified lazily, on the first
+    /// search that touches them (see `LazyExtents`). Answers are
+    /// byte-identical to [`SegmentedVaq::load`].
+    ///
+    /// Degrades to a fully-owned [`SegmentedVaq::load`] — recorded at the
+    /// `persist.mmap` fault site — when the platform cannot map files,
+    /// the mapping fails, or the file is a non-`VAQ4` format (which has
+    /// no mappable layout).
+    pub fn open_mapped(path: &Path) -> Result<SegmentedVaq, VaqError> {
+        let _span = crate::obs::span("persist.open_mapped");
+        if crate::faults::fired("persist.mmap") {
+            crate::faults::note_degradation(
+                "persist.mmap: injected mapping failure, loading an owned copy",
+            );
+            return SegmentedVaq::load(path);
+        }
+        let f = std::fs::File::open(path).map_err(|e| io_at(path, e))?;
+        let Some(region) = MappedRegion::map_file(&f) else {
+            crate::faults::note_degradation(
+                "persist.mmap: mapping unavailable, loading an owned copy",
+            );
+            return SegmentedVaq::load(path);
+        };
+        // The mapping outlives the descriptor; the region owns the pages.
+        drop(f);
+        if region.as_bytes().len() < 4 || &region.as_bytes()[..4] != MAGIC4 {
+            return SegmentedVaq::load(path);
+        }
+        let index = mapped_from_region(&region)?;
+        crate::obs::counter_add("persist.mapped_opens", 1);
+        Ok(index)
     }
 }
 
@@ -542,6 +681,764 @@ pub(crate) fn manifest_from_set(
     put_buffer(&mut be, &set.buffer);
     extents.push(be.to_vec());
     vaq3_wrap(KIND_SEGMENTED, wal_seq, &extents)
+}
+
+// ---------------------------------------------------------------------------
+// VAQ4: the page-aligned out-of-core container
+// ---------------------------------------------------------------------------
+//
+// ```text
+// magic "VAQ4" | version u32 | kind u8 (2=segmented) | wal_seq u64 |
+// extent count u64 | header crc32c u32
+// extent table: [offset u64 | len u64 | crc32c u32] × count | table crc32c u32
+// payloads at their absolute offsets, each aligned to 4096 bytes
+// ```
+//
+// Extent order: `[model+policy+next_id]`, then per sealed segment exactly
+// `[meta, ids u32, codes u16, packed u8, tombstone words u64,
+// ti member ids u32, ti member dists f32]` (the TI extents are length 0
+// when the segment has no partition), then `[buffer]`. All scalars are
+// little-endian; the payload extents are the raw arrays, so a 64-bit LE
+// host can map them and read typed slices in place with no parsing.
+//
+// The segment meta extent holds the row count, tombstone dead counter,
+// and the TI partition's small parts (centroid matrix, cluster
+// boundaries, prefix info) — everything needed to build typed views of
+// the big extents without touching them.
+
+/// One extent's bytes on the write side: either an owned blob (meta /
+/// model / buffer) or a borrowed typed array streamed as little-endian.
+enum ExtPayload<'a> {
+    Own(Vec<u8>),
+    U8s(&'a [u8]),
+    U16s(&'a [u16]),
+    U32s(&'a [u32]),
+    U64s(&'a [u64]),
+    F32s(&'a [f32]),
+}
+
+impl ExtPayload<'_> {
+    fn byte_len(&self) -> usize {
+        match self {
+            ExtPayload::Own(v) => v.len(),
+            ExtPayload::U8s(s) => s.len(),
+            ExtPayload::U16s(s) => s.len() * 2,
+            ExtPayload::U32s(s) => s.len() * 4,
+            ExtPayload::U64s(s) => s.len() * 8,
+            ExtPayload::F32s(s) => s.len() * 4,
+        }
+    }
+
+    /// Streams the payload into `out`, returning its CRC32C. Typed
+    /// slices are converted through a bounded scratch buffer, so writing
+    /// a multi-gigabyte extent never doubles it in RAM.
+    fn write_into<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<u32> {
+        let mut w = CrcWriter { out, state: !0u32 };
+        match self {
+            ExtPayload::Own(v) => w.put(v)?,
+            ExtPayload::U8s(s) => w.put(s)?,
+            ExtPayload::U16s(s) => w.put_scalars(s.iter().map(|v| v.to_le_bytes()))?,
+            ExtPayload::U32s(s) => w.put_scalars(s.iter().map(|v| v.to_le_bytes()))?,
+            ExtPayload::U64s(s) => w.put_scalars(s.iter().map(|v| v.to_le_bytes()))?,
+            ExtPayload::F32s(s) => w.put_scalars(s.iter().map(|v| v.to_le_bytes()))?,
+        }
+        Ok(w.state ^ !0u32)
+    }
+}
+
+/// A writer that folds everything it forwards into a running CRC32C.
+struct CrcWriter<'a, W: std::io::Write> {
+    out: &'a mut W,
+    state: u32,
+}
+
+impl<W: std::io::Write> CrcWriter<'_, W> {
+    fn put(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.state = crate::crc::update(self.state, bytes);
+        self.out.write_all(bytes)
+    }
+
+    fn put_scalars<const N: usize>(
+        &mut self,
+        items: impl Iterator<Item = [u8; N]>,
+    ) -> std::io::Result<()> {
+        const CHUNK: usize = 1 << 16;
+        let mut scratch: Vec<u8> = Vec::with_capacity(CHUNK);
+        for le in items {
+            scratch.extend_from_slice(&le);
+            if scratch.len() + N > CHUNK {
+                self.put(&scratch)?;
+                scratch.clear();
+            }
+        }
+        if scratch.is_empty() {
+            Ok(())
+        } else {
+            self.put(&scratch)
+        }
+    }
+}
+
+/// Serializes one segment's meta extent: row count, tombstone dead
+/// counter, and the TI partition's small parts.
+fn put_seg_meta(buf: &mut BytesMut, core: &SegmentCore, tombstones: &Tombstones) {
+    buf.put_u64_le(wide(core.n));
+    buf.put_u64_le(wide(tombstones.dead()));
+    match &core.ti {
+        None => buf.put_u8(0),
+        Some(ti) => {
+            buf.put_u8(1);
+            put_matrix(buf, &ti.centroids);
+            put_usize_slice(buf, &ti.offsets);
+            buf.put_u64_le(wide(ti.prefix_subspaces));
+            buf.put_u64_le(wide(ti.prefix_dim));
+        }
+    }
+}
+
+/// The parsed segment meta extent.
+struct SegMeta {
+    n: usize,
+    dead: usize,
+    /// `(centroids, cluster boundaries, prefix_subspaces, prefix_dim)`.
+    ti: Option<(Matrix, Vec<usize>, usize, usize)>,
+}
+
+fn get_seg_meta(buf: &mut Bytes, model: &Model) -> Result<SegMeta, VaqError> {
+    let n = take_len(buf, "row count")?;
+    if n == 0 {
+        return Err(bad("segment is empty"));
+    }
+    let dead = take_len(buf, "tombstone dead count")?;
+    if dead > n {
+        return Err(bad("tombstone dead count exceeds the row count"));
+    }
+    let ti = match take(buf, 1)?.get_u8() {
+        0 => None,
+        1 => {
+            let centroids = get_matrix(buf)?;
+            let offsets = get_usize_slice(buf)?;
+            let ncl = centroids.rows();
+            if ncl == 0 || ncl > n {
+                return Err(bad("TI cluster count out of range"));
+            }
+            if offsets.len() != ncl + 1 {
+                return Err(bad("TI cluster boundary count mismatch"));
+            }
+            let prefix_subspaces = take_len(buf, "TI prefix subspaces")?;
+            let prefix_dim = take_len(buf, "TI prefix dim")?;
+            // The engine slices the projected query by the prefix and the
+            // centroid width; the mapped open skips the full audit, so
+            // the VAQ108 shape checks must hold here.
+            let m = model.encoder.num_subspaces();
+            if !(1..=m).contains(&prefix_subspaces) {
+                return Err(bad("TI prefix outside the subspace plan"));
+            }
+            let end = model.encoder.ranges()[prefix_subspaces - 1].1;
+            if prefix_dim != end || centroids.cols() != prefix_dim {
+                return Err(bad("TI prefix dim does not match the subspace boundary"));
+            }
+            Some((centroids, offsets, prefix_subspaces, prefix_dim))
+        }
+        _ => return Err(bad("bad TI flag")),
+    };
+    Ok(SegMeta { n, dead, ti })
+}
+
+/// Streams a `VAQ4` container to `path` with the same atomic-commit
+/// protocol as `commit_bytes` (tmp → fsync → rename → fsync dir, gated
+/// by the `persist.commit` / `persist.fsync` fault sites). The extent
+/// table is back-patched after the payload CRCs are known.
+fn commit_vaq4(path: &Path, wal_seq: u64, extents: &[ExtPayload<'_>]) -> Result<(), VaqError> {
+    use std::io::{Seek, SeekFrom, Write};
+    let tmp = tmp_path(path);
+    if crate::faults::fired("persist.commit") {
+        // Simulated power loss mid-write: header-only debris in the
+        // staging file; the destination is untouched.
+        let _ = std::fs::write(&tmp, MAGIC4);
+        return Err(abandoned(&tmp, "persist.commit"));
+    }
+
+    let mut header = BytesMut::with_capacity(HEADER_CRC_SPAN + 4);
+    header.put_slice(MAGIC4);
+    header.put_u32_le(VERSION4);
+    header.put_u8(KIND_SEGMENTED);
+    header.put_u64_le(wal_seq);
+    header.put_u64_le(wide(extents.len()));
+    let header_crc = crate::crc::crc32c(&header);
+    header.put_u32_le(header_crc);
+    let table_off = header.len();
+    let table_len = extents.len() * VAQ4_TABLE_ENTRY + 4;
+
+    let f = std::fs::File::create(&tmp).map_err(|e| io_at(&tmp, e))?;
+    let mut w = std::io::BufWriter::new(f);
+    w.write_all(&header).map_err(|e| io_at(&tmp, e))?;
+    // Table placeholder; the real entries are seeked back in below.
+    w.write_all(&vec![0u8; table_len]).map_err(|e| io_at(&tmp, e))?;
+    let mut cursor = table_off + table_len;
+    let mut table: Vec<(usize, usize, u32)> = Vec::with_capacity(extents.len());
+    for e in extents {
+        let aligned = cursor.next_multiple_of(PAGE_ALIGN);
+        if aligned > cursor {
+            w.write_all(&vec![0u8; aligned - cursor]).map_err(|e| io_at(&tmp, e))?;
+        }
+        let crc = e.write_into(&mut w).map_err(|e| io_at(&tmp, e))?;
+        table.push((aligned, e.byte_len(), crc));
+        cursor = aligned + e.byte_len();
+    }
+    w.flush().map_err(|e| io_at(&tmp, e))?;
+    let mut f = w.into_inner().map_err(|e| io_at(&tmp, e.into_error()))?;
+    f.seek(SeekFrom::Start(wide(table_off))).map_err(|e| io_at(&tmp, e))?;
+    let mut tb = BytesMut::with_capacity(table_len);
+    for &(off, len, crc) in &table {
+        tb.put_u64_le(wide(off));
+        tb.put_u64_le(wide(len));
+        tb.put_u32_le(crc);
+    }
+    let table_crc = crate::crc::crc32c(&tb);
+    tb.put_u32_le(table_crc);
+    f.write_all(&tb).map_err(|e| io_at(&tmp, e))?;
+    fsync_file(&f, &tmp)?;
+    drop(f);
+    if crate::faults::fired("persist.commit") {
+        return Err(abandoned(path, "persist.commit"));
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_at(path, e))?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fsync_dir(parent)?;
+    }
+    crate::obs::counter_add("persist.commits", 1);
+    Ok(())
+}
+
+/// Assembles and commits the `VAQ4` extent list for `(set, next_id)` —
+/// the body of [`SegmentedVaq::save_mapped`].
+pub(crate) fn write_vaq4(
+    path: &Path,
+    model: &Model,
+    policy: &SegmentPolicy,
+    set: &SegmentSet,
+    next_id: u32,
+    wal_seq: u64,
+) -> Result<(), VaqError> {
+    let mut extents: Vec<ExtPayload<'_>> = Vec::with_capacity(2 + set.segments.len() * SEG_EXTENTS);
+    let mut mp = BytesMut::with_capacity(4096);
+    put_model_policy(&mut mp, model, policy, next_id);
+    extents.push(ExtPayload::Own(mp.to_vec()));
+    for seg in &set.segments {
+        let core = &seg.core;
+        let mut me = BytesMut::with_capacity(256);
+        put_seg_meta(&mut me, core, &seg.tombstones);
+        extents.push(ExtPayload::Own(me.to_vec()));
+        extents.push(ExtPayload::U32s(core.ids.as_slice()));
+        extents.push(ExtPayload::U16s(core.codes.as_slice()));
+        extents.push(ExtPayload::U8s(core.packed.data()));
+        extents.push(ExtPayload::U64s(seg.tombstones.words()));
+        match &core.ti {
+            None => {
+                extents.push(ExtPayload::U32s(&[]));
+                extents.push(ExtPayload::F32s(&[]));
+            }
+            Some(ti) => {
+                extents.push(ExtPayload::U32s(ti.member_idx.as_slice()));
+                extents.push(ExtPayload::F32s(ti.member_dist.as_slice()));
+            }
+        }
+    }
+    let mut be = BytesMut::with_capacity(64 + set.buffer.codes.len() * 2);
+    put_buffer(&mut be, &set.buffer);
+    extents.push(ExtPayload::Own(be.to_vec()));
+    commit_vaq4(path, wal_seq, &extents)
+}
+
+/// The verified `VAQ4` extent table: spans (absolute offset + byte
+/// length) and stored CRCs, parallel by extent index.
+struct Vaq4Table {
+    wal_seq: u64,
+    extents: Vec<ExtentSpan>,
+    crcs: Vec<u32>,
+}
+
+/// Parses and verifies the `VAQ4` header and extent table against the
+/// real file length: a fabricated extent count or a span escaping the
+/// file dies here, before any per-extent work (and before any
+/// table-sized allocation). Also enforces the layout invariants the
+/// mapped reader relies on — page-aligned, non-overlapping, ascending
+/// extents that end exactly at the end of the file (VAQ113).
+fn get_vaq4_table(data: &[u8]) -> Result<Vaq4Table, VaqError> {
+    let head_len = HEADER_CRC_SPAN + 4;
+    if data.len() < head_len {
+        return Err(VaqError::BadConfig("corrupt index file: truncated".into()));
+    }
+    let mut head = Bytes::copy_from_slice(&data[4..head_len]);
+    let version = head.get_u32_le();
+    if version != VERSION4 {
+        return Err(bad(&format!("unsupported manifest version {version}")));
+    }
+    if head.get_u8() != KIND_SEGMENTED {
+        return Err(bad("VAQ4 manifests hold only segmented indexes"));
+    }
+    let wal_seq = head.get_u64_le();
+    let nextents = narrow(head.get_u64_le(), "extent count")?;
+    let stored = head.get_u32_le();
+    if crate::crc::crc32c(&data[..HEADER_CRC_SPAN]) != stored {
+        return Err(bad("manifest header checksum mismatch"));
+    }
+    let table_len = nextents
+        .checked_mul(VAQ4_TABLE_ENTRY)
+        .and_then(|t| t.checked_add(4))
+        .ok_or_else(|| bad("extent table size overflow"))?;
+    let table_end =
+        head_len.checked_add(table_len).ok_or_else(|| bad("extent table size overflow"))?;
+    if table_end > data.len() {
+        return Err(bad("extent table past the end of the file"));
+    }
+    let table = &data[head_len..table_end];
+    let (entries, stored_tc) = table.split_at(table_len - 4);
+    let mut tc = Bytes::copy_from_slice(stored_tc);
+    if crate::crc::crc32c(entries) != tc.get_u32_le() {
+        return Err(bad("extent table checksum mismatch"));
+    }
+    let mut tb = Bytes::copy_from_slice(entries);
+    let mut extents = Vec::with_capacity(nextents);
+    let mut crcs = Vec::with_capacity(nextents);
+    let mut prev_end = table_end;
+    for i in 0..nextents {
+        let offset = narrow(tb.get_u64_le(), "extent offset")?;
+        let len = narrow(tb.get_u64_le(), "extent length")?;
+        crcs.push(tb.get_u32_le());
+        if !offset.is_multiple_of(PAGE_ALIGN) {
+            return Err(bad(&format!("extent {i} is not page aligned")));
+        }
+        if offset < prev_end {
+            return Err(bad(&format!("extent {i} overlaps its predecessor")));
+        }
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| bad(&format!("extent {i} escapes the file bounds")))?;
+        prev_end = end;
+        extents.push(ExtentSpan { offset, len });
+    }
+    if prev_end != data.len() {
+        return Err(bad("trailing bytes after the last extent"));
+    }
+    Ok(Vaq4Table { wal_seq, extents, crcs })
+}
+
+/// The bytes of extent `i` (bounds proven by [`get_vaq4_table`]).
+fn ext<'d>(data: &'d [u8], t: &Vaq4Table, i: usize) -> &'d [u8] {
+    let s = t.extents[i];
+    &data[s.offset..s.offset + s.len]
+}
+
+fn verify_ext_crc(data: &[u8], t: &Vaq4Table, i: usize, what: &str) -> Result<(), VaqError> {
+    if crate::crc::crc32c(ext(data, t, i)) != t.crcs[i] {
+        return Err(bad(&format!("{what} extent checksum mismatch")));
+    }
+    Ok(())
+}
+
+/// `VAQ4` extent count → sealed segment count.
+fn seg_count(nextents: usize) -> Result<usize, VaqError> {
+    let body = nextents
+        .checked_sub(2)
+        .ok_or_else(|| bad("VAQ4 manifest needs model and buffer extents"))?;
+    if !body.is_multiple_of(SEG_EXTENTS) {
+        return Err(bad("VAQ4 extent count is not 2 + 7 per segment"));
+    }
+    Ok(body / SEG_EXTENTS)
+}
+
+fn u16s_from_le(bytes: &[u8], n: usize, what: &str) -> Result<Vec<u16>, VaqError> {
+    if bytes.len() != checked_size(n, 2)? {
+        return Err(bad(&format!("{what} extent sized wrong")));
+    }
+    Ok(bytes.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect())
+}
+
+fn u32s_from_le(bytes: &[u8], n: usize, what: &str) -> Result<Vec<u32>, VaqError> {
+    if bytes.len() != checked_size(n, 4)? {
+        return Err(bad(&format!("{what} extent sized wrong")));
+    }
+    Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+fn u64s_from_le(bytes: &[u8], n: usize, what: &str) -> Result<Vec<u64>, VaqError> {
+    if bytes.len() != checked_size(n, 8)? {
+        return Err(bad(&format!("{what} extent sized wrong")));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
+}
+
+fn f32s_from_le(bytes: &[u8], n: usize, what: &str) -> Result<Vec<f32>, VaqError> {
+    if bytes.len() != checked_size(n, 4)? {
+        return Err(bad(&format!("{what} extent sized wrong")));
+    }
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+/// Shared tombstone-bitmap invariants: sizing, popcount agreement with
+/// the dead counter, and no bits past the row count.
+fn check_tombstone_words(words: &[u64], dead: usize, n: usize) -> Result<(), VaqError> {
+    if words.len() != n.div_ceil(64) || dead > n {
+        return Err(bad("tombstone bitmap sized wrong"));
+    }
+    let popcount: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+    if popcount != wide(dead) {
+        return Err(bad("tombstone popcount disagrees with dead counter"));
+    }
+    if !n.is_multiple_of(64) {
+        if let Some(&last) = words.last() {
+            if last >> (n % 64) != 0 {
+                return Err(bad("tombstone bits set past the row count"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fully-owned parse of a `VAQ4` stream: every extent checksum is
+/// verified eagerly, every array is copied out and field-validated, and
+/// the full structural audit runs — the same trust posture as `VAQ3`.
+/// This is what `vaq_cli audit`, the chaos harness, and the
+/// `persist.mmap` degrade path go through.
+fn vaq4_to_segmented(data: &[u8]) -> Result<(SegmentedVaq, u64), VaqError> {
+    let t = get_vaq4_table(data)?;
+    for (i, what) in (0..t.extents.len()).map(|i| (i, "VAQ4")) {
+        verify_ext_crc(data, &t, i, what)?;
+    }
+    let nsegs = seg_count(t.extents.len())?;
+    let mut mp = Bytes::copy_from_slice(ext(data, &t, 0));
+    let (model, policy, next_id) = get_model_policy(&mut mp)?;
+    expect_drained(&mp, "model extent")?;
+    let sizes: Vec<usize> = model.encoder.table_sizes().collect();
+    let m = model.encoder.num_subspaces();
+    let mut segments = Vec::with_capacity(nsegs);
+    for s in 0..nsegs {
+        let base = 1 + s * SEG_EXTENTS;
+        let mut me = Bytes::copy_from_slice(ext(data, &t, base));
+        let meta = get_seg_meta(&mut me, &model)?;
+        expect_drained(&me, "segment meta extent")?;
+        let n = meta.n;
+        let ids = u32s_from_le(ext(data, &t, base + 1), n, "segment ids")?;
+        if !ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(bad("ids are not strictly ascending"));
+        }
+        let codes = u16s_from_le(ext(data, &t, base + 2), checked_size(n, m)?, "segment codes")?;
+        for (i, &c) in codes.iter().enumerate() {
+            if usize::from(c) >= sizes[i % m] {
+                return Err(bad("code exceeds dictionary size"));
+            }
+        }
+        let packed = PackedCodes::from_parts(ext(data, &t, base + 3).to_vec().into(), &sizes, n)
+            .ok_or_else(|| bad(&format!("segment {s} packed extent sized wrong")))?;
+        let words =
+            u64s_from_le(ext(data, &t, base + 4), n.div_ceil(64), "segment tombstone words")?;
+        check_tombstone_words(&words, meta.dead, n)?;
+        let tombstones = Tombstones::from_raw(words, meta.dead);
+        let ti = match meta.ti {
+            None => {
+                if t.extents[base + 5].len != 0 || t.extents[base + 6].len != 0 {
+                    return Err(bad("TI extents present without a TI partition"));
+                }
+                None
+            }
+            Some((centroids, offsets, prefix_subspaces, prefix_dim)) => {
+                let idx = u32s_from_le(ext(data, &t, base + 5), n, "TI member ids")?;
+                let dist = f32s_from_le(ext(data, &t, base + 6), n, "TI member distances")?;
+                for &i in &idx {
+                    if u64::from(i) >= wide(n) {
+                        return Err(bad("TI member out of range"));
+                    }
+                }
+                let ti = TiPartition::from_parts(
+                    centroids,
+                    offsets,
+                    idx.into(),
+                    dist.into(),
+                    prefix_subspaces,
+                    prefix_dim,
+                )
+                .ok_or_else(|| bad("TI boundaries are inconsistent"))?;
+                Some(ti)
+            }
+        };
+        let core = SegmentCore { ids: ids.into(), codes: codes.into(), n, packed, ti, lazy: None };
+        segments.push(Segment { core: Arc::new(core), tombstones });
+    }
+    let mut be = Bytes::copy_from_slice(ext(data, &t, t.extents.len() - 1));
+    let buffer = get_buffer(&mut be, &model)?;
+    expect_drained(&be, "buffer extent")?;
+    Ok((finish_segmented_load(model, policy, segments, buffer, next_id)?, t.wal_seq))
+}
+
+/// Deferred verification state for one mapped segment, plus its prefetch
+/// hints. The big extents are *not* verified at open — the first search
+/// that scans the segment pays one CRC + content-invariant pass over the
+/// extents it will actually read (the packed extent only when a
+/// quantized scan needs it), and the verdict is cached. A failed
+/// verification poisons the segment: every later search reports the same
+/// typed corruption error. Verification never mutates, so two racing
+/// first touches at worst duplicate the check.
+#[derive(Debug)]
+pub(crate) struct LazyExtents {
+    /// ids + codes + TI member tables: 0 unverified, 1 ok, 2 bad.
+    state_scan: AtomicU8,
+    /// The packed-codes extent (quantized scans only): same encoding.
+    state_packed: AtomicU8,
+    region: Arc<MappedRegion>,
+    ids: (ExtentSpan, u32),
+    codes: (ExtentSpan, u32),
+    packed: (ExtentSpan, u32),
+    ti_idx: (ExtentSpan, u32),
+    ti_dist: (ExtentSpan, u32),
+    /// Dictionary rows per subspace, for the code range re-check.
+    sizes: Vec<usize>,
+    prefetch: ScanPrefetch,
+}
+
+impl LazyExtents {
+    pub(crate) fn prefetch(&self) -> &ScanPrefetch {
+        &self.prefetch
+    }
+
+    /// Verifies the scan extents (and, when `needs_packed`, the packed
+    /// extent) exactly once; later calls return the cached verdict.
+    pub(crate) fn verify_once(
+        &self,
+        core: &SegmentCore,
+        needs_packed: bool,
+    ) -> Result<(), VaqError> {
+        self.verify_group(&self.state_scan, || self.verify_scan(core))?;
+        if needs_packed {
+            self.verify_group(&self.state_packed, || self.verify_packed(core))?;
+        }
+        Ok(())
+    }
+
+    fn verify_group(
+        &self,
+        state: &AtomicU8,
+        check: impl FnOnce() -> Result<(), VaqError>,
+    ) -> Result<(), VaqError> {
+        match state.load(Ordering::SeqCst) {
+            1 => return Ok(()),
+            2 => return Err(bad("mapped segment previously failed verification")),
+            _ => {}
+        }
+        let res = check();
+        state.store(if res.is_ok() { 1 } else { 2 }, Ordering::SeqCst);
+        if res.is_ok() {
+            crate::obs::counter_add("persist.lazy_extents_verified", 1);
+        } else {
+            crate::obs::counter_add("persist.lazy_extents_failed", 1);
+        }
+        res
+    }
+
+    fn check_crc(&self, (span, crc): (ExtentSpan, u32), what: &str) -> Result<(), VaqError> {
+        let data = self.region.as_bytes();
+        let end = span
+            .offset
+            .checked_add(span.len)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| bad(&format!("mapped {what} extent escapes the file bounds")))?;
+        if crate::crc::crc32c(&data[span.offset..end]) != crc {
+            return Err(bad(&format!("mapped {what} extent checksum mismatch")));
+        }
+        Ok(())
+    }
+
+    /// CRCs + content invariants for the extents every strategy reads:
+    /// the scan paths index dictionaries by code and map results through
+    /// `ids`, so hostile bytes must be rejected before any of that.
+    fn verify_scan(&self, core: &SegmentCore) -> Result<(), VaqError> {
+        self.check_crc(self.ids, "segment ids")?;
+        self.check_crc(self.codes, "segment codes")?;
+        self.check_crc(self.ti_idx, "TI member ids")?;
+        self.check_crc(self.ti_dist, "TI member distances")?;
+        if !core.ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(bad("ids are not strictly ascending"));
+        }
+        let m = self.sizes.len();
+        for (i, &c) in core.codes.iter().enumerate() {
+            if usize::from(c) >= self.sizes[i % m] {
+                return Err(bad("code exceeds dictionary size"));
+            }
+        }
+        if let Some(ti) = &core.ti {
+            for c in 0..ti.num_clusters() {
+                let dists = ti.cluster_dist(c);
+                if !dists.iter().all(|d| d.is_finite() && *d >= 0.0)
+                    || !dists.windows(2).all(|w| w[0] <= w[1])
+                {
+                    return Err(bad("TI cluster distances are unsorted or non-finite"));
+                }
+                for &i in ti.cluster_idx(c) {
+                    if u64::from(i) >= wide(core.n) {
+                        return Err(bad("TI member out of range"));
+                    }
+                }
+            }
+            if !ti.covers_exactly(core.n) {
+                return Err(bad("TI clusters do not partition the segment"));
+            }
+        }
+        Ok(())
+    }
+
+    /// CRC + VAQ110 consistency for the packed extent: the quantized scan
+    /// prunes with bounds computed from these bytes, so a packing that
+    /// disagrees with the code array would silently drop true neighbours.
+    fn verify_packed(&self, core: &SegmentCore) -> Result<(), VaqError> {
+        self.check_crc(self.packed, "packed codes")?;
+        if PackedCodes::pack(&core.codes, &self.sizes, core.n) != core.packed {
+            return Err(bad("packed codes disagree with the code array"));
+        }
+        Ok(())
+    }
+}
+
+/// Builds a mapped [`SegmentedVaq`] over a verified `VAQ4` region — the
+/// body of [`SegmentedVaq::open_mapped`]. Eagerly verified: header,
+/// extent table, model, per-segment meta, tombstone bitmaps (deletes
+/// mutate them, and the popcount check needs the words anyway), the
+/// buffer, and the cheap cross-segment id-range probes (first/last
+/// element of each mapped ids extent — two page faults per segment).
+/// Everything else is deferred to `LazyExtents`; the full structural
+/// audit is what `vaq_cli audit` runs through the owned parse.
+fn mapped_from_region(region: &Arc<MappedRegion>) -> Result<SegmentedVaq, VaqError> {
+    let data = region.as_bytes();
+    let t = get_vaq4_table(data)?;
+    let nsegs = seg_count(t.extents.len())?;
+    verify_ext_crc(data, &t, 0, "model")?;
+    let mut mp = Bytes::copy_from_slice(ext(data, &t, 0));
+    let (model, policy, next_id) = get_model_policy(&mut mp)?;
+    expect_drained(&mp, "model extent")?;
+    let sizes: Vec<usize> = model.encoder.table_sizes().collect();
+    let m = model.encoder.num_subspaces();
+    let mut segments = Vec::with_capacity(nsegs);
+    let mut prev_last: Option<u32> = None;
+    for s in 0..nsegs {
+        let base = 1 + s * SEG_EXTENTS;
+        verify_ext_crc(data, &t, base, "segment meta")?;
+        let mut me = Bytes::copy_from_slice(ext(data, &t, base));
+        let meta = get_seg_meta(&mut me, &model)?;
+        expect_drained(&me, "segment meta extent")?;
+        let n = meta.n;
+        let span = |i: usize| t.extents[i];
+        if span(base + 1).len != checked_size(n, 4)? {
+            return Err(bad("segment ids extent sized wrong"));
+        }
+        if span(base + 2).len != checked_size(checked_size(n, m)?, 2)? {
+            return Err(bad("segment codes extent sized wrong"));
+        }
+        let misaligned = || bad("mapped extent misaligned for its element type");
+        let ids = U32Storage::mapped(Arc::clone(region), span(base + 1).offset, n)
+            .ok_or_else(misaligned)?;
+        let codes =
+            U16Storage::mapped(Arc::clone(region), span(base + 2).offset, checked_size(n, m)?)
+                .ok_or_else(misaligned)?;
+        let pstore =
+            CodesStorage::mapped(Arc::clone(region), span(base + 3).offset, span(base + 3).len)
+                .ok_or_else(misaligned)?;
+        let packed = PackedCodes::from_parts(pstore, &sizes, n)
+            .ok_or_else(|| bad(&format!("segment {s} packed extent sized wrong")))?;
+        verify_ext_crc(data, &t, base + 4, "segment tombstone")?;
+        if span(base + 4).len != checked_size(n.div_ceil(64), 8)? {
+            return Err(bad("segment tombstone words extent sized wrong"));
+        }
+        let words = U64Storage::mapped(Arc::clone(region), span(base + 4).offset, n.div_ceil(64))
+            .ok_or_else(misaligned)?;
+        check_tombstone_words(&words, meta.dead, n)?;
+        let tombstones = Tombstones::from_storage(words, meta.dead);
+        let (ti, ti_idx_span, ti_dist_span) = match meta.ti {
+            None => {
+                if span(base + 5).len != 0 || span(base + 6).len != 0 {
+                    return Err(bad("TI extents present without a TI partition"));
+                }
+                (None, ExtentSpan::default(), ExtentSpan::default())
+            }
+            Some((centroids, offsets, prefix_subspaces, prefix_dim)) => {
+                if span(base + 5).len != checked_size(n, 4)?
+                    || span(base + 6).len != checked_size(n, 4)?
+                {
+                    return Err(bad("TI member extents sized wrong"));
+                }
+                let idx = U32Storage::mapped(Arc::clone(region), span(base + 5).offset, n)
+                    .ok_or_else(misaligned)?;
+                let dist = F32Storage::mapped(Arc::clone(region), span(base + 6).offset, n)
+                    .ok_or_else(misaligned)?;
+                let ti = TiPartition::from_parts(
+                    centroids,
+                    offsets,
+                    idx,
+                    dist,
+                    prefix_subspaces,
+                    prefix_dim,
+                )
+                .ok_or_else(|| bad("TI boundaries are inconsistent"))?;
+                (Some(ti), span(base + 5), span(base + 6))
+            }
+        };
+        // Cross-segment ordering from the boundary elements only (the
+        // full strict-ascent check is deferred with the ids extent).
+        if let (Some(&first), Some(&last)) = (ids.first(), ids.last()) {
+            if let Some(pl) = prev_last {
+                if first <= pl {
+                    return Err(bad("segment id ranges overlap or are unsorted"));
+                }
+            }
+            if last >= next_id {
+                return Err(bad("id counter behind the stored ids"));
+            }
+            prev_last = Some(last);
+        }
+        let prefetch = ScanPrefetch::new(
+            Arc::clone(region),
+            span(base + 2),
+            span(base + 3),
+            ti_idx_span,
+            ti_dist_span,
+        );
+        let lazy = LazyExtents {
+            state_scan: AtomicU8::new(0),
+            state_packed: AtomicU8::new(0),
+            region: Arc::clone(region),
+            ids: (span(base + 1), t.crcs[base + 1]),
+            codes: (span(base + 2), t.crcs[base + 2]),
+            packed: (span(base + 3), t.crcs[base + 3]),
+            ti_idx: (ti_idx_span, t.crcs[base + 5]),
+            ti_dist: (ti_dist_span, t.crcs[base + 6]),
+            sizes: sizes.clone(),
+            prefetch,
+        };
+        let core = SegmentCore { ids, codes, n, packed, ti, lazy: Some(lazy) };
+        segments.push(Segment { core: Arc::new(core), tombstones });
+    }
+    let last = t.extents.len() - 1;
+    verify_ext_crc(data, &t, last, "buffer")?;
+    let mut be = Bytes::copy_from_slice(ext(data, &t, last));
+    let buffer = get_buffer(&mut be, &model)?;
+    expect_drained(&be, "buffer extent")?;
+    if let Some(&bl) = buffer.ids.last() {
+        if bl >= next_id {
+            return Err(bad("id counter behind the stored ids"));
+        }
+        if let Some(pl) = prev_last {
+            if buffer.ids.first().is_some_and(|&bf| bf <= pl) {
+                return Err(bad("buffer ids overlap the sealed segments"));
+            }
+        }
+        let _ = bl;
+    }
+    let index = SegmentedVaq::from_parts(model, policy, segments, buffer, next_id);
+    index.normalize_after_load();
+    Ok(index)
 }
 
 /// Writes the shared model, maintenance policy, and id counter — the
@@ -611,10 +1508,10 @@ fn get_model_policy(buf: &mut Bytes) -> Result<(Model, SegmentPolicy, u32), VaqE
 fn put_segment(buf: &mut BytesMut, seg: &Segment) {
     let core = &seg.core;
     buf.put_u64_le(wide(core.n));
-    for &id in &core.ids {
+    for &id in core.ids.iter() {
         buf.put_u32_le(id);
     }
-    for &c in &core.codes {
+    for &c in core.codes.iter() {
         buf.put_u16_le(c);
     }
     put_tombstones(buf, &seg.tombstones);
@@ -633,7 +1530,8 @@ fn get_segment(buf: &mut Bytes, model: &Model, s: usize) -> Result<Segment, VaqE
     let tombstones = get_tombstones(buf, n)?;
     let ti = get_ti(buf, n)?;
     let packed = PackedCodes::pack(&codes, &model.encoder.table_sizes().collect::<Vec<_>>(), n);
-    Ok(Segment { core: Arc::new(SegmentCore { ids, codes, n, packed, ti }), tombstones })
+    let core = SegmentCore { ids: ids.into(), codes: codes.into(), n, packed, ti, lazy: None };
+    Ok(Segment { core: Arc::new(core), tombstones })
 }
 
 /// Writes the unsealed write buffer.
@@ -872,12 +1770,12 @@ fn put_ti(buf: &mut BytesMut, ti: Option<&TiPartition>) {
         Some(ti) => {
             buf.put_u8(1);
             put_matrix(buf, &ti.centroids);
-            buf.put_u64_le(wide(ti.clusters.len()));
-            for cl in &ti.clusters {
-                buf.put_u64_le(wide(cl.len()));
-                for m in cl {
-                    buf.put_u32_le(m.idx);
-                    buf.put_f32_le(m.dist);
+            buf.put_u64_le(wide(ti.num_clusters()));
+            for c in 0..ti.num_clusters() {
+                buf.put_u64_le(wide(ti.cluster_len(c)));
+                for (&idx, &dist) in ti.cluster_idx(c).iter().zip(ti.cluster_dist(c)) {
+                    buf.put_u32_le(idx);
+                    buf.put_f32_le(dist);
                 }
             }
             buf.put_u64_le(wide(ti.prefix_subspaces));
@@ -904,7 +1802,10 @@ fn get_ti(buf: &mut Bytes, n: usize) -> Result<Option<TiPartition>, VaqError> {
             if ncl > n {
                 return Err(bad("TI cluster count exceeds database size"));
             }
-            let mut clusters = Vec::with_capacity(ncl);
+            let mut offsets = Vec::with_capacity(ncl + 1);
+            let mut member_idx: Vec<u32> = Vec::new();
+            let mut member_dist: Vec<f32> = Vec::new();
+            offsets.push(0);
             let mut members_total = 0usize;
             for _ in 0..ncl {
                 let len = take_len(buf, "length")?;
@@ -913,23 +1814,34 @@ fn get_ti(buf: &mut Bytes, n: usize) -> Result<Option<TiPartition>, VaqError> {
                 if members_total > n {
                     return Err(bad("TI clusters exceed database size"));
                 }
-                let mut cl = Vec::with_capacity(len);
+                member_idx.reserve(len);
+                member_dist.reserve(len);
                 for _ in 0..len {
                     let idx = take(buf, 4)?.get_u32_le();
                     let dist = take(buf, 4)?.get_f32_le();
                     if u64::from(idx) >= wide(n) {
                         return Err(bad("TI member out of range"));
                     }
-                    cl.push(Member { idx, dist });
+                    member_idx.push(idx);
+                    member_dist.push(dist);
                 }
-                clusters.push(cl);
+                offsets.push(member_idx.len());
             }
             if members_total != n {
                 return Err(bad("TI clusters do not partition the database"));
             }
             let prefix_subspaces = take_len(buf, "TI prefix subspaces")?;
             let prefix_dim = take_len(buf, "TI prefix dim")?;
-            Ok(Some(TiPartition { centroids, clusters, prefix_subspaces, prefix_dim }))
+            TiPartition::from_parts(
+                centroids,
+                offsets,
+                member_idx.into(),
+                member_dist.into(),
+                prefix_subspaces,
+                prefix_dim,
+            )
+            .ok_or_else(|| bad("TI boundaries are inconsistent"))
+            .map(Some)
         }
         _ => Err(bad("bad TI flag")),
     }
@@ -1058,8 +1970,8 @@ mod tests {
                 SearchStrategy::TiEa { visit_frac: 0.5 },
             ] {
                 assert_eq!(
-                    vaq.search_with(data.row(i), 5, strat).0,
-                    back.search_with(data.row(i), 5, strat).0
+                    vaq.search_with(data.row(i), 5, strat).unwrap().0,
+                    back.search_with(data.row(i), 5, strat).unwrap().0
                 );
             }
         }
@@ -1239,7 +2151,7 @@ mod tests {
                     SearchStrategy::Quantized,
                 ] {
                     assert_eq!(
-                        vaq.search_with(data.row(i), 9, strat).0,
+                        vaq.search_with(data.row(i), 9, strat).unwrap().0,
                         back.search_with(data.row(i), 9, strat).unwrap().0,
                         "row {i} {strat:?}"
                     );
@@ -1331,6 +2243,139 @@ mod tests {
             bytes[last] ^= 0x40;
             let err = SegmentedVaq::from_bytes(&bytes);
             assert!(err.is_err(), "corrupted tombstone bitmap accepted");
+        }
+
+        #[test]
+        fn huge_claimed_extent_count_is_rejected_before_the_body_read() {
+            use bytes::BufMut;
+            // A tiny file whose correctly-checksummed header claims an
+            // absurd extent count: the loaders must reject it from the
+            // header-vs-length check, before any body-sized work.
+            for (magic, name) in [(*b"VAQ3", "huge.vaq3"), (*b"VAQ4", "huge.vaq4")] {
+                let mut head = bytes::BytesMut::new();
+                head.put_slice(&magic);
+                head.put_u32_le(1); // version
+                head.put_u8(2); // segmented
+                head.put_u64_le(0); // wal_seq
+                head.put_u64_le(u64::MAX / 32); // claimed extents
+                let crc = crate::crc::crc32c(&head);
+                head.put_u32_le(crc);
+                let path = vaq4_dir("hostile").join(name);
+                std::fs::write(&path, &head).unwrap();
+                let err = SegmentedVaq::load(&path).expect_err("hostile header accepted");
+                assert!(
+                    format!("{err}").contains("extent count"),
+                    "wrong rejection for {name}: {err}"
+                );
+                assert!(SegmentedVaq::open_durable(&path).is_err());
+                assert!(Vaq::load(&path).is_err());
+            }
+            // Garbage magic is rejected without reading the body either.
+            let path = vaq4_dir("hostile").join("junk.idx");
+            std::fs::write(&path, b"ZZZZ here is not an index").unwrap();
+            assert!(SegmentedVaq::load(&path).is_err());
+        }
+
+        fn vaq4_dir(name: &str) -> std::path::PathBuf {
+            let dir = std::env::temp_dir().join("vaq-persist-vaq4").join(name);
+            std::fs::create_dir_all(&dir).unwrap();
+            dir
+        }
+
+        #[test]
+        fn vaq4_mapped_answers_match_owned() {
+            let (seg, data) = populated();
+            let path = vaq4_dir("parity").join("index.vaq4");
+            seg.save_mapped(&path).unwrap();
+            let mapped = SegmentedVaq::open_mapped(&path).unwrap();
+            // `load` on a VAQ4 file takes the owned parse (eager CRCs +
+            // full audit) — the reference the mapped path must match.
+            let owned = SegmentedVaq::load(&path).unwrap();
+            assert_eq!(mapped.len(), seg.len());
+            assert_eq!(mapped.snapshot().num_segments(), seg.snapshot().num_segments());
+            assert!(!mapped.contains(7) && !mapped.contains(295));
+            for i in (0..300).step_by(29) {
+                for strat in [
+                    SearchStrategy::FullScan,
+                    SearchStrategy::EarlyAbandon,
+                    SearchStrategy::TiEa { visit_frac: 1.0 },
+                    SearchStrategy::TiEa { visit_frac: 0.4 },
+                    SearchStrategy::Quantized,
+                ] {
+                    let (mn, ms) = mapped.search_with(data.row(i), 7, strat).unwrap();
+                    let (on, os) = owned.search_with(data.row(i), 7, strat).unwrap();
+                    assert_eq!(mn, on, "row {i} {strat:?}");
+                    assert_eq!(ms, os, "row {i} {strat:?} stats");
+                    assert_eq!(mn, seg.search_with(data.row(i), 7, strat).unwrap().0);
+                }
+            }
+        }
+
+        #[test]
+        fn vaq4_mapped_index_audits_clean_and_stays_writable() {
+            use crate::audit::Audit;
+            let (seg, data) = populated();
+            let path = vaq4_dir("mutate").join("index.vaq4");
+            seg.save_mapped(&path).unwrap();
+            let mapped = SegmentedVaq::open_mapped(&path).unwrap();
+            let report = mapped.audit();
+            assert!(report.is_ok(), "{report}");
+            // Deletes copy the mapped bitmap out (copy-on-write) and
+            // appends land in the owned buffer; neither touches the file.
+            assert!(mapped.delete(11));
+            assert!(!mapped.contains(11));
+            let ids = mapped.add(&toy_data(3)).unwrap();
+            assert!(ids.iter().all(|&id| id >= 300), "{ids:?}");
+            let before = std::fs::read(&path).unwrap();
+            assert_eq!(seg.search(data.row(3), 5).unwrap().len(), 5);
+            assert_eq!(std::fs::read(&path).unwrap(), before, "file mutated");
+        }
+
+        #[test]
+        fn vaq4_open_mapped_on_legacy_file_degrades_to_owned() {
+            let (seg, data) = populated();
+            let path = vaq4_dir("legacy").join("index.vaq2");
+            seg.save(&path).unwrap();
+            let back = SegmentedVaq::open_mapped(&path).unwrap();
+            assert_eq!(seg.search(data.row(9), 5).unwrap(), back.search(data.row(9), 5).unwrap());
+        }
+
+        #[test]
+        fn vaq4_rejects_corruption_in_every_extent() {
+            let (seg, _) = populated();
+            let path = vaq4_dir("corrupt").join("index.vaq4");
+            seg.save_mapped(&path).unwrap();
+            let clean = std::fs::read(&path).unwrap();
+            // Flip one byte at a stride of 512, skipping only the
+            // inter-extent alignment padding (those zeros carry no data
+            // and no checksum). Whatever a flip lands on — header, table,
+            // or any extent — the owned parse must reject it, and the
+            // mapped path must reject it either at open or at first
+            // search (lazy verification), never mis-answer.
+            let t = super::super::get_vaq4_table(&clean).unwrap();
+            let covered = |at: usize| {
+                at < super::super::HEADER_CRC_SPAN
+                    + 4
+                    + t.extents.len() * super::super::VAQ4_TABLE_ENTRY
+                    + 4
+                    || t.extents.iter().any(|e| (e.offset..e.offset + e.len).contains(&at))
+            };
+            for at in (0..clean.len()).step_by(512).filter(|&at| covered(at)) {
+                let mut bytes = clean.clone();
+                bytes[at] ^= 0x20;
+                assert!(
+                    SegmentedVaq::from_bytes(&bytes).is_err(),
+                    "owned parse accepted a flip at {at}"
+                );
+                std::fs::write(&path, &bytes).unwrap();
+                let searched = SegmentedVaq::open_mapped(&path)
+                    .and_then(|m| m.search_with(&[0.0; 16], 5, SearchStrategy::Quantized));
+                assert!(searched.is_err(), "mapped open searched a flip at {at}");
+            }
+            // Truncations must be rejected up front by the table check.
+            for at in (1..clean.len()).step_by(997) {
+                assert!(SegmentedVaq::from_bytes(&clean[..at]).is_err(), "truncated at {at}");
+            }
         }
     }
 }

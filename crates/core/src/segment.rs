@@ -73,7 +73,7 @@ use crate::ti::TiPartition;
 use crate::vaq::{Vaq, VaqConfig};
 use crate::VaqError;
 use std::path::Path;
-use vaq_linalg::{Matrix, PackedCodes, Pca};
+use vaq_linalg::{Matrix, PackedCodes, Pca, ScanPrefetch, U16Storage, U32Storage, U64Storage};
 
 pub(crate) mod wal;
 
@@ -176,16 +176,18 @@ pub(crate) struct Model {
 }
 
 /// Tombstone bitmap over a segment's local rows plus a live-count cache.
-/// Cloned (O(n/64) words) whenever a delete produces a new snapshot.
+/// Cloned (O(n/64) words, or an `Arc` bump while mapped) whenever a
+/// delete produces a new snapshot. A mapped index borrows the words from
+/// the file; the first `kill` materializes an owned copy (copy-on-write).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct Tombstones {
-    words: Vec<u64>,
+    words: U64Storage,
     dead: usize,
 }
 
 impl Tombstones {
     pub(crate) fn with_len(n: usize) -> Tombstones {
-        Tombstones { words: vec![0u64; n.div_ceil(64)], dead: 0 }
+        Tombstones { words: vec![0u64; n.div_ceil(64)].into(), dead: 0 }
     }
 
     pub(crate) fn is_dead(&self, i: usize) -> bool {
@@ -194,12 +196,10 @@ impl Tombstones {
 
     /// Marks row `i` dead; `true` when the bit was newly set.
     pub(crate) fn kill(&mut self, i: usize) -> bool {
-        let Some(w) = self.words.get_mut(i / 64) else { return false };
-        let mask = 1u64 << (i % 64);
-        if *w & mask != 0 {
+        if self.words.get(i / 64).is_none_or(|w| (w >> (i % 64)) & 1 != 0) {
             return false;
         }
-        *w |= mask;
+        self.words.to_mut()[i / 64] |= 1u64 << (i % 64);
         self.dead += 1;
         true
     }
@@ -212,11 +212,24 @@ impl Tombstones {
     /// checks the sizing; the popcount/tail invariants are re-verified by
     /// the audit that runs after every load.
     pub(crate) fn from_raw(words: Vec<u64>, dead: usize) -> Tombstones {
+        Tombstones { words: words.into(), dead }
+    }
+
+    /// Like [`Tombstones::from_raw`], but over any storage — the mapped
+    /// loader hands the bitmap a window of the file (it verified the
+    /// extent eagerly: deletes mutate the bitmap, so it cannot be lazy).
+    pub(crate) fn from_storage(words: U64Storage, dead: usize) -> Tombstones {
         Tombstones { words, dead }
     }
 
     pub(crate) fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// The bitmap's mapped span, for the VAQ113 bounds/alignment audit
+    /// (`None` once a delete has copied it out, or when owned all along).
+    pub(crate) fn mapped_span(&self) -> Option<vaq_linalg::MappedSpan> {
+        self.words.mapped_span()
     }
 
     /// The bitmap for [`IndexView::with_dead`]; `None` while nothing is
@@ -229,15 +242,42 @@ impl Tombstones {
 /// The immutable payload of a sealed segment: codes, global ids, the
 /// blocked packing, and the per-segment TI partition. Shared by `Arc`
 /// across snapshots; only the tombstone bitmap beside it ever changes.
+/// The arrays are [`U32Storage`]/[`U16Storage`] so an out-of-core index
+/// can borrow them from a mapped `VAQ4` file instead of copying.
 #[derive(Debug)]
 pub(crate) struct SegmentCore {
     /// Global ids, strictly ascending; `ids[local] = global`.
-    pub(crate) ids: Vec<u32>,
+    pub(crate) ids: U32Storage,
     /// Row-major `n × m` codes.
-    pub(crate) codes: Vec<u16>,
+    pub(crate) codes: U16Storage,
     pub(crate) n: usize,
     pub(crate) packed: PackedCodes,
     pub(crate) ti: Option<TiPartition>,
+    /// Deferred CRC + content verification for a mapped segment's
+    /// scan-path extents, plus its prefetch hints. `None` for owned
+    /// segments, which are verified eagerly at parse time.
+    pub(crate) lazy: Option<crate::persist::LazyExtents>,
+}
+
+impl SegmentCore {
+    /// Verifies a mapped segment's lazily-checked extents (checksums and
+    /// the content invariants the scan paths rely on) exactly once, on
+    /// first search touch. `needs_packed` says the caller will read the
+    /// packed-codes extent (quantized scans) — leaving it unverified
+    /// otherwise keeps those pages non-resident. Owned segments return
+    /// `Ok` immediately.
+    pub(crate) fn ensure_verified(&self, needs_packed: bool) -> Result<(), VaqError> {
+        match &self.lazy {
+            None => Ok(()),
+            Some(lazy) => lazy.verify_once(self, needs_packed),
+        }
+    }
+
+    /// Prefetch hints for a mapped segment (`None` when owned: advising
+    /// anonymous memory is pointless).
+    pub(crate) fn prefetch(&self) -> Option<&ScanPrefetch> {
+        self.lazy.as_ref().map(crate::persist::LazyExtents::prefetch)
+    }
 }
 
 /// One sealed segment inside a snapshot: the shared immutable core plus
@@ -448,7 +488,9 @@ impl SegmentedVaq {
             seed: 0x5eed,
         });
         let segments = if n > 0 {
-            let core = SegmentCore { ids: (0..n as u32).collect(), codes, n, packed, ti };
+            let ids: Vec<u32> = (0..n as u32).collect();
+            let core =
+                SegmentCore { ids: ids.into(), codes: codes.into(), n, packed, ti, lazy: None };
             vec![Segment { core: Arc::new(core), tombstones: Tombstones::with_len(n) }]
         } else {
             Vec::new()
@@ -631,7 +673,7 @@ impl SegmentedVaq {
             buffer.codes.extend_from_slice(&new_codes);
             buffer.tombstones = {
                 let mut t = Tombstones::with_len(buffer.ids.len());
-                t.words[..cur.buffer.tombstones.words().len()]
+                t.words.to_mut()[..cur.buffer.tombstones.words().len()]
                     .copy_from_slice(cur.buffer.tombstones.words());
                 t.dead = cur.buffer.tombstones.dead();
                 t
@@ -879,7 +921,7 @@ impl SegmentedVaq {
     /// crash.
     pub fn open_durable(path: &Path) -> Result<SegmentedVaq, VaqError> {
         let _span = crate::obs::span("segment.recover");
-        let data = std::fs::read(path).map_err(|e| crate::persist::io_at(path, e))?;
+        let data = crate::persist::read_index_file(path)?;
         let (index, manifest_seq) = SegmentedVaq::from_bytes_with_seq(&data)?;
         // A stale staging file from an interrupted commit is dead weight;
         // the rename never happened, so it holds a torn manifest.
@@ -1006,7 +1048,7 @@ impl SegmentedVaq {
         buffer.codes.extend_from_slice(codes);
         buffer.tombstones = {
             let mut t = Tombstones::with_len(buffer.ids.len());
-            t.words[..cur.buffer.tombstones.words().len()]
+            t.words.to_mut()[..cur.buffer.tombstones.words().len()]
                 .copy_from_slice(cur.buffer.tombstones.words());
             t.dead = cur.buffer.tombstones.dead();
             t
@@ -1126,10 +1168,15 @@ fn search_set(
         if seg.live() == 0 {
             continue;
         }
+        // A mapped segment's extents are checksum/content-verified on the
+        // first search that touches them (lazy CRC); a failure is a typed
+        // corruption error, never a wrong answer or a panic.
+        seg.core.ensure_verified(matches!(strategy, SearchStrategy::Quantized))?;
         let view = IndexView::from_encoder(&model.encoder, &seg.core.codes, seg.core.n)
             .with_ti(seg.core.ti.as_ref())
             .with_packed(Some(&seg.core.packed))
-            .with_dead(seg.tombstones.filter());
+            .with_dead(seg.tombstones.filter())
+            .with_prefetch(seg.core.prefetch());
         let (part, s) = engine.search_squared(&view, &projected, k, strategy);
         stats += s;
         merged.extend(
@@ -1381,7 +1428,7 @@ fn build_core(
     } else {
         None
     };
-    SegmentCore { ids, codes, n, packed, ti }
+    SegmentCore { ids: ids.into(), codes: codes.into(), n, packed, ti, lazy: None }
 }
 
 #[cfg(test)]
@@ -1432,12 +1479,12 @@ mod tests {
                 SearchStrategy::TiEa { visit_frac: 1.0 },
                 SearchStrategy::Quantized,
             ] {
-                let mono = vaq.search_with(q, 10, strategy).0;
+                let mono = vaq.search_with(q, 10, strategy).unwrap().0;
                 let segd = seg.search_with(q, 10, strategy).unwrap().0;
                 assert_eq!(mono, segd, "query {qi} {strategy:?}");
             }
             // The default-strategy entry point agrees too.
-            assert_eq!(vaq.search(q, 5), seg.search(q, 5).unwrap(), "query {qi} default");
+            assert_eq!(vaq.search(q, 5).unwrap(), seg.search(q, 5).unwrap(), "query {qi} default");
         }
     }
 
@@ -1462,7 +1509,7 @@ mod tests {
         assert_eq!(seg.len(), 400);
         for qi in [0usize, 50, 150] {
             let q = rest.row(qi);
-            let mono = oracle.search_with(q, 12, SearchStrategy::FullScan).0;
+            let mono = oracle.search_with(q, 12, SearchStrategy::FullScan).unwrap().0;
             let segd = seg.search_with(q, 12, SearchStrategy::FullScan).unwrap().0;
             assert_eq!(mono, segd, "query {qi}");
             // The pruned strategies agree with the exact scan.
@@ -1595,7 +1642,7 @@ mod tests {
         for qi in [0usize, 99, 199] {
             let q = more.row(qi);
             assert_eq!(
-                oracle.search_with(q, 10, SearchStrategy::FullScan).0,
+                oracle.search_with(q, 10, SearchStrategy::FullScan).unwrap().0,
                 seg.search_with(q, 10, SearchStrategy::FullScan).unwrap().0,
                 "query {qi}"
             );

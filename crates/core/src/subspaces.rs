@@ -142,11 +142,14 @@ fn clustered_boundaries(share: &[f64], m: usize, seed: u64) -> Result<Vec<usize>
     // Too few: split the widest segment in half until m segments exist.
     while boundaries.len() + 1 < m {
         let ranges = boundaries_to_ranges(&boundaries, d);
-        let (widest, &(lo, hi)) = ranges
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &(lo, hi))| hi - lo)
-            .expect("at least one range");
+        let Some((widest, &(lo, hi))) =
+            ranges.iter().enumerate().max_by_key(|(_, &(lo, hi))| hi - lo)
+        else {
+            // `boundaries_to_ranges` always yields at least one range.
+            return Err(VaqError::BadConfig(format!(
+                "cannot form {m} non-empty subspaces from {d} dimensions"
+            )));
+        };
         if hi - lo < 2 {
             return Err(VaqError::BadConfig(format!(
                 "cannot form {m} non-empty subspaces from {d} dimensions"

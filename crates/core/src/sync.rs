@@ -33,10 +33,10 @@ pub use std::sync::{LockResult, OnceLock, PoisonError};
 
 pub mod atomic {
     #[cfg(not(loom))]
-    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize};
 
     #[cfg(loom)]
-    pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize};
 
     // `Ordering` is always std's: loom's drop-ins take it directly.
     pub use std::sync::atomic::Ordering;

@@ -14,14 +14,25 @@
 //! `prefix_subspaces` subspaces. A prefix of non-negative per-subspace
 //! contributions lower-bounds the full ADC distance, so pruning against the
 //! prefix is safe with respect to the approximate ranking.
+//!
+//! # Memory layout
+//!
+//! Members are stored struct-of-arrays: one flat index array and one flat
+//! distance array, both segmented by an `offsets` table (cluster `c` owns
+//! elements `offsets[c]..offsets[c + 1]`, sorted ascending by distance).
+//! The two flat arrays sit behind [`U32Storage`] / [`F32Storage`], so an
+//! out-of-core index can map them straight from a `VAQ4` extent instead
+//! of copying — the binary-search pruning reads the mapped distances in
+//! place.
 
 use crate::encoder::Encoder;
 use crate::VaqError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vaq_linalg::{euclidean, Matrix};
+use vaq_linalg::{euclidean, F32Storage, Matrix, U32Storage};
 
-/// One encoded vector inside a TI cluster.
+/// One encoded vector inside a TI cluster (a build-time convenience; the
+/// partition itself stores members struct-of-arrays).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Member {
     /// Database row index.
@@ -35,8 +46,13 @@ pub struct Member {
 pub struct TiPartition {
     /// Cluster centroids in prefix space (one row per cluster).
     pub(crate) centroids: Matrix,
-    /// Cluster members, each sorted ascending by `dist`.
-    pub(crate) clusters: Vec<Vec<Member>>,
+    /// `num_clusters + 1` boundaries into the flat member arrays.
+    pub(crate) offsets: Vec<usize>,
+    /// Member row indices, cluster-segmented, sorted by distance within
+    /// each cluster.
+    pub(crate) member_idx: U32Storage,
+    /// Member centroid distances, aligned with `member_idx`.
+    pub(crate) member_dist: F32Storage,
     /// Number of subspaces spanned by the prefix.
     pub(crate) prefix_subspaces: usize,
     /// Dimensionality of the prefix space.
@@ -126,19 +142,72 @@ impl TiPartition {
             }
         });
 
-        let mut clusters: Vec<Vec<Member>> = vec![Vec::new(); c];
+        let mut buckets: Vec<Vec<Member>> = vec![Vec::new(); c];
         for (i, &(ci, d)) in assign.iter().enumerate() {
-            clusters[ci as usize].push(Member { idx: i as u32, dist: d });
+            buckets[ci as usize].push(Member { idx: i as u32, dist: d });
         }
-        for cl in clusters.iter_mut() {
+        let mut offsets = Vec::with_capacity(c + 1);
+        let mut member_idx = Vec::with_capacity(n);
+        let mut member_dist = Vec::with_capacity(n);
+        offsets.push(0);
+        for mut cl in buckets {
             cl.sort_by(|a, b| a.dist.total_cmp(&b.dist).then_with(|| a.idx.cmp(&b.idx)));
+            for mem in cl {
+                member_idx.push(mem.idx);
+                member_dist.push(mem.dist);
+            }
+            offsets.push(member_idx.len());
         }
-        Ok(TiPartition { centroids, clusters, prefix_subspaces, prefix_dim })
+        Ok(TiPartition {
+            centroids,
+            offsets,
+            member_idx: member_idx.into(),
+            member_dist: member_dist.into(),
+            prefix_subspaces,
+            prefix_dim,
+        })
+    }
+
+    /// Reassembles a partition from persisted parts. `None` when the
+    /// boundaries are not a monotone cover of the member arrays or the
+    /// arrays disagree in length — *content* invariants (index range,
+    /// sorted distances) are the loader's business: owned loads check
+    /// them eagerly, mapped loads on first touch.
+    pub(crate) fn from_parts(
+        centroids: Matrix,
+        offsets: Vec<usize>,
+        member_idx: U32Storage,
+        member_dist: F32Storage,
+        prefix_subspaces: usize,
+        prefix_dim: usize,
+    ) -> Option<TiPartition> {
+        if offsets.len() != centroids.rows() + 1 || offsets.first() != Some(&0) {
+            return None;
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        if offsets.last() != Some(&member_idx.len()) || member_idx.len() != member_dist.len() {
+            return None;
+        }
+        Some(TiPartition {
+            centroids,
+            offsets,
+            member_idx,
+            member_dist,
+            prefix_subspaces,
+            prefix_dim,
+        })
     }
 
     /// Number of clusters.
     pub fn num_clusters(&self) -> usize {
-        self.clusters.len()
+        self.offsets.len() - 1
+    }
+
+    /// Total member count across all clusters.
+    pub fn members_total(&self) -> usize {
+        self.member_idx.len()
     }
 
     /// Subspaces spanned by the prefix metric.
@@ -151,9 +220,26 @@ impl TiPartition {
         self.prefix_dim
     }
 
-    /// Members of cluster `c`, sorted ascending by centroid distance.
-    pub fn cluster(&self, c: usize) -> &[Member] {
-        &self.clusters[c]
+    /// Element range of cluster `c` inside the flat member arrays (the
+    /// prefetch granule for out-of-core scans).
+    pub fn cluster_range(&self, c: usize) -> (usize, usize) {
+        (self.offsets[c], self.offsets[c + 1])
+    }
+
+    /// Member count of cluster `c`.
+    pub fn cluster_len(&self, c: usize) -> usize {
+        self.offsets[c + 1] - self.offsets[c]
+    }
+
+    /// Row indices of cluster `c`, ordered by ascending centroid distance.
+    pub fn cluster_idx(&self, c: usize) -> &[u32] {
+        &self.member_idx.as_slice()[self.offsets[c]..self.offsets[c + 1]]
+    }
+
+    /// Centroid distances of cluster `c`, ascending, aligned with
+    /// [`TiPartition::cluster_idx`].
+    pub fn cluster_dist(&self, c: usize) -> &[f32] {
+        &self.member_dist.as_slice()[self.offsets[c]..self.offsets[c + 1]]
     }
 
     /// Exact-membership coverage check: `true` iff every row index in
@@ -163,17 +249,15 @@ impl TiPartition {
     pub fn covers_exactly(&self, n: usize) -> bool {
         let mut seen = vec![false; n];
         let mut covered = 0usize;
-        for cluster in &self.clusters {
-            for m in cluster {
-                let Some(slot) = seen.get_mut(m.idx as usize) else {
-                    return false; // out-of-range index
-                };
-                if *slot {
-                    return false; // duplicate assignment
-                }
-                *slot = true;
-                covered += 1;
+        for &idx in self.member_idx.as_slice() {
+            let Some(slot) = seen.get_mut(idx as usize) else {
+                return false; // out-of-range index
+            };
+            if *slot {
+                return false; // duplicate assignment
             }
+            *slot = true;
+            covered += 1;
         }
         covered == n
     }
@@ -181,6 +265,8 @@ impl TiPartition {
     /// Inserts one newly encoded vector: assigns it to its nearest
     /// centroid and places it at the sorted position, preserving the
     /// ascending-distance invariant the binary-search pruning relies on.
+    /// On a mapped partition this materializes owned member arrays
+    /// (copy-on-write).
     pub fn insert(&mut self, encoder: &Encoder, code: &[u16], idx: u32) {
         let rec = encoder.decode_prefix(code, self.prefix_subspaces);
         let mut best = 0usize;
@@ -192,15 +278,30 @@ impl TiPartition {
                 best = ci;
             }
         }
-        let cluster = &mut self.clusters[best];
         // Same comparator as the build-time sort: `total_cmp` then index.
         // A `<`/`==` mix here would disagree with that order (and stall at
         // position 0 on NaN), breaking the sorted invariant for every
         // later binary search.
-        let pos = cluster.partition_point(|m| {
-            m.dist.total_cmp(&best_d).then_with(|| m.idx.cmp(&idx)) == std::cmp::Ordering::Less
-        });
-        cluster.insert(pos, Member { idx, dist: best_d });
+        let (start, end) = (self.offsets[best], self.offsets[best + 1]);
+        let dists = &self.member_dist.as_slice()[start..end];
+        let idxs = &self.member_idx.as_slice()[start..end];
+        let mut lo = 0usize;
+        let mut hi = end - start;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let ord = dists[mid].total_cmp(&best_d).then_with(|| idxs[mid].cmp(&idx));
+            if ord == std::cmp::Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let pos = start + lo;
+        self.member_idx.to_mut().insert(pos, idx);
+        self.member_dist.to_mut().insert(pos, best_d);
+        for o in self.offsets[best + 1..].iter_mut() {
+            *o += 1;
+        }
     }
 
     /// Unsquared distances from a projected query's prefix to every
@@ -212,7 +313,7 @@ impl TiPartition {
 
     /// Cluster visit order for a query: ascending centroid distance.
     pub fn visit_order(&self, query_dists: &[f32]) -> Vec<u32> {
-        let mut order: Vec<u32> = (0..self.clusters.len() as u32).collect();
+        let mut order: Vec<u32> = (0..self.num_clusters() as u32).collect();
         order.sort_by(|&a, &b| query_dists[a as usize].total_cmp(&query_dists[b as usize]));
         order
     }
@@ -221,14 +322,14 @@ impl TiPartition {
     /// *cannot* prune for best-so-far `bsf`: members with
     /// `|d_qc − d_xc| < bsf`, i.e. `d_xc ∈ (d_qc − bsf, d_qc + bsf)`.
     pub fn survivor_window(&self, c: usize, d_qc: f32, bsf: f32) -> (usize, usize) {
-        let members = &self.clusters[c];
+        let dists = self.cluster_dist(c);
         if !bsf.is_finite() {
-            return (0, members.len());
+            return (0, dists.len());
         }
         let lo_bound = d_qc - bsf;
         let hi_bound = d_qc + bsf;
-        let lo = members.partition_point(|m| m.dist <= lo_bound);
-        let hi = members.partition_point(|m| m.dist < hi_bound);
+        let lo = dists.partition_point(|&d| d <= lo_bound);
+        let hi = dists.partition_point(|&d| d < hi_bound);
         (lo, hi)
     }
 }
@@ -263,14 +364,15 @@ mod tests {
     fn clusters_partition_all_rows() {
         let (_, enc, codes) = setup(500);
         let ti = TiPartition::build(&enc, &codes, 500, 16, 2, 1).unwrap();
-        let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster(c).len()).sum();
+        let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster_len(c)).sum();
         assert_eq!(total, 500);
+        assert_eq!(ti.members_total(), 500);
         // Every index appears exactly once.
         let mut seen = vec![false; 500];
         for c in 0..ti.num_clusters() {
-            for m in ti.cluster(c) {
-                assert!(!seen[m.idx as usize], "row {} appears twice", m.idx);
-                seen[m.idx as usize] = true;
+            for &idx in ti.cluster_idx(c) {
+                assert!(!seen[idx as usize], "row {idx} appears twice");
+                seen[idx as usize] = true;
             }
         }
         assert!(seen.iter().all(|&s| s));
@@ -281,8 +383,8 @@ mod tests {
         let (_, enc, codes) = setup(400);
         let ti = TiPartition::build(&enc, &codes, 400, 10, 2, 3).unwrap();
         for c in 0..ti.num_clusters() {
-            for w in ti.cluster(c).windows(2) {
-                assert!(w[0].dist <= w[1].dist);
+            for w in ti.cluster_dist(c).windows(2) {
+                assert!(w[0] <= w[1]);
             }
         }
     }
@@ -299,8 +401,9 @@ mod tests {
             let code = &codes[i * 4..(i + 1) * 4];
             ti.insert(&enc, code, i as u32);
             for c in 0..ti.num_clusters() {
-                for w in ti.cluster(c).windows(2) {
-                    let ord = w[0].dist.total_cmp(&w[1].dist).then(w[0].idx.cmp(&w[1].idx));
+                let (dists, idxs) = (ti.cluster_dist(c), ti.cluster_idx(c));
+                for w in 0..dists.len().saturating_sub(1) {
+                    let ord = dists[w].total_cmp(&dists[w + 1]).then(idxs[w].cmp(&idxs[w + 1]));
                     assert_ne!(
                         ord,
                         std::cmp::Ordering::Greater,
@@ -309,8 +412,9 @@ mod tests {
                 }
             }
         }
-        let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster(c).len()).sum();
+        let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster_len(c)).sum();
         assert_eq!(total, 300);
+        assert_eq!(ti.members_total(), 300);
     }
 
     #[test]
@@ -318,8 +422,8 @@ mod tests {
         let (_, enc, codes) = setup(300);
         let ti = TiPartition::build(&enc, &codes, 300, 8, 2, 5).unwrap();
         for c in 0..ti.num_clusters() {
-            for m in ti.cluster(c).iter().take(3) {
-                let i = m.idx as usize;
+            for (&idx, &dist) in ti.cluster_idx(c).iter().zip(ti.cluster_dist(c)).take(3) {
+                let i = idx as usize;
                 let code = &codes[i * 4..(i + 1) * 4];
                 let rec = enc.decode_prefix(code, 2);
                 // Distance to ITS centroid must be the minimum over all
@@ -329,7 +433,7 @@ mod tests {
                     .iter_rows()
                     .map(|crow| euclidean(crow, &rec))
                     .fold(f32::INFINITY, f32::min);
-                assert!((m.dist - dmin).abs() < 1e-5, "cached {} vs recomputed {dmin}", m.dist);
+                assert!((dist - dmin).abs() < 1e-5, "cached {dist} vs recomputed {dmin}");
             }
         }
     }
@@ -344,9 +448,8 @@ mod tests {
         let bsf = 0.4f32;
         for c in 0..ti.num_clusters() {
             let (lo, hi) = ti.survivor_window(c, qd[c], bsf);
-            let members = ti.cluster(c);
-            for (pos, m) in members.iter().enumerate() {
-                let bound = (qd[c] - m.dist).abs();
+            for (pos, &dist) in ti.cluster_dist(c).iter().enumerate() {
+                let bound = (qd[c] - dist).abs();
                 if pos < lo || pos >= hi {
                     assert!(bound >= bsf - 1e-5, "pruned member violates TI: {bound} < {bsf}");
                 }
@@ -361,7 +464,7 @@ mod tests {
         let qd = ti.query_distances(data.row(1));
         for c in 0..ti.num_clusters() {
             let (lo, hi) = ti.survivor_window(c, qd[c], f32::INFINITY);
-            assert_eq!((lo, hi), (0, ti.cluster(c).len()));
+            assert_eq!((lo, hi), (0, ti.cluster_len(c)));
         }
     }
 
@@ -416,12 +519,12 @@ mod tests {
         // the total count still equals n.
         let (_, enc, codes) = setup(200);
         let mut ti = TiPartition::build(&enc, &codes, 200, 8, 2, 5).unwrap();
-        let big = (0..ti.num_clusters()).max_by_key(|&c| ti.cluster(c).len()).unwrap();
-        let dup = ti.clusters[big][0];
-        let len = ti.clusters[big].len();
-        assert!(len >= 2, "need a cluster with two members to doctor");
-        ti.clusters[big][len - 1] = dup;
-        let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster(c).len()).sum();
+        let big = (0..ti.num_clusters()).max_by_key(|&c| ti.cluster_len(c)).unwrap();
+        let (start, end) = ti.cluster_range(big);
+        assert!(end - start >= 2, "need a cluster with two members to doctor");
+        let dup = ti.member_idx.as_slice()[start];
+        ti.member_idx.to_mut()[end - 1] = dup;
+        let total: usize = (0..ti.num_clusters()).map(|c| ti.cluster_len(c)).sum();
         assert_eq!(total, 200, "doctoring must keep the size sum intact");
         assert!(!ti.covers_exactly(200), "double-assignment + omission went undetected");
     }
@@ -439,6 +542,43 @@ mod tests {
         let ti = TiPartition::build(&enc, &codes, 50, 4, 99, 15).unwrap();
         assert_eq!(ti.prefix_subspaces(), 4);
         assert_eq!(ti.prefix_dim(), 8);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_boundaries() {
+        let (_, enc, codes) = setup(60);
+        let ti = TiPartition::build(&enc, &codes, 60, 6, 2, 17).unwrap();
+        let ok = TiPartition::from_parts(
+            ti.centroids.clone(),
+            ti.offsets.clone(),
+            ti.member_idx.clone(),
+            ti.member_dist.clone(),
+            ti.prefix_subspaces,
+            ti.prefix_dim,
+        );
+        assert!(ok.is_some());
+        let mut bad = ti.offsets.clone();
+        bad[1] = bad[2] + 1; // non-monotone
+        assert!(TiPartition::from_parts(
+            ti.centroids.clone(),
+            bad,
+            ti.member_idx.clone(),
+            ti.member_dist.clone(),
+            ti.prefix_subspaces,
+            ti.prefix_dim,
+        )
+        .is_none());
+        let mut short = ti.offsets.clone();
+        short.pop(); // boundary count != centroids + 1
+        assert!(TiPartition::from_parts(
+            ti.centroids.clone(),
+            short,
+            ti.member_idx.clone(),
+            ti.member_dist.clone(),
+            ti.prefix_subspaces,
+            ti.prefix_dim,
+        )
+        .is_none());
     }
 
     #[test]

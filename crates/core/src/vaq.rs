@@ -227,9 +227,10 @@ impl Vaq {
         self.ti.as_ref()
     }
 
-    /// Projects a raw query into VAQ's permuted PC space.
-    pub fn project_query(&self, query: &[f32]) -> Vec<f32> {
-        self.pca.transform_vec(query).expect("query dimensionality")
+    /// Projects a raw query into VAQ's permuted PC space. Errors when the
+    /// query's dimensionality does not match the trained projection.
+    pub fn project_query(&self, query: &[f32]) -> Result<Vec<f32>, VaqError> {
+        Ok(self.pca.transform_vec(query)?)
     }
 
     /// A borrowed [`IndexView`] of the encoded database (codes + TI +
@@ -247,9 +248,10 @@ impl Vaq {
         QueryEngine::for_view(&self.view()).with_strategy(self.default_strategy)
     }
 
-    /// Searches with the configured default strategy (TI + EA).
-    pub fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        self.search_with(query, k, self.default_strategy).0
+    /// Searches with the configured default strategy (TI + EA). Errors
+    /// when the query's dimensionality does not match the index.
+    pub fn search(&self, query: &[f32], k: usize) -> Result<Vec<Neighbor>, VaqError> {
+        Ok(self.search_with(query, k, self.default_strategy)?.0)
     }
 
     /// Batch search: answers every row of `queries`, sharding across
@@ -261,10 +263,21 @@ impl Vaq {
         queries: &Matrix,
         k: usize,
         strategy: SearchStrategy,
-    ) -> (Vec<Vec<Neighbor>>, SearchStats) {
+    ) -> Result<(Vec<Vec<Neighbor>>, SearchStats), VaqError> {
+        if queries.rows() > 0 && queries.cols() != self.pca.dim() {
+            return Err(VaqError::BadConfig(format!(
+                "{}-dim queries against a {}-dim index",
+                queries.cols(),
+                self.pca.dim()
+            )));
+        }
         let view = self.view();
         let engine = QueryEngine::for_view(&view);
-        engine.search_batch(&view, queries, k, strategy, |q| self.project_query(q))
+        // The dimension check above is the only way projection can fail,
+        // and every row of a `Matrix` has the same width.
+        Ok(engine.search_batch(&view, queries, k, strategy, |q| {
+            self.project_query(q).unwrap_or_default()
+        }))
     }
 
     /// Searches with an explicit strategy, returning work counters.
@@ -276,11 +289,11 @@ impl Vaq {
         query: &[f32],
         k: usize,
         strategy: SearchStrategy,
-    ) -> (Vec<Neighbor>, SearchStats) {
+    ) -> Result<(Vec<Neighbor>, SearchStats), VaqError> {
         let view = self.view();
         let mut engine = QueryEngine::for_view(&view);
-        let projected = self.project_query(query);
-        engine.search_with(&view, &projected, k, strategy)
+        let projected = self.project_query(query)?;
+        Ok(engine.search_with(&view, &projected, k, strategy))
     }
 
     /// Searches through a caller-held engine (zero table allocations in
@@ -290,11 +303,11 @@ impl Vaq {
         engine: &mut QueryEngine,
         query: &[f32],
         k: usize,
-    ) -> (Vec<Neighbor>, SearchStats) {
+    ) -> Result<(Vec<Neighbor>, SearchStats), VaqError> {
         let view = self.view();
-        let projected = self.project_query(query);
+        let projected = self.project_query(query)?;
         let strategy = engine.strategy();
-        engine.search_with(&view, &projected, k, strategy)
+        Ok(engine.search_with(&view, &projected, k, strategy))
     }
 
     /// Appends new vectors to the encoded database without retraining.
@@ -350,15 +363,16 @@ impl Vaq {
     }
 
     /// Total squared quantization error over the training data (requires
-    /// re-projecting, so it takes the original data).
-    pub fn quantization_error(&self, data: &Matrix) -> f64 {
-        let projected = self.pca.transform(data).expect("dim");
+    /// re-projecting, so it takes the original data). Errors when `data`
+    /// does not match the trained projection's dimensionality.
+    pub fn quantization_error(&self, data: &Matrix) -> Result<f64, VaqError> {
+        let projected = self.pca.transform(data)?;
         let mut err = 0.0f64;
         for i in 0..self.n.min(projected.rows()) {
             let rec = self.encoder.decode(self.code(i));
             err += vaq_linalg::squared_euclidean(projected.row(i), &rec) as f64;
         }
-        err
+        Ok(err)
     }
 }
 
@@ -402,7 +416,7 @@ mod tests {
         let mut hits = 0;
         let probes: Vec<usize> = (0..500).step_by(31).collect();
         for &i in &probes {
-            let res = vaq.search_with(ds.data.row(i), 10, SearchStrategy::FullScan).0;
+            let res = vaq.search_with(ds.data.row(i), 10, SearchStrategy::FullScan).unwrap().0;
             if res.iter().any(|n| n.index == i as u32) {
                 hits += 1;
             }
@@ -421,6 +435,7 @@ mod tests {
             let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
                 .map(|q| {
                     vaq.search_with(ds.queries.row(q), 10, SearchStrategy::FullScan)
+                        .unwrap()
                         .0
                         .iter()
                         .map(|n| n.index)
@@ -447,6 +462,7 @@ mod tests {
             let retrieved: Vec<Vec<u32>> = (0..ds.queries.rows())
                 .map(|q| {
                     vaq.search_with(ds.queries.row(q), 10, strategy)
+                        .unwrap()
                         .0
                         .iter()
                         .map(|n| n.index)
@@ -469,9 +485,9 @@ mod tests {
         let cfg = VaqConfig::new(64, 16).with_ti_clusters(100);
         let vaq = Vaq::train(&ds.data, &cfg).unwrap();
         let q = ds.data.row(42);
-        let (_, full) = vaq.search_with(q, 10, SearchStrategy::FullScan);
-        let (_, ea) = vaq.search_with(q, 10, SearchStrategy::EarlyAbandon);
-        let (_, tiea) = vaq.search_with(q, 10, SearchStrategy::TiEa { visit_frac: 0.1 });
+        let (_, full) = vaq.search_with(q, 10, SearchStrategy::FullScan).unwrap();
+        let (_, ea) = vaq.search_with(q, 10, SearchStrategy::EarlyAbandon).unwrap();
+        let (_, tiea) = vaq.search_with(q, 10, SearchStrategy::TiEa { visit_frac: 0.1 }).unwrap();
         assert!(
             ea.lookups < full.lookups / 2,
             "EA lookups {} vs full {}",
@@ -504,7 +520,10 @@ mod tests {
         let ds = SyntheticSpec::sift_like().generate(600, 0, 13);
         let small = Vaq::train(&ds.data, &VaqConfig::new(32, 8).with_ti_clusters(0)).unwrap();
         let large = Vaq::train(&ds.data, &VaqConfig::new(96, 8).with_ti_clusters(0)).unwrap();
-        assert!(large.quantization_error(&ds.data) < small.quantization_error(&ds.data));
+        assert!(
+            large.quantization_error(&ds.data).unwrap()
+                < small.quantization_error(&ds.data).unwrap()
+        );
     }
 
     #[test]
@@ -513,7 +532,7 @@ mod tests {
         let cfg = VaqConfig::new(64, 16).clustered().with_ti_clusters(32);
         let vaq = Vaq::train(&ds.data, &cfg).unwrap();
         assert_eq!(vaq.code_bits(), 64);
-        let res = vaq.search(ds.queries.row(0), 10);
+        let res = vaq.search(ds.queries.row(0), 10).unwrap();
         assert_eq!(res.len(), 10);
         // Non-uniform widths on a steep spectrum.
         let widths: std::collections::BTreeSet<usize> =
@@ -526,10 +545,10 @@ mod tests {
         let ds = SyntheticSpec::sift_like().generate(600, 24, 27);
         let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 8).with_ti_clusters(24)).unwrap();
         for strategy in [SearchStrategy::FullScan, SearchStrategy::TiEa { visit_frac: 0.5 }] {
-            let (batch, _) = vaq.search_batch(&ds.queries, 7, strategy);
+            let (batch, _) = vaq.search_batch(&ds.queries, 7, strategy).unwrap();
             assert_eq!(batch.len(), 24);
             for q in 0..ds.queries.rows() {
-                assert_eq!(batch[q], vaq.search_with(ds.queries.row(q), 7, strategy).0);
+                assert_eq!(batch[q], vaq.search_with(ds.queries.row(q), 7, strategy).unwrap().0);
             }
         }
     }
@@ -542,10 +561,10 @@ mod tests {
         let ds = SyntheticSpec::sift_like().generate(900, 16, 29);
         let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 8).with_ti_clusters(32)).unwrap();
         let strategy = SearchStrategy::TiEa { visit_frac: 0.25 };
-        let (_, batch) = vaq.search_batch(&ds.queries, 10, strategy);
+        let (_, batch) = vaq.search_batch(&ds.queries, 10, strategy).unwrap();
         let mut seq = SearchStats::default();
         for q in 0..ds.queries.rows() {
-            seq += vaq.search_with(ds.queries.row(q), 10, strategy).1;
+            seq += vaq.search_with(ds.queries.row(q), 10, strategy).unwrap().1;
         }
         assert_eq!(batch.vectors_visited, seq.vectors_visited);
         assert_eq!(batch.vectors_skipped, seq.vectors_skipped);
@@ -563,7 +582,8 @@ mod tests {
     fn small_batches_fall_back_to_sequential_with_stats() {
         let ds = SyntheticSpec::deep_like().generate(200, 2, 33);
         let vaq = Vaq::train(&ds.data, &VaqConfig::new(32, 8).with_ti_clusters(8)).unwrap();
-        let (batch, stats) = vaq.search_batch(&ds.queries, 5, SearchStrategy::EarlyAbandon);
+        let (batch, stats) =
+            vaq.search_batch(&ds.queries, 5, SearchStrategy::EarlyAbandon).unwrap();
         assert_eq!(batch.len(), 2);
         assert_eq!(stats.vectors_visited + stats.vectors_skipped, 200 * 2);
     }
@@ -622,8 +642,8 @@ mod tests {
         let mut engine = vaq.engine();
         let baseline = engine.arena().reallocations();
         for i in (0..400).step_by(57) {
-            let (held, _) = vaq.search_in(&mut engine, ds.data.row(i), 5);
-            let held_default = vaq.search(ds.data.row(i), 5);
+            let (held, _) = vaq.search_in(&mut engine, ds.data.row(i), 5).unwrap();
+            let held_default = vaq.search(ds.data.row(i), 5).unwrap();
             assert_eq!(held, held_default, "row {i}");
         }
         assert_eq!(engine.arena().reallocations(), baseline, "pre-sized engine grew");
@@ -660,7 +680,7 @@ mod tests {
         // Newly added vectors are findable.
         let mut hits = 0;
         for i in (600..800).step_by(17) {
-            let res = vaq.search_with(ds.data.row(i), 10, SearchStrategy::FullScan).0;
+            let res = vaq.search_with(ds.data.row(i), 10, SearchStrategy::FullScan).unwrap().0;
             if res.iter().any(|n| n.index == i as u32) {
                 hits += 1;
             }
@@ -671,12 +691,14 @@ mod tests {
         for i in [0usize, 650, 799] {
             let full: Vec<u32> = vaq
                 .search_with(ds.data.row(i), 10, SearchStrategy::FullScan)
+                .unwrap()
                 .0
                 .iter()
                 .map(|n| n.index)
                 .collect();
             let ti: Vec<u32> = vaq
                 .search_with(ds.data.row(i), 10, SearchStrategy::TiEa { visit_frac: 1.0 })
+                .unwrap()
                 .0
                 .iter()
                 .map(|n| n.index)
@@ -704,7 +726,7 @@ mod tests {
     fn code_accessor_is_consistent_with_encoder() {
         let ds = SyntheticSpec::deep_like().generate(200, 0, 17);
         let vaq = Vaq::train(&ds.data, &VaqConfig::new(32, 8).with_ti_clusters(0)).unwrap();
-        let projected = vaq.project_query(ds.data.row(3));
+        let projected = vaq.project_query(ds.data.row(3)).unwrap();
         assert_eq!(vaq.code(3), vaq.encoder().encode(&projected).as_slice());
     }
 }

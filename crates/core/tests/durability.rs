@@ -239,6 +239,124 @@ fn open_durable_replays_to_the_live_state() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A `VAQ4` out-of-core fixture: one index saved in the page-aligned
+/// extent layout, opened both ways. The directory is kept alive for the
+/// whole process — the mapped instance borrows its bytes from the file.
+struct MappedFixture {
+    data: Matrix,
+    file: Vec<u8>,
+    mapped: SegmentedVaq,
+    owned: SegmentedVaq,
+}
+
+fn mapped_fixture() -> &'static MappedFixture {
+    static FX: OnceLock<MappedFixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let dir = fresh_dir("vaq4-fixture");
+        let path = dir.join("index.vaq4");
+        let data = toy_data(220, 10, 41);
+        let seg = SegmentedVaq::train(
+            &slice(&data, 0, 120),
+            &VaqConfig::new(24, 4).with_ti_clusters(8),
+            SegmentPolicy::default().with_seal_threshold(32).with_ti_clusters(4).sequential(),
+        )
+        .unwrap();
+        seg.add(&slice(&data, 120, 200)).unwrap();
+        seg.delete(5); // sealed row → non-empty tombstone extent
+        seg.delete(190); // buffered row
+        seg.save_mapped(&path).unwrap();
+        MappedFixture {
+            data,
+            file: std::fs::read(&path).unwrap(),
+            mapped: SegmentedVaq::open_mapped(&path).unwrap(),
+            owned: SegmentedVaq::load(&path).unwrap(),
+        }
+    })
+}
+
+fn strategy_from(pick: u8) -> SearchStrategy {
+    match pick % 5 {
+        0 => SearchStrategy::FullScan,
+        1 => SearchStrategy::EarlyAbandon,
+        2 => SearchStrategy::TiEa { visit_frac: 1.0 },
+        3 => SearchStrategy::TiEa { visit_frac: 0.35 },
+        _ => SearchStrategy::Quantized,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    /// `Mapped` and `Owned` storage are interchangeable: for any query,
+    /// `k`, and strategy, the neighbor lists *and* the work counters come
+    /// out identical — the mapped scan paths read the same bytes the
+    /// owned paths copied out.
+    #[test]
+    fn vaq4_mapped_and_owned_answers_are_identical(
+        qi in 0usize..220,
+        k in 1usize..=12,
+        pick in 0u8..10,
+    ) {
+        let _g = io_guard();
+        let fx = mapped_fixture();
+        let strat = strategy_from(pick);
+        let q = fx.data.row(qi);
+        let (mn, ms) = fx.mapped.search_with(q, k, strat).unwrap();
+        let (on, os) = fx.owned.search_with(q, k, strat).unwrap();
+        prop_assert_eq!(&mn, &on, "query {} k {} {:?}: neighbors diverge", qi, k, strat);
+        prop_assert_eq!(ms, os, "query {} k {} {:?}: stats diverge", qi, k, strat);
+    }
+
+    /// Any single-byte mutation of a `VAQ4` extent file is either
+    /// rejected with a typed error (owned parse up front; mapped open or
+    /// first search, via lazy verification) or — when the flip lands in
+    /// the unchecksummed inter-extent alignment padding — changes no
+    /// answer. Never a panic, never a silently wrong result.
+    #[test]
+    fn vaq4_byte_mutations_reject_or_leave_answers_unchanged(
+        pos_seed in 0usize..1_000_000,
+        delta in 1u8..=255,
+    ) {
+        let _g = io_guard();
+        let fx = mapped_fixture();
+        let mut bytes = fx.file.clone();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] = bytes[pos].wrapping_add(delta);
+        let q = fx.data.row(3);
+        let clean = fx.owned.search_with(q, 7, SearchStrategy::Quantized).unwrap().0;
+
+        if let Ok(back) = SegmentedVaq::from_bytes(&bytes) {
+            let got = back.search_with(q, 7, SearchStrategy::Quantized).unwrap().0;
+            prop_assert_eq!(got, clean.clone(), "owned parse at {} mis-answers", pos);
+        }
+        let dir = fresh_dir("vaq4-mut");
+        let path = dir.join("index.vaq4");
+        std::fs::write(&path, &bytes).unwrap();
+        let searched = SegmentedVaq::open_mapped(&path)
+            .and_then(|m| m.search_with(q, 7, SearchStrategy::Quantized));
+        if let Ok((got, _)) = searched {
+            prop_assert_eq!(got, clean, "mapped open at {} mis-answers", pos);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Every strict prefix of a `VAQ4` file is rejected — the extent
+    /// table requires the last extent to end exactly at the file end, so
+    /// no truncation can look complete.
+    #[test]
+    fn vaq4_truncations_always_error(cut_seed in 0usize..1_000_000) {
+        let _g = io_guard();
+        let fx = mapped_fixture();
+        let cut = cut_seed % fx.file.len();
+        prop_assert!(SegmentedVaq::from_bytes(&fx.file[..cut]).is_err(), "owned at {}", cut);
+        let dir = fresh_dir("vaq4-cut");
+        let path = dir.join("index.vaq4");
+        std::fs::write(&path, &fx.file[..cut]).unwrap();
+        prop_assert!(SegmentedVaq::open_mapped(&path).is_err(), "mapped at {}", cut);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// An aborted atomic commit must leave the previously committed manifest
 /// byte-for-byte intact: the staging file may hold torn debris, but the
 /// rename never happened.

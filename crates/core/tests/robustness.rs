@@ -90,7 +90,7 @@ proptest! {
             // `from_bytes` audits before returning.
             prop_assert!(vaq.audit().is_ok());
             let q = vec![0.25f32; 12];
-            prop_assert_eq!(vaq.search(&q, 5).len(), 5);
+            prop_assert_eq!(vaq.search(&q, 5).unwrap().len(), 5);
         }
     }
 
@@ -159,8 +159,8 @@ fn degenerate_case(name: &str, data: &Matrix, cfg: &VaqConfig) {
             assert!(report.is_ok(), "{name}: trained index failed audit:\n{report}");
             let q = vec![0.1f32; data.cols()];
             let k = 3.min(data.rows());
-            let full = vaq.search_with(&q, k, SearchStrategy::FullScan).0;
-            let tiea = vaq.search_with(&q, k, SearchStrategy::TiEa { visit_frac: 1.0 }).0;
+            let full = vaq.search_with(&q, k, SearchStrategy::FullScan).unwrap().0;
+            let tiea = vaq.search_with(&q, k, SearchStrategy::TiEa { visit_frac: 1.0 }).unwrap().0;
             assert_eq!(full.len(), k, "{name}: short result list");
             assert_eq!(
                 full.iter().map(|h| h.index).collect::<Vec<_>>(),
@@ -169,7 +169,11 @@ fn degenerate_case(name: &str, data: &Matrix, cfg: &VaqConfig) {
             );
             // Round-trip the survivor too.
             let back = Vaq::from_bytes(&vaq.to_bytes()).expect(name);
-            assert_eq!(back.search(&q, k), vaq.search(&q, k), "{name}: round-trip changed results");
+            assert_eq!(
+                back.search(&q, k).unwrap(),
+                vaq.search(&q, k).unwrap(),
+                "{name}: round-trip changed results"
+            );
         }
         Err(e) => {
             // Typed rejection is fine; exercise Display and source() so a
@@ -289,7 +293,7 @@ mod injected {
         assert!(vaq.audit().is_ok());
         assert!(notes.iter().any(|n| n.starts_with("varpca.fit")), "{notes:?}");
         // The axis-aligned fallback is a permutation: queries still work.
-        assert_eq!(vaq.search(data().row(0), 5).len(), 5);
+        assert_eq!(vaq.search(data().row(0), 5).unwrap().len(), 5);
     }
 
     #[test]
@@ -313,8 +317,8 @@ mod injected {
         assert!(notes.iter().any(|n| n.starts_with("ti.build")), "{notes:?}");
         // TiEa requests silently degrade to EA and stay exact.
         let d = data();
-        let a = vaq.search_with(d.row(3), 5, SearchStrategy::TiEa { visit_frac: 0.2 }).0;
-        let b = vaq.search_with(d.row(3), 5, SearchStrategy::EarlyAbandon).0;
+        let a = vaq.search_with(d.row(3), 5, SearchStrategy::TiEa { visit_frac: 0.2 }).unwrap().0;
+        let b = vaq.search_with(d.row(3), 5, SearchStrategy::EarlyAbandon).unwrap().0;
         assert_eq!(a, b);
     }
 
@@ -343,19 +347,20 @@ mod injected {
         let cfg = VaqConfig::new(20, 4).with_ti_clusters(8);
         let d = data();
         let vaq = Vaq::train(&d, &cfg).unwrap();
-        let clean = vaq.search_with(d.row(1), 5, SearchStrategy::TiEa { visit_frac: 1.0 }).0;
+        let clean =
+            vaq.search_with(d.row(1), 5, SearchStrategy::TiEa { visit_frac: 1.0 }).unwrap().0;
         for site in ["engine.prepare", "engine.search"] {
             let (got, notes) = with_armed(site, || {
-                vaq.search_with(d.row(1), 5, SearchStrategy::TiEa { visit_frac: 1.0 }).0
+                vaq.search_with(d.row(1), 5, SearchStrategy::TiEa { visit_frac: 1.0 }).unwrap().0
             });
             assert_eq!(got, clean, "{site} changed query answers");
             assert!(!notes.is_empty(), "{site} should log its degradation");
         }
         // The quantized SIMD path is a pure accelerator: bypassing it must
         // fall back to the EA scan with byte-identical results.
-        let clean_q = vaq.search_with(d.row(1), 5, SearchStrategy::Quantized).0;
+        let clean_q = vaq.search_with(d.row(1), 5, SearchStrategy::Quantized).unwrap().0;
         let (got, notes) = with_armed("engine.qscan", || {
-            vaq.search_with(d.row(1), 5, SearchStrategy::Quantized).0
+            vaq.search_with(d.row(1), 5, SearchStrategy::Quantized).unwrap().0
         });
         assert_eq!(got, clean_q, "engine.qscan changed query answers");
         assert!(notes.iter().any(|n| n.starts_with("engine.qscan")), "{notes:?}");
@@ -373,8 +378,8 @@ mod injected {
                 let vaq = Vaq::train(&d, &cfg)?;
                 let bytes = vaq.to_bytes();
                 let back = Vaq::from_bytes(&bytes)?;
-                back.search_with(d.row(0), 3, SearchStrategy::TiEa { visit_frac: 1.0 });
-                back.search_with(d.row(0), 3, SearchStrategy::Quantized);
+                back.search_with(d.row(0), 3, SearchStrategy::TiEa { visit_frac: 1.0 })?;
+                back.search_with(d.row(0), 3, SearchStrategy::Quantized)?;
                 // The segmented wrapper owns the `segment.*` sites: cross
                 // the seal threshold (maintenance runs inline under
                 // `.sequential()`) and keep enough sealed segments around
@@ -402,6 +407,15 @@ mod injected {
                 std::fs::create_dir_all(&dir).expect("create scratch dir");
                 seg.make_durable(&dir.join(format!("{site}.vaq")))?;
                 seg.add(&Matrix::from_rows(&[d.row(0).to_vec()]))?;
+                // The mapped reopen owns `persist.mmap`: an armed site
+                // degrades the open to the owned read path with a note.
+                let v4 = dir.join(format!("{site}.vaq4"));
+                seg.save_mapped(&v4)?;
+                SegmentedVaq::open_mapped(&v4)?.search_with(
+                    d.row(0),
+                    3,
+                    SearchStrategy::FullScan,
+                )?;
                 Ok::<(), VaqError>(())
             });
             let observed = outcome.is_err()

@@ -29,7 +29,7 @@ fn vaq_threads_pins_every_scoped_thread_site() {
     let vaq = Vaq::train(&data, &cfg).unwrap();
 
     let queries = Matrix::from_rows(&(0..12).map(|i| rows[i * 13].clone()).collect::<Vec<_>>());
-    let (batch, _) = vaq.search_batch(&queries, 3, SearchStrategy::EarlyAbandon);
+    let (batch, _) = vaq.search_batch(&queries, 3, SearchStrategy::EarlyAbandon).unwrap();
     assert_eq!(batch.len(), 12);
     for (qi, res) in batch.iter().enumerate() {
         assert_eq!(res[0].index as usize, qi * 13, "query {qi} did not find itself");

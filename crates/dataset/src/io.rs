@@ -74,14 +74,91 @@ pub fn read_fvecs(path: &Path, limit: Option<usize>) -> io::Result<Matrix> {
 
 /// Writes a matrix as fvecs.
 pub fn write_fvecs(path: &Path, m: &Matrix) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    for row in m.iter_rows() {
-        w.write_all(&header_dim(row.len(), "fvecs")?.to_le_bytes())?;
-        for &v in row {
-            w.write_all(&v.to_le_bytes())?;
+    let mut w = FvecsWriter::create(path)?;
+    w.append(m)?;
+    w.finish()
+}
+
+/// Incremental fvecs writer for streaming datasets that never exist in
+/// memory whole: create once, append a block at a time, finish to flush.
+pub struct FvecsWriter {
+    w: BufWriter<File>,
+}
+
+impl FvecsWriter {
+    pub fn create(path: &Path) -> io::Result<FvecsWriter> {
+        Ok(FvecsWriter { w: BufWriter::new(File::create(path)?) })
+    }
+
+    /// Appends every row of `m` to the file.
+    pub fn append(&mut self, m: &Matrix) -> io::Result<()> {
+        for row in m.iter_rows() {
+            self.w.write_all(&header_dim(row.len(), "fvecs")?.to_le_bytes())?;
+            for &v in row {
+                self.w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    pub fn finish(mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// The per-row byte stride of a fixed-dimension fvecs file (`4`-byte
+/// header + `dim` little-endian `f32`s), overflow-checked.
+fn fvecs_stride(dim: usize) -> io::Result<u64> {
+    let dim = u64::try_from(dim).map_err(|_| bad_data(format!("implausible dimension {dim}")))?;
+    dim.checked_mul(4)
+        .and_then(|b| b.checked_add(4))
+        .ok_or_else(|| bad_data(format!("implausible dimension {dim}")))
+}
+
+/// Number of `dim`-dimensional vectors in an fvecs file, from its length
+/// alone. Errors when the length is not an exact multiple of the row
+/// stride (a torn or mis-described file).
+pub fn fvecs_row_count(path: &Path, dim: usize) -> io::Result<usize> {
+    let len = std::fs::metadata(path)?.len();
+    let stride = fvecs_stride(dim)?;
+    if len % stride != 0 {
+        return Err(bad_data(format!(
+            "fvecs file of {len} bytes is not a whole number of {dim}-dim rows"
+        )));
+    }
+    usize::try_from(len / stride).map_err(|_| bad_data("fvecs row count overflows".into()))
+}
+
+/// Reads rows `start..start + rows` of a fixed-dimension fvecs file by
+/// seeking straight to them — the random-access block read behind the
+/// block-sampling trainer. Every row's header is still validated against
+/// `dim`, so a file that mixes dimensionalities is rejected, not
+/// misparsed.
+pub fn read_fvecs_block(path: &Path, dim: usize, start: usize, rows: usize) -> io::Result<Matrix> {
+    use std::io::Seek;
+    let stride = fvecs_stride(dim)?;
+    let offset = u64::try_from(start)
+        .ok()
+        .and_then(|s| s.checked_mul(stride))
+        .ok_or_else(|| bad_data(format!("fvecs block start {start} overflows")))?;
+    let mut reader = BufReader::new(File::open(path)?);
+    reader.seek(io::SeekFrom::Start(offset))?;
+    let mut out = Matrix::zeros(rows, dim);
+    let mut dim_buf = [0u8; 4];
+    let mut payload =
+        vec![0u8; dim.checked_mul(4).ok_or_else(|| bad_data("fvecs row overflows".into()))?];
+    for r in 0..rows {
+        reader.read_exact(&mut dim_buf)?;
+        let d = checked_dim(i32::from_le_bytes(dim_buf), "fvecs")?;
+        if d != dim {
+            return Err(bad_data(format!("fvecs row {} is {d}-dim, expected {dim}", start + r)));
+        }
+        reader.read_exact(&mut payload)?;
+        for (v, c) in out.row_mut(r).iter_mut().zip(payload.chunks_exact(4)) {
+            *v = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
         }
     }
-    w.flush()
+    Ok(out)
 }
 
 /// Reads up to `limit` vectors from a bvecs file, widening `u8` to `f32`.

@@ -144,62 +144,61 @@ impl SyntheticSpec {
     /// deviations across the query set ("progressively adding larger
     /// amounts of noise to increase their level of difficulty").
     pub fn generate(&self, n: usize, n_queries: usize, seed: u64) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(seed ^ fxhash(self.name));
-        let d = self.dim;
-
-        // Per-dimension latent scales: power-law decay.
-        let scales: Vec<f32> =
-            (0..d).map(|i| ((i + 1) as f64).powf(-self.alpha / 2.0) as f32).collect();
-
-        // Cluster centers in latent space.
-        let mut centers = Matrix::zeros(self.clusters, d);
-        for c in 0..self.clusters {
-            let row = centers.row_mut(c);
-            fill_gaussian(&mut rng, row);
-            for (v, &s) in row.iter_mut().zip(scales.iter()) {
-                *v *= s * self.center_scale as f32;
-            }
+        let _ = checked_elems(checked_rows(n, n_queries), self.dim);
+        let mut gen = RowGen::new(self, seed);
+        let mut data = Matrix::zeros(n, self.dim);
+        for i in 0..n {
+            gen.emit(data.row_mut(i), 0.0);
         }
-
-        // A fixed cheap "rotation": pairwise mixing of adjacent dimensions
-        // with random angles. A full dense random rotation is O(n·d²) per
-        // sample; two passes of Givens mixing de-axis-aligns the spectrum at
-        // O(n·d) while preserving it exactly (orthogonal transform).
-        let angles: Vec<f32> =
-            (0..2 * d).map(|_| (rng.gen::<f64>() * std::f64::consts::TAU) as f32).collect();
-
-        let mut data = Matrix::zeros(n, d);
-        let mut queries = Matrix::zeros(n_queries, d);
-        let mut latent = vec![0.0f32; d];
-        for i in 0..n + n_queries {
-            fill_gaussian(&mut rng, &mut latent);
-            for (v, &s) in latent.iter_mut().zip(scales.iter()) {
-                *v *= s;
-            }
-            let c = rng.gen_range(0..self.clusters);
-            for (v, &cv) in latent.iter_mut().zip(centers.row(c).iter()) {
-                *v += cv;
-            }
-            givens_mix(&mut latent, &angles);
-            let row: &mut [f32] = if i < n {
-                data.row_mut(i)
-            } else {
-                let qi = i - n;
-                // Progressive query noise.
-                let level = 0.35 * qi as f64 / n_queries.max(1) as f64;
-                for v in latent.iter_mut() {
-                    *v += (level * gaussian(&mut rng)) as f32;
-                }
-                queries.row_mut(qi)
-            };
-            row.copy_from_slice(&latent);
-            self.post_process(row, &mut rng);
+        let mut queries = Matrix::zeros(n_queries, self.dim);
+        for qi in 0..n_queries {
+            // Progressive query noise.
+            let level = 0.35 * qi as f64 / n_queries.max(1) as f64;
+            gen.emit(queries.row_mut(qi), level);
         }
-        if matches!(self.post, Post::SmoothWalk | Post::Bursts | Post::Periodic) {
+        if self.z_normalized() {
             z_normalize(&mut data);
             z_normalize(&mut queries);
         }
         Dataset { name: self.name.to_string(), data, queries }
+    }
+
+    /// Block-iterator generation: the same base vectors as
+    /// [`SyntheticSpec::generate`] (bit-identical for the same seed —
+    /// the row process consumes the RNG in the same order), delivered as
+    /// a stream of at-most-`block_rows` matrices so a multi-million-row
+    /// dataset never has to exist in memory at once.
+    pub fn generate_blocks(&self, n: usize, block_rows: usize, seed: u64) -> BlockIter {
+        assert!(block_rows > 0, "block_rows must be positive");
+        let _ = checked_elems(block_rows, self.dim);
+        BlockIter { gen: RowGen::new(self, seed), remaining: n, block_rows }
+    }
+
+    /// The query set alone, matching `generate(n, n_queries, seed).queries`
+    /// bit for bit: the base rows are advanced through the same RNG
+    /// sequence without being materialized. O(`dim`) memory for the skip.
+    pub fn generate_queries(&self, n: usize, n_queries: usize, seed: u64) -> Matrix {
+        let mut gen = RowGen::new(self, seed);
+        let mut skip = vec![0.0f32; self.dim];
+        for _ in 0..n {
+            gen.emit(&mut skip, 0.0);
+        }
+        let mut queries = Matrix::zeros(n_queries, self.dim);
+        for qi in 0..n_queries {
+            let level = 0.35 * qi as f64 / n_queries.max(1) as f64;
+            gen.emit(queries.row_mut(qi), level);
+        }
+        if self.z_normalized() {
+            z_normalize(&mut queries);
+        }
+        queries
+    }
+
+    /// Whether this spec's rows get per-row z-normalization (the series
+    /// stand-ins). Per-row means blockwise generation matches the
+    /// whole-matrix path exactly.
+    fn z_normalized(&self) -> bool {
+        matches!(self.post, Post::SmoothWalk | Post::Bursts | Post::Periodic)
     }
 
     fn post_process(&self, row: &mut [f32], rng: &mut StdRng) {
@@ -244,6 +243,178 @@ impl SyntheticSpec {
     }
 }
 
+/// The streaming row generator behind [`SyntheticSpec::generate`] and
+/// [`SyntheticSpec::generate_blocks`]: the latent model (power-law
+/// scales, cluster centers, mixing angles) plus the RNG. Rows come out
+/// of one fixed RNG sequence, so any consumer that asks for the same
+/// rows in the same order sees identical bytes.
+struct RowGen {
+    spec: SyntheticSpec,
+    rng: StdRng,
+    scales: Vec<f32>,
+    centers: Matrix,
+    angles: Vec<f32>,
+    latent: Vec<f32>,
+}
+
+impl RowGen {
+    fn new(spec: &SyntheticSpec, seed: u64) -> RowGen {
+        let mut rng = StdRng::seed_from_u64(seed ^ fxhash(spec.name));
+        let d = spec.dim;
+
+        // Per-dimension latent scales: power-law decay.
+        let scales: Vec<f32> =
+            (0..d).map(|i| ((i + 1) as f64).powf(-spec.alpha / 2.0) as f32).collect();
+
+        // Cluster centers in latent space.
+        let mut centers = Matrix::zeros(spec.clusters, d);
+        for c in 0..spec.clusters {
+            let row = centers.row_mut(c);
+            fill_gaussian(&mut rng, row);
+            for (v, &s) in row.iter_mut().zip(scales.iter()) {
+                *v *= s * spec.center_scale as f32;
+            }
+        }
+
+        // A fixed cheap "rotation": pairwise mixing of adjacent dimensions
+        // with random angles. A full dense random rotation is O(n·d²) per
+        // sample; two passes of Givens mixing de-axis-aligns the spectrum at
+        // O(n·d) while preserving it exactly (orthogonal transform).
+        let angles: Vec<f32> =
+            (0..2 * d).map(|_| (rng.gen::<f64>() * std::f64::consts::TAU) as f32).collect();
+
+        RowGen { spec: spec.clone(), rng, scales, centers, angles, latent: vec![0.0f32; d] }
+    }
+
+    /// Emits the next row into `out` (`noise > 0` marks a query row and
+    /// adds that many standard deviations of Gaussian noise).
+    fn emit(&mut self, out: &mut [f32], noise: f64) {
+        fill_gaussian(&mut self.rng, &mut self.latent);
+        for (v, &s) in self.latent.iter_mut().zip(self.scales.iter()) {
+            *v *= s;
+        }
+        let c = self.rng.gen_range(0..self.spec.clusters);
+        for (v, &cv) in self.latent.iter_mut().zip(self.centers.row(c).iter()) {
+            *v += cv;
+        }
+        givens_mix(&mut self.latent, &self.angles);
+        if noise > 0.0 {
+            for v in self.latent.iter_mut() {
+                *v += (noise * gaussian(&mut self.rng)) as f32;
+            }
+        }
+        out.copy_from_slice(&self.latent);
+        self.spec.post_process(out, &mut self.rng);
+    }
+}
+
+/// Iterator over a synthetic dataset's base vectors in bounded blocks
+/// (see [`SyntheticSpec::generate_blocks`]). Every block except possibly
+/// the last holds exactly `block_rows` rows.
+pub struct BlockIter {
+    gen: RowGen,
+    remaining: usize,
+    block_rows: usize,
+}
+
+impl Iterator for BlockIter {
+    type Item = Matrix;
+
+    fn next(&mut self) -> Option<Matrix> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let rows = self.remaining.min(self.block_rows);
+        self.remaining -= rows;
+        let mut block = Matrix::zeros(rows, self.gen.spec.dim);
+        for i in 0..rows {
+            self.gen.emit(block.row_mut(i), 0.0);
+        }
+        if self.gen.spec.z_normalized() {
+            z_normalize(&mut block);
+        }
+        Some(block)
+    }
+}
+
+/// Checked row-count funnel for `a + b` rows: aborts with a clear
+/// message instead of wrapping into a tiny allocation.
+fn checked_rows(a: usize, b: usize) -> usize {
+    match a.checked_add(b) {
+        Some(t) => t,
+        None => panic!("{a} + {b} dataset rows overflow usize"),
+    }
+}
+
+/// Checked `rows × dim` element-count funnel: every matrix allocation in
+/// this module sizes through here so an absurd `n` fails loudly up front
+/// rather than overflowing downstream arithmetic.
+fn checked_elems(rows: usize, dim: usize) -> usize {
+    match rows.checked_mul(dim) {
+        Some(e) => e,
+        None => panic!("dataset of {rows} rows × {dim} dims overflows usize"),
+    }
+}
+
+/// Streams a spec's base vectors to an fvecs file in blocks of
+/// `block_rows`, holding O(`block_rows × dim`) memory — the out-of-core
+/// companion to [`SyntheticSpec::generate`]. The file's contents equal
+/// `generate(n, 0, seed).data` written with [`crate::io::write_fvecs`].
+pub fn stream_to_fvecs(
+    spec: &SyntheticSpec,
+    path: &std::path::Path,
+    n: usize,
+    block_rows: usize,
+    seed: u64,
+) -> std::io::Result<()> {
+    let mut w = crate::io::FvecsWriter::create(path)?;
+    for block in spec.generate_blocks(n, block_rows, seed) {
+        w.append(&block)?;
+    }
+    w.finish()
+}
+
+/// Block-sampling streaming trainer entry point: draws about
+/// `sample_rows` vectors from a file-resident fvecs dataset by reading
+/// whole blocks in a seeded random order, so VarPCA and the k-means
+/// dictionaries can fit from a sample without the full dataset ever
+/// being resident. Memory is O(`sample_rows × dim` + one block).
+pub fn sample_fvecs_blocks(
+    path: &std::path::Path,
+    dim: usize,
+    sample_rows: usize,
+    block_rows: usize,
+    seed: u64,
+) -> std::io::Result<Matrix> {
+    assert!(block_rows > 0, "block_rows must be positive");
+    let total = crate::io::fvecs_row_count(path, dim)?;
+    let sample_rows = sample_rows.min(total);
+    let nblocks = total.div_ceil(block_rows);
+    // Seeded Fisher–Yates over the block order; only the prefix actually
+    // read is ever visited.
+    let mut order: Vec<usize> = (0..nblocks).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut sample = Matrix::zeros(sample_rows, dim);
+    let mut filled = 0usize;
+    for &b in &order {
+        if filled >= sample_rows {
+            break;
+        }
+        let start = b * block_rows;
+        let rows = block_rows.min(total - start);
+        let block = crate::io::read_fvecs_block(path, dim, start, rows)?;
+        let take = rows.min(sample_rows - filled);
+        for r in 0..take {
+            sample.row_mut(filled + r).copy_from_slice(block.row(r));
+        }
+        filled += take;
+    }
+    Ok(sample)
+}
+
 /// Two passes of Givens rotations over adjacent dimension pairs —
 /// an orthogonal mix that spreads each latent coordinate across several
 /// output coordinates.
@@ -285,7 +456,7 @@ fn smooth(row: &mut [f32], window: usize) {
 fn fxhash(s: &str) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for b in s.bytes() {
-        h ^= b as u64;
+        h ^= u64::from(b);
         h = h.wrapping_mul(0x100000001b3);
     }
     h
@@ -364,6 +535,53 @@ mod tests {
             assert!(ds.data.as_slice().iter().all(|v| v.is_finite()));
             assert!(ds.queries.as_slice().iter().all(|v| v.is_finite()));
         }
+    }
+
+    #[test]
+    fn block_generation_matches_generate_exactly() {
+        for spec in [SyntheticSpec::sift_like(), SyntheticSpec::astro_like()] {
+            let whole = spec.generate(257, 9, 42);
+            let mut rebuilt: Vec<f32> = Vec::new();
+            let mut blocks = 0;
+            for block in spec.generate_blocks(257, 64, 42) {
+                assert_eq!(block.cols(), spec.dim);
+                rebuilt.extend_from_slice(block.as_slice());
+                blocks += 1;
+            }
+            assert_eq!(blocks, 5, "257 rows in blocks of 64");
+            assert_eq!(rebuilt, whole.data.as_slice(), "{} blocks diverge", spec.name);
+            let queries = spec.generate_queries(257, 9, 42);
+            assert_eq!(queries.as_slice(), whole.queries.as_slice(), "{} queries", spec.name);
+        }
+    }
+
+    #[test]
+    fn streamed_fvecs_round_trips_and_samples() {
+        let spec = SyntheticSpec::deep_like();
+        let dir = std::env::temp_dir().join("vaq-largescale-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("deep.fvecs");
+        stream_to_fvecs(&spec, &path, 200, 33, 3).unwrap();
+        assert_eq!(crate::io::fvecs_row_count(&path, spec.dim).unwrap(), 200);
+        let whole = spec.generate(200, 0, 3).data;
+        let read = crate::io::read_fvecs(&path, None).unwrap();
+        assert_eq!(read.as_slice(), whole.as_slice());
+        // Random-access block read agrees with the sequential reader.
+        let block = crate::io::read_fvecs_block(&path, spec.dim, 150, 37).unwrap();
+        assert_eq!(block.row(0), whole.row(150));
+        assert_eq!(block.row(36), whole.row(186));
+        // The block sampler returns the requested number of real rows.
+        let sample = sample_fvecs_blocks(&path, spec.dim, 70, 32, 5).unwrap();
+        assert_eq!(sample.shape(), (70, spec.dim));
+        let rows: std::collections::HashSet<Vec<u32>> =
+            whole.iter_rows().map(|r| r.iter().map(|v| v.to_bits()).collect()).collect();
+        for row in sample.iter_rows() {
+            let key: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+            assert!(rows.contains(&key), "sampled row not in the dataset");
+        }
+        // Reading past the end errors rather than fabricating rows.
+        assert!(crate::io::read_fvecs_block(&path, spec.dim, 195, 10).is_err());
+        assert!(crate::io::fvecs_row_count(&path, spec.dim + 1).is_err());
     }
 
     #[test]

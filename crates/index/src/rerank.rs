@@ -46,10 +46,10 @@ pub fn vaq_search_with_rerank(
     query: &[f32],
     k: usize,
     pool_factor: usize,
-) -> (Vec<Neighbor>, SearchStats) {
-    let (pool, stats) = vaq.search_in(engine, query, k * pool_factor.max(1));
+) -> Result<(Vec<Neighbor>, SearchStats), vaq_core::VaqError> {
+    let (pool, stats) = vaq.search_in(engine, query, k * pool_factor.max(1))?;
     let ids: Vec<u32> = pool.iter().map(|n| n.index).collect();
-    (rerank(data, query, &ids, k), stats)
+    Ok((rerank(data, query, &ids, k), stats))
 }
 
 #[cfg(test)]
@@ -120,8 +120,9 @@ mod tests {
         let mut reranked = Vec::new();
         for qi in 0..ds.queries.rows() {
             let q = ds.queries.row(qi);
-            plain.push(vaq.search(q, 10).iter().map(|n| n.index).collect::<Vec<u32>>());
-            let (hits, stats) = vaq_search_with_rerank(&vaq, &ds.data, &mut engine, q, 10, 10);
+            plain.push(vaq.search(q, 10).unwrap().iter().map(|n| n.index).collect::<Vec<u32>>());
+            let (hits, stats) =
+                vaq_search_with_rerank(&vaq, &ds.data, &mut engine, q, 10, 10).unwrap();
             assert!(stats.lookups > 0);
             reranked.push(hits.iter().map(|n| n.index).collect::<Vec<u32>>());
         }

@@ -29,6 +29,7 @@
 pub mod covariance;
 pub mod eigen;
 pub mod matrix;
+pub mod mmap;
 pub mod norms;
 pub mod pca;
 pub mod qtables;
@@ -39,6 +40,10 @@ pub mod tables;
 pub use covariance::{column_means, covariance, covariance_centered};
 pub use eigen::{sym_eigen, SymEigen};
 pub use matrix::{DMatrix, Matrix};
+pub use mmap::{
+    Advice, CodesStorage, ExtentSpan, F32Storage, MappedRegion, MappedSpan, ScanPrefetch,
+    U16Storage, U32Storage, U64Storage, PAGE_ALIGN,
+};
 pub use norms::{dot, euclidean, hamming, squared_euclidean};
 pub use pca::Pca;
 pub use qtables::{

@@ -40,6 +40,7 @@
 //! fits `u16::MAX`; [`PackedCodes::pack`] refuses wider plans (the
 //! engine then falls back to the exact scan).
 
+use crate::mmap::CodesStorage;
 use crate::tables::TableArena;
 use std::sync::OnceLock;
 
@@ -58,7 +59,7 @@ pub const MAX_PACKED_SUBSPACES: usize = 257;
 /// is zero-padded so kernels never branch on `n`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PackedCodes {
-    data: Vec<u8>,
+    data: CodesStorage,
     /// Original subspace indices with table size `1..=256`, ascending.
     subspaces: Vec<usize>,
     /// Table size (codebook rows) per packed subspace.
@@ -112,7 +113,44 @@ impl PackedCodes {
                 data[(b * mp + j) * BLOCK + lane] = u8::try_from(row[s]).unwrap_or(u8::MAX);
             }
         }
-        Self { data, subspaces, sizes, m_total: m, n, blocks }
+        Self { data: data.into(), subspaces, sizes, m_total: m, n, blocks }
+    }
+
+    /// Rebuilds a packing from serialized parts: the blocked bytes
+    /// (owned or mapped) plus the plan that produced them. Recomputes
+    /// the packable-subspace selection from `table_sizes` (a pure
+    /// function of the plan) and validates the byte length; `None` on
+    /// any mismatch. Byte *content* (`data[..] < sizes[j]`) is not
+    /// validated here — mapped loaders defer that to the lazy
+    /// per-segment verification, owned loaders check it eagerly.
+    pub fn from_parts(data: CodesStorage, table_sizes: &[usize], n: usize) -> Option<Self> {
+        let m = table_sizes.len();
+        let mut subspaces = Vec::new();
+        let mut sizes = Vec::new();
+        for (s, &sz) in table_sizes.iter().enumerate() {
+            if (1..=256).contains(&sz) {
+                subspaces.push(s);
+                sizes.push(sz);
+            }
+        }
+        if subspaces.is_empty() || subspaces.len() > MAX_PACKED_SUBSPACES {
+            // The plan itself is unpackable: only the byte-free inactive
+            // fallback (exactly what `pack` would produce) round-trips.
+            return data.is_empty().then(|| Self::inactive(m, n));
+        }
+        let mp = subspaces.len();
+        let blocks = n.div_ceil(BLOCK).max(1);
+        if data.len() != blocks * mp * BLOCK {
+            return None;
+        }
+        Some(Self { data, subspaces, sizes, m_total: m, n, blocks })
+    }
+
+    /// The inactive fallback packing: no packed subspaces, the engine
+    /// stays on the exact `f32` path. Matches what [`PackedCodes::pack`]
+    /// returns when it degrades.
+    pub fn inactive(m_total: usize, n: usize) -> Self {
+        Self { m_total, n, ..Self::default() }
     }
 
     /// Appends `n_new` freshly encoded rows without re-transposing the
@@ -163,15 +201,17 @@ impl PackedCodes {
         let mp = self.subspaces.len();
         let blocks = n_total.div_ceil(BLOCK).max(1);
         // Earlier blocks never move in the block-major layout; growing
-        // the buffer only zero-fills the new tail blocks.
-        self.data.resize(blocks * mp * BLOCK, 0u8);
+        // the buffer only zero-fills the new tail blocks. A mapped
+        // packing materializes an owned copy first (copy-on-write).
+        let data = self.data.to_mut();
+        data.resize(blocks * mp * BLOCK, 0u8);
         for (i, row) in new_codes.chunks_exact(m).enumerate() {
             let g = self.n + i;
             let (b, lane) = (g / BLOCK, g % BLOCK);
             for (j, &s) in self.subspaces.iter().enumerate() {
                 // Cannot fail: the check above bounds each code below a
                 // table size of at most 256.
-                self.data[(b * mp + j) * BLOCK + lane] = u8::try_from(row[s]).unwrap_or(u8::MAX);
+                data[(b * mp + j) * BLOCK + lane] = u8::try_from(row[s]).unwrap_or(u8::MAX);
             }
         }
         self.n = n_total;
@@ -226,6 +266,12 @@ impl PackedCodes {
 
     /// Raw blocked bytes (see the struct docs for the layout).
     pub fn data(&self) -> &[u8] {
+        self.data.as_slice()
+    }
+
+    /// The storage behind the blocked bytes (owned vs mapped), for the
+    /// persist layer and the VAQ113 audit.
+    pub fn storage(&self) -> &CodesStorage {
         &self.data
     }
 }

@@ -11,7 +11,7 @@
 //! | VAQ007 | no bare `println!` / `eprintln!` in library crates — route diagnostics through `obs::event` / structured logs |
 //! | VAQ008 | no direct `std::sync` / `std::thread` in `vaq-core` outside the `crate::sync` facade — loom builds must model every primitive |
 //! | VAQ009 | every non-`SeqCst` atomic ordering argument needs an `// ORDERING:` justification within the three preceding lines |
-//! | VAQ010 | no `as` integer casts in the serialization/kernel boundary files (`persist.rs`, `wal.rs`, `qtables.rs`, dataset `io.rs`) — use `try_from`/`From` with a typed error |
+//! | VAQ010 | no `as` integer casts in the serialization/kernel boundary files (`persist.rs`, `wal.rs`, `qtables.rs`, dataset `io.rs`/`largescale.rs`) — use `try_from`/`From` with a typed error |
 //!
 //! Every rule reports a stable code so `lint.toml` allowances and CI logs
 //! stay meaningful as the codebase grows. See DESIGN.md §8 and §13.
@@ -78,6 +78,7 @@ pub const FAULT_SITES: &[&str] = &[
     "persist.wal_append",
     "persist.commit",
     "persist.fsync",
+    "persist.mmap",
     "engine.prepare",
     "engine.search",
     "engine.qscan",
@@ -147,6 +148,7 @@ impl<'a> FileClass<'a> {
             || self.path.ends_with("core/src/segment/wal.rs")
             || self.path.ends_with("linalg/src/qtables.rs")
             || self.path.ends_with("dataset/src/io.rs")
+            || self.path.ends_with("dataset/src/largescale.rs")
     }
 }
 

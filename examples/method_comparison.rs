@@ -98,7 +98,7 @@ fn main() {
         "VAQ",
         Box::new(move || {
             let vaq = Vaq::train(data, &VaqConfig::new(budget, 16).with_ti_clusters(150)).unwrap();
-            Box::new(move |q| vaq.search(q, k).iter().map(|n| n.index).collect())
+            Box::new(move |q| vaq.search(q, k).expect("search").iter().map(|n| n.index).collect())
         }),
     );
 }

@@ -29,8 +29,8 @@ fn main() {
 
     // --- Day 1: reload and serve. ---
     let mut served = Vaq::load(&path).expect("load");
-    let before = served.search(ds.queries.row(0), 5);
-    assert_eq!(before, vaq.search(ds.queries.row(0), 5));
+    let before = served.search(ds.queries.row(0), 5).expect("search");
+    assert_eq!(before, vaq.search(ds.queries.row(0), 5).expect("search"));
     println!("reloaded index answers identically: top hit = {}", before[0].index);
 
     // --- Day 2: new data arrives; append without retraining. ---
@@ -40,7 +40,7 @@ fn main() {
         late_batch.rows(),
         served.len()
     );
-    let hit = served.search_with(late_batch.row(0), 3, SearchStrategy::FullScan).0;
+    let hit = served.search_with(late_batch.row(0), 3, SearchStrategy::FullScan).expect("search").0;
     assert!(hit.iter().any(|n| n.index == first_new as u32));
     println!("a just-appended vector finds itself: {:?}", hit[0].index);
 

@@ -26,7 +26,7 @@ fn main() {
 
     // 3. Search. Results carry the approximate (ADC) distance.
     for (qi, query) in (0..3).map(|q| (q, ds.queries.row(q))) {
-        let hits = vaq.search(query, 5);
+        let hits = vaq.search(query, 5).expect("search");
         let ids: Vec<u32> = hits.iter().map(|h| h.index).collect();
         println!("query {qi}: top-5 = {ids:?} (d₀ = {:.3})", hits[0].distance);
     }
@@ -34,8 +34,9 @@ fn main() {
     // 4. How much work did pruning save? Compare strategies on one query.
     use vaq::core::SearchStrategy;
     let q = ds.queries.row(0);
-    let (_, full) = vaq.search_with(q, 5, SearchStrategy::FullScan);
-    let (_, tiea) = vaq.search_with(q, 5, SearchStrategy::TiEa { visit_frac: 0.25 });
+    let (_, full) = vaq.search_with(q, 5, SearchStrategy::FullScan).expect("search");
+    let (_, tiea) =
+        vaq.search_with(q, 5, SearchStrategy::TiEa { visit_frac: 0.25 }).expect("search");
     println!(
         "\nfull scan visited {} vectors / {} lookups; TI+EA visited {} / {} lookups",
         full.vectors_visited, full.lookups, tiea.vectors_visited, tiea.lookups

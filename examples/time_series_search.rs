@@ -42,7 +42,9 @@ fn main() {
     let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 16).with_ti_clusters(64)).unwrap();
     let t = Instant::now();
     let r: Vec<Vec<u32>> = (0..ds.queries.rows())
-        .map(|q| vaq.search(ds.queries.row(q), k).iter().map(|n| n.index).collect())
+        .map(|q| {
+            vaq.search(ds.queries.row(q), k).expect("search").iter().map(|n| n.index).collect()
+        })
         .collect();
     report("VAQ (64-bit codes)", r, t.elapsed().as_secs_f64());
 

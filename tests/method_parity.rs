@@ -96,7 +96,12 @@ fn vaq_matches_or_beats_the_best_baseline_on_every_spectrum() {
         let r_opq = recall_of(|q| opq.search(q, 10).iter().map(|n| n.index).collect(), &ds, &truth);
         let r_vaq = recall_of(
             |q| {
-                vaq.search_with(q, 10, SearchStrategy::FullScan).0.iter().map(|n| n.index).collect()
+                vaq.search_with(q, 10, SearchStrategy::FullScan)
+                    .unwrap()
+                    .0
+                    .iter()
+                    .map(|n| n.index)
+                    .collect()
             },
             &ds,
             &truth,

@@ -19,7 +19,8 @@ fn vaq_full_pipeline_beats_chance_and_respects_budget() {
     let truth = exact_knn(&ds.data, &ds.queries, 10);
     let vaq = Vaq::train(&ds.data, &VaqConfig::new(128, 16).with_ti_clusters(64)).unwrap();
     assert_eq!(vaq.code_bits(), 128);
-    let retrieved = retrieve(|q| vaq.search(q, 10).iter().map(|n| n.index).collect(), &ds.queries);
+    let retrieved =
+        retrieve(|q| vaq.search(q, 10).unwrap().iter().map(|n| n.index).collect(), &ds.queries);
     let recall = recall_at_k(&retrieved, &truth, 10);
     assert!(recall > 0.4, "pipeline recall too low: {recall}");
 }
@@ -43,7 +44,12 @@ fn vaq_beats_pq_on_skewed_spectrum_at_equal_budget() {
     let r_vaq = recall_at_k(
         &retrieve(
             |q| {
-                vaq.search_with(q, 10, SearchStrategy::FullScan).0.iter().map(|n| n.index).collect()
+                vaq.search_with(q, 10, SearchStrategy::FullScan)
+                    .unwrap()
+                    .0
+                    .iter()
+                    .map(|n| n.index)
+                    .collect()
             },
             &ds.queries,
         ),
@@ -66,18 +72,21 @@ fn pruning_strategies_preserve_the_adc_ranking() {
         let query = ds.queries.row(q);
         let full: Vec<u32> = vaq
             .search_with(query, 10, SearchStrategy::FullScan)
+            .unwrap()
             .0
             .iter()
             .map(|n| n.index)
             .collect();
         let ea: Vec<u32> = vaq
             .search_with(query, 10, SearchStrategy::EarlyAbandon)
+            .unwrap()
             .0
             .iter()
             .map(|n| n.index)
             .collect();
         let ti_all: Vec<u32> = vaq
             .search_with(query, 10, SearchStrategy::TiEa { visit_frac: 1.0 })
+            .unwrap()
             .0
             .iter()
             .map(|n| n.index)
@@ -94,7 +103,7 @@ fn map_never_exceeds_recall() {
     for (budget, m) in [(32usize, 8usize), (64, 16)] {
         let vaq = Vaq::train(&ds.data, &VaqConfig::new(budget, m).with_ti_clusters(32)).unwrap();
         let retrieved =
-            retrieve(|q| vaq.search(q, 10).iter().map(|n| n.index).collect(), &ds.queries);
+            retrieve(|q| vaq.search(q, 10).unwrap().iter().map(|n| n.index).collect(), &ds.queries);
         let r = recall_at_k(&retrieved, &truth, 10);
         let m = map_at_k(&retrieved, &truth, 10);
         assert!(m <= r + 1e-9, "MAP {m} > recall {r}");
@@ -111,7 +120,12 @@ fn bigger_budget_never_much_worse() {
         let vaq = Vaq::train(&ds.data, &VaqConfig::new(budget, 8).with_ti_clusters(0)).unwrap();
         let retrieved = retrieve(
             |q| {
-                vaq.search_with(q, 10, SearchStrategy::FullScan).0.iter().map(|n| n.index).collect()
+                vaq.search_with(q, 10, SearchStrategy::FullScan)
+                    .unwrap()
+                    .0
+                    .iter()
+                    .map(|n| n.index)
+                    .collect()
             },
             &ds.queries,
         );
@@ -141,7 +155,7 @@ fn opq_and_vaq_share_projection_quality() {
     let opq = Opq::train(&ds.data, &OpqConfig::new(8).with_bits(8)).unwrap();
     let vaq = Vaq::train(&ds.data, &VaqConfig::new(64, 8).with_ti_clusters(0)).unwrap();
     let e_opq = opq.quantization_error(&ds.data);
-    let e_vaq = vaq.quantization_error(&ds.data);
+    let e_vaq = vaq.quantization_error(&ds.data).unwrap();
     assert!(
         e_vaq < e_opq * 2.0,
         "VAQ error {e_vaq} should be comparable or better than OPQ {e_opq}"
@@ -155,6 +169,9 @@ fn searches_are_deterministic_across_runs() {
     let a = Vaq::train(&ds.data, &cfg).unwrap();
     let b = Vaq::train(&ds.data, &cfg).unwrap();
     for q in 0..ds.queries.rows() {
-        assert_eq!(a.search(ds.queries.row(q), 10), b.search(ds.queries.row(q), 10));
+        assert_eq!(
+            a.search(ds.queries.row(q), 10).unwrap(),
+            b.search(ds.queries.row(q), 10).unwrap()
+        );
     }
 }

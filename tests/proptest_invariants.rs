@@ -171,11 +171,11 @@ proptest! {
         }
         let queries = Matrix::from_vec(nq, cols, flat);
 
-        let (batch, batch_stats) = index.search_batch(&queries, k, strategy);
+        let (batch, batch_stats) = index.search_batch(&queries, k, strategy).unwrap();
         prop_assert_eq!(batch.len(), nq);
         let mut expected_stats = SearchStats::default();
         for (qi, got) in batch.iter().enumerate() {
-            let (want, stats) = index.search_with(pool.row(qi), k, strategy);
+            let (want, stats) = index.search_with(pool.row(qi), k, strategy).unwrap();
             prop_assert_eq!(got, &want, "query {} diverged under {:?}", qi, strategy);
             expected_stats += stats;
         }
