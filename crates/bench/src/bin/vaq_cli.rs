@@ -50,6 +50,7 @@ fn main() -> ExitCode {
         "chaos" => cmd_chaos(&opts),
         "crash" => cmd_crash(&opts),
         "bench" => cmd_bench(&opts),
+        "kernels" => cmd_kernels(&opts),
         // Internal: the query-phase child of `bench --out-of-core`.
         "ooc-query" => cmd_ooc_query(&opts),
         other => Err(format!("unknown command `{other}`")),
@@ -73,6 +74,7 @@ USAGE:
                  [--visit 0.25] [--limit N]
   vaq_cli info   --index INDEX
   vaq_cli audit  INDEX            (or --index INDEX)
+  vaq_cli kernels                 (report SIMD tier support + the active scan kernel)
   vaq_cli chaos  [--seed-range 0..32] [--p 0.3] [--n 400] [--dim 16]
   vaq_cli crash  [--durability] [--seed 7] [--n 96] [--dim 12] [--k 8]
   vaq_cli bench  [--n 100000] [--dim 64] [--queries 16] [--k 10]
@@ -106,10 +108,13 @@ when the index never became durable before the cut. Zero panics, zero
 divergences, or the command exits non-zero listing every violated
 point. `--durability` names the (only) suite explicitly for CI logs.
 `bench` times the quantized SIMD ADC scan against the f32 full scan and
-early-abandon scan on synthetic data (results must match exactly), plus a
-scalar-vs-SIMD kernel micro-benchmark, and writes
-results/BENCH_adc_scan.json. Set VAQ_FORCE_SCALAR=1 to measure the
-end-to-end engine numbers on the portable scalar kernel.
+early-abandon scan on synthetic data (results must match exactly,
+sequentially and batched), over two bit budgets — the default mixed-width
+plan and an all-nibble 4-bit plan — plus a per-tier kernel
+micro-benchmark, and writes results/BENCH_adc_scan_v2.json. The run
+fails if early-abandon is slower than the full scan it prunes. Set
+VAQ_FORCE_KERNEL=scalar|ssse3|avx2|avx512|neon (or VAQ_FORCE_SCALAR=1)
+to measure the end-to-end engine numbers on a pinned kernel tier.
 `bench --concurrent` instead benchmarks the segmented index: a writer
 ingests the dataset tail in batches (sealing and compacting in the
 background) while reader threads keep answering queries from lock-free
@@ -551,6 +556,243 @@ fn time_strategy(
     (t0.elapsed().as_secs_f64() / (reps * queries.rows()) as f64, stats)
 }
 
+/// Times the batched quantized path (table-transposed multi-query tiles)
+/// over the whole query set, seconds per query.
+fn time_batched(
+    vaq: &Vaq,
+    queries: &Matrix,
+    k: usize,
+    reps: usize,
+) -> (f64, vaq_core::SearchStats) {
+    let _ = vaq.search_batch(queries, k, SearchStrategy::Quantized).expect("search"); // warm
+    let mut stats = vaq_core::SearchStats::default();
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        stats += vaq.search_batch(queries, k, SearchStrategy::Quantized).expect("search").1;
+    }
+    (t0.elapsed().as_secs_f64() / (reps * queries.rows()) as f64, stats)
+}
+
+/// `kernels`: one line per SIMD tier with its support status on this CPU,
+/// plus the kernel the dispatcher actually picked (after VAQ_FORCE_KERNEL
+/// / VAQ_FORCE_SCALAR overrides) — CI matrices print this to keep forced
+/// runs honest about what they measured.
+fn cmd_kernels(_opts: &Opts) -> Result<(), String> {
+    use vaq_linalg::{active_kernel, kernel_supported, ScanKernel};
+    for kern in ScanKernel::ALL {
+        println!(
+            "{:>6}: {}",
+            kern.name(),
+            if kernel_supported(kern) { "supported" } else { "not supported" }
+        );
+    }
+    println!("active: {}", active_kernel().name());
+    Ok(())
+}
+
+/// One fully-benched bit-budget configuration of the ADC scan.
+struct ConfigReport {
+    /// Batched quantized end-to-end throughput, Mvec/s.
+    batched_mvps: f64,
+    json: vaq_bench::Json,
+}
+
+/// Trains one bit budget over `ds`, proves parity (full scan == quantized
+/// == batched), times every strategy plus the batched tile path, gates on
+/// the early-abandon perf regression, and micro-benches every SIMD tier
+/// this CPU supports over a synthetic packed database shaped like the
+/// trained plan.
+#[allow(clippy::too_many_arguments)]
+fn bench_adc_config(
+    label: &str,
+    ds: &vaq_dataset::Dataset,
+    k: usize,
+    budget: usize,
+    segments: usize,
+    seed: u64,
+    reps: usize,
+    train_limit: usize,
+    uniform: bool,
+) -> Result<ConfigReport, String> {
+    use vaq_bench::Json;
+    use vaq_linalg::{
+        accumulate_qsums_with, active_kernel, kernel_supported, PackedCodes, PackedRow,
+        QuantizedTables, ScanKernel, TableArena,
+    };
+
+    let n = ds.data.rows();
+    let nq = ds.queries.rows();
+    // Paper-style setup: learn dictionaries on a training sample, then
+    // encode the full collection — the bench measures scan speed, not
+    // dictionary learning. `uniform` pins the allocation to budget/m bits
+    // everywhere (4 each for the nibble config, so every packed row is a
+    // two-codes-per-byte pair) instead of the variance-aware split.
+    let mut cfg = VaqConfig::new(budget, segments).with_seed(seed).with_ti_clusters(0);
+    if uniform {
+        cfg = cfg.uniform_allocation();
+    }
+    let train_rows = train_limit.min(n);
+    let t0 = std::time::Instant::now();
+    let mut vaq = {
+        let sample = ds.data.select_rows(&(0..train_rows).collect::<Vec<_>>());
+        Vaq::train(&sample, &cfg).map_err(|e| e.to_string())?
+    };
+    if train_rows < n {
+        let rest = ds.data.select_rows(&(train_rows..n).collect::<Vec<_>>());
+        vaq.add(&rest).map_err(|e| e.to_string())?;
+    }
+    let train_secs = t0.elapsed().as_secs_f64();
+    let kernel = active_kernel();
+    println!(
+        "[{label}] trained in {train_secs:.1}s — bit allocation {:?}, scan kernel {}",
+        vaq.bits(),
+        kernel.name()
+    );
+
+    // The quantized scan is a pruning accelerator, not an approximation:
+    // its results must be byte-identical to the exact f32 full scan, and
+    // the batched tile path must reproduce the sequential path exactly.
+    let mut sequential = Vec::with_capacity(nq);
+    for qi in 0..nq {
+        let q = ds.queries.row(qi);
+        let full = vaq.search_with(q, k, SearchStrategy::FullScan).expect("search").0;
+        let quant = vaq.search_with(q, k, SearchStrategy::Quantized).expect("search").0;
+        if full != quant {
+            return Err(format!(
+                "[{label}] quantized results diverge from the full scan on query {qi}"
+            ));
+        }
+        sequential.push(quant);
+    }
+    let (batched, _) =
+        vaq.search_batch(&ds.queries, k, SearchStrategy::Quantized).map_err(|e| e.to_string())?;
+    if batched != sequential {
+        return Err(format!("[{label}] batched quantized diverges from the sequential path"));
+    }
+    println!("[{label}] parity: quantized == full scan == batched on all {nq} queries");
+
+    let (full_spq, _) = time_strategy(&vaq, &ds.queries, k, reps, SearchStrategy::FullScan);
+    let (ea_spq, _) = time_strategy(&vaq, &ds.queries, k, reps, SearchStrategy::EarlyAbandon);
+    let (qz_spq, qz_stats) = time_strategy(&vaq, &ds.queries, k, reps, SearchStrategy::Quantized);
+    let (batch_spq, _) = time_batched(&vaq, &ds.queries, k, reps);
+    // Regression gate for the early-abandon perf bug: abandoning work
+    // must never cost more than doing all of it (5% timer noise allowed).
+    if ea_spq > full_spq * 1.05 {
+        return Err(format!(
+            "[{label}] early-abandon regression: {:.3} ms/q vs full scan {:.3} ms/q — \
+             abandoning work must not be slower than doing it",
+            ea_spq * 1e3,
+            full_spq * 1e3
+        ));
+    }
+    let prune_rate = qz_stats.quantized_pruned as f64 / qz_stats.vectors_visited.max(1) as f64;
+    let mvps = |spq: f64| n as f64 / spq / 1e6;
+    println!(
+        "[{label}] engine: full {:.3} ms/q ({:.0} Mvec/s), early-abandon {:.3} ms/q \
+         ({:.0} Mvec/s), quantized {:.3} ms/q ({:.0} Mvec/s), batched quantized {:.3} ms/q \
+         ({:.0} Mvec/s) — {:.0}% pruned",
+        full_spq * 1e3,
+        mvps(full_spq),
+        ea_spq * 1e3,
+        mvps(ea_spq),
+        qz_spq * 1e3,
+        mvps(qz_spq),
+        batch_spq * 1e3,
+        mvps(batch_spq),
+        prune_rate * 100.0
+    );
+
+    // Kernel micro-benchmark: raw qsum accumulation throughput over a
+    // synthetic packed database shaped like the trained plan, once per
+    // SIMD tier this CPU can run.
+    let sizes: Vec<usize> = vaq.bits().iter().map(|&b| 1usize << b).collect();
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut codes = Vec::with_capacity(n * sizes.len());
+    for _ in 0..n {
+        for &size in &sizes {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            codes.push(((s >> 33) as usize % size) as u16);
+        }
+    }
+    let packed = PackedCodes::pack(&codes, &sizes, n);
+    let mut tiers: Vec<Json> = Vec::new();
+    let mut pair_rows = 0usize;
+    if packed.is_active() {
+        pair_rows =
+            packed.packed_rows().iter().filter(|r| matches!(r, PackedRow::Pair { .. })).count();
+        let mut arena = TableArena::with_layout(&sizes);
+        arena.fill_with(|_, t| {
+            for v in t.iter_mut() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = (s >> 40) as f32 / (1u32 << 22) as f32;
+            }
+        });
+        let mut qt = QuantizedTables::default();
+        qt.quantize(&arena, &packed);
+        let mut qsums = Vec::new();
+        let mut scalar_ml = 0.0;
+        for kern in ScanKernel::ALL {
+            if !kernel_supported(kern) {
+                continue;
+            }
+            accumulate_qsums_with(kern, &packed, &qt, &mut qsums); // warmup
+            let micro_reps = reps * 10;
+            let t0 = std::time::Instant::now();
+            for _ in 0..micro_reps {
+                accumulate_qsums_with(kern, &packed, &qt, &mut qsums);
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            let mlookups = (n * packed.num_subspaces() * micro_reps) as f64 / secs / 1e6;
+            let gvecs = (n * micro_reps) as f64 / secs / 1e9;
+            let vs_scalar = if scalar_ml > 0.0 { mlookups / scalar_ml } else { 1.0 };
+            if kern == ScanKernel::Scalar {
+                scalar_ml = mlookups;
+            }
+            println!(
+                "[{label}] kernel {:>6}: {mlookups:.0} M lookups/s, {gvecs:.2} Gvec/s \
+                 ({vs_scalar:.1}× scalar)",
+                kern.name()
+            );
+            tiers.push(Json::obj([
+                ("kernel", Json::Str(kern.name().to_string())),
+                ("mlookups_per_sec", Json::Num(mlookups)),
+                ("gvectors_per_sec", Json::Num(gvecs)),
+                ("speedup_vs_scalar", Json::Num(vs_scalar)),
+            ]));
+        }
+    } else {
+        println!("[{label}] kernel: plan not packable; micro-bench skipped");
+    }
+
+    let json = Json::obj([
+        ("label", Json::Str(label.to_string())),
+        ("budget_bits", Json::Num(budget as f64)),
+        ("bit_allocation", Json::Arr(vaq.bits().iter().map(|&b| Json::Num(b as f64)).collect())),
+        ("train_secs", Json::Num(train_secs)),
+        ("packed_subspaces", Json::Num(packed.num_subspaces() as f64)),
+        ("packed_rows", Json::Num(packed.num_rows() as f64)),
+        ("nibble_pair_rows", Json::Num(pair_rows as f64)),
+        (
+            "engine",
+            Json::obj([
+                ("full_scan_ms_per_query", Json::Num(full_spq * 1e3)),
+                ("full_scan_mvectors_per_sec", Json::Num(mvps(full_spq))),
+                ("early_abandon_ms_per_query", Json::Num(ea_spq * 1e3)),
+                ("early_abandon_mvectors_per_sec", Json::Num(mvps(ea_spq))),
+                ("quantized_ms_per_query", Json::Num(qz_spq * 1e3)),
+                ("quantized_mvectors_per_sec", Json::Num(mvps(qz_spq))),
+                ("batched_quantized_ms_per_query", Json::Num(batch_spq * 1e3)),
+                ("batched_quantized_mvectors_per_sec", Json::Num(mvps(batch_spq))),
+                ("quantized_speedup_vs_full_scan", Json::Num(full_spq / qz_spq)),
+                ("batched_speedup_vs_full_scan", Json::Num(full_spq / batch_spq)),
+                ("quantized_prune_rate", Json::Num(prune_rate)),
+            ]),
+        ),
+        ("kernel_micro", Json::Arr(tiers)),
+    ]);
+    Ok(ConfigReport { batched_mvps: mvps(batch_spq), json })
+}
+
 fn cmd_bench(opts: &Opts) -> Result<(), String> {
     if opts.contains_key("concurrent") {
         return cmd_bench_segments(opts);
@@ -560,9 +802,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     }
     use vaq_bench::Json;
     use vaq_dataset::SyntheticSpec;
-    use vaq_linalg::{
-        accumulate_qsums_with, active_kernel, PackedCodes, QuantizedTables, ScanKernel, TableArena,
-    };
+    use vaq_linalg::active_kernel;
 
     let n: usize = get_or(opts, "n", 100_000)?;
     let dim: usize = get_or(opts, "dim", 64)?;
@@ -588,142 +828,47 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     let ds = spec.generate(n, nq, seed);
     println!("data: {n} × {dim} synthetic ({}), {nq} queries", spec.name);
 
-    // Paper-style setup: learn dictionaries on a training sample, then
-    // encode the full collection — the bench measures scan speed, not
-    // dictionary learning.
-    let cfg = VaqConfig::new(budget, segments).with_seed(seed).with_ti_clusters(0);
-    let train_rows = train_limit.min(n);
-    let t0 = std::time::Instant::now();
-    let mut vaq = {
-        let sample = ds.data.select_rows(&(0..train_rows).collect::<Vec<_>>());
-        Vaq::train(&sample, &cfg).map_err(|e| e.to_string())?
-    };
-    if train_rows < n {
-        let rest = ds.data.select_rows(&(train_rows..n).collect::<Vec<_>>());
-        vaq.add(&rest).map_err(|e| e.to_string())?;
-    }
-    let train_secs = t0.elapsed().as_secs_f64();
-    let kernel = active_kernel();
-    println!(
-        "trained in {:.1}s — bit allocation {:?}, scan kernel {}",
-        train_secs,
-        vaq.bits(),
-        kernel.name()
-    );
+    // Two bit budgets, benched identically: the default mixed-width plan
+    // (wide subspaces plus a few nibble pairs) and an all-nibble plan
+    // (4 bits per subspace, so every packed row carries two codes per
+    // byte) — the Quick-ADC shape the in-register shuffle kernels hit
+    // their throughput ceiling on.
+    let primary =
+        bench_adc_config("mixed", &ds, k, budget, segments, seed, reps, train_limit, false)?;
+    let nibble =
+        bench_adc_config("nibble4", &ds, k, 4 * segments, segments, seed, reps, train_limit, true)?;
 
-    // The quantized scan is a pruning accelerator, not an approximation:
-    // its results must be byte-identical to the exact f32 full scan.
-    for qi in 0..ds.queries.rows() {
-        let q = ds.queries.row(qi);
-        let full = vaq.search_with(q, k, SearchStrategy::FullScan).expect("search").0;
-        let quant = vaq.search_with(q, k, SearchStrategy::Quantized).expect("search").0;
-        if full != quant {
-            return Err(format!("quantized results diverge from the full scan on query {qi}"));
-        }
-    }
-    println!("parity: quantized == full scan on all {nq} queries");
-
-    let (full_spq, _) = time_strategy(&vaq, &ds.queries, k, reps, SearchStrategy::FullScan);
-    let (ea_spq, _) = time_strategy(&vaq, &ds.queries, k, reps, SearchStrategy::EarlyAbandon);
-    let (qz_spq, qz_stats) = time_strategy(&vaq, &ds.queries, k, reps, SearchStrategy::Quantized);
-    let prune_rate = qz_stats.quantized_pruned as f64 / qz_stats.vectors_visited.max(1) as f64;
-    let speedup = full_spq / qz_spq;
-    let mvps = |spq: f64| n as f64 / spq / 1e6;
-    println!(
-        "engine: full {:.3} ms/q ({:.0} Mvec/s), early-abandon {:.3} ms/q ({:.0} Mvec/s), \
-         quantized {:.3} ms/q ({:.0} Mvec/s) — {speedup:.1}× vs full scan, {:.0}% pruned",
-        full_spq * 1e3,
-        mvps(full_spq),
-        ea_spq * 1e3,
-        mvps(ea_spq),
-        qz_spq * 1e3,
-        mvps(qz_spq),
-        prune_rate * 100.0
-    );
-
-    // Kernel micro-benchmark: raw qsum accumulation throughput over a
-    // synthetic packed database shaped like the trained plan, scalar vs
-    // the best kernel this CPU offers.
-    let sizes: Vec<usize> = vaq.bits().iter().map(|&b| 1usize << b).collect();
-    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-    let mut codes = Vec::with_capacity(n * sizes.len());
-    for _ in 0..n {
-        for &size in &sizes {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            codes.push(((s >> 33) as usize % size) as u16);
-        }
-    }
-    let packed = PackedCodes::pack(&codes, &sizes, n);
-    let mut micro_fields: Vec<(&'static str, Json)> = Vec::new();
-    if packed.is_active() {
-        let mut arena = TableArena::with_layout(&sizes);
-        arena.fill_with(|_, t| {
-            for v in t.iter_mut() {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                *v = (s >> 40) as f32 / (1u32 << 22) as f32;
-            }
-        });
-        let mut qt = QuantizedTables::default();
-        qt.quantize(&arena, &packed);
-        let mut qsums = Vec::new();
-        let mut throughput = |kern: ScanKernel| -> f64 {
-            accumulate_qsums_with(kern, &packed, &qt, &mut qsums); // warmup
-            let micro_reps = reps * 10;
-            let t0 = std::time::Instant::now();
-            for _ in 0..micro_reps {
-                accumulate_qsums_with(kern, &packed, &qt, &mut qsums);
-            }
-            let lookups = (n * packed.num_subspaces() * micro_reps) as f64;
-            lookups / t0.elapsed().as_secs_f64() / 1e6
-        };
-        let scalar = throughput(ScanKernel::Scalar);
-        let best = if kernel == ScanKernel::Scalar { scalar } else { throughput(kernel) };
+    // The v1 bench (BENCH_adc_scan.json) stays committed as the frozen
+    // baseline; when present, report the end-to-end speedup against its
+    // single-query quantized path.
+    let v1_qz = std::fs::read_to_string(out_dir.join("BENCH_adc_scan.json"))
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|j| j.get("engine")?.get("quantized_mvectors_per_sec")?.as_f64());
+    let best_mvps = primary.batched_mvps.max(nibble.batched_mvps);
+    let mut top = vec![
+        ("bench".to_string(), Json::Str("adc_scan_v2".to_string())),
+        ("n".to_string(), Json::Num(n as f64)),
+        ("dim".to_string(), Json::Num(dim as f64)),
+        ("queries".to_string(), Json::Num(nq as f64)),
+        ("k".to_string(), Json::Num(k as f64)),
+        ("reps".to_string(), Json::Num(reps as f64)),
+        ("active_kernel".to_string(), Json::Str(active_kernel().name().to_string())),
+        ("best_batched_quantized_mvectors_per_sec".to_string(), Json::Num(best_mvps)),
+    ];
+    if let Some(v1) = v1_qz {
         println!(
-            "kernel: scalar {scalar:.0} M lookups/s, {} {best:.0} M lookups/s ({:.1}×)",
-            kernel.name(),
-            best / scalar
+            "end-to-end: best batched quantized {best_mvps:.0} Mvec/s — {:.1}× the v1 \
+             single-query path ({v1:.0} Mvec/s)",
+            best_mvps / v1
         );
-        micro_fields = vec![
-            ("packed_subspaces", Json::Num(packed.num_subspaces() as f64)),
-            ("scalar_mlookups_per_sec", Json::Num(scalar)),
-            ("simd_kernel", Json::Str(kernel.name().to_string())),
-            ("simd_mlookups_per_sec", Json::Num(best)),
-            ("simd_over_scalar", Json::Num(best / scalar)),
-        ];
-    } else {
-        println!("kernel: plan not packable (a subspace exceeds 8 bits); micro-bench skipped");
+        top.push(("v1_quantized_mvectors_per_sec".to_string(), Json::Num(v1)));
+        top.push(("end_to_end_speedup_vs_v1".to_string(), Json::Num(best_mvps / v1)));
     }
-
-    let json = Json::obj([
-        ("bench", Json::Str("adc_scan".to_string())),
-        ("n", Json::Num(n as f64)),
-        ("dim", Json::Num(dim as f64)),
-        ("queries", Json::Num(nq as f64)),
-        ("k", Json::Num(k as f64)),
-        ("reps", Json::Num(reps as f64)),
-        ("bit_allocation", Json::Arr(vaq.bits().iter().map(|&b| Json::Num(b as f64)).collect())),
-        ("active_kernel", Json::Str(kernel.name().to_string())),
-        ("train_secs", Json::Num(train_secs)),
-        (
-            "engine",
-            Json::obj([
-                ("full_scan_ms_per_query", Json::Num(full_spq * 1e3)),
-                ("full_scan_mvectors_per_sec", Json::Num(mvps(full_spq))),
-                ("early_abandon_ms_per_query", Json::Num(ea_spq * 1e3)),
-                ("early_abandon_mvectors_per_sec", Json::Num(mvps(ea_spq))),
-                ("quantized_ms_per_query", Json::Num(qz_spq * 1e3)),
-                ("quantized_mvectors_per_sec", Json::Num(mvps(qz_spq))),
-                ("quantized_speedup_vs_full_scan", Json::Num(speedup)),
-                ("quantized_prune_rate", Json::Num(prune_rate)),
-            ]),
-        ),
-        (
-            "kernel_micro",
-            Json::Obj(micro_fields.into_iter().map(|(f, v)| (f.to_string(), v)).collect()),
-        ),
-    ]);
+    top.push(("configs".to_string(), Json::Arr(vec![primary.json, nibble.json])));
+    let json = Json::Obj(top);
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
-    let path = out_dir.join("BENCH_adc_scan.json");
+    let path = out_dir.join("BENCH_adc_scan_v2.json");
     std::fs::write(&path, json.pretty()).map_err(|e| format!("{}: {e}", path.display()))?;
     println!("results written to {}", path.display());
 

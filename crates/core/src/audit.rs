@@ -647,22 +647,35 @@ fn audit_packed(
     if packed.len() != n || packed.num_total_subspaces() != m || codes.len() != n * m {
         return;
     }
-    let mp = packed.num_subspaces();
+    let nr = packed.num_rows();
     let block = vaq_linalg::qtables::BLOCK;
+    // Walk the physical row layout: a `Pair` row carries two 4-bit codes
+    // per byte (lo nibble = first subspace, hi nibble = second), a
+    // `Single` row one full byte.
     for (i, row) in codes.chunks_exact(m).enumerate() {
         let (b, lane) = (i / block, i % block);
-        for (j, &s) in packed.subspaces().iter().enumerate() {
-            let got = packed.data()[(b * mp + j) * block + lane];
-            if u16::from(got) != row[s] {
-                r.push(
-                    "VAQ110",
-                    format!(
-                        "packed byte for vector {i} subspace {s} is {got}, codes say {}",
-                        row[s]
-                    ),
-                );
-                // One divergent byte is enough signal.
-                return;
+        for (ri, &prow) in packed.packed_rows().iter().enumerate() {
+            let got = packed.data()[(b * nr + ri) * block + lane];
+            let lanes: [(usize, u16); 2] = match prow {
+                vaq_linalg::PackedRow::Pair { lo, hi } => {
+                    [(lo, u16::from(got & 0x0f)), (hi, u16::from(got >> 4))]
+                }
+                vaq_linalg::PackedRow::Single(j) => [(j, u16::from(got)), (j, u16::from(got))],
+            };
+            for (j, decoded) in lanes {
+                let s = packed.subspaces()[j];
+                if decoded != row[s] {
+                    r.push(
+                        "VAQ110",
+                        format!(
+                            "packed byte for vector {i} subspace {s} decodes to {decoded}, \
+                             codes say {}",
+                            row[s]
+                        ),
+                    );
+                    // One divergent byte is enough signal.
+                    return;
+                }
             }
         }
     }

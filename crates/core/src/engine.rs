@@ -25,8 +25,8 @@ use crate::search::{Neighbor, SearchStats, SearchStrategy};
 use crate::ti::TiPartition;
 use std::collections::BinaryHeap;
 use vaq_linalg::{
-    accumulate_qsums, squared_distances_into, Matrix, PackedCodes, QuantizedTables, ScanPrefetch,
-    TableArena,
+    accumulate_qsums, accumulate_qsums_multi, active_kernel, prefetch_read, squared_distances_into,
+    Matrix, PackedCodes, QuantizedTables, ScanPrefetch, TableArena, QUERY_TILE,
 };
 
 /// A borrowed view of an encoded database, sufficient to execute ADC
@@ -145,6 +145,15 @@ impl<'a> IndexView<'a> {
     pub fn code(&self, i: usize) -> &'a [u16] {
         let m = self.ranges.len();
         &self.codes[i * m..(i + 1) * m]
+    }
+
+    /// Advisory prefetch of row `i`'s code word into cache. Scan orders
+    /// that visit rows non-sequentially (TI cluster order) issue this a
+    /// few rows ahead, where the hardware prefetcher cannot follow.
+    /// No-op off x86_64 and under Miri; never affects results.
+    #[inline]
+    pub fn prefetch_code(&self, i: usize) {
+        prefetch_read(self.codes, i * self.ranges.len());
     }
 
     /// The attached TI partition, if any.
@@ -418,7 +427,11 @@ impl QueryEngine {
                     let bsf = current_threshold(&heap, k).sqrt();
                     let (lo, hi) = ti.survivor_window(ci, qd[ci], bsf);
                     stats.vectors_skipped += lo + (members.len() - hi);
-                    for &row in &members[lo..hi] {
+                    let survivors = &members[lo..hi];
+                    for (wi, &row) in survivors.iter().enumerate() {
+                        if let Some(&ahead) = survivors.get(wi + 8) {
+                            view.prefetch_code(ahead as usize);
+                        }
                         scan_one(view, &self.arena, row as usize, &mut heap, k, &mut stats);
                     }
                 }
@@ -427,24 +440,7 @@ impl QueryEngine {
                 }
             }
             SearchStrategy::Quantized => {
-                let usable = match view.packed().filter(|p| p.is_active()) {
-                    Some(p) if crate::faults::fired("engine.qscan") => {
-                        crate::faults::note_degradation(
-                            "engine.qscan: SIMD scan bypassed, EA scan",
-                        );
-                        let _ = p;
-                        None
-                    }
-                    Some(p) if p.len() != n || p.num_total_subspaces() != view.num_subspaces() => {
-                        // A packing that disagrees with the view (stale
-                        // after appends, or borrowed from another index)
-                        // could prune with a wrong bound — refuse it.
-                        crate::faults::note_degradation("engine.qscan: packed mismatch, EA scan");
-                        None
-                    }
-                    other => other,
-                };
-                let Some(packed) = usable else {
+                let Some(packed) = usable_packing(view) else {
                     // No usable packing (e.g. every subspace wider than 8
                     // bits): the exact early-abandon scan answers instead.
                     let _scan = crate::obs::span("query.scan");
@@ -460,34 +456,72 @@ impl QueryEngine {
                 self.qtables.quantize(&self.arena, packed);
                 accumulate_qsums(packed, &self.qtables, &mut self.qsums);
                 drop(qscan);
-                let _rerank = crate::obs::span("query.rerank");
-                let m = view.num_subspaces();
-                // Prune on the certified lower bound alone; survivors
-                // rerank through the exact f32 tables. A pruned vector
-                // has exact distance >= lb >= threshold, so EA would
-                // have abandoned it without pushing — the heap evolves
-                // identically and the top-k is byte-identical to EA's.
-                // The threshold is folded into the integer domain
-                // (`prune_cutoff` is exactly equivalent to comparing
-                // `lower_bound(qsum)` against it) so the hot loop is one
-                // u16 compare per vector; the cutoff only moves when a
-                // survivor improves the heap.
-                let mut cutoff = self.qtables.prune_cutoff(current_threshold(&heap, k));
-                let mut pruned = 0usize;
-                for (i, &qsum) in self.qsums[..n].iter().enumerate() {
-                    if u32::from(qsum) >= cutoff {
-                        pruned += 1;
-                        continue;
-                    }
-                    scan_one(view, &self.arena, i, &mut heap, k, &mut stats);
-                    cutoff = self.qtables.prune_cutoff(current_threshold(&heap, k));
-                }
-                stats.vectors_visited += pruned;
-                stats.lookups_skipped += pruned * m;
-                stats.quantized_pruned += pruned;
+                let out = self.quantized_rerank_prepared(view, k, &mut stats);
+                return (out, stats);
             }
         }
         (collect_sorted(heap), stats)
+    }
+
+    /// The prune + exact-rerank tail of the quantized scan, run over
+    /// already-computed `qtables`/`qsums`. Shared between the sequential
+    /// [`SearchStrategy::Quantized`] arm and the batched tile path in
+    /// [`QueryEngine::search_batch`], so both produce identical answers
+    /// and identical [`SearchStats`].
+    fn quantized_rerank_prepared(
+        &self,
+        view: &IndexView<'_>,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let n = view.len();
+        let k = k.max(1).min(n.max(1));
+        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
+        let _rerank = crate::obs::span("query.rerank");
+        let m = view.num_subspaces();
+        // Prune on the certified lower bound alone; survivors
+        // rerank through the exact f32 tables. A pruned vector
+        // has exact distance >= lb >= threshold, so EA would
+        // have abandoned it without pushing — the heap evolves
+        // identically and the top-k is byte-identical to EA's.
+        // The threshold is folded into the integer domain
+        // (`prune_cutoff` is exactly equivalent to comparing
+        // `lower_bound(qsum)` against it) so the hot loop is one
+        // u16 compare per vector; the cutoff only moves when a
+        // survivor improves the heap, so it is refreshed exactly
+        // when `scan_one` reports a push and never otherwise.
+        let mut cutoff = self.qtables.prune_cutoff(current_threshold(&heap, k));
+        let mut pruned = 0usize;
+        // At steady state nearly every vector prunes, so the loop is
+        // dominated by the compare-and-skip path. Taking an unsigned min
+        // over a chunk first (which vectorizes to a packed-min reduction)
+        // skips PRUNE_CHUNK vectors per iteration on that path: chunk
+        // min >= cutoff means every element fails the bound, so skipping
+        // them together visits exactly the vectors the scalar loop would
+        // and the heap, cutoff, and stats evolve identically.
+        let mut base = 0usize;
+        for chunk in self.qsums[..n].chunks(PRUNE_CHUNK) {
+            let chunk_min = chunk.iter().copied().min().unwrap_or(u16::MAX);
+            if u32::from(chunk_min) >= cutoff {
+                pruned += chunk.len();
+                base += chunk.len();
+                continue;
+            }
+            for (off, &qsum) in chunk.iter().enumerate() {
+                if u32::from(qsum) >= cutoff {
+                    pruned += 1;
+                    continue;
+                }
+                if scan_one(view, &self.arena, base + off, &mut heap, k, stats) {
+                    cutoff = self.qtables.prune_cutoff(current_threshold(&heap, k));
+                }
+            }
+            base += chunk.len();
+        }
+        stats.vectors_visited += pruned;
+        stats.lookups_skipped += pruned * m;
+        stats.quantized_pruned += pruned;
+        collect_sorted(heap)
     }
 
     /// Early-abandoned scan over an explicit id list (inverted lists,
@@ -562,7 +596,16 @@ impl QueryEngine {
     {
         let nq = queries.rows();
         let workers = crate::threads::worker_count(nq);
+        // Quantized batches go through the tile shard: queries share one
+        // fused pass over the packed codes per QUERY_TILE instead of
+        // re-streaming the whole code array once per query.
+        let tiled = matches!(strategy, SearchStrategy::Quantized);
         if workers <= 1 || nq < 4 {
+            if tiled {
+                let mut out: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+                let stats = quantized_tile_shard(self, view, queries, 0, &mut out, k, &project);
+                return (out, stats);
+            }
             let mut engine = self.clone();
             let mut stats = SearchStats::default();
             let out = (0..nq)
@@ -594,6 +637,11 @@ impl QueryEngine {
                 let (my_stats, stats_tail) = stats_rest.split_at_mut(1);
                 stats_rest = stats_tail;
                 scope.spawn(move || {
+                    if tiled {
+                        my_stats[0] =
+                            quantized_tile_shard(prototype, view, queries, start, mine, k, project);
+                        return;
+                    }
                     let mut engine = prototype.clone();
                     for (j, slot) in mine.iter_mut().enumerate() {
                         let projected = project(queries.row(start + j));
@@ -607,6 +655,100 @@ impl QueryEngine {
         let stats = worker_stats.into_iter().fold(SearchStats::default(), |a, b| a + b);
         (out, stats)
     }
+}
+
+/// One worker's shard of a [`SearchStrategy::Quantized`] batch, processed
+/// in [`QUERY_TILE`]-sized query tiles. Each tile computes its queries'
+/// lower-bound sums in one fused pass over the packed codes
+/// ([`accumulate_qsums_multi`]), so the code bytes stream through the
+/// cache once per tile instead of once per query. Results and
+/// [`SearchStats`] are identical to per-query `search_with` calls: the
+/// fused kernel is bit-identical per query (u16 adds commute) and the
+/// prune/rerank tail is the same code, consulted in the same query order
+/// (so fault-injection degradations also fire on the same queries).
+fn quantized_tile_shard<F>(
+    prototype: &QueryEngine,
+    view: &IndexView<'_>,
+    queries: &Matrix,
+    start: usize,
+    out: &mut [Vec<Neighbor>],
+    k: usize,
+    project: &F,
+) -> SearchStats
+where
+    F: Fn(&[f32]) -> Vec<f32> + Sync,
+{
+    let mut total = SearchStats::default();
+    let nq = out.len();
+    let mut engines: Vec<QueryEngine> = Vec::new();
+    for base in (0..nq).step_by(QUERY_TILE) {
+        let tile = QUERY_TILE.min(nq - base);
+        if engines.len() < tile {
+            engines.resize_with(tile, || prototype.clone());
+        }
+        let engines = &mut engines[..tile];
+        let t0 = crate::obs::enabled().then(std::time::Instant::now);
+        let mut stats = vec![SearchStats::default(); tile];
+        let mut usable: Vec<Option<&PackedCodes>> = vec![None; tile];
+        for (t, e) in engines.iter_mut().enumerate() {
+            let projected = project(queries.row(start + base + t));
+            let before = e.arena.reallocations();
+            e.prepare(view, &projected);
+            stats[t].table_reallocations = e.arena.reallocations() - before;
+            usable[t] = usable_packing(view);
+            if let Some(p) = usable[t] {
+                let QueryEngine { arena, qtables, .. } = e;
+                qtables.quantize(arena, p);
+            }
+        }
+        if let Some(packed) = usable.iter().flatten().next().copied() {
+            let _qscan = crate::obs::span("query.qscan");
+            if let Some(pf) = view.prefetch {
+                pf.advise_sequential_scan();
+            }
+            let mut lanes: Vec<(&QuantizedTables, &mut Vec<u16>)> = engines
+                .iter_mut()
+                .zip(&usable)
+                .filter(|(_, u)| u.is_some())
+                .map(|(e, _)| {
+                    let QueryEngine { qtables, qsums, .. } = e;
+                    (&*qtables, qsums)
+                })
+                .collect();
+            accumulate_qsums_multi(active_kernel(), packed, &mut lanes);
+        }
+        for (t, e) in engines.iter_mut().enumerate() {
+            let mut res = if usable[t].is_some() {
+                e.quantized_rerank_prepared(view, k, &mut stats[t])
+            } else {
+                // Same degradation as the sequential Quantized arm: the
+                // exact early-abandon scan answers this query.
+                let n = view.len();
+                let kk = k.max(1).min(n.max(1));
+                let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(kk + 1);
+                let _scan = crate::obs::span("query.scan");
+                for i in 0..n {
+                    scan_one(view, &e.arena, i, &mut heap, kk, &mut stats[t]);
+                }
+                collect_sorted(heap)
+            };
+            sqrt_distances(&mut res);
+            out[base + t] = res;
+        }
+        if let Some(t0) = t0 {
+            // Whole-tile latency, attributed evenly across its queries so
+            // batch histograms stay comparable to sequential ones.
+            let per_query = t0.elapsed().as_nanos() as u64 / tile as u64;
+            for s in &stats {
+                crate::obs::observe_ns("query_latency", per_query);
+                crate::obs::record_search_stats(s);
+            }
+        }
+        for s in stats {
+            total += s;
+        }
+    }
+    total
 }
 
 /// Per-query soundness check on a TI partition. Release builds keep the
@@ -627,7 +769,47 @@ fn ti_covers(ti: &TiPartition, n: usize) -> bool {
     }
 }
 
+/// Per-query soundness check on the view's packed codes, shared between
+/// the sequential [`SearchStrategy::Quantized`] arm and the batched tile
+/// path so both degrade identically (including under fault injection).
+fn usable_packing<'a>(view: &IndexView<'a>) -> Option<&'a PackedCodes> {
+    match view.packed().filter(|p| p.is_active()) {
+        Some(p) if crate::faults::fired("engine.qscan") => {
+            crate::faults::note_degradation("engine.qscan: SIMD scan bypassed, EA scan");
+            let _ = p;
+            None
+        }
+        Some(p) if p.len() != view.len() || p.num_total_subspaces() != view.num_subspaces() => {
+            // A packing that disagrees with the view (stale
+            // after appends, or borrowed from another index)
+            // could prune with a wrong bound — refuse it.
+            crate::faults::note_degradation("engine.qscan: packed mismatch, EA scan");
+            None
+        }
+        other => other,
+    }
+}
+
+/// Abandon-check granularity of [`scan_one`]: partial sums are compared
+/// against the threshold once per this many subspaces instead of after
+/// every table add. The adds themselves stay strictly sequential, so the
+/// f32 accumulation — and therefore every distance that reaches the heap
+/// — is bit-identical to a per-lookup check; only where inside a doomed
+/// row the abandon triggers changes (visible in `SearchStats::lookups`
+/// at chunk granularity, never in results). Checking 4× less often
+/// removes the branch + two stats counters from the dependency chain of
+/// every add, which is what made EA slower than FullScan at n=100k.
+const EA_CHUNK: usize = 4;
+
+/// Vectors per chunk of the quantized prune loop. One cache line of
+/// `u16` qsums — wide enough that the packed-min fast path amortizes the
+/// loop overhead, small enough that a chunk with one survivor re-scans
+/// only 31 extra compares.
+const PRUNE_CHUNK: usize = 32;
+
 /// Early-abandoned accumulation of one encoded vector against the arena.
+/// Returns `true` iff the row entered the top-k heap (callers that cache
+/// a pruning cutoff only need to refresh it then).
 #[inline]
 fn scan_one(
     view: &IndexView<'_>,
@@ -636,13 +818,13 @@ fn scan_one(
     heap: &mut BinaryHeap<Neighbor>,
     k: usize,
     stats: &mut SearchStats,
-) {
+) -> bool {
     if view.is_dead(i) {
         // Tombstoned rows never reach the heap — checked here so every
         // scan path (EA, TI survivors, quantized rerank, id lists) is
         // covered by the same gate.
         stats.vectors_skipped += 1;
-        return;
+        return false;
     }
     let code = view.code(i);
     let m = code.len();
@@ -652,17 +834,33 @@ fn scan_one(
     stats.vectors_visited += 1;
     let mut dist = 0.0f32;
     let mut s = 0usize;
-    while s < m {
+    // Table entries are squared Euclidean terms (>= 0), so the partial
+    // sum is non-decreasing: a row is abandoned iff its full sum would
+    // fail `dist < threshold`, no matter how often we check. The four
+    // adds below must stay separate statements — reassociating them
+    // would change the f32 rounding and break the byte-identical
+    // contract with the per-lookup formulation.
+    while s + EA_CHUNK <= m {
         dist += flat[offsets[s] + code[s] as usize];
-        s += 1;
+        dist += flat[offsets[s + 1] + code[s + 1] as usize];
+        dist += flat[offsets[s + 2] + code[s + 2] as usize];
+        dist += flat[offsets[s + 3] + code[s + 3] as usize];
+        s += EA_CHUNK;
         if dist >= threshold {
             stats.lookups += s;
             stats.lookups_skipped += m - s;
-            return; // abandoned — cannot enter the top-k
+            return false; // abandoned — cannot enter the top-k
         }
     }
+    while s < m {
+        dist += flat[offsets[s] + code[s] as usize];
+        s += 1;
+    }
     stats.lookups += m;
-    push_k(heap, k, i as u32, dist);
+    if dist >= threshold {
+        return false;
+    }
+    push_k(heap, k, i as u32, dist)
 }
 
 /// Current pruning threshold: the k-th best squared distance so far, or
@@ -677,15 +875,23 @@ fn current_threshold(heap: &BinaryHeap<Neighbor>, k: usize) -> f32 {
     }
 }
 
+/// Offers a candidate to the bounded heap; `true` iff it was admitted
+/// (i.e. the top-k — and thus the pruning threshold — changed).
 #[inline]
-fn push_k(heap: &mut BinaryHeap<Neighbor>, k: usize, index: u32, dist: f32) {
+fn push_k(heap: &mut BinaryHeap<Neighbor>, k: usize, index: u32, dist: f32) -> bool {
     if heap.len() < k {
         heap.push(Neighbor { index, distance: dist });
+        true
     } else if let Some(top) = heap.peek() {
         if dist < top.distance {
             heap.pop();
             heap.push(Neighbor { index, distance: dist });
+            true
+        } else {
+            false
         }
+    } else {
+        false
     }
 }
 
@@ -770,17 +976,56 @@ mod tests {
         }
     }
 
+    /// Like [`setup`] but with eight subspaces, so the chunked abandon
+    /// check (`EA_CHUNK` = 4) has an interior boundary to abandon at.
+    fn setup_wide(n: usize) -> (Matrix, Encoder, Vec<u16>) {
+        let d = 16;
+        let mut s = 47u64;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(d);
+            for j in 0..d {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = ((s >> 40) as f32 / (1u32 << 23) as f32) - 1.0;
+                row.push(v * 3.0 / (1.0 + j as f32));
+            }
+            rows.push(row);
+        }
+        let data = Matrix::from_rows(&rows);
+        let vars: Vec<f64> = (0..d).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let layout = SubspaceLayout::build(&vars, 8, SubspaceMode::Uniform, false, 0).unwrap();
+        let enc = Encoder::train(&data, &layout, &[5, 4, 4, 3, 3, 2, 2, 2], 15, 0).unwrap();
+        let codes = enc.encode_all(&data);
+        (data, enc, codes)
+    }
+
     #[test]
     fn ea_skips_lookups() {
-        let (data, enc, codes, _) = setup(800);
+        let (data, enc, codes) = setup_wide(800);
         let view = IndexView::from_encoder(&enc, &codes, 800);
         let mut engine = QueryEngine::for_view(&view);
         let q = data.row(1);
         let (_, full_stats) = engine.search_with(&view, q, 5, SearchStrategy::FullScan);
         let (_, ea_stats) = engine.search_with(&view, q, 5, SearchStrategy::EarlyAbandon);
-        assert_eq!(full_stats.lookups, 800 * 4);
+        assert_eq!(full_stats.lookups, 800 * 8);
         assert!(ea_stats.lookups < full_stats.lookups, "EA did not skip any lookups");
-        assert_eq!(ea_stats.lookups + ea_stats.lookups_skipped, 800 * 4);
+        assert_eq!(ea_stats.lookups + ea_stats.lookups_skipped, 800 * 8);
+    }
+
+    #[test]
+    fn ea_matches_full_scan_on_wide_plans() {
+        // The chunk loop plus tail must accumulate in exactly the same
+        // order as a per-lookup loop; m = 8 exercises two full chunks,
+        // and k = 3 keeps the abandon threshold active.
+        let (data, enc, codes) = setup_wide(600);
+        let view = IndexView::from_encoder(&enc, &codes, 600);
+        let mut engine = QueryEngine::for_view(&view);
+        for qi in [0usize, 77, 421] {
+            let q = data.row(qi);
+            let (full, _) = engine.search_with(&view, q, 3, SearchStrategy::FullScan);
+            let (ea, _) = engine.search_with(&view, q, 3, SearchStrategy::EarlyAbandon);
+            assert_eq!(full, ea, "query {qi}");
+        }
     }
 
     #[test]
@@ -965,6 +1210,53 @@ mod tests {
     }
 
     #[test]
+    fn quantized_batch_matches_sequential_exactly() {
+        // The tile shard (fused multi-query kernel + shared rerank tail)
+        // must reproduce per-query answers AND per-query work counters
+        // bit for bit; 13 queries exercises a partial trailing tile.
+        let (data, enc, codes) = setup_wide(500);
+        let packed = pack_view(&enc, &codes, 500);
+        assert!(packed.is_active(), "wide plan must pack");
+        let view = IndexView::from_encoder(&enc, &codes, 500).with_packed(Some(&packed));
+        let queries =
+            Matrix::from_rows(&(0..13).map(|i| data.row(i * 29).to_vec()).collect::<Vec<_>>());
+        let engine = QueryEngine::for_view(&view);
+        let (batch, batch_stats) =
+            engine.search_batch(&view, &queries, 6, SearchStrategy::Quantized, |q| q.to_vec());
+        let mut seq = QueryEngine::for_view(&view);
+        let mut seq_stats = SearchStats::default();
+        for qi in 0..queries.rows() {
+            let (res, s) = seq.search_with(&view, queries.row(qi), 6, SearchStrategy::Quantized);
+            seq_stats += s;
+            assert_eq!(batch[qi], res, "query {qi}");
+        }
+        assert_eq!(batch_stats, seq_stats, "batched stats diverged from sequential");
+        assert_eq!(batch_stats.table_reallocations, 0);
+    }
+
+    #[test]
+    fn quantized_batch_without_packing_degrades_like_sequential() {
+        // No packing attached: every tile lane must fall back to the
+        // exact EA scan, exactly as the sequential Quantized arm does.
+        let (data, enc, codes, _) = setup(300);
+        let view = IndexView::from_encoder(&enc, &codes, 300);
+        let queries =
+            Matrix::from_rows(&(0..7).map(|i| data.row(i * 41).to_vec()).collect::<Vec<_>>());
+        let engine = QueryEngine::for_view(&view);
+        let (batch, batch_stats) =
+            engine.search_batch(&view, &queries, 5, SearchStrategy::Quantized, |q| q.to_vec());
+        let mut seq = QueryEngine::for_view(&view);
+        let mut seq_stats = SearchStats::default();
+        for qi in 0..queries.rows() {
+            let (res, s) = seq.search_with(&view, queries.row(qi), 5, SearchStrategy::Quantized);
+            seq_stats += s;
+            assert_eq!(batch[qi], res, "query {qi}");
+        }
+        assert_eq!(batch_stats, seq_stats);
+        assert_eq!(batch_stats.quantized_pruned, 0);
+    }
+
+    #[test]
     #[cfg(debug_assertions)]
     fn doctored_partition_with_intact_size_sum_degrades_to_ea() {
         // Regression: `ti_covers` only summed cluster sizes, so a row
@@ -1100,6 +1392,46 @@ mod tests {
                 let (qz, _) = engine.search_with(&view, q, k, SearchStrategy::Quantized);
                 // Byte-identical: same indices AND bit-equal distances.
                 prop_assert_eq!(ea, qz);
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[test]
+            fn batched_quantized_equals_sequential_on_random_bit_plans(
+                bits in proptest::collection::vec(2usize..=9, 4),
+                nq in 1usize..11,
+                k in 1usize..12,
+            ) {
+                // The batched tile path must be indistinguishable from
+                // per-query searches — results and SearchStats — for any
+                // mix of nibble / byte / unpackable subspaces and any
+                // batch size (full and partial tiles alike).
+                let n = 240;
+                let (data, enc, codes) = trained(&bits, n);
+                let packed = pack_view(&enc, &codes, n);
+                let view =
+                    IndexView::from_encoder(&enc, &codes, n).with_packed(Some(&packed));
+                let queries = Matrix::from_rows(
+                    &(0..nq).map(|i| data.row((i * 37) % n).to_vec()).collect::<Vec<_>>(),
+                );
+                let engine = QueryEngine::for_view(&view);
+                let (batch, batch_stats) = engine.search_batch(
+                    &view,
+                    &queries,
+                    k,
+                    SearchStrategy::Quantized,
+                    |q| q.to_vec(),
+                );
+                let mut seq = QueryEngine::for_view(&view);
+                let mut seq_stats = SearchStats::default();
+                for qi in 0..nq {
+                    let (res, s) =
+                        seq.search_with(&view, queries.row(qi), k, SearchStrategy::Quantized);
+                    seq_stats += s;
+                    prop_assert_eq!(&batch[qi], &res, "query {}", qi);
+                }
+                prop_assert_eq!(batch_stats, seq_stats);
             }
         }
     }

@@ -169,6 +169,21 @@ pub fn event(kind: &'static str, detail: &str) {
     state::event(kind, detail);
 }
 
+/// Emits a `"degradation"` event when a blocked packing had to leave
+/// packable subspaces on the exact path (a plan with more than
+/// `MAX_PACKED_SUBSPACES` of them). The scan stays correct — the excess
+/// subspaces' table minima fold into the pruning bound — but prunes less
+/// sharply, which operators will want to see.
+pub fn note_truncated_packing(packed: &vaq_linalg::PackedCodes, site: &str) {
+    let t = packed.truncated_packable();
+    if t > 0 {
+        event(
+            "degradation",
+            &format!("{site}: packing truncated, {t} packable subspaces left on the exact path"),
+        );
+    }
+}
+
 /// Drains and returns the buffered events (aggregates are untouched).
 pub fn take_events() -> Vec<EventRecord> {
     #[cfg(feature = "obs")]
@@ -592,6 +607,28 @@ mod tests {
         for i in 0..HIST_BUCKETS {
             assert_eq!(bucket_index(bucket_le_ns(i)), i.min(HIST_BUCKETS - 1));
         }
+    }
+
+    #[test]
+    fn truncated_packing_emits_a_degradation_event() {
+        let g = guard();
+        // 260 two-entry subspaces: 257 pack, 3 degrade to the exact path.
+        let m = 260;
+        let codes = vec![0u16; m];
+        let sizes = vec![2usize; m];
+        let packed = vaq_linalg::PackedCodes::pack(&codes, &sizes, 1);
+        assert!(packed.truncated_packable() > 0);
+        note_truncated_packing(&packed, "obs-test.site");
+        // A fully packed plan stays silent.
+        let full = vaq_linalg::PackedCodes::pack(&codes[..4], &sizes[..4], 1);
+        note_truncated_packing(&full, "obs-test.site");
+        let events = take_events();
+        let mine: Vec<_> =
+            events.iter().filter(|e| e.detail.starts_with("obs-test.site")).collect();
+        assert_eq!(mine.len(), 1, "{events:?}");
+        assert_eq!(mine[0].kind, "degradation");
+        assert!(mine[0].detail.contains("3 packable subspaces"), "{}", mine[0].detail);
+        finish(g);
     }
 
     #[test]

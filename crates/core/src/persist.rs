@@ -426,6 +426,7 @@ impl Vaq {
         // dictionaries), so it is rebuilt rather than serialized — the
         // on-disk format is unchanged.
         let packed = PackedCodes::pack(&codes, &encoder.table_sizes().collect::<Vec<_>>(), n);
+        crate::obs::note_truncated_packing(&packed, "persist.load");
         let vaq = Vaq { pca, layout, bits, encoder, codes, n, ti, default_strategy, packed };
         // The file is untrusted input: a payload can parse field-by-field
         // yet still violate the index's structural invariants (bit budget,
@@ -1136,6 +1137,7 @@ fn vaq4_to_segmented(data: &[u8]) -> Result<(SegmentedVaq, u64), VaqError> {
         }
         let packed = PackedCodes::from_parts(ext(data, &t, base + 3).to_vec().into(), &sizes, n)
             .ok_or_else(|| bad(&format!("segment {s} packed extent sized wrong")))?;
+        crate::obs::note_truncated_packing(&packed, "persist.segment_load");
         let words =
             u64s_from_le(ext(data, &t, base + 4), n.div_ceil(64), "segment tombstone words")?;
         check_tombstone_words(&words, meta.dead, n)?;
@@ -1294,8 +1296,14 @@ impl LazyExtents {
     /// CRC + VAQ110 consistency for the packed extent: the quantized scan
     /// prunes with bounds computed from these bytes, so a packing that
     /// disagrees with the code array would silently drop true neighbours.
+    /// An *inactive* packing is tolerated (files written before nibble
+    /// packing could refuse to pack wholesale): the engine then degrades
+    /// to the exact scan instead of pruning with stale bounds.
     fn verify_packed(&self, core: &SegmentCore) -> Result<(), VaqError> {
         self.check_crc(self.packed, "packed codes")?;
+        if !core.packed.is_active() {
+            return Ok(());
+        }
         if PackedCodes::pack(&core.codes, &self.sizes, core.n) != core.packed {
             return Err(bad("packed codes disagree with the code array"));
         }
@@ -1348,6 +1356,7 @@ fn mapped_from_region(region: &Arc<MappedRegion>) -> Result<SegmentedVaq, VaqErr
                 .ok_or_else(misaligned)?;
         let packed = PackedCodes::from_parts(pstore, &sizes, n)
             .ok_or_else(|| bad(&format!("segment {s} packed extent sized wrong")))?;
+        crate::obs::note_truncated_packing(&packed, "persist.segment_map");
         verify_ext_crc(data, &t, base + 4, "segment tombstone")?;
         if span(base + 4).len != checked_size(n.div_ceil(64), 8)? {
             return Err(bad("segment tombstone words extent sized wrong"));
@@ -1530,6 +1539,7 @@ fn get_segment(buf: &mut Bytes, model: &Model, s: usize) -> Result<Segment, VaqE
     let tombstones = get_tombstones(buf, n)?;
     let ti = get_ti(buf, n)?;
     let packed = PackedCodes::pack(&codes, &model.encoder.table_sizes().collect::<Vec<_>>(), n);
+    crate::obs::note_truncated_packing(&packed, "persist.segment_parse");
     let core = SegmentCore { ids: ids.into(), codes: codes.into(), n, packed, ti, lazy: None };
     Ok(Segment { core: Arc::new(core), tombstones })
 }

@@ -337,6 +337,7 @@ impl DictionaryStage {
             &self.encoder.table_sizes().collect::<Vec<_>>(),
             self.n,
         );
+        crate::obs::note_truncated_packing(&packed, "pipeline.encode");
         let vaq = Vaq {
             pca: self.pca,
             layout: self.layout,

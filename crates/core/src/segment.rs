@@ -1407,6 +1407,7 @@ fn build_core(
     let n = ids.len();
     let sizes: Vec<usize> = model.encoder.table_sizes().collect();
     let packed = PackedCodes::pack(&codes, &sizes, n);
+    crate::obs::note_truncated_packing(&packed, "segment.seal");
     let ti = if policy.ti_clusters > 0 && n > 0 {
         let seed = model.seed ^ u64::from(ids.first().copied().unwrap_or(0)).rotate_left(17);
         match TiPartition::build(

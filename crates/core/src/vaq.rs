@@ -348,6 +348,7 @@ impl Vaq {
             &self.encoder.table_sizes().collect::<Vec<_>>(),
             data.rows(),
         );
+        crate::obs::note_truncated_packing(&self.packed, "vaq.add");
         Ok(first)
     }
 

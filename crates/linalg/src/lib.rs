@@ -47,8 +47,9 @@ pub use mmap::{
 pub use norms::{dot, euclidean, hamming, squared_euclidean};
 pub use pca::Pca;
 pub use qtables::{
-    accumulate_qsums, accumulate_qsums_with, active_kernel, install_kernel_timing_hook,
-    KernelTimingHook, PackedCodes, QuantizedTables, ScanKernel,
+    accumulate_qsums, accumulate_qsums_multi, accumulate_qsums_with, active_kernel,
+    install_kernel_timing_hook, kernel_supported, prefetch_read, KernelTimingHook, PackedCodes,
+    PackedRow, QuantizedTables, ScanKernel, QUERY_TILE,
 };
 pub use sketch::FrequentDirections;
 pub use svd::{procrustes, svd, Svd};

@@ -1,24 +1,32 @@
 //! Quantized ADC scan: `u8` lookup tables, a blocked/transposed code
-//! layout, and in-register `pshufb` accumulation kernels.
+//! layout with 4-bit nibble packing, and in-register `pshufb`
+//! accumulation kernels.
 //!
 //! The exact ADC loop pays one `u16` code load plus one random `f32`
 //! table read per subspace per vector. Quick ADC and Quicker ADC (André
 //! et al.) remove that bottleneck with 8-bit-quantized tables small
 //! enough to live in SIMD registers, looked up 16–32 lanes at a time
-//! with `pshufb`. This module provides the three pieces the query engine
-//! composes:
+//! with `pshufb` — and, for subspaces whose dictionaries have at most 16
+//! rows, by packing two 4-bit codes into one byte so a single code load
+//! feeds two table lookups. This module provides the pieces the query
+//! engine composes:
 //!
 //! 1. [`PackedCodes`] — the codes of every ≤8-bit subspace, transposed
-//!    into blocks of [`BLOCK`] vectors laid out subspace-major, so one
-//!    SIMD load grabs the same subspace's code for 32 consecutive
-//!    vectors. Built once at encode time.
+//!    into blocks of [`BLOCK`] vectors laid out row-major, where a *row*
+//!    is either a **nibble pair** (two ≤16-row subspaces sharing one
+//!    byte per vector) or a **single** byte-wide subspace. Built once at
+//!    encode time; the row structure is a pure function of the table
+//!    sizes (see [`PackedRow`]).
 //! 2. [`QuantizedTables`] — a per-query `u8` quantization of the exact
 //!    `f32` tables using a per-table minimum plus one shared step
 //!    (`delta`), constructed so the de-quantized sum is a certified
 //!    *lower bound* on the exact distance.
 //! 3. [`accumulate_qsums`] — the scan kernel summing quantized entries
 //!    for every vector, dispatching at runtime between a portable scalar
-//!    loop and SSSE3/AVX2 `pshufb` kernels on x86_64.
+//!    loop and SSSE3/AVX2/AVX-512 `pshufb` kernels on x86_64 (NEON `tbl`
+//!    on aarch64). [`accumulate_qsums_multi`] is the batched entry point
+//!    that scans one code block for several queries at once, amortizing
+//!    the code-byte memory traffic across a query tile.
 //!
 //! # The lower-bound contract
 //!
@@ -31,39 +39,109 @@
 //! slack ([`QuantizedTables::bound_scale`]) absorbs the `f32` rounding
 //! of both the reconstruction and the exact path's own accumulation.
 //! Subspaces wider than 8 bits therefore stay on the `f32` path without
-//! breaking the bound: their minima are folded into `base`.
+//! breaking the bound: their minima are folded into `base`. The same
+//! argument covers subspaces that are packable but *truncated* out of
+//! the packing when a plan exceeds [`MAX_PACKED_SUBSPACES`].
 //!
 //! # Why `0..=254` and at most 257 subspaces
 //!
 //! The kernels accumulate into `u16` lanes. With entries capped at 254,
 //! up to 257 packed subspaces sum to at most `254 * 257 = 65 278`, which
-//! fits `u16::MAX`; [`PackedCodes::pack`] refuses wider plans (the
-//! engine then falls back to the exact scan).
+//! fits `u16::MAX`; [`PackedCodes::pack`] packs the first 257 packable
+//! subspaces and degrades the excess to the unpacked `f32` path (their
+//! minima still fold into `base`, so the bound stays certified), with
+//! [`PackedCodes::truncated_packable`] reporting how many were dropped.
 
 use crate::mmap::CodesStorage;
 use crate::tables::TableArena;
 use std::sync::OnceLock;
 
 /// Number of vectors per packed block. One AVX2 register holds the codes
-/// of a whole block; SSSE3 processes it as two 16-lane halves.
+/// of a whole block; SSSE3/NEON process it as two 16-lane halves.
 pub const BLOCK: usize = 32;
 
 /// Largest number of ≤8-bit subspaces the `u16` accumulators can take
 /// without overflow (entries are capped at 254; `254 * 257 <= u16::MAX`).
 pub const MAX_PACKED_SUBSPACES: usize = 257;
 
+/// Largest dictionary size whose codes fit a 4-bit nibble. Subspaces at
+/// or below this bound are paired two-per-byte in the packed layout.
+pub const NIBBLE_MAX_ROWS: usize = 16;
+
+/// One byte row of the packed layout. The packing's rows are derived
+/// purely from the plan's table sizes: nibble-eligible subspaces
+/// (≤ [`NIBBLE_MAX_ROWS`] rows) pair up two-per-byte in ascending order,
+/// an odd leftover nibble subspace and every wider (17..=256 row)
+/// subspace occupy one byte each. Indices are positions into
+/// [`PackedCodes::subspaces`] (packed order), not original plan indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PackedRow {
+    /// Two nibble subspaces share each byte: `lo`'s code in bits `0..4`,
+    /// `hi`'s code in bits `4..8`. One 32-byte load serves 64 lookups.
+    Pair { lo: usize, hi: usize },
+    /// One subspace per byte (17..=256 dictionary rows, or the odd
+    /// nibble subspace left without a partner).
+    Single(usize),
+}
+
+/// The packing layout derived from a plan's table sizes: which subspaces
+/// pack, their sizes, the byte-row structure, and how many packable
+/// subspaces were truncated to keep the `u16` accumulators sound.
+struct PackPlan {
+    subspaces: Vec<usize>,
+    sizes: Vec<usize>,
+    rows: Vec<PackedRow>,
+    truncated: usize,
+}
+
+/// Derives the packing layout from `table_sizes` alone — [`PackedCodes`]
+/// serialization stores only the blocked bytes, so loaders must be able
+/// to reconstruct the exact same selection and row structure.
+fn pack_plan(table_sizes: &[usize]) -> PackPlan {
+    let mut subspaces = Vec::new();
+    let mut sizes = Vec::new();
+    let mut truncated = 0usize;
+    for (s, &sz) in table_sizes.iter().enumerate() {
+        if (1..=256).contains(&sz) {
+            if subspaces.len() < MAX_PACKED_SUBSPACES {
+                subspaces.push(s);
+                sizes.push(sz);
+            } else {
+                // Beyond the u16 accumulator budget: this subspace stays
+                // on the exact f32 path (its minimum folds into `base`).
+                truncated += 1;
+            }
+        }
+    }
+    let mp = subspaces.len();
+    let nib: Vec<usize> = (0..mp).filter(|&j| sizes[j] <= NIBBLE_MAX_ROWS).collect();
+    let mut rows: Vec<PackedRow> =
+        nib.chunks_exact(2).map(|p| PackedRow::Pair { lo: p[0], hi: p[1] }).collect();
+    let mut singles: Vec<usize> = (0..mp).filter(|&j| sizes[j] > NIBBLE_MAX_ROWS).collect();
+    if nib.len() % 2 == 1 {
+        singles.push(nib[nib.len() - 1]);
+        singles.sort_unstable();
+    }
+    rows.extend(singles.into_iter().map(PackedRow::Single));
+    PackPlan { subspaces, sizes, rows, truncated }
+}
+
 /// Codes of the ≤8-bit subspaces, transposed into a blocked layout:
-/// block-major, then subspace-major, then the [`BLOCK`] lanes of the
-/// block. The byte for vector `i`, packed subspace `j` lives at
-/// `data[((i / BLOCK) * mp + j) * BLOCK + (i % BLOCK)]`. The tail block
-/// is zero-padded so kernels never branch on `n`.
+/// block-major, then row-major (see [`PackedRow`]), then the [`BLOCK`]
+/// lanes of the block. The byte for vector `i`, packed row `r` lives at
+/// `data[((i / BLOCK) * num_rows + r) * BLOCK + (i % BLOCK)]`. The tail
+/// block is zero-padded so kernels never branch on `n`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PackedCodes {
     data: CodesStorage,
-    /// Original subspace indices with table size `1..=256`, ascending.
+    /// Original subspace indices of the packed subspaces, ascending.
     subspaces: Vec<usize>,
     /// Table size (codebook rows) per packed subspace.
     sizes: Vec<usize>,
+    /// Byte-row structure (nibble pairs first, then singles).
+    rows: Vec<PackedRow>,
+    /// Packable subspaces dropped to respect [`MAX_PACKED_SUBSPACES`].
+    truncated: usize,
     /// Total subspace count of the source plan (packed + unpacked).
     m_total: usize,
     n: usize,
@@ -73,77 +151,97 @@ pub struct PackedCodes {
 impl PackedCodes {
     /// Transposes `codes` (row-major `n × table_sizes.len()`) into the
     /// blocked layout, keeping only subspaces with `1..=256` codebook
-    /// rows. Returns a packing with *no* subspaces — the caller's signal
-    /// to stay on the exact `f32` path — when nothing is packable, when
-    /// more than [`MAX_PACKED_SUBSPACES`] subspaces qualify (the `u16`
-    /// accumulators could overflow), or when any code is out of range
-    /// for its table (a wrong byte here would break the lower bound).
+    /// rows. A plan with more than [`MAX_PACKED_SUBSPACES`] packable
+    /// subspaces packs the first 257 and leaves the rest on the exact
+    /// path ([`PackedCodes::truncated_packable`] reports the count).
+    /// Returns a packing with *no* subspaces — the caller's signal to
+    /// stay on the exact `f32` path — when nothing is packable or when
+    /// any code is out of range for its table (a wrong byte here would
+    /// break the lower bound).
     pub fn pack(codes: &[u16], table_sizes: &[usize], n: usize) -> Self {
         let m = table_sizes.len();
         let fallback = |m_total: usize, n: usize| Self { m_total, n, ..Self::default() };
         if codes.len() != n * m {
             return fallback(m, n);
         }
-        let mut subspaces = Vec::new();
-        let mut sizes = Vec::new();
-        for (s, &sz) in table_sizes.iter().enumerate() {
-            if (1..=256).contains(&sz) {
-                subspaces.push(s);
-                sizes.push(sz);
-            }
-        }
-        if subspaces.is_empty() || subspaces.len() > MAX_PACKED_SUBSPACES {
+        let plan = pack_plan(table_sizes);
+        if plan.subspaces.is_empty() {
             return fallback(m, n);
         }
         for row in codes.chunks_exact(m) {
-            for (j, &s) in subspaces.iter().enumerate() {
-                if usize::from(row[s]) >= sizes[j] {
+            for (j, &s) in plan.subspaces.iter().enumerate() {
+                if usize::from(row[s]) >= plan.sizes[j] {
                     return fallback(m, n);
                 }
             }
         }
-        let mp = subspaces.len();
+        let nr = plan.rows.len();
         let blocks = n.div_ceil(BLOCK).max(1);
-        let mut data = vec![0u8; blocks * mp * BLOCK];
+        let mut data = vec![0u8; blocks * nr * BLOCK];
         for (i, row) in codes.chunks_exact(m).enumerate() {
             let (b, lane) = (i / BLOCK, i % BLOCK);
-            for (j, &s) in subspaces.iter().enumerate() {
-                // Cannot fail: the loop above rejected any code not
-                // strictly below its table size, and sizes are <= 256.
-                data[(b * mp + j) * BLOCK + lane] = u8::try_from(row[s]).unwrap_or(u8::MAX);
+            for (r, &pr) in plan.rows.iter().enumerate() {
+                data[(b * nr + r) * BLOCK + lane] = encode_row_byte(pr, row, &plan.subspaces);
             }
         }
-        Self { data: data.into(), subspaces, sizes, m_total: m, n, blocks }
+        Self {
+            data: data.into(),
+            subspaces: plan.subspaces,
+            sizes: plan.sizes,
+            rows: plan.rows,
+            truncated: plan.truncated,
+            m_total: m,
+            n,
+            blocks,
+        }
     }
 
     /// Rebuilds a packing from serialized parts: the blocked bytes
     /// (owned or mapped) plus the plan that produced them. Recomputes
-    /// the packable-subspace selection from `table_sizes` (a pure
-    /// function of the plan) and validates the byte length; `None` on
-    /// any mismatch. Byte *content* (`data[..] < sizes[j]`) is not
-    /// validated here — mapped loaders defer that to the lazy
-    /// per-segment verification, owned loaders check it eagerly.
+    /// the packable-subspace selection and row structure from
+    /// `table_sizes` (a pure function of the plan) and validates the
+    /// byte length; `None` on any mismatch. Bytes in the pre-nibble
+    /// legacy layout (one byte per packed subspace) are converted to the
+    /// paired layout, materializing an owned copy. Byte *content*
+    /// (`data[..] < sizes[j]`) is not validated here — mapped loaders
+    /// defer that to the lazy per-segment verification, owned loaders
+    /// check it eagerly.
     pub fn from_parts(data: CodesStorage, table_sizes: &[usize], n: usize) -> Option<Self> {
         let m = table_sizes.len();
-        let mut subspaces = Vec::new();
-        let mut sizes = Vec::new();
-        for (s, &sz) in table_sizes.iter().enumerate() {
-            if (1..=256).contains(&sz) {
-                subspaces.push(s);
-                sizes.push(sz);
-            }
-        }
-        if subspaces.is_empty() || subspaces.len() > MAX_PACKED_SUBSPACES {
+        let plan = pack_plan(table_sizes);
+        if plan.subspaces.is_empty() {
             // The plan itself is unpackable: only the byte-free inactive
             // fallback (exactly what `pack` would produce) round-trips.
             return data.is_empty().then(|| Self::inactive(m, n));
         }
-        let mp = subspaces.len();
-        let blocks = n.div_ceil(BLOCK).max(1);
-        if data.len() != blocks * mp * BLOCK {
-            return None;
+        if plan.truncated > 0 && data.is_empty() {
+            // A legacy file whose plan exceeded the accumulator budget:
+            // the old writer refused packing wholesale and stored no
+            // bytes. Load it inactive; the engine stays on the exact
+            // path exactly as it did when the file was written.
+            return Some(Self::inactive(m, n));
         }
-        Some(Self { data, subspaces, sizes, m_total: m, n, blocks })
+        let (mp, nr) = (plan.subspaces.len(), plan.rows.len());
+        let blocks = n.div_ceil(BLOCK).max(1);
+        let data = if data.len() == blocks * nr * BLOCK {
+            data
+        } else if nr != mp && data.len() == blocks * mp * BLOCK {
+            // Legacy layout: one byte per packed subspace, no nibble
+            // pairs. Re-pair into the current layout (owned copy).
+            convert_legacy_layout(&data, &plan, blocks).into()
+        } else {
+            return None;
+        };
+        Some(Self {
+            data,
+            subspaces: plan.subspaces,
+            sizes: plan.sizes,
+            rows: plan.rows,
+            truncated: plan.truncated,
+            m_total: m,
+            n,
+            blocks,
+        })
     }
 
     /// The inactive fallback packing: no packed subspaces, the engine
@@ -179,16 +277,11 @@ impl PackedCodes {
         if m != self.m_total || new_codes.len() != n_new * m {
             return degrade(self);
         }
-        // The packable-subspace selection is a pure function of the
-        // plan; a caller switching plans mid-stream gets the fallback
-        // rather than a silently inconsistent transpose.
-        let mut expect = self.subspaces.iter();
-        for (s, &sz) in table_sizes.iter().enumerate() {
-            if (1..=256).contains(&sz) && expect.next() != Some(&s) {
-                return degrade(self);
-            }
-        }
-        if expect.next().is_some() {
+        // The packable-subspace selection and row structure are a pure
+        // function of the plan; a caller switching plans mid-stream gets
+        // the fallback rather than a silently inconsistent transpose.
+        let plan = pack_plan(table_sizes);
+        if plan.subspaces != self.subspaces || plan.truncated != self.truncated {
             return degrade(self);
         }
         for row in new_codes.chunks_exact(m) {
@@ -198,20 +291,18 @@ impl PackedCodes {
                 }
             }
         }
-        let mp = self.subspaces.len();
+        let nr = self.rows.len();
         let blocks = n_total.div_ceil(BLOCK).max(1);
         // Earlier blocks never move in the block-major layout; growing
         // the buffer only zero-fills the new tail blocks. A mapped
         // packing materializes an owned copy first (copy-on-write).
         let data = self.data.to_mut();
-        data.resize(blocks * mp * BLOCK, 0u8);
+        data.resize(blocks * nr * BLOCK, 0u8);
         for (i, row) in new_codes.chunks_exact(m).enumerate() {
             let g = self.n + i;
             let (b, lane) = (g / BLOCK, g % BLOCK);
-            for (j, &s) in self.subspaces.iter().enumerate() {
-                // Cannot fail: the check above bounds each code below a
-                // table size of at most 256.
-                data[(b * mp + j) * BLOCK + lane] = u8::try_from(row[s]).unwrap_or(u8::MAX);
+            for (r, &pr) in self.rows.iter().enumerate() {
+                data[(b * nr + r) * BLOCK + lane] = encode_row_byte(pr, row, &self.subspaces);
             }
         }
         self.n = n_total;
@@ -237,6 +328,24 @@ impl PackedCodes {
     /// Table sizes (codebook rows) per packed subspace.
     pub fn sizes(&self) -> &[usize] {
         &self.sizes
+    }
+
+    /// Byte-row structure of each block: nibble pairs, then singles.
+    pub fn packed_rows(&self) -> &[PackedRow] {
+        &self.rows
+    }
+
+    /// Number of byte rows per block (`<= num_subspaces()`; smaller
+    /// exactly when nibble pairs exist).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Packable subspaces that were *not* packed because the plan
+    /// exceeded [`MAX_PACKED_SUBSPACES`]. They scan on the exact `f32`
+    /// path; higher layers surface this as a degradation event.
+    pub fn truncated_packable(&self) -> usize {
+        self.truncated
     }
 
     /// Total subspace count of the source plan, packed or not.
@@ -274,6 +383,49 @@ impl PackedCodes {
     pub fn storage(&self) -> &CodesStorage {
         &self.data
     }
+}
+
+/// Encodes one byte of the packed layout from a plan-order code row.
+/// Codes were validated `< sizes[j] <= 256` (and `<= 16` for nibble
+/// subspaces), so the conversions cannot truncate.
+#[inline]
+fn encode_row_byte(row: PackedRow, codes: &[u16], subspaces: &[usize]) -> u8 {
+    match row {
+        PackedRow::Pair { lo, hi } => {
+            let c0 = u8::try_from(codes[subspaces[lo]]).unwrap_or(u8::MAX) & 0x0f;
+            let c1 = u8::try_from(codes[subspaces[hi]]).unwrap_or(u8::MAX) & 0x0f;
+            c0 | (c1 << 4)
+        }
+        PackedRow::Single(j) => u8::try_from(codes[subspaces[j]]).unwrap_or(u8::MAX),
+    }
+}
+
+/// Re-pairs legacy one-byte-per-subspace blocked bytes into the nibble
+/// layout. Legacy nibble codes are `< 16` in well-formed files; the
+/// masks below only alter bytes that were already corrupt (and which the
+/// eager or lazy content verification rejects independently).
+fn convert_legacy_layout(data: &CodesStorage, plan: &PackPlan, blocks: usize) -> Vec<u8> {
+    let (mp, nr) = (plan.subspaces.len(), plan.rows.len());
+    let old = data.as_slice();
+    let mut out = vec![0u8; blocks * nr * BLOCK];
+    for b in 0..blocks {
+        for (r, &pr) in plan.rows.iter().enumerate() {
+            let dst = &mut out[(b * nr + r) * BLOCK..][..BLOCK];
+            match pr {
+                PackedRow::Pair { lo, hi } => {
+                    let src_lo = &old[(b * mp + lo) * BLOCK..][..BLOCK];
+                    let src_hi = &old[(b * mp + hi) * BLOCK..][..BLOCK];
+                    for (d, (&a, &c)) in dst.iter_mut().zip(src_lo.iter().zip(src_hi)) {
+                        *d = (a & 0x0f) | ((c & 0x0f) << 4);
+                    }
+                }
+                PackedRow::Single(j) => {
+                    dst.copy_from_slice(&old[(b * mp + j) * BLOCK..][..BLOCK]);
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Per-query `u8` quantization of the exact `f32` lookup tables held by
@@ -449,8 +601,9 @@ fn quantize_entry(t: f32, min: f32, delta: f32) -> u8 {
 }
 
 /// Which accumulation kernel a scan uses. All variants exist on every
-/// architecture; dispatch re-verifies CPU support before any `unsafe`
-/// call and silently degrades to `Scalar` when the feature is missing.
+/// architecture; dispatch verifies CPU support (cached, see
+/// [`kernel_supported`]) before any `unsafe` call and silently degrades
+/// to `Scalar` when the feature is missing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScanKernel {
     /// Portable loop; auto-vectorizes reasonably on most targets.
@@ -459,6 +612,11 @@ pub enum ScanKernel {
     Ssse3,
     /// `vpshufb` over the whole 32-lane block (x86_64).
     Avx2,
+    /// AVX2-style lookups feeding one 32×`u16` `zmm` accumulator
+    /// (x86_64 with AVX-512F+BW; halves the accumulate/store traffic).
+    Avx512,
+    /// `tbl`-based lookups over two 16-lane halves (aarch64).
+    Neon,
 }
 
 impl ScanKernel {
@@ -468,38 +626,121 @@ impl ScanKernel {
             ScanKernel::Scalar => "scalar",
             ScanKernel::Ssse3 => "ssse3",
             ScanKernel::Avx2 => "avx2",
+            ScanKernel::Avx512 => "avx512",
+            ScanKernel::Neon => "neon",
         }
+    }
+
+    /// All kernel tiers, narrowest first — the bench and the parity
+    /// tests iterate this instead of hand-listing variants.
+    pub const ALL: [ScanKernel; 5] = [
+        ScanKernel::Scalar,
+        ScanKernel::Ssse3,
+        ScanKernel::Avx2,
+        ScanKernel::Avx512,
+        ScanKernel::Neon,
+    ];
+}
+
+/// CPU feature support, probed once per process. The dispatch match
+/// guards read this instead of re-running `is_x86_feature_detected!`
+/// (which walks CPUID caches) on every kernel call.
+#[derive(Clone, Copy, Debug, Default)]
+struct KernelSupport {
+    ssse3: bool,
+    avx2: bool,
+    avx512: bool,
+    neon: bool,
+}
+
+fn support() -> KernelSupport {
+    static SUPPORT: OnceLock<KernelSupport> = OnceLock::new();
+    *SUPPORT.get_or_init(probe_support)
+}
+
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+fn probe_support() -> KernelSupport {
+    KernelSupport {
+        ssse3: std::arch::is_x86_feature_detected!("ssse3"),
+        avx2: std::arch::is_x86_feature_detected!("avx2"),
+        // The AVX-512 tier needs F (zmm registers) and BW (byte/word
+        // ops: vpshufb-512 semantics and `_mm512_add_epi16`).
+        avx512: std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw"),
+        neon: false,
+    }
+}
+
+#[cfg(all(target_arch = "aarch64", not(miri)))]
+fn probe_support() -> KernelSupport {
+    // NEON is baseline on aarch64.
+    KernelSupport { ssse3: false, avx2: false, avx512: false, neon: true }
+}
+
+#[cfg(any(miri, not(any(target_arch = "x86_64", target_arch = "aarch64"))))]
+fn probe_support() -> KernelSupport {
+    // Miri interprets no SIMD shuffle intrinsics; other targets have no
+    // kernels. Everything degrades to the scalar loop.
+    KernelSupport::default()
+}
+
+/// Whether `kernel` can run on this machine (cached probe). `Scalar` is
+/// always supported; unsupported requests degrade to it at dispatch.
+pub fn kernel_supported(kernel: ScanKernel) -> bool {
+    match kernel {
+        ScanKernel::Scalar => true,
+        ScanKernel::Ssse3 => support().ssse3,
+        ScanKernel::Avx2 => support().avx2,
+        ScanKernel::Avx512 => support().avx512,
+        ScanKernel::Neon => support().neon,
     }
 }
 
 /// The kernel the current process uses, picked once: the widest
-/// supported x86_64 feature, unless `VAQ_FORCE_SCALAR` is set to a
-/// non-empty value other than `0`.
+/// supported tier, unless overridden. `VAQ_FORCE_KERNEL` pins a specific
+/// tier (`scalar`/`ssse3`/`avx2`/`avx512`/`neon`; anything unsupported
+/// or unrecognized falls back to `scalar` so CI matrices fail loudly via
+/// the bench's `active_kernel` report rather than crashing), and the
+/// older `VAQ_FORCE_SCALAR` knob still forces the portable loop.
 pub fn active_kernel() -> ScanKernel {
     static KERNEL: OnceLock<ScanKernel> = OnceLock::new();
     *KERNEL.get_or_init(detect_kernel)
 }
 
 fn detect_kernel() -> ScanKernel {
-    // Miri interprets no x86 shuffle intrinsics; the scalar kernel visits
-    // lanes in the same order, so interpreted runs lose no coverage.
+    // Miri interprets no SIMD shuffle intrinsics; the scalar kernel
+    // visits lanes in the same order, so interpreted runs lose no
+    // coverage.
     if cfg!(miri) {
         return ScanKernel::Scalar;
     }
-    let forced = std::env::var_os("VAQ_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0");
-    if forced {
+    if let Some(forced) = std::env::var_os("VAQ_FORCE_KERNEL") {
+        let forced = forced.to_string_lossy().to_ascii_lowercase();
+        let kernel = match forced.trim() {
+            "ssse3" => ScanKernel::Ssse3,
+            "avx2" => ScanKernel::Avx2,
+            "avx512" => ScanKernel::Avx512,
+            "neon" => ScanKernel::Neon,
+            _ => ScanKernel::Scalar,
+        };
+        return if kernel_supported(kernel) { kernel } else { ScanKernel::Scalar };
+    }
+    let scalar = std::env::var_os("VAQ_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0");
+    if scalar {
         return ScanKernel::Scalar;
     }
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx2") {
-            return ScanKernel::Avx2;
-        }
-        if std::arch::is_x86_feature_detected!("ssse3") {
-            return ScanKernel::Ssse3;
-        }
+    let s = support();
+    if s.avx512 {
+        ScanKernel::Avx512
+    } else if s.avx2 {
+        ScanKernel::Avx2
+    } else if s.ssse3 {
+        ScanKernel::Ssse3
+    } else if s.neon {
+        ScanKernel::Neon
+    } else {
+        ScanKernel::Scalar
     }
-    ScanKernel::Scalar
 }
 
 /// Signature of a kernel timing observer: `(kernel name, elapsed ns)`
@@ -527,8 +768,8 @@ pub fn accumulate_qsums(packed: &PackedCodes, qt: &QuantizedTables, out: &mut Ve
 
 /// Same as [`accumulate_qsums`] with an explicit kernel — the hook the
 /// parity tests use to compare SIMD against scalar on identical inputs.
-/// SIMD requests re-verify CPU support and fall back to scalar if the
-/// feature is unavailable.
+/// SIMD requests re-verify CPU support (cached) and fall back to scalar
+/// if the feature is unavailable.
 pub fn accumulate_qsums_with(
     kernel: ScanKernel,
     packed: &PackedCodes,
@@ -545,6 +786,80 @@ pub fn accumulate_qsums_with(
     }
 }
 
+/// How many queries the batched kernels fold into one pass over the
+/// packed bytes. Sized so a tile's accumulators (2 `ymm`/`zmm` each)
+/// plus the code vector stay comfortably within 16 registers.
+pub const QUERY_TILE: usize = 4;
+
+/// Batched variant of [`accumulate_qsums_with`]: scans the packed codes
+/// once per [`QUERY_TILE`] queries instead of once per query, amortizing
+/// the code-byte memory traffic across the tile. Each query's output is
+/// bit-identical to its own [`accumulate_qsums_with`] call with the same
+/// kernel (`u16` adds commute exactly, and every query keeps its own
+/// accumulators), so batched and sequential scans stay byte-identical.
+/// Tiers without a fused implementation run the single-query kernel per
+/// query — same contract, no amortization.
+pub fn accumulate_qsums_multi(
+    kernel: ScanKernel,
+    packed: &PackedCodes,
+    queries: &mut [(&QuantizedTables, &mut Vec<u16>)],
+) {
+    let t0 = TIMING_HOOK.get().map(|h| (h, std::time::Instant::now()));
+    for tile in queries.chunks_mut(QUERY_TILE) {
+        match kernel {
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            ScanKernel::Avx2 if support().avx2 => {
+                for (qt, out) in tile.iter_mut() {
+                    debug_assert_eq!(qt.num_rows(), packed.num_subspaces());
+                    out.clear();
+                    out.resize(packed.padded_len(), 0);
+                }
+                // SAFETY: AVX2 support verified by the (cached) match guard.
+                unsafe { x86::accumulate_avx2_multi(packed, tile) }
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            ScanKernel::Avx512 if support().avx512 => {
+                for (qt, out) in tile.iter_mut() {
+                    debug_assert_eq!(qt.num_rows(), packed.num_subspaces());
+                    out.clear();
+                    out.resize(packed.padded_len(), 0);
+                }
+                // SAFETY: AVX-512 F+BW support verified by the (cached)
+                // avx512 match guard.
+                unsafe { x86::accumulate_avx512_multi(packed, tile) }
+            }
+            _ => {
+                for (qt, out) in tile.iter_mut() {
+                    accumulate_dispatch(kernel, packed, qt, out);
+                }
+            }
+        }
+    }
+    if let Some((hook, t0)) = t0 {
+        hook(kernel.name(), u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+/// Issues a best-effort read prefetch for `data[index]` (no-op when the
+/// index is out of bounds or the target has no prefetch hint). Scan
+/// loops call this a few blocks ahead of the bytes they are about to
+/// touch — a pure latency hint with no architectural effect.
+#[inline]
+pub fn prefetch_read<T>(data: &[T], index: usize) {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    if index < data.len() {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        // SAFETY: `index` is bounds-checked above, so the address lies
+        // inside the slice; prefetch is a hint with no memory effects
+        // and is available on every x86_64 (sse2 baseline).
+        unsafe { _mm_prefetch::<_MM_HINT_T0>(data.as_ptr().add(index).cast()) };
+    }
+    #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+    {
+        let _ = (data, index);
+    }
+}
+
 fn accumulate_dispatch(
     kernel: ScanKernel,
     packed: &PackedCodes,
@@ -556,14 +871,25 @@ fn accumulate_dispatch(
     out.resize(packed.padded_len(), 0);
     match kernel {
         #[cfg(all(target_arch = "x86_64", not(miri)))]
-        ScanKernel::Ssse3 if std::arch::is_x86_feature_detected!("ssse3") => {
-            // SAFETY: SSSE3 support was just verified by the match guard.
+        ScanKernel::Ssse3 if support().ssse3 => {
+            // SAFETY: SSSE3 support verified by the (cached) match guard.
             unsafe { x86::accumulate_ssse3(packed, qt, out) }
         }
         #[cfg(all(target_arch = "x86_64", not(miri)))]
-        ScanKernel::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
-            // SAFETY: AVX2 support was just verified by the match guard.
+        ScanKernel::Avx2 if support().avx2 => {
+            // SAFETY: AVX2 support verified by the (cached) match guard.
             unsafe { x86::accumulate_avx2(packed, qt, out) }
+        }
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        ScanKernel::Avx512 if support().avx512 => {
+            // SAFETY: AVX-512 F+BW support verified by the (cached)
+            // avx512 match guard.
+            unsafe { x86::accumulate_avx512(packed, qt, out) }
+        }
+        #[cfg(all(target_arch = "aarch64", not(miri)))]
+        ScanKernel::Neon if support().neon => {
+            // SAFETY: NEON support verified by the (cached) match guard.
+            unsafe { neon::accumulate_neon(packed, qt, out) }
         }
         _ => accumulate_scalar(packed, qt, out),
     }
@@ -572,14 +898,26 @@ fn accumulate_dispatch(
 /// Portable accumulation: same visitation order as the SIMD kernels, so
 /// the `u16` results are bit-identical (integer adds commute exactly).
 fn accumulate_scalar(packed: &PackedCodes, qt: &QuantizedTables, out: &mut [u16]) {
-    let mp = packed.num_subspaces();
+    let nr = packed.num_rows();
     let data = packed.data();
     for (b, out_b) in out.chunks_exact_mut(BLOCK).enumerate() {
-        for j in 0..mp {
-            let codes = &data[(b * mp + j) * BLOCK..][..BLOCK];
-            let row = qt.row(j);
-            for (acc, &c) in out_b.iter_mut().zip(codes) {
-                *acc += u16::from(row[usize::from(c)]);
+        prefetch_read(data, (b + 1) * nr * BLOCK);
+        for (r, &pr) in packed.packed_rows().iter().enumerate() {
+            let bytes = &data[(b * nr + r) * BLOCK..][..BLOCK];
+            match pr {
+                PackedRow::Pair { lo, hi } => {
+                    let (tlo, thi) = (qt.row(lo), qt.row(hi));
+                    for (acc, &c) in out_b.iter_mut().zip(bytes) {
+                        *acc += u16::from(tlo[usize::from(c & 0x0f)])
+                            + u16::from(thi[usize::from(c >> 4)]);
+                    }
+                }
+                PackedRow::Single(j) => {
+                    let row = qt.row(j);
+                    for (acc, &c) in out_b.iter_mut().zip(bytes) {
+                        *acc += u16::from(row[usize::from(c)]);
+                    }
+                }
             }
         }
     }
@@ -588,13 +926,15 @@ fn accumulate_scalar(packed: &PackedCodes, qt: &QuantizedTables, out: &mut [u16]
 #[cfg(all(target_arch = "x86_64", not(miri)))]
 #[deny(unsafe_op_in_unsafe_fn)]
 mod x86 {
-    //! `pshufb`-based kernels. Tables with ≤16 entries resolve in one
-    //! shuffle; wider tables (up to 256 entries) split the code into
-    //! nibbles and select the right 16-entry chunk with a `cmpeq` mask —
-    //! the Quicker-ADC chunked lookup. `u8` results widen to the `u16`
-    //! accumulators in linear lane order.
+    //! `pshufb`-based kernels. Nibble-pair rows resolve two subspaces
+    //! per code byte (one shuffle each on the masked low/high nibbles);
+    //! single rows with ≤16 entries resolve in one shuffle; wider tables
+    //! (up to 256 entries) split the code into nibbles and select the
+    //! right 16-entry chunk with a `cmpeq` mask — the Quicker-ADC
+    //! chunked lookup. `u8` results widen to the `u16` accumulators in
+    //! linear lane order.
 
-    use super::{PackedCodes, QuantizedTables, BLOCK};
+    use super::{PackedCodes, PackedRow, QuantizedTables, BLOCK, QUERY_TILE};
     use std::arch::x86_64::*;
 
     /// SSSE3 kernel: each block is two 16-lane halves, four 8×`u16`
@@ -604,108 +944,442 @@ mod x86 {
     /// calling (`is_x86_feature_detected!("ssse3")`).
     #[target_feature(enable = "ssse3")]
     pub unsafe fn accumulate_ssse3(packed: &PackedCodes, qt: &QuantizedTables, out: &mut [u16]) {
-        let mp = packed.num_subspaces();
+        let nr = packed.num_rows();
         let data = packed.data();
         let low_mask = _mm_set1_epi8(0x0f);
         let zero = _mm_setzero_si128();
         for (b, out_b) in out.chunks_exact_mut(BLOCK).enumerate() {
+            super::prefetch_read(data, (b + 1) * nr * BLOCK);
             let mut acc = [zero; 4];
-            for j in 0..mp {
-                let row = qt.row(j);
-                let chunks = row.len() / 16;
-                let codes = &data[(b * mp + j) * BLOCK..][..BLOCK];
+            for (r, &pr) in packed.packed_rows().iter().enumerate() {
+                let bytes = &data[(b * nr + r) * BLOCK..][..BLOCK];
                 for half in 0..2 {
-                    // SAFETY: `codes` has BLOCK = 32 bytes; `half * 16 + 16 <= 32`.
-                    let cv = unsafe { _mm_loadu_si128(codes.as_ptr().add(half * 16).cast()) };
-                    let vals = if chunks == 1 {
-                        // Codes are < 16, so a single in-register shuffle
-                        // resolves the whole lookup.
-                        // SAFETY: `row` is padded to at least 16 bytes.
-                        let tbl = unsafe { _mm_loadu_si128(row.as_ptr().cast()) };
-                        _mm_shuffle_epi8(tbl, cv)
-                    } else {
-                        let lo = _mm_and_si128(cv, low_mask);
-                        let hi = _mm_and_si128(_mm_srli_epi16::<4>(cv), low_mask);
-                        let mut v = zero;
-                        for (k, kb) in (0..chunks).zip(0i8..) {
-                            // SAFETY: `row` is padded to `chunks * 16` bytes.
-                            let tbl = unsafe { _mm_loadu_si128(row.as_ptr().add(k * 16).cast()) };
-                            let sel = _mm_cmpeq_epi8(hi, _mm_set1_epi8(kb));
-                            v = _mm_or_si128(v, _mm_and_si128(sel, _mm_shuffle_epi8(tbl, lo)));
+                    // SAFETY: `bytes` has BLOCK = 32 bytes, so this ssse3
+                    // 16-byte load at `half * 16 + 16 <= 32` is in bounds.
+                    let cv = unsafe { _mm_loadu_si128(bytes.as_ptr().add(half * 16).cast()) };
+                    match pr {
+                        PackedRow::Pair { lo, hi } => {
+                            let lo_idx = _mm_and_si128(cv, low_mask);
+                            let hi_idx = _mm_and_si128(_mm_srli_epi16::<4>(cv), low_mask);
+                            let vlo = table_lookup_sse(lo_idx, qt.row(lo), low_mask, zero);
+                            let vhi = table_lookup_sse(hi_idx, qt.row(hi), low_mask, zero);
+                            // Two separate u8→u16 widenings: the u8 sum
+                            // of two 254-max entries would overflow.
+                            let q = half * 2;
+                            acc[q] = _mm_add_epi16(acc[q], _mm_unpacklo_epi8(vlo, zero));
+                            acc[q] = _mm_add_epi16(acc[q], _mm_unpacklo_epi8(vhi, zero));
+                            acc[q + 1] = _mm_add_epi16(acc[q + 1], _mm_unpackhi_epi8(vlo, zero));
+                            acc[q + 1] = _mm_add_epi16(acc[q + 1], _mm_unpackhi_epi8(vhi, zero));
                         }
-                        v
-                    };
-                    // Interleaving with zero widens u8→u16 in lane order.
-                    acc[half * 2] = _mm_add_epi16(acc[half * 2], _mm_unpacklo_epi8(vals, zero));
-                    acc[half * 2 + 1] =
-                        _mm_add_epi16(acc[half * 2 + 1], _mm_unpackhi_epi8(vals, zero));
+                        PackedRow::Single(j) => {
+                            let vals = table_lookup_sse(cv, qt.row(j), low_mask, zero);
+                            // Interleaving with zero widens u8→u16 in lane order.
+                            let q = half * 2;
+                            acc[q] = _mm_add_epi16(acc[q], _mm_unpacklo_epi8(vals, zero));
+                            acc[q + 1] = _mm_add_epi16(acc[q + 1], _mm_unpackhi_epi8(vals, zero));
+                        }
+                    }
                 }
             }
             for (q, a) in acc.iter().enumerate() {
-                // SAFETY: `out_b` has BLOCK = 32 u16 lanes; `q * 8 + 8 <= 32`.
+                // SAFETY: `out_b` has BLOCK = 32 u16 lanes; this ssse3
+                // 8-lane store at `q * 8 + 8 <= 32` is in bounds.
                 unsafe { _mm_storeu_si128(out_b.as_mut_ptr().add(q * 8).cast(), *a) };
             }
         }
     }
 
-    /// AVX2 kernel: a whole 32-lane block per iteration. The 16-byte
-    /// table chunk is broadcast to both 128-bit lanes because `vpshufb`
-    /// shuffles within each lane independently.
+    /// One 16-lane table lookup (SSSE3 tier). `row` must be padded to
+    /// whole 16-byte chunks. Single-chunk rows assume `cv` lanes are
+    /// already valid indices (< 16); multi-chunk rows split each code
+    /// byte into nibbles and chunk-select with `cmpeq`.
+    #[target_feature(enable = "ssse3")]
+    fn table_lookup_sse(cv: __m128i, row: &[u8], low_mask: __m128i, zero: __m128i) -> __m128i {
+        let chunks = row.len() / 16;
+        if chunks == 1 {
+            // SAFETY: `row` is padded to at least 16 bytes, covering
+            // this ssse3 table load.
+            let tbl = unsafe { _mm_loadu_si128(row.as_ptr().cast()) };
+            return _mm_shuffle_epi8(tbl, cv);
+        }
+        let lo = _mm_and_si128(cv, low_mask);
+        let hi = _mm_and_si128(_mm_srli_epi16::<4>(cv), low_mask);
+        let mut v = zero;
+        for (k, kb) in (0..chunks).zip(0i8..) {
+            // SAFETY: `row` is padded to `chunks * 16` bytes, covering
+            // this ssse3 table-chunk load at offset `k * 16`.
+            let tbl = unsafe { _mm_loadu_si128(row.as_ptr().add(k * 16).cast()) };
+            let sel = _mm_cmpeq_epi8(hi, _mm_set1_epi8(kb));
+            v = _mm_or_si128(v, _mm_and_si128(sel, _mm_shuffle_epi8(tbl, lo)));
+        }
+        v
+    }
+
+    /// One 32-lane table lookup (AVX2 tier). The 16-byte table chunk is
+    /// broadcast to both 128-bit lanes because `vpshufb` shuffles within
+    /// each lane independently. Same index contract as
+    /// [`table_lookup_sse`].
+    #[target_feature(enable = "avx2")]
+    fn table_lookup_avx2(cv: __m256i, row: &[u8], low_mask: __m256i, zero: __m256i) -> __m256i {
+        let chunks = row.len() / 16;
+        if chunks == 1 {
+            // SAFETY: `row` is padded to at least 16 bytes, covering
+            // this avx2 table load.
+            let tbl = unsafe { _mm_loadu_si128(row.as_ptr().cast()) };
+            return _mm256_shuffle_epi8(_mm256_broadcastsi128_si256(tbl), cv);
+        }
+        let lo = _mm256_and_si256(cv, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(cv), low_mask);
+        let mut v = zero;
+        for (k, kb) in (0..chunks).zip(0i8..) {
+            // SAFETY: `row` is padded to `chunks * 16` bytes, covering
+            // this avx2 table-chunk load at offset `k * 16`.
+            let tbl = unsafe { _mm_loadu_si128(row.as_ptr().add(k * 16).cast()) };
+            let t2 = _mm256_broadcastsi128_si256(tbl);
+            let sel = _mm256_cmpeq_epi8(hi, _mm256_set1_epi8(kb));
+            v = _mm256_or_si256(v, _mm256_and_si256(sel, _mm256_shuffle_epi8(t2, lo)));
+        }
+        v
+    }
+
+    /// AVX2 kernel: a whole 32-lane block per iteration, two 16×`u16`
+    /// `ymm` accumulators.
     ///
     /// SAFETY: the caller must verify AVX2 support at runtime before
     /// calling (`is_x86_feature_detected!("avx2")`).
     #[target_feature(enable = "avx2")]
     pub unsafe fn accumulate_avx2(packed: &PackedCodes, qt: &QuantizedTables, out: &mut [u16]) {
-        let mp = packed.num_subspaces();
+        let nr = packed.num_rows();
         let data = packed.data();
         let low_mask = _mm256_set1_epi8(0x0f);
         let zero = _mm256_setzero_si256();
         for (b, out_b) in out.chunks_exact_mut(BLOCK).enumerate() {
+            super::prefetch_read(data, (b + 1) * nr * BLOCK);
             let mut acc_lo = zero;
             let mut acc_hi = zero;
-            for j in 0..mp {
-                let row = qt.row(j);
-                let chunks = row.len() / 16;
-                let codes = &data[(b * mp + j) * BLOCK..][..BLOCK];
-                // SAFETY: `codes` has exactly BLOCK = 32 bytes.
-                let cv = unsafe { _mm256_loadu_si256(codes.as_ptr().cast()) };
-                let vals = if chunks == 1 {
-                    // SAFETY: `row` is padded to at least 16 bytes.
-                    let tbl = unsafe { _mm_loadu_si128(row.as_ptr().cast()) };
-                    _mm256_shuffle_epi8(_mm256_broadcastsi128_si256(tbl), cv)
-                } else {
-                    let lo = _mm256_and_si256(cv, low_mask);
-                    let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(cv), low_mask);
-                    let mut v = zero;
-                    for (k, kb) in (0..chunks).zip(0i8..) {
-                        // SAFETY: `row` is padded to `chunks * 16` bytes.
-                        let tbl = unsafe { _mm_loadu_si128(row.as_ptr().add(k * 16).cast()) };
-                        let t2 = _mm256_broadcastsi128_si256(tbl);
-                        let sel = _mm256_cmpeq_epi8(hi, _mm256_set1_epi8(kb));
-                        v = _mm256_or_si256(v, _mm256_and_si256(sel, _mm256_shuffle_epi8(t2, lo)));
+            for (r, &pr) in packed.packed_rows().iter().enumerate() {
+                let bytes = &data[(b * nr + r) * BLOCK..][..BLOCK];
+                // SAFETY: `bytes` has exactly BLOCK = 32 bytes for this
+                // avx2 full-block load.
+                let cv = unsafe { _mm256_loadu_si256(bytes.as_ptr().cast()) };
+                match pr {
+                    PackedRow::Pair { lo, hi } => {
+                        let lo_idx = _mm256_and_si256(cv, low_mask);
+                        let hi_idx = _mm256_and_si256(_mm256_srli_epi16::<4>(cv), low_mask);
+                        let vlo = table_lookup_avx2(lo_idx, qt.row(lo), low_mask, zero);
+                        let vhi = table_lookup_avx2(hi_idx, qt.row(hi), low_mask, zero);
+                        // Widen with cvtepu8 to keep u16 lane order linear
+                        // (unpack would interleave across 128-bit lanes);
+                        // the two nibble results widen separately because
+                        // their u8 sum can overflow.
+                        acc_lo = _mm256_add_epi16(
+                            acc_lo,
+                            _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vlo)),
+                        );
+                        acc_lo = _mm256_add_epi16(
+                            acc_lo,
+                            _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vhi)),
+                        );
+                        acc_hi = _mm256_add_epi16(
+                            acc_hi,
+                            _mm256_cvtepu8_epi16(_mm256_extracti128_si256::<1>(vlo)),
+                        );
+                        acc_hi = _mm256_add_epi16(
+                            acc_hi,
+                            _mm256_cvtepu8_epi16(_mm256_extracti128_si256::<1>(vhi)),
+                        );
                     }
-                    v
-                };
-                // Widen with cvtepu8 to keep u16 lane order linear
-                // (unpack would interleave across the 128-bit lanes).
-                acc_lo =
-                    _mm256_add_epi16(acc_lo, _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vals)));
-                acc_hi = _mm256_add_epi16(
-                    acc_hi,
-                    _mm256_cvtepu8_epi16(_mm256_extracti128_si256::<1>(vals)),
-                );
+                    PackedRow::Single(j) => {
+                        let vals = table_lookup_avx2(cv, qt.row(j), low_mask, zero);
+                        acc_lo = _mm256_add_epi16(
+                            acc_lo,
+                            _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vals)),
+                        );
+                        acc_hi = _mm256_add_epi16(
+                            acc_hi,
+                            _mm256_cvtepu8_epi16(_mm256_extracti128_si256::<1>(vals)),
+                        );
+                    }
+                }
             }
-            // SAFETY: `out_b` has BLOCK = 32 u16 lanes = two 256-bit stores.
+            // SAFETY: `out_b` has BLOCK = 32 u16 lanes = two avx2 stores.
             unsafe { _mm256_storeu_si256(out_b.as_mut_ptr().cast(), acc_lo) };
-            // SAFETY: offset 16 leaves exactly 16 u16 lanes for the store.
+            // SAFETY: offset 16 leaves exactly 16 u16 lanes for this
+            // avx2 store.
             unsafe { _mm256_storeu_si256(out_b.as_mut_ptr().add(16).cast(), acc_hi) };
         }
+    }
+
+    /// AVX-512 kernel: AVX2-style 32-lane lookups feeding one 32×`u16`
+    /// `zmm` accumulator — half the accumulate/store instructions of the
+    /// AVX2 tier. Uses only F+BW intrinsics (`vpmovzxbw` / `vpaddw` /
+    /// full-width store), so it runs on every AVX-512 server part
+    /// without requiring VBMI.
+    ///
+    /// SAFETY: the caller must verify AVX-512 F and BW support at
+    /// runtime before calling (`is_x86_feature_detected!("avx512bw")`).
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn accumulate_avx512(packed: &PackedCodes, qt: &QuantizedTables, out: &mut [u16]) {
+        let nr = packed.num_rows();
+        let data = packed.data();
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let zero = _mm256_setzero_si256();
+        for (b, out_b) in out.chunks_exact_mut(BLOCK).enumerate() {
+            super::prefetch_read(data, (b + 1) * nr * BLOCK);
+            let mut acc = _mm512_setzero_si512();
+            for (r, &pr) in packed.packed_rows().iter().enumerate() {
+                let bytes = &data[(b * nr + r) * BLOCK..][..BLOCK];
+                // SAFETY: `bytes` has exactly BLOCK = 32 bytes for this
+                // avx512 kernel's ymm-width code load.
+                let cv = unsafe { _mm256_loadu_si256(bytes.as_ptr().cast()) };
+                match pr {
+                    PackedRow::Pair { lo, hi } => {
+                        let lo_idx = _mm256_and_si256(cv, low_mask);
+                        let hi_idx = _mm256_and_si256(_mm256_srli_epi16::<4>(cv), low_mask);
+                        let vlo = table_lookup_avx2(lo_idx, qt.row(lo), low_mask, zero);
+                        let vhi = table_lookup_avx2(hi_idx, qt.row(hi), low_mask, zero);
+                        acc = _mm512_add_epi16(acc, _mm512_cvtepu8_epi16(vlo));
+                        acc = _mm512_add_epi16(acc, _mm512_cvtepu8_epi16(vhi));
+                    }
+                    PackedRow::Single(j) => {
+                        let vals = table_lookup_avx2(cv, qt.row(j), low_mask, zero);
+                        acc = _mm512_add_epi16(acc, _mm512_cvtepu8_epi16(vals));
+                    }
+                }
+            }
+            // SAFETY: `out_b` has BLOCK = 32 u16 lanes = one avx512
+            // full-width store.
+            unsafe { _mm512_storeu_si512(out_b.as_mut_ptr().cast(), acc) };
+        }
+    }
+
+    /// Fused multi-query AVX2 kernel: one pass over the packed bytes per
+    /// [`QUERY_TILE`] queries. Each code vector is loaded once per row
+    /// and looked up against every query's tables; per-query
+    /// accumulators keep results bit-identical to sequential scans.
+    ///
+    /// SAFETY: the caller must verify AVX2 support at runtime before
+    /// calling (`is_x86_feature_detected!("avx2")`), resize every output
+    /// to `packed.padded_len()`, and pass at most [`QUERY_TILE`] queries.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accumulate_avx2_multi(
+        packed: &PackedCodes,
+        queries: &mut [(&QuantizedTables, &mut Vec<u16>)],
+    ) {
+        debug_assert!(queries.len() <= QUERY_TILE);
+        debug_assert!(queries.iter().all(|(_, o)| o.len() == packed.padded_len()));
+        let nr = packed.num_rows();
+        let data = packed.data();
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let zero = _mm256_setzero_si256();
+        for b in 0..packed.blocks() {
+            super::prefetch_read(data, (b + 1) * nr * BLOCK);
+            let mut acc = [[zero; 2]; QUERY_TILE];
+            for (r, &pr) in packed.packed_rows().iter().enumerate() {
+                let bytes = &data[(b * nr + r) * BLOCK..][..BLOCK];
+                // SAFETY: `bytes` has exactly BLOCK = 32 bytes for this
+                // avx2 full-block load (shared by the whole query tile).
+                let cv = unsafe { _mm256_loadu_si256(bytes.as_ptr().cast()) };
+                match pr {
+                    PackedRow::Pair { lo, hi } => {
+                        let lo_idx = _mm256_and_si256(cv, low_mask);
+                        let hi_idx = _mm256_and_si256(_mm256_srli_epi16::<4>(cv), low_mask);
+                        for (t, (qt, _)) in queries.iter().enumerate() {
+                            let vlo = table_lookup_avx2(lo_idx, qt.row(lo), low_mask, zero);
+                            let vhi = table_lookup_avx2(hi_idx, qt.row(hi), low_mask, zero);
+                            acc[t][0] = _mm256_add_epi16(
+                                acc[t][0],
+                                _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vlo)),
+                            );
+                            acc[t][0] = _mm256_add_epi16(
+                                acc[t][0],
+                                _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vhi)),
+                            );
+                            acc[t][1] = _mm256_add_epi16(
+                                acc[t][1],
+                                _mm256_cvtepu8_epi16(_mm256_extracti128_si256::<1>(vlo)),
+                            );
+                            acc[t][1] = _mm256_add_epi16(
+                                acc[t][1],
+                                _mm256_cvtepu8_epi16(_mm256_extracti128_si256::<1>(vhi)),
+                            );
+                        }
+                    }
+                    PackedRow::Single(j) => {
+                        for (t, (qt, _)) in queries.iter().enumerate() {
+                            let vals = table_lookup_avx2(cv, qt.row(j), low_mask, zero);
+                            acc[t][0] = _mm256_add_epi16(
+                                acc[t][0],
+                                _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vals)),
+                            );
+                            acc[t][1] = _mm256_add_epi16(
+                                acc[t][1],
+                                _mm256_cvtepu8_epi16(_mm256_extracti128_si256::<1>(vals)),
+                            );
+                        }
+                    }
+                }
+            }
+            for (t, (_, out)) in queries.iter_mut().enumerate() {
+                let dst = &mut out[b * BLOCK..][..BLOCK];
+                // SAFETY: `dst` has BLOCK = 32 u16 lanes = two avx2 stores.
+                unsafe { _mm256_storeu_si256(dst.as_mut_ptr().cast(), acc[t][0]) };
+                // SAFETY: offset 16 leaves exactly 16 u16 lanes for this
+                // avx2 store.
+                unsafe { _mm256_storeu_si256(dst.as_mut_ptr().add(16).cast(), acc[t][1]) };
+            }
+        }
+    }
+
+    /// Fused multi-query AVX-512 kernel: the multi-query tiling of
+    /// [`accumulate_avx2_multi`] with the single `zmm` accumulator per
+    /// query of [`accumulate_avx512`].
+    ///
+    /// SAFETY: the caller must verify AVX-512 F and BW support at
+    /// runtime before calling (`is_x86_feature_detected!("avx512bw")`),
+    /// resize every output to `packed.padded_len()`, and pass at most
+    /// [`QUERY_TILE`] queries.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn accumulate_avx512_multi(
+        packed: &PackedCodes,
+        queries: &mut [(&QuantizedTables, &mut Vec<u16>)],
+    ) {
+        debug_assert!(queries.len() <= QUERY_TILE);
+        debug_assert!(queries.iter().all(|(_, o)| o.len() == packed.padded_len()));
+        let nr = packed.num_rows();
+        let data = packed.data();
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let zero = _mm256_setzero_si256();
+        for b in 0..packed.blocks() {
+            super::prefetch_read(data, (b + 1) * nr * BLOCK);
+            let mut acc = [_mm512_setzero_si512(); QUERY_TILE];
+            for (r, &pr) in packed.packed_rows().iter().enumerate() {
+                let bytes = &data[(b * nr + r) * BLOCK..][..BLOCK];
+                // SAFETY: `bytes` has exactly BLOCK = 32 bytes for this
+                // avx512 kernel's ymm-width code load (shared by the tile).
+                let cv = unsafe { _mm256_loadu_si256(bytes.as_ptr().cast()) };
+                match pr {
+                    PackedRow::Pair { lo, hi } => {
+                        let lo_idx = _mm256_and_si256(cv, low_mask);
+                        let hi_idx = _mm256_and_si256(_mm256_srli_epi16::<4>(cv), low_mask);
+                        for (t, (qt, _)) in queries.iter().enumerate() {
+                            let vlo = table_lookup_avx2(lo_idx, qt.row(lo), low_mask, zero);
+                            let vhi = table_lookup_avx2(hi_idx, qt.row(hi), low_mask, zero);
+                            acc[t] = _mm512_add_epi16(acc[t], _mm512_cvtepu8_epi16(vlo));
+                            acc[t] = _mm512_add_epi16(acc[t], _mm512_cvtepu8_epi16(vhi));
+                        }
+                    }
+                    PackedRow::Single(j) => {
+                        for (t, (qt, _)) in queries.iter().enumerate() {
+                            let vals = table_lookup_avx2(cv, qt.row(j), low_mask, zero);
+                            acc[t] = _mm512_add_epi16(acc[t], _mm512_cvtepu8_epi16(vals));
+                        }
+                    }
+                }
+            }
+            for (t, (_, out)) in queries.iter_mut().enumerate() {
+                let dst = &mut out[b * BLOCK..][..BLOCK];
+                // SAFETY: `dst` has BLOCK = 32 u16 lanes = one avx512
+                // full-width store.
+                unsafe { _mm512_storeu_si512(dst.as_mut_ptr().cast(), acc[t]) };
+            }
+        }
+    }
+}
+
+#[cfg(all(target_arch = "aarch64", not(miri)))]
+#[deny(unsafe_op_in_unsafe_fn)]
+mod neon {
+    //! `tbl`-based kernels for aarch64. `vqtbl1q_u8` is the 16-lane
+    //! table lookup analogous to `pshufb` (out-of-range indices return
+    //! zero, so no pre-masking is needed for valid codes); the chunked
+    //! path for 17..=256-entry tables mirrors the x86 `cmpeq` selection.
+
+    use super::{PackedCodes, PackedRow, QuantizedTables, BLOCK};
+    use std::arch::aarch64::*;
+
+    /// NEON kernel: each block is two 16-lane halves, four 8×`u16`
+    /// accumulators, widened with `vaddw`.
+    ///
+    /// SAFETY: the caller must verify NEON support before calling
+    /// (baseline on aarch64; the dispatch guard checks the cached
+    /// neon probe).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn accumulate_neon(packed: &PackedCodes, qt: &QuantizedTables, out: &mut [u16]) {
+        let nr = packed.num_rows();
+        let data = packed.data();
+        let low_mask = vdupq_n_u8(0x0f);
+        for (b, out_b) in out.chunks_exact_mut(BLOCK).enumerate() {
+            super::prefetch_read(data, (b + 1) * nr * BLOCK);
+            let mut acc = [vdupq_n_u16(0); 4];
+            for (r, &pr) in packed.packed_rows().iter().enumerate() {
+                let bytes = &data[(b * nr + r) * BLOCK..][..BLOCK];
+                for half in 0..2 {
+                    // SAFETY: `bytes` has BLOCK = 32 bytes, so this neon
+                    // 16-byte load at `half * 16 + 16 <= 32` is in bounds.
+                    let cv = unsafe { vld1q_u8(bytes.as_ptr().add(half * 16)) };
+                    match pr {
+                        PackedRow::Pair { lo, hi } => {
+                            let lo_idx = vandq_u8(cv, low_mask);
+                            let hi_idx = vshrq_n_u8::<4>(cv);
+                            let vlo = table_lookup_neon(lo_idx, qt.row(lo), low_mask);
+                            let vhi = table_lookup_neon(hi_idx, qt.row(hi), low_mask);
+                            // Two separate u8→u16 widenings: the u8 sum
+                            // of two 254-max entries would overflow.
+                            let q = half * 2;
+                            acc[q] = vaddw_u8(acc[q], vget_low_u8(vlo));
+                            acc[q] = vaddw_u8(acc[q], vget_low_u8(vhi));
+                            acc[q + 1] = vaddw_high_u8(acc[q + 1], vlo);
+                            acc[q + 1] = vaddw_high_u8(acc[q + 1], vhi);
+                        }
+                        PackedRow::Single(j) => {
+                            let vals = table_lookup_neon(cv, qt.row(j), low_mask);
+                            let q = half * 2;
+                            acc[q] = vaddw_u8(acc[q], vget_low_u8(vals));
+                            acc[q + 1] = vaddw_high_u8(acc[q + 1], vals);
+                        }
+                    }
+                }
+            }
+            for (q, &a) in acc.iter().enumerate() {
+                // SAFETY: `out_b` has BLOCK = 32 u16 lanes; this neon
+                // 8-lane store at `q * 8 + 8 <= 32` is in bounds.
+                unsafe { vst1q_u16(out_b.as_mut_ptr().add(q * 8), a) };
+            }
+        }
+    }
+
+    /// One 16-lane table lookup (NEON tier). Same contract as the x86
+    /// helpers: `row` is padded to whole 16-byte chunks; single-chunk
+    /// rows take `cv` as direct indices, wider rows nibble-split and
+    /// chunk-select with `vceqq`.
+    #[target_feature(enable = "neon")]
+    fn table_lookup_neon(cv: uint8x16_t, row: &[u8], low_mask: uint8x16_t) -> uint8x16_t {
+        let chunks = row.len() / 16;
+        if chunks == 1 {
+            // SAFETY: `row` is padded to at least 16 bytes, covering
+            // this neon table load.
+            let tbl = unsafe { vld1q_u8(row.as_ptr()) };
+            return vqtbl1q_u8(tbl, cv);
+        }
+        let lo = vandq_u8(cv, low_mask);
+        let hi = vshrq_n_u8::<4>(cv);
+        let mut v = vdupq_n_u8(0);
+        for (k, kb) in (0..chunks).zip(0u8..) {
+            // SAFETY: `row` is padded to `chunks * 16` bytes, covering
+            // this neon table-chunk load at offset `k * 16`.
+            let tbl = unsafe { vld1q_u8(row.as_ptr().add(k * 16)) };
+            let sel = vceqq_u8(hi, vdupq_n_u8(kb));
+            v = vorrq_u8(v, vandq_u8(sel, vqtbl1q_u8(tbl, lo)));
+        }
+        v
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     /// Deterministic LCG in [0, 1).
     fn rng(seed: &mut u64) -> f32 {
@@ -734,30 +1408,86 @@ mod tests {
 
     const MIXED_SIZES: &[usize] = &[4, 16, 32, 256, 1024, 7];
 
+    /// The byte of (vector `i`, packed row `r`), read straight from the
+    /// blocked layout.
+    fn byte_at(p: &PackedCodes, i: usize, r: usize) -> u8 {
+        let (b, lane) = (i / BLOCK, i % BLOCK);
+        p.data()[(b * p.num_rows() + r) * BLOCK + lane]
+    }
+
     #[test]
     fn pack_transposes_into_blocked_layout() {
+        // One nibble subspace without a partner plus one byte subspace:
+        // no pairs form, so every packed subspace gets its own row.
         let sizes = [16usize, 256, 512];
         let (_, codes) = setup(&sizes, 70, 3);
         let packed = PackedCodes::pack(&codes, &sizes, 70);
         assert_eq!(packed.subspaces(), &[0, 1]);
+        assert_eq!(packed.packed_rows(), &[PackedRow::Single(0), PackedRow::Single(1)]);
         assert_eq!(packed.blocks(), 3);
         assert_eq!(packed.data().len(), 3 * 2 * BLOCK);
-        let mp = packed.num_subspaces();
         for i in 0..70 {
-            let (b, lane) = (i / BLOCK, i % BLOCK);
             for (j, &s) in packed.subspaces().iter().enumerate() {
                 assert_eq!(
-                    packed.data()[(b * mp + j) * BLOCK + lane],
+                    byte_at(&packed, i, j),
                     codes[i * sizes.len() + s] as u8,
                     "vector {i} subspace {s}"
                 );
             }
         }
         // Tail lanes of the last block are zero-padded.
+        let nr = packed.num_rows();
         for lane in 70 % BLOCK..BLOCK {
-            for j in 0..mp {
-                assert_eq!(packed.data()[(2 * mp + j) * BLOCK + lane], 0);
+            for r in 0..nr {
+                assert_eq!(packed.data()[(2 * nr + r) * BLOCK + lane], 0);
             }
+        }
+    }
+
+    #[test]
+    fn nibble_subspaces_pair_two_per_byte() {
+        let sizes = [16usize, 8, 256];
+        let (_, codes) = setup(&sizes, 50, 11);
+        let packed = PackedCodes::pack(&codes, &sizes, 50);
+        assert_eq!(packed.subspaces(), &[0, 1, 2]);
+        assert_eq!(packed.packed_rows(), &[PackedRow::Pair { lo: 0, hi: 1 }, PackedRow::Single(2)]);
+        assert_eq!(packed.num_rows(), 2);
+        assert_eq!(packed.data().len(), packed.blocks() * 2 * BLOCK);
+        for i in 0..50 {
+            let pair = byte_at(&packed, i, 0);
+            assert_eq!(u16::from(pair & 0x0f), codes[i * 3], "vector {i} low nibble");
+            assert_eq!(u16::from(pair >> 4), codes[i * 3 + 1], "vector {i} high nibble");
+            assert_eq!(u16::from(byte_at(&packed, i, 1)), codes[i * 3 + 2], "vector {i} byte row");
+        }
+    }
+
+    #[test]
+    fn mixed_plan_splits_into_pair_and_single_rows() {
+        // MIXED_SIZES packs subspaces [0,1,2,3,5] with sizes
+        // [4,16,32,256,7]; the nibble-eligible ones (packed indices 0, 1,
+        // 4) form one pair plus a leftover single, byte subspaces keep
+        // their own rows, and singles stay in ascending packed order.
+        let (_, codes) = setup(MIXED_SIZES, 40, 5);
+        let packed = PackedCodes::pack(&codes, MIXED_SIZES, 40);
+        assert_eq!(packed.subspaces(), &[0, 1, 2, 3, 5]);
+        assert_eq!(
+            packed.packed_rows(),
+            &[
+                PackedRow::Pair { lo: 0, hi: 1 },
+                PackedRow::Single(2),
+                PackedRow::Single(3),
+                PackedRow::Single(4),
+            ]
+        );
+        assert_eq!(packed.truncated_packable(), 0);
+        let m = MIXED_SIZES.len();
+        for i in 0..40 {
+            let pair = byte_at(&packed, i, 0);
+            assert_eq!(u16::from(pair & 0x0f), codes[i * m], "low nibble");
+            assert_eq!(u16::from(pair >> 4), codes[i * m + 1], "high nibble");
+            assert_eq!(u16::from(byte_at(&packed, i, 1)), codes[i * m + 2]);
+            assert_eq!(u16::from(byte_at(&packed, i, 2)), codes[i * m + 3]);
+            assert_eq!(u16::from(byte_at(&packed, i, 3)), codes[i * m + 5]);
         }
     }
 
@@ -820,16 +1550,79 @@ mod tests {
         // Nothing ≤ 256 rows.
         let p = PackedCodes::pack(&[0, 0], &[512, 1024], 1);
         assert!(!p.is_active());
-        // Too many subspaces for the u16 accumulators.
-        let sizes = vec![2usize; MAX_PACKED_SUBSPACES + 1];
-        let codes = vec![0u16; sizes.len()];
-        let p = PackedCodes::pack(&codes, &sizes, 1);
-        assert!(!p.is_active());
         // An out-of-range code would corrupt the bound: refuse.
         let p = PackedCodes::pack(&[3, 1], &[4, 4], 1);
         assert!(p.is_active());
         let p = PackedCodes::pack(&[4, 1], &[4, 4], 1);
         assert!(!p.is_active());
+    }
+
+    #[test]
+    fn overflowing_plans_truncate_the_excess_instead_of_refusing() {
+        // 260 packable subspaces: the first MAX_PACKED_SUBSPACES pack,
+        // the rest degrade to the exact path and are reported.
+        let sizes = vec![2usize; MAX_PACKED_SUBSPACES + 3];
+        let (arena, codes) = setup(&sizes, 37, 13);
+        let packed = PackedCodes::pack(&codes, &sizes, 37);
+        assert!(packed.is_active());
+        assert_eq!(packed.num_subspaces(), MAX_PACKED_SUBSPACES);
+        assert_eq!(packed.truncated_packable(), 3);
+        let expect: Vec<usize> = (0..MAX_PACKED_SUBSPACES).collect();
+        assert_eq!(packed.subspaces(), &expect[..]);
+        // The saturated worst case still fits the u16 accumulators, and
+        // the bound (which folds the truncated minima into base) holds.
+        let mut qt = QuantizedTables::new();
+        qt.quantize(&arena, &packed);
+        let mut qsums = Vec::new();
+        accumulate_qsums_with(ScanKernel::Scalar, &packed, &qt, &mut qsums);
+        let m = sizes.len();
+        for i in 0..37 {
+            let exact: f32 = (0..m).map(|s| arena.lookup(s, codes[i * m + s] as usize)).sum();
+            assert!(qt.lower_bound(qsums[i]) <= exact, "vector {i}");
+        }
+        // Appends must preserve the truncation decision.
+        let (_, more) = setup(&sizes, 5, 14);
+        let mut inc = packed.clone();
+        inc.append(&more, &sizes, 5);
+        let mut combined = codes.clone();
+        combined.extend_from_slice(&more);
+        assert_eq!(inc, PackedCodes::pack(&combined, &sizes, 42));
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_converts_legacy_layout() {
+        let (_, codes) = setup(MIXED_SIZES, 45, 21);
+        let packed = PackedCodes::pack(&codes, MIXED_SIZES, 45);
+        // Current-layout bytes round-trip untouched.
+        let rebuilt =
+            PackedCodes::from_parts(packed.data().to_vec().into(), MIXED_SIZES, 45).unwrap();
+        assert_eq!(rebuilt, packed);
+        // Legacy bytes (one byte per packed subspace, no pairs) convert
+        // to the paired layout bit-exactly.
+        let (mp, m) = (packed.num_subspaces(), MIXED_SIZES.len());
+        let mut legacy = vec![0u8; packed.blocks() * mp * BLOCK];
+        for i in 0..45 {
+            let (b, lane) = (i / BLOCK, i % BLOCK);
+            for (j, &s) in packed.subspaces().iter().enumerate() {
+                legacy[(b * mp + j) * BLOCK + lane] = codes[i * m + s] as u8;
+            }
+        }
+        let converted = PackedCodes::from_parts(legacy.into(), MIXED_SIZES, 45).unwrap();
+        assert_eq!(converted, packed);
+        // Any other byte length is rejected.
+        let truncated = packed.data()[..packed.data().len() - 1].to_vec();
+        assert!(PackedCodes::from_parts(truncated.into(), MIXED_SIZES, 45).is_none());
+        // Unpackable plans only round-trip the empty inactive form.
+        let p = PackedCodes::from_parts(CodesStorage::default(), &[512], 9).unwrap();
+        assert!(!p.is_active());
+        assert_eq!(p.len(), 9);
+        assert!(PackedCodes::from_parts(vec![0u8; 32].into(), &[512], 9).is_none());
+        // Legacy files whose plan overflowed the accumulator budget
+        // stored no bytes; they load as inactive rather than failing.
+        let sizes = vec![2usize; MAX_PACKED_SUBSPACES + 1];
+        let p = PackedCodes::from_parts(CodesStorage::default(), &sizes, 4).unwrap();
+        assert!(!p.is_active());
+        assert_eq!(p.len(), 4);
     }
 
     #[test]
@@ -906,10 +1699,45 @@ mod tests {
             qt.quantize(&arena, &packed);
             let mut reference = Vec::new();
             accumulate_qsums_with(ScanKernel::Scalar, &packed, &qt, &mut reference);
-            for kernel in [ScanKernel::Ssse3, ScanKernel::Avx2, active_kernel()] {
+            for kernel in ScanKernel::ALL.into_iter().chain([active_kernel()]) {
                 let mut out = Vec::new();
                 accumulate_qsums_with(kernel, &packed, &qt, &mut out);
                 assert_eq!(out, reference, "kernel {} n {n}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernels_match_sequential_exactly() {
+        // 7 distinct queries (not a tile multiple) against one packing:
+        // every tier's batched output must equal its own sequential
+        // output query by query.
+        let n = 203;
+        let (_, codes) = setup(MIXED_SIZES, n, 77);
+        let packed = PackedCodes::pack(&codes, MIXED_SIZES, n);
+        let qts: Vec<QuantizedTables> = (0..7)
+            .map(|q| {
+                let (arena, _) = setup(MIXED_SIZES, 1, 100 + q);
+                let mut qt = QuantizedTables::new();
+                qt.quantize(&arena, &packed);
+                qt
+            })
+            .collect();
+        for kernel in ScanKernel::ALL {
+            let sequential: Vec<Vec<u16>> = qts
+                .iter()
+                .map(|qt| {
+                    let mut out = Vec::new();
+                    accumulate_qsums_with(kernel, &packed, qt, &mut out);
+                    out
+                })
+                .collect();
+            let mut outs: Vec<Vec<u16>> = vec![Vec::new(); qts.len()];
+            let mut queries: Vec<(&QuantizedTables, &mut Vec<u16>)> =
+                qts.iter().zip(outs.iter_mut()).collect();
+            accumulate_qsums_multi(kernel, &packed, &mut queries);
+            for (q, (got, want)) in outs.iter().zip(&sequential).enumerate() {
+                assert_eq!(got, want, "kernel {} query {q}", kernel.name());
             }
         }
     }
@@ -930,5 +1758,181 @@ mod tests {
         // base alone reconstructs the (constant) distance, within slack.
         let lb = qt.lower_bound(0);
         assert!(lb <= 5.0 && lb > 4.99);
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_no_op_at_any_index() {
+        let data = vec![0u8; 64];
+        prefetch_read(&data, 0);
+        prefetch_read(&data, 63);
+        prefetch_read(&data, 64);
+        prefetch_read(&data, usize::MAX);
+        prefetch_read::<u8>(&[], 0);
+    }
+
+    /// A random mixed-width plan: nibble, byte, and >8-bit (unpackable)
+    /// table sizes in arbitrary order.
+    fn plan_strategy() -> impl Strategy<Value = Vec<usize>> {
+        proptest::collection::vec(
+            (0usize..3, 0usize..1000).prop_map(|(bucket, r)| match bucket {
+                0 => 1 + r % 16,    // nibble-packable
+                1 => 17 + r % 240,  // byte-packable (chunked lookup)
+                _ => 257 + r % 844, // unpackable: exact f32 fallback
+            }),
+            1..7,
+        )
+    }
+
+    proptest! {
+        /// Byte-identical qsums across every kernel tier, every packed
+        /// row shape (pairs, singles, chunked wide tables), and the
+        /// batched entry point, on random mixed-width plans.
+        #[test]
+        fn kernel_parity_on_random_plans(
+            sizes in plan_strategy(),
+            n in 0usize..130,
+            seed in 0u64..1000,
+        ) {
+            let (arena, codes) = setup(&sizes, n, seed);
+            let packed = PackedCodes::pack(&codes, &sizes, n);
+            let mut qt = QuantizedTables::new();
+            qt.quantize(&arena, &packed);
+            let mut reference = Vec::new();
+            accumulate_qsums_with(ScanKernel::Scalar, &packed, &qt, &mut reference);
+            for kernel in ScanKernel::ALL {
+                let mut out = Vec::new();
+                accumulate_qsums_with(kernel, &packed, &qt, &mut out);
+                prop_assert_eq!(&out, &reference, "kernel {}", kernel.name());
+                let mut b0 = Vec::new();
+                let mut b1 = Vec::new();
+                let mut queries: Vec<(&QuantizedTables, &mut Vec<u16>)> =
+                    vec![(&qt, &mut b0), (&qt, &mut b1)];
+                accumulate_qsums_multi(kernel, &packed, &mut queries);
+                prop_assert_eq!(&b0, &reference, "multi[0] {}", kernel.name());
+                prop_assert_eq!(&b1, &reference, "multi[1] {}", kernel.name());
+            }
+            // The bound survives arbitrary plans too.
+            if packed.is_active() {
+                let m = sizes.len();
+                for i in 0..n {
+                    let exact: f32 =
+                        (0..m).map(|s| arena.lookup(s, codes[i * m + s] as usize)).sum();
+                    prop_assert!(qt.lower_bound(reference[i]) <= exact);
+                }
+            }
+        }
+
+        /// `from_parts` over the serialized bytes reproduces the packing
+        /// and scans identically on random plans.
+        #[test]
+        fn from_parts_preserves_scan_results(
+            sizes in plan_strategy(),
+            n in 0usize..90,
+            seed in 0u64..1000,
+        ) {
+            let (arena, codes) = setup(&sizes, n, seed);
+            let packed = PackedCodes::pack(&codes, &sizes, n);
+            let rebuilt =
+                PackedCodes::from_parts(packed.data().to_vec().into(), &sizes, n);
+            if !packed.is_active() {
+                // Inactive packings serialize no bytes; the empty form
+                // round-trips.
+                let p = PackedCodes::from_parts(CodesStorage::default(), &sizes, n);
+                prop_assert!(p.is_some_and(|p| !p.is_active()));
+                return Ok(());
+            }
+            let rebuilt = rebuilt.expect("length matches");
+            prop_assert_eq!(&rebuilt, &packed);
+            let mut qt = QuantizedTables::new();
+            qt.quantize(&arena, &packed);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            accumulate_qsums(&packed, &qt, &mut a);
+            accumulate_qsums(&rebuilt, &qt, &mut b);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[cfg(all(
+        not(miri),
+        any(target_os = "linux", target_os = "macos"),
+        target_pointer_width = "64",
+        target_endian = "little"
+    ))]
+    mod mapped {
+        use super::*;
+        use crate::mmap::MappedRegion;
+        use std::io::Write;
+        use std::sync::Arc;
+
+        fn tmp_storage(bytes: &[u8], tag: &str) -> (std::path::PathBuf, CodesStorage) {
+            let path = std::env::temp_dir().join(format!(
+                "vaq-qtables-{tag}-{}-{}",
+                std::process::id(),
+                bytes.len()
+            ));
+            let mut f = std::fs::File::create(&path).unwrap();
+            f.write_all(bytes).unwrap();
+            f.sync_all().unwrap();
+            let f = std::fs::File::open(&path).unwrap();
+            let region = MappedRegion::map_file(&f).expect("mmap supported here");
+            let storage = CodesStorage::mapped(Arc::clone(&region), 0, bytes.len()).unwrap();
+            (path, storage)
+        }
+
+        /// Every kernel tier scans mapped (borrowed) bytes identically
+        /// to the owned packing — the mapped-scan compatibility contract.
+        #[test]
+        fn mapped_storage_scans_identical_to_owned() {
+            for (tag, sizes) in [("nib", vec![16usize, 4, 8, 2]), ("mix", MIXED_SIZES.to_vec())] {
+                let n = 150;
+                let (arena, codes) = setup(&sizes, n, 31);
+                let packed = PackedCodes::pack(&codes, &sizes, n);
+                assert!(packed.is_active());
+                let (path, storage) = tmp_storage(packed.data(), tag);
+                let mapped = PackedCodes::from_parts(storage, &sizes, n).unwrap();
+                assert!(mapped.storage().is_mapped());
+                assert_eq!(mapped, packed);
+                let mut qt = QuantizedTables::new();
+                qt.quantize(&arena, &packed);
+                let mut reference = Vec::new();
+                accumulate_qsums_with(ScanKernel::Scalar, &packed, &qt, &mut reference);
+                for kernel in ScanKernel::ALL {
+                    let mut out = Vec::new();
+                    accumulate_qsums_with(kernel, &mapped, &qt, &mut out);
+                    assert_eq!(out, reference, "kernel {} ({tag})", kernel.name());
+                }
+                std::fs::remove_file(path).unwrap();
+            }
+        }
+
+        /// Legacy-layout bytes in a mapped file convert to an owned
+        /// packing (copy-on-write) with identical scan results.
+        #[test]
+        fn mapped_legacy_bytes_convert_and_scan_identically() {
+            let sizes = [4usize, 16, 256];
+            let n = 77;
+            let (arena, codes) = setup(&sizes, n, 57);
+            let packed = PackedCodes::pack(&codes, &sizes, n);
+            let mp = packed.num_subspaces();
+            let mut legacy = vec![0u8; packed.blocks() * mp * BLOCK];
+            for i in 0..n {
+                let (b, lane) = (i / BLOCK, i % BLOCK);
+                for (j, &s) in packed.subspaces().iter().enumerate() {
+                    legacy[(b * mp + j) * BLOCK + lane] = codes[i * sizes.len() + s] as u8;
+                }
+            }
+            let (path, storage) = tmp_storage(&legacy, "legacy");
+            let converted = PackedCodes::from_parts(storage, &sizes, n).unwrap();
+            // Conversion re-pairs into an owned buffer.
+            assert!(!converted.storage().is_mapped());
+            assert_eq!(converted, packed);
+            let mut qt = QuantizedTables::new();
+            qt.quantize(&arena, &packed);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            accumulate_qsums(&packed, &qt, &mut a);
+            accumulate_qsums(&converted, &qt, &mut b);
+            assert_eq!(a, b);
+            std::fs::remove_file(path).unwrap();
+        }
     }
 }

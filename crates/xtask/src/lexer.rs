@@ -24,7 +24,17 @@ pub struct LexedFile {
     pub safety_lines: Vec<u32>,
     /// Same for `ORDERING:` justification comments (rule VAQ009).
     pub ordering_lines: Vec<u32>,
+    /// Last line of each comment run naming a CPU feature tier (`ssse3`,
+    /// `avx2`, …) — rule VAQ011 requires one next to every `unsafe` in
+    /// kernel files, so the justification states which runtime-verified
+    /// target feature the block relies on.
+    pub feature_lines: Vec<u32>,
 }
+
+/// CPU-feature keywords a kernel `unsafe` justification must name
+/// (VAQ011). Case-insensitive; `sse2` covers the baseline-guaranteed
+/// loads/stores and prefetch.
+const FEATURE_KEYWORDS: &[&str] = &["ssse3", "sse2", "avx2", "avx512", "neon"];
 
 /// A contiguous run of comments: first line, last line, accumulated text,
 /// and the token count when the run last grew (a token emitted between
@@ -195,6 +205,10 @@ pub fn lex(src: &str) -> LexedFile {
         }
         if let Some(l) = marker_line(run, "ORDERING:") {
             out.ordering_lines.push(l);
+        }
+        let lower = run.text.to_ascii_lowercase();
+        if FEATURE_KEYWORDS.iter().any(|k| lower.contains(k)) {
+            out.feature_lines.push(run.last);
         }
     }
     mark_test_regions(&mut out.tokens);
@@ -498,6 +512,20 @@ mod tests {
         // The second comment must not inherit the first line's marker.
         let lexed = lex("// SAFETY: fine here\nuse x; // unrelated\nunsafe { go() }");
         assert_eq!(lexed.safety_lines, vec![1]);
+    }
+
+    #[test]
+    fn feature_comment_lines_are_recorded() {
+        let lexed = lex("fn f() {\n    // SAFETY: lane count fixed; caller verified AVX2\n    \
+                         unsafe { go() }\n}");
+        assert_eq!(lexed.feature_lines, vec![2]);
+        // Case-insensitive, and multi-line runs vouch from their last line.
+        let lexed = lex("// SAFETY: pointers stay in bounds,\n// guarded by the ssse3 probe\n\
+                         unsafe { go() }");
+        assert_eq!(lexed.feature_lines, vec![2]);
+        // A justification that names no feature tier records nothing.
+        let lexed = lex("fn f() {\n    // SAFETY: bounds checked above\n    unsafe { go() }\n}");
+        assert!(lexed.feature_lines.is_empty());
     }
 
     #[test]

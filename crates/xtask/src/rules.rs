@@ -12,6 +12,7 @@
 //! | VAQ008 | no direct `std::sync` / `std::thread` in `vaq-core` outside the `crate::sync` facade — loom builds must model every primitive |
 //! | VAQ009 | every non-`SeqCst` atomic ordering argument needs an `// ORDERING:` justification within the three preceding lines |
 //! | VAQ010 | no `as` integer casts in the serialization/kernel boundary files (`persist.rs`, `wal.rs`, `qtables.rs`, dataset `io.rs`/`largescale.rs`) — use `try_from`/`From` with a typed error |
+//! | VAQ011 | `unsafe` in SIMD kernel files additionally needs a comment naming the CPU feature tier the block relies on (ssse3/sse2/avx2/avx512/neon) |
 //!
 //! Every rule reports a stable code so `lint.toml` allowances and CI logs
 //! stay meaningful as the codebase grows. See DESIGN.md §8 and §13.
@@ -34,6 +35,7 @@ pub const RULES: &[(&str, &str)] = &[
         "VAQ010",
         "no `as` integer casts in serialization/kernel boundary files — use `try_from`/`From`",
     ),
+    ("VAQ011", "kernel-file `unsafe` must name its CPU feature tier (ssse3/sse2/avx2/avx512/neon)"),
 ];
 
 /// Non-`SeqCst` ordering variants whose use must be justified (VAQ009).
@@ -150,6 +152,14 @@ impl<'a> FileClass<'a> {
             || self.path.ends_with("dataset/src/io.rs")
             || self.path.ends_with("dataset/src/largescale.rs")
     }
+
+    /// SIMD kernel files where every `unsafe` must also name the CPU
+    /// feature tier it relies on (VAQ011): the SAFETY argument for an
+    /// intrinsic block is only checkable against the dispatch layer when
+    /// it says *which* runtime-verified feature makes it sound.
+    fn in_kernel_file(&self) -> bool {
+        self.path.ends_with("linalg/src/qtables.rs")
+    }
 }
 
 /// Runs every rule over one lexed file.
@@ -179,6 +189,23 @@ pub fn check_file(class: FileClass<'_>, lexed: &LexedFile) -> Vec<Violation> {
                      lines (an empty marker does not count)"
                         .into(),
                 );
+            }
+            // ---- VAQ011: in kernel files the justification must also name
+            // the CPU feature tier (applies everywhere, including test
+            // code, same as VAQ005).
+            if class.in_kernel_file() {
+                let named = lexed.feature_lines.iter().any(|&l| l <= t.line && l + 3 >= t.line);
+                if !named {
+                    push(
+                        &mut out,
+                        "VAQ011",
+                        t.line,
+                        "`unsafe` in a SIMD kernel file whose comment names no CPU feature \
+                         tier (ssse3/sse2/avx2/avx512/neon) — state which runtime-verified \
+                         feature makes the block sound"
+                            .into(),
+                    );
+                }
             }
         }
 
@@ -753,7 +780,25 @@ mod tests {
         for (code, _) in RULES {
             assert!(code.starts_with("VAQ"), "{code}");
         }
-        assert_eq!(RULES.len(), 10);
+        assert_eq!(RULES.len(), 11);
+    }
+
+    #[test]
+    fn kernel_unsafe_without_feature_comment_is_vaq011() {
+        let k = "crates/linalg/src/qtables.rs";
+        // SAFETY text present but no feature tier named: VAQ005 passes,
+        // VAQ011 fires.
+        let src = "fn f() {\n    // SAFETY: pointer stays in bounds\n    unsafe { go() }\n}";
+        assert_eq!(codes(k, src), vec!["VAQ011"]);
+        // Naming the tier in the same run satisfies both rules.
+        let good = "fn f() {\n    // SAFETY: lanes stay in bounds; caller verified AVX2\n    \
+                    unsafe { go() }\n}";
+        assert!(codes(k, good).is_empty());
+        // Test code in kernel files is NOT exempt (same as VAQ005).
+        let test_mod = "#[cfg(test)]\nmod tests {\n // SAFETY: fine\n unsafe { go() }\n}";
+        assert_eq!(codes(k, test_mod), vec!["VAQ011"]);
+        // Outside kernel files only VAQ005 applies.
+        assert!(codes(LIB, src).is_empty());
     }
 
     #[test]
